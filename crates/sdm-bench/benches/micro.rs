@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the mechanisms behind the figures:
+//! datatype flattening and view mapping, partitioner quality/speed,
+//! metadata-database operations, collectives, and two-phase I/O.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sdm_mesh::gen::tet_box;
+use sdm_mesh::CsrGraph;
+use sdm_metadb::{Database, Value};
+use sdm_mpi::datatype::Datatype;
+use sdm_mpi::io::MpiFile;
+use sdm_mpi::World;
+use sdm_partition::{partition, Method};
+use sdm_pfs::Pfs;
+use sdm_sim::MachineConfig;
+
+fn bench_datatype_flatten(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datatype_flatten");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        // Worst case: every other element (no coalescing).
+        let displs: Vec<u64> = (0..n as u64).map(|i| i * 2).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("strided", n), &displs, |b, d| {
+            b.iter(|| {
+                Datatype::indexed_block(1, d.clone(), Datatype::double()).flatten().unwrap()
+            })
+        });
+        // Best case: contiguous run (collapses to one segment).
+        let contig: Vec<u64> = (0..n as u64).collect();
+        g.bench_with_input(BenchmarkId::new("contiguous", n), &contig, |b, d| {
+            b.iter(|| {
+                Datatype::indexed_block(1, d.clone(), Datatype::double()).flatten().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mesh = tet_box(12, 12, 12, 0.2, 3);
+    let graph = CsrGraph::from_edges(mesh.num_nodes(), &mesh.edges);
+    let mut g = c.benchmark_group("partitioner");
+    g.sample_size(10);
+    for method in [Method::Multilevel, Method::Rcb, Method::Block] {
+        g.bench_function(format!("{method:?}_k8"), |b| {
+            b.iter(|| partition(&graph, Some(&mesh.coords), 8, method, 1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_metadb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metadb");
+    g.bench_function("insert", |b| {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT, b TEXT, c DOUBLE)", &[]).unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            db.exec(
+                "INSERT INTO t VALUES (?, ?, ?)",
+                &[Value::Int(i), Value::from("name"), Value::Double(1.5)],
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("select_filtered", |b| {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT, b TEXT)", &[]).unwrap();
+        for i in 0..1000 {
+            db.exec("INSERT INTO t VALUES (?, ?)", &[Value::Int(i), Value::from("x")]).unwrap();
+        }
+        b.iter(|| db.exec("SELECT a FROM t WHERE a >= 500 AND a < 510", &[]).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+    for &p in &[4usize, 8] {
+        g.bench_function(format!("allgather_p{p}"), |b| {
+            b.iter(|| {
+                World::run(p, MachineConfig::test_tiny(), |comm| {
+                    comm.allgather(&vec![comm.rank() as u64; 1024]).unwrap().len()
+                })
+            })
+        });
+        g.bench_function(format!("alltoallv_p{p}"), |b| {
+            b.iter(|| {
+                World::run(p, MachineConfig::test_tiny(), |comm| {
+                    let blocks = vec![vec![1u64; 512]; comm.size()];
+                    comm.alltoallv(blocks).unwrap().len()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_two_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("two_phase_io");
+    g.sample_size(10);
+    let p = 8usize;
+    let elems = 4096usize;
+    g.throughput(Throughput::Bytes((p * elems * 8) as u64));
+    g.bench_function("interleaved_write_all", |b| {
+        b.iter(|| {
+            let pfs = Pfs::new(MachineConfig::test_tiny());
+            World::run(p, MachineConfig::test_tiny(), {
+                let pfs = Arc::clone(&pfs);
+                move |comm| {
+                    let mut f = MpiFile::open_collective(comm, &pfs, "b.dat", true).unwrap();
+                    let t = Datatype::resized(
+                        (p * 8) as u64,
+                        Datatype::indexed_block(1, vec![comm.rank() as u64], Datatype::double()),
+                    );
+                    f.set_view(comm, 0, t.flatten().unwrap()).unwrap();
+                    f.write_all(comm, 0, &vec![1.0f64; elems]).unwrap();
+                    f.close(comm);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_datatype_flatten,
+    bench_partitioner,
+    bench_metadb,
+    bench_collectives,
+    bench_two_phase
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Figure 5: execution time for partitioning indices and data in FUN3D.
+//!
+//! Three configurations, each split into the paper's two bars:
+//! `index distri.` and `import`:
+//!   1. Original — rank-0 read + broadcast, two-pass edge scan;
+//!   2. SDM without history — parallel MPI-IO import + ring distribution;
+//!   3. SDM with history — replay from the history file.
+//!
+//! Paper shape: Original > SDM(no history) > SDM(with history), with the
+//! history run's `index distri.` reduced to a contiguous history-file
+//! read and its `import` shrunk by the skipped edge arrays.
+//!
+//! Usage: `cargo run --release -p sdm-bench --bin fig5 [--scale F]
+//! [--procs N] [--machine origin2000|high-open-cost] [--seed S]`
+
+use std::sync::Arc;
+
+use sdm_apps::fun3d::{run_sdm, Fun3dOptions};
+use sdm_apps::original::fun3d_original_import;
+use sdm_apps::{Fun3dWorkload, PhaseReport};
+use sdm_bench::{aggregate, fresh_world, print_header, print_time_row, HarnessArgs};
+use sdm_mpi::World;
+
+fn main() {
+    let args = HarnessArgs::parse(std::env::args().skip(1));
+    let cfg = args.machine_config();
+    let procs = args.procs.unwrap_or(64);
+    let w = Fun3dWorkload::new(args.fun3d_nodes(), procs, args.seed);
+
+    print_header(
+        "Figure 5: FUN3D index distribution + import time",
+        &cfg,
+        &format!(
+            "procs={procs} nodes={} edges={} import={:.1}MB (paper: 64 procs, 2.2M nodes, 18M edges, 807MB)",
+            w.mesh.num_nodes(),
+            w.mesh.num_edges(),
+            w.import_bytes() as f64 / 1e6
+        ),
+    );
+
+    // --- Original ---
+    let (pfs, _db) = fresh_world(&cfg);
+    w.stage(&pfs);
+    let reports = World::run(procs, cfg.clone(), {
+        let (pfs, w) = (Arc::clone(&pfs), w.clone());
+        move |c| fun3d_original_import(c, &pfs, &w).unwrap().0
+    });
+    let orig = aggregate(reports);
+
+    // --- SDM without history ---
+    let (pfs, db) = fresh_world(&cfg);
+    w.stage(&pfs);
+    let no_hist: PhaseReport = aggregate(World::run(procs, cfg.clone(), {
+        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+        move |c| {
+            let opts = Fun3dOptions { register_history: true, ..Default::default() };
+            run_sdm(c, &pfs, &db, &w, &opts).unwrap().report
+        }
+    }));
+
+    // --- SDM with history (same pfs + db: the registration persists) ---
+    pfs.reset_timing();
+    let results = World::run(procs, cfg.clone(), {
+        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+        move |c| {
+            let opts = Fun3dOptions { use_history: true, ..Default::default() };
+            run_sdm(c, &pfs, &db, &w, &opts).unwrap()
+        }
+    });
+    assert!(results.iter().all(|r| r.history_hit), "history must hit on the second run");
+    let with_hist = aggregate(results.into_iter().map(|r| r.report).collect());
+
+    println!();
+    for (label, r) in [("Original", &orig), ("SDM (without history)", &no_hist), ("SDM (with history)", &with_hist)] {
+        print_time_row(
+            label,
+            &[
+                ("index_distri", r.get("index-distribution")),
+                ("import", r.get("import")),
+                ("total", r.get("index-distribution") + r.get("import")),
+            ],
+        );
+    }
+
+    // Shape checks (the paper's qualitative claims).
+    let t = |r: &PhaseReport| r.get("index-distribution") + r.get("import");
+    println!();
+    println!(
+        "shape: original/sdm = {:.2}x, no-history/history = {:.2}x",
+        t(&orig) / t(&no_hist),
+        t(&no_hist) / t(&with_hist)
+    );
+    assert!(t(&orig) > t(&no_hist), "SDM must beat the original");
+    assert!(
+        with_hist.get("import") <= no_hist.get("import"),
+        "history skips the edge import"
+    );
+    // Below ~1/8 of the paper's problem the fixed metadata costs of the
+    // history lookup (64 serialized DB round trips) outweigh the saved
+    // ring distribution — a real crossover; the paper's 807 MB workload
+    // sits far above it. Enforce the history claims only above it.
+    if args.scale >= 0.1 {
+        assert!(t(&no_hist) > t(&with_hist), "history must beat fresh distribution");
+        assert!(
+            with_hist.get("index-distribution") < no_hist.get("index-distribution"),
+            "history replaces the ring distribution with a contiguous read"
+        );
+        println!("PASS: Original > SDM(no hist) > SDM(hist), per-phase shape holds");
+    } else {
+        println!(
+            "PASS: Original > SDM. NOTE: at scale {} the run is below the history
+             crossover (metadata round trips outweigh the saved distribution);
+             rerun with --scale 0.125 or larger to see the paper's full shape.",
+            args.scale
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared harness utilities for the figure reproductions.
+//!
+//! Each `src/bin/figN.rs` binary regenerates one figure of the paper's
+//! evaluation; this library holds the common plumbing: argument parsing,
+//! world setup, report aggregation, and table printing.
+
+use std::sync::Arc;
+
+use sdm_apps::PhaseReport;
+use sdm_metadb::Database;
+use sdm_pfs::Pfs;
+use sdm_sim::MachineConfig;
+
+/// Common harness arguments (parsed from `--key value` pairs).
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Scale relative to the paper's workload (default 1/32).
+    pub scale: f64,
+    /// Process count override (paper defaults per figure otherwise).
+    pub procs: Option<usize>,
+    /// Machine preset: "origin2000" (default) or "high-open-cost".
+    pub machine: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self { scale: 1.0 / 32.0, procs: None, machine: "origin2000".into(), seed: 20010220 }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`-style strings.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let argv: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--scale" => {
+                    out.scale = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(out.scale);
+                    i += 2;
+                }
+                "--procs" => {
+                    out.procs = argv.get(i + 1).and_then(|v| v.parse().ok());
+                    i += 2;
+                }
+                "--machine" => {
+                    out.machine = argv.get(i + 1).cloned().unwrap_or(out.machine.clone());
+                    i += 2;
+                }
+                "--seed" => {
+                    out.seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(out.seed);
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        out
+    }
+
+    /// Resolve the machine preset.
+    pub fn machine_config(&self) -> MachineConfig {
+        match self.machine.as_str() {
+            "high-open-cost" => MachineConfig::high_open_cost(),
+            "test-tiny" => MachineConfig::test_tiny(),
+            _ => MachineConfig::origin2000(),
+        }
+    }
+
+    /// Paper-scale FUN3D node count times `scale`.
+    pub fn fun3d_nodes(&self) -> usize {
+        ((2_200_000.0 * self.scale) as usize).max(200)
+    }
+
+    /// Paper-scale RT node count times `scale`.
+    pub fn rt_nodes(&self) -> usize {
+        ((4_500_000.0 * self.scale) as usize).max(200)
+    }
+}
+
+/// Fresh (pfs, db) pair on a machine config.
+pub fn fresh_world(cfg: &MachineConfig) -> (Arc<Pfs>, Arc<Database>) {
+    (Pfs::new(cfg.clone()), Arc::new(Database::new()))
+}
+
+/// Aggregate per-rank reports to the figure's bar values (max over ranks).
+pub fn aggregate(reports: Vec<PhaseReport>) -> PhaseReport {
+    PhaseReport::reduce_max(&reports)
+}
+
+/// Print a figure table header.
+pub fn print_header(title: &str, cfg: &MachineConfig, extra: &str) {
+    println!("# {title}");
+    println!("# machine={} servers={} stripe={}B {extra}", cfg.name, cfg.io_servers, cfg.stripe_size);
+}
+
+/// Print one labeled seconds row.
+pub fn print_time_row(label: &str, phases: &[(&str, f64)]) {
+    print!("{label:<28}");
+    for (name, v) in phases {
+        print!(" {name}={v:>9.3}s");
+    }
+    println!();
+}
+
+/// Print one labeled bandwidth row.
+pub fn print_bw_row(label: &str, items: &[(&str, f64)]) {
+    print!("{label:<28}");
+    for (name, v) in items {
+        print!(" {name}={v:>8.1} MB/s");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_overrides() {
+        let a = HarnessArgs::parse(std::iter::empty());
+        assert_eq!(a.procs, None);
+        assert!((a.scale - 1.0 / 32.0).abs() < 1e-12);
+        let b = HarnessArgs::parse(
+            ["--scale", "0.5", "--procs", "16", "--machine", "high-open-cost", "--seed", "9"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(b.scale, 0.5);
+        assert_eq!(b.procs, Some(16));
+        assert_eq!(b.machine, "high-open-cost");
+        assert_eq!(b.seed, 9);
+        assert!(b.machine_config().io.open_cost > 0.1);
+    }
+
+    #[test]
+    fn scaled_sizes_have_floors() {
+        let a = HarnessArgs { scale: 1e-9, ..Default::default() };
+        assert!(a.fun3d_nodes() >= 200);
+        assert!(a.rt_nodes() >= 200);
+    }
+}

@@ -1,0 +1,309 @@
+//! History files: cache the index distribution across runs.
+//!
+//! After partitioning, "the local index subsets of all processes are
+//! asynchronously written to a history file, and the associated metadata
+//! is stored in database. When the same index distribution is needed in
+//! subsequent runs, the index values are read from the history file...
+//! thereby the user can avoid repeating the communication and
+//! computation". The history is keyed by (problem size, process count):
+//! it "cannot be used if the program is run on a different number of
+//! processes".
+//!
+//! Block format per rank (native endianness):
+//! `[magic u64][checksum u64][edge_count u64][node_count u64]
+//!  [ghost_count u64][edge_ids u64*E][e1 u32*E][e2 u32*E]
+//!  [owned u32*N][ghost u32*G]`
+
+use sdm_mpi::pod::{as_bytes, vec_from_bytes};
+use sdm_mpi::Comm;
+
+use crate::error::{SdmError, SdmResult};
+use crate::partition_api::PartitionedIndex;
+use crate::sdm::Sdm;
+use crate::tables::{self, HistoryBlock};
+
+const MAGIC: u64 = 0x5344_4D48_4953_5431; // "SDMHIST1"
+
+fn checksum(words: &[u8]) -> u64 {
+    // FNV-1a over the payload: cheap, deterministic, catches truncation
+    // and bit corruption.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in words {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Serialize one rank's block.
+pub(crate) fn encode_block(pi: &PartitionedIndex) -> Vec<u8> {
+    let e = pi.edge_ids.len();
+    let n = pi.owned_nodes.len();
+    let g = pi.ghost_nodes.len();
+    let mut payload = Vec::with_capacity(e * 16 + n * 4 + g * 4 + 24);
+    payload.extend_from_slice(&(e as u64).to_ne_bytes());
+    payload.extend_from_slice(&(n as u64).to_ne_bytes());
+    payload.extend_from_slice(&(g as u64).to_ne_bytes());
+    payload.extend_from_slice(as_bytes(&pi.edge_ids));
+    let e1: Vec<u32> = pi.edge_nodes.iter().map(|&(a, _)| a).collect();
+    let e2: Vec<u32> = pi.edge_nodes.iter().map(|&(_, b)| b).collect();
+    payload.extend_from_slice(as_bytes(&e1));
+    payload.extend_from_slice(as_bytes(&e2));
+    payload.extend_from_slice(as_bytes(&pi.owned_nodes));
+    payload.extend_from_slice(as_bytes(&pi.ghost_nodes));
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&MAGIC.to_ne_bytes());
+    out.extend_from_slice(&checksum(&payload).to_ne_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parse a block, verifying magic and checksum.
+pub(crate) fn decode_block(bytes: &[u8]) -> SdmResult<PartitionedIndex> {
+    if bytes.len() < 40 {
+        return Err(SdmError::BadHistory(format!("block too short: {} bytes", bytes.len())));
+    }
+    let magic = u64::from_ne_bytes(bytes[0..8].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(SdmError::BadHistory(format!("bad magic {magic:#x}")));
+    }
+    let want_sum = u64::from_ne_bytes(bytes[8..16].try_into().unwrap());
+    let payload = &bytes[16..];
+    if checksum(payload) != want_sum {
+        return Err(SdmError::BadHistory("checksum mismatch".into()));
+    }
+    let e = u64::from_ne_bytes(payload[0..8].try_into().unwrap()) as usize;
+    let n = u64::from_ne_bytes(payload[8..16].try_into().unwrap()) as usize;
+    let g = u64::from_ne_bytes(payload[16..24].try_into().unwrap()) as usize;
+    let need = 24 + e * 16 + n * 4 + g * 4;
+    if payload.len() != need {
+        return Err(SdmError::BadHistory(format!(
+            "payload length {} != expected {need}",
+            payload.len()
+        )));
+    }
+    let mut at = 24;
+    let edge_ids: Vec<u64> = vec_from_bytes(&payload[at..at + e * 8]);
+    at += e * 8;
+    let e1: Vec<u32> = vec_from_bytes(&payload[at..at + e * 4]);
+    at += e * 4;
+    let e2: Vec<u32> = vec_from_bytes(&payload[at..at + e * 4]);
+    at += e * 4;
+    let owned_nodes: Vec<u32> = vec_from_bytes(&payload[at..at + n * 4]);
+    at += n * 4;
+    let ghost_nodes: Vec<u32> = vec_from_bytes(&payload[at..at + g * 4]);
+    let edge_nodes = e1.into_iter().zip(e2).collect();
+    Ok(PartitionedIndex { edge_ids, edge_nodes, owned_nodes, ghost_nodes })
+}
+
+impl Sdm {
+    fn history_file_name(&self, problem_size: u64, nprocs: usize) -> String {
+        format!("{}.hist.{problem_size}.{nprocs}", self.app)
+    }
+
+    /// `SDM_index_registry`: write the partitioned index sets to a
+    /// history file (asynchronously — the caller is only charged the
+    /// enqueue cost) and store the per-rank metadata in `index_table` /
+    /// `index_history_table`. Optional per the paper. Collective.
+    pub fn index_registry(
+        &mut self,
+        comm: &mut Comm,
+        pi: &PartitionedIndex,
+        problem_size: u64,
+    ) -> SdmResult<()> {
+        let nprocs = comm.size();
+        let block = encode_block(pi);
+        let my_len = block.len() as u64;
+        let my_off = comm.exscan_sum(&[my_len])[0];
+
+        let name = self.history_file_name(problem_size, nprocs);
+        let (file, t) = self.pfs.open_or_create(&name, comm.now())?;
+        comm.sync_to(t);
+        // "the partitioned edges are asynchronously written"
+        let (caller_t, _bg_t) = self.pfs.write_at_async(&file, my_off, &block, comm.now())?;
+        comm.sync_to(caller_t);
+
+        // Rank 0 stores the registry row + every rank's block metadata.
+        let metas = comm.gather(
+            0,
+            &[
+                pi.edge_ids.len() as u64,
+                pi.owned_nodes.len() as u64,
+                pi.ghost_nodes.len() as u64,
+                my_off,
+                my_len,
+            ],
+        )?;
+        if let Some(metas) = metas {
+            tables::insert_index_registry(
+                &self.db,
+                problem_size as i64,
+                nprocs as i64,
+                self.cfg.dimension,
+                &name,
+            )?;
+            for (rank, m) in metas.iter().enumerate() {
+                tables::insert_history_block(
+                    &self.db,
+                    problem_size as i64,
+                    nprocs as i64,
+                    &HistoryBlock {
+                        rank: rank as i64,
+                        edge_count: m[0] as i64,
+                        node_count: m[1] as i64,
+                        ghost_count: m[2] as i64,
+                        file_offset: m[3] as i64,
+                        byte_len: m[4] as i64,
+                    },
+                )?;
+            }
+        }
+        let t = self.pfs.metadata_roundtrip(comm.now());
+        comm.sync_to(t);
+        // Registration must be visible before any rank can attempt a
+        // same-run replay lookup.
+        comm.barrier();
+        comm.counters().incr("sdm.history_writes");
+        Ok(())
+    }
+
+    /// Try to replay the index distribution from a registered history
+    /// file. Returns `None` (on every rank, consistently) when there is
+    /// no usable history — missing registration, missing/corrupt file —
+    /// in which case the caller falls back to the fresh distribution.
+    pub fn partition_index_from_history(
+        &mut self,
+        comm: &mut Comm,
+        problem_size: u64,
+    ) -> SdmResult<Option<PartitionedIndex>> {
+        let nprocs = comm.size();
+        // "the SDM_import first accesses the index table in the database
+        // to see whether a history file exists with this problem size"
+        let reg = tables::lookup_index_registry(&self.db, problem_size as i64, nprocs as i64)?;
+        let t = self.pfs.metadata_roundtrip(comm.now());
+        comm.sync_to(t);
+        let Some(name) = reg else {
+            return Ok(None);
+        };
+        let block = tables::lookup_history_block(
+            &self.db,
+            problem_size as i64,
+            nprocs as i64,
+            comm.rank() as i64,
+        )?;
+        let t = self.pfs.metadata_roundtrip(comm.now());
+        comm.sync_to(t);
+
+        // Read and validate my block; any rank's failure aborts for all.
+        let attempt: SdmResult<PartitionedIndex> = (|| {
+            let block = block.ok_or_else(|| {
+                SdmError::BadHistory(format!("no block row for rank {}", comm.rank()))
+            })?;
+            let (file, t) = self.pfs.open(&name, comm.now())?;
+            comm.sync_to(t);
+            let mut buf = vec![0u8; block.byte_len as usize];
+            let t = self
+                .pfs
+                .read_exact_at(&file, block.file_offset as u64, &mut buf, comm.now())?;
+            comm.sync_to(t);
+            let pi = decode_block(&buf)?;
+            if pi.edge_ids.len() as i64 != block.edge_count
+                || pi.owned_nodes.len() as i64 != block.node_count
+                || pi.ghost_nodes.len() as i64 != block.ghost_count
+            {
+                return Err(SdmError::BadHistory("block counts disagree with metadata".into()));
+            }
+            Ok(pi)
+        })();
+
+        let ok_here = attempt.is_ok() as u8;
+        let all_ok = comm.allreduce_min(&[ok_here])[0] == 1;
+        if !all_ok {
+            // Drop the poisoned registration so later runs go fresh
+            // immediately ("fall back to the fresh distribution").
+            if comm.rank() == 0 {
+                tables::delete_index_registry(&self.db, problem_size as i64, nprocs as i64)?;
+            }
+            comm.counters().incr("sdm.history_invalid");
+            return Ok(None);
+        }
+        comm.counters().incr("sdm.history_hits");
+        Ok(Some(attempt.expect("all_ok implies local ok")))
+    }
+
+    /// `SDM_partition_index`: the full paper semantics — use the history
+    /// file when one is registered for this (problem size, process
+    /// count), otherwise run the ring distribution. `edges` supplies the
+    /// freshly imported contiguous chunk for the fresh path (start id,
+    /// edge1, edge2).
+    pub fn partition_index(
+        &mut self,
+        comm: &mut Comm,
+        partitioning_vector: &[u32],
+        problem_size: u64,
+        edges: (u64, &[i32], &[i32]),
+    ) -> SdmResult<(PartitionedIndex, bool)> {
+        if let Some(pi) = self.partition_index_from_history(comm, problem_size)? {
+            return Ok((pi, true));
+        }
+        let (start_id, e1, e2) = edges;
+        let pi = self.partition_index_fresh(comm, partitioning_vector, start_id, e1, e2)?;
+        Ok((pi, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pi() -> PartitionedIndex {
+        PartitionedIndex {
+            edge_ids: vec![3, 7, 9],
+            edge_nodes: vec![(0, 1), (1, 2), (2, 5)],
+            owned_nodes: vec![1, 2],
+            ghost_nodes: vec![0, 5],
+        }
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let pi = sample_pi();
+        let bytes = encode_block(&pi);
+        let back = decode_block(&bytes).unwrap();
+        assert_eq!(back, pi);
+    }
+
+    #[test]
+    fn empty_block_round_trip() {
+        let pi = PartitionedIndex {
+            edge_ids: vec![],
+            edge_nodes: vec![],
+            owned_nodes: vec![],
+            ghost_nodes: vec![],
+        };
+        let bytes = encode_block(&pi);
+        assert_eq!(decode_block(&bytes).unwrap(), pi);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = encode_block(&sample_pi());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(decode_block(&bytes), Err(SdmError::BadHistory(_))));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode_block(&sample_pi());
+        assert!(decode_block(&bytes[..bytes.len() - 4]).is_err());
+        assert!(decode_block(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_detected() {
+        let mut bytes = encode_block(&sample_pi());
+        bytes[0] ^= 1;
+        assert!(matches!(decode_block(&bytes), Err(SdmError::BadHistory(m)) if m.contains("magic")));
+    }
+}

@@ -1,0 +1,43 @@
+//! SDM — the Scientific Data Manager for irregular applications.
+//!
+//! This is the paper's contribution: a high-level API that hides MPI-IO
+//! and the metadata database behind dataset-level operations. The
+//! structure mirrors the paper's Figures 2-4:
+//!
+//! * [`sdm::Sdm`] — per-rank handle. `initialize` connects "the
+//!   database" and creates the six metadata tables; `set_attributes`
+//!   registers a data group; `data_view` installs a map-array view;
+//!   `write`/`read` move datasets with collective noncontiguous MPI-IO;
+//!   `finalize` closes everything out.
+//! * [`import`] — the import path for data created *outside* SDM
+//!   (the `uns3d.msh` mesh file): `make_importlist`, contiguous domain
+//!   imports, and irregularly distributed imports through map arrays.
+//! * [`partition_api`] — `partition_table` / `partition_index`: the
+//!   replicated partitioning vector, the ring-pipelined edge
+//!   distribution with ghost edges/nodes, and the dynamically doubled
+//!   receive buffers (single-pass import).
+//! * [`history`] — `index_registry` and history-file replay: partitioned
+//!   index sets written asynchronously, indexed in the database, and
+//!   reused by later runs with the same problem size and process count.
+//! * [`org`] — the three file organizations (Level 1 / 2 / 3) and the
+//!   `execution_table` offset bookkeeping.
+//! * [`tables`] — the six SQL tables of Figure 4.
+
+pub mod dataset;
+pub mod error;
+pub mod history;
+pub mod import;
+pub mod memory;
+pub mod org;
+pub mod partition_api;
+pub mod sdm;
+pub mod tables;
+pub mod types;
+pub mod view;
+
+pub use dataset::{DatasetDesc, ImportDesc};
+pub use error::{SdmError, SdmResult};
+pub use org::OrgLevel;
+pub use partition_api::PartitionedIndex;
+pub use sdm::{GroupHandle, Sdm, SdmConfig};
+pub use types::{AccessPattern, SdmType, StorageOrder};

@@ -1,0 +1,109 @@
+//! Dynamically doubled buffers.
+//!
+//! The paper: "a certain amount of memory space is initially allocated to
+//! each process. When the entire memory space is occupied by the
+//! partitioned data, it is automatically doubled... This prevents the
+//! system from looking through the entire data in two steps" — i.e. the
+//! original FUN3D counted first, then read; SDM reads once, growing with
+//! `realloc`. This type reproduces that behaviour (and exposes the
+//! realloc count so the A3 ablation can price the difference).
+
+/// A growable buffer with explicit doubling semantics.
+#[derive(Debug, Clone)]
+pub struct DoublingBuf<T> {
+    data: Vec<T>,
+    initial_capacity: usize,
+    reallocs: usize,
+}
+
+impl<T> DoublingBuf<T> {
+    /// A buffer with the given initial capacity (the paper's "certain
+    /// amount of memory space").
+    pub fn with_initial_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self { data: Vec::with_capacity(cap), initial_capacity: cap, reallocs: 0 }
+    }
+
+    /// Append, doubling the allocation when full (one `realloc`).
+    pub fn push(&mut self, v: T) {
+        if self.data.len() == self.data.capacity() {
+            self.data.reserve_exact(self.data.capacity());
+            self.reallocs += 1;
+        }
+        self.data.push(v);
+    }
+
+    /// Number of times the buffer doubled.
+    pub fn reallocs(&self) -> usize {
+        self.reallocs
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consume into a `Vec`.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// The configured initial capacity.
+    pub fn initial_capacity(&self) -> usize {
+        self.initial_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_by_doubling() {
+        let mut b = DoublingBuf::with_initial_capacity(4);
+        for i in 0..4 {
+            b.push(i);
+        }
+        assert_eq!(b.reallocs(), 0);
+        b.push(4); // 4 -> 8
+        assert_eq!(b.reallocs(), 1);
+        for i in 5..8 {
+            b.push(i);
+        }
+        assert_eq!(b.reallocs(), 1);
+        b.push(8); // 8 -> 16
+        assert_eq!(b.reallocs(), 2);
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.as_slice()[8], 8);
+    }
+
+    #[test]
+    fn realloc_count_is_logarithmic() {
+        let mut b = DoublingBuf::with_initial_capacity(8);
+        for i in 0..10_000 {
+            b.push(i);
+        }
+        // ceil(log2(10000/8)) = 11 doublings.
+        assert_eq!(b.reallocs(), 11);
+        assert_eq!(b.into_vec().len(), 10_000);
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let mut b = DoublingBuf::with_initial_capacity(0);
+        b.push(1u8);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        assert_eq!(b.initial_capacity(), 1);
+    }
+}

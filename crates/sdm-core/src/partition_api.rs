@@ -1,0 +1,356 @@
+//! Index partitioning: partitioning vector, ring-pipelined edge
+//! distribution, ghosts, and the doubling receive buffers.
+//!
+//! Paper, Section 3.2: every rank imports a contiguous chunk of the
+//! `edge1`/`edge2` arrays, then the chunks circulate around a ring; at
+//! each step a rank keeps every passing edge with at least one endpoint
+//! it owns ("if at least a node of an edge has been partitioned to a
+//! process, the edge is assigned to the process" — shared edges become
+//! ghost edges on both sides). Nodes partition by the replicated
+//! partitioning vector; nodes touched by my edges but owned elsewhere
+//! become ghost nodes.
+
+use sdm_mpi::envelope::tags;
+use sdm_mpi::pod::{as_bytes, vec_from_bytes};
+use sdm_mpi::Comm;
+
+use crate::error::{SdmError, SdmResult};
+use crate::memory::DoublingBuf;
+use crate::sdm::{GroupHandle, Sdm};
+
+/// The outcome of `SDM_partition_index` + `SDM_partition_table`: this
+/// rank's share of the irregular problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedIndex {
+    /// Global ids of my edges (sorted ascending), ghosts included.
+    pub edge_ids: Vec<u64>,
+    /// Edge endpoints aligned with `edge_ids`.
+    pub edge_nodes: Vec<(u32, u32)>,
+    /// Nodes owned by this rank (partitioning vector says so), sorted.
+    pub owned_nodes: Vec<u32>,
+    /// Ghost nodes: endpoints of my edges owned by other ranks, sorted.
+    pub ghost_nodes: Vec<u32>,
+}
+
+impl PartitionedIndex {
+    /// `SDM_partition_index_size`: number of local (incl. ghost) edges.
+    pub fn index_size(&self) -> usize {
+        self.edge_ids.len()
+    }
+
+    /// `SDM_partition_data_size`: number of owned nodes.
+    pub fn data_size(&self) -> usize {
+        self.owned_nodes.len()
+    }
+
+    /// Owned + ghost nodes, merged sorted (the map array for node-data
+    /// imports that must cover ghosts).
+    pub fn all_nodes(&self) -> Vec<u32> {
+        let mut all = Vec::with_capacity(self.owned_nodes.len() + self.ghost_nodes.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.owned_nodes.len() || j < self.ghost_nodes.len() {
+            match (self.owned_nodes.get(i), self.ghost_nodes.get(j)) {
+                (Some(&a), Some(&b)) if a < b => {
+                    all.push(a);
+                    i += 1;
+                }
+                (Some(&a), Some(&b)) if b < a => {
+                    all.push(b);
+                    j += 1;
+                }
+                (Some(&a), Some(_)) => {
+                    // Equal should not happen (ghosts are disjoint from owned).
+                    all.push(a);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&a), None) => {
+                    all.push(a);
+                    i += 1;
+                }
+                (None, Some(&b)) => {
+                    all.push(b);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        all
+    }
+
+    /// Map arrays as u64 (for file views).
+    pub fn owned_nodes_u64(&self) -> Vec<u64> {
+        self.owned_nodes.iter().map(|&n| n as u64).collect()
+    }
+
+    /// Edge map array as u64.
+    pub fn edge_ids_u64(&self) -> Vec<u64> {
+        self.edge_ids.clone()
+    }
+}
+
+/// Pack an edge chunk for the ring: `[n][ids][e1][e2]`.
+fn pack_chunk(ids: &[u64], e1: &[i32], e2: &[i32]) -> Vec<u8> {
+    debug_assert!(ids.len() == e1.len() && ids.len() == e2.len());
+    let mut msg = Vec::with_capacity(8 + ids.len() * 16);
+    msg.extend_from_slice(&(ids.len() as u64).to_ne_bytes());
+    msg.extend_from_slice(as_bytes(ids));
+    msg.extend_from_slice(as_bytes(e1));
+    msg.extend_from_slice(as_bytes(e2));
+    msg
+}
+
+fn unpack_chunk(msg: &[u8]) -> SdmResult<(Vec<u64>, Vec<i32>, Vec<i32>)> {
+    if msg.len() < 8 {
+        return Err(SdmError::Usage("short ring message".into()));
+    }
+    let n = u64::from_ne_bytes(msg[..8].try_into().unwrap()) as usize;
+    let need = 8 + n * 8 + n * 4 + n * 4;
+    if msg.len() != need {
+        return Err(SdmError::Usage(format!("ring message length {} != expected {need}", msg.len())));
+    }
+    let ids = vec_from_bytes(&msg[8..8 + n * 8]);
+    let e1 = vec_from_bytes(&msg[8 + n * 8..8 + n * 8 + n * 4]);
+    let e2 = vec_from_bytes(&msg[8 + n * 12..]);
+    Ok((ids, e1, e2))
+}
+
+impl Sdm {
+    /// `SDM_partition_table`: convert the replicated partitioning vector
+    /// into this rank's owned-node list ("to determine which node should
+    /// be assigned to which process"). Local; charges one scan.
+    pub fn partition_table(&self, comm: &mut Comm, partitioning_vector: &[u32]) -> Vec<u32> {
+        let me = comm.rank() as u32;
+        let owned: Vec<u32> = partitioning_vector
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == me)
+            .map(|(n, _)| n as u32)
+            .collect();
+        comm.compute(partitioning_vector.len() as f64 * self.cfg.per_edge_scan_cost * 0.25);
+        owned
+    }
+
+    /// `SDM_partition_index` (fresh path): distribute edges by
+    /// circulating each rank's imported chunk around the ring. `start_id`
+    /// is the global id of `e1[0]` (from the contiguous import);
+    /// `partitioning_vector` is replicated. Collective.
+    ///
+    /// The history-file fast path lives in [`Sdm::partition_index`]
+    /// (`crate::history`), which calls this on a miss.
+    pub fn partition_index_fresh(
+        &self,
+        comm: &mut Comm,
+        partitioning_vector: &[u32],
+        start_id: u64,
+        e1: &[i32],
+        e2: &[i32],
+    ) -> SdmResult<PartitionedIndex> {
+        if e1.len() != e2.len() {
+            return Err(SdmError::Usage("edge1/edge2 length mismatch".into()));
+        }
+        let me = comm.rank() as u32;
+        let p = comm.size();
+        let right = (comm.rank() + 1) % p;
+        let left = (comm.rank() + p - 1) % p;
+
+        let mut cur_ids: Vec<u64> = (start_id..start_id + e1.len() as u64).collect();
+        let mut cur_e1 = e1.to_vec();
+        let mut cur_e2 = e2.to_vec();
+
+        // Doubling buffers: single-pass collection (the paper's realloc
+        // trick — no counting pre-pass).
+        let mut keep_ids = DoublingBuf::with_initial_capacity(self.cfg.initial_buf_capacity);
+        let mut keep_nodes = DoublingBuf::with_initial_capacity(self.cfg.initial_buf_capacity);
+
+        for step in 0..p {
+            for k in 0..cur_ids.len() {
+                let (a, b) = (cur_e1[k], cur_e2[k]);
+                let (a, b) = (a as usize, b as usize);
+                if a >= partitioning_vector.len() || b >= partitioning_vector.len() {
+                    return Err(SdmError::Usage(format!(
+                        "edge ({a}, {b}) out of range for partitioning vector of {}",
+                        partitioning_vector.len()
+                    )));
+                }
+                if partitioning_vector[a] == me || partitioning_vector[b] == me {
+                    keep_ids.push(cur_ids[k]);
+                    keep_nodes.push((cur_e1[k] as u32, cur_e2[k] as u32));
+                }
+            }
+            // One pass over the circulating chunk.
+            comm.compute(cur_ids.len() as f64 * self.cfg.per_edge_scan_cost);
+            if step + 1 < p {
+                // "the edges in each process are moved to the next
+                // process located at a ring network"
+                let msg = pack_chunk(&cur_ids, &cur_e1, &cur_e2);
+                comm.send_bytes(right, tags::SDM_RING, &msg)?;
+                let incoming = comm.recv_bytes(left, tags::SDM_RING)?;
+                let (ids, a, b) = unpack_chunk(&incoming)?;
+                cur_ids = ids;
+                cur_e1 = a;
+                cur_e2 = b;
+            }
+        }
+
+        // Sort my edges by global id (ring arrival order is rotated).
+        let mut order: Vec<u32> = (0..keep_ids.len() as u32).collect();
+        let kept_ids = keep_ids.into_vec();
+        let kept_nodes = keep_nodes.into_vec();
+        order.sort_unstable_by_key(|&k| kept_ids[k as usize]);
+        let edge_ids: Vec<u64> = order.iter().map(|&k| kept_ids[k as usize]).collect();
+        let edge_nodes: Vec<(u32, u32)> = order.iter().map(|&k| kept_nodes[k as usize]).collect();
+
+        // Owned and ghost nodes.
+        let owned_nodes = self.partition_table(comm, partitioning_vector);
+        let mut ghost: Vec<u32> = edge_nodes
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .filter(|&n| partitioning_vector[n as usize] != me)
+            .collect();
+        ghost.sort_unstable();
+        ghost.dedup();
+
+        comm.counters().incr("sdm.index_distributions");
+        Ok(PartitionedIndex { edge_ids, edge_nodes, owned_nodes, ghost_nodes: ghost })
+    }
+
+    /// Sequential reference implementation of the edge distribution
+    /// (used by tests and the "original application" baseline): given the
+    /// full edge list, compute the partition for `rank` directly.
+    pub fn partition_index_reference(
+        partitioning_vector: &[u32],
+        e1: &[i32],
+        e2: &[i32],
+        rank: u32,
+    ) -> PartitionedIndex {
+        let mut edge_ids = Vec::new();
+        let mut edge_nodes = Vec::new();
+        for k in 0..e1.len() {
+            let (a, b) = (e1[k] as usize, e2[k] as usize);
+            if partitioning_vector[a] == rank || partitioning_vector[b] == rank {
+                edge_ids.push(k as u64);
+                edge_nodes.push((e1[k] as u32, e2[k] as u32));
+            }
+        }
+        let owned_nodes: Vec<u32> = partitioning_vector
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == rank)
+            .map(|(n, _)| n as u32)
+            .collect();
+        let mut ghost: Vec<u32> = edge_nodes
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .filter(|&n| partitioning_vector[n as usize] != rank)
+            .collect();
+        ghost.sort_unstable();
+        ghost.dedup();
+        PartitionedIndex { edge_ids, edge_nodes, owned_nodes, ghost_nodes: ghost }
+    }
+
+    /// Import the per-edge data arrays for the partitioned edges
+    /// (Figure 3's "Import x"): a collective irregular import through the
+    /// edge map array.
+    pub fn partition_data_edges(
+        &mut self,
+        comm: &mut Comm,
+        h: GroupHandle,
+        name: &str,
+        file_offset: u64,
+        pi: &PartitionedIndex,
+        total_edges: u64,
+    ) -> SdmResult<Vec<f64>> {
+        self.import_view::<f64>(comm, h, name, file_offset, &pi.edge_ids_u64(), total_edges)
+    }
+
+    /// Import the per-node data arrays for owned + ghost nodes
+    /// (Figure 3's "Import y").
+    pub fn partition_data_nodes(
+        &mut self,
+        comm: &mut Comm,
+        h: GroupHandle,
+        name: &str,
+        file_offset: u64,
+        pi: &PartitionedIndex,
+        total_nodes: u64,
+    ) -> SdmResult<Vec<f64>> {
+        let map: Vec<u64> = pi.all_nodes().iter().map(|&n| n as u64).collect();
+        self.import_view::<f64>(comm, h, name, file_offset, &map, total_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let ids = vec![5u64, 9, 11];
+        let e1 = vec![0i32, 2, 4];
+        let e2 = vec![1i32, 3, 5];
+        let msg = pack_chunk(&ids, &e1, &e2);
+        let (i2, a2, b2) = unpack_chunk(&msg).unwrap();
+        assert_eq!((i2, a2, b2), (ids, e1, e2));
+    }
+
+    #[test]
+    fn unpack_rejects_garbage() {
+        assert!(unpack_chunk(&[1, 2, 3]).is_err());
+        let mut msg = pack_chunk(&[1], &[0], &[1]);
+        msg.pop();
+        assert!(unpack_chunk(&msg).is_err());
+    }
+
+    #[test]
+    fn reference_matches_paper_example() {
+        // Figure 1: 5 nodes, partitioning vector [0,1,1,0,1], 4 edges
+        // with edge1 = [0,1,0,1], edge2 = [1,4,3,2], i.e. e0=(0,1),
+        // e1=(1,4), e2=(0,3), e3=(1,2). The paper's stated outcome:
+        // "edges 0 and 2 are assigned to process 0, and edges 0, 1, and
+        // 3 are assigned to process 1".
+        let pv = vec![0u32, 1, 1, 0, 1];
+        let e1 = vec![0, 1, 0, 1];
+        let e2 = vec![1, 4, 3, 2];
+        let p0 = Sdm::partition_index_reference(&pv, &e1, &e2, 0);
+        let p1 = Sdm::partition_index_reference(&pv, &e1, &e2, 1);
+        assert_eq!(p0.edge_ids, vec![0, 2], "p0 gets edges touching nodes 0 or 3");
+        assert_eq!(p1.edge_ids, vec![0, 1, 3], "p1 gets edges touching nodes 1, 2, 4");
+        // Nodes: p0 owns {0,3}, p1 owns {1,2,4} (paper: "nodes 0 and 3
+        // are assigned to process 0, and nodes 1, 2, and 4 to process 1").
+        assert_eq!(p0.owned_nodes, vec![0, 3]);
+        assert_eq!(p1.owned_nodes, vec![1, 2, 4]);
+        // Ghosts: edge 0 is "a ghost edge of both processes"; p0 sees
+        // node 1 through it, p1 sees node 0.
+        assert_eq!(p0.ghost_nodes, vec![1]);
+        assert_eq!(p1.ghost_nodes, vec![0]);
+        // Paper: "nodes 0, 1, and 3 are assigned to process 0, and nodes
+        // 0, 1, 2, and 4 to process 1" (owned + ghost views).
+        assert_eq!(p0.all_nodes(), vec![0, 1, 3]);
+        assert_eq!(p1.all_nodes(), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn edge_shared_by_both_is_ghost_on_both() {
+        let pv = vec![0u32, 1];
+        let e1 = vec![0];
+        let e2 = vec![1];
+        let p0 = Sdm::partition_index_reference(&pv, &e1, &e2, 0);
+        let p1 = Sdm::partition_index_reference(&pv, &e1, &e2, 1);
+        assert_eq!(p0.edge_ids, vec![0]);
+        assert_eq!(p1.edge_ids, vec![0]);
+        assert_eq!(p0.index_size() + p1.index_size(), 2, "shared edge counted on both");
+    }
+
+    #[test]
+    fn all_nodes_merges_sorted() {
+        let pi = PartitionedIndex {
+            edge_ids: vec![],
+            edge_nodes: vec![],
+            owned_nodes: vec![1, 4, 6],
+            ghost_nodes: vec![0, 5],
+        };
+        assert_eq!(pi.all_nodes(), vec![0, 1, 4, 5, 6]);
+        assert_eq!(pi.data_size(), 3);
+    }
+}

@@ -1,0 +1,470 @@
+//! The SDM handle: initialize, attributes, views, write/read, finalize.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sdm_metadb::Database;
+use sdm_mpi::io::MpiFile;
+use sdm_mpi::pod::Pod;
+use sdm_mpi::Comm;
+use sdm_pfs::Pfs;
+
+use crate::dataset::{DatasetDesc, ImportDesc};
+use crate::error::{SdmError, SdmResult};
+use crate::org::OrgLevel;
+use crate::tables;
+use crate::view::DataView;
+
+/// Tunables for an SDM instance.
+#[derive(Debug, Clone)]
+pub struct SdmConfig {
+    /// File organization for result datasets.
+    pub org: OrgLevel,
+    /// Modeled CPU cost of examining one edge during index partitioning
+    /// (one pass). The original FUN3D import pays this twice per edge
+    /// (count pass + read pass); SDM pays it once.
+    pub per_edge_scan_cost: f64,
+    /// Initial capacity of the doubling receive buffers.
+    pub initial_buf_capacity: usize,
+    /// Date recorded in `run_table` (year, month, day).
+    pub run_date: (i64, i64, i64),
+    /// Time recorded in `run_table` (hour, minute).
+    pub run_time: (i64, i64),
+    /// Spatial dimension recorded in the metadata.
+    pub dimension: i64,
+}
+
+impl Default for SdmConfig {
+    fn default() -> Self {
+        Self {
+            org: OrgLevel::Level2,
+            per_edge_scan_cost: 100e-9,
+            initial_buf_capacity: 1024,
+            run_date: (2001, 2, 20), // the paper's arXiv date
+            run_time: (12, 0),
+            dimension: 3,
+        }
+    }
+}
+
+/// Handle to a data group created by `set_attributes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupHandle(pub(crate) usize);
+
+impl GroupHandle {
+    /// The group's position in creation order. Group indices are part of
+    /// Level 2/3 file names, so layers that re-attach to a previous run
+    /// (e.g. `sdm-sci` containers) persist and replay them.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// One data group: datasets sharing attributes and (under Level 3) a file.
+pub(crate) struct DataGroup {
+    pub(crate) datasets: Vec<DatasetDesc>,
+    pub(crate) views: HashMap<String, DataView>,
+    /// Rank-local cache of open files (Level 2/3 keep files open across
+    /// timesteps — that is the point of those levels).
+    pub(crate) open_files: HashMap<String, MpiFile>,
+    /// Append cursor per file (bytes). Updated identically on all ranks.
+    pub(crate) append_offsets: HashMap<String, u64>,
+    pub(crate) imports: Vec<ImportDesc>,
+}
+
+/// The per-rank SDM instance (the paper's `handle`).
+pub struct Sdm {
+    pub(crate) pfs: Arc<Pfs>,
+    pub(crate) db: Arc<Database>,
+    pub(crate) app: String,
+    pub(crate) runid: i64,
+    pub(crate) cfg: SdmConfig,
+    pub(crate) groups: Vec<DataGroup>,
+    /// Whether this run's `run_table` row exists yet (the first
+    /// `set_attributes` or an explicit `record_run` writes it).
+    pub(crate) run_recorded: bool,
+}
+
+impl Sdm {
+    /// `SDM_initialize`: establish the database connection, create the
+    /// six metadata tables, and agree on a run id. Collective.
+    pub fn initialize(
+        comm: &mut Comm,
+        pfs: &Arc<Pfs>,
+        db: &Arc<Database>,
+        application: &str,
+    ) -> SdmResult<Self> {
+        Self::initialize_with(comm, pfs, db, application, SdmConfig::default())
+    }
+
+    /// [`Sdm::initialize`] with explicit configuration.
+    pub fn initialize_with(
+        comm: &mut Comm,
+        pfs: &Arc<Pfs>,
+        db: &Arc<Database>,
+        application: &str,
+        cfg: SdmConfig,
+    ) -> SdmResult<Self> {
+        let runid = if comm.rank() == 0 {
+            tables::create_all(db)?;
+            tables::next_runid(db)?
+        } else {
+            0
+        };
+        // Everyone charges the DB round trip; rank 0's id wins.
+        let t = pfs.metadata_roundtrip(comm.now());
+        comm.sync_to(t);
+        let runid = comm.bcast(0, &[runid])?[0];
+        Ok(Self {
+            pfs: Arc::clone(pfs),
+            db: Arc::clone(db),
+            app: application.to_string(),
+            runid,
+            cfg,
+            groups: Vec::new(),
+            run_recorded: false,
+        })
+    }
+
+    /// Attach to an *existing* run's metadata instead of opening a new
+    /// run: no new `run_table` row is created and reads resolve against
+    /// `runid`'s execution records. This is how post-processing tools
+    /// (the visualization support the paper's summary plans, and the
+    /// `sdm-sci` containers built on SDM) reopen data a previous run
+    /// wrote. Collective.
+    pub fn attach(
+        comm: &mut Comm,
+        pfs: &Arc<Pfs>,
+        db: &Arc<Database>,
+        application: &str,
+        runid: i64,
+        cfg: SdmConfig,
+    ) -> SdmResult<Self> {
+        if comm.rank() == 0 {
+            tables::create_all(db)?;
+        }
+        let t = pfs.metadata_roundtrip(comm.now());
+        comm.sync_to(t);
+        comm.barrier();
+        Ok(Self {
+            pfs: Arc::clone(pfs),
+            db: Arc::clone(db),
+            app: application.to_string(),
+            runid,
+            cfg,
+            groups: Vec::new(),
+            run_recorded: true, // the original run wrote the row
+        })
+    }
+
+    /// This run's id in the metadata tables.
+    pub fn runid(&self) -> i64 {
+        self.runid
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SdmConfig {
+        &self.cfg
+    }
+
+    /// The application name.
+    pub fn application(&self) -> &str {
+        &self.app
+    }
+
+    /// The file system data goes to.
+    pub fn pfs(&self) -> &Arc<Pfs> {
+        &self.pfs
+    }
+
+    /// The metadata database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    pub(crate) fn group(&self, h: GroupHandle) -> SdmResult<&DataGroup> {
+        self.groups.get(h.0).ok_or_else(|| SdmError::Usage(format!("bad group handle {}", h.0)))
+    }
+
+    pub(crate) fn group_mut(&mut self, h: GroupHandle) -> SdmResult<&mut DataGroup> {
+        self.groups
+            .get_mut(h.0)
+            .ok_or_else(|| SdmError::Usage(format!("bad group handle {}", h.0)))
+    }
+
+    pub(crate) fn dataset<'a>(
+        group: &'a DataGroup,
+        name: &str,
+    ) -> SdmResult<&'a DatasetDesc> {
+        group
+            .datasets
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| SdmError::NoSuchDataset(name.to_string()))
+    }
+
+    /// `SDM_set_attributes`: register a data group. Rank 0 stores the run
+    /// row (first group only) and one `access_pattern_table` row per
+    /// dataset. Collective.
+    pub fn set_attributes(
+        &mut self,
+        comm: &mut Comm,
+        datasets: Vec<DatasetDesc>,
+    ) -> SdmResult<GroupHandle> {
+        if datasets.is_empty() {
+            return Err(SdmError::Usage("a data group needs at least one dataset".into()));
+        }
+        if comm.rank() == 0 {
+            if !self.run_recorded {
+                tables::insert_run(
+                    &self.db,
+                    self.runid,
+                    &self.app,
+                    self.cfg.dimension,
+                    datasets[0].global_size as i64,
+                    0,
+                    self.cfg.run_date,
+                    self.cfg.run_time,
+                )?;
+            }
+            for d in &datasets {
+                tables::insert_access_pattern(
+                    &self.db,
+                    self.runid,
+                    &d.name,
+                    d.data_type.sql_name(),
+                    d.storage_order.sql_name(),
+                    d.access_pattern.sql_name(),
+                    d.global_size as i64,
+                )?;
+            }
+        }
+        let t = self.pfs.metadata_roundtrip(comm.now());
+        comm.sync_to(t);
+        comm.barrier();
+        self.run_recorded = true;
+        self.groups.push(DataGroup {
+            datasets,
+            views: HashMap::new(),
+            open_files: HashMap::new(),
+            append_offsets: HashMap::new(),
+            imports: Vec::new(),
+        });
+        Ok(GroupHandle(self.groups.len() - 1))
+    }
+
+    /// Write this run's `run_table` row explicitly (normally the first
+    /// `set_attributes` does it). Container layers use this so an empty
+    /// container is still discoverable by `latest_runid_for_app`.
+    /// Collective; idempotent.
+    pub fn record_run(&mut self, comm: &mut Comm, problem_size: u64) -> SdmResult<()> {
+        if comm.rank() == 0 && !self.run_recorded {
+            tables::insert_run(
+                &self.db,
+                self.runid,
+                &self.app,
+                self.cfg.dimension,
+                problem_size as i64,
+                0,
+                self.cfg.run_date,
+                self.cfg.run_time,
+            )?;
+        }
+        let t = self.pfs.metadata_roundtrip(comm.now());
+        comm.sync_to(t);
+        comm.barrier();
+        self.run_recorded = true;
+        Ok(())
+    }
+
+    /// Rebuild a data-group handle for datasets whose metadata a
+    /// *previous* run already recorded — no new rows are written. Used
+    /// together with [`Sdm::attach`] when reopening existing data.
+    /// Collective; handles are assigned in call order, so callers must
+    /// re-register groups in the original creation order for Level 3
+    /// file names to resolve.
+    pub fn attach_group(
+        &mut self,
+        comm: &mut Comm,
+        datasets: Vec<DatasetDesc>,
+    ) -> SdmResult<GroupHandle> {
+        if datasets.is_empty() {
+            return Err(SdmError::Usage("a data group needs at least one dataset".into()));
+        }
+        comm.barrier();
+        self.groups.push(DataGroup {
+            datasets,
+            views: HashMap::new(),
+            open_files: HashMap::new(),
+            append_offsets: HashMap::new(),
+            imports: Vec::new(),
+        });
+        Ok(GroupHandle(self.groups.len() - 1))
+    }
+
+    /// `SDM_data_view`: install the map array for a dataset. `map[i]` is
+    /// the global element index of the caller's `i`-th local element.
+    pub fn data_view(
+        &mut self,
+        comm: &mut Comm,
+        h: GroupHandle,
+        dataset: &str,
+        map: &[u64],
+    ) -> SdmResult<()> {
+        let (global_size, ty) = {
+            let g = self.group(h)?;
+            let d = Self::dataset(g, dataset)?;
+            (d.global_size, d.data_type)
+        };
+        let view = DataView::compile(map, global_size, ty)?;
+        // Sorting/compiling the map costs CPU proportional to its size.
+        comm.compute(map.len() as f64 * self.cfg.per_edge_scan_cost * 0.2);
+        self.group_mut(h)?.views.insert(dataset.to_string(), view);
+        Ok(())
+    }
+
+    fn open_cached(
+        &mut self,
+        comm: &mut Comm,
+        h: GroupHandle,
+        file_name: &str,
+    ) -> SdmResult<()> {
+        if !self.group(h)?.open_files.contains_key(file_name) {
+            let f = MpiFile::open_collective(comm, &self.pfs, file_name, true)?;
+            self.group_mut(h)?.open_files.insert(file_name.to_string(), f);
+        }
+        Ok(())
+    }
+
+    /// `SDM_write`: collectively write a dataset at a timestep through
+    /// its installed view. `buf` is in the caller's local element order.
+    pub fn write<T: Pod>(
+        &mut self,
+        comm: &mut Comm,
+        h: GroupHandle,
+        dataset: &str,
+        timestep: i64,
+        buf: &[T],
+    ) -> SdmResult<()> {
+        let (file_name, global_bytes) = {
+            let g = self.group(h)?;
+            let d = Self::dataset(g, dataset)?;
+            if std::mem::size_of::<T>() as u64 != d.data_type.size() {
+                return Err(SdmError::Usage(format!(
+                    "element size {} does not match dataset type ({} bytes)",
+                    std::mem::size_of::<T>(),
+                    d.data_type.size()
+                )));
+            }
+            (
+                self.cfg.org.file_name(&self.app, h.0, dataset, timestep),
+                d.global_size * d.data_type.size(),
+            )
+        };
+        // Base offset: Level 1 writes at 0 in a dedicated file; Level 2/3
+        // append one full global-array region per (dataset, timestep).
+        let base = {
+            let g = self.group_mut(h)?;
+            let cursor = g.append_offsets.entry(file_name.clone()).or_insert(0);
+            let base = *cursor;
+            *cursor += global_bytes;
+            base
+        };
+        self.open_cached(comm, h, &file_name)?;
+        let (file_ordered, ftype) = {
+            let g = self.group(h)?;
+            let view = g
+                .views
+                .get(dataset)
+                .ok_or_else(|| SdmError::NoView(dataset.to_string()))?;
+            (view.to_file_order(buf)?, view.ftype.clone())
+        };
+        {
+            let g = self.group_mut(h)?;
+            let f = g.open_files.get_mut(&file_name).expect("cached above");
+            f.set_view(comm, base, ftype)?;
+            f.write_all(comm, 0, &file_ordered)?;
+        }
+        if comm.rank() == 0 {
+            tables::insert_execution(&self.db, self.runid, dataset, timestep, base as i64, &file_name)?;
+        }
+        let t = self.pfs.metadata_roundtrip(comm.now());
+        comm.sync_to(t);
+        // The offset row must be visible before any rank can issue a
+        // read for this (dataset, timestep) — reads look it up on every
+        // rank, not just rank 0.
+        comm.barrier();
+        if self.cfg.org.opens_per_timestep() {
+            // Level 1: dedicated file, close it now.
+            let f = self.group_mut(h)?.open_files.remove(&file_name).expect("cached above");
+            f.close(comm);
+        }
+        comm.counters().incr("sdm.writes");
+        Ok(())
+    }
+
+    /// `SDM_read`: collectively read back a dataset written in this run.
+    /// The installed view selects which elements this rank receives, in
+    /// its local order.
+    pub fn read<T: Pod + Default>(
+        &mut self,
+        comm: &mut Comm,
+        h: GroupHandle,
+        dataset: &str,
+        timestep: i64,
+        out: &mut [T],
+    ) -> SdmResult<()> {
+        let hit = tables::lookup_execution(&self.db, self.runid, dataset, timestep)?;
+        let t = self.pfs.metadata_roundtrip(comm.now());
+        comm.sync_to(t);
+        let (base, file_name) = hit.ok_or(SdmError::NotWritten {
+            dataset: dataset.to_string(),
+            timestep,
+        })?;
+        self.open_cached(comm, h, &file_name)?;
+        let ftype = {
+            let g = self.group(h)?;
+            let view = g
+                .views
+                .get(dataset)
+                .ok_or_else(|| SdmError::NoView(dataset.to_string()))?;
+            if view.len() != out.len() {
+                return Err(SdmError::Usage(format!(
+                    "output buffer has {} elements but the view selects {}",
+                    out.len(),
+                    view.len()
+                )));
+            }
+            view.ftype.clone()
+        };
+        let mut file_ordered = vec![T::default(); out.len()];
+        {
+            let g = self.group_mut(h)?;
+            let f = g.open_files.get_mut(&file_name).expect("cached above");
+            f.set_view(comm, base as u64, ftype)?;
+            f.read_all(comm, 0, &mut file_ordered)?;
+        }
+        let g = self.group(h)?;
+        let view = g.views.get(dataset).expect("checked above");
+        let user = view.to_user_order(&file_ordered)?;
+        out.copy_from_slice(&user);
+        if self.cfg.org.opens_per_timestep() {
+            let file_name2 = file_name.clone();
+            let f = self.group_mut(h)?.open_files.remove(&file_name2).expect("cached above");
+            f.close(comm);
+        }
+        comm.counters().incr("sdm.reads");
+        Ok(())
+    }
+
+    /// `SDM_finalize`: close every cached file and synchronize.
+    pub fn finalize(mut self, comm: &mut Comm) -> SdmResult<()> {
+        for g in &mut self.groups {
+            for (_, f) in g.open_files.drain() {
+                f.close(comm);
+            }
+        }
+        comm.barrier();
+        Ok(())
+    }
+}

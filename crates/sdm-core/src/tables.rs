@@ -1,0 +1,370 @@
+//! The six SDM metadata tables (Figure 4) and typed helpers over them.
+//!
+//! All access is embedded SQL against [`sdm_metadb::Database`], exactly
+//! as the paper's SDM spoke to MySQL. Only rank 0 mutates; every rank
+//! charges the metadata round-trip cost through the PFS metadata service.
+
+use sdm_metadb::{Database, DbResult, Value};
+
+/// DDL for the six tables.
+pub const TABLE_DDL: [&str; 6] = [
+    "CREATE TABLE IF NOT EXISTS run_table (
+        runid INT, application TEXT, dimension INT, problem_size INT,
+        num_timesteps INT, year INT, month INT, day INT, hour INT, min INT)",
+    "CREATE TABLE IF NOT EXISTS access_pattern_table (
+        runid INT, dataset TEXT, basic_pattern TEXT, data_type TEXT,
+        storage_order TEXT, access_pattern TEXT, global_size INT)",
+    "CREATE TABLE IF NOT EXISTS execution_table (
+        runid INT, dataset TEXT, timestep INT, file_offset INT, file_name TEXT)",
+    "CREATE TABLE IF NOT EXISTS import_table (
+        runid INT, imported_name TEXT, file_name TEXT, data_type TEXT,
+        storage_order TEXT, partition TEXT, file_content TEXT)",
+    "CREATE TABLE IF NOT EXISTS index_table (
+        problem_size INT, num_procs INT, dimension INT, registered_file_name TEXT)",
+    "CREATE TABLE IF NOT EXISTS index_history_table (
+        problem_size INT, num_procs INT, rank INT, edge_count INT,
+        node_count INT, ghost_count INT, file_offset INT, byte_len INT)",
+];
+
+/// Create all six tables if absent.
+pub fn create_all(db: &Database) -> DbResult<()> {
+    for ddl in TABLE_DDL {
+        db.exec(ddl, &[])?;
+    }
+    Ok(())
+}
+
+/// Next unused runid (max + 1, starting at 1).
+pub fn next_runid(db: &Database) -> DbResult<i64> {
+    let rs = db.exec("SELECT runid FROM run_table ORDER BY runid DESC LIMIT 1", &[])?;
+    Ok(rs.scalar().and_then(Value::as_i64).unwrap_or(0) + 1)
+}
+
+/// Most recent runid recorded for an application, if any. Used by
+/// post-processing tools (visualization, `sdm-sci` containers) to
+/// re-attach to a finished run's metadata.
+pub fn latest_runid_for_app(db: &Database, application: &str) -> DbResult<Option<i64>> {
+    let rs = db.exec(
+        "SELECT runid FROM run_table WHERE application = ? ORDER BY runid DESC LIMIT 1",
+        &[Value::from(application)],
+    )?;
+    Ok(rs.scalar().and_then(Value::as_i64))
+}
+
+/// Insert the run row (Figure 4's Initialization step).
+#[allow(clippy::too_many_arguments)]
+pub fn insert_run(
+    db: &Database,
+    runid: i64,
+    application: &str,
+    dimension: i64,
+    problem_size: i64,
+    num_timesteps: i64,
+    date: (i64, i64, i64),
+    time: (i64, i64),
+) -> DbResult<()> {
+    db.exec(
+        "INSERT INTO run_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        &[
+            Value::Int(runid),
+            Value::from(application),
+            Value::Int(dimension),
+            Value::Int(problem_size),
+            Value::Int(num_timesteps),
+            Value::Int(date.0),
+            Value::Int(date.1),
+            Value::Int(date.2),
+            Value::Int(time.0),
+            Value::Int(time.1),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Record a dataset's attributes (the `SDM_set_attributes` step).
+pub fn insert_access_pattern(
+    db: &Database,
+    runid: i64,
+    dataset: &str,
+    data_type: &str,
+    storage_order: &str,
+    access_pattern: &str,
+    global_size: i64,
+) -> DbResult<()> {
+    db.exec(
+        "INSERT INTO access_pattern_table VALUES (?, ?, ?, ?, ?, ?, ?)",
+        &[
+            Value::Int(runid),
+            Value::from(dataset),
+            Value::from(access_pattern), // basic_pattern mirrors the access pattern here
+            Value::from(data_type),
+            Value::from(storage_order),
+            Value::from(access_pattern),
+            Value::Int(global_size),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Record where a (dataset, timestep) landed (the `SDM_write` step:
+/// "the file offset for each data set is stored in the execution table
+/// by process 0").
+pub fn insert_execution(
+    db: &Database,
+    runid: i64,
+    dataset: &str,
+    timestep: i64,
+    file_offset: i64,
+    file_name: &str,
+) -> DbResult<()> {
+    db.exec(
+        "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?)",
+        &[
+            Value::Int(runid),
+            Value::from(dataset),
+            Value::Int(timestep),
+            Value::Int(file_offset),
+            Value::from(file_name),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Look up where a (dataset, timestep) was written.
+pub fn lookup_execution(
+    db: &Database,
+    runid: i64,
+    dataset: &str,
+    timestep: i64,
+) -> DbResult<Option<(i64, String)>> {
+    let rs = db.exec(
+        "SELECT file_offset, file_name FROM execution_table
+         WHERE runid = ? AND dataset = ? AND timestep = ?",
+        &[Value::Int(runid), Value::from(dataset), Value::Int(timestep)],
+    )?;
+    Ok(rs.first().map(|r| {
+        (
+            r[0].as_i64().unwrap_or(0),
+            r[1].as_str().unwrap_or_default().to_string(),
+        )
+    }))
+}
+
+/// Record an imported array's metadata (the `SDM_make_importlist` step).
+pub fn insert_import(
+    db: &Database,
+    runid: i64,
+    imported_name: &str,
+    file_name: &str,
+    data_type: &str,
+    storage_order: &str,
+    file_content: &str,
+) -> DbResult<()> {
+    db.exec(
+        "INSERT INTO import_table VALUES (?, ?, ?, ?, ?, ?, ?)",
+        &[
+            Value::Int(runid),
+            Value::from(imported_name),
+            Value::from(file_name),
+            Value::from(data_type),
+            Value::from(storage_order),
+            Value::from("DISTRIBUTED"),
+            Value::from(file_content),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Register a history file (the `SDM_index_registry` step).
+pub fn insert_index_registry(
+    db: &Database,
+    problem_size: i64,
+    num_procs: i64,
+    dimension: i64,
+    file_name: &str,
+) -> DbResult<()> {
+    db.exec(
+        "INSERT INTO index_table VALUES (?, ?, ?, ?)",
+        &[
+            Value::Int(problem_size),
+            Value::Int(num_procs),
+            Value::Int(dimension),
+            Value::from(file_name),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Look up a history file for (problem_size, num_procs) — the check at
+/// the top of `SDM_import`/`SDM_partition_index`.
+pub fn lookup_index_registry(
+    db: &Database,
+    problem_size: i64,
+    num_procs: i64,
+) -> DbResult<Option<String>> {
+    let rs = db.exec(
+        "SELECT registered_file_name FROM index_table WHERE problem_size = ? AND num_procs = ?",
+        &[Value::Int(problem_size), Value::Int(num_procs)],
+    )?;
+    Ok(rs.first().and_then(|r| r[0].as_str().map(str::to_string)))
+}
+
+/// Per-rank block of a history file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryBlock {
+    /// Rank the block belongs to.
+    pub rank: i64,
+    /// Partitioned edge count.
+    pub edge_count: i64,
+    /// Owned node count.
+    pub node_count: i64,
+    /// Ghost node count.
+    pub ghost_count: i64,
+    /// Byte offset of the block in the history file.
+    pub file_offset: i64,
+    /// Byte length of the block.
+    pub byte_len: i64,
+}
+
+/// Record one rank's history block metadata.
+pub fn insert_history_block(
+    db: &Database,
+    problem_size: i64,
+    num_procs: i64,
+    b: &HistoryBlock,
+) -> DbResult<()> {
+    db.exec(
+        "INSERT INTO index_history_table VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        &[
+            Value::Int(problem_size),
+            Value::Int(num_procs),
+            Value::Int(b.rank),
+            Value::Int(b.edge_count),
+            Value::Int(b.node_count),
+            Value::Int(b.ghost_count),
+            Value::Int(b.file_offset),
+            Value::Int(b.byte_len),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Fetch one rank's history block metadata.
+pub fn lookup_history_block(
+    db: &Database,
+    problem_size: i64,
+    num_procs: i64,
+    rank: i64,
+) -> DbResult<Option<HistoryBlock>> {
+    let rs = db.exec(
+        "SELECT rank, edge_count, node_count, ghost_count, file_offset, byte_len
+         FROM index_history_table
+         WHERE problem_size = ? AND num_procs = ? AND rank = ?",
+        &[Value::Int(problem_size), Value::Int(num_procs), Value::Int(rank)],
+    )?;
+    Ok(rs.first().map(|r| HistoryBlock {
+        rank: r[0].as_i64().unwrap_or(0),
+        edge_count: r[1].as_i64().unwrap_or(0),
+        node_count: r[2].as_i64().unwrap_or(0),
+        ghost_count: r[3].as_i64().unwrap_or(0),
+        file_offset: r[4].as_i64().unwrap_or(0),
+        byte_len: r[5].as_i64().unwrap_or(0),
+    }))
+}
+
+/// Remove a registered history (e.g. after detecting corruption).
+pub fn delete_index_registry(db: &Database, problem_size: i64, num_procs: i64) -> DbResult<()> {
+    db.exec(
+        "DELETE FROM index_table WHERE problem_size = ? AND num_procs = ?",
+        &[Value::Int(problem_size), Value::Int(num_procs)],
+    )?;
+    db.exec(
+        "DELETE FROM index_history_table WHERE problem_size = ? AND num_procs = ?",
+        &[Value::Int(problem_size), Value::Int(num_procs)],
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let db = Database::new();
+        create_all(&db).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_all_is_idempotent() {
+        let d = db();
+        create_all(&d).unwrap();
+        assert!(d.has_table("run_table"));
+        assert!(d.has_table("index_history_table"));
+    }
+
+    #[test]
+    fn runid_sequence() {
+        let d = db();
+        assert_eq!(next_runid(&d).unwrap(), 1);
+        insert_run(&d, 1, "fun3d", 3, 1000, 2, (2001, 2, 20), (12, 0)).unwrap();
+        assert_eq!(next_runid(&d).unwrap(), 2);
+        insert_run(&d, 5, "rt", 3, 99, 5, (2001, 2, 21), (9, 30)).unwrap();
+        assert_eq!(next_runid(&d).unwrap(), 6);
+    }
+
+    #[test]
+    fn execution_round_trip() {
+        let d = db();
+        insert_execution(&d, 1, "p", 10, 4096, "fun3d.g0.dat").unwrap();
+        let hit = lookup_execution(&d, 1, "p", 10).unwrap();
+        assert_eq!(hit, Some((4096, "fun3d.g0.dat".to_string())));
+        assert_eq!(lookup_execution(&d, 1, "p", 20).unwrap(), None);
+        assert_eq!(lookup_execution(&d, 2, "p", 10).unwrap(), None);
+    }
+
+    #[test]
+    fn index_registry_round_trip() {
+        let d = db();
+        insert_index_registry(&d, 18_000_000, 64, 3, "hist.18M.64").unwrap();
+        assert_eq!(
+            lookup_index_registry(&d, 18_000_000, 64).unwrap(),
+            Some("hist.18M.64".to_string())
+        );
+        // Different process count: miss (the paper's key limitation).
+        assert_eq!(lookup_index_registry(&d, 18_000_000, 32).unwrap(), None);
+        delete_index_registry(&d, 18_000_000, 64).unwrap();
+        assert_eq!(lookup_index_registry(&d, 18_000_000, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn history_blocks_round_trip() {
+        let d = db();
+        let b = HistoryBlock {
+            rank: 3,
+            edge_count: 1000,
+            node_count: 300,
+            ghost_count: 40,
+            file_offset: 65536,
+            byte_len: 20480,
+        };
+        insert_history_block(&d, 500, 8, &b).unwrap();
+        assert_eq!(lookup_history_block(&d, 500, 8, 3).unwrap(), Some(b));
+        assert_eq!(lookup_history_block(&d, 500, 8, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn access_pattern_and_import_inserts() {
+        let d = db();
+        insert_access_pattern(&d, 1, "p", "DOUBLE", "ROW_MAJOR", "IRREGULAR", 2_000_000).unwrap();
+        insert_import(&d, 1, "edge1", "uns3d.msh", "INTEGER", "ROW_MAJOR", "INDEX").unwrap();
+        let rs = d
+            .exec("SELECT data_type FROM access_pattern_table WHERE dataset = 'p'", &[])
+            .unwrap();
+        assert_eq!(rs.scalar().and_then(Value::as_str), Some("DOUBLE"));
+        let rs = d
+            .exec("SELECT file_content FROM import_table WHERE imported_name = 'edge1'", &[])
+            .unwrap();
+        assert_eq!(rs.scalar().and_then(Value::as_str), Some("INDEX"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Basic SDM attribute types (the annotation vocabulary of Figure 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SdmType {
+    /// C `double` (8 bytes) — the paper's DOUBLE.
+    Double,
+    /// C `int` (4 bytes) — the paper's INTEGER, used for index arrays.
+    Int32,
+    /// 8-byte integer.
+    Int64,
+}
+
+impl SdmType {
+    /// Element size in bytes.
+    pub fn size(&self) -> u64 {
+        match self {
+            SdmType::Double | SdmType::Int64 => 8,
+            SdmType::Int32 => 4,
+        }
+    }
+
+    /// Name stored in the metadata tables.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            SdmType::Double => "DOUBLE",
+            SdmType::Int32 => "INTEGER",
+            SdmType::Int64 => "INTEGER8",
+        }
+    }
+}
+
+/// Storage order annotation (row-major everywhere in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StorageOrder {
+    /// Row-major.
+    #[default]
+    RowMajor,
+    /// Column-major.
+    ColMajor,
+}
+
+impl StorageOrder {
+    /// Name stored in the metadata tables.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            StorageOrder::RowMajor => "ROW_MAJOR",
+            StorageOrder::ColMajor => "COL_MAJOR",
+        }
+    }
+}
+
+/// Access-pattern annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Irregular (map-array driven) — this paper's subject.
+    #[default]
+    Irregular,
+    /// Regular block/cyclic (the companion SC2000 paper).
+    Regular,
+}
+
+impl AccessPattern {
+    /// Name stored in the metadata tables.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            AccessPattern::Irregular => "IRREGULAR",
+            AccessPattern::Regular => "REGULAR",
+        }
+    }
+}
+
+/// What an imported file region contains (Figure 4's `file_content`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FileContent {
+    /// Index (indirection) arrays like `edge1`/`edge2`.
+    Index,
+    /// Physical data arrays like `x`/`y`.
+    Data,
+}
+
+impl FileContent {
+    /// Name stored in the metadata tables.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            FileContent::Index => "INDEX",
+            FileContent::Data => "DATA",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(SdmType::Double.size(), 8);
+        assert_eq!(SdmType::Int32.size(), 4);
+        assert_eq!(SdmType::Int64.size(), 8);
+    }
+
+    #[test]
+    fn sql_names_match_figure4() {
+        assert_eq!(SdmType::Double.sql_name(), "DOUBLE");
+        assert_eq!(SdmType::Int32.sql_name(), "INTEGER");
+        assert_eq!(StorageOrder::RowMajor.sql_name(), "ROW_MAJOR");
+        assert_eq!(AccessPattern::Irregular.sql_name(), "IRREGULAR");
+        assert_eq!(FileContent::Index.sql_name(), "INDEX");
+        assert_eq!(FileContent::Data.sql_name(), "DATA");
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(StorageOrder::default(), StorageOrder::RowMajor);
+        assert_eq!(AccessPattern::default(), AccessPattern::Irregular);
+    }
+}

@@ -1,0 +1,154 @@
+//! Map-array data views.
+//!
+//! `SDM_data_view` hands SDM a *map array*: for each local element, its
+//! global index in the file. The file view must be monotone, so the map
+//! is sorted; the resulting permutation is remembered and applied to the
+//! user's buffer on writes (and inverted on reads), keeping the user's
+//! local element order intact while the file sees globally ordered data.
+
+use sdm_mpi::datatype::{Datatype, Flattened};
+
+use crate::error::{SdmError, SdmResult};
+use crate::types::SdmType;
+
+/// A compiled data view for one dataset.
+#[derive(Debug, Clone)]
+pub struct DataView {
+    /// Sorted global indices (element units).
+    pub sorted_map: Vec<u64>,
+    /// `perm[k]` = position in the *user's local order* of the element
+    /// that goes to `sorted_map[k]`'s file slot.
+    pub perm: Vec<u32>,
+    /// Flattened filetype built from `sorted_map` (element units scaled
+    /// by the element size), relative to the dataset's base offset.
+    pub ftype: Flattened,
+    /// Element size in bytes.
+    pub elem_size: u64,
+}
+
+impl DataView {
+    /// Compile a map array. `global_len` is the dataset's global element
+    /// count (for bounds checks); duplicate indices are rejected.
+    pub fn compile(map: &[u64], global_len: u64, ty: SdmType) -> SdmResult<Self> {
+        let mut idx: Vec<u32> = (0..map.len() as u32).collect();
+        idx.sort_unstable_by_key(|&k| map[k as usize]);
+        let sorted_map: Vec<u64> = idx.iter().map(|&k| map[k as usize]).collect();
+        for w in sorted_map.windows(2) {
+            if w[0] == w[1] {
+                return Err(SdmError::Usage(format!("duplicate global index {} in map array", w[0])));
+            }
+        }
+        if let Some(&last) = sorted_map.last() {
+            if last >= global_len {
+                return Err(SdmError::Usage(format!(
+                    "map index {last} out of range for global size {global_len}"
+                )));
+            }
+        }
+        let elem = match ty {
+            SdmType::Double => Datatype::double(),
+            SdmType::Int32 => Datatype::int32(),
+            SdmType::Int64 => Datatype::int64(),
+        };
+        let dtype = Datatype::resized(
+            global_len * ty.size(),
+            Datatype::indexed_block(1, sorted_map.clone(), elem),
+        );
+        let ftype = dtype.flatten()?;
+        Ok(Self { sorted_map, perm: idx, ftype, elem_size: ty.size() })
+    }
+
+    /// Local element count.
+    pub fn len(&self) -> usize {
+        self.sorted_map.len()
+    }
+
+    /// Whether the view selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sorted_map.is_empty()
+    }
+
+    /// Reorder a user buffer (local order) into file order.
+    pub fn to_file_order<T: Copy>(&self, user: &[T]) -> SdmResult<Vec<T>> {
+        if user.len() != self.perm.len() {
+            return Err(SdmError::Usage(format!(
+                "buffer has {} elements but view selects {}",
+                user.len(),
+                self.perm.len()
+            )));
+        }
+        Ok(self.perm.iter().map(|&k| user[k as usize]).collect())
+    }
+
+    /// Scatter file-ordered data back into the user's local order.
+    pub fn to_user_order<T: Copy + Default>(&self, file_ordered: &[T]) -> SdmResult<Vec<T>> {
+        if file_ordered.len() != self.perm.len() {
+            return Err(SdmError::Usage(format!(
+                "file buffer has {} elements but view selects {}",
+                file_ordered.len(),
+                self.perm.len()
+            )));
+        }
+        let mut out = vec![T::default(); file_ordered.len()];
+        for (k, &p) in self.perm.iter().enumerate() {
+            out[p as usize] = file_ordered[k];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_map_and_permutation() {
+        // User holds globals [5, 1, 3] in that local order.
+        let v = DataView::compile(&[5, 1, 3], 10, SdmType::Double).unwrap();
+        assert_eq!(v.sorted_map, vec![1, 3, 5]);
+        assert_eq!(v.perm, vec![1, 2, 0]);
+        let file_order = v.to_file_order(&[50.0, 10.0, 30.0]).unwrap();
+        assert_eq!(file_order, vec![10.0, 30.0, 50.0]);
+        let back = v.to_user_order(&file_order).unwrap();
+        assert_eq!(back, vec![50.0, 10.0, 30.0]);
+    }
+
+    #[test]
+    fn ftype_segments_scaled_by_elem_size() {
+        let v = DataView::compile(&[0, 1, 4], 6, SdmType::Double).unwrap();
+        // 0,1 coalesce; 4 separate.
+        assert_eq!(v.ftype.segments, vec![(0, 16), (32, 8)]);
+        assert_eq!(v.ftype.extent, 48);
+        let vi = DataView::compile(&[0, 1, 4], 6, SdmType::Int32).unwrap();
+        assert_eq!(vi.ftype.segments, vec![(0, 8), (16, 4)]);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(matches!(
+            DataView::compile(&[1, 1], 4, SdmType::Double),
+            Err(SdmError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(DataView::compile(&[9], 9, SdmType::Double).is_err());
+        assert!(DataView::compile(&[8], 9, SdmType::Double).is_ok());
+    }
+
+    #[test]
+    fn wrong_buffer_length_rejected() {
+        let v = DataView::compile(&[0, 2], 4, SdmType::Double).unwrap();
+        assert!(v.to_file_order(&[1.0]).is_err());
+        assert!(v.to_user_order(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn empty_view() {
+        let v = DataView::compile(&[], 4, SdmType::Double).unwrap();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert!(v.to_file_order::<f64>(&[]).unwrap().is_empty());
+    }
+}

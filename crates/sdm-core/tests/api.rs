@@ -1,0 +1,192 @@
+//! API-contract tests for the SDM surface: call-order errors, size
+//! mismatches, metadata registration, and multi-group behaviour.
+
+use std::sync::Arc;
+
+use sdm_core::dataset::{make_datalist, DatasetDesc, ImportDesc};
+use sdm_core::{OrgLevel, Sdm, SdmConfig, SdmError, SdmType};
+use sdm_metadb::{Database, Value};
+use sdm_mpi::World;
+use sdm_pfs::Pfs;
+use sdm_sim::MachineConfig;
+
+fn setup() -> (Arc<Pfs>, Arc<Database>) {
+    (Pfs::new(MachineConfig::test_tiny()), Arc::new(Database::new()))
+}
+
+#[test]
+fn initialize_creates_tables_and_unique_runids() {
+    let (pfs, db) = setup();
+    World::run(2, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let s1 = Sdm::initialize(c, &pfs, &db, "app1").unwrap();
+            let s2 = Sdm::initialize(c, &pfs, &db, "app2").unwrap();
+            assert_eq!(s1.runid(), s2.runid(), "no run rows yet: same next id");
+            (s1.runid(), s2.runid())
+        }
+    });
+    for t in ["run_table", "access_pattern_table", "execution_table", "import_table", "index_table", "index_history_table"] {
+        assert!(db.has_table(t), "missing {t}");
+    }
+}
+
+#[test]
+fn set_attributes_registers_run_and_datasets() {
+    let (pfs, db) = setup();
+    World::run(2, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let mut s = Sdm::initialize(c, &pfs, &db, "meta").unwrap();
+            let h = s.set_attributes(c, make_datalist(&["p", "q"], SdmType::Double, 100)).unwrap();
+            let _ = h;
+            s.finalize(c).unwrap();
+        }
+    });
+    let rs = db.exec("SELECT application FROM run_table", &[]).unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.rows[0][0].as_str(), Some("meta"));
+    let rs = db
+        .exec("SELECT dataset FROM access_pattern_table ORDER BY dataset", &[])
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::from("p")], vec![Value::from("q")]]);
+}
+
+#[test]
+fn write_without_view_is_error() {
+    let (pfs, db) = setup();
+    World::run(1, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let mut s = Sdm::initialize(c, &pfs, &db, "e1").unwrap();
+            let h = s.set_attributes(c, vec![DatasetDesc::doubles("p", 10)]).unwrap();
+            let err = s.write(c, h, "p", 0, &[1.0f64]).unwrap_err();
+            assert!(matches!(err, SdmError::NoView(_)), "got {err}");
+        }
+    });
+}
+
+#[test]
+fn read_unwritten_timestep_is_error() {
+    let (pfs, db) = setup();
+    World::run(1, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let mut s = Sdm::initialize(c, &pfs, &db, "e2").unwrap();
+            let h = s.set_attributes(c, vec![DatasetDesc::doubles("p", 4)]).unwrap();
+            s.data_view(c, h, "p", &[0, 1, 2, 3]).unwrap();
+            let mut buf = vec![0.0f64; 4];
+            let err = s.read(c, h, "p", 5, &mut buf).unwrap_err();
+            assert!(matches!(err, SdmError::NotWritten { timestep: 5, .. }), "got {err}");
+        }
+    });
+}
+
+#[test]
+fn unknown_dataset_and_bad_sizes_are_errors() {
+    let (pfs, db) = setup();
+    World::run(1, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let mut s = Sdm::initialize(c, &pfs, &db, "e3").unwrap();
+            let h = s.set_attributes(c, vec![DatasetDesc::doubles("p", 4)]).unwrap();
+            assert!(matches!(
+                s.data_view(c, h, "nope", &[0]),
+                Err(SdmError::NoSuchDataset(_))
+            ));
+            // Wrong element type (4-byte vs DOUBLE).
+            s.data_view(c, h, "p", &[0, 1]).unwrap();
+            assert!(matches!(s.write(c, h, "p", 0, &[1i32, 2]), Err(SdmError::Usage(_))));
+            // Wrong buffer length.
+            assert!(matches!(s.write(c, h, "p", 0, &[1.0f64]), Err(SdmError::Usage(_))));
+            // Map index out of range.
+            assert!(matches!(s.data_view(c, h, "p", &[99]), Err(SdmError::Usage(_))));
+            // Empty data group.
+            assert!(matches!(s.set_attributes(c, vec![]), Err(SdmError::Usage(_))));
+        }
+    });
+}
+
+#[test]
+fn import_type_mismatch_is_error() {
+    let (pfs, db) = setup();
+    // Stage a tiny file.
+    {
+        let (f, _) = pfs.open_or_create("m.msh", 0.0).unwrap();
+        pfs.write_at(&f, 0, &[0u8; 64], 0.0).unwrap();
+    }
+    World::run(1, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let mut s = Sdm::initialize(c, &pfs, &db, "e4").unwrap();
+            let h = s.set_attributes(c, vec![DatasetDesc::doubles("p", 4)]).unwrap();
+            s.make_importlist(c, h, vec![ImportDesc::index("edge1", "m.msh")]).unwrap();
+            // edge1 is declared INTEGER (4 bytes); importing f64 must fail.
+            let err = s.import_contiguous::<f64>(c, h, "edge1", 0, 8).unwrap_err();
+            assert!(matches!(err, SdmError::Usage(_)));
+            // Unknown import name.
+            let err = s.import_contiguous::<i32>(c, h, "edgeX", 0, 8).unwrap_err();
+            assert!(matches!(err, SdmError::NoSuchDataset(_)));
+        }
+    });
+}
+
+#[test]
+fn two_groups_are_independent() {
+    let (pfs, db) = setup();
+    World::run(2, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let cfg = SdmConfig { org: OrgLevel::Level3, ..Default::default() };
+            let mut s = Sdm::initialize_with(c, &pfs, &db, "two", cfg).unwrap();
+            let g1 = s.set_attributes(c, vec![DatasetDesc::doubles("a", 8)]).unwrap();
+            let g2 = s.set_attributes(c, vec![DatasetDesc::doubles("b", 8)]).unwrap();
+            let mine: Vec<u64> = (c.rank() as u64..8).step_by(c.size()).collect();
+            s.data_view(c, g1, "a", &mine).unwrap();
+            s.data_view(c, g2, "b", &mine).unwrap();
+            let va: Vec<f64> = mine.iter().map(|&g| g as f64).collect();
+            let vb: Vec<f64> = mine.iter().map(|&g| g as f64 * -1.0).collect();
+            s.write(c, g1, "a", 0, &va).unwrap();
+            s.write(c, g2, "b", 0, &vb).unwrap();
+            // Level 3: one file per *group*.
+            let mut ba = vec![0.0f64; mine.len()];
+            s.read(c, g1, "a", 0, &mut ba).unwrap();
+            assert_eq!(ba, va);
+            let mut bb = vec![0.0f64; mine.len()];
+            s.read(c, g2, "b", 0, &mut bb).unwrap();
+            assert_eq!(bb, vb);
+            // Dataset "a" is not visible through group 2.
+            assert!(s.data_view(c, g2, "a", &mine).is_err());
+            s.finalize(c).unwrap();
+        }
+    });
+    assert!(pfs.exists("two.g0.dat") && pfs.exists("two.g1.dat"));
+}
+
+#[test]
+fn level2_appends_across_timesteps() {
+    let (pfs, db) = setup();
+    World::run(1, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let cfg = SdmConfig { org: OrgLevel::Level2, ..Default::default() };
+            let mut s = Sdm::initialize_with(c, &pfs, &db, "app", cfg).unwrap();
+            let h = s.set_attributes(c, vec![DatasetDesc::doubles("p", 4)]).unwrap();
+            s.data_view(c, h, "p", &[0, 1, 2, 3]).unwrap();
+            for t in 0..3i64 {
+                let v = vec![t as f64; 4];
+                s.write(c, h, "p", t, &v).unwrap();
+            }
+            // Read back the middle timestep.
+            let mut buf = vec![0.0f64; 4];
+            s.read(c, h, "p", 1, &mut buf).unwrap();
+            assert_eq!(buf, vec![1.0; 4]);
+            s.finalize(c).unwrap();
+        }
+    });
+    // One file, three regions.
+    assert_eq!(pfs.file_len("app.g0.p.dat").unwrap(), 3 * 4 * 8);
+    let rs = db.exec("SELECT file_offset FROM execution_table ORDER BY file_offset", &[]).unwrap();
+    assert_eq!(rs.len(), 3);
+    assert_eq!(rs.rows[2][0].as_i64(), Some(64));
+}

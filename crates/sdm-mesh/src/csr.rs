@@ -1,0 +1,116 @@
+//! Compressed sparse row adjacency.
+
+/// An undirected graph in CSR form (both directions stored), the input
+/// format of the partitioner (MeTis uses the same `xadj`/`adjncy` pair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Row pointers: neighbours of node `v` are
+    /// `adjncy[xadj[v]..xadj[v+1]]`.
+    pub xadj: Vec<usize>,
+    /// Concatenated neighbour lists, each sorted ascending.
+    pub adjncy: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build from unique undirected `(lo, hi)` edges over `n` nodes.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(a, b) in edges {
+            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for v in 0..n {
+            xadj[v + 1] = xadj[v] + deg[v];
+        }
+        let mut adjncy = vec![0u32; xadj[n]];
+        let mut fill = xadj.clone();
+        for &(a, b) in edges {
+            adjncy[fill[a as usize]] = b;
+            fill[a as usize] += 1;
+            adjncy[fill[b as usize]] = a;
+            fill[b as usize] += 1;
+        }
+        // Sort each adjacency run (deterministic iteration order).
+        for v in 0..n {
+            adjncy[xadj[v]..xadj[v + 1]].sort_unstable();
+        }
+        Self { xadj, adjncy }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbours of `v`, sorted.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> CsrGraph {
+        // 0 - 1 - 2 - 3
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn csr_structure() {
+        let g = path_graph();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = CsrGraph::from_edges(4, &[(2, 3), (0, 2), (1, 2)]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = CsrGraph::from_edges(5, &[(0, 4), (1, 3), (0, 2)]);
+        for v in 0..5 {
+            for &u in g.neighbors(v) {
+                assert!(g.neighbors(u as usize).contains(&(v as u32)), "asymmetric {v}-{u}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+}

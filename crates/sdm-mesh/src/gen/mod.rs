@@ -1,0 +1,7 @@
+//! Synthetic mesh generators standing in for the paper's inputs.
+
+pub mod tet;
+pub mod tri;
+
+pub use tet::tet_box;
+pub use tri::{rt_interface_mesh, tri_rect};

@@ -1,0 +1,104 @@
+//! Triangle meshes (Rayleigh-Taylor stand-in).
+//!
+//! The RT application writes a node dataset (vertices) and a triangle
+//! dataset (triangles on tetrahedral faces). We generate a 2-D rectangle
+//! triangulation whose interface row is perturbed sinusoidally — the
+//! classic initial condition of a Rayleigh-Taylor instability — so the
+//! node distribution is irregular where the physics is.
+
+use crate::mesh::{CellKind, UnstructuredMesh};
+
+/// Triangulate an `nx × ny` vertex rectangle (two triangles per quad,
+/// diagonal direction alternating by parity).
+pub fn tri_rect(nx: usize, ny: usize) -> UnstructuredMesh {
+    assert!(nx >= 2 && ny >= 2, "need at least 2 vertices per axis");
+    let node = |x: usize, y: usize| (y * nx + x) as u32;
+    let coords: Vec<[f64; 3]> =
+        (0..nx * ny).map(|i| [(i % nx) as f64, (i / nx) as f64, 0.0]).collect();
+    let mut cells = Vec::with_capacity((nx - 1) * (ny - 1) * 2 * 3);
+    for y in 0..ny - 1 {
+        for x in 0..nx - 1 {
+            let (a, b, c, d) = (node(x, y), node(x + 1, y), node(x, y + 1), node(x + 1, y + 1));
+            if (x + y) % 2 == 0 {
+                cells.extend_from_slice(&[a, b, d, a, d, c]);
+            } else {
+                cells.extend_from_slice(&[a, b, c, b, d, c]);
+            }
+        }
+    }
+    let edges = UnstructuredMesh::edges_from_cells(CellKind::Triangle, &cells);
+    UnstructuredMesh { coords, edges, cell_kind: CellKind::Triangle, cells }
+}
+
+/// RT instability mesh: a rectangle with the mid-height interface rows
+/// displaced by `amplitude * sin(2π modes x / width)`. Nodes near the
+/// interface carry the perturbation, decaying away from it.
+pub fn rt_interface_mesh(nx: usize, ny: usize, amplitude: f64, modes: usize) -> UnstructuredMesh {
+    let mut m = tri_rect(nx, ny);
+    let width = (nx - 1) as f64;
+    let mid = (ny - 1) as f64 / 2.0;
+    for (i, c) in m.coords.iter_mut().enumerate() {
+        let y = (i / nx) as f64;
+        if y == 0.0 || y == (ny - 1) as f64 {
+            continue; // clamp boundaries
+        }
+        let x = (i % nx) as f64;
+        let decay = (-((y - mid) / mid).powi(2) * 8.0).exp();
+        c[1] += amplitude * decay * (2.0 * std::f64::consts::PI * modes as f64 * x / width).sin();
+    }
+    m
+}
+
+/// The RT application's two datasets: per-vertex values (e.g. density)
+/// and per-triangle values (e.g. interface flags), sized to the mesh.
+pub fn rt_dataset_sizes(m: &UnstructuredMesh) -> (usize, usize) {
+    (m.num_nodes(), m.num_cells())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_counts() {
+        let m = tri_rect(4, 3);
+        m.validate().unwrap();
+        assert_eq!(m.num_nodes(), 12);
+        assert_eq!(m.num_cells(), 3 * 2 * 2);
+        // Euler-ish sanity for a planar triangulation of a disc-like domain.
+        assert_eq!(m.num_edges(), 23);
+    }
+
+    #[test]
+    fn interface_perturbs_middle_only() {
+        let flat = tri_rect(9, 9);
+        let rt = rt_interface_mesh(9, 9, 0.4, 2);
+        // Bottom row untouched.
+        for x in 0..9 {
+            assert_eq!(rt.coords[x], flat.coords[x]);
+        }
+        // Middle row moved.
+        let mid_start = 4 * 9;
+        let moved = (0..9).any(|x| rt.coords[mid_start + x][1] != flat.coords[mid_start + x][1]);
+        assert!(moved, "interface row must be displaced");
+        // Topology unchanged.
+        assert_eq!(rt.edges, flat.edges);
+    }
+
+    #[test]
+    fn dataset_sizes_match_paper_shape() {
+        // Paper: node data 36 MB, triangle data 74 MB per step — about
+        // 2 triangles per node. Our triangulation has the same ratio.
+        let m = tri_rect(100, 100);
+        let (nodes, tris) = rt_dataset_sizes(&m);
+        let ratio = tris as f64 / nodes as f64;
+        assert!((1.5..2.5).contains(&ratio), "triangles/nodes = {ratio}");
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        let a = tri_rect(6, 6);
+        let b = rt_interface_mesh(6, 6, 0.0, 3);
+        assert_eq!(a.coords, b.coords);
+    }
+}

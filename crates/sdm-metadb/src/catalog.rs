@@ -1,0 +1,105 @@
+//! The catalog: named tables.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// All tables of one database, keyed by lower-cased name.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Create a table; errors if it exists (unless `if_not_exists`).
+    pub fn create_table(&mut self, name: &str, schema: Schema, if_not_exists: bool) -> DbResult<()> {
+        let key = Self::key(name);
+        if self.tables.contains_key(&key) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        self.tables.insert(key, Table::new(schema));
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<()> {
+        self.tables
+            .remove(&Self::key(name))
+            .map(|_| ())
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Shared table access.
+    pub fn get(&self, name: &str) -> DbResult<&Table> {
+        self.tables.get(&Self::key(name)).ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Mutable table access.
+    pub fn get_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Whether a table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    /// Sorted table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, Column};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column { name: "a".into(), ctype: ColType::Int }]).unwrap()
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let mut c = Catalog::new();
+        c.create_table("T1", schema(), false).unwrap();
+        assert!(c.contains("t1"), "names are case-insensitive");
+        assert!(c.get("T1").is_ok());
+        c.drop_table("t1").unwrap();
+        assert!(matches!(c.get("T1"), Err(DbError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn double_create_errors_unless_if_not_exists() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema(), false).unwrap();
+        assert!(matches!(c.create_table("t", schema(), false), Err(DbError::TableExists(_))));
+        assert!(c.create_table("t", schema(), true).is_ok());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut c = Catalog::new();
+        c.create_table("zeta", schema(), false).unwrap();
+        c.create_table("alpha", schema(), false).unwrap();
+        assert_eq!(c.table_names(), vec!["alpha", "zeta"]);
+    }
+}

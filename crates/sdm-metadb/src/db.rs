@@ -1,0 +1,277 @@
+//! The embedded database connection.
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, DbResult};
+use crate::exec::{execute_with_stats, DbStats, Outcome};
+use crate::sql::ast::Statement;
+use crate::sql::parse;
+use crate::table::Row;
+use crate::value::Value;
+
+/// Result set of a SELECT (empty for other statements).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Projected column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// Rows affected (for DML).
+    pub affected: usize,
+}
+
+impl ResultSet {
+    /// First row, if any.
+    pub fn first(&self) -> Option<&Row> {
+        self.rows.first()
+    }
+
+    /// Whether the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Scalar convenience: the single value of a single-row,
+    /// single-column result.
+    pub fn scalar(&self) -> Option<&Value> {
+        match (self.rows.len(), self.columns.len()) {
+            (1, 1) => Some(&self.rows[0][0]),
+            _ => self.rows.first().and_then(|r| r.first()),
+        }
+    }
+}
+
+/// An embedded SQL database ("the MySQL connection" of the paper),
+/// thread-safe: SDM ranks share one `Database` behind an `Arc`.
+///
+/// Transactions (`BEGIN` / `COMMIT` / `ROLLBACK`) snapshot the whole
+/// catalog, like a global table lock: one transaction may be open at a
+/// time, and concurrent writers during an open transaction are rolled
+/// back with it. That matches how SDM uses the database — rank 0
+/// brackets its metadata updates — and the table-level locking of the
+/// MySQL 3.23 era.
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: RwLock<Catalog>,
+    tx_snapshot: Mutex<Option<Catalog>>,
+    stats: Mutex<DbStats>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse and execute one statement with positional `?` parameters.
+    pub fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
+        let stmt = parse(sql)?;
+        match stmt {
+            Statement::Begin => {
+                let mut tx = self.tx_snapshot.lock();
+                if tx.is_some() {
+                    return Err(DbError::Tx("transaction already open".into()));
+                }
+                *tx = Some(self.catalog.read().clone());
+                Ok(ResultSet::default())
+            }
+            Statement::Commit => {
+                let mut tx = self.tx_snapshot.lock();
+                if tx.take().is_none() {
+                    return Err(DbError::Tx("COMMIT without an open transaction".into()));
+                }
+                Ok(ResultSet::default())
+            }
+            Statement::Rollback => {
+                let mut tx = self.tx_snapshot.lock();
+                match tx.take() {
+                    None => Err(DbError::Tx("ROLLBACK without an open transaction".into())),
+                    Some(snapshot) => {
+                        *self.catalog.write() = snapshot;
+                        Ok(ResultSet::default())
+                    }
+                }
+            }
+            stmt => {
+                let mut catalog = self.catalog.write();
+                let mut stats = self.stats.lock();
+                match execute_with_stats(&mut catalog, &stmt, params, &mut stats)? {
+                    Outcome::Rows { columns, rows } => Ok(ResultSet { columns, rows, affected: 0 }),
+                    Outcome::Affected(n) => Ok(ResultSet { columns: vec![], rows: vec![], affected: n }),
+                }
+            }
+        }
+    }
+
+    /// Execute several `;`-free statements in order (schema setup).
+    pub fn exec_batch(&self, stmts: &[&str]) -> DbResult<()> {
+        for s in stmts {
+            self.exec(s, &[])?;
+        }
+        Ok(())
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.catalog.read().contains(name)
+    }
+
+    /// Whether a transaction is currently open.
+    pub fn in_transaction(&self) -> bool {
+        self.tx_snapshot.lock().is_some()
+    }
+
+    /// Scan-strategy counters (full scans vs index probes) since the
+    /// last [`Database::reset_stats`].
+    pub fn stats(&self) -> DbStats {
+        *self.stats.lock()
+    }
+
+    /// Zero the scan counters.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = DbStats::default();
+    }
+
+    /// Snapshot of the catalog (persistence).
+    pub(crate) fn catalog_snapshot(&self) -> Catalog {
+        self.catalog.read().clone()
+    }
+
+    /// Replace the catalog (load from disk).
+    pub(crate) fn install_catalog(&self, c: Catalog) {
+        *self.catalog.write() = c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_session() {
+        let db = Database::new();
+        db.exec("CREATE TABLE kv (k TEXT, v INT)", &[]).unwrap();
+        db.exec("INSERT INTO kv VALUES (?, ?)", &[Value::from("x"), Value::Int(1)]).unwrap();
+        db.exec("INSERT INTO kv VALUES (?, ?)", &[Value::from("y"), Value::Int(2)]).unwrap();
+        let rs = db.exec("SELECT v FROM kv WHERE k = ?", &[Value::from("y")]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+        let rs = db.exec("UPDATE kv SET v = v * 10", &[]).unwrap();
+        assert_eq!(rs.affected, 2);
+        let rs = db.exec("SELECT v FROM kv ORDER BY v", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(10)], vec![Value::Int(20)]]);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let db = Arc::new(Database::new());
+        db.exec("CREATE TABLE c (n INT)", &[]).unwrap();
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for j in 0..50 {
+                        db.exec("INSERT INTO c VALUES (?)", &[Value::Int(i * 100 + j)]).unwrap();
+                    }
+                });
+            }
+        });
+        let rs = db.exec("SELECT * FROM c", &[]).unwrap();
+        assert_eq!(rs.len(), 400);
+    }
+
+    #[test]
+    fn exec_batch_runs_all() {
+        let db = Database::new();
+        db.exec_batch(&[
+            "CREATE TABLE a (x INT)",
+            "CREATE TABLE b (y INT)",
+            "INSERT INTO a VALUES (1)",
+        ])
+        .unwrap();
+        assert!(db.has_table("a") && db.has_table("b"));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let db = Database::new();
+        assert!(db.exec("SELECT * FROM missing", &[]).is_err());
+        assert!(db.exec("NOT SQL AT ALL", &[]).is_err());
+    }
+
+    #[test]
+    fn result_set_helpers() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        let rs = db.exec("SELECT * FROM t", &[]).unwrap();
+        assert!(rs.is_empty());
+        assert!(rs.first().is_none());
+        assert!(rs.scalar().is_none());
+    }
+
+    #[test]
+    fn rollback_restores_data() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (1)", &[]).unwrap();
+        db.exec("BEGIN", &[]).unwrap();
+        assert!(db.in_transaction());
+        db.exec("INSERT INTO t VALUES (2)", &[]).unwrap();
+        db.exec("DELETE FROM t WHERE a = 1", &[]).unwrap();
+        db.exec("ROLLBACK", &[]).unwrap();
+        assert!(!db.in_transaction());
+        let rs = db.exec("SELECT a FROM t", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn commit_keeps_data() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        db.exec("START TRANSACTION", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (7)", &[]).unwrap();
+        db.exec("COMMIT", &[]).unwrap();
+        let rs = db.exec("SELECT a FROM t", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(7)]]);
+    }
+
+    #[test]
+    fn rollback_restores_schema_changes() {
+        let db = Database::new();
+        db.exec("BEGIN", &[]).unwrap();
+        db.exec("CREATE TABLE temp (x INT)", &[]).unwrap();
+        db.exec("ROLLBACK", &[]).unwrap();
+        assert!(!db.has_table("temp"));
+    }
+
+    #[test]
+    fn tx_misuse_errors() {
+        let db = Database::new();
+        assert!(matches!(db.exec("COMMIT", &[]), Err(DbError::Tx(_))));
+        assert!(matches!(db.exec("ROLLBACK", &[]), Err(DbError::Tx(_))));
+        db.exec("BEGIN", &[]).unwrap();
+        assert!(matches!(db.exec("BEGIN", &[]), Err(DbError::Tx(_))));
+        db.exec("COMMIT", &[]).unwrap();
+    }
+
+    #[test]
+    fn stats_observe_index_usage() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (k INT)", &[]).unwrap();
+        for i in 0..20 {
+            db.exec("INSERT INTO t VALUES (?)", &[Value::Int(i)]).unwrap();
+        }
+        db.exec("CREATE INDEX tk ON t (k)", &[]).unwrap();
+        db.reset_stats();
+        db.exec("SELECT * FROM t WHERE k = 5", &[]).unwrap();
+        db.exec("SELECT * FROM t WHERE k > 5", &[]).unwrap();
+        let s = db.stats();
+        assert_eq!((s.index_scans, s.full_scans), (1, 1));
+    }
+}

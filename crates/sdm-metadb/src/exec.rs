@@ -1,0 +1,1108 @@
+//! Expression evaluation and statement execution.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, DbResult};
+use crate::schema::{Column, Schema};
+use crate::sql::ast::{AggFunc, BinOp, Expr, Join, OrderBy, SelExpr, SelectItem, Statement};
+use crate::table::Row;
+use crate::value::Value;
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// SELECT result: projected column names + rows.
+    Rows {
+        /// Projected column names.
+        columns: Vec<String>,
+        /// Result rows.
+        rows: Vec<Row>,
+    },
+    /// Row count affected by INSERT/UPDATE/DELETE, or 0 for DDL.
+    Affected(usize),
+}
+
+/// Scan-strategy counters (how SELECTs touched their tables); exposed by
+/// `Database::stats` so tests and benches can observe index usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// SELECTs answered by a full table (or join) scan.
+    pub full_scans: u64,
+    /// SELECTs answered through a secondary-index equality probe.
+    pub index_scans: u64,
+}
+
+/// Column-name resolution context for expression evaluation.
+///
+/// `Schema` resolves plain names; relations built for joins resolve
+/// qualified `table.column` names too.
+pub trait Resolve {
+    /// Index of `name` in a row, or an error naming the problem.
+    fn col_index(&self, name: &str) -> DbResult<usize>;
+}
+
+impl Resolve for Schema {
+    fn col_index(&self, name: &str) -> DbResult<usize> {
+        self.index_of(name)
+    }
+}
+
+/// A single table with its name: resolves both `col` and `table.col`.
+struct TableRel<'a> {
+    table: &'a str,
+    schema: &'a Schema,
+}
+
+impl Resolve for TableRel<'_> {
+    fn col_index(&self, name: &str) -> DbResult<usize> {
+        match name.split_once('.') {
+            None => self.schema.index_of(name),
+            Some((t, c)) if t.eq_ignore_ascii_case(self.table) => self.schema.index_of(c),
+            Some(_) => Err(DbError::NoSuchColumn(name.to_string())),
+        }
+    }
+}
+
+/// The concatenated schema of an equi-join: qualified names plus
+/// unambiguous plain names.
+struct JoinRel {
+    /// `(qualified, plain)` per combined column.
+    cols: Vec<(String, String)>,
+}
+
+impl Resolve for JoinRel {
+    fn col_index(&self, name: &str) -> DbResult<usize> {
+        if name.contains('.') {
+            return self
+                .cols
+                .iter()
+                .position(|(q, _)| q.eq_ignore_ascii_case(name))
+                .ok_or_else(|| DbError::NoSuchColumn(name.to_string()));
+        }
+        let mut hits = self.cols.iter().enumerate().filter(|(_, (_, p))| p.eq_ignore_ascii_case(name));
+        match (hits.next(), hits.next()) {
+            (Some((i, _)), None) => Ok(i),
+            (Some(_), Some(_)) => {
+                Err(DbError::NoSuchColumn(format!("ambiguous column {name} (qualify it)")))
+            }
+            _ => Err(DbError::NoSuchColumn(name.to_string())),
+        }
+    }
+}
+
+/// Output rows of an aggregate query: resolves projected output names.
+struct NamedRel {
+    names: Vec<String>,
+}
+
+impl Resolve for NamedRel {
+    fn col_index(&self, name: &str) -> DbResult<usize> {
+        self.names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::NoSuchColumn(format!("{name} (not an output column)")))
+    }
+}
+
+/// Evaluate `expr` against a row (with `res` resolving column names)
+/// and positional `params`.
+pub fn eval(expr: &Expr, res: &impl Resolve, row: &Row, params: &[Value]) -> DbResult<Value> {
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Col(name) => Ok(row[res.col_index(name)?].clone()),
+        Expr::Param(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| DbError::Arity(format!("missing parameter {} (got {})", i + 1, params.len()))),
+        Expr::Neg(e) => match eval(e, res, row, params)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Double(d) => Ok(Value::Double(-d)),
+            Value::Null => Ok(Value::Null),
+            other => Err(DbError::Type(format!("cannot negate {}", other.type_name()))),
+        },
+        Expr::Not(e) => match truthy(&eval(e, res, row, params)?) {
+            Some(b) => Ok(Value::Int(!b as i64)),
+            None => Ok(Value::Null),
+        },
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, res, row, params)?;
+            Ok(Value::Int((v.is_null() != *negated) as i64))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval(lhs, res, row, params)?;
+            // Short-circuit logic ops (SQL three-valued).
+            match op {
+                BinOp::And => {
+                    if truthy(&l) == Some(false) {
+                        return Ok(Value::Int(0));
+                    }
+                    let r = eval(rhs, res, row, params)?;
+                    return Ok(match (truthy(&l), truthy(&r)) {
+                        (Some(a), Some(b)) => Value::Int((a && b) as i64),
+                        (_, Some(false)) => Value::Int(0),
+                        _ => Value::Null,
+                    });
+                }
+                BinOp::Or => {
+                    if truthy(&l) == Some(true) {
+                        return Ok(Value::Int(1));
+                    }
+                    let r = eval(rhs, res, row, params)?;
+                    return Ok(match (truthy(&l), truthy(&r)) {
+                        (Some(a), Some(b)) => Value::Int((a || b) as i64),
+                        (_, Some(true)) => Value::Int(1),
+                        _ => Value::Null,
+                    });
+                }
+                _ => {}
+            }
+            let r = eval(rhs, res, row, params)?;
+            match op {
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let cmp = l.sql_cmp(&r);
+                    Ok(match cmp {
+                        None => Value::Null,
+                        Some(o) => {
+                            let b = match op {
+                                BinOp::Eq => o == Ordering::Equal,
+                                BinOp::Ne => o != Ordering::Equal,
+                                BinOp::Lt => o == Ordering::Less,
+                                BinOp::Le => o != Ordering::Greater,
+                                BinOp::Gt => o == Ordering::Greater,
+                                BinOp::Ge => o != Ordering::Less,
+                                _ => unreachable!(),
+                            };
+                            Value::Int(b as i64)
+                        }
+                    })
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, &l, &r),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+fn truthy(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(*i != 0),
+        Value::Double(d) => Some(*d != 0.0),
+        Value::Text(s) => Some(!s.is_empty()),
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> DbResult<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(match op {
+            BinOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    Value::Null // SQL: division by zero yields NULL
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            _ => unreachable!(),
+        }),
+        _ => {
+            let a = l.as_f64().ok_or_else(|| {
+                DbError::Type(format!("arithmetic on {}", l.type_name()))
+            })?;
+            let b = r.as_f64().ok_or_else(|| {
+                DbError::Type(format!("arithmetic on {}", r.type_name()))
+            })?;
+            Ok(match op {
+                BinOp::Add => Value::Double(a + b),
+                BinOp::Sub => Value::Double(a - b),
+                BinOp::Mul => Value::Double(a * b),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Double(a / b)
+                    }
+                }
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+/// Compute one aggregate over the given column values.
+fn aggregate(func: AggFunc, vals: &[&Value]) -> Value {
+    match func {
+        AggFunc::Count => Value::Int(vals.iter().filter(|v| !v.is_null()).count() as i64),
+        AggFunc::Sum => {
+            let mut int_sum = 0i64;
+            let mut dbl_sum = 0.0f64;
+            let mut any = false;
+            let mut all_int = true;
+            for v in vals.iter().filter(|v| !v.is_null()) {
+                any = true;
+                match v {
+                    Value::Int(i) => {
+                        int_sum = int_sum.wrapping_add(*i);
+                        dbl_sum += *i as f64;
+                    }
+                    Value::Double(d) => {
+                        all_int = false;
+                        dbl_sum += d;
+                    }
+                    _ => all_int = false, // text sums to 0 contribution, MySQL-ish leniency
+                }
+            }
+            match (any, all_int) {
+                (false, _) => Value::Null,
+                (true, true) => Value::Int(int_sum),
+                (true, false) => Value::Double(dbl_sum),
+            }
+        }
+        AggFunc::Avg => {
+            let nums: Vec<f64> = vals.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Double(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<&Value> = None;
+            for v in vals.iter().filter(|v| !v.is_null()) {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => match v.sql_cmp(b) {
+                        Some(Ordering::Less) if func == AggFunc::Min => v,
+                        Some(Ordering::Greater) if func == AggFunc::Max => v,
+                        _ => b,
+                    },
+                });
+            }
+            best.cloned().unwrap_or(Value::Null)
+        }
+    }
+}
+
+/// If `filter` contains a top-level `col = <const>` conjunct whose value
+/// is known without a row (literal or parameter), return it for index
+/// probing.
+fn eq_probe<'a>(filter: &'a Expr, params: &[Value]) -> Option<(&'a str, Value)> {
+    match filter {
+        Expr::Binary { op: BinOp::And, lhs, rhs } => {
+            eq_probe(lhs, params).or_else(|| eq_probe(rhs, params))
+        }
+        Expr::Binary { op: BinOp::Eq, lhs, rhs } => {
+            let const_of = |e: &Expr| -> Option<Value> {
+                match e {
+                    Expr::Lit(v) => Some(v.clone()),
+                    Expr::Param(i) => params.get(*i).cloned(),
+                    _ => None,
+                }
+            };
+            match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Col(c), e) => const_of(e).map(|v| (c.as_str(), v)),
+                (e, Expr::Col(c)) => const_of(e).map(|v| (c.as_str(), v)),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Execute a parsed statement against the catalog.
+///
+/// Convenience wrapper around [`execute_with_stats`] discarding the
+/// scan counters.
+pub fn execute(catalog: &mut Catalog, stmt: &Statement, params: &[Value]) -> DbResult<Outcome> {
+    let mut stats = DbStats::default();
+    execute_with_stats(catalog, stmt, params, &mut stats)
+}
+
+/// Execute a parsed statement, recording scan strategy in `stats`.
+///
+/// `BEGIN`/`COMMIT`/`ROLLBACK` are connection-level and rejected here;
+/// the `Database` handle intercepts them before reaching the executor.
+pub fn execute_with_stats(
+    catalog: &mut Catalog,
+    stmt: &Statement,
+    params: &[Value],
+    stats: &mut DbStats,
+) -> DbResult<Outcome> {
+    match stmt {
+        Statement::CreateTable { name, columns, if_not_exists } => {
+            let schema = Schema::new(
+                columns
+                    .iter()
+                    .map(|(n, t)| Column { name: n.clone(), ctype: *t })
+                    .collect(),
+            )?;
+            catalog.create_table(name, schema, *if_not_exists)?;
+            Ok(Outcome::Affected(0))
+        }
+        Statement::DropTable { name } => {
+            catalog.drop_table(name)?;
+            Ok(Outcome::Affected(0))
+        }
+        Statement::CreateIndex { name, table, column } => {
+            catalog.get_mut(table)?.create_index(name, column)?;
+            Ok(Outcome::Affected(0))
+        }
+        Statement::DropIndex { name, table } => {
+            catalog.get_mut(table)?.drop_index(name)?;
+            Ok(Outcome::Affected(0))
+        }
+        Statement::Insert { table, columns, rows } => {
+            let empty_schema = Schema::new(vec![])?;
+            let empty_row: Row = vec![];
+            // Evaluate expressions first (no column refs allowed in VALUES).
+            let t = catalog.get(table)?;
+            let schema = t.schema.clone();
+            let mut prepared: Vec<Row> = Vec::with_capacity(rows.len());
+            for row_exprs in rows {
+                let vals: Vec<Value> = row_exprs
+                    .iter()
+                    .map(|e| eval(e, &empty_schema, &empty_row, params))
+                    .collect::<DbResult<_>>()?;
+                let full = match columns {
+                    None => vals,
+                    Some(cols) => {
+                        if cols.len() != vals.len() {
+                            return Err(DbError::Arity(format!(
+                                "{} columns but {} values",
+                                cols.len(),
+                                vals.len()
+                            )));
+                        }
+                        let mut full = vec![Value::Null; schema.arity()];
+                        for (c, v) in cols.iter().zip(vals) {
+                            full[schema.index_of(c)?] = v;
+                        }
+                        full
+                    }
+                };
+                prepared.push(full);
+            }
+            let t = catalog.get_mut(table)?;
+            let n = prepared.len();
+            for row in prepared {
+                t.insert(row)?;
+            }
+            Ok(Outcome::Affected(n))
+        }
+        Statement::Select {
+            distinct,
+            items,
+            table,
+            join,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+        } => exec_select(
+            catalog, params, stats, *distinct, items, table, join, filter, group_by, having,
+            order_by, *limit,
+        ),
+        Statement::Update { table, sets, filter } => {
+            let t = catalog.get_mut(table)?;
+            let schema = t.schema.clone();
+            let set_idx: Vec<(usize, &Expr)> = sets
+                .iter()
+                .map(|(c, e)| Ok((schema.index_of(c)?, e)))
+                .collect::<DbResult<_>>()?;
+            let mut n = 0;
+            // Two-pass to keep the borrow checker and row-snapshot
+            // semantics honest: evaluate against the pre-update row.
+            for row in t.rows_mut().iter_mut() {
+                let hit = match filter {
+                    Some(f) => truthy(&eval(f, &schema, row, params)?) == Some(true),
+                    None => true,
+                };
+                if !hit {
+                    continue;
+                }
+                let snapshot = row.clone();
+                for &(i, e) in &set_idx {
+                    let v = eval(e, &schema, &snapshot, params)?;
+                    let col = &schema.columns[i];
+                    if !col.ctype.admits(&v) {
+                        return Err(DbError::Type(format!(
+                            "column {} cannot store {}",
+                            col.name,
+                            v.type_name()
+                        )));
+                    }
+                    row[i] = col.ctype.coerce(v);
+                }
+                n += 1;
+            }
+            Ok(Outcome::Affected(n))
+        }
+        Statement::Delete { table, filter } => {
+            let t = catalog.get_mut(table)?;
+            let schema = t.schema.clone();
+            match filter {
+                None => {
+                    let n = t.len();
+                    t.rows_mut().clear();
+                    Ok(Outcome::Affected(n))
+                }
+                Some(f) => {
+                    // Evaluate first to surface errors; then delete.
+                    let hits: Vec<bool> = t
+                        .rows()
+                        .iter()
+                        .map(|r| Ok(truthy(&eval(f, &schema, r, params)?) == Some(true)))
+                        .collect::<DbResult<_>>()?;
+                    let mut it = hits.into_iter();
+                    let n = t.delete_where(|_| it.next().unwrap_or(false));
+                    Ok(Outcome::Affected(n))
+                }
+            }
+        }
+        Statement::Begin | Statement::Commit | Statement::Rollback => Err(DbError::Tx(
+            "transactions are managed by the Database connection, not the executor".into(),
+        )),
+    }
+}
+
+/// The SELECT pipeline: source (scan / index probe / join) → WHERE →
+/// [GROUP BY + aggregates + HAVING] → ORDER BY → projection → DISTINCT
+/// → LIMIT.
+#[allow(clippy::too_many_arguments)]
+fn exec_select(
+    catalog: &mut Catalog,
+    params: &[Value],
+    stats: &mut DbStats,
+    distinct: bool,
+    items: &Option<Vec<SelectItem>>,
+    table: &str,
+    join: &Option<Join>,
+    filter: &Option<Expr>,
+    group_by: &[String],
+    having: &Option<Expr>,
+    order_by: &[OrderBy],
+    limit: Option<usize>,
+) -> DbResult<Outcome> {
+    // ---- Source relation ----
+    let (rel_cols, mut rows): (Vec<(String, String)>, Vec<Row>) = match join {
+        None => {
+            let schema = catalog.get(table)?.schema.clone();
+            let rel = TableRel { table, schema: &schema };
+            // Index path: a top-level equality conjunct on an indexed column.
+            let candidates: Option<Vec<usize>> = filter.as_ref().and_then(|f| {
+                let (col, val) = eq_probe(f, params)?;
+                let plain = col.rsplit('.').next().unwrap_or(col);
+                rel.col_index(col).ok()?; // must resolve in this table
+                catalog.get_mut(table).ok()?.index_lookup(plain, &val)
+            });
+            let t = catalog.get(table)?;
+            let mut out = Vec::new();
+            match candidates {
+                Some(pos) => {
+                    stats.index_scans += 1;
+                    for p in pos {
+                        let row = &t.rows()[p];
+                        if let Some(f) = filter {
+                            if truthy(&eval(f, &rel, row, params)?) != Some(true) {
+                                continue;
+                            }
+                        }
+                        out.push(row.clone());
+                    }
+                }
+                None => {
+                    stats.full_scans += 1;
+                    for row in t.rows() {
+                        if let Some(f) = filter {
+                            if truthy(&eval(f, &rel, row, params)?) != Some(true) {
+                                continue;
+                            }
+                        }
+                        out.push(row.clone());
+                    }
+                }
+            }
+            let cols = schema
+                .columns
+                .iter()
+                .map(|c| (format!("{table}.{}", c.name), c.name.clone()))
+                .collect();
+            (cols, out)
+        }
+        Some(j) => {
+            stats.full_scans += 1;
+            let left = catalog.get(table)?;
+            let right = catalog.get(&j.table)?;
+            let lschema = left.schema.clone();
+            let rschema = right.schema.clone();
+            let cols: Vec<(String, String)> = lschema
+                .columns
+                .iter()
+                .map(|c| (format!("{table}.{}", c.name), c.name.clone()))
+                .chain(
+                    rschema
+                        .columns
+                        .iter()
+                        .map(|c| (format!("{}.{}", j.table, c.name), c.name.clone())),
+                )
+                .collect();
+            let rel = JoinRel { cols: cols.clone() };
+            // Resolve the ON columns against each side.
+            let lrel = TableRel { table, schema: &lschema };
+            let rrel = TableRel { table: &j.table, schema: &rschema };
+            let (lcol, rcol) = match (lrel.col_index(&j.on_left), rrel.col_index(&j.on_right)) {
+                (Ok(a), Ok(b)) => (a, b),
+                // Allow the ON sides in either order.
+                _ => match (lrel.col_index(&j.on_right), rrel.col_index(&j.on_left)) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    _ => {
+                        return Err(DbError::NoSuchColumn(format!(
+                            "ON {} = {} does not name one column from each side",
+                            j.on_left, j.on_right
+                        )))
+                    }
+                },
+            };
+            // Hash join on the right side.
+            let mut rmap: HashMap<String, Vec<usize>> = HashMap::new();
+            for (i, r) in right.rows().iter().enumerate() {
+                if !r[rcol].is_null() {
+                    rmap.entry(r[rcol].index_key()).or_default().push(i);
+                }
+            }
+            let mut out = Vec::new();
+            for l in left.rows() {
+                if l[lcol].is_null() {
+                    continue;
+                }
+                if let Some(ris) = rmap.get(&l[lcol].index_key()) {
+                    for &ri in ris {
+                        let r = &right.rows()[ri];
+                        // Re-verify under SQL equality (hash buckets may
+                        // collide across numeric types after rounding).
+                        if l[lcol].sql_eq(&r[rcol]) != Some(true) {
+                            continue;
+                        }
+                        let mut combined = l.clone();
+                        combined.extend(r.iter().cloned());
+                        if let Some(f) = filter {
+                            if truthy(&eval(f, &rel, &combined, params)?) != Some(true) {
+                                continue;
+                            }
+                        }
+                        out.push(combined);
+                    }
+                }
+            }
+            (cols, out)
+        }
+    };
+    let rel = JoinRel { cols: rel_cols.clone() };
+
+    // ---- Aggregate path ----
+    let has_agg = items
+        .as_ref()
+        .map(|is| is.iter().any(|i| matches!(i.expr, SelExpr::Agg { .. })))
+        .unwrap_or(false);
+    if has_agg || !group_by.is_empty() {
+        let items = items.as_ref().ok_or_else(|| {
+            DbError::Parse("SELECT * cannot be combined with GROUP BY / aggregates".into())
+        })?;
+        // Validate: plain columns must be grouping columns.
+        for it in items {
+            if let SelExpr::Col(c) = &it.expr {
+                if !group_by.iter().any(|g| g.eq_ignore_ascii_case(c)) {
+                    return Err(DbError::Parse(format!(
+                        "column {c} must appear in GROUP BY or inside an aggregate"
+                    )));
+                }
+            }
+        }
+        let gidx: Vec<usize> =
+            group_by.iter().map(|g| rel.col_index(g)).collect::<DbResult<_>>()?;
+        // Group rows, preserving first-seen order.
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Vec<Row>> = HashMap::new();
+        if gidx.is_empty() {
+            order.push(String::new());
+            groups.insert(String::new(), std::mem::take(&mut rows));
+        } else {
+            for row in rows.drain(..) {
+                let key = gidx.iter().map(|&i| row[i].index_key()).collect::<Vec<_>>().join("\u{1}");
+                if !groups.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(row);
+            }
+        }
+        let names: Vec<String> = items.iter().map(SelectItem::output_name).collect();
+        let mut out_rows: Vec<Row> = Vec::with_capacity(order.len());
+        for key in &order {
+            let grp = &groups[key];
+            let mut out = Vec::with_capacity(items.len());
+            for it in items {
+                match &it.expr {
+                    SelExpr::Col(c) => {
+                        let i = rel.col_index(c)?;
+                        out.push(grp.first().map(|r| r[i].clone()).unwrap_or(Value::Null));
+                    }
+                    SelExpr::Agg { func, arg } => {
+                        let v = match arg {
+                            None => Value::Int(grp.len() as i64), // COUNT(*)
+                            Some(c) => {
+                                let i = rel.col_index(c)?;
+                                let vals: Vec<&Value> = grp.iter().map(|r| &r[i]).collect();
+                                aggregate(*func, &vals)
+                            }
+                        };
+                        out.push(v);
+                    }
+                }
+            }
+            out_rows.push(out);
+        }
+        let out_rel = NamedRel { names: names.clone() };
+        if let Some(h) = having {
+            let mut kept = Vec::with_capacity(out_rows.len());
+            for r in out_rows {
+                if truthy(&eval(h, &out_rel, &r, params)?) == Some(true) {
+                    kept.push(r);
+                }
+            }
+            out_rows = kept;
+        }
+        sort_rows(&mut out_rows, order_by, &out_rel)?;
+        finish(names, out_rows, distinct, limit)
+    } else {
+        // ---- Plain path: sort on the source relation, then project ----
+        sort_rows(&mut rows, order_by, &rel)?;
+        let (names, rows) = match items {
+            None => {
+                // `*`: plain names for single tables, qualified for joins.
+                let names = if join.is_none() {
+                    rel_cols.iter().map(|(_, p)| p.clone()).collect()
+                } else {
+                    rel_cols.iter().map(|(q, _)| q.clone()).collect()
+                };
+                (names, rows)
+            }
+            Some(items) => {
+                let idx: Vec<usize> = items
+                    .iter()
+                    .map(|it| match &it.expr {
+                        SelExpr::Col(c) => rel.col_index(c),
+                        SelExpr::Agg { .. } => unreachable!("aggregate handled above"),
+                    })
+                    .collect::<DbResult<_>>()?;
+                let names = items.iter().map(SelectItem::output_name).collect();
+                let rows = rows
+                    .into_iter()
+                    .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+                    .collect();
+                (names, rows)
+            }
+        };
+        finish(names, rows, distinct, limit)
+    }
+}
+
+fn sort_rows(rows: &mut [Row], order_by: &[OrderBy], rel: &impl Resolve) -> DbResult<()> {
+    if order_by.is_empty() {
+        return Ok(());
+    }
+    let keys: Vec<(usize, bool)> = order_by
+        .iter()
+        .map(|o| Ok((rel.col_index(&o.column)?, o.desc)))
+        .collect::<DbResult<_>>()?;
+    rows.sort_by(|a, b| {
+        for &(i, desc) in &keys {
+            let o = a[i].sql_cmp(&b[i]).unwrap_or(Ordering::Equal);
+            let o = if desc { o.reverse() } else { o };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    });
+    Ok(())
+}
+
+/// DISTINCT + LIMIT + wrap-up.
+fn finish(
+    names: Vec<String>,
+    mut rows: Vec<Row>,
+    distinct: bool,
+    limit: Option<usize>,
+) -> DbResult<Outcome> {
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|r| {
+            seen.insert(r.iter().map(Value::index_key).collect::<Vec<_>>().join("\u{1}"))
+        });
+    }
+    if let Some(l) = limit {
+        rows.truncate(l);
+    }
+    Ok(Outcome::Rows { columns: names, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse;
+
+    fn run(catalog: &mut Catalog, sql: &str, params: &[Value]) -> Outcome {
+        execute(catalog, &parse(sql).unwrap(), params).unwrap()
+    }
+
+    fn rows_of(o: Outcome) -> Vec<Row> {
+        match o {
+            Outcome::Rows { rows, .. } => rows,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    fn setup() -> Catalog {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE t (id INT, score DOUBLE, name TEXT)", &[]);
+        run(&mut c, "INSERT INTO t VALUES (1, 3.5, 'a'), (2, 1.0, 'b'), (3, 9.25, 'c')", &[]);
+        c
+    }
+
+    #[test]
+    fn select_all() {
+        let mut c = setup();
+        match run(&mut c, "SELECT * FROM t", &[]) {
+            Outcome::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["id", "score", "name"]);
+                assert_eq!(rows.len(), 3);
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_where_params() {
+        let mut c = setup();
+        let rows = rows_of(run(&mut c, "SELECT name FROM t WHERE id = ?", &[Value::Int(2)]));
+        assert_eq!(rows, vec![vec![Value::Text("b".into())]]);
+    }
+
+    #[test]
+    fn select_order_desc_limit() {
+        let mut c = setup();
+        let rows = rows_of(run(&mut c, "SELECT id FROM t ORDER BY score DESC LIMIT 2", &[]));
+        assert_eq!(rows, vec![vec![Value::Int(3)], vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn update_with_expression() {
+        let mut c = setup();
+        let out = run(&mut c, "UPDATE t SET score = score + 1 WHERE id < 3", &[]);
+        assert_eq!(out, Outcome::Affected(2));
+        let rows = rows_of(run(&mut c, "SELECT score FROM t WHERE id = 1", &[]));
+        assert_eq!(rows[0][0].as_f64(), Some(4.5));
+    }
+
+    #[test]
+    fn delete_where() {
+        let mut c = setup();
+        let out = run(&mut c, "DELETE FROM t WHERE score > 2.0", &[]);
+        assert_eq!(out, Outcome::Affected(2));
+        let rows = rows_of(run(&mut c, "SELECT id FROM t", &[]));
+        assert_eq!(rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut c = setup();
+        run(&mut c, "INSERT INTO t (id) VALUES (4)", &[]);
+        let rows = rows_of(run(&mut c, "SELECT name FROM t WHERE id = 4", &[]));
+        assert!(rows[0][0].is_null());
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let mut c = setup();
+        run(&mut c, "INSERT INTO t (id) VALUES (9)", &[]);
+        let rows = rows_of(run(&mut c, "SELECT id FROM t WHERE name IS NULL", &[]));
+        assert_eq!(rows, vec![vec![Value::Int(9)]]);
+        let rows =
+            rows_of(run(&mut c, "SELECT id FROM t WHERE name IS NOT NULL ORDER BY id LIMIT 1", &[]));
+        assert_eq!(rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn null_comparisons_filter_out() {
+        let mut c = setup();
+        run(&mut c, "INSERT INTO t (id) VALUES (10)", &[]);
+        // score IS NULL on the new row: comparison yields unknown -> excluded.
+        let rows = rows_of(run(&mut c, "SELECT id FROM t WHERE score > 0", &[]));
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let mut c = setup();
+        let rows = rows_of(run(&mut c, "SELECT id FROM t WHERE id / 0 IS NULL", &[]));
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn missing_param_errors() {
+        let mut c = setup();
+        let err = execute(&mut c, &parse("SELECT * FROM t WHERE id = ?").unwrap(), &[]);
+        assert!(matches!(err, Err(DbError::Arity(_))));
+    }
+
+    #[test]
+    fn type_error_on_bad_insert() {
+        let mut c = setup();
+        let err = execute(
+            &mut c,
+            &parse("INSERT INTO t VALUES ('not an int', 0.0, 'x')").unwrap(),
+            &[],
+        );
+        assert!(matches!(err, Err(DbError::Type(_))));
+    }
+
+    #[test]
+    fn update_snapshot_semantics() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE s (a INT, b INT)", &[]);
+        run(&mut c, "INSERT INTO s VALUES (1, 10)", &[]);
+        // Both assignments read the pre-update row.
+        run(&mut c, "UPDATE s SET a = b, b = a", &[]);
+        let rows = rows_of(run(&mut c, "SELECT a, b FROM s", &[]));
+        assert_eq!(rows[0], vec![Value::Int(10), Value::Int(1)]);
+    }
+
+    #[test]
+    fn and_or_three_valued_logic() {
+        let mut c = setup();
+        run(&mut c, "INSERT INTO t (id) VALUES (11)", &[]);
+        // (score > 0 OR id = 11): unknown OR true = true.
+        let rows = rows_of(run(&mut c, "SELECT id FROM t WHERE score > 0 OR id = 11", &[]));
+        assert_eq!(rows.len(), 4);
+    }
+
+    // ---- aggregates / grouping ----
+
+    #[test]
+    fn count_star_and_column() {
+        let mut c = setup();
+        run(&mut c, "INSERT INTO t (id) VALUES (4)", &[]); // NULL name
+        let rows = rows_of(run(&mut c, "SELECT COUNT(*), COUNT(name) FROM t", &[]));
+        assert_eq!(rows, vec![vec![Value::Int(4), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let mut c = setup();
+        let rows =
+            rows_of(run(&mut c, "SELECT SUM(id), AVG(score), MIN(score), MAX(name) FROM t", &[]));
+        assert_eq!(rows[0][0], Value::Int(6));
+        assert!((rows[0][1].as_f64().unwrap() - (3.5 + 1.0 + 9.25) / 3.0).abs() < 1e-12);
+        assert_eq!(rows[0][2], Value::Double(1.0));
+        assert_eq!(rows[0][3], Value::Text("c".into()));
+    }
+
+    #[test]
+    fn aggregates_over_empty_table() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE e (x INT)", &[]);
+        let rows = rows_of(run(&mut c, "SELECT COUNT(*), SUM(x), AVG(x) FROM e", &[]));
+        assert_eq!(rows, vec![vec![Value::Int(0), Value::Null, Value::Null]]);
+    }
+
+    #[test]
+    fn group_by_counts() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE g (ds TEXT, bytes INT)", &[]);
+        run(
+            &mut c,
+            "INSERT INTO g VALUES ('p', 10), ('q', 20), ('p', 30), ('q', 40), ('p', 50)",
+            &[],
+        );
+        match run(
+            &mut c,
+            "SELECT ds, COUNT(*) AS n, SUM(bytes) AS total FROM g GROUP BY ds ORDER BY ds",
+            &[],
+        ) {
+            Outcome::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["ds", "n", "total"]);
+                assert_eq!(
+                    rows,
+                    vec![
+                        vec![Value::Text("p".into()), Value::Int(3), Value::Int(90)],
+                        vec![Value::Text("q".into()), Value::Int(2), Value::Int(60)],
+                    ]
+                );
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE g (ds TEXT)", &[]);
+        run(&mut c, "INSERT INTO g VALUES ('p'), ('q'), ('p')", &[]);
+        let rows = rows_of(run(
+            &mut c,
+            "SELECT ds, COUNT(*) AS n FROM g GROUP BY ds HAVING n > 1",
+            &[],
+        ));
+        assert_eq!(rows, vec![vec![Value::Text("p".into()), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn bare_column_outside_group_by_rejected() {
+        let mut c = setup();
+        let err = execute(&mut c, &parse("SELECT name, COUNT(*) FROM t").unwrap(), &[]);
+        assert!(matches!(err, Err(DbError::Parse(_))));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE d (x INT)", &[]);
+        run(&mut c, "INSERT INTO d VALUES (1), (2), (1), (3), (2)", &[]);
+        let rows = rows_of(run(&mut c, "SELECT DISTINCT x FROM d ORDER BY x", &[]));
+        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]);
+    }
+
+    // ---- joins ----
+
+    fn join_setup() -> Catalog {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE runs (runid INT, app TEXT)", &[]);
+        run(&mut c, "CREATE TABLE execs (runid INT, ds TEXT, off INT)", &[]);
+        run(&mut c, "INSERT INTO runs VALUES (1, 'fun3d'), (2, 'rt')", &[]);
+        run(
+            &mut c,
+            "INSERT INTO execs VALUES (1, 'p', 0), (1, 'q', 100), (2, 'nodes', 0)",
+            &[],
+        );
+        c
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let mut c = join_setup();
+        let rows = rows_of(run(
+            &mut c,
+            "SELECT app, ds FROM runs JOIN execs ON runs.runid = execs.runid \
+             WHERE app = 'fun3d' ORDER BY ds",
+            &[],
+        ));
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Text("fun3d".into()), Value::Text("p".into())],
+                vec![Value::Text("fun3d".into()), Value::Text("q".into())],
+            ]
+        );
+    }
+
+    #[test]
+    fn join_star_uses_qualified_names() {
+        let mut c = join_setup();
+        match run(&mut c, "SELECT * FROM runs JOIN execs ON runs.runid = execs.runid", &[]) {
+            Outcome::Rows { columns, rows } => {
+                assert_eq!(columns[0], "runs.runid");
+                assert_eq!(columns[2], "execs.runid");
+                assert_eq!(rows.len(), 3);
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_rejected() {
+        let mut c = join_setup();
+        let err = execute(
+            &mut c,
+            &parse("SELECT runid FROM runs JOIN execs ON runs.runid = execs.runid").unwrap(),
+            &[],
+        );
+        assert!(matches!(err, Err(DbError::NoSuchColumn(m)) if m.contains("ambiguous")));
+    }
+
+    #[test]
+    fn join_with_aggregates() {
+        let mut c = join_setup();
+        let rows = rows_of(run(
+            &mut c,
+            "SELECT app, COUNT(*) AS n FROM runs JOIN execs ON runs.runid = execs.runid \
+             GROUP BY app ORDER BY app",
+            &[],
+        ));
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Text("fun3d".into()), Value::Int(2)],
+                vec![Value::Text("rt".into()), Value::Int(1)],
+            ]
+        );
+    }
+
+    // ---- index usage ----
+
+    #[test]
+    fn index_probe_is_used_and_correct() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE h (k INT, v TEXT)", &[]);
+        for i in 0..50 {
+            run(&mut c, "INSERT INTO h VALUES (?, 'x')", &[Value::Int(i % 10)]);
+        }
+        run(&mut c, "CREATE INDEX hk ON h (k)", &[]);
+        let mut stats = DbStats::default();
+        let out = execute_with_stats(
+            &mut c,
+            &parse("SELECT COUNT(*) FROM h WHERE k = ?").unwrap(),
+            &[Value::Int(3)],
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(rows_of(out), vec![vec![Value::Int(5)]]);
+        assert_eq!(stats, DbStats { full_scans: 0, index_scans: 1 });
+        // Non-equality predicates fall back to a scan.
+        let out = execute_with_stats(
+            &mut c,
+            &parse("SELECT COUNT(*) FROM h WHERE k > 3").unwrap(),
+            &[],
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(rows_of(out), vec![vec![Value::Int(30)]]);
+        assert_eq!(stats.full_scans, 1);
+    }
+
+    #[test]
+    fn index_probe_respects_extra_conjuncts() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE h (k INT, v INT)", &[]);
+        run(&mut c, "INSERT INTO h VALUES (1, 10), (1, 20), (2, 30)", &[]);
+        run(&mut c, "CREATE INDEX hk ON h (k)", &[]);
+        let rows = rows_of(run(&mut c, "SELECT v FROM h WHERE k = 1 AND v > 15", &[]));
+        assert_eq!(rows, vec![vec![Value::Int(20)]]);
+    }
+
+    #[test]
+    fn tx_statements_rejected_at_executor() {
+        let mut c = Catalog::new();
+        assert!(matches!(
+            execute(&mut c, &Statement::Begin, &[]),
+            Err(DbError::Tx(_))
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! Embedded relational metadata database.
+//!
+//! Stands in for the MySQL 3.23 server the paper used for SDM's
+//! application metadata. SDM issues embedded SQL (CREATE TABLE / INSERT /
+//! SELECT / UPDATE / DELETE with WHERE, ORDER BY, LIMIT and `?`
+//! placeholders) against six small tables; this crate provides that
+//! surface — plus the reporting features the bench harnesses lean on:
+//! aggregates (COUNT/SUM/AVG/MIN/MAX), GROUP BY + HAVING, DISTINCT,
+//! single-column INNER JOIN, secondary hash indexes (CREATE INDEX) with
+//! automatic equality-probe planning, and snapshot transactions
+//! (BEGIN/COMMIT/ROLLBACK) — as an in-process engine:
+//!
+//! * [`value::Value`] / [`schema::Schema`] — the type system (INT,
+//!   DOUBLE, TEXT + NULL).
+//! * [`sql`] — lexer, AST, recursive-descent parser for the SQL subset.
+//! * [`exec`] — expression evaluation and statement execution.
+//! * [`Database`] — the embedded connection: `exec(sql, params)`.
+//! * [`persist`] — JSON snapshot persistence, so metadata survives
+//!   "runs" the way a MySQL server's tables did.
+//!
+//! The engine is deliberately small but real: every SDM metadata path
+//! (run registration, offset tracking, import descriptions, index-history
+//! lookups) goes through SQL here, as in the paper.
+
+pub mod catalog;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod persist;
+pub mod schema;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+pub use db::{Database, ResultSet};
+pub use error::{DbError, DbResult};
+pub use exec::DbStats;
+pub use schema::{ColType, Column, Schema};
+pub use table::IndexDef;
+pub use value::Value;

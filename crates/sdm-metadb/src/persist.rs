@@ -1,0 +1,87 @@
+//! Snapshot persistence.
+//!
+//! The paper's metadata lived in a MySQL server and survived across runs —
+//! that persistence is exactly what makes history files usable in
+//! *subsequent* runs. Here the catalog serializes to JSON on the real
+//! filesystem.
+
+use std::path::Path;
+
+use crate::catalog::Catalog;
+use crate::db::Database;
+use crate::error::{DbError, DbResult};
+
+impl Database {
+    /// Write a snapshot of all tables to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> DbResult<()> {
+        let snapshot = self.catalog_snapshot();
+        let json = serde_json::to_string(&snapshot)
+            .map_err(|e| DbError::Persist(format!("serialize: {e}")))?;
+        std::fs::write(path.as_ref(), json)
+            .map_err(|e| DbError::Persist(format!("write {}: {e}", path.as_ref().display())))
+    }
+
+    /// Load a database from a snapshot written by [`Database::save`].
+    pub fn load(path: impl AsRef<Path>) -> DbResult<Database> {
+        let json = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| DbError::Persist(format!("read {}: {e}", path.as_ref().display())))?;
+        let catalog: Catalog = serde_json::from_str(&json)
+            .map_err(|e| DbError::Persist(format!("deserialize: {e}")))?;
+        let db = Database::new();
+        db.install_catalog(catalog);
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("meta.json");
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT, b TEXT, c DOUBLE)", &[]).unwrap();
+        db.exec(
+            "INSERT INTO t VALUES (?, ?, ?)",
+            &[Value::Int(7), Value::from("seven"), Value::Double(7.5)],
+        )
+        .unwrap();
+        db.save(&path).unwrap();
+
+        let db2 = Database::load(&path).unwrap();
+        let rs = db2.exec("SELECT a, b, c FROM t", &[]).unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::Int(7), Value::Text("seven".into()), Value::Double(7.5)]]
+        );
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(matches!(Database::load("/nonexistent/nope.json"), Err(DbError::Persist(_))));
+    }
+
+    #[test]
+    fn load_corrupt_file_errors() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(matches!(Database::load(&path), Err(DbError::Persist(_))));
+    }
+
+    #[test]
+    fn null_values_survive_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("n.json");
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT, b TEXT)", &[]).unwrap();
+        db.exec("INSERT INTO t (a) VALUES (1)", &[]).unwrap();
+        db.save(&path).unwrap();
+        let db2 = Database::load(&path).unwrap();
+        let rs = db2.exec("SELECT b FROM t", &[]).unwrap();
+        assert!(rs.rows[0][0].is_null());
+    }
+}

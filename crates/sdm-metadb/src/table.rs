@@ -1,0 +1,270 @@
+//! Row storage and secondary indexes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row: one value per schema column.
+pub type Row = Vec<Value>;
+
+/// A secondary-index definition (`CREATE INDEX name ON t (column)`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// Index name, unique within the table.
+    pub name: String,
+    /// Indexed column name.
+    pub column: String,
+}
+
+/// Lazily built hash indexes: column → (value key → row positions).
+///
+/// The cache is rebuilt whenever the table's mutation `version` moves —
+/// simpler than incremental maintenance and equivalent for SDM's
+/// read-mostly metadata tables. Skipped by serde; a freshly loaded
+/// table rebuilds on first use.
+#[derive(Debug, Clone, Default)]
+struct IndexCache {
+    built_at: u64,
+    maps: HashMap<String, HashMap<String, Vec<usize>>>,
+}
+
+/// A heap table: schema plus rows in insertion order, with optional
+/// secondary hash indexes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: Schema,
+    rows: Vec<Row>,
+    /// Declared secondary indexes (definitions persist; the hash maps
+    /// themselves rebuild lazily).
+    #[serde(default)]
+    indexes: Vec<IndexDef>,
+    /// Mutation counter; bumped by anything that may change rows.
+    #[serde(skip)]
+    version: u64,
+    #[serde(skip)]
+    cache: IndexCache,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema, rows: Vec::new(), indexes: Vec::new(), version: 1, cache: IndexCache::default() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validate, coerce, and append a row.
+    pub fn insert(&mut self, row: Row) -> DbResult<()> {
+        let row = self.schema.check_row(row)?;
+        self.rows.push(row);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// All rows, insertion-ordered.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable row access for UPDATE. Conservatively invalidates the
+    /// index cache (the caller may rewrite anything).
+    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        self.version += 1;
+        &mut self.rows
+    }
+
+    /// Delete rows matching `pred`; returns how many were removed.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        self.version += 1;
+        before - self.rows.len()
+    }
+
+    /// Declare a secondary index. Errors if the column is unknown or the
+    /// name is taken.
+    pub fn create_index(&mut self, name: &str, column: &str) -> DbResult<()> {
+        self.schema.index_of(column)?;
+        if self.indexes.iter().any(|i| i.name.eq_ignore_ascii_case(name)) {
+            return Err(DbError::IndexExists(name.to_string()));
+        }
+        self.indexes.push(IndexDef { name: name.to_string(), column: column.to_string() });
+        Ok(())
+    }
+
+    /// Drop an index by name.
+    pub fn drop_index(&mut self, name: &str) -> DbResult<()> {
+        let before = self.indexes.len();
+        self.indexes.retain(|i| !i.name.eq_ignore_ascii_case(name));
+        if self.indexes.len() == before {
+            return Err(DbError::NoSuchIndex(name.to_string()));
+        }
+        self.cache.maps.clear();
+        Ok(())
+    }
+
+    /// Declared index definitions.
+    pub fn indexes(&self) -> &[IndexDef] {
+        &self.indexes
+    }
+
+    /// Whether some index covers `column`.
+    pub fn has_index_on(&self, column: &str) -> bool {
+        self.indexes.iter().any(|i| i.column.eq_ignore_ascii_case(column))
+    }
+
+    /// Equality probe through an index on `column`: positions of rows
+    /// whose column ≈ `value` (candidates share a hash bucket under SQL
+    /// equality; callers re-verify with the real predicate). `None` if
+    /// no index covers `column`; NULL probes return no rows.
+    pub fn index_lookup(&mut self, column: &str, value: &Value) -> Option<Vec<usize>> {
+        if !self.has_index_on(column) {
+            return None;
+        }
+        if value.is_null() {
+            return Some(Vec::new());
+        }
+        self.ensure_cache();
+        let key = column.to_ascii_lowercase();
+        Some(self.cache.maps[&key].get(&value.index_key()).cloned().unwrap_or_default())
+    }
+
+    fn ensure_cache(&mut self) {
+        if self.cache.built_at == self.version
+            && self.indexes.iter().all(|i| self.cache.maps.contains_key(&i.column.to_ascii_lowercase()))
+        {
+            return;
+        }
+        self.cache.maps.clear();
+        for def in &self.indexes {
+            let col = self
+                .schema
+                .index_of(&def.column)
+                .expect("index column validated at creation");
+            let mut map: HashMap<String, Vec<usize>> = HashMap::new();
+            for (pos, row) in self.rows.iter().enumerate() {
+                if row[col].is_null() {
+                    continue; // NULL never matches an equality probe
+                }
+                map.entry(row[col].index_key()).or_default().push(pos);
+            }
+            self.cache.maps.insert(def.column.to_ascii_lowercase(), map);
+        }
+        self.cache.built_at = self.version;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, Column};
+
+    fn table() -> Table {
+        Table::new(
+            Schema::new(vec![
+                Column { name: "k".into(), ctype: ColType::Int },
+                Column { name: "v".into(), ctype: ColType::Text },
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::from("a")]).unwrap();
+        t.insert(vec![Value::Int(2), Value::from("b")]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1][1].as_str(), Some("b"));
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::from("bad"), Value::from("a")]).is_err());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_where_counts() {
+        let mut t = table();
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), Value::from("x")]).unwrap();
+        }
+        let n = t.delete_where(|r| r[0].as_i64().unwrap() % 2 == 0);
+        assert_eq!(n, 3);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn index_lookup_finds_rows() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i % 3), Value::from("x")]).unwrap();
+        }
+        t.create_index("ik", "k").unwrap();
+        let hits = t.index_lookup("k", &Value::Int(1)).unwrap();
+        assert_eq!(hits, vec![1, 4, 7]);
+        // Unindexed column: no index answer.
+        assert!(t.index_lookup("v", &Value::from("x")).is_none());
+    }
+
+    #[test]
+    fn index_tracks_mutations() {
+        let mut t = table();
+        t.insert(vec![Value::Int(7), Value::from("a")]).unwrap();
+        t.create_index("ik", "k").unwrap();
+        assert_eq!(t.index_lookup("k", &Value::Int(7)).unwrap().len(), 1);
+        t.insert(vec![Value::Int(7), Value::from("b")]).unwrap();
+        assert_eq!(t.index_lookup("k", &Value::Int(7)).unwrap().len(), 2);
+        t.delete_where(|r| r[1].as_str() == Some("a"));
+        assert_eq!(t.index_lookup("k", &Value::Int(7)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn index_cross_type_numeric_probe() {
+        let mut t = table();
+        t.insert(vec![Value::Int(2), Value::from("a")]).unwrap();
+        t.create_index("ik", "k").unwrap();
+        // SQL: 2 = 2.0, so a Double probe must find the Int row.
+        assert_eq!(t.index_lookup("k", &Value::Double(2.0)).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn null_probe_returns_nothing() {
+        let mut t = table();
+        t.insert(vec![Value::Null, Value::from("a")]).unwrap();
+        t.create_index("ik", "k").unwrap();
+        assert!(t.index_lookup("k", &Value::Null).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = table();
+        t.create_index("i", "k").unwrap();
+        assert!(matches!(t.create_index("i", "v"), Err(DbError::IndexExists(_))));
+        assert!(matches!(t.create_index("j", "nope"), Err(DbError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn drop_index_removes() {
+        let mut t = table();
+        t.create_index("i", "k").unwrap();
+        t.drop_index("i").unwrap();
+        assert!(t.index_lookup("k", &Value::Int(0)).is_none());
+        assert!(matches!(t.drop_index("i"), Err(DbError::NoSuchIndex(_))));
+    }
+}

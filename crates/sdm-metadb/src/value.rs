@@ -1,0 +1,187 @@
+//! Values and dynamic typing.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically typed cell value.
+///
+/// The derived `PartialEq` is exact (bitwise for doubles, NULL == NULL);
+/// use [`Value::sql_eq`] for SQL comparison semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer (covers the paper's INTEGER columns).
+    Int(i64),
+    /// 64-bit float (DOUBLE columns).
+    Double(f64),
+    /// Text (VARCHAR columns: file names, dataset names...).
+    Text(String),
+}
+
+impl Value {
+    /// Type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "NULL",
+            Value::Int(_) => "INT",
+            Value::Double(_) => "DOUBLE",
+            Value::Text(_) => "TEXT",
+        }
+    }
+
+    /// Whether this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int promoted to f64), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if an Int.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Text view, if Text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: NULL compares as unknown (`None`); numerics
+    /// compare cross-type; text compares lexicographically.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// SQL equality (NULL = anything is unknown).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Canonical hash key under SQL equality: `Int(2)` and `Double(2.0)`
+    /// produce the same key (they are `=` in SQL), text keys by content,
+    /// and NULL gets a sentinel that equality lookups never probe
+    /// (`NULL = NULL` is unknown). Numeric keys go through `f64`, so two
+    /// huge integers that collide after rounding may share a bucket —
+    /// index users must re-verify candidates against the real predicate.
+    pub fn index_key(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Int(i) => format!("n:{:016x}", (*i as f64).to_bits()),
+            Value::Double(d) => format!("n:{:016x}", d.to_bits()),
+            Value::Text(s) => format!("t:{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Double(1.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn null_compares_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn text_lexicographic() {
+        assert_eq!(Value::from("abc").sql_cmp(&Value::from("abd")), Some(Ordering::Less));
+        assert_eq!(Value::from("x").sql_eq(&Value::from("x")), Some(true));
+    }
+
+    #[test]
+    fn text_vs_number_incomparable() {
+        assert_eq!(Value::from("1").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5usize).as_i64(), Some(5));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("t").as_str(), Some("t"));
+        assert!(Value::Null.is_null());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: INSERT/SELECT round-trips for arbitrary values;
+//! WHERE filters match an in-memory reference; ORDER BY sorts stably.
+
+use proptest::prelude::*;
+use sdm_metadb::{Database, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Double),
+        "[a-zA-Z0-9 _.-]{0,24}".prop_map(Value::Text),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn insert_select_round_trip(rows in proptest::collection::vec((any::<i64>(), value_strategy()), 1..30)) {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (k INT, v TEXT)", &[]).unwrap();
+        // v column is TEXT: coerce non-text to NULL-safe text form first.
+        let mut expected = Vec::new();
+        for (i, (k, v)) in rows.iter().enumerate() {
+            let tv = match v {
+                Value::Text(s) => Value::Text(s.clone()),
+                _ => Value::Null,
+            };
+            db.exec("INSERT INTO t VALUES (?, ?)", &[Value::Int(*k ^ i as i64), tv.clone()]).unwrap();
+            expected.push((k ^ i as i64, tv));
+        }
+        let rs = db.exec("SELECT k, v FROM t", &[]).unwrap();
+        prop_assert_eq!(rs.len(), expected.len());
+        for (row, (k, v)) in rs.rows.iter().zip(&expected) {
+            prop_assert_eq!(row[0].as_i64(), Some(*k));
+            prop_assert_eq!(&row[1], v);
+        }
+    }
+
+    #[test]
+    fn where_filter_matches_reference(keys in proptest::collection::vec(-50i64..50, 1..40), bound in -50i64..50) {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (k INT)", &[]).unwrap();
+        for k in &keys {
+            db.exec("INSERT INTO t VALUES (?)", &[Value::Int(*k)]).unwrap();
+        }
+        let rs = db.exec("SELECT k FROM t WHERE k >= ?", &[Value::Int(bound)]).unwrap();
+        let want: Vec<i64> = keys.iter().copied().filter(|&k| k >= bound).collect();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(got, want, "insertion order preserved under filter");
+    }
+
+    #[test]
+    fn order_by_sorts(keys in proptest::collection::vec(-1000i64..1000, 1..40)) {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (k INT)", &[]).unwrap();
+        for k in &keys {
+            db.exec("INSERT INTO t VALUES (?)", &[Value::Int(*k)]).unwrap();
+        }
+        let rs = db.exec("SELECT k FROM t ORDER BY k", &[]).unwrap();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // DESC is the reverse.
+        let rs = db.exec("SELECT k FROM t ORDER BY k DESC", &[]).unwrap();
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut want_desc = keys.clone();
+        want_desc.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(got, want_desc);
+    }
+
+    #[test]
+    fn update_delete_counts_match(keys in proptest::collection::vec(0i64..100, 1..40), pivot in 0i64..100) {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (k INT)", &[]).unwrap();
+        for k in &keys {
+            db.exec("INSERT INTO t VALUES (?)", &[Value::Int(*k)]).unwrap();
+        }
+        let below = keys.iter().filter(|&&k| k < pivot).count();
+        let rs = db.exec("UPDATE t SET k = k + 1000 WHERE k < ?", &[Value::Int(pivot)]).unwrap();
+        prop_assert_eq!(rs.affected, below);
+        let rs = db.exec("DELETE FROM t WHERE k >= 1000", &[]).unwrap();
+        prop_assert_eq!(rs.affected, below);
+        let rs = db.exec("SELECT k FROM t", &[]).unwrap();
+        prop_assert_eq!(rs.len(), keys.len() - below);
+    }
+}

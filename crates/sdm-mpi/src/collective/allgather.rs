@@ -1,0 +1,112 @@
+//! Ring allgather (variable block lengths).
+
+use crate::comm::Comm;
+use crate::envelope::tags;
+use crate::error::MpiResult;
+use crate::pod::{as_bytes, vec_from_bytes, Pod};
+
+impl Comm {
+    /// Every rank contributes a byte block; every rank returns all blocks
+    /// indexed by source rank. Bandwidth-optimal ring: at step `s` a rank
+    /// forwards the block it received at step `s-1`.
+    pub fn allgather_bytes(&mut self, data: &[u8]) -> MpiResult<Vec<Vec<u8>>> {
+        let size = self.size();
+        let rank = self.rank();
+        let mut blocks: Vec<Vec<u8>> = vec![Vec::new(); size];
+        blocks[rank] = data.to_vec();
+        if size == 1 {
+            return Ok(blocks);
+        }
+        let right = (rank + 1) % size;
+        let left = (rank + size - 1) % size;
+        for s in 0..size - 1 {
+            // Send the block that originated at (rank - s); receive the one
+            // that originated at (rank - s - 1).
+            let send_origin = (rank + size - s) % size;
+            let recv_origin = (rank + size - s - 1) % size;
+            let payload = std::mem::take(&mut blocks[send_origin]);
+            self.send_bytes(right, tags::ALLGATHER, &payload)?;
+            blocks[send_origin] = payload;
+            blocks[recv_origin] = self.recv_bytes(left, tags::ALLGATHER)?;
+        }
+        self.counters().incr("mpi.allgathers");
+        Ok(blocks)
+    }
+
+    /// Typed allgather: returns every rank's slice, indexed by rank.
+    pub fn allgather<T: Pod>(&mut self, data: &[T]) -> MpiResult<Vec<Vec<T>>> {
+        Ok(self.allgather_bytes(as_bytes(data))?.iter().map(|b| vec_from_bytes(b)).collect())
+    }
+
+    /// Allgather of a single value per rank.
+    pub fn allgather_one<T: Pod>(&mut self, value: T) -> MpiResult<Vec<T>> {
+        Ok(self.allgather(&[value])?.into_iter().map(|v| v[0]).collect())
+    }
+
+    /// Typed allgather concatenated in rank order.
+    pub fn allgather_concat<T: Pod>(&mut self, data: &[T]) -> MpiResult<Vec<T>> {
+        Ok(self.allgather(data)?.into_iter().flatten().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::World;
+    use sdm_sim::MachineConfig;
+
+    #[test]
+    fn allgather_uniform() {
+        for n in [1, 2, 3, 6] {
+            let out = World::run(n, MachineConfig::test_tiny(), |c| {
+                c.allgather(&[c.rank() as u32]).unwrap()
+            });
+            for v in out {
+                assert_eq!(v, (0..n as u32).map(|r| vec![r]).collect::<Vec<_>>(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_variable_lengths() {
+        let out = World::run(4, MachineConfig::test_tiny(), |c| {
+            let mine = vec![c.rank() as u8; c.rank() + 1];
+            c.allgather(&mine).unwrap()
+        });
+        for v in out {
+            for (r, b) in v.iter().enumerate() {
+                assert_eq!(b, &vec![r as u8; r + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_one_collects_scalars() {
+        let out = World::run(5, MachineConfig::test_tiny(), |c| {
+            c.allgather_one((c.rank() * c.rank()) as u64).unwrap()
+        });
+        for v in out {
+            assert_eq!(v, vec![0, 1, 4, 9, 16]);
+        }
+    }
+
+    #[test]
+    fn allgather_concat_in_rank_order() {
+        let out = World::run(3, MachineConfig::test_tiny(), |c| {
+            c.allgather_concat(&[c.rank() as i32 * 2, c.rank() as i32 * 2 + 1]).unwrap()
+        });
+        for v in out {
+            assert_eq!(v, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn allgather_with_empty_contribution() {
+        let out = World::run(3, MachineConfig::test_tiny(), |c| {
+            let mine: Vec<u8> = if c.rank() == 1 { vec![] } else { vec![c.rank() as u8] };
+            c.allgather(&mine).unwrap()
+        });
+        for v in out {
+            assert_eq!(v, vec![vec![0u8], vec![], vec![2]]);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Scatter (variable-length) from a root.
+
+use crate::comm::Comm;
+use crate::envelope::tags;
+use crate::error::{MpiError, MpiResult};
+use crate::pod::{as_bytes, vec_from_bytes, Pod};
+
+impl Comm {
+    /// Root distributes `blocks[d]` to each rank `d`; every rank returns
+    /// its own block. Only the root's `blocks` is read (scatterv).
+    pub fn scatter_bytes(
+        &mut self,
+        root: usize,
+        blocks: Option<Vec<Vec<u8>>>,
+    ) -> MpiResult<Vec<u8>> {
+        if self.rank() == root {
+            let blocks = blocks.ok_or_else(|| {
+                MpiError::CollectiveMismatch("scatter root must supply blocks".into())
+            })?;
+            if blocks.len() != self.size() {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "scatter root supplied {} blocks for {} ranks",
+                    blocks.len(),
+                    self.size()
+                )));
+            }
+            let mut mine = Vec::new();
+            for (d, b) in blocks.into_iter().enumerate() {
+                if d == root {
+                    let copy = self.config().io.client_copy(b.len());
+                    self.compute(copy);
+                    mine = b;
+                } else {
+                    self.send_bytes(d, tags::SCATTER, &b)?;
+                }
+            }
+            self.counters().incr("mpi.scatters");
+            Ok(mine)
+        } else {
+            self.counters().incr("mpi.scatters");
+            self.recv_bytes(root, tags::SCATTER)
+        }
+    }
+
+    /// Typed scatterv.
+    pub fn scatter<T: Pod>(
+        &mut self,
+        root: usize,
+        blocks: Option<Vec<Vec<T>>>,
+    ) -> MpiResult<Vec<T>> {
+        let byte_blocks =
+            blocks.map(|bs| bs.iter().map(|b| as_bytes(b).to_vec()).collect::<Vec<_>>());
+        Ok(vec_from_bytes(&self.scatter_bytes(root, byte_blocks)?))
+    }
+
+    /// Scatter equal-size chunks of a root-resident array: chunk `d` of
+    /// `ceil(len/size)` elements goes to rank `d` (the last chunk may be
+    /// short). This is the "total domain equally divided among processes"
+    /// import pattern of SDM.
+    pub fn scatter_even<T: Pod>(&mut self, root: usize, data: Option<&[T]>, total_len: usize) -> MpiResult<Vec<T>> {
+        let size = self.size();
+        let chunk = total_len.div_ceil(size);
+        let blocks = if self.rank() == root {
+            let data = data.ok_or_else(|| {
+                MpiError::CollectiveMismatch("scatter_even root must supply data".into())
+            })?;
+            if data.len() != total_len {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "scatter_even: data length {} != declared total {}",
+                    data.len(),
+                    total_len
+                )));
+            }
+            Some(
+                (0..size)
+                    .map(|d| {
+                        let lo = (d * chunk).min(total_len);
+                        let hi = ((d + 1) * chunk).min(total_len);
+                        data[lo..hi].to_vec()
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        self.scatter(root, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::World;
+    use sdm_sim::MachineConfig;
+
+    #[test]
+    fn scatter_variable_blocks() {
+        let out = World::run(3, MachineConfig::test_tiny(), |c| {
+            let blocks = (c.rank() == 1)
+                .then(|| vec![vec![0u32], vec![10, 11], vec![20, 21, 22]]);
+            c.scatter(1, blocks).unwrap()
+        });
+        assert_eq!(out[0], vec![0]);
+        assert_eq!(out[1], vec![10, 11]);
+        assert_eq!(out[2], vec![20, 21, 22]);
+    }
+
+    #[test]
+    fn scatter_even_divides_domain() {
+        let out = World::run(4, MachineConfig::test_tiny(), |c| {
+            let data: Vec<u64> = (0..10).collect();
+            let arg = (c.rank() == 0).then_some(&data[..]);
+            c.scatter_even(0, arg, 10).unwrap()
+        });
+        assert_eq!(out[0], vec![0, 1, 2]);
+        assert_eq!(out[1], vec![3, 4, 5]);
+        assert_eq!(out[2], vec![6, 7, 8]);
+        assert_eq!(out[3], vec![9]);
+    }
+
+    #[test]
+    fn scatter_even_empty_tail_ranks() {
+        let out = World::run(4, MachineConfig::test_tiny(), |c| {
+            let data: Vec<u8> = vec![1, 2];
+            let arg = (c.rank() == 0).then_some(&data[..]);
+            c.scatter_even(0, arg, 2).unwrap()
+        });
+        assert_eq!(out[0], vec![1]);
+        assert_eq!(out[1], vec![2]);
+        assert!(out[2].is_empty() && out[3].is_empty());
+    }
+
+    #[test]
+    fn scatter_root_without_blocks_errors() {
+        World::run(2, MachineConfig::test_tiny(), |c| {
+            if c.rank() == 0 {
+                assert!(c.scatter::<u8>(0, None).is_err());
+                // Unblock rank 1, which is waiting for its block.
+                c.send_bytes(1, crate::envelope::tags::SCATTER, &[]).unwrap();
+            } else {
+                c.scatter::<u8>(0, None).unwrap();
+            }
+        });
+    }
+}

@@ -1,0 +1,663 @@
+//! Two-phase collective I/O (ROMIO's generalized collective
+//! read/write), the optimization the paper's results rest on.
+//!
+//! Phase 1 (exchange): ranks compute their flattened file segments,
+//! agree on the global byte range, split it into contiguous *file
+//! domains* (one per aggregator), and ship segment descriptors plus data
+//! (for writes) to the owning aggregators with a pairwise alltoallv.
+//!
+//! Phase 2 (access): each aggregator moves its domain through a staging
+//! buffer of `cb_buffer_size` bytes, issuing large contiguous PFS
+//! requests — with read-modify-write only where the received segments
+//! leave holes. For reads the phases run in the other order, ending with
+//! a second alltoallv that returns extracted bytes to the requesting
+//! ranks.
+//!
+//! Overlapping writes resolve lower-source-rank-first (higher ranks win),
+//! deterministically.
+
+use crate::comm::Comm;
+use crate::error::{MpiError, MpiResult};
+use crate::io::MpiFile;
+use crate::pod::{as_bytes, as_bytes_mut, vec_from_bytes, Pod};
+
+/// One segment owned by an aggregator, tagged with its origin.
+#[derive(Debug, Clone, Copy)]
+struct AggSeg {
+    off: u64,
+    len: u64,
+    src: usize,
+    /// Byte position of this segment within the source's (clipped)
+    /// per-aggregator stream.
+    stream_pos: u64,
+}
+
+/// Split `[gmin, gmax)` into `naggs` contiguous file domains.
+fn domain_of(gmin: u64, gmax: u64, naggs: usize, d: usize) -> (u64, u64) {
+    let total = gmax - gmin;
+    let share = total.div_ceil(naggs as u64).max(1);
+    let lo = gmin + (d as u64 * share).min(total);
+    let hi = gmin + ((d as u64 + 1) * share).min(total);
+    (lo, hi)
+}
+
+/// Clip `(off, len)` to `[lo, hi)`; returns `None` if disjoint.
+fn clip(off: u64, len: u64, lo: u64, hi: u64) -> Option<(u64, u64)> {
+    let s = off.max(lo);
+    let e = (off + len).min(hi);
+    (s < e).then(|| (s, e - s))
+}
+
+fn encode_header(segs: &[(u64, u64)]) -> Vec<u8> {
+    let mut words: Vec<u64> = Vec::with_capacity(1 + segs.len() * 2);
+    words.push(segs.len() as u64);
+    for &(o, l) in segs {
+        words.push(o);
+        words.push(l);
+    }
+    as_bytes(&words).to_vec()
+}
+
+fn decode_header(bytes: &[u8]) -> MpiResult<(Vec<(u64, u64)>, usize)> {
+    if bytes.len() < 8 {
+        return Err(MpiError::LengthMismatch { expected: 8, got: bytes.len() });
+    }
+    let n = u64::from_ne_bytes(bytes[..8].try_into().unwrap()) as usize;
+    let header_len = 8 + n * 16;
+    if bytes.len() < header_len {
+        return Err(MpiError::LengthMismatch { expected: header_len, got: bytes.len() });
+    }
+    let words: Vec<u64> = vec_from_bytes(&bytes[8..header_len]);
+    let segs = words.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    Ok((segs, header_len))
+}
+
+impl MpiFile {
+    /// Collective write through the view: every rank of the communicator
+    /// must call this ("collective" in the MPI sense). `view_off` is the
+    /// rank's starting position in visible bytes; ranks may pass
+    /// different offsets and lengths, including empty.
+    pub fn write_all<T: Pod>(&self, comm: &mut Comm, view_off: u64, data: &[T]) -> MpiResult<()> {
+        let bytes = as_bytes(data);
+        let my_segs = self.view().segments(view_off, bytes.len() as u64);
+        self.two_phase_write(comm, &my_segs, bytes)
+    }
+
+    /// Collective read through the view (counterpart of
+    /// [`MpiFile::write_all`]). Fails if any requested byte lies past EOF.
+    pub fn read_all<T: Pod>(&self, comm: &mut Comm, view_off: u64, buf: &mut [T]) -> MpiResult<()> {
+        let nbytes = std::mem::size_of_val(buf) as u64;
+        let my_segs = self.view().segments(view_off, nbytes);
+        let bytes = as_bytes_mut(buf);
+        self.two_phase_read(comm, &my_segs, bytes)
+    }
+
+    /// Collective write of explicit absolute segments (used by SDM's
+    /// import path where the segment list is already computed).
+    pub fn write_all_segments(
+        &self,
+        comm: &mut Comm,
+        segs: &[(u64, u64)],
+        data: &[u8],
+    ) -> MpiResult<()> {
+        self.two_phase_write(comm, segs, data)
+    }
+
+    /// Collective read of explicit absolute segments.
+    pub fn read_all_segments(
+        &self,
+        comm: &mut Comm,
+        segs: &[(u64, u64)],
+        buf: &mut [u8],
+    ) -> MpiResult<()> {
+        self.two_phase_read(comm, segs, buf)
+    }
+
+    /// Global byte range of all ranks' requests; `None` if all are empty.
+    fn global_range(&self, comm: &mut Comm, segs: &[(u64, u64)]) -> Option<(u64, u64)> {
+        let lo = segs.first().map_or(u64::MAX, |&(o, _)| o);
+        let hi = segs.last().map_or(0, |&(o, l)| o + l);
+        let gmin = comm.allreduce_min(&[lo])[0];
+        let gmax = comm.allreduce_max(&[hi])[0];
+        (gmin < gmax).then_some((gmin, gmax))
+    }
+
+    /// Split this rank's segments by destination aggregator domain.
+    fn split_by_domain(
+        &self,
+        segs: &[(u64, u64)],
+        gmin: u64,
+        gmax: u64,
+        naggs: usize,
+    ) -> Vec<Vec<(u64, u64)>> {
+        let total = gmax - gmin;
+        let share = total.div_ceil(naggs as u64).max(1);
+        let mut per_agg: Vec<Vec<(u64, u64)>> = vec![Vec::new(); naggs];
+        for &(off, len) in segs {
+            let d0 = ((off - gmin) / share) as usize;
+            let d1 = ((off + len - 1 - gmin) / share) as usize;
+            for d in d0..=d1.min(naggs - 1) {
+                let (dlo, dhi) = domain_of(gmin, gmax, naggs, d);
+                if let Some(c) = clip(off, len, dlo, dhi) {
+                    per_agg[d].push(c);
+                }
+            }
+        }
+        per_agg
+    }
+
+    fn two_phase_write(&self, comm: &mut Comm, segs: &[(u64, u64)], data: &[u8]) -> MpiResult<()> {
+        debug_assert_eq!(segs.iter().map(|&(_, l)| l).sum::<u64>() as usize, data.len());
+        let size = comm.size();
+        let Some((gmin, gmax)) = self.global_range(comm, segs) else {
+            comm.barrier();
+            return Ok(());
+        };
+        let naggs = self.hints().aggregators(size);
+
+        // Phase 1: build per-aggregator messages (header + payload).
+        let per_agg = self.split_by_domain(segs, gmin, gmax, naggs);
+        let mut msgs: Vec<Vec<u8>> = vec![Vec::new(); size];
+        {
+            // Map from absolute file offset back into `data`: walk the
+            // original segments, tracking each one's position in `data`.
+            let mut seg_data_pos = Vec::with_capacity(segs.len());
+            let mut acc = 0u64;
+            for &(_, l) in segs {
+                seg_data_pos.push(acc);
+                acc += l;
+            }
+            for (d, dsegs) in per_agg.iter().enumerate() {
+                if dsegs.is_empty() {
+                    continue;
+                }
+                let mut msg = encode_header(dsegs);
+                for &(off, len) in dsegs {
+                    // Find the original segment containing this clip.
+                    let i = segs.partition_point(|&(o, _)| o <= off) - 1;
+                    let (so, _) = segs[i];
+                    let dpos = (seg_data_pos[i] + (off - so)) as usize;
+                    msg.extend_from_slice(&data[dpos..dpos + len as usize]);
+                }
+                msgs[d] = msg;
+            }
+        }
+        let received = comm.alltoallv_bytes(msgs)?;
+
+        // Phase 2: aggregators apply their domain through the staging buffer.
+        if comm.rank() < naggs {
+            let (dlo, dhi) = domain_of(gmin, gmax, naggs, comm.rank());
+            let mut agg_segs: Vec<AggSeg> = Vec::new();
+            let mut payloads: Vec<(usize, Vec<u8>)> = Vec::new(); // (src, data stream)
+            for (src, msg) in received.iter().enumerate() {
+                if msg.is_empty() {
+                    continue;
+                }
+                let (hsegs, header_len) = decode_header(msg)?;
+                let mut pos = 0u64;
+                for &(o, l) in &hsegs {
+                    agg_segs.push(AggSeg { off: o, len: l, src, stream_pos: pos });
+                    pos += l;
+                }
+                payloads.push((src, msg[header_len..].to_vec()));
+            }
+            agg_segs.sort_by_key(|s| (s.off, s.src));
+            let stream_of = |src: usize| -> &[u8] {
+                payloads.iter().find(|&&(s, _)| s == src).map(|(_, d)| d.as_slice()).unwrap()
+            };
+            let cb = self.hints().cb_buffer_size.max(1) as u64;
+            let mut now = comm.now();
+            let mut win = dlo;
+            let mut next_seg = 0usize;
+            while win < dhi && next_seg < agg_segs.len() {
+                let wlo = win;
+                let whi = (win + cb).min(dhi);
+                // Segments overlapping this window (they're sorted by off;
+                // a segment can span multiple windows, so scan from the
+                // first not-yet-finished one).
+                let mut touched_lo = u64::MAX;
+                let mut touched_hi = 0u64;
+                let mut useful = 0u64;
+                let mut in_window: Vec<(u64, u64, usize, u64)> = Vec::new(); // off, len, src, stream_pos
+                for s in &agg_segs[next_seg..] {
+                    if s.off >= whi {
+                        break;
+                    }
+                    if let Some((co, cl)) = clip(s.off, s.len, wlo, whi) {
+                        touched_lo = touched_lo.min(co);
+                        touched_hi = touched_hi.max(co + cl);
+                        useful += cl;
+                        in_window.push((co, cl, s.src, s.stream_pos + (co - s.off)));
+                    }
+                }
+                // Advance next_seg past segments fully consumed by this window.
+                while next_seg < agg_segs.len()
+                    && agg_segs[next_seg].off + agg_segs[next_seg].len <= whi
+                {
+                    next_seg += 1;
+                }
+                if touched_lo < touched_hi {
+                    let span = (touched_hi - touched_lo) as usize;
+                    let mut staging = vec![0u8; span];
+                    if useful < span as u64 {
+                        // Holes: read-modify-write (short read leaves zeros
+                        // past EOF, matching extension semantics).
+                        let (_n, t) = self.pfs().read_at(self.pfs_file(), touched_lo, &mut staging, now)?;
+                        now = t;
+                        self.pfs().counters().incr("mpi.twophase_rmw");
+                    }
+                    for (co, cl, src, spos) in in_window {
+                        let s = (co - touched_lo) as usize;
+                        let stream = stream_of(src);
+                        staging[s..s + cl as usize]
+                            .copy_from_slice(&stream[spos as usize..(spos + cl) as usize]);
+                    }
+                    now = self.pfs().write_at(self.pfs_file(), touched_lo, &staging, now)?;
+                }
+                win = whi;
+            }
+            comm.sync_to(now);
+            comm.counters().incr("mpi.write_alls");
+        }
+        comm.barrier();
+        Ok(())
+    }
+
+    fn two_phase_read(&self, comm: &mut Comm, segs: &[(u64, u64)], buf: &mut [u8]) -> MpiResult<()> {
+        debug_assert_eq!(segs.iter().map(|&(_, l)| l).sum::<u64>() as usize, buf.len());
+        let size = comm.size();
+        let Some((gmin, gmax)) = self.global_range(comm, segs) else {
+            comm.barrier();
+            return Ok(());
+        };
+        let naggs = self.hints().aggregators(size);
+
+        // Phase 1: send segment requests to aggregators.
+        let per_agg = self.split_by_domain(segs, gmin, gmax, naggs);
+        let mut msgs: Vec<Vec<u8>> = vec![Vec::new(); size];
+        for (d, dsegs) in per_agg.iter().enumerate() {
+            if !dsegs.is_empty() {
+                msgs[d] = encode_header(dsegs);
+            }
+        }
+        let received = comm.alltoallv_bytes(msgs)?;
+
+        // Phase 2: aggregators read their domain and extract per-source data.
+        let mut replies: Vec<Vec<u8>> = vec![Vec::new(); size];
+        if comm.rank() < naggs {
+            let (dlo, dhi) = domain_of(gmin, gmax, naggs, comm.rank());
+            let mut agg_segs: Vec<AggSeg> = Vec::new();
+            let mut reply_len = vec![0u64; size];
+            for (src, msg) in received.iter().enumerate() {
+                if msg.is_empty() {
+                    continue;
+                }
+                let (hsegs, _) = decode_header(msg)?;
+                for &(o, l) in &hsegs {
+                    agg_segs.push(AggSeg { off: o, len: l, src, stream_pos: reply_len[src] });
+                    reply_len[src] += l;
+                }
+            }
+            for (src, &l) in reply_len.iter().enumerate() {
+                replies[src] = vec![0u8; l as usize];
+            }
+            agg_segs.sort_by_key(|s| (s.off, s.src));
+            let cb = self.hints().cb_buffer_size.max(1) as u64;
+            let mut now = comm.now();
+            let mut win = dlo;
+            let mut next_seg = 0usize;
+            while win < dhi && next_seg < agg_segs.len() {
+                let wlo = win;
+                let whi = (win + cb).min(dhi);
+                let mut touched_lo = u64::MAX;
+                let mut touched_hi = 0u64;
+                let mut in_window: Vec<(u64, u64, usize, u64)> = Vec::new();
+                for s in &agg_segs[next_seg..] {
+                    if s.off >= whi {
+                        break;
+                    }
+                    if let Some((co, cl)) = clip(s.off, s.len, wlo, whi) {
+                        touched_lo = touched_lo.min(co);
+                        touched_hi = touched_hi.max(co + cl);
+                        in_window.push((co, cl, s.src, s.stream_pos + (co - s.off)));
+                    }
+                }
+                while next_seg < agg_segs.len()
+                    && agg_segs[next_seg].off + agg_segs[next_seg].len <= whi
+                {
+                    next_seg += 1;
+                }
+                if touched_lo < touched_hi {
+                    let span = (touched_hi - touched_lo) as usize;
+                    let mut staging = vec![0u8; span];
+                    now = self.pfs().read_exact_at(self.pfs_file(), touched_lo, &mut staging, now)?;
+                    for (co, cl, src, spos) in in_window {
+                        let s = (co - touched_lo) as usize;
+                        replies[src][spos as usize..(spos + cl) as usize]
+                            .copy_from_slice(&staging[s..s + cl as usize]);
+                    }
+                }
+                win = whi;
+            }
+            comm.sync_to(now);
+            comm.counters().incr("mpi.read_alls");
+        }
+
+        // Phase 3: replies back to requesters, then reassemble in view order.
+        let replies = comm.alltoallv_bytes(replies)?;
+        let mut stream_pos = vec![0usize; size];
+        let total = gmax - gmin;
+        let share = total.div_ceil(naggs as u64).max(1);
+        let mut cursor = 0usize;
+        for &(off, len) in segs {
+            let d0 = ((off - gmin) / share) as usize;
+            let d1 = ((off + len - 1 - gmin) / share) as usize;
+            for d in d0..=d1.min(naggs - 1) {
+                let (dlo, dhi) = domain_of(gmin, gmax, naggs, d);
+                if let Some((_, cl)) = clip(off, len, dlo, dhi) {
+                    let p = stream_pos[d];
+                    buf[cursor..cursor + cl as usize].copy_from_slice(&replies[d][p..p + cl as usize]);
+                    stream_pos[d] += cl as usize;
+                    cursor += cl as usize;
+                }
+            }
+        }
+        comm.barrier();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::World;
+    use crate::datatype::Datatype;
+    use sdm_sim::MachineConfig;
+    use sdm_pfs::Pfs;
+    use std::sync::Arc;
+
+    fn tiny_pfs() -> Arc<Pfs> {
+        Pfs::new(MachineConfig::test_tiny())
+    }
+
+    /// `clip` on a disjoint range must be `None`, including when the
+    /// segment ends *before* the window (regression: the subtraction in
+    /// the `Some` arm must not be evaluated eagerly).
+    #[test]
+    fn clip_disjoint_is_none() {
+        assert_eq!(clip(0, 10, 20, 30), None); // ends before window
+        assert_eq!(clip(40, 10, 20, 30), None); // starts after window
+        assert_eq!(clip(0, 0, 0, 10), None); // empty segment
+        assert_eq!(clip(5, 10, 8, 12), Some((8, 4))); // straddles lo
+        assert_eq!(clip(9, 10, 8, 12), Some((9, 3))); // straddles hi
+        assert_eq!(clip(9, 1, 8, 12), Some((9, 1))); // interior
+    }
+
+    /// Each rank writes an interleaved view; reading back the whole file
+    /// must reproduce the interleaving.
+    #[test]
+    fn collective_interleaved_write() {
+        let pfs = tiny_pfs();
+        let n = 4usize;
+        World::run(n, MachineConfig::test_tiny(), {
+            let pfs = Arc::clone(&pfs);
+            move |c| {
+                let mut f = MpiFile::open_collective(c, &pfs, "inter.bin", true).unwrap();
+                // Rank r owns element r of every 4-element f64 record.
+                let t = Datatype::resized(
+                    (n * 8) as u64,
+                    Datatype::indexed_block(1, vec![c.rank() as u64], Datatype::double()),
+                );
+                f.set_view(c, 0, t.flatten().unwrap()).unwrap();
+                let mine: Vec<f64> = (0..8).map(|i| (c.rank() * 100 + i) as f64).collect();
+                f.write_all(c, 0, &mine).unwrap();
+                f.close(c);
+            }
+        });
+        // Validate the raw file layout.
+        let (f, _) = pfs.open("inter.bin", 0.0).unwrap();
+        let mut raw = vec![0u8; 4 * 8 * 8];
+        pfs.read_exact_at(&f, 0, &mut raw, 0.0).unwrap();
+        let vals: Vec<f64> = crate::pod::vec_from_bytes(&raw);
+        for rec in 0..8 {
+            for r in 0..4 {
+                assert_eq!(vals[rec * 4 + r], (r * 100 + rec) as f64, "rec={rec} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn collective_read_matches_written() {
+        let pfs = tiny_pfs();
+        let n = 4usize;
+        let out = World::run(n, MachineConfig::test_tiny(), {
+            let pfs = Arc::clone(&pfs);
+            move |c| {
+                let mut f = MpiFile::open_collective(c, &pfs, "rr.bin", true).unwrap();
+                if c.rank() == 0 {
+                    let all: Vec<u64> = (0..64).collect();
+                    f.write_at(c, 0, &all).unwrap();
+                }
+                c.barrier();
+                // Rank r reads elements r, r+4, r+8, ... (strided view).
+                let t = Datatype::resized(
+                    (n * 8) as u64,
+                    Datatype::indexed_block(1, vec![c.rank() as u64], Datatype::int64()),
+                );
+                f.set_view(c, 0, t.flatten().unwrap()).unwrap();
+                let mut mine = vec![0u64; 16];
+                f.read_all(c, 0, &mut mine).unwrap();
+                f.close(c);
+                mine
+            }
+        });
+        for (r, v) in out.iter().enumerate() {
+            let want: Vec<u64> = (0..16).map(|i| (i * 4 + r) as u64).collect();
+            assert_eq!(v, &want, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn empty_participants_are_fine() {
+        let pfs = tiny_pfs();
+        World::run(3, MachineConfig::test_tiny(), {
+            let pfs = Arc::clone(&pfs);
+            move |c| {
+                let f = MpiFile::open_collective(c, &pfs, "e.bin", true).unwrap();
+                // Only rank 1 writes anything.
+                if c.rank() == 1 {
+                    f.write_all_segments(c, &[(8, 8)], &7u64.to_ne_bytes()).unwrap();
+                } else {
+                    f.write_all_segments(c, &[], &[]).unwrap();
+                }
+                let mut back = [0u64; 1];
+                if c.rank() == 2 {
+                    f.read_all_segments(c, &[(8, 8)], as_bytes_mut(&mut back)).unwrap();
+                    assert_eq!(back[0], 7);
+                } else {
+                    f.read_all_segments(c, &[], &mut []).unwrap();
+                }
+                f.close(c);
+            }
+        });
+    }
+
+    #[test]
+    fn all_empty_collective_is_noop() {
+        let pfs = tiny_pfs();
+        World::run(2, MachineConfig::test_tiny(), {
+            let pfs = Arc::clone(&pfs);
+            move |c| {
+                let f = MpiFile::open_collective(c, &pfs, "z.bin", true).unwrap();
+                f.write_all_segments(c, &[], &[]).unwrap();
+                f.read_all_segments(c, &[], &mut []).unwrap();
+                f.close(c);
+            }
+        });
+    }
+
+    #[test]
+    fn rmw_preserves_untouched_bytes() {
+        let pfs = tiny_pfs();
+        World::run(2, MachineConfig::test_tiny(), {
+            let pfs = Arc::clone(&pfs);
+            move |c| {
+                let f = MpiFile::open_collective(c, &pfs, "rmw.bin", true).unwrap();
+                if c.rank() == 0 {
+                    f.write_at(c, 0, &[0xAAu8; 64]).unwrap();
+                }
+                c.barrier();
+                // Sparse collective write leaving holes.
+                if c.rank() == 0 {
+                    f.write_all_segments(c, &[(4, 4)], &[1, 2, 3, 4]).unwrap();
+                } else {
+                    f.write_all_segments(c, &[(40, 4)], &[5, 6, 7, 8]).unwrap();
+                }
+                c.barrier();
+                let mut raw = vec![0u8; 64];
+                f.read_at(c, 0, &mut raw).unwrap();
+                assert_eq!(&raw[4..8], &[1, 2, 3, 4]);
+                assert_eq!(&raw[40..44], &[5, 6, 7, 8]);
+                assert_eq!(raw[0], 0xAA);
+                assert_eq!(raw[20], 0xAA);
+                assert_eq!(raw[63], 0xAA);
+                f.close(c);
+            }
+        });
+    }
+
+    #[test]
+    fn reduced_aggregator_count_still_correct() {
+        let pfs = tiny_pfs();
+        World::run(6, MachineConfig::test_tiny(), {
+            let pfs = Arc::clone(&pfs);
+            move |c| {
+                let mut f = MpiFile::open_collective(c, &pfs, "agg.bin", true).unwrap();
+                f.set_hints(crate::io::Hints { cb_nodes: Some(2), ..Default::default() });
+                let mine = vec![c.rank() as u64; 10];
+                f.write_all_segments(
+                    c,
+                    &[(c.rank() as u64 * 80, 80)],
+                    as_bytes(&mine),
+                )
+                .unwrap();
+                let mut back = vec![0u64; 10];
+                f.read_all_segments(
+                    c,
+                    &[(((c.rank() + 1) % 6) as u64 * 80, 80)],
+                    as_bytes_mut(&mut back),
+                )
+                .unwrap();
+                assert_eq!(back, vec![((c.rank() + 1) % 6) as u64; 10]);
+                f.close(c);
+            }
+        });
+    }
+
+    #[test]
+    fn small_cb_buffer_stages_correctly() {
+        let pfs = tiny_pfs();
+        World::run(3, MachineConfig::test_tiny(), {
+            let pfs = Arc::clone(&pfs);
+            move |c| {
+                let mut f = MpiFile::open_collective(c, &pfs, "cb.bin", true).unwrap();
+                f.set_hints(crate::io::Hints { cb_buffer_size: 16, ..Default::default() });
+                let mine: Vec<u8> = (0..50).map(|i| (c.rank() * 50 + i) as u8).collect();
+                f.write_all_segments(c, &[(c.rank() as u64 * 50, 50)], &mine).unwrap();
+                let mut all = vec![0u8; 150];
+                if c.rank() == 0 {
+                    f.read_at(c, 0, &mut all).unwrap();
+                    assert_eq!(all, (0..150).map(|i| i as u8).collect::<Vec<_>>());
+                }
+                f.close(c);
+            }
+        });
+    }
+
+    #[test]
+    fn segment_spanning_domain_boundary() {
+        let pfs = tiny_pfs();
+        World::run(2, MachineConfig::test_tiny(), {
+            let pfs = Arc::clone(&pfs);
+            move |c| {
+                let f = MpiFile::open_collective(c, &pfs, "span.bin", true).unwrap();
+                // One rank writes a segment crossing the middle of the
+                // global range, which is exactly the domain boundary.
+                if c.rank() == 0 {
+                    let data: Vec<u8> = (0..100).collect();
+                    f.write_all_segments(c, &[(0, 100)], &data).unwrap();
+                } else {
+                    let data = [200u8; 100];
+                    f.write_all_segments(c, &[(100, 100)], &data).unwrap();
+                }
+                // Read a window crossing the boundary.
+                let mut buf = vec![0u8; 60];
+                f.read_all_segments(c, &[(70, 60)], &mut buf).unwrap();
+                let want: Vec<u8> =
+                    (70..100).map(|i| i as u8).chain(std::iter::repeat(200).take(30)).collect();
+                assert_eq!(buf, want);
+                f.close(c);
+            }
+        });
+    }
+
+    #[test]
+    fn overlapping_writes_resolve_by_rank_order() {
+        let pfs = tiny_pfs();
+        World::run(2, MachineConfig::test_tiny(), {
+            let pfs = Arc::clone(&pfs);
+            move |c| {
+                let f = MpiFile::open_collective(c, &pfs, "ovl.bin", true).unwrap();
+                let mine = vec![c.rank() as u8 + 1; 8];
+                f.write_all_segments(c, &[(0, 8)], &mine).unwrap();
+                let mut raw = [0u8; 8];
+                f.read_at(c, 0, &mut raw).unwrap();
+                // Higher source rank applied last wins.
+                assert_eq!(raw, [2u8; 8]);
+                f.close(c);
+            }
+        });
+    }
+
+    #[test]
+    fn collective_beats_independent_on_interleaved_pattern() {
+        // The paper's core performance claim: collective I/O on an
+        // interleaved irregular pattern beats per-rank noncontiguous I/O.
+        let cfg = MachineConfig::origin2000();
+        let n = 8usize;
+        let elems_per_rank = 4096usize;
+        let run = |collective: bool| -> f64 {
+            let pfs = Pfs::new(MachineConfig::origin2000());
+            let times = World::run(n, cfg.clone(), {
+                let pfs = Arc::clone(&pfs);
+                move |c| {
+                    let mut f = MpiFile::open_collective(c, &pfs, "perf.bin", true).unwrap();
+                    let t = Datatype::resized(
+                        (n * 8) as u64,
+                        Datatype::indexed_block(1, vec![c.rank() as u64], Datatype::double()),
+                    );
+                    f.set_view(c, 0, t.flatten().unwrap()).unwrap();
+                    let mine = vec![c.rank() as f64; elems_per_rank];
+                    c.barrier();
+                    let t0 = c.now();
+                    if collective {
+                        f.write_all(c, 0, &mine).unwrap();
+                    } else {
+                        f.write_view(c, 0, &mine).unwrap();
+                        c.barrier();
+                    }
+                    let t1 = c.now();
+                    f.close(c);
+                    t1 - t0
+                }
+            });
+            times.iter().cloned().fold(0.0, f64::max)
+        };
+        let coll = run(true);
+        let indep = run(false);
+        assert!(
+            coll < indep,
+            "two-phase ({coll}s) should beat independent sieved writes ({indep}s) on interleaved data"
+        );
+    }
+}

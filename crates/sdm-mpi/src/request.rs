@@ -1,0 +1,98 @@
+//! Nonblocking operation handles.
+//!
+//! Sends are eager (buffered by the channel), so an `isend` completes
+//! locally at post time — exactly the semantics of a buffered MPI send.
+//! An `irecv` records the match criteria; `wait` performs the actual
+//! matching. SDM uses these for the asynchronous history-file write path
+//! and for overlapping the ring exchange with local partitioning work.
+
+use crate::comm::Comm;
+use crate::envelope::Tag;
+use crate::error::MpiResult;
+use crate::pod::Pod;
+
+/// Handle for a posted send. Completion is immediate (eager protocol);
+/// `wait` exists for API symmetry.
+#[derive(Debug)]
+#[must_use = "wait on the request to observe errors"]
+pub struct SendRequest {
+    result: MpiResult<()>,
+}
+
+impl SendRequest {
+    /// Complete the send, surfacing any error from post time.
+    pub fn wait(self) -> MpiResult<()> {
+        self.result
+    }
+}
+
+/// Handle for a posted receive. The message is matched at `wait` time.
+#[derive(Debug)]
+#[must_use = "an irecv does nothing until waited on"]
+pub struct RecvRequest {
+    src: usize,
+    tag: Tag,
+}
+
+impl Comm {
+    /// Nonblocking typed send (eager: the payload is buffered immediately).
+    pub fn isend<T: Pod>(&mut self, dst: usize, tag: Tag, data: &[T]) -> SendRequest {
+        SendRequest { result: self.send(dst, tag, data) }
+    }
+
+    /// Post a receive for `(src, tag)`; match it later with
+    /// [`RecvRequest::wait`].
+    pub fn irecv(&mut self, src: usize, tag: Tag) -> RecvRequest {
+        RecvRequest { src, tag }
+    }
+}
+
+impl RecvRequest {
+    /// Block until the matching message arrives and return its payload.
+    pub fn wait<T: Pod>(self, comm: &mut Comm) -> MpiResult<Vec<T>> {
+        comm.recv_vec(self.src, self.tag)
+    }
+
+    /// Block until the matching message arrives, as raw bytes.
+    pub fn wait_bytes(self, comm: &mut Comm) -> MpiResult<Vec<u8>> {
+        comm.recv_bytes(self.src, self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::World;
+    use sdm_sim::MachineConfig;
+
+    #[test]
+    fn isend_irecv_round_trip() {
+        let out = World::run(2, MachineConfig::test_tiny(), |c| {
+            if c.rank() == 0 {
+                let rq = c.isend(1, 3, &[10u32, 20]);
+                rq.wait().unwrap();
+                0
+            } else {
+                let rq = c.irecv(0, 3);
+                let v = rq.wait::<u32>(c).unwrap();
+                v[0] + v[1]
+            }
+        });
+        assert_eq!(out[1], 30);
+    }
+
+    #[test]
+    fn irecv_can_be_posted_before_send_arrives() {
+        let out = World::run(2, MachineConfig::test_tiny(), |c| {
+            if c.rank() == 0 {
+                let rq = c.irecv(1, 9);
+                // Do "work" before waiting.
+                c.compute(0.5);
+                rq.wait::<u8>(c).unwrap().len()
+            } else {
+                c.send(0, 9, &[1u8, 2, 3]).unwrap();
+                0
+            }
+        });
+        assert_eq!(out[0], 3);
+    }
+}

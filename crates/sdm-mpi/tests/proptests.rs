@@ -1,0 +1,122 @@
+//! Property tests: collectives equal their sequential references for
+//! arbitrary inputs; datatype flattening conserves bytes; the view
+//! mapper agrees with a brute-force reference.
+
+use proptest::prelude::*;
+use sdm_mpi::datatype::Datatype;
+use sdm_mpi::io::view::FileView;
+use sdm_mpi::World;
+use sdm_sim::MachineConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allreduce_sum_equals_sequential(values in proptest::collection::vec(-1000i64..1000, 1..6)) {
+        let n = values.len();
+        let expect: i64 = values.iter().sum();
+        let out = World::run(n, MachineConfig::test_tiny(), {
+            let values = values.clone();
+            move |c| c.allreduce_sum(&[values[c.rank()]])[0]
+        });
+        for v in out {
+            prop_assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn exscan_equals_prefix_sums(values in proptest::collection::vec(0u64..1000, 1..6)) {
+        let n = values.len();
+        let out = World::run(n, MachineConfig::test_tiny(), {
+            let values = values.clone();
+            move |c| c.exscan_sum(&[values[c.rank()]])[0]
+        });
+        let mut acc = 0;
+        for (r, v) in out.into_iter().enumerate() {
+            prop_assert_eq!(v, acc, "rank {}", r);
+            acc += values[r];
+        }
+    }
+
+    #[test]
+    fn allgather_preserves_blocks(blocks in proptest::collection::vec(proptest::collection::vec(any::<u32>(), 0..20), 1..5)) {
+        let n = blocks.len();
+        let out = World::run(n, MachineConfig::test_tiny(), {
+            let blocks = blocks.clone();
+            move |c| c.allgather(&blocks[c.rank()]).unwrap()
+        });
+        for got in out {
+            prop_assert_eq!(&got, &blocks);
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_transpose(n in 1usize..5, seed in any::<u64>()) {
+        // blocks[s][d] = f(s, d); after exchange rank d holds f(s, d) from s.
+        let out = World::run(n, MachineConfig::test_tiny(), move |c| {
+            let blocks: Vec<Vec<u64>> = (0..n)
+                .map(|d| vec![seed ^ (c.rank() as u64) << 16 ^ d as u64; (c.rank() + d) % 3])
+                .collect();
+            c.alltoallv(blocks).unwrap()
+        });
+        for (d, recv) in out.iter().enumerate() {
+            for (s, b) in recv.iter().enumerate() {
+                let want = vec![seed ^ (s as u64) << 16 ^ d as u64; (s + d) % 3];
+                prop_assert_eq!(b, &want, "s={} d={}", s, d);
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_conserves_size(displs in proptest::collection::btree_set(0u64..2000, 1..100), blocklen in 1usize..4) {
+        // btree_set gives sorted unique displacements; scale them apart so
+        // blocks of `blocklen` cannot overlap.
+        let displs: Vec<u64> = displs.into_iter().map(|d| d * blocklen as u64).collect();
+        let nblocks = displs.len();
+        let t = Datatype::indexed_block(blocklen, displs, Datatype::double());
+        let f = t.flatten().unwrap();
+        prop_assert_eq!(f.size, (nblocks * blocklen * 8) as u64);
+        // Segments sorted, non-overlapping, lengths sum to size.
+        let mut sum = 0;
+        let mut prev_end = 0;
+        for &(off, len) in &f.segments {
+            prop_assert!(off >= prev_end);
+            prev_end = off + len;
+            sum += len;
+        }
+        prop_assert_eq!(sum, f.size);
+    }
+
+    #[test]
+    fn view_segments_match_bruteforce(
+        displs in proptest::collection::btree_set(0u64..64, 1..16),
+        start in 0u64..64,
+        len in 0u64..128,
+    ) {
+        let displs: Vec<u64> = displs.into_iter().collect();
+        let nvis = displs.len() as u64 * 8;
+        let t = Datatype::resized(64 * 8, Datatype::indexed_block(1, displs.clone(), Datatype::double()));
+        let view = FileView::new(0, t.flatten().unwrap()).unwrap();
+        let start = start % nvis.max(1);
+        let len = len.min(3 * nvis);
+        // Brute force: visible byte v lives at file byte F(v).
+        let file_byte = |v: u64| -> u64 {
+            let tile = v / nvis;
+            let within = v % nvis;
+            let elem = within / 8;
+            let byte = within % 8;
+            tile * 64 * 8 + displs[elem as usize] * 8 + byte
+        };
+        let segs = view.segments(start, len);
+        let mut covered = 0u64;
+        let mut v = start;
+        for (off, slen) in segs {
+            for k in 0..slen {
+                prop_assert_eq!(off + k, file_byte(v), "visible byte {}", v);
+                v += 1;
+            }
+            covered += slen;
+        }
+        prop_assert_eq!(covered, len);
+    }
+}

@@ -1,0 +1,43 @@
+//! Contiguous block partitioning.
+
+use crate::vector::PartitionVector;
+
+/// Assign node ids in contiguous blocks of `ceil(n / nparts)`. Matches
+/// SDM's "total domain equally divided" import split, so it's the natural
+/// baseline for the ring-distribution experiments.
+pub fn partition_block(n: usize, nparts: usize) -> PartitionVector {
+    assert!(nparts > 0);
+    let chunk = n.div_ceil(nparts).max(1);
+    (0..n).map(|i| ((i / chunk) as u32).min(nparts as u32 - 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::part_sizes;
+
+    #[test]
+    fn even_split() {
+        let v = partition_block(8, 4);
+        assert_eq!(part_sizes(&v, 4), vec![2, 2, 2, 2]);
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn ragged_split() {
+        let v = partition_block(10, 4);
+        assert_eq!(part_sizes(&v, 4), vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    fn more_parts_than_nodes() {
+        let v = partition_block(2, 5);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|&p| (p as usize) < 5));
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(partition_block(0, 3).is_empty());
+    }
+}

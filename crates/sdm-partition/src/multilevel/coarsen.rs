@@ -1,0 +1,133 @@
+//! Graph contraction.
+
+use std::collections::HashMap;
+
+use crate::multilevel::wgraph::WGraph;
+
+/// Contract matched pairs into coarse nodes. Returns the coarse graph and
+/// the projection map `cmap[fine] = coarse`.
+pub fn contract(g: &WGraph, mate: &[u32]) -> (WGraph, Vec<u32>) {
+    let n = g.n();
+    let mut cmap = vec![u32::MAX; n];
+    let mut nc = 0u32;
+    for v in 0..n {
+        if cmap[v] != u32::MAX {
+            continue;
+        }
+        let m = mate[v] as usize;
+        cmap[v] = nc;
+        cmap[m] = nc; // m == v for unmatched nodes
+        nc += 1;
+    }
+    let ncn = nc as usize;
+
+    let mut vwgt = vec![0u64; ncn];
+    for v in 0..n {
+        vwgt[cmap[v] as usize] += g.vwgt[v];
+        // Matched partners share a coarse id; add each fine node once.
+        if mate[v] as usize != v && (mate[v] as usize) < v {
+            // already counted when we visited the partner — undo double add
+            // (handled by the guard below instead)
+        }
+    }
+    // The loop above double-counts nothing: each fine v adds its own
+    // weight exactly once.
+
+    // Accumulate coarse edges.
+    let mut edges: HashMap<(u32, u32), u64> = HashMap::new();
+    for v in 0..n {
+        let cv = cmap[v];
+        for e in g.nbr_range(v) {
+            let u = g.adjncy[e] as usize;
+            let cu = cmap[u];
+            if cu == cv {
+                continue; // interior (contracted) edge
+            }
+            if cv < cu {
+                *edges.entry((cv, cu)).or_insert(0) += g.adjwgt[e];
+            }
+        }
+    }
+    // edges counted once per direction of the fine edge with cv < cu;
+    // each undirected fine edge appears in adjncy twice (v->u and u->v),
+    // but only the direction with cv < cu accumulates, so each fine edge
+    // contributes its weight exactly once.
+
+    let mut sorted: Vec<((u32, u32), u64)> = edges.into_iter().collect();
+    sorted.sort_unstable_by_key(|&(k, _)| k);
+
+    let mut deg = vec![0usize; ncn];
+    for &((a, b), _) in &sorted {
+        deg[a as usize] += 1;
+        deg[b as usize] += 1;
+    }
+    let mut xadj = vec![0usize; ncn + 1];
+    for v in 0..ncn {
+        xadj[v + 1] = xadj[v] + deg[v];
+    }
+    let mut adjncy = vec![0u32; xadj[ncn]];
+    let mut adjwgt = vec![0u64; xadj[ncn]];
+    let mut fill = xadj.clone();
+    for &((a, b), w) in &sorted {
+        adjncy[fill[a as usize]] = b;
+        adjwgt[fill[a as usize]] = w;
+        fill[a as usize] += 1;
+        adjncy[fill[b as usize]] = a;
+        adjwgt[fill[b as usize]] = w;
+        fill[b as usize] += 1;
+    }
+    (WGraph { xadj, adjncy, adjwgt, vwgt }, cmap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdm_mesh::CsrGraph;
+
+    fn wg(n: usize, edges: &[(u32, u32)]) -> WGraph {
+        WGraph::from_csr(&CsrGraph::from_edges(n, edges))
+    }
+
+    #[test]
+    fn contract_square_pairwise() {
+        // Square 0-1-3-2-0, match (0,1) and (2,3).
+        let g = wg(4, &[(0, 1), (1, 3), (2, 3), (0, 2)]);
+        let mate = vec![1, 0, 3, 2];
+        let (cg, cmap) = contract(&g, &mate);
+        assert_eq!(cg.n(), 2);
+        assert_eq!(cmap[0], cmap[1]);
+        assert_eq!(cmap[2], cmap[3]);
+        assert_eq!(cg.vwgt, vec![2, 2]);
+        // Two fine edges (1,3) and (0,2) between the coarse nodes.
+        assert_eq!(cg.adjwgt, vec![2, 2]);
+        assert_eq!(cg.cut(&[0, 1]), 2);
+    }
+
+    #[test]
+    fn unmatched_nodes_survive() {
+        let g = wg(3, &[(0, 1), (1, 2)]);
+        let mate = vec![1, 0, 2]; // 2 unmatched
+        let (cg, cmap) = contract(&g, &mate);
+        assert_eq!(cg.n(), 2);
+        assert_eq!(cg.vwgt.iter().sum::<u64>(), 3);
+        assert_ne!(cmap[2], cmap[0]);
+    }
+
+    #[test]
+    fn weight_conserved_across_levels() {
+        let g = wg(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mate = crate::multilevel::matching::heavy_edge_matching(&g, 3);
+        let (cg, _) = contract(&g, &mate);
+        assert_eq!(cg.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn triangle_contraction_merges_parallel_edges() {
+        // Triangle: match (0,1); coarse graph has one node pair with the
+        // two fine edges (0,2) and (1,2) merged into weight 2.
+        let g = wg(3, &[(0, 1), (0, 2), (1, 2)]);
+        let (cg, _) = contract(&g, &[1, 0, 2]);
+        assert_eq!(cg.n(), 2);
+        assert_eq!(cg.adjwgt, vec![2, 2]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Heavy-edge matching.
+
+use sdm_sim::rng::SplitMix64;
+
+use crate::multilevel::wgraph::WGraph;
+
+/// Heaviest unmatched neighbour of `v` (ties to the lower id), if any.
+fn heaviest_neighbor(g: &WGraph, matched: &[bool], v: usize) -> Option<u32> {
+    let mut best: Option<(u64, u32)> = None;
+    for e in g.nbr_range(v) {
+        let u = g.adjncy[e];
+        if matched[u as usize] || u as usize == v {
+            continue;
+        }
+        let w = g.adjwgt[e];
+        match best {
+            Some((bw, bu)) if (w, std::cmp::Reverse(u)) <= (bw, std::cmp::Reverse(bu)) => {}
+            _ => best = Some((w, u)),
+        }
+    }
+    best.map(|(_, u)| u)
+}
+
+/// Compute a matching: `mate[v]` is `v`'s partner, or `v` itself if
+/// unmatched.
+///
+/// Two phases, both deterministic:
+/// 1. **Mutual-heaviest pass** — an edge whose endpoints each consider
+///    it their heaviest incident edge is always matched, independent of
+///    visit order. This guarantees locally dominant heavy edges (the
+///    ones coarsening most wants to contract) are never missed.
+/// 2. **Greedy pass** — remaining nodes, in a seeded random order, grab
+///    their heaviest unmatched neighbour (ties to the lower id).
+pub fn heavy_edge_matching(g: &WGraph, seed: u64) -> Vec<u32> {
+    let n = g.n();
+    let mut mate: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+
+    // Phase 1: mutual heaviest edges.
+    for v in 0..n {
+        if matched[v] {
+            continue;
+        }
+        if let Some(u) = heaviest_neighbor(g, &matched, v) {
+            let u = u as usize;
+            if !matched[u] && heaviest_neighbor(g, &matched, u) == Some(v as u32) {
+                mate[v] = u as u32;
+                mate[u] = v as u32;
+                matched[v] = true;
+                matched[u] = true;
+            }
+        }
+    }
+
+    // Phase 2: greedy over the rest.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    SplitMix64::new(seed).shuffle(&mut order);
+    for &v in &order {
+        let v = v as usize;
+        if matched[v] {
+            continue;
+        }
+        if let Some(u) = heaviest_neighbor(g, &matched, v) {
+            mate[v] = u;
+            mate[u as usize] = v as u32;
+            matched[v] = true;
+            matched[u as usize] = true;
+        }
+    }
+    mate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdm_mesh::CsrGraph;
+
+    fn wg(n: usize, edges: &[(u32, u32)]) -> WGraph {
+        WGraph::from_csr(&CsrGraph::from_edges(n, edges))
+    }
+
+    #[test]
+    fn matching_is_symmetric_and_valid() {
+        let g = wg(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let mate = heavy_edge_matching(&g, 7);
+        for v in 0..6 {
+            let m = mate[v] as usize;
+            assert_eq!(mate[m] as usize, v, "matching must be an involution");
+        }
+    }
+
+    #[test]
+    fn heavy_edges_preferred() {
+        // Triangle 0-1-2 with a heavy edge (1,2).
+        let csr = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let mut g = WGraph::from_csr(&csr);
+        // Find both directions of edge (1,2) and weight them 10.
+        for v in 0..3 {
+            for e in g.xadj[v]..g.xadj[v + 1] {
+                let u = g.adjncy[e] as usize;
+                if (v == 1 && u == 2) || (v == 2 && u == 1) {
+                    g.adjwgt[e] = 10;
+                }
+            }
+        }
+        // Whatever the visit order, (1,2) is mutually heaviest and must
+        // be matched.
+        for seed in 0..5 {
+            let mate = heavy_edge_matching(&g, seed);
+            assert!(
+                mate[1] == 2 && mate[2] == 1,
+                "heavy edge must be matched (seed {seed}): {mate:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_matches_many() {
+        let g = wg(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        let mate = heavy_edge_matching(&g, 1);
+        let matched = (0..8).filter(|&v| mate[v] as usize != v).count();
+        assert!(matched >= 6, "a path of 8 should match at least 3 pairs, matched {matched}");
+    }
+
+    #[test]
+    fn isolated_nodes_stay_unmatched() {
+        let g = wg(3, &[(0, 1)]);
+        let mate = heavy_edge_matching(&g, 0);
+        assert_eq!(mate[2], 2);
+    }
+
+    #[test]
+    fn uniform_weights_still_match_well() {
+        // On unit weights the mutual-heaviest pass picks lowest-id
+        // neighbours; combined with the greedy pass, a cycle matches
+        // almost perfectly.
+        let edges: Vec<(u32, u32)> = (0..10).map(|i| (i, (i + 1) % 10)).collect();
+        let g = wg(10, &edges);
+        let mate = heavy_edge_matching(&g, 3);
+        let matched = (0..10).filter(|&v| mate[v] as usize != v).count();
+        assert!(matched >= 8, "cycle of 10 should match >= 4 pairs, got {matched}");
+    }
+}

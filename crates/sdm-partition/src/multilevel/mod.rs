@@ -1,0 +1,17 @@
+//! Multilevel k-way partitioning (MeTis-style).
+//!
+//! Three phases, as in Karypis & Kumar: (1) *coarsening* by heavy-edge
+//! matching until the graph is small, (2) an *initial partition* of the
+//! coarsest graph by greedy graph growing, (3) *uncoarsening* that
+//! projects the partition back level by level, running boundary FM
+//! refinement at each step.
+
+pub mod coarsen;
+pub mod initial;
+pub mod kway;
+pub mod matching;
+pub mod refine;
+pub mod wgraph;
+
+pub use kway::partition_kway;
+pub use wgraph::WGraph;

@@ -1,0 +1,74 @@
+//! Weighted graphs for the multilevel hierarchy.
+
+use sdm_mesh::CsrGraph;
+
+/// CSR graph with node and edge weights. Coarse levels carry the
+/// accumulated weights of the fine nodes/edges they represent.
+#[derive(Debug, Clone)]
+pub struct WGraph {
+    /// Row pointers.
+    pub xadj: Vec<usize>,
+    /// Neighbour lists.
+    pub adjncy: Vec<u32>,
+    /// Edge weights, parallel to `adjncy`.
+    pub adjwgt: Vec<u64>,
+    /// Node weights.
+    pub vwgt: Vec<u64>,
+}
+
+impl WGraph {
+    /// Lift an unweighted graph (all weights 1).
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        Self {
+            xadj: g.xadj.clone(),
+            adjncy: g.adjncy.clone(),
+            adjwgt: vec![1; g.adjncy.len()],
+            vwgt: vec![1; g.num_nodes()],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Total node weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Neighbour index range of `v`.
+    pub fn nbr_range(&self, v: usize) -> std::ops::Range<usize> {
+        self.xadj[v]..self.xadj[v + 1]
+    }
+
+    /// Weighted edge cut under `part`.
+    pub fn cut(&self, part: &[u32]) -> u64 {
+        let mut cut = 0u64;
+        for v in 0..self.n() {
+            for e in self.nbr_range(v) {
+                let u = self.adjncy[e] as usize;
+                if u > v && part[u] != part[v] {
+                    cut += self.adjwgt[e];
+                }
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_csr_unit_weights() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let w = WGraph::from_csr(&g);
+        assert_eq!(w.n(), 3);
+        assert_eq!(w.total_weight(), 3);
+        assert_eq!(w.adjwgt, vec![1; 4]);
+        assert_eq!(w.cut(&[0, 0, 1]), 1);
+        assert_eq!(w.cut(&[0, 1, 0]), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Random partitioning (worst-case baseline).
+
+use sdm_sim::rng::SplitMix64;
+
+use crate::vector::PartitionVector;
+
+/// Assign each node a uniformly random part. Maximizes edge cut and
+/// fragment count — the lower bound any real partitioner must beat, and
+/// the stress case for the map-array coalescing in SDM's file views.
+pub fn partition_random(n: usize, nparts: usize, seed: u64) -> PartitionVector {
+    assert!(nparts > 0);
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_below(nparts as u64) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{part_sizes, validate};
+
+    #[test]
+    fn deterministic_and_valid() {
+        let a = partition_random(100, 7, 3);
+        let b = partition_random(100, 7, 3);
+        assert_eq!(a, b);
+        validate(&a, 7, false).unwrap();
+    }
+
+    #[test]
+    fn roughly_balanced_at_scale() {
+        let v = partition_random(70_000, 7, 11);
+        let sizes = part_sizes(&v, 7);
+        for s in sizes {
+            assert!((9_000..11_000).contains(&s), "size {s} too skewed for uniform assignment");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(partition_random(50, 4, 1), partition_random(50, 4, 2));
+    }
+}

@@ -1,0 +1,54 @@
+//! The partitioning vector.
+
+/// `vector[node] = owning part` — the paper's replicated partitioning
+/// vector, as produced by MeTis.
+pub type PartitionVector = Vec<u32>;
+
+/// Per-part node counts.
+pub fn part_sizes(vector: &PartitionVector, nparts: usize) -> Vec<usize> {
+    let mut sizes = vec![0usize; nparts];
+    for &p in vector {
+        sizes[p as usize] += 1;
+    }
+    sizes
+}
+
+/// Check that every entry is a valid part id and (if `require_all`) that
+/// no part is empty.
+pub fn validate(vector: &PartitionVector, nparts: usize, require_all: bool) -> Result<(), String> {
+    for (i, &p) in vector.iter().enumerate() {
+        if p as usize >= nparts {
+            return Err(format!("node {i} assigned to part {p} >= nparts {nparts}"));
+        }
+    }
+    if require_all {
+        let sizes = part_sizes(vector, nparts);
+        if let Some(empty) = sizes.iter().position(|&s| s == 0) {
+            return Err(format!("part {empty} is empty"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_counted() {
+        let v = vec![0, 1, 1, 2, 0];
+        assert_eq!(part_sizes(&v, 3), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn validate_range() {
+        assert!(validate(&vec![0, 3], 3, false).is_err());
+        assert!(validate(&vec![0, 2], 3, false).is_ok());
+    }
+
+    #[test]
+    fn validate_empty_part() {
+        assert!(validate(&vec![0, 0, 2], 3, true).is_err());
+        assert!(validate(&vec![0, 1, 2], 3, true).is_ok());
+    }
+}

@@ -1,0 +1,229 @@
+//! Client-side block cache ("XFS buffered I/O").
+//!
+//! The paper notes results used XFS *buffered* I/O. This cache gives the
+//! same effect for small, repeated accesses (metadata probes, header
+//! reads): block-aligned LRU caching in front of a [`crate::Pfs`] handle.
+//! Cache hits cost only the client copy; misses fetch the whole block.
+//! Writes are write-through (the PFS image stays authoritative) but update
+//! cached blocks so later reads hit.
+
+use std::collections::HashMap;
+
+use sdm_sim::Seconds;
+
+use crate::error::PfsResult;
+use crate::file::PfsFile;
+use crate::fs::Pfs;
+
+/// A block-aligned LRU cache over one file handle.
+#[derive(Debug)]
+pub struct BlockCache {
+    file: PfsFile,
+    block_size: usize,
+    capacity_blocks: usize,
+    /// block index -> (data, last-use tick)
+    blocks: HashMap<u64, (Vec<u8>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockCache {
+    /// Wrap `file` with a cache of `capacity_blocks` blocks of
+    /// `block_size` bytes.
+    pub fn new(file: PfsFile, block_size: usize, capacity_blocks: usize) -> Self {
+        assert!(block_size > 0 && capacity_blocks > 0);
+        Self {
+            file,
+            block_size,
+            capacity_blocks,
+            blocks: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The wrapped handle.
+    pub fn file(&self) -> &PfsFile {
+        &self.file
+    }
+
+    fn touch(&mut self, block: u64) {
+        self.tick += 1;
+        if let Some(e) = self.blocks.get_mut(&block) {
+            e.1 = self.tick;
+        }
+    }
+
+    fn evict_if_full(&mut self) {
+        while self.blocks.len() >= self.capacity_blocks {
+            let oldest = self.blocks.iter().min_by_key(|(_, (_, t))| *t).map(|(&b, _)| b);
+            if let Some(b) = oldest {
+                self.blocks.remove(&b);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn load_block(&mut self, pfs: &Pfs, block: u64, now: Seconds) -> PfsResult<Seconds> {
+        if self.blocks.contains_key(&block) {
+            self.hits += 1;
+            self.touch(block);
+            return Ok(now);
+        }
+        self.misses += 1;
+        self.evict_if_full();
+        let mut buf = vec![0u8; self.block_size];
+        let (n, t) = pfs.read_at(&self.file, block * self.block_size as u64, &mut buf, now)?;
+        buf.truncate(n.max(0));
+        // Keep a full-size block image; bytes past EOF read as zeros.
+        buf.resize(self.block_size, 0);
+        self.tick += 1;
+        self.blocks.insert(block, (buf, self.tick));
+        Ok(t)
+    }
+
+    /// Cached read of `buf.len()` bytes at `offset`. Bytes past EOF come
+    /// back as zeros (callers use `Pfs::file_len` for exact EOF logic).
+    pub fn read_at(
+        &mut self,
+        pfs: &Pfs,
+        offset: u64,
+        buf: &mut [u8],
+        now: Seconds,
+    ) -> PfsResult<Seconds> {
+        let bs = self.block_size as u64;
+        let mut t = now;
+        let mut cur = offset;
+        let end = offset + buf.len() as u64;
+        while cur < end {
+            let block = cur / bs;
+            t = self.load_block(pfs, block, t)?;
+            let bstart = block * bs;
+            let lo = (cur - bstart) as usize;
+            let hi = ((end - bstart).min(bs)) as usize;
+            let dst = (cur - offset) as usize;
+            let data = &self.blocks[&block].0;
+            buf[dst..dst + (hi - lo)].copy_from_slice(&data[lo..hi]);
+            t += pfs.config().io.client_copy(hi - lo);
+            cur = bstart + hi as u64;
+        }
+        Ok(t)
+    }
+
+    /// Write-through write: updates the PFS image and any cached blocks.
+    pub fn write_at(
+        &mut self,
+        pfs: &Pfs,
+        offset: u64,
+        data: &[u8],
+        now: Seconds,
+    ) -> PfsResult<Seconds> {
+        let t = pfs.write_at(&self.file, offset, data, now)?;
+        let bs = self.block_size as u64;
+        let end = offset + data.len() as u64;
+        for block in offset / bs..=(end.saturating_sub(1)) / bs {
+            if let Some((cached, _)) = self.blocks.get_mut(&block) {
+                let bstart = block * bs;
+                let lo = offset.max(bstart);
+                let hi = end.min(bstart + bs);
+                let src = (lo - offset) as usize;
+                let dst = (lo - bstart) as usize;
+                let n = (hi - lo) as usize;
+                cached[dst..dst + n].copy_from_slice(&data[src..src + n]);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Drop all cached blocks.
+    pub fn invalidate(&mut self) {
+        self.blocks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdm_sim::MachineConfig;
+
+    fn setup() -> (std::sync::Arc<Pfs>, BlockCache) {
+        let pfs = Pfs::new(MachineConfig::test_tiny());
+        let (f, _) = pfs.open_or_create("cache.dat", 0.0).unwrap();
+        pfs.write_at(&f, 0, &(0..=255u8).collect::<Vec<_>>(), 0.0).unwrap();
+        let cache = BlockCache::new(f, 64, 2);
+        (pfs, cache)
+    }
+
+    #[test]
+    fn repeated_reads_hit() {
+        let (pfs, mut c) = setup();
+        let mut b = [0u8; 16];
+        c.read_at(&pfs, 0, &mut b, 0.0).unwrap();
+        c.read_at(&pfs, 16, &mut b, 0.0).unwrap();
+        let (hits, misses) = c.stats();
+        assert_eq!(misses, 1, "same block, one miss");
+        assert_eq!(hits, 1);
+        assert_eq!(b[0], 16);
+    }
+
+    #[test]
+    fn read_spanning_blocks() {
+        let (pfs, mut c) = setup();
+        let mut b = [0u8; 128];
+        c.read_at(&pfs, 32, &mut b, 0.0).unwrap();
+        let want: Vec<u8> = (32..160u32).map(|x| x as u8).collect();
+        assert_eq!(&b[..], &want[..]);
+        assert_eq!(c.stats().1, 3, "three blocks touched");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let (pfs, mut c) = setup();
+        let mut b = [0u8; 1];
+        c.read_at(&pfs, 0, &mut b, 0.0).unwrap(); // block 0
+        c.read_at(&pfs, 64, &mut b, 0.0).unwrap(); // block 1
+        c.read_at(&pfs, 128, &mut b, 0.0).unwrap(); // block 2 evicts block 0
+        c.read_at(&pfs, 0, &mut b, 0.0).unwrap(); // miss again
+        assert_eq!(c.stats(), (0, 4));
+    }
+
+    #[test]
+    fn write_through_updates_cache_and_pfs() {
+        let (pfs, mut c) = setup();
+        let mut b = [0u8; 4];
+        c.read_at(&pfs, 0, &mut b, 0.0).unwrap();
+        c.write_at(&pfs, 1, b"ZZ", 0.0).unwrap();
+        c.read_at(&pfs, 0, &mut b, 0.0).unwrap();
+        assert_eq!(&b, &[0, b'Z', b'Z', 3]);
+        // And the underlying file agrees.
+        let mut raw = [0u8; 4];
+        pfs.read_exact_at(c.file(), 0, &mut raw, 0.0).unwrap();
+        assert_eq!(&raw, &[0, b'Z', b'Z', 3]);
+    }
+
+    #[test]
+    fn reads_past_eof_are_zeros() {
+        let (pfs, mut c) = setup();
+        let mut b = [7u8; 8];
+        c.read_at(&pfs, 300, &mut b, 0.0).unwrap();
+        assert_eq!(b, [0u8; 8]);
+    }
+
+    #[test]
+    fn invalidate_forces_refetch() {
+        let (pfs, mut c) = setup();
+        let mut b = [0u8; 1];
+        c.read_at(&pfs, 0, &mut b, 0.0).unwrap();
+        c.invalidate();
+        c.read_at(&pfs, 0, &mut b, 0.0).unwrap();
+        assert_eq!(c.stats(), (0, 2));
+    }
+}

@@ -1,0 +1,44 @@
+//! PFS error type.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// Open/stat of a file that does not exist.
+    NotFound(String),
+    /// Create with `exclusive` of a file that already exists.
+    AlreadyExists(String),
+    /// Injected open failure (fault plan).
+    OpenFailed(String),
+    /// Read past the end of the file when `exact` semantics were requested.
+    ShortRead {
+        /// File name.
+        name: String,
+        /// Bytes requested.
+        wanted: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Operation on a closed handle.
+    Closed(String),
+}
+
+impl fmt::Display for PfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfsError::NotFound(n) => write!(f, "file not found: {n}"),
+            PfsError::AlreadyExists(n) => write!(f, "file already exists: {n}"),
+            PfsError::OpenFailed(n) => write!(f, "open failed (injected fault): {n}"),
+            PfsError::ShortRead { name, wanted, got } => {
+                write!(f, "short read on {name}: wanted {wanted} bytes, got {got}")
+            }
+            PfsError::Closed(n) => write!(f, "operation on closed handle: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+/// Convenience alias.
+pub type PfsResult<T> = Result<T, PfsError>;

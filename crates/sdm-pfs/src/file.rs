@@ -1,0 +1,82 @@
+//! File handles and file images.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// The stored image of one file. Bytes are real; writes past the current
+/// end extend the file with zeros (holes read back as zeros, like POSIX).
+#[derive(Debug)]
+pub(crate) struct FileData {
+    pub(crate) name: String,
+    pub(crate) bytes: RwLock<Vec<u8>>,
+}
+
+impl FileData {
+    pub(crate) fn new(name: String) -> Arc<Self> {
+        Arc::new(Self { name, bytes: RwLock::new(Vec::new()) })
+    }
+}
+
+/// An open handle to a PFS file. Cheap to clone; all clones refer to the
+/// same file image. Operations go through [`crate::Pfs`] so that timing
+/// and fault injection stay centralized.
+#[derive(Debug, Clone)]
+pub struct PfsFile {
+    pub(crate) data: Arc<FileData>,
+    closed: Arc<AtomicBool>,
+}
+
+impl PfsFile {
+    pub(crate) fn new(data: Arc<FileData>) -> Self {
+        Self { data, closed: Arc::new(AtomicBool::new(false)) }
+    }
+
+    /// The file's name in the PFS namespace.
+    pub fn name(&self) -> &str {
+        &self.data.name
+    }
+
+    /// Current length in bytes (ignores fault-plan truncation).
+    pub fn len(&self) -> u64 {
+        self.data.bytes.read().len() as u64
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this handle has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_closed(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_image_and_close_state() {
+        let f = PfsFile::new(FileData::new("a".into()));
+        let g = f.clone();
+        f.data.bytes.write().extend_from_slice(b"hello");
+        assert_eq!(g.len(), 5);
+        g.mark_closed();
+        assert!(f.is_closed());
+    }
+
+    #[test]
+    fn new_file_is_empty_and_open() {
+        let f = PfsFile::new(FileData::new("x".into()));
+        assert!(f.is_empty());
+        assert!(!f.is_closed());
+        assert_eq!(f.name(), "x");
+    }
+}

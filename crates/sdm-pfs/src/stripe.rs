@@ -1,0 +1,185 @@
+//! Stripe layout arithmetic.
+//!
+//! Files are striped round-robin: byte `b` lives in stripe unit
+//! `b / stripe_size`, which is stored on server `unit % servers`. The cost
+//! model only needs, for a contiguous extent, *how many bytes land on each
+//! server* and *how many distinct requests* that implies; this module
+//! computes both without iterating per byte.
+
+/// Round-robin stripe layout over a fixed server count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeLayout {
+    /// Stripe unit in bytes.
+    pub stripe_size: u64,
+    /// Number of I/O servers.
+    pub servers: usize,
+}
+
+impl StripeLayout {
+    /// New layout; panics on degenerate parameters.
+    pub fn new(stripe_size: u64, servers: usize) -> Self {
+        assert!(stripe_size > 0, "stripe size must be positive");
+        assert!(servers > 0, "need at least one server");
+        Self { stripe_size, servers }
+    }
+
+    /// Server holding the stripe unit that contains byte offset `off`.
+    #[inline]
+    pub fn server_of(&self, off: u64) -> usize {
+        ((off / self.stripe_size) % self.servers as u64) as usize
+    }
+
+    /// For the extent `[off, off+len)`, the number of bytes stored on each
+    /// server. Returns a vector of length `self.servers`.
+    pub fn bytes_per_server(&self, off: u64, len: u64) -> Vec<u64> {
+        let mut out = vec![0u64; self.servers];
+        if len == 0 {
+            return out;
+        }
+        let first_unit = off / self.stripe_size;
+        let last_unit = (off + len - 1) / self.stripe_size;
+        let nunits = last_unit - first_unit + 1;
+        if nunits as usize <= 2 * self.servers {
+            // Few units: walk them directly.
+            let mut cur = off;
+            let end = off + len;
+            while cur < end {
+                let unit = cur / self.stripe_size;
+                let unit_end = (unit + 1) * self.stripe_size;
+                let take = unit_end.min(end) - cur;
+                out[(unit % self.servers as u64) as usize] += take;
+                cur += take;
+            }
+        } else {
+            // Many units: whole cycles contribute evenly; handle the
+            // ragged head and tail unit-by-unit.
+            let head_end = (first_unit + self.servers as u64).min(last_unit + 1);
+            let tail_start = last_unit.saturating_sub(self.servers as u64 - 1).max(head_end);
+            // Head units (first `servers` units, possibly partial first).
+            let end = off + len;
+            for unit in first_unit..head_end {
+                let ustart = unit * self.stripe_size;
+                let uend = ustart + self.stripe_size;
+                let take = uend.min(end) - ustart.max(off);
+                out[(unit % self.servers as u64) as usize] += take;
+            }
+            // Tail units (last up-to-`servers` units, possibly partial last).
+            for unit in tail_start..=last_unit {
+                let ustart = unit * self.stripe_size;
+                let uend = ustart + self.stripe_size;
+                let take = uend.min(end) - ustart.max(off);
+                out[(unit % self.servers as u64) as usize] += take;
+            }
+            // Middle: full units in complete server cycles.
+            if tail_start > head_end {
+                let mid_units = tail_start - head_end;
+                let full_cycles = mid_units / self.servers as u64;
+                let rem = mid_units % self.servers as u64;
+                for s in out.iter_mut() {
+                    *s += full_cycles * self.stripe_size;
+                }
+                // Remaining `rem` consecutive units after the full cycles.
+                let rem_start = head_end + full_cycles * self.servers as u64;
+                for unit in rem_start..rem_start + rem {
+                    out[(unit % self.servers as u64) as usize] += self.stripe_size;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of stripe units the extent `[off, off+len)` touches. One
+    /// server request is charged per touched unit run on that server; for
+    /// the linear model we approximate requests-per-server as
+    /// `ceil(units_touched / servers)` — i.e. a large contiguous request
+    /// is one logical request per server, regardless of unit count.
+    pub fn units_touched(&self, off: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        (off + len - 1) / self.stripe_size - off / self.stripe_size + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: per-byte accumulation.
+    fn bytes_per_server_ref(l: &StripeLayout, off: u64, len: u64) -> Vec<u64> {
+        let mut out = vec![0u64; l.servers];
+        for b in off..off + len {
+            out[l.server_of(b)] += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn server_of_round_robin() {
+        let l = StripeLayout::new(10, 3);
+        assert_eq!(l.server_of(0), 0);
+        assert_eq!(l.server_of(9), 0);
+        assert_eq!(l.server_of(10), 1);
+        assert_eq!(l.server_of(29), 2);
+        assert_eq!(l.server_of(30), 0);
+    }
+
+    #[test]
+    fn empty_extent_is_zero() {
+        let l = StripeLayout::new(10, 3);
+        assert_eq!(l.bytes_per_server(5, 0), vec![0, 0, 0]);
+        assert_eq!(l.units_touched(5, 0), 0);
+    }
+
+    #[test]
+    fn single_unit_extent() {
+        let l = StripeLayout::new(10, 3);
+        let b = l.bytes_per_server(12, 5);
+        assert_eq!(b, vec![0, 5, 0]);
+        assert_eq!(l.units_touched(12, 5), 1);
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        let l = StripeLayout::new(7, 4);
+        for off in 0..30 {
+            for len in 0..60 {
+                assert_eq!(
+                    l.bytes_per_server(off, len),
+                    bytes_per_server_ref(&l, off, len),
+                    "off={off} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_large_extent() {
+        let l = StripeLayout::new(64, 10);
+        // Extent spanning many complete cycles with ragged ends.
+        for &(off, len) in &[(3u64, 64 * 10 * 7 + 100), (64 * 3 + 5, 64 * 10 * 3), (0, 64 * 25)] {
+            assert_eq!(l.bytes_per_server(off, len), bytes_per_server_ref(&l, off, len));
+        }
+    }
+
+    #[test]
+    fn totals_conserved() {
+        let l = StripeLayout::new(13, 5);
+        let b = l.bytes_per_server(100, 10_000);
+        assert_eq!(b.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn units_touched_counts() {
+        let l = StripeLayout::new(10, 3);
+        assert_eq!(l.units_touched(0, 10), 1);
+        assert_eq!(l.units_touched(0, 11), 2);
+        assert_eq!(l.units_touched(9, 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe size")]
+    fn zero_stripe_panics() {
+        StripeLayout::new(0, 3);
+    }
+}

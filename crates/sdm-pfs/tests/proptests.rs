@@ -1,0 +1,64 @@
+//! Property tests: stripe arithmetic against a per-byte reference, and
+//! arbitrary write/read sequences against an in-memory model.
+
+use proptest::prelude::*;
+use sdm_pfs::{Pfs, StripeLayout};
+use sdm_sim::MachineConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bytes_per_server_matches_reference(
+        stripe in 1u64..64,
+        servers in 1usize..8,
+        off in 0u64..500,
+        len in 0u64..2000,
+    ) {
+        let l = StripeLayout::new(stripe, servers);
+        let fast = l.bytes_per_server(off, len);
+        let mut slow = vec![0u64; servers];
+        for b in off..off + len {
+            slow[l.server_of(b)] += 1;
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn write_read_sequences_match_model(
+        ops in proptest::collection::vec((0u64..300, proptest::collection::vec(any::<u8>(), 1..64)), 1..20)
+    ) {
+        let pfs = Pfs::new(MachineConfig::test_tiny());
+        let (f, _) = pfs.open_or_create("model.dat", 0.0).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        let mut t = 0.0;
+        for (off, data) in &ops {
+            t = pfs.write_at(&f, *off, data, t).unwrap();
+            let end = *off as usize + data.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[*off as usize..end].copy_from_slice(data);
+        }
+        prop_assert_eq!(f.len(), model.len() as u64);
+        let mut back = vec![0u8; model.len()];
+        let (n, _) = pfs.read_at(&f, 0, &mut back, t).unwrap();
+        prop_assert_eq!(n, model.len());
+        prop_assert_eq!(back, model);
+    }
+
+    #[test]
+    fn completion_times_are_monotone_nonnegative(
+        sizes in proptest::collection::vec(1usize..10_000, 1..10)
+    ) {
+        let pfs = Pfs::new(MachineConfig::origin2000());
+        let (f, mut t) = pfs.open_or_create("mono.dat", 0.0).unwrap();
+        let mut off = 0u64;
+        for s in sizes {
+            let t2 = pfs.write_at(&f, off, &vec![1u8; s], t).unwrap();
+            prop_assert!(t2 >= t, "completion must not precede submission");
+            t = t2;
+            off += s as u64;
+        }
+    }
+}

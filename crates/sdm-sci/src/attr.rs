@@ -1,0 +1,122 @@
+//! Typed attributes for containers (the HDF/netCDF annotation model).
+
+use sdm_metadb::Value;
+
+/// An attribute value attached to a group or dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// 64-bit integer attribute.
+    Int(i64),
+    /// 64-bit float attribute.
+    Double(f64),
+    /// Text attribute.
+    Text(String),
+}
+
+impl AttrValue {
+    /// Type tag stored in the attribute table.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            AttrValue::Int(_) => "INT",
+            AttrValue::Double(_) => "DOUBLE",
+            AttrValue::Text(_) => "TEXT",
+        }
+    }
+
+    /// Encode into the three nullable storage columns `(ival, dval, tval)`.
+    pub(crate) fn to_columns(&self) -> (Value, Value, Value) {
+        match self {
+            AttrValue::Int(i) => (Value::Int(*i), Value::Null, Value::Null),
+            AttrValue::Double(d) => (Value::Null, Value::Double(*d), Value::Null),
+            AttrValue::Text(s) => (Value::Null, Value::Null, Value::Text(s.clone())),
+        }
+    }
+
+    /// Decode from `(type_tag, ival, dval, tval)` columns.
+    pub(crate) fn from_columns(tag: &str, i: &Value, d: &Value, t: &Value) -> Option<Self> {
+        match tag {
+            "INT" => i.as_i64().map(AttrValue::Int),
+            "DOUBLE" => d.as_f64().map(AttrValue::Double),
+            "TEXT" => t.as_str().map(|s| AttrValue::Text(s.to_string())),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if an Int.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float view (Int promotes), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Text view, if Text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Double(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_round_trip() {
+        for v in [AttrValue::Int(-3), AttrValue::Double(2.5), AttrValue::from("units: m/s")] {
+            let (i, d, t) = v.to_columns();
+            let back = AttrValue::from_columns(v.type_tag(), &i, &d, &t).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn views_and_conversions() {
+        assert_eq!(AttrValue::from(7i64).as_i64(), Some(7));
+        assert_eq!(AttrValue::from(7i64).as_f64(), Some(7.0));
+        assert_eq!(AttrValue::from(1.5).as_f64(), Some(1.5));
+        assert_eq!(AttrValue::from("x").as_str(), Some("x"));
+        assert_eq!(AttrValue::from("x").as_i64(), None);
+        assert_eq!(AttrValue::from(1.5).as_str(), None);
+    }
+
+    #[test]
+    fn bad_tag_decodes_none() {
+        assert_eq!(AttrValue::from_columns("BLOB", &Value::Null, &Value::Null, &Value::Null), None);
+    }
+}

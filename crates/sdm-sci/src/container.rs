@@ -1,0 +1,648 @@
+//! Hierarchical, self-describing containers over SDM.
+//!
+//! A [`SciFile`] is the HDF-shaped object the paper's summary proposes
+//! building on SDM: groups addressed by `/`-separated paths, named
+//! dimensions, datasets defined over dimension lists, and typed
+//! attributes on groups and datasets. Three extra metadata tables sit
+//! beside SDM's six; the dataset bytes themselves move through
+//! [`Sdm::write`] / [`Sdm::read`], so every container write is a
+//! collective noncontiguous MPI-IO operation under the configured
+//! Level 1/2/3 file organization.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use sdm_core::dataset::DatasetDesc;
+use sdm_core::{GroupHandle, Sdm, SdmConfig, SdmError, SdmType};
+use sdm_metadb::{Database, DbError, Value};
+use sdm_mpi::pod::Pod;
+use sdm_mpi::Comm;
+use sdm_pfs::Pfs;
+
+use crate::attr::AttrValue;
+
+/// Errors from the container layer.
+#[derive(Debug)]
+pub enum SciError {
+    /// Underlying SDM failure.
+    Sdm(SdmError),
+    /// Metadata database failure.
+    Db(DbError),
+    /// API misuse (bad path, unknown dimension, redefinition...).
+    Usage(String),
+}
+
+impl std::fmt::Display for SciError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SciError::Sdm(e) => write!(f, "sdm: {e}"),
+            SciError::Db(e) => write!(f, "metadata db: {e}"),
+            SciError::Usage(m) => write!(f, "usage: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SciError {}
+
+impl From<SdmError> for SciError {
+    fn from(e: SdmError) -> Self {
+        SciError::Sdm(e)
+    }
+}
+
+impl From<DbError> for SciError {
+    fn from(e: DbError) -> Self {
+        SciError::Db(e)
+    }
+}
+
+/// Container-layer result.
+pub type SciResult<T> = Result<T, SciError>;
+
+/// Description of one dataset in a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Absolute path (`/flow/pressure`).
+    pub path: String,
+    /// Element type.
+    pub dtype: SdmType,
+    /// Dimension names, outermost first.
+    pub dims: Vec<String>,
+    /// Total element count (product of dimension lengths).
+    pub global_size: u64,
+}
+
+struct DsEntry {
+    handle: GroupHandle,
+    info: DatasetInfo,
+}
+
+/// The extra metadata tables of the container layer.
+const SCI_DDL: [&str; 4] = [
+    "CREATE TABLE IF NOT EXISTS sci_group_table (runid INT, path TEXT)",
+    "CREATE TABLE IF NOT EXISTS sci_dim_table (runid INT, name TEXT, len INT)",
+    "CREATE TABLE IF NOT EXISTS sci_dataset_table (
+        runid INT, ghandle INT, path TEXT, data_type TEXT, dims TEXT, global_size INT)",
+    "CREATE TABLE IF NOT EXISTS sci_attr_table (
+        runid INT, path TEXT, name TEXT, vtype TEXT, ival INT, dval DOUBLE, tval TEXT)",
+];
+
+/// A hierarchical scientific container backed by SDM.
+///
+/// All mutating methods are **collective** (every rank of the
+/// communicator must call them with identical arguments); rank 0 writes
+/// the metadata rows, exactly as SDM itself does.
+pub struct SciFile {
+    sdm: Sdm,
+    groups: BTreeSet<String>,
+    dims: BTreeMap<String, u64>,
+    datasets: HashMap<String, DsEntry>,
+    /// Creation order of dataset paths (= SDM group-handle order).
+    order: Vec<String>,
+}
+
+fn validate_path(path: &str) -> SciResult<()> {
+    if path == "/" {
+        return Ok(());
+    }
+    if !path.starts_with('/') || path.ends_with('/') {
+        return Err(SciError::Usage(format!(
+            "path {path:?} must start with '/' and not end with one"
+        )));
+    }
+    if path.split('/').skip(1).any(str::is_empty) {
+        return Err(SciError::Usage(format!("path {path:?} has an empty segment")));
+    }
+    Ok(())
+}
+
+fn parent_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) | None => "/",
+        Some(i) => &path[..i],
+    }
+}
+
+impl SciFile {
+    /// Create a fresh container named `name` (the SDM application name).
+    /// Collective.
+    pub fn create(
+        comm: &mut Comm,
+        pfs: &Arc<Pfs>,
+        db: &Arc<Database>,
+        name: &str,
+        cfg: SdmConfig,
+    ) -> SciResult<Self> {
+        let mut sdm = Sdm::initialize_with(comm, pfs, db, name, cfg)?;
+        sdm.record_run(comm, 0)?;
+        if comm.rank() == 0 {
+            for ddl in SCI_DDL {
+                db.exec(ddl, &[])?;
+            }
+            db.exec(
+                "INSERT INTO sci_group_table VALUES (?, ?)",
+                &[Value::Int(sdm.runid()), Value::from("/")],
+            )?;
+        }
+        comm.barrier();
+        let mut groups = BTreeSet::new();
+        groups.insert("/".to_string());
+        Ok(Self { sdm, groups, dims: BTreeMap::new(), datasets: HashMap::new(), order: Vec::new() })
+    }
+
+    /// Reopen the latest container run named `name`: rebuilds the whole
+    /// group/dimension/dataset tree from the metadata database, then
+    /// serves reads through SDM. Collective.
+    pub fn open(
+        comm: &mut Comm,
+        pfs: &Arc<Pfs>,
+        db: &Arc<Database>,
+        name: &str,
+        cfg: SdmConfig,
+    ) -> SciResult<Self> {
+        let runid = sdm_core::tables::latest_runid_for_app(db, name)?
+            .ok_or_else(|| SciError::Usage(format!("no container named {name:?}")))?;
+        let mut sdm = Sdm::attach(comm, pfs, db, name, runid, cfg)?;
+
+        let mut groups = BTreeSet::new();
+        let rs = db.exec("SELECT path FROM sci_group_table WHERE runid = ?", &[Value::Int(runid)])?;
+        for r in &rs.rows {
+            groups.insert(r[0].as_str().unwrap_or("/").to_string());
+        }
+        if groups.is_empty() {
+            return Err(SciError::Usage(format!("{name:?} exists but is not a SciFile container")));
+        }
+
+        let mut dims = BTreeMap::new();
+        let rs = db.exec("SELECT name, len FROM sci_dim_table WHERE runid = ?", &[Value::Int(runid)])?;
+        for r in &rs.rows {
+            dims.insert(
+                r[0].as_str().unwrap_or_default().to_string(),
+                r[1].as_i64().unwrap_or(0) as u64,
+            );
+        }
+
+        let rs = db.exec(
+            "SELECT ghandle, path, data_type, dims, global_size
+             FROM sci_dataset_table WHERE runid = ? ORDER BY ghandle",
+            &[Value::Int(runid)],
+        )?;
+        let mut datasets = HashMap::new();
+        let mut order = Vec::new();
+        for r in &rs.rows {
+            let path = r[1].as_str().unwrap_or_default().to_string();
+            let dtype = match r[2].as_str() {
+                Some("INTEGER") => SdmType::Int32,
+                Some("INTEGER8") => SdmType::Int64,
+                _ => SdmType::Double,
+            };
+            let dim_names: Vec<String> = match r[3].as_str() {
+                Some("") | None => Vec::new(),
+                Some(s) => s.split(',').map(str::to_string).collect(),
+            };
+            let global_size = r[4].as_i64().unwrap_or(0) as u64;
+            let handle =
+                sdm.attach_group(comm, vec![DatasetDesc { data_type: dtype, ..DatasetDesc::doubles(path.clone(), global_size) }])?;
+            let info = DatasetInfo { path: path.clone(), dtype, dims: dim_names, global_size };
+            order.push(path.clone());
+            datasets.insert(path, DsEntry { handle, info });
+        }
+        Ok(Self { sdm, groups, dims, datasets, order })
+    }
+
+    /// The underlying SDM run id (metadata key).
+    pub fn runid(&self) -> i64 {
+        self.sdm.runid()
+    }
+
+    /// Create a group at `path` (parent must exist). Collective.
+    pub fn create_group(&mut self, comm: &mut Comm, path: &str) -> SciResult<()> {
+        validate_path(path)?;
+        if self.groups.contains(path) {
+            return Err(SciError::Usage(format!("group {path} already exists")));
+        }
+        let parent = parent_of(path);
+        if !self.groups.contains(parent) {
+            return Err(SciError::Usage(format!("parent group {parent} does not exist")));
+        }
+        if comm.rank() == 0 {
+            self.sdm.db().exec(
+                "INSERT INTO sci_group_table VALUES (?, ?)",
+                &[Value::Int(self.sdm.runid()), Value::from(path)],
+            )?;
+        }
+        comm.barrier();
+        self.groups.insert(path.to_string());
+        Ok(())
+    }
+
+    /// Define a named dimension of length `len`. Collective.
+    pub fn define_dim(&mut self, comm: &mut Comm, name: &str, len: u64) -> SciResult<()> {
+        if name.is_empty() || name.contains(',') || name.contains('/') {
+            return Err(SciError::Usage(format!("bad dimension name {name:?}")));
+        }
+        if len == 0 {
+            return Err(SciError::Usage(format!("dimension {name} must have nonzero length")));
+        }
+        if self.dims.contains_key(name) {
+            return Err(SciError::Usage(format!("dimension {name} already defined")));
+        }
+        if comm.rank() == 0 {
+            self.sdm.db().exec(
+                "INSERT INTO sci_dim_table VALUES (?, ?, ?)",
+                &[Value::Int(self.sdm.runid()), Value::from(name), Value::from(len)],
+            )?;
+        }
+        comm.barrier();
+        self.dims.insert(name.to_string(), len);
+        Ok(())
+    }
+
+    /// Length of a defined dimension.
+    pub fn dim_len(&self, name: &str) -> Option<u64> {
+        self.dims.get(name).copied()
+    }
+
+    /// Create a dataset at `path` over the named dimensions (outermost
+    /// first); its global size is the product of their lengths.
+    /// Collective.
+    pub fn create_dataset(
+        &mut self,
+        comm: &mut Comm,
+        path: &str,
+        dtype: SdmType,
+        dims: &[&str],
+    ) -> SciResult<()> {
+        validate_path(path)?;
+        if self.datasets.contains_key(path) || self.groups.contains(path) {
+            return Err(SciError::Usage(format!("{path} already exists")));
+        }
+        let parent = parent_of(path);
+        if !self.groups.contains(parent) {
+            return Err(SciError::Usage(format!("parent group {parent} does not exist")));
+        }
+        if dims.is_empty() {
+            return Err(SciError::Usage("a dataset needs at least one dimension".into()));
+        }
+        let mut global_size = 1u64;
+        for d in dims {
+            let len = self
+                .dims
+                .get(*d)
+                .copied()
+                .ok_or_else(|| SciError::Usage(format!("unknown dimension {d}")))?;
+            global_size = global_size.saturating_mul(len);
+        }
+        let desc = DatasetDesc { data_type: dtype, ..DatasetDesc::doubles(path, global_size) };
+        let handle = self.sdm.set_attributes(comm, vec![desc])?;
+        if comm.rank() == 0 {
+            self.sdm.db().exec(
+                "INSERT INTO sci_dataset_table VALUES (?, ?, ?, ?, ?, ?)",
+                &[
+                    Value::Int(self.sdm.runid()),
+                    Value::Int(handle.index() as i64),
+                    Value::from(path),
+                    Value::from(dtype.sql_name()),
+                    Value::from(dims.join(",")),
+                    Value::from(global_size),
+                ],
+            )?;
+        }
+        comm.barrier();
+        let info = DatasetInfo {
+            path: path.to_string(),
+            dtype,
+            dims: dims.iter().map(|s| s.to_string()).collect(),
+            global_size,
+        };
+        self.order.push(path.to_string());
+        self.datasets.insert(path.to_string(), DsEntry { handle, info });
+        Ok(())
+    }
+
+    /// Install this rank's map array (local element → global element)
+    /// for a dataset, exactly `SDM_data_view`. Collective.
+    pub fn set_view(&mut self, comm: &mut Comm, path: &str, map: &[u64]) -> SciResult<()> {
+        let e = self.entry(path)?;
+        let h = e.handle;
+        self.sdm.data_view(comm, h, path, map)?;
+        Ok(())
+    }
+
+    /// Collectively write a dataset at a record index (SDM timestep)
+    /// through the installed view.
+    pub fn write<T: Pod>(
+        &mut self,
+        comm: &mut Comm,
+        path: &str,
+        record: i64,
+        buf: &[T],
+    ) -> SciResult<()> {
+        let h = self.entry(path)?.handle;
+        self.sdm.write(comm, h, path, record, buf)?;
+        Ok(())
+    }
+
+    /// Collectively read a dataset at a record index through the view.
+    pub fn read<T: Pod + Default>(
+        &mut self,
+        comm: &mut Comm,
+        path: &str,
+        record: i64,
+        out: &mut [T],
+    ) -> SciResult<()> {
+        let h = self.entry(path)?.handle;
+        self.sdm.read(comm, h, path, record, out)?;
+        Ok(())
+    }
+
+    /// Set (or replace) an attribute on a group or dataset. Collective.
+    pub fn set_attr(
+        &mut self,
+        comm: &mut Comm,
+        path: &str,
+        name: &str,
+        value: AttrValue,
+    ) -> SciResult<()> {
+        if !self.groups.contains(path) && !self.datasets.contains_key(path) {
+            return Err(SciError::Usage(format!("no group or dataset at {path}")));
+        }
+        if comm.rank() == 0 {
+            let db = self.sdm.db();
+            db.exec(
+                "DELETE FROM sci_attr_table WHERE runid = ? AND path = ? AND name = ?",
+                &[Value::Int(self.sdm.runid()), Value::from(path), Value::from(name)],
+            )?;
+            let (i, d, t) = value.to_columns();
+            db.exec(
+                "INSERT INTO sci_attr_table VALUES (?, ?, ?, ?, ?, ?, ?)",
+                &[
+                    Value::Int(self.sdm.runid()),
+                    Value::from(path),
+                    Value::from(name),
+                    Value::from(value.type_tag()),
+                    i,
+                    d,
+                    t,
+                ],
+            )?;
+        }
+        comm.barrier();
+        Ok(())
+    }
+
+    /// Read an attribute (local metadata query; no communication).
+    pub fn get_attr(&self, path: &str, name: &str) -> SciResult<Option<AttrValue>> {
+        let rs = self.sdm.db().exec(
+            "SELECT vtype, ival, dval, tval FROM sci_attr_table
+             WHERE runid = ? AND path = ? AND name = ?",
+            &[Value::Int(self.sdm.runid()), Value::from(path), Value::from(name)],
+        )?;
+        Ok(rs.first().and_then(|r| {
+            AttrValue::from_columns(r[0].as_str().unwrap_or_default(), &r[1], &r[2], &r[3])
+        }))
+    }
+
+    /// All attribute names on an object, sorted.
+    pub fn attr_names(&self, path: &str) -> SciResult<Vec<String>> {
+        let rs = self.sdm.db().exec(
+            "SELECT name FROM sci_attr_table WHERE runid = ? AND path = ? ORDER BY name",
+            &[Value::Int(self.sdm.runid()), Value::from(path)],
+        )?;
+        Ok(rs.rows.iter().filter_map(|r| r[0].as_str().map(str::to_string)).collect())
+    }
+
+    /// Dataset description, if `path` names a dataset.
+    pub fn dataset_info(&self, path: &str) -> Option<&DatasetInfo> {
+        self.datasets.get(path).map(|e| &e.info)
+    }
+
+    /// All group paths, sorted.
+    pub fn group_paths(&self) -> Vec<String> {
+        self.groups.iter().cloned().collect()
+    }
+
+    /// All dataset paths in creation order.
+    pub fn dataset_paths(&self) -> Vec<String> {
+        self.order.clone()
+    }
+
+    /// Direct children (groups and datasets) of a group, sorted.
+    pub fn children(&self, path: &str) -> Vec<String> {
+        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let mut out: Vec<String> = self
+            .groups
+            .iter()
+            .map(String::as_str)
+            .chain(self.datasets.keys().map(String::as_str))
+            .filter(|p| {
+                p.starts_with(&prefix) && **p != *path && !p[prefix.len()..].contains('/')
+            })
+            .map(str::to_string)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Defined dimensions as `(name, len)`, sorted by name.
+    pub fn dims(&self) -> Vec<(String, u64)> {
+        self.dims.iter().map(|(n, &l)| (n.clone(), l)).collect()
+    }
+
+    /// Close the container: closes all cached SDM files. Collective.
+    pub fn close(self, comm: &mut Comm) -> SciResult<()> {
+        self.sdm.finalize(comm)?;
+        Ok(())
+    }
+
+    fn entry(&self, path: &str) -> SciResult<&DsEntry> {
+        self.datasets
+            .get(path)
+            .ok_or_else(|| SciError::Usage(format!("no dataset at {path}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdm_mpi::World;
+    use sdm_sim::MachineConfig;
+
+    #[test]
+    fn path_validation() {
+        assert!(validate_path("/").is_ok());
+        assert!(validate_path("/a/b").is_ok());
+        assert!(validate_path("a/b").is_err());
+        assert!(validate_path("/a/").is_err());
+        assert!(validate_path("/a//b").is_err());
+    }
+
+    #[test]
+    fn parent_resolution() {
+        assert_eq!(parent_of("/a"), "/");
+        assert_eq!(parent_of("/a/b"), "/a");
+        assert_eq!(parent_of("/a/b/c"), "/a/b");
+    }
+
+    fn world_pfs() -> (Arc<Pfs>, Arc<Database>) {
+        (Pfs::new(MachineConfig::test_tiny()), Arc::new(Database::new()))
+    }
+
+    #[test]
+    fn container_write_read_round_trip() {
+        let (pfs, db) = world_pfs();
+        let n = 2usize;
+        let out = World::run(n, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut f =
+                    SciFile::create(c, &pfs, &db, "flowdb", SdmConfig::default()).unwrap();
+                f.create_group(c, "/flow").unwrap();
+                f.define_dim(c, "nodes", 16).unwrap();
+                f.create_dataset(c, "/flow/pressure", SdmType::Double, &["nodes"]).unwrap();
+                // Rank r owns the odd or even global elements.
+                let map: Vec<u64> = (0..8).map(|i| i * 2 + c.rank() as u64).collect();
+                f.set_view(c, "/flow/pressure", &map).unwrap();
+                let mine: Vec<f64> = map.iter().map(|&g| g as f64 * 1.5).collect();
+                f.write(c, "/flow/pressure", 0, &mine).unwrap();
+                let mut back = vec![0.0f64; 8];
+                f.read(c, "/flow/pressure", 0, &mut back).unwrap();
+                f.close(c).unwrap();
+                (mine, back)
+            }
+        });
+        for (mine, back) in out {
+            assert_eq!(mine, back);
+        }
+    }
+
+    #[test]
+    fn reopen_rebuilds_tree_and_reads() {
+        let (pfs, db) = world_pfs();
+        let n = 2usize;
+        World::run(n, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut f = SciFile::create(c, &pfs, &db, "reopen", SdmConfig::default()).unwrap();
+                f.create_group(c, "/a").unwrap();
+                f.create_group(c, "/a/b").unwrap();
+                f.define_dim(c, "n", 10).unwrap();
+                f.create_dataset(c, "/a/b/x", SdmType::Double, &["n"]).unwrap();
+                f.set_attr(c, "/a/b/x", "units", AttrValue::from("K")).unwrap();
+                let map: Vec<u64> = (0..5).map(|i| i * 2 + c.rank() as u64).collect();
+                f.set_view(c, "/a/b/x", &map).unwrap();
+                let mine: Vec<f64> = map.iter().map(|&g| 100.0 + g as f64).collect();
+                f.write(c, "/a/b/x", 3, &mine).unwrap();
+                f.close(c).unwrap();
+            }
+        });
+        // Second "session": rebuild from metadata alone.
+        let out = World::run(n, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut f = SciFile::open(c, &pfs, &db, "reopen", SdmConfig::default()).unwrap();
+                assert_eq!(f.group_paths(), vec!["/", "/a", "/a/b"]);
+                assert_eq!(f.dim_len("n"), Some(10));
+                let info = f.dataset_info("/a/b/x").unwrap().clone();
+                assert_eq!(info.global_size, 10);
+                assert_eq!(info.dims, vec!["n"]);
+                assert_eq!(
+                    f.get_attr("/a/b/x", "units").unwrap(),
+                    Some(AttrValue::from("K"))
+                );
+                let map: Vec<u64> = (0..5).map(|i| i * 2 + c.rank() as u64).collect();
+                f.set_view(c, "/a/b/x", &map).unwrap();
+                let mut back = vec![0.0f64; 5];
+                f.read(c, "/a/b/x", 3, &mut back).unwrap();
+                f.close(c).unwrap();
+                (map, back)
+            }
+        });
+        for (map, back) in out {
+            let want: Vec<f64> = map.iter().map(|&g| 100.0 + g as f64).collect();
+            assert_eq!(back, want);
+        }
+    }
+
+    #[test]
+    fn hierarchy_rules_enforced() {
+        let (pfs, db) = world_pfs();
+        World::run(1, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut f = SciFile::create(c, &pfs, &db, "rules", SdmConfig::default()).unwrap();
+                // Parent must exist.
+                assert!(f.create_group(c, "/x/y").is_err());
+                f.create_group(c, "/x").unwrap();
+                f.create_group(c, "/x/y").unwrap();
+                // No duplicates.
+                assert!(f.create_group(c, "/x").is_err());
+                // Dataset needs known dims and an existing parent.
+                assert!(f.create_dataset(c, "/x/d", SdmType::Double, &["nope"]).is_err());
+                f.define_dim(c, "k", 4).unwrap();
+                assert!(f.create_dataset(c, "/zz/d", SdmType::Double, &["k"]).is_err());
+                f.create_dataset(c, "/x/d", SdmType::Double, &["k"]).unwrap();
+                // A dataset path cannot be reused.
+                assert!(f.create_dataset(c, "/x/d", SdmType::Double, &["k"]).is_err());
+                // Dim redefinition rejected.
+                assert!(f.define_dim(c, "k", 9).is_err());
+                f.close(c).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn children_listing() {
+        let (pfs, db) = world_pfs();
+        World::run(1, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut f = SciFile::create(c, &pfs, &db, "tree", SdmConfig::default()).unwrap();
+                f.create_group(c, "/a").unwrap();
+                f.create_group(c, "/b").unwrap();
+                f.create_group(c, "/a/sub").unwrap();
+                f.define_dim(c, "n", 2).unwrap();
+                f.create_dataset(c, "/a/data", SdmType::Double, &["n"]).unwrap();
+                assert_eq!(f.children("/"), vec!["/a", "/b"]);
+                assert_eq!(f.children("/a"), vec!["/a/data", "/a/sub"]);
+                assert!(f.children("/b").is_empty());
+                f.close(c).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn attributes_upsert_and_list() {
+        let (pfs, db) = world_pfs();
+        World::run(2, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut f = SciFile::create(c, &pfs, &db, "attrs", SdmConfig::default()).unwrap();
+                f.set_attr(c, "/", "title", AttrValue::from("RT run")).unwrap();
+                f.set_attr(c, "/", "steps", AttrValue::Int(5)).unwrap();
+                f.set_attr(c, "/", "steps", AttrValue::Int(7)).unwrap(); // replace
+                assert_eq!(f.get_attr("/", "steps").unwrap(), Some(AttrValue::Int(7)));
+                assert_eq!(f.attr_names("/").unwrap(), vec!["steps", "title"]);
+                assert_eq!(f.get_attr("/", "missing").unwrap(), None);
+                assert!(f.set_attr(c, "/nope", "a", AttrValue::Int(0)).is_err());
+                f.close(c).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn multidim_dataset_size() {
+        let (pfs, db) = world_pfs();
+        World::run(1, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut f = SciFile::create(c, &pfs, &db, "md", SdmConfig::default()).unwrap();
+                f.define_dim(c, "x", 6).unwrap();
+                f.define_dim(c, "y", 7).unwrap();
+                f.create_dataset(c, "/grid", SdmType::Double, &["x", "y"]).unwrap();
+                assert_eq!(f.dataset_info("/grid").unwrap().global_size, 42);
+                f.close(c).unwrap();
+            }
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! Self-describing scientific data containers built **on top of SDM**.
+//!
+//! The paper's summary names two directions of future work: supporting
+//! visualization applications, and investigating "whether SDM can
+//! effectively be used as a strategy for implementing libraries such as
+//! HDF and netCDF". This crate implements both, using only the public
+//! SDM surface:
+//!
+//! * [`attr::AttrValue`] — typed attributes (the HDF/netCDF annotation
+//!   model: int / double / text).
+//! * [`container::SciFile`] — a hierarchical container: groups addressed
+//!   by `/`-separated paths, named dimensions, datasets defined over
+//!   dimensions, and attributes on any object. Metadata lives in the
+//!   same embedded database as SDM's six tables (three extra tables);
+//!   dataset bytes move through `Sdm::write`/`Sdm::read`, i.e. with
+//!   collective noncontiguous MPI-IO and Level 1/2/3 file organization
+//!   for free.
+//! * [`netcdf::NcFile`] — a netCDF-classic veneer over [`container`]:
+//!   define mode / data mode, dimensions, variables over dimension
+//!   lists, one optional record (unlimited) dimension mapped onto SDM
+//!   timesteps.
+//! * [`vtk`] — legacy-VTK ASCII output of unstructured meshes with
+//!   attached point/cell data, written into the PFS so a viewer-side
+//!   process could read it (the visualization path).
+//!
+//! Containers are self-describing: [`container::SciFile::open`] rebuilds
+//! the full group/dimension/dataset tree of a previous run from the
+//! metadata database alone, then serves reads through SDM.
+
+pub mod attr;
+pub mod container;
+pub mod netcdf;
+pub mod vtk;
+
+pub use attr::AttrValue;
+pub use container::{DatasetInfo, SciError, SciFile, SciResult};
+pub use netcdf::NcFile;

@@ -1,0 +1,421 @@
+//! A netCDF-classic veneer over [`crate::container::SciFile`].
+//!
+//! Mirrors the netCDF 2 programming model the paper cites as future
+//! work: a file is created in **define mode**, where dimensions and
+//! variables are declared; `enddef` switches to **data mode**, where
+//! records are written and read. One dimension may be declared
+//! *unlimited* (the record dimension); a variable whose first dimension
+//! is the record dimension grows one record per `put_record`, and each
+//! record maps onto one SDM timestep underneath — which is exactly the
+//! "SDM as a strategy for implementing netCDF" experiment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sdm_core::{SdmConfig, SdmType};
+use sdm_metadb::Database;
+use sdm_mpi::pod::Pod;
+use sdm_mpi::Comm;
+use sdm_pfs::Pfs;
+
+use crate::attr::AttrValue;
+use crate::container::{SciError, SciFile, SciResult};
+
+/// The unlimited (record) dimension's declared length.
+pub const NC_UNLIMITED: u64 = 0;
+
+#[derive(Debug, Clone)]
+struct VarDef {
+    dims: Vec<String>,
+    /// Whether the first dimension is the record dimension.
+    has_record_dim: bool,
+    /// Elements per record (product of the fixed dimensions).
+    record_size: u64,
+}
+
+/// Mode of an [`NcFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Define,
+    Data,
+}
+
+/// A netCDF-classic-style file.
+///
+/// All methods that touch data or metadata are collective across the
+/// communicator, like the underlying SDM calls.
+pub struct NcFile {
+    sci: SciFile,
+    mode: Mode,
+    dims: HashMap<String, u64>,
+    record_dim: Option<String>,
+    vars: HashMap<String, VarDef>,
+    /// Records written per record variable.
+    num_records: HashMap<String, i64>,
+}
+
+impl NcFile {
+    /// Create a new dataset (netCDF `nccreate`), starting in define
+    /// mode. Collective.
+    pub fn create(
+        comm: &mut Comm,
+        pfs: &Arc<Pfs>,
+        db: &Arc<Database>,
+        name: &str,
+        cfg: SdmConfig,
+    ) -> SciResult<Self> {
+        let sci = SciFile::create(comm, pfs, db, name, cfg)?;
+        Ok(Self {
+            sci,
+            mode: Mode::Define,
+            dims: HashMap::new(),
+            record_dim: None,
+            vars: HashMap::new(),
+            num_records: HashMap::new(),
+        })
+    }
+
+    /// Declare a dimension (`ncdimdef`). Length [`NC_UNLIMITED`] makes it
+    /// the record dimension; only one is allowed. Define mode only.
+    pub fn def_dim(&mut self, comm: &mut Comm, name: &str, len: u64) -> SciResult<()> {
+        self.require(Mode::Define)?;
+        if len == NC_UNLIMITED {
+            if self.record_dim.is_some() {
+                return Err(SciError::Usage("only one unlimited dimension is allowed".into()));
+            }
+            if self.dims.contains_key(name) {
+                return Err(SciError::Usage(format!("dimension {name} already defined")));
+            }
+            self.record_dim = Some(name.to_string());
+            self.dims.insert(name.to_string(), NC_UNLIMITED);
+            // Recorded as an attribute so reopen can identify it.
+            self.sci.set_attr(comm, "/", "_nc_record_dim", AttrValue::from(name))?;
+            return Ok(());
+        }
+        if self.dims.contains_key(name) {
+            return Err(SciError::Usage(format!("dimension {name} already defined")));
+        }
+        self.sci.define_dim(comm, name, len)?;
+        self.dims.insert(name.to_string(), len);
+        Ok(())
+    }
+
+    /// Declare a variable over dimensions (`ncvardef`), outermost first.
+    /// The record dimension may only appear first. Define mode only.
+    pub fn def_var(
+        &mut self,
+        comm: &mut Comm,
+        name: &str,
+        dtype: SdmType,
+        dims: &[&str],
+    ) -> SciResult<()> {
+        self.require(Mode::Define)?;
+        if dims.is_empty() {
+            return Err(SciError::Usage("a variable needs at least one dimension".into()));
+        }
+        for (i, d) in dims.iter().enumerate() {
+            let len = self
+                .dims
+                .get(*d)
+                .copied()
+                .ok_or_else(|| SciError::Usage(format!("unknown dimension {d}")))?;
+            if len == NC_UNLIMITED && i != 0 {
+                return Err(SciError::Usage(format!(
+                    "record dimension {d} may only be the first dimension"
+                )));
+            }
+        }
+        let has_record_dim = self.dims[dims[0]] == NC_UNLIMITED;
+        let fixed = if has_record_dim { &dims[1..] } else { dims };
+        if has_record_dim && fixed.is_empty() {
+            return Err(SciError::Usage(
+                "a record variable needs at least one fixed dimension".into(),
+            ));
+        }
+        // The container dataset covers one record; records append as SDM
+        // timesteps.
+        self.sci.create_dataset(comm, &format!("/{name}"), dtype, fixed)?;
+        let record_size = fixed.iter().map(|d| self.dims[*d]).product();
+        self.vars.insert(
+            name.to_string(),
+            VarDef {
+                dims: dims.iter().map(|s| s.to_string()).collect(),
+                has_record_dim,
+                record_size,
+            },
+        );
+        self.num_records.insert(name.to_string(), 0);
+        Ok(())
+    }
+
+    /// Attach an attribute to a variable, or to the file when `var` is
+    /// `None` (`ncattput`). Allowed in both modes, as in netCDF.
+    pub fn put_att(
+        &mut self,
+        comm: &mut Comm,
+        var: Option<&str>,
+        name: &str,
+        value: AttrValue,
+    ) -> SciResult<()> {
+        let path = match var {
+            None => "/".to_string(),
+            Some(v) => {
+                if !self.vars.contains_key(v) {
+                    return Err(SciError::Usage(format!("no variable {v}")));
+                }
+                format!("/{v}")
+            }
+        };
+        self.sci.set_attr(comm, &path, name, value)
+    }
+
+    /// Read an attribute (`ncattget`); local metadata query.
+    pub fn get_att(&self, var: Option<&str>, name: &str) -> SciResult<Option<AttrValue>> {
+        let path = match var {
+            None => "/".to_string(),
+            Some(v) => format!("/{v}"),
+        };
+        self.sci.get_attr(&path, name)
+    }
+
+    /// Leave define mode (`ncendef`). Collective (barrier through the
+    /// underlying attribute write).
+    pub fn enddef(&mut self, comm: &mut Comm) -> SciResult<()> {
+        self.require(Mode::Define)?;
+        self.sci.set_attr(comm, "/", "_nc_defined", AttrValue::Int(1))?;
+        self.mode = Mode::Data;
+        Ok(())
+    }
+
+    /// Install this rank's element map for a variable (which global
+    /// elements of each record this rank holds, in local order).
+    /// Data mode only.
+    pub fn set_decomposition(
+        &mut self,
+        comm: &mut Comm,
+        var: &str,
+        map: &[u64],
+    ) -> SciResult<()> {
+        self.require(Mode::Data)?;
+        let def = self.var(var)?;
+        if let Some(&m) = map.iter().max() {
+            if m >= def.record_size {
+                return Err(SciError::Usage(format!(
+                    "map entry {m} out of range for record size {}",
+                    def.record_size
+                )));
+            }
+        }
+        self.sci.set_view(comm, &format!("/{var}"), map)
+    }
+
+    /// Write one record of a record variable (`ncrecput`-style). For
+    /// fixed variables, `record` must be 0. Data mode only; collective.
+    pub fn put_record<T: Pod>(
+        &mut self,
+        comm: &mut Comm,
+        var: &str,
+        record: i64,
+        buf: &[T],
+    ) -> SciResult<()> {
+        self.require(Mode::Data)?;
+        let def = self.var(var)?.clone();
+        if !def.has_record_dim && record != 0 {
+            return Err(SciError::Usage(format!("{var} is not a record variable")));
+        }
+        self.sci.write(comm, &format!("/{var}"), record, buf)?;
+        let n = self.num_records.entry(var.to_string()).or_insert(0);
+        *n = (*n).max(record + 1);
+        Ok(())
+    }
+
+    /// Read one record back (`ncrecget`-style). Data mode only; collective.
+    pub fn get_record<T: Pod + Default>(
+        &mut self,
+        comm: &mut Comm,
+        var: &str,
+        record: i64,
+        out: &mut [T],
+    ) -> SciResult<()> {
+        self.require(Mode::Data)?;
+        self.sci.read(comm, &format!("/{var}"), record, out)
+    }
+
+    /// Number of records written to a record variable so far.
+    pub fn num_records(&self, var: &str) -> i64 {
+        self.num_records.get(var).copied().unwrap_or(0)
+    }
+
+    /// Elements per record of a variable.
+    pub fn record_size(&self, var: &str) -> SciResult<u64> {
+        Ok(self.var(var)?.record_size)
+    }
+
+    /// Declared dimension names of a variable, outermost first.
+    pub fn var_dims(&self, var: &str) -> SciResult<Vec<String>> {
+        Ok(self.var(var)?.dims.clone())
+    }
+
+    /// Variable names, sorted.
+    pub fn var_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.vars.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Close the file. Collective.
+    pub fn close(self, comm: &mut Comm) -> SciResult<()> {
+        self.sci.close(comm)
+    }
+
+    fn var(&self, name: &str) -> SciResult<&VarDef> {
+        self.vars.get(name).ok_or_else(|| SciError::Usage(format!("no variable {name}")))
+    }
+
+    fn require(&self, mode: Mode) -> SciResult<()> {
+        if self.mode != mode {
+            return Err(SciError::Usage(format!(
+                "operation requires {:?} mode, file is in {:?} mode",
+                mode, self.mode
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdm_mpi::World;
+    use sdm_sim::MachineConfig;
+
+    fn fixtures() -> (Arc<Pfs>, Arc<Database>) {
+        (Pfs::new(MachineConfig::test_tiny()), Arc::new(Database::new()))
+    }
+
+    #[test]
+    fn define_then_data_mode_flow() {
+        let (pfs, db) = fixtures();
+        let n = 2usize;
+        let out = World::run(n, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut nc = NcFile::create(c, &pfs, &db, "climate", SdmConfig::default()).unwrap();
+                nc.def_dim(c, "time", NC_UNLIMITED).unwrap();
+                nc.def_dim(c, "cell", 12).unwrap();
+                nc.def_var(c, "temp", SdmType::Double, &["time", "cell"]).unwrap();
+                nc.put_att(c, Some("temp"), "units", AttrValue::from("K")).unwrap();
+                nc.put_att(c, None, "title", AttrValue::from("toy climate")).unwrap();
+                // Writing before enddef is an error.
+                assert!(nc.put_record(c, "temp", 0, &[0.0f64; 6]).is_err());
+                nc.enddef(c).unwrap();
+
+                let map: Vec<u64> = (0..6).map(|i| i * 2 + c.rank() as u64).collect();
+                nc.set_decomposition(c, "temp", &map).unwrap();
+                for t in 0..3i64 {
+                    let rec: Vec<f64> = map.iter().map(|&g| g as f64 + 100.0 * t as f64).collect();
+                    nc.put_record(c, "temp", t, &rec).unwrap();
+                }
+                assert_eq!(nc.num_records("temp"), 3);
+                let mut back = vec![0.0f64; 6];
+                nc.get_record(c, "temp", 2, &mut back).unwrap();
+                nc.close(c).unwrap();
+                (map, back)
+            }
+        });
+        for (map, back) in out {
+            let want: Vec<f64> = map.iter().map(|&g| g as f64 + 200.0).collect();
+            assert_eq!(back, want);
+        }
+    }
+
+    #[test]
+    fn define_mode_rules() {
+        let (pfs, db) = fixtures();
+        World::run(1, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut nc = NcFile::create(c, &pfs, &db, "rules", SdmConfig::default()).unwrap();
+                nc.def_dim(c, "t", NC_UNLIMITED).unwrap();
+                // Second unlimited dim rejected.
+                assert!(nc.def_dim(c, "t2", NC_UNLIMITED).is_err());
+                nc.def_dim(c, "n", 4).unwrap();
+                assert!(nc.def_dim(c, "n", 5).is_err(), "redefinition");
+                // Record dim must come first.
+                assert!(nc.def_var(c, "bad", SdmType::Double, &["n", "t"]).is_err());
+                // Record-only variable rejected.
+                assert!(nc.def_var(c, "bad2", SdmType::Double, &["t"]).is_err());
+                nc.def_var(c, "v", SdmType::Double, &["t", "n"]).unwrap();
+                assert_eq!(nc.record_size("v").unwrap(), 4);
+                nc.enddef(c).unwrap();
+                // Define-mode ops now fail.
+                assert!(nc.def_dim(c, "later", 3).is_err());
+                assert!(nc.def_var(c, "later", SdmType::Double, &["n"]).is_err());
+                nc.close(c).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn fixed_variable_single_record() {
+        let (pfs, db) = fixtures();
+        World::run(1, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut nc = NcFile::create(c, &pfs, &db, "fixed", SdmConfig::default()).unwrap();
+                nc.def_dim(c, "n", 5).unwrap();
+                nc.def_var(c, "coords", SdmType::Double, &["n"]).unwrap();
+                nc.enddef(c).unwrap();
+                let map: Vec<u64> = (0..5).collect();
+                nc.set_decomposition(c, "coords", &map).unwrap();
+                let data = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+                nc.put_record(c, "coords", 0, &data).unwrap();
+                // Record index 1 on a fixed variable is an error.
+                assert!(nc.put_record(c, "coords", 1, &data).is_err());
+                let mut back = [0.0f64; 5];
+                nc.get_record(c, "coords", 0, &mut back).unwrap();
+                assert_eq!(back, data);
+                nc.close(c).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn decomposition_bounds_checked() {
+        let (pfs, db) = fixtures();
+        World::run(1, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut nc = NcFile::create(c, &pfs, &db, "bounds", SdmConfig::default()).unwrap();
+                nc.def_dim(c, "n", 3).unwrap();
+                nc.def_var(c, "v", SdmType::Double, &["n"]).unwrap();
+                nc.enddef(c).unwrap();
+                assert!(nc.set_decomposition(c, "v", &[0, 1, 7]).is_err());
+                assert!(nc.set_decomposition(c, "missing", &[0]).is_err());
+                nc.close(c).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn attributes_round_trip() {
+        let (pfs, db) = fixtures();
+        World::run(1, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let mut nc = NcFile::create(c, &pfs, &db, "atts", SdmConfig::default()).unwrap();
+                nc.def_dim(c, "n", 2).unwrap();
+                nc.def_var(c, "v", SdmType::Double, &["n"]).unwrap();
+                nc.put_att(c, None, "version", AttrValue::Int(3)).unwrap();
+                nc.put_att(c, Some("v"), "scale", AttrValue::Double(0.5)).unwrap();
+                assert!(nc.put_att(c, Some("w"), "x", AttrValue::Int(0)).is_err());
+                assert_eq!(nc.get_att(None, "version").unwrap(), Some(AttrValue::Int(3)));
+                assert_eq!(nc.get_att(Some("v"), "scale").unwrap(), Some(AttrValue::Double(0.5)));
+                nc.enddef(c).unwrap();
+                // Attributes are writable in data mode too.
+                nc.put_att(c, None, "history", AttrValue::from("created")).unwrap();
+                nc.close(c).unwrap();
+            }
+        });
+    }
+}

@@ -1,0 +1,236 @@
+//! Legacy-VTK ASCII output — the paper's visualization direction.
+//!
+//! Simulation results written through SDM live as raw binary arrays plus
+//! database metadata; a viewer wants a self-contained mesh+fields file.
+//! This module renders an [`UnstructuredMesh`] with attached point and
+//! cell scalar fields into the legacy VTK 2.0 ASCII format and stores it
+//! in the PFS, where a visualization process can read it back.
+//!
+//! Writing is a rank-0 post-processing step (visualization output is
+//! not a collective hot path); the data arrays are typically gathered
+//! with `Comm::gatherv` or read back through `Sdm::read` first.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use sdm_mesh::{CellKind, UnstructuredMesh};
+use sdm_pfs::Pfs;
+
+use crate::container::{SciError, SciResult};
+
+/// A named scalar field.
+#[derive(Debug, Clone)]
+pub struct ScalarField<'a> {
+    /// Field name as shown to the viewer.
+    pub name: &'a str,
+    /// One value per point (or per cell, depending on where it is used).
+    pub values: &'a [f64],
+}
+
+impl<'a> ScalarField<'a> {
+    /// Convenience constructor.
+    pub fn new(name: &'a str, values: &'a [f64]) -> Self {
+        Self { name, values }
+    }
+}
+
+/// VTK cell-type codes for the mesh kinds we generate.
+fn vtk_cell_type(kind: CellKind) -> u8 {
+    match kind {
+        CellKind::Triangle => 5,     // VTK_TRIANGLE
+        CellKind::Tetrahedron => 10, // VTK_TETRA
+    }
+}
+
+/// Render a mesh with fields into legacy VTK ASCII.
+///
+/// Errors if any field's length does not match its association
+/// (points for `point_fields`, cells for `cell_fields`).
+pub fn render_vtk(
+    title: &str,
+    mesh: &UnstructuredMesh,
+    point_fields: &[ScalarField<'_>],
+    cell_fields: &[ScalarField<'_>],
+) -> Result<String, String> {
+    let np = mesh.num_nodes();
+    let nc = mesh.num_cells();
+    for f in point_fields {
+        if f.values.len() != np {
+            return Err(format!(
+                "point field {} has {} values for {np} points",
+                f.name,
+                f.values.len()
+            ));
+        }
+    }
+    for f in cell_fields {
+        if f.values.len() != nc {
+            return Err(format!(
+                "cell field {} has {} values for {nc} cells",
+                f.name,
+                f.values.len()
+            ));
+        }
+    }
+    let arity = mesh.cell_kind.arity();
+    // Preallocate roughly: coordinates dominate.
+    let mut out = String::with_capacity(64 + np * 36 + nc * (arity + 1) * 8);
+    out.push_str("# vtk DataFile Version 2.0\n");
+    // Titles are a single line in the format.
+    let title_line: String = title.chars().map(|c| if c == '\n' { ' ' } else { c }).collect();
+    let _ = writeln!(out, "{title_line}");
+    out.push_str("ASCII\nDATASET UNSTRUCTURED_GRID\n");
+
+    let _ = writeln!(out, "POINTS {np} double");
+    for p in &mesh.coords {
+        let _ = writeln!(out, "{} {} {}", p[0], p[1], p[2]);
+    }
+
+    let _ = writeln!(out, "CELLS {nc} {}", nc * (arity + 1));
+    for cell in mesh.cells.chunks_exact(arity) {
+        let _ = write!(out, "{arity}");
+        for &n in cell {
+            let _ = write!(out, " {n}");
+        }
+        out.push('\n');
+    }
+
+    let _ = writeln!(out, "CELL_TYPES {nc}");
+    let code = vtk_cell_type(mesh.cell_kind);
+    for _ in 0..nc {
+        let _ = writeln!(out, "{code}");
+    }
+
+    if !point_fields.is_empty() {
+        let _ = writeln!(out, "POINT_DATA {np}");
+        for f in point_fields {
+            let _ = writeln!(out, "SCALARS {} double 1\nLOOKUP_TABLE default", f.name);
+            for v in f.values {
+                let _ = writeln!(out, "{v}");
+            }
+        }
+    }
+    if !cell_fields.is_empty() {
+        let _ = writeln!(out, "CELL_DATA {nc}");
+        for f in cell_fields {
+            let _ = writeln!(out, "SCALARS {} double 1\nLOOKUP_TABLE default", f.name);
+            for v in f.values {
+                let _ = writeln!(out, "{v}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Render and store a VTK file in the PFS at `name`, charging the write
+/// to virtual time `now`. Returns the completion time.
+pub fn write_vtk(
+    pfs: &Arc<Pfs>,
+    name: &str,
+    title: &str,
+    mesh: &UnstructuredMesh,
+    point_fields: &[ScalarField<'_>],
+    cell_fields: &[ScalarField<'_>],
+    now: f64,
+) -> SciResult<f64> {
+    let body = render_vtk(title, mesh, point_fields, cell_fields).map_err(SciError::Usage)?;
+    let (f, t) = pfs.open_or_create(name, now).map_err(|e| SciError::Usage(e.to_string()))?;
+    let t = pfs
+        .write_at(&f, 0, body.as_bytes(), t)
+        .map_err(|e| SciError::Usage(e.to_string()))?;
+    Ok(pfs.close(&f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdm_mesh::gen::tet_box;
+    use sdm_sim::MachineConfig;
+
+    fn small_mesh() -> UnstructuredMesh {
+        tet_box(3, 3, 3, 0.0, 1)
+    }
+
+    #[test]
+    fn header_and_counts() {
+        let m = small_mesh();
+        let p: Vec<f64> = (0..m.num_nodes()).map(|i| i as f64).collect();
+        let body = render_vtk("test mesh", &m, &[ScalarField::new("pressure", &p)], &[]).unwrap();
+        let mut lines = body.lines();
+        assert_eq!(lines.next(), Some("# vtk DataFile Version 2.0"));
+        assert_eq!(lines.next(), Some("test mesh"));
+        assert_eq!(lines.next(), Some("ASCII"));
+        assert_eq!(lines.next(), Some("DATASET UNSTRUCTURED_GRID"));
+        assert_eq!(
+            lines.next(),
+            Some(format!("POINTS {} double", m.num_nodes()).as_str())
+        );
+        assert!(body.contains(&format!("CELL_TYPES {}", m.num_cells())));
+        assert!(body.contains(&format!("POINT_DATA {}", m.num_nodes())));
+        assert!(body.contains("SCALARS pressure double 1"));
+    }
+
+    #[test]
+    fn cells_block_is_consistent() {
+        let m = small_mesh();
+        let body = render_vtk("t", &m, &[], &[]).unwrap();
+        let arity = m.cell_kind.arity();
+        let cells_header = format!("CELLS {} {}", m.num_cells(), m.num_cells() * (arity + 1));
+        assert!(body.contains(&cells_header), "missing {cells_header}");
+        // Every connectivity line starts with the arity and has arity+1
+        // numbers.
+        let after = body.split(&cells_header).nth(1).unwrap();
+        for line in after.lines().skip(1).take(m.num_cells()) {
+            let nums: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(nums.len(), arity + 1, "bad connectivity line: {line}");
+            assert_eq!(nums[0], arity.to_string());
+        }
+        // Tetrahedra carry VTK code 10.
+        assert!(body.contains("\n10\n"));
+    }
+
+    #[test]
+    fn field_length_mismatch_rejected() {
+        let m = small_mesh();
+        let short = vec![0.0; 2];
+        assert!(render_vtk("t", &m, &[ScalarField::new("x", &short)], &[]).is_err());
+        assert!(render_vtk("t", &m, &[], &[ScalarField::new("y", &short)]).is_err());
+    }
+
+    #[test]
+    fn newlines_in_title_flattened() {
+        let m = small_mesh();
+        let body = render_vtk("two\nlines", &m, &[], &[]).unwrap();
+        assert_eq!(body.lines().nth(1), Some("two lines"));
+    }
+
+    #[test]
+    fn write_lands_in_pfs() {
+        let m = small_mesh();
+        let pfs = Pfs::new(MachineConfig::test_tiny());
+        let cellvals: Vec<f64> = (0..m.num_cells()).map(|i| i as f64 * 0.5).collect();
+        let done = write_vtk(
+            &pfs,
+            "out.vtk",
+            "vis",
+            &m,
+            &[],
+            &[ScalarField::new("rank", &cellvals)],
+            0.0,
+        )
+        .unwrap();
+        assert!(done > 0.0);
+        let len = pfs.file_len("out.vtk").unwrap();
+        assert!(len > 0);
+        let (f, _) = pfs.open("out.vtk", 0.0).unwrap();
+        let mut head = vec![0u8; 26];
+        pfs.read_exact_at(&f, 0, &mut head, 0.0).unwrap();
+        assert_eq!(&head, b"# vtk DataFile Version 2.0");
+        // The cell field made it in.
+        let mut all = vec![0u8; len as usize];
+        pfs.read_exact_at(&f, 0, &mut all, 0.0).unwrap();
+        let text = String::from_utf8(all).unwrap();
+        assert!(text.contains("CELL_DATA"));
+        assert!(text.contains("SCALARS rank double 1"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared counters and simple summaries.
+//!
+//! Rank threads increment counters concurrently (bytes written, messages
+//! sent, history hits...); harnesses snapshot them to build report rows.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A registry of named monotonically increasing counters, shareable across
+/// rank threads.
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    inner: Arc<RwLock<BTreeMap<String, Arc<AtomicU64>>>>,
+}
+
+impl Counters {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn handle(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self.inner.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = self.inner.write();
+        Arc::clone(w.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0))))
+    }
+
+    /// Add `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&self, name: &str, n: u64) {
+        self.handle(name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.read().get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner.read().iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
+    }
+
+    /// Reset every counter to zero (bench repetitions).
+    pub fn reset(&self) {
+        for c in self.inner.read().values() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Summary statistics over a sample of f64s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum (0 if empty).
+    pub min: f64,
+    /// Maximum (0 if empty).
+    pub max: f64,
+    /// Arithmetic mean (0 if empty).
+    pub mean: f64,
+    /// Sample standard deviation (0 if n < 2).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Compute a summary of `xs`.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self { n: 0, min: 0.0, max: 0.0, mean: 0.0, stddev: 0.0 };
+        }
+        let n = xs.len();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        };
+        Self { n, min, max, mean, stddev: var.sqrt() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::new();
+        c.add("bytes", 10);
+        c.add("bytes", 5);
+        c.incr("msgs");
+        assert_eq!(c.get("bytes"), 15);
+        assert_eq!(c.get("msgs"), 1);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = Counters::new();
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr("hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get("hits"), 8000);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let c = Counters::new();
+        c.add("a", 1);
+        c.add("b", 2);
+        let snap = c.snapshot();
+        assert_eq!(snap["a"], 1);
+        assert_eq!(snap["b"], 2);
+        c.reset();
+        assert_eq!(c.get("a"), 0);
+        assert_eq!(c.get("b"), 0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample_no_stddev() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+}

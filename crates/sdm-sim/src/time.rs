@@ -1,0 +1,200 @@
+//! Per-rank virtual clocks.
+//!
+//! Each simulated process (rank) owns a [`VClock`]. Operations that cost
+//! time — computation, message transfers, file-system requests — advance
+//! the clock via the cost models in [`crate::cost`]. Synchronizing
+//! operations (barriers, collective completions, message receives) move a
+//! clock *forward* to an externally determined instant but never backward.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual time in seconds since the start of the simulated run.
+pub type Seconds = f64;
+
+/// A monotone virtual clock owned by a single simulated rank.
+///
+/// The clock is deliberately not shared: cross-rank time relationships are
+/// established only through explicit synchronization (message timestamps,
+/// barrier maxima, server queues), mirroring how distributed wall clocks
+/// interact on a real machine.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VClock {
+    now: Seconds,
+}
+
+impl VClock {
+    /// A clock starting at virtual time zero.
+    pub fn new() -> Self {
+        Self { now: 0.0 }
+    }
+
+    /// A clock starting at the given instant.
+    pub fn starting_at(t: Seconds) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "clock must start at finite t >= 0");
+        Self { now: t }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Advance by a non-negative duration and return the new time.
+    #[inline]
+    pub fn advance(&mut self, dt: Seconds) -> Seconds {
+        debug_assert!(dt.is_finite() && dt >= 0.0, "advance must be finite and >= 0, got {dt}");
+        self.now += dt.max(0.0);
+        self.now
+    }
+
+    /// Move forward to `t` if `t` is later than the current time
+    /// (synchronization point). Returns the new time.
+    #[inline]
+    pub fn sync_to(&mut self, t: Seconds) -> Seconds {
+        if t > self.now {
+            self.now = t;
+        }
+        self.now
+    }
+
+    /// Reset to zero. Used between repetitions in benchmarks.
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+    }
+}
+
+/// A span of virtual time attributed to a named phase, as reported by the
+/// figure harnesses (e.g. the paper's `index distri.` vs `import` bars).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Phase label, e.g. `"import"` or `"index-distribution"`.
+    pub phase: String,
+    /// Start of the span.
+    pub start: Seconds,
+    /// End of the span (`end >= start`).
+    pub end: Seconds,
+}
+
+impl PhaseSpan {
+    /// Duration of the span.
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+}
+
+/// Stopwatch over a [`VClock`] for attributing virtual time to phases.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    spans: Vec<PhaseSpan>,
+    open: Option<(String, Seconds)>,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimer {
+    /// An empty timer.
+    pub fn new() -> Self {
+        Self { spans: Vec::new(), open: None }
+    }
+
+    /// Begin a phase at the clock's current time, ending any open phase.
+    pub fn begin(&mut self, clock: &VClock, phase: impl Into<String>) {
+        self.end(clock);
+        self.open = Some((phase.into(), clock.now()));
+    }
+
+    /// End the open phase (if any) at the clock's current time.
+    pub fn end(&mut self, clock: &VClock) {
+        if let Some((phase, start)) = self.open.take() {
+            self.spans.push(PhaseSpan { phase, start, end: clock.now() });
+        }
+    }
+
+    /// All completed spans in order.
+    pub fn spans(&self) -> &[PhaseSpan] {
+        &self.spans
+    }
+
+    /// Total duration attributed to a phase label across all spans.
+    pub fn total(&self, phase: &str) -> Seconds {
+        self.spans.iter().filter(|s| s.phase == phase).map(PhaseSpan::duration).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        assert_eq!(VClock::new().now(), 0.0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = VClock::new();
+        c.advance(1.5);
+        c.advance(0.25);
+        assert!((c.now() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_advance_is_identity() {
+        let mut c = VClock::starting_at(2.0);
+        c.advance(0.0);
+        assert_eq!(c.now(), 2.0);
+    }
+
+    #[test]
+    fn sync_to_only_moves_forward() {
+        let mut c = VClock::starting_at(5.0);
+        c.sync_to(3.0);
+        assert_eq!(c.now(), 5.0);
+        c.sync_to(7.0);
+        assert_eq!(c.now(), 7.0);
+    }
+
+    #[test]
+    fn starting_at_rejects_nan() {
+        assert!(std::panic::catch_unwind(|| VClock::starting_at(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn phase_timer_attributes_time() {
+        let mut c = VClock::new();
+        let mut t = PhaseTimer::new();
+        t.begin(&c, "import");
+        c.advance(2.0);
+        t.begin(&c, "index-distribution"); // implicitly ends "import"
+        c.advance(3.0);
+        t.end(&c);
+        assert!((t.total("import") - 2.0).abs() < 1e-12);
+        assert!((t.total("index-distribution") - 3.0).abs() < 1e-12);
+        assert_eq!(t.spans().len(), 2);
+    }
+
+    #[test]
+    fn phase_timer_end_without_begin_is_noop() {
+        let c = VClock::new();
+        let mut t = PhaseTimer::new();
+        t.end(&c);
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn phase_timer_same_label_accumulates() {
+        let mut c = VClock::new();
+        let mut t = PhaseTimer::new();
+        for _ in 0..3 {
+            t.begin(&c, "io");
+            c.advance(1.0);
+            t.end(&c);
+        }
+        assert!((t.total("io") - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: the smallest complete SDM program.
+//!
+//! Four simulated ranks write an irregularly partitioned dataset through
+//! SDM and read it back — the Figure 2 flow (`initialize`,
+//! `set_attributes`, `data_view`, `write`, `read`, `finalize`).
+//!
+//! Run: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use sdm::core::dataset::make_datalist;
+use sdm::core::{Sdm, SdmType};
+use sdm::metadb::Database;
+use sdm::mpi::World;
+use sdm::pfs::Pfs;
+use sdm::sim::MachineConfig;
+
+fn main() {
+    let nprocs = 4;
+    let global_size = 1000u64;
+    let cfg = MachineConfig::origin2000();
+    let pfs = Pfs::new(cfg.clone());
+    let db = Arc::new(Database::new());
+
+    let reports = World::run(nprocs, cfg, {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |comm| {
+            // SDM_initialize: connect the metadata database.
+            let mut sdm = Sdm::initialize(comm, &pfs, &db, "quickstart").unwrap();
+
+            // SDM_make_datalist + SDM_set_attributes: one group, two
+            // datasets sharing type and global size (like p and q).
+            let ds = make_datalist(&["p", "q"], SdmType::Double, global_size);
+            let h = sdm.set_attributes(comm, ds).unwrap();
+
+            // SDM_data_view: this rank owns every nprocs-th element —
+            // a deliberately irregular (interleaved) map array.
+            let mine: Vec<u64> =
+                (comm.rank() as u64..global_size).step_by(comm.size()).collect();
+            sdm.data_view(comm, h, "p", &mine).unwrap();
+            sdm.data_view(comm, h, "q", &mine).unwrap();
+
+            // Compute something per element and checkpoint it.
+            let p: Vec<f64> = mine.iter().map(|&g| g as f64 * 1.5).collect();
+            let q: Vec<f64> = mine.iter().map(|&g| -(g as f64)).collect();
+            sdm.write(comm, h, "p", 0, &p).unwrap();
+            sdm.write(comm, h, "q", 0, &q).unwrap();
+
+            // Read back through the same view and verify.
+            let mut back = vec![0.0f64; mine.len()];
+            sdm.read(comm, h, "p", 0, &mut back).unwrap();
+            assert_eq!(back, p, "rank {}: read-back must match", comm.rank());
+
+            let t = comm.now();
+            sdm.finalize(comm).unwrap();
+            (comm.rank(), mine.len(), t)
+        }
+    });
+
+    for (rank, n, t) in reports {
+        println!("rank {rank}: wrote+read {n} elements, virtual time {t:.4}s");
+    }
+    println!("files created: {:?}", pfs.list());
+    println!("metadata rows: {:?}", db.exec("SELECT dataset, timestep, file_name FROM execution_table", &[]).unwrap().rows.len());
+    println!("OK");
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration for the `sdm-sci` layer: containers write
+//! through real SDM collective I/O under every file organization, reopen
+//! from metadata alone, and the VTK path renders what SDM distributed.
+
+use std::sync::Arc;
+
+use sdm::core::{OrgLevel, SdmConfig, SdmType};
+use sdm::metadb::Database;
+use sdm::mpi::World;
+use sdm::pfs::Pfs;
+use sdm::sci::netcdf::NC_UNLIMITED;
+use sdm::sci::{AttrValue, NcFile, SciFile};
+use sdm::sim::MachineConfig;
+
+fn fixtures() -> (Arc<Pfs>, Arc<Database>) {
+    (Pfs::new(MachineConfig::test_tiny()), Arc::new(Database::new()))
+}
+
+/// One record variable, written by 3 ranks, read back under the same
+/// decomposition — for each Level 1/2/3 organization.
+#[test]
+fn netcdf_records_round_trip_under_all_levels() {
+    for org in OrgLevel::all() {
+        let (pfs, db) = fixtures();
+        let n = 3usize;
+        let cells = 30u64;
+        let out = World::run(n, MachineConfig::test_tiny(), {
+            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            move |c| {
+                let cfg = SdmConfig { org, ..SdmConfig::default() };
+                let mut nc = NcFile::create(c, &pfs, &db, "nc", cfg).unwrap();
+                nc.def_dim(c, "time", NC_UNLIMITED).unwrap();
+                nc.def_dim(c, "cell", cells).unwrap();
+                nc.def_var(c, "u", SdmType::Double, &["time", "cell"]).unwrap();
+                nc.enddef(c).unwrap();
+                let mine: Vec<u64> = (c.rank() as u64..cells).step_by(c.size()).collect();
+                nc.set_decomposition(c, "u", &mine).unwrap();
+                for t in 0..4i64 {
+                    let rec: Vec<f64> =
+                        mine.iter().map(|&g| g as f64 + 1000.0 * t as f64).collect();
+                    nc.put_record(c, "u", t, &rec).unwrap();
+                }
+                let mut back = vec![0.0f64; mine.len()];
+                nc.get_record(c, "u", 3, &mut back).unwrap();
+                nc.close(c).unwrap();
+                (mine, back)
+            }
+        });
+        for (mine, back) in out {
+            let want: Vec<f64> = mine.iter().map(|&g| g as f64 + 3000.0).collect();
+            assert_eq!(back, want, "org {org:?}");
+        }
+        // File counts reflect the organization: Level 1 makes one file
+        // per record, Level 2/3 append (one data file for the single
+        // dataset/group).
+        let data_files = pfs.list().len();
+        match org {
+            OrgLevel::Level1 => assert_eq!(data_files, 4, "level 1: a file per record"),
+            _ => assert_eq!(data_files, 1, "level 2/3 append to one file"),
+        }
+    }
+}
+
+/// A container created by one "session" is fully reconstructible by a
+/// later session — across a different rank count.
+#[test]
+fn container_reopen_across_different_nprocs() {
+    let (pfs, db) = fixtures();
+    let cells = 24u64;
+    World::run(2, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let mut f = SciFile::create(c, &pfs, &db, "xproc", SdmConfig::default()).unwrap();
+            f.define_dim(c, "n", cells).unwrap();
+            f.create_dataset(c, "/field", SdmType::Double, &["n"]).unwrap();
+            f.set_attr(c, "/field", "step", AttrValue::Int(7)).unwrap();
+            let mine: Vec<u64> = (c.rank() as u64..cells).step_by(c.size()).collect();
+            f.set_view(c, "/field", &mine).unwrap();
+            let vals: Vec<f64> = mine.iter().map(|&g| g as f64 * 2.5).collect();
+            f.write(c, "/field", 0, &vals).unwrap();
+            f.close(c).unwrap();
+        }
+    });
+    // Reopen on 3 ranks: unlike SDM's history files (which are bound to
+    // a process count), container data is just a global array + views,
+    // so any decomposition can read it.
+    let out = World::run(3, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let mut f = SciFile::open(c, &pfs, &db, "xproc", SdmConfig::default()).unwrap();
+            assert_eq!(f.get_attr("/field", "step").unwrap(), Some(AttrValue::Int(7)));
+            let mine: Vec<u64> = (c.rank() as u64..cells).step_by(c.size()).collect();
+            f.set_view(c, "/field", &mine).unwrap();
+            let mut back = vec![0.0f64; mine.len()];
+            f.read(c, "/field", 0, &mut back).unwrap();
+            f.close(c).unwrap();
+            (mine, back)
+        }
+    });
+    let mut seen = 0;
+    for (mine, back) in out {
+        for (&g, &v) in mine.iter().zip(&back) {
+            assert_eq!(v, g as f64 * 2.5);
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, cells);
+}
+
+/// Two containers coexisting in one database: their metadata stays
+/// separate (different runids), including attributes with equal names.
+#[test]
+fn two_containers_do_not_interfere() {
+    let (pfs, db) = fixtures();
+    World::run(1, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let mut a = SciFile::create(c, &pfs, &db, "appa", SdmConfig::default()).unwrap();
+            let mut b = SciFile::create(c, &pfs, &db, "appb", SdmConfig::default()).unwrap();
+            a.set_attr(c, "/", "v", AttrValue::Int(1)).unwrap();
+            b.set_attr(c, "/", "v", AttrValue::Int(2)).unwrap();
+            a.define_dim(c, "n", 4).unwrap();
+            b.define_dim(c, "n", 9).unwrap();
+            assert_eq!(a.get_attr("/", "v").unwrap(), Some(AttrValue::Int(1)));
+            assert_eq!(b.get_attr("/", "v").unwrap(), Some(AttrValue::Int(2)));
+            assert_eq!(a.dim_len("n"), Some(4));
+            assert_eq!(b.dim_len("n"), Some(9));
+            a.close(c).unwrap();
+            b.close(c).unwrap();
+        }
+    });
+    // Reopening by name finds the right one.
+    World::run(1, MachineConfig::test_tiny(), {
+        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        move |c| {
+            let a = SciFile::open(c, &pfs, &db, "appa", SdmConfig::default()).unwrap();
+            assert_eq!(a.dim_len("n"), Some(4));
+            a.close(c).unwrap();
+        }
+    });
+}
+
+/// The VTK renderer output is internally consistent with the mesh that
+/// SDM's partitioning machinery works over.
+#[test]
+fn vtk_renders_partitioned_mesh() {
+    use sdm::apps::Fun3dWorkload;
+    use sdm::sci::vtk::{render_vtk, ScalarField};
+
+    let w = Fun3dWorkload::new(120, 2, 3);
+    let owner: Vec<f64> = w.partitioning_vector.iter().map(|&r| r as f64).collect();
+    let body =
+        render_vtk("partition", &w.mesh, &[ScalarField::new("owner", &owner)], &[]).unwrap();
+    // Node count lines up between POINTS and POINT_DATA blocks.
+    assert!(body.contains(&format!("POINTS {} double", w.mesh.num_nodes())));
+    assert!(body.contains(&format!("POINT_DATA {}", w.mesh.num_nodes())));
+    // Every owner value is a valid rank.
+    let after = body.split("LOOKUP_TABLE default\n").nth(1).unwrap();
+    for line in after.lines().take(w.mesh.num_nodes()) {
+        let v: f64 = line.parse().unwrap();
+        assert!(v == 0.0 || v == 1.0, "owner must be a rank: {v}");
+    }
+}
