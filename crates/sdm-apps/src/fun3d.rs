@@ -4,8 +4,7 @@
 use std::sync::Arc;
 
 use sdm_core::dataset::{make_datalist, DatasetDesc, ImportDesc};
-use sdm_core::{OrgLevel, PartitionedIndex, Sdm, SdmConfig, SdmResult, SdmType};
-use sdm_metadb::Database;
+use sdm_core::{OrgLevel, PartitionedIndex, Sdm, SdmConfig, SdmResult, SdmType, SharedStore};
 use sdm_mesh::Uns3dLayout;
 use sdm_mpi::Comm;
 use sdm_pfs::Pfs;
@@ -27,7 +26,11 @@ pub struct Fun3dOptions {
 
 impl Default for Fun3dOptions {
     fn default() -> Self {
-        Self { org: OrgLevel::Level2, use_history: false, register_history: false }
+        Self {
+            org: OrgLevel::Level2,
+            use_history: false,
+            register_history: false,
+        }
     }
 }
 
@@ -85,18 +88,14 @@ pub fn edge_sweep(
 
 /// Sequential reference of [`edge_sweep`] over the whole mesh (tests and
 /// verification): `out[n]` for every global node.
-pub fn edge_sweep_reference(
-    e1: &[i32],
-    e2: &[i32],
-    total_nodes: usize,
-    step: usize,
-) -> Vec<f64> {
+pub fn edge_sweep_reference(e1: &[i32], e2: &[i32], total_nodes: usize, step: usize) -> Vec<f64> {
     let mut out = vec![0.0f64; total_nodes];
     let scale = (step + 1) as f64;
     for k in 0..e1.len() {
         let (a, b) = (e1[k] as usize, e2[k] as usize);
         let x = Uns3dLayout::edge_value(0, k as u64) * scale;
-        let flux = x * (Uns3dLayout::node_value(0, a as u64) + Uns3dLayout::node_value(0, b as u64));
+        let flux =
+            x * (Uns3dLayout::node_value(0, a as u64) + Uns3dLayout::node_value(0, b as u64));
         out[a] += flux;
         out[b] -= flux;
     }
@@ -108,7 +107,7 @@ pub fn edge_sweep_reference(
 pub fn run_sdm(
     comm: &mut Comm,
     pfs: &Arc<Pfs>,
-    db: &Arc<Database>,
+    store: &SharedStore,
     w: &Fun3dWorkload,
     opts: &Fun3dOptions,
 ) -> SdmResult<Fun3dResult> {
@@ -116,8 +115,11 @@ pub fn run_sdm(
     let total_edges = w.mesh.num_edges() as u64;
     let mut report = PhaseReport::new();
 
-    let cfg = SdmConfig { org: opts.org, ..SdmConfig::default() };
-    let mut sdm = Sdm::initialize_with(comm, pfs, db, "fun3d", cfg)?;
+    let cfg = SdmConfig {
+        org: opts.org,
+        ..SdmConfig::default()
+    };
+    let mut sdm = Sdm::initialize_with(comm, pfs, store, "fun3d", cfg)?;
 
     // Result datasets: p, q, r, s over nodes plus the big one (5x).
     let mut ds = make_datalist(&RESULT_DATASETS, SdmType::Double, total_nodes);
@@ -204,8 +206,11 @@ pub fn run_sdm(
     for name in RESULT_DATASETS {
         sdm.data_view(comm, h, name, &owned)?;
     }
-    let big_map: Vec<u64> =
-        pi.owned_nodes.iter().flat_map(|&n| (0..5).map(move |j| n as u64 * 5 + j)).collect();
+    let big_map: Vec<u64> = pi
+        .owned_nodes
+        .iter()
+        .flat_map(|&n| (0..5).map(move |j| n as u64 * 5 + j))
+        .collect();
     sdm.data_view(comm, h, BIG_DATASET, &big_map)?;
 
     // ---- Time steps: compute + checkpoint writes ----
@@ -243,9 +248,18 @@ pub fn run_sdm(
     report.add("read", comm.now() - t0);
     report.add_bytes("read", w.checkpoint_bytes() * w.timesteps as u64);
 
-    let partition = (pi.edge_ids.len(), pi.owned_nodes.len(), pi.ghost_nodes.len());
+    let partition = (
+        pi.edge_ids.len(),
+        pi.owned_nodes.len(),
+        pi.ghost_nodes.len(),
+    );
     sdm.finalize(comm)?;
-    Ok(Fun3dResult { report, history_hit, partition, p_checksum })
+    Ok(Fun3dResult {
+        report,
+        history_hit,
+        partition,
+        p_checksum,
+    })
 }
 
 /// Import the edge arrays and run the ring distribution, optionally
@@ -280,16 +294,22 @@ mod tests {
     use sdm_mpi::World;
     use sdm_sim::MachineConfig;
 
-    fn small_world(n: usize, opts: Fun3dOptions) -> (Vec<Fun3dResult>, Arc<Pfs>, Arc<Database>) {
+    fn small_world(n: usize, opts: Fun3dOptions) -> (Vec<Fun3dResult>, Arc<Pfs>, SharedStore) {
         let w = Fun3dWorkload::new(150, n, 7);
         let pfs = Pfs::new(MachineConfig::test_tiny());
-        let db = Arc::new(Database::new());
+        let db = Arc::new(sdm_metadb::Database::new());
+        let store = sdm_core::CachedStore::shared(&db);
         w.stage(&pfs);
         let out = World::run(n, MachineConfig::test_tiny(), {
-            let (pfs, db, w, opts) = (Arc::clone(&pfs), Arc::clone(&db), w.clone(), opts.clone());
-            move |c| run_sdm(c, &pfs, &db, &w, &opts).unwrap()
+            let (pfs, store, w, opts) = (
+                Arc::clone(&pfs),
+                Arc::clone(&store),
+                w.clone(),
+                opts.clone(),
+            );
+            move |c| run_sdm(c, &pfs, &store, &w, &opts).unwrap()
         });
-        (out, pfs, db)
+        (out, pfs, store)
     }
 
     #[test]
@@ -314,10 +334,15 @@ mod tests {
         for rank in 0..n as u32 {
             let pi = Sdm::partition_index_reference(&w.partitioning_vector, &e1, &e2, rank);
             let all = pi.all_nodes();
-            let x: Vec<f64> =
-                pi.edge_ids.iter().map(|&e| Uns3dLayout::edge_value(0, e)).collect();
-            let y: Vec<f64> =
-                all.iter().map(|&nn| Uns3dLayout::node_value(0, nn as u64)).collect();
+            let x: Vec<f64> = pi
+                .edge_ids
+                .iter()
+                .map(|&e| Uns3dLayout::edge_value(0, e))
+                .collect();
+            let y: Vec<f64> = all
+                .iter()
+                .map(|&nn| Uns3dLayout::node_value(0, nn as u64))
+                .collect();
             let p = edge_sweep(&pi, &all, &x, &y, 0);
             for (i, &node) in pi.owned_nodes.iter().enumerate() {
                 let want = reference[node as usize];
@@ -335,26 +360,41 @@ mod tests {
         let n = 3;
         let w = Fun3dWorkload::new(150, n, 7);
         let pfs = Pfs::new(MachineConfig::test_tiny());
-        let db = Arc::new(Database::new());
+        let db = Arc::new(sdm_metadb::Database::new());
+        let store = sdm_core::CachedStore::shared(&db);
         w.stage(&pfs);
         // First run registers.
         let first = World::run(n, MachineConfig::test_tiny(), {
-            let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+            let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
             move |c| {
-                let opts = Fun3dOptions { register_history: true, ..Default::default() };
-                run_sdm(c, &pfs, &db, &w, &opts).unwrap()
+                let opts = Fun3dOptions {
+                    register_history: true,
+                    ..Default::default()
+                };
+                run_sdm(c, &pfs, &store, &w, &opts).unwrap()
             }
         });
         assert!(first.iter().all(|r| !r.history_hit));
-        // Second run replays.
+        // Second run replays through a fresh store over the same
+        // database, exactly like a later job re-attaching.
         let second = World::run(n, MachineConfig::test_tiny(), {
-            let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+            let (pfs, store, w) = (
+                Arc::clone(&pfs),
+                sdm_core::CachedStore::shared(&db),
+                w.clone(),
+            );
             move |c| {
-                let opts = Fun3dOptions { use_history: true, ..Default::default() };
-                run_sdm(c, &pfs, &db, &w, &opts).unwrap()
+                let opts = Fun3dOptions {
+                    use_history: true,
+                    ..Default::default()
+                };
+                run_sdm(c, &pfs, &store, &w, &opts).unwrap()
             }
         });
-        assert!(second.iter().all(|r| r.history_hit), "history must hit on the second run");
+        assert!(
+            second.iter().all(|r| r.history_hit),
+            "history must hit on the second run"
+        );
         // Identical partitions => identical results.
         for (a, b) in first.iter().zip(&second) {
             assert_eq!(a.partition, b.partition);
@@ -366,7 +406,13 @@ mod tests {
     fn all_org_levels_produce_same_data() {
         let mut sums = Vec::new();
         for org in OrgLevel::all() {
-            let (out, _, _) = small_world(2, Fun3dOptions { org, ..Default::default() });
+            let (out, _, _) = small_world(
+                2,
+                Fun3dOptions {
+                    org,
+                    ..Default::default()
+                },
+            );
             sums.push(out.iter().map(|r| r.p_checksum).sum::<f64>());
         }
         assert!((sums[0] - sums[1]).abs() < 1e-9);

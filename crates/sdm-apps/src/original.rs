@@ -128,13 +128,19 @@ pub fn fun3d_original_import(
     report.add("index-distribution", comm.now() - t0);
 
     comm.barrier();
-    let pi = PartitionedIndex { edge_ids, edge_nodes, owned_nodes, ghost_nodes: ghost };
+    let pi = PartitionedIndex {
+        edge_ids,
+        edge_nodes,
+        owned_nodes,
+        ghost_nodes: ghost,
+    };
     Ok((report, pi))
 }
 
 /// RT-style sequential write: ranks write their blocks one by one,
 /// serialized by a ring token. `node_vals`/`tri_vals` are this rank's
 /// portions; offsets are element offsets into the two global datasets.
+#[allow(clippy::too_many_arguments)]
 pub fn serialized_write(
     comm: &mut Comm,
     pfs: &Arc<Pfs>,
@@ -219,7 +225,8 @@ mod tests {
         });
         let (e1, e2) = w.mesh.indirection_arrays();
         for (rank, pi) in out.iter().enumerate() {
-            let want = Sdm::partition_index_reference(&w.partitioning_vector, &e1, &e2, rank as u32);
+            let want =
+                Sdm::partition_index_reference(&w.partitioning_vector, &e1, &e2, rank as u32);
             assert!(partitions_agree(pi, &want), "rank {rank} diverged");
         }
     }
@@ -245,12 +252,12 @@ mod tests {
         .fold(0.0f64, f64::max);
 
         let pfs2 = Pfs::new(cfg.clone());
-        let db = Arc::new(sdm_metadb::Database::new());
+        let store = sdm_core::CachedStore::shared(&Arc::new(sdm_metadb::Database::new()));
         w.stage(&pfs2);
         let sdm = World::run(n, cfg, {
-            let (pfs2, db, w) = (Arc::clone(&pfs2), Arc::clone(&db), w.clone());
+            let (pfs2, store, w) = (Arc::clone(&pfs2), Arc::clone(&store), w.clone());
             move |c| {
-                crate::fun3d::run_sdm(c, &pfs2, &db, &w, &crate::fun3d::Fun3dOptions::default())
+                crate::fun3d::run_sdm(c, &pfs2, &store, &w, &crate::fun3d::Fun3dOptions::default())
                     .unwrap()
                     .report
                     .get("import")
@@ -273,18 +280,29 @@ mod tests {
             move |c| {
                 let vals = vec![c.rank() as f64; 4];
                 let tri = vec![100.0 + c.rank() as f64; 2];
-                serialized_write(c, &pfs, "rt0.dat", &vals, c.rank() as u64 * 4, &tri, c.rank() as u64 * 2, 3 * 4 * 8)
-                    .unwrap();
+                serialized_write(
+                    c,
+                    &pfs,
+                    "rt0.dat",
+                    &vals,
+                    c.rank() as u64 * 4,
+                    &tri,
+                    c.rank() as u64 * 2,
+                    3 * 4 * 8,
+                )
+                .unwrap();
             }
         });
         let (f, _) = pfs.open("rt0.dat", 0.0).unwrap();
         let mut node = vec![0.0f64; 12];
-        pfs.read_exact_at(&f, 0, sdm_mpi::pod::as_bytes_mut(&mut node), 0.0).unwrap();
+        pfs.read_exact_at(&f, 0, sdm_mpi::pod::as_bytes_mut(&mut node), 0.0)
+            .unwrap();
         assert_eq!(node[0], 0.0);
         assert_eq!(node[4], 1.0);
         assert_eq!(node[8], 2.0);
         let mut tri = vec![0.0f64; 6];
-        pfs.read_exact_at(&f, 96, sdm_mpi::pod::as_bytes_mut(&mut tri), 0.0).unwrap();
+        pfs.read_exact_at(&f, 96, sdm_mpi::pod::as_bytes_mut(&mut tri), 0.0)
+            .unwrap();
         assert_eq!(tri[0], 100.0);
         assert_eq!(tri[2], 101.0);
         assert_eq!(tri[4], 102.0);

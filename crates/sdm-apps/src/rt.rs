@@ -10,8 +10,7 @@
 use std::sync::Arc;
 
 use sdm_core::dataset::{make_datalist, DatasetDesc};
-use sdm_core::{OrgLevel, Sdm, SdmConfig, SdmResult, SdmType};
-use sdm_metadb::Database;
+use sdm_core::{OrgLevel, Sdm, SdmConfig, SdmResult, SdmType, SharedStore};
 use sdm_mpi::Comm;
 use sdm_pfs::Pfs;
 
@@ -33,7 +32,7 @@ pub fn tri_value(tri: u64, t: usize) -> f64 {
 pub fn run_sdm(
     comm: &mut Comm,
     pfs: &Arc<Pfs>,
-    db: &Arc<Database>,
+    store: &SharedStore,
     w: &RtWorkload,
     org: OrgLevel,
 ) -> SdmResult<PhaseReport> {
@@ -41,8 +40,11 @@ pub fn run_sdm(
     let total_tris = w.mesh.num_cells() as u64;
     let mut report = PhaseReport::new();
 
-    let cfg = SdmConfig { org, ..SdmConfig::default() };
-    let mut sdm = Sdm::initialize_with(comm, pfs, db, "rt", cfg)?;
+    let cfg = SdmConfig {
+        org,
+        ..SdmConfig::default()
+    };
+    let mut sdm = Sdm::initialize_with(comm, pfs, store, "rt", cfg)?;
     let mut ds = make_datalist(&["node_data"], SdmType::Double, total_nodes);
     ds.push(DatasetDesc::doubles("tri_data", total_tris));
     let h = sdm.set_attributes(comm, ds)?;
@@ -79,7 +81,13 @@ pub fn run_sdm(
     // Read-back (not part of Figure 7 but used by tests).
     let t0 = comm.now();
     let mut node_back = vec![0.0f64; owned.len()];
-    sdm.read(comm, h, "node_data", (w.timesteps - 1) as i64, &mut node_back)?;
+    sdm.read(
+        comm,
+        h,
+        "node_data",
+        (w.timesteps - 1) as i64,
+        &mut node_back,
+    )?;
     report.add("read", comm.now() - t0);
     for (i, &n) in owned.iter().enumerate() {
         debug_assert!((node_back[i] - node_value(n as u32, w.timesteps - 1)).abs() < 1e-9);
@@ -98,11 +106,7 @@ pub fn run_sdm(
 /// small runs at scattered file positions, each its own seek+write.
 /// SDM's win in Figure 7 is precisely turning this into one collective
 /// reordered write.
-pub fn run_original(
-    comm: &mut Comm,
-    pfs: &Arc<Pfs>,
-    w: &RtWorkload,
-) -> SdmResult<PhaseReport> {
+pub fn run_original(comm: &mut Comm, pfs: &Arc<Pfs>, w: &RtWorkload) -> SdmResult<PhaseReport> {
     let total_nodes = w.mesh.num_nodes() as u64;
     let total_tris = w.mesh.num_cells() as u64;
     let mut report = PhaseReport::new();
@@ -118,7 +122,7 @@ pub fn run_original(
         .map(|(n, _)| n as u64)
         .collect();
     let mut node_runs: Vec<(u64, Vec<f64>)> = Vec::new(); // (start elem, values at t=0 placeholder)
-    // Run boundaries depend only on ownership; values are per-step.
+                                                          // Run boundaries depend only on ownership; values are per-step.
     let mut run_bounds: Vec<(u64, u64)> = Vec::new(); // (start, len)
     for &n in &owned {
         match run_bounds.last_mut() {
@@ -129,14 +133,18 @@ pub fn run_original(
     // Triangles are written contiguously by rank blocks in both versions.
     let size = comm.size() as u64;
     let tchunk = total_tris.div_ceil(size);
-    let (tlo, thi) = ((me as u64 * tchunk).min(total_tris), ((me as u64 + 1) * tchunk).min(total_tris));
+    let (tlo, thi) = (
+        (me as u64 * tchunk).min(total_tris),
+        ((me as u64 + 1) * tchunk).min(total_tris),
+    );
 
     comm.barrier();
     for t in 0..w.timesteps {
         node_runs.clear();
         for &(start, len) in &run_bounds {
-            let vals: Vec<f64> =
-                (start..start + len).map(|n| node_value(n as u32, t)).collect();
+            let vals: Vec<f64> = (start..start + len)
+                .map(|n| node_value(n as u32, t))
+                .collect();
             node_runs.push((start, vals));
         }
         let tri_vals: Vec<f64> = (tlo..thi).map(|k| tri_value(k, t)).collect();
@@ -164,10 +172,10 @@ mod tests {
     fn run(org: OrgLevel, n: usize) -> (Arc<Pfs>, Vec<PhaseReport>) {
         let w = RtWorkload::new(300, n, 5);
         let pfs = Pfs::new(MachineConfig::test_tiny());
-        let db = Arc::new(Database::new());
+        let store = sdm_core::CachedStore::shared(&Arc::new(sdm_metadb::Database::new()));
         let out = World::run(n, MachineConfig::test_tiny(), {
-            let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
-            move |c| run_sdm(c, &pfs, &db, &w, org).unwrap()
+            let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
+            move |c| run_sdm(c, &pfs, &store, &w, org).unwrap()
         });
         (pfs, out)
     }
@@ -193,7 +201,8 @@ mod tests {
         let name = OrgLevel::Level1.file_name("rt", 0, "node_data", 2);
         let (f, _) = pfs.open(&name, 0.0).unwrap();
         let mut vals = vec![0.0f64; w.mesh.num_nodes()];
-        pfs.read_exact_at(&f, 0, sdm_mpi::pod::as_bytes_mut(&mut vals), 0.0).unwrap();
+        pfs.read_exact_at(&f, 0, sdm_mpi::pod::as_bytes_mut(&mut vals), 0.0)
+            .unwrap();
         for (node, &v) in vals.iter().enumerate() {
             assert_eq!(v, node_value(node as u32, 2), "node {node}");
         }
@@ -210,7 +219,8 @@ mod tests {
         });
         let (f, _) = pfs.open("rt_orig.t0.dat", 0.0).unwrap();
         let mut vals = vec![0.0f64; w.mesh.num_nodes()];
-        pfs.read_exact_at(&f, 0, sdm_mpi::pod::as_bytes_mut(&mut vals), 0.0).unwrap();
+        pfs.read_exact_at(&f, 0, sdm_mpi::pod::as_bytes_mut(&mut vals), 0.0)
+            .unwrap();
         for (node, &v) in vals.iter().enumerate() {
             assert_eq!(v, node_value(node as u32, 0));
         }
@@ -233,10 +243,14 @@ mod tests {
         let w = RtWorkload::new(20_000, n, 5);
         let cfg = MachineConfig::origin2000();
         let pfs = Pfs::new(cfg.clone());
-        let db = Arc::new(Database::new());
+        let store = sdm_core::CachedStore::shared(&Arc::new(sdm_metadb::Database::new()));
         let sdm_t = World::run(n, cfg.clone(), {
-            let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
-            move |c| run_sdm(c, &pfs, &db, &w, OrgLevel::Level2).unwrap().get("write")
+            let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
+            move |c| {
+                run_sdm(c, &pfs, &store, &w, OrgLevel::Level2)
+                    .unwrap()
+                    .get("write")
+            }
         })
         .into_iter()
         .fold(0.0f64, f64::max);

@@ -9,9 +9,9 @@ use sdm_pfs::Pfs;
 
 /// The FUN3D benchmark workload.
 ///
-/// Paper scale: ~18M edges, ~2.2M nodes, 807 MB imported (2 index arrays
-/// + 4 edge data arrays + 4 node data arrays), results of 4 × 21 MB + one
-/// 105 MB dataset per checkpoint, 64 processors, 2 time steps.
+/// Paper scale: ~18M edges, ~2.2M nodes, 807 MB imported (2 index
+/// arrays, 4 edge data arrays, 4 node data arrays), results of 4 × 21 MB
+/// plus one 105 MB dataset per checkpoint, 64 processors, 2 time steps.
 #[derive(Debug, Clone)]
 pub struct Fun3dWorkload {
     /// The synthetic mesh.
@@ -63,7 +63,9 @@ impl Fun3dWorkload {
     /// paper's mesh pre-existed on disk).
     pub fn stage(&self, pfs: &Arc<Pfs>) {
         let img = self.layout.build_image(&self.mesh);
-        let (f, _) = pfs.open_or_create(&self.mesh_file, 0.0).expect("stage mesh file");
+        let (f, _) = pfs
+            .open_or_create(&self.mesh_file, 0.0)
+            .expect("stage mesh file");
         pfs.write_at(&f, 0, &img, 0.0).expect("stage mesh bytes");
         pfs.reset_timing();
     }
@@ -91,7 +93,11 @@ impl RtWorkload {
         let mesh = rt_interface_mesh(side, side, 0.35, 4);
         let graph = CsrGraph::from_edges(mesh.num_nodes(), &mesh.edges);
         let pv = partition(&graph, Some(&mesh.coords), nprocs, Method::Multilevel, seed);
-        Self { mesh: Arc::new(mesh), partitioning_vector: Arc::new(pv), timesteps: 5 }
+        Self {
+            mesh: Arc::new(mesh),
+            partitioning_vector: Arc::new(pv),
+            timesteps: 5,
+        }
     }
 
     /// Bytes written per step (node + triangle datasets).
@@ -126,7 +132,10 @@ mod tests {
         // formula reproduces that within ~15%.
         let layout = Uns3dLayout::fun3d(18_000_000, 2_200_000);
         let gb = layout.file_len() as f64 / 1e6;
-        assert!((650.0..950.0).contains(&gb), "paper-scale import = {gb} MB, expected ~807");
+        assert!(
+            (650.0..950.0).contains(&gb),
+            "paper-scale import = {gb} MB, expected ~807"
+        );
     }
 
     #[test]

@@ -23,14 +23,18 @@ fn bench_datatype_flatten(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("strided", n), &displs, |b, d| {
             b.iter(|| {
-                Datatype::indexed_block(1, d.clone(), Datatype::double()).flatten().unwrap()
+                Datatype::indexed_block(1, d.clone(), Datatype::double())
+                    .flatten()
+                    .unwrap()
             })
         });
         // Best case: contiguous run (collapses to one segment).
         let contig: Vec<u64> = (0..n as u64).collect();
         g.bench_with_input(BenchmarkId::new("contiguous", n), &contig, |b, d| {
             b.iter(|| {
-                Datatype::indexed_block(1, d.clone(), Datatype::double()).flatten().unwrap()
+                Datatype::indexed_block(1, d.clone(), Datatype::double())
+                    .flatten()
+                    .unwrap()
             })
         });
     }
@@ -54,7 +58,8 @@ fn bench_metadb(c: &mut Criterion) {
     let mut g = c.benchmark_group("metadb");
     g.bench_function("insert", |b| {
         let db = Database::new();
-        db.exec("CREATE TABLE t (a INT, b TEXT, c DOUBLE)", &[]).unwrap();
+        db.exec("CREATE TABLE t (a INT, b TEXT, c DOUBLE)", &[])
+            .unwrap();
         let mut i = 0i64;
         b.iter(|| {
             i += 1;
@@ -69,9 +74,16 @@ fn bench_metadb(c: &mut Criterion) {
         let db = Database::new();
         db.exec("CREATE TABLE t (a INT, b TEXT)", &[]).unwrap();
         for i in 0..1000 {
-            db.exec("INSERT INTO t VALUES (?, ?)", &[Value::Int(i), Value::from("x")]).unwrap();
+            db.exec(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i), Value::from("x")],
+            )
+            .unwrap();
         }
-        b.iter(|| db.exec("SELECT a FROM t WHERE a >= 500 AND a < 510", &[]).unwrap())
+        b.iter(|| {
+            db.exec("SELECT a FROM t WHERE a >= 500 AND a < 510", &[])
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -83,7 +95,9 @@ fn bench_collectives(c: &mut Criterion) {
         g.bench_function(format!("allgather_p{p}"), |b| {
             b.iter(|| {
                 World::run(p, MachineConfig::test_tiny(), |comm| {
-                    comm.allgather(&vec![comm.rank() as u64; 1024]).unwrap().len()
+                    comm.allgather(&vec![comm.rank() as u64; 1024])
+                        .unwrap()
+                        .len()
                 })
             })
         });

@@ -47,13 +47,19 @@ fn main() {
                         // ROMIO always data-sieves independent
                         // noncontiguous writes; our density threshold is
                         // a refinement knob, so pin it open here.
-                        f.set_hints(Hints { sieve_min_density: 0.0, ..Default::default() });
+                        f.set_hints(Hints {
+                            sieve_min_density: 0.0,
+                            ..Default::default()
+                        });
                         f.write_view(c, 0, &mine).unwrap();
                         c.barrier();
                     }
                     _ => {
                         // Naive: force per-segment writes by disabling sieving.
-                        f.set_hints(Hints { sieve_min_density: 2.0, ..Default::default() });
+                        f.set_hints(Hints {
+                            sieve_min_density: 2.0,
+                            ..Default::default()
+                        });
                         f.write_view(c, 0, &mine).unwrap();
                         c.barrier();
                     }
@@ -75,7 +81,13 @@ fn main() {
     for (m, t) in [("collective", coll), ("sieved", sieve), ("naive", naive)] {
         println!("{m:<14} {t:>10.4} {:>12.1}", mb / t);
     }
-    assert!(coll < sieve, "two-phase must beat independent sieving on interleaved data");
+    assert!(
+        coll < sieve,
+        "two-phase must beat independent sieving on interleaved data"
+    );
     assert!(sieve < naive, "sieving must beat per-segment I/O");
-    println!("\nPASS: collective < sieved < naive ({:.1}x total spread)", naive / coll);
+    println!(
+        "\nPASS: collective < sieved < naive ({:.1}x total spread)",
+        naive / coll
+    );
 }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use sdm_apps::original::fun3d_original_import;
 use sdm_apps::Fun3dWorkload;
 use sdm_bench::{aggregate, print_header, HarnessArgs};
-use sdm_core::{Sdm, SdmConfig};
+use sdm_core::{CachedStore, Sdm, SdmConfig};
 use sdm_metadb::Database;
 use sdm_mpi::World;
 use sdm_pfs::Pfs;
@@ -36,16 +36,21 @@ fn main() {
 
     // Single-pass: SDM's ring distribution with the doubling buffer.
     let pfs = Pfs::new(cfg.clone());
-    let db = Arc::new(Database::new());
+    let store = CachedStore::shared(&Arc::new(Database::new()));
     w.stage(&pfs);
     let sdm = aggregate(World::run(procs, cfg.clone(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
         move |c| {
             let mut report = sdm_apps::PhaseReport::new();
-            let mut s =
-                Sdm::initialize_with(c, &pfs, &db, "a3", SdmConfig::default()).unwrap();
+            let mut s = Sdm::initialize_with(c, &pfs, &store, "a3", SdmConfig::default()).unwrap();
             let h = s
-                .set_attributes(c, vec![sdm_core::DatasetDesc::doubles("d", w.mesh.num_nodes() as u64)])
+                .set_attributes(
+                    c,
+                    vec![sdm_core::DatasetDesc::doubles(
+                        "d",
+                        w.mesh.num_nodes() as u64,
+                    )],
+                )
                 .unwrap();
             s.make_importlist(
                 c,
@@ -64,7 +69,8 @@ fn main() {
                 .import_contiguous::<i32>(c, h, "edge2", w.layout.edge2_offset(), total)
                 .unwrap();
             let t0 = c.now();
-            s.partition_index_fresh(c, &w.partitioning_vector, start, &e1, &e2).unwrap();
+            s.partition_index_fresh(c, &w.partitioning_vector, start, &e1, &e2)
+                .unwrap();
             report.add("index-distribution", c.now() - t0);
             report
         }

@@ -12,28 +12,41 @@ use sdm_mpi::World;
 fn main() {
     let args = HarnessArgs::parse(std::env::args().skip(1));
     let cfg = args.machine_config();
-    print_header("Ablation A1: history validity across process counts", &cfg, "");
-    let (pfs, db) = fresh_world(&cfg);
+    print_header(
+        "Ablation A1: history validity across process counts",
+        &cfg,
+        "",
+    );
+    let (pfs, store) = fresh_world(&cfg);
 
     // Register a history at p=8.
     let w8 = Fun3dWorkload::new(args.fun3d_nodes() / 4, 8, args.seed);
     w8.stage(&pfs);
     let rep = aggregate(World::run(8, cfg.clone(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w8.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w8.clone());
         move |c| {
-            let opts = Fun3dOptions { register_history: true, ..Default::default() };
-            run_sdm(c, &pfs, &db, &w, &opts).unwrap().report
+            let opts = Fun3dOptions {
+                register_history: true,
+                ..Default::default()
+            };
+            run_sdm(c, &pfs, &store, &w, &opts).unwrap().report
         }
     }));
-    println!("register at p=8: index_distri={:.3}s", rep.get("index-distribution"));
+    println!(
+        "register at p=8: index_distri={:.3}s",
+        rep.get("index-distribution")
+    );
 
     // Same problem at p=4: MISS (different partition shapes entirely).
     let w4 = Fun3dWorkload::new(args.fun3d_nodes() / 4, 4, args.seed);
     let miss = World::run(4, cfg.clone(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w4.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w4.clone());
         move |c| {
-            let opts = Fun3dOptions { use_history: true, ..Default::default() };
-            run_sdm(c, &pfs, &db, &w, &opts).unwrap().history_hit
+            let opts = Fun3dOptions {
+                use_history: true,
+                ..Default::default()
+            };
+            run_sdm(c, &pfs, &store, &w, &opts).unwrap().history_hit
         }
     });
     println!("replay at p=4: hits={:?} (expected all false)", miss);
@@ -42,18 +55,24 @@ fn main() {
     // Pre-create for p=4 too ("create it in advance for the various
     // numbers of processes of interest"), then both hit.
     World::run(4, cfg.clone(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w4.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w4.clone());
         move |c| {
-            let opts = Fun3dOptions { register_history: true, ..Default::default() };
-            run_sdm(c, &pfs, &db, &w, &opts).unwrap();
+            let opts = Fun3dOptions {
+                register_history: true,
+                ..Default::default()
+            };
+            run_sdm(c, &pfs, &store, &w, &opts).unwrap();
         }
     });
     for (p, w) in [(4usize, &w4), (8, &w8)] {
         let hits = World::run(p, cfg.clone(), {
-            let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+            let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
             move |c| {
-                let opts = Fun3dOptions { use_history: true, ..Default::default() };
-                run_sdm(c, &pfs, &db, &w, &opts).unwrap().history_hit
+                let opts = Fun3dOptions {
+                    use_history: true,
+                    ..Default::default()
+                };
+                run_sdm(c, &pfs, &store, &w, &opts).unwrap().history_hit
             }
         });
         println!("replay at p={p}: hits={hits:?}");

@@ -48,30 +48,43 @@ fn main() {
     let orig = aggregate(reports);
 
     // --- SDM without history ---
-    let (pfs, db) = fresh_world(&cfg);
+    let (pfs, store) = fresh_world(&cfg);
     w.stage(&pfs);
     let no_hist: PhaseReport = aggregate(World::run(procs, cfg.clone(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
         move |c| {
-            let opts = Fun3dOptions { register_history: true, ..Default::default() };
-            run_sdm(c, &pfs, &db, &w, &opts).unwrap().report
+            let opts = Fun3dOptions {
+                register_history: true,
+                ..Default::default()
+            };
+            run_sdm(c, &pfs, &store, &w, &opts).unwrap().report
         }
     }));
 
-    // --- SDM with history (same pfs + db: the registration persists) ---
+    // --- SDM with history (same pfs + store: the registration persists) ---
     pfs.reset_timing();
     let results = World::run(procs, cfg.clone(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
         move |c| {
-            let opts = Fun3dOptions { use_history: true, ..Default::default() };
-            run_sdm(c, &pfs, &db, &w, &opts).unwrap()
+            let opts = Fun3dOptions {
+                use_history: true,
+                ..Default::default()
+            };
+            run_sdm(c, &pfs, &store, &w, &opts).unwrap()
         }
     });
-    assert!(results.iter().all(|r| r.history_hit), "history must hit on the second run");
+    assert!(
+        results.iter().all(|r| r.history_hit),
+        "history must hit on the second run"
+    );
     let with_hist = aggregate(results.into_iter().map(|r| r.report).collect());
 
     println!();
-    for (label, r) in [("Original", &orig), ("SDM (without history)", &no_hist), ("SDM (with history)", &with_hist)] {
+    for (label, r) in [
+        ("Original", &orig),
+        ("SDM (without history)", &no_hist),
+        ("SDM (with history)", &with_hist),
+    ] {
         print_time_row(
             label,
             &[
@@ -100,7 +113,10 @@ fn main() {
     // ring distribution — a real crossover; the paper's 807 MB workload
     // sits far above it. Enforce the history claims only above it.
     if args.scale >= 0.1 {
-        assert!(t(&no_hist) > t(&with_hist), "history must beat fresh distribution");
+        assert!(
+            t(&no_hist) > t(&with_hist),
+            "history must beat fresh distribution"
+        );
         assert!(
             with_hist.get("index-distribution") < no_hist.get("index-distribution"),
             "history replaces the ring distribution with a contiguous read"

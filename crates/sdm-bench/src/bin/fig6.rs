@@ -30,16 +30,23 @@ fn main() {
     let mut write_bw = Vec::new();
     let mut read_bw = Vec::new();
     for org in OrgLevel::all() {
-        let (pfs, db) = fresh_world(&cfg);
+        let (pfs, store) = fresh_world(&cfg);
         w.stage(&pfs);
         let rep = aggregate(World::run(procs, cfg.clone(), {
-            let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+            let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
             move |c| {
-                let opts = Fun3dOptions { org, ..Default::default() };
-                run_sdm(c, &pfs, &db, &w, &opts).unwrap().report
+                let opts = Fun3dOptions {
+                    org,
+                    ..Default::default()
+                };
+                run_sdm(c, &pfs, &store, &w, &opts).unwrap().report
             }
         }));
-        let files = pfs.list().iter().filter(|f| f.starts_with("fun3d.g0")).count();
+        let files = pfs
+            .list()
+            .iter()
+            .filter(|f| f.starts_with("fun3d.g0"))
+            .count();
         let wbw = rep.bandwidth_mbs("write");
         let rbw = rep.bandwidth_mbs("read");
         print_bw_row(

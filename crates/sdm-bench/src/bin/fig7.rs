@@ -48,11 +48,14 @@ fn main() {
         rows.push((format!("orig-{procs}"), obw));
 
         // SDM Level 1 and Level 2/3.
-        for (label, org) in [("Level 1", OrgLevel::Level1), ("Level 2/3", OrgLevel::Level2)] {
-            let (pfs, db) = fresh_world(&cfg);
+        for (label, org) in [
+            ("Level 1", OrgLevel::Level1),
+            ("Level 2/3", OrgLevel::Level2),
+        ] {
+            let (pfs, store) = fresh_world(&cfg);
             let rep = aggregate(World::run(procs, cfg.clone(), {
-                let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
-                move |c| run_sdm(c, &pfs, &db, &w, org).unwrap()
+                let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
+                move |c| run_sdm(c, &pfs, &store, &w, org).unwrap()
             }));
             let bw = rep.bandwidth_mbs("write");
             print_bw_row(&format!("SDM {label} p={procs}"), &[("write", bw)]);
@@ -62,7 +65,12 @@ fn main() {
 
     println!();
     // Shape checks.
-    let get = |k: &str| rows.iter().find(|(n, _)| n == k).map(|&(_, v)| v).unwrap_or(0.0);
+    let get = |k: &str| {
+        rows.iter()
+            .find(|(n, _)| n == k)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0)
+    };
     for &procs in &proc_counts {
         let orig = get(&format!("orig-{procs}"));
         let sdm1 = get(&format!("sdm-Level 1-{procs}"));
@@ -74,7 +82,10 @@ fn main() {
         );
         assert!(sdm23 > orig, "p={procs}: SDM must beat the original");
         if args.scale >= 0.2 {
-            assert!(sdm23 > orig * 2.0, "p={procs}: SDM must significantly beat the original");
+            assert!(
+                sdm23 > orig * 2.0,
+                "p={procs}: SDM must significantly beat the original"
+            );
             assert!(
                 (sdm1 - sdm23).abs() / sdm1 < 0.35,
                 "p={procs}: levels should be close on the Origin2000 model"
@@ -84,8 +95,14 @@ fn main() {
     if proc_counts.len() == 2 {
         let bw32 = get("sdm-Level 2/3-32");
         let bw64 = get("sdm-Level 2/3-64");
-        println!("shape: SDM BW 64p/32p = {:.3}x (paper: < 1 — smaller per-process buffers)", bw64 / bw32);
-        assert!(bw64 < bw32, "64 procs must be slower than 32 for the same data");
+        println!(
+            "shape: SDM BW 64p/32p = {:.3}x (paper: < 1 — smaller per-process buffers)",
+            bw64 / bw32
+        );
+        assert!(
+            bw64 < bw32,
+            "64 procs must be slower than 32 for the same data"
+        );
     }
     if args.scale >= 0.2 {
         println!("PASS: SDM >> original; L1 ~ L2/3; BW(64) < BW(32)");

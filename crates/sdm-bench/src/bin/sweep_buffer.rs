@@ -14,17 +14,21 @@ use sdm_mpi::World;
 fn main() {
     let args = HarnessArgs::parse(std::env::args().skip(1));
     let cfg = args.machine_config();
-    print_header("Ablation A2: per-process buffer size vs write bandwidth", &cfg, "");
+    print_header(
+        "Ablation A2: per-process buffer size vs write bandwidth",
+        &cfg,
+        "",
+    );
     println!("{:<8} {:>14} {:>12}", "procs", "MB/proc/step", "write MB/s");
 
     let mut bws = Vec::new();
     for procs in [4usize, 8, 16, 32, 64, 128] {
         let w = RtWorkload::new(args.rt_nodes(), procs, args.seed);
         let per_proc = w.step_bytes() as f64 / procs as f64 / 1e6;
-        let (pfs, db) = fresh_world(&cfg);
+        let (pfs, store) = fresh_world(&cfg);
         let rep = aggregate(World::run(procs, cfg.clone(), {
-            let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
-            move |c| run_sdm(c, &pfs, &db, &w, OrgLevel::Level2).unwrap()
+            let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
+            move |c| run_sdm(c, &pfs, &store, &w, OrgLevel::Level2).unwrap()
         }));
         let bw = rep.bandwidth_mbs("write");
         println!("{procs:<8} {per_proc:>14.3} {bw:>12.1}");

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use sdm_apps::fun3d::{run_sdm, Fun3dOptions};
 use sdm_apps::Fun3dWorkload;
 use sdm_bench::{aggregate, print_header, HarnessArgs};
+use sdm_core::CachedStore;
 use sdm_core::OrgLevel;
 use sdm_metadb::Database;
 use sdm_mpi::World;
@@ -20,8 +21,15 @@ fn main() {
     let procs = args.procs.unwrap_or(16);
     let w = Fun3dWorkload::new(args.fun3d_nodes() / 4, procs, args.seed);
     let base = args.machine_config();
-    print_header("Ablation A5: open-cost sensitivity of Level 1 vs 3", &base, &format!("procs={procs}"));
-    println!("{:<14} {:>12} {:>12} {:>8}", "open_cost", "L1 MB/s", "L3 MB/s", "L3/L1");
+    print_header(
+        "Ablation A5: open-cost sensitivity of Level 1 vs 3",
+        &base,
+        &format!("procs={procs}"),
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>8}",
+        "open_cost", "L1 MB/s", "L3 MB/s", "L3/L1"
+    );
 
     let mut ratios = Vec::new();
     for mult in [1.0, 10.0, 100.0, 1000.0] {
@@ -32,19 +40,25 @@ fn main() {
         let mut bws = Vec::new();
         for org in [OrgLevel::Level1, OrgLevel::Level3] {
             let pfs = Pfs::new(cfg.clone());
-            let db = Arc::new(Database::new());
+            let store = CachedStore::shared(&Arc::new(Database::new()));
             w.stage(&pfs);
             let rep = aggregate(World::run(procs, cfg.clone(), {
-                let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+                let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
                 move |c| {
-                    let opts = Fun3dOptions { org, ..Default::default() };
-                    run_sdm(c, &pfs, &db, &w, &opts).unwrap().report
+                    let opts = Fun3dOptions {
+                        org,
+                        ..Default::default()
+                    };
+                    run_sdm(c, &pfs, &store, &w, &opts).unwrap().report
                 }
             }));
             bws.push(rep.bandwidth_mbs("write"));
         }
         let ratio = bws[1] / bws[0];
-        println!("{:<14.4} {:>12.1} {:>12.1} {:>8.2}", cfg.io.open_cost, bws[0], bws[1], ratio);
+        println!(
+            "{:<14.4} {:>12.1} {:>12.1} {:>8.2}",
+            cfg.io.open_cost, bws[0], bws[1], ratio
+        );
         ratios.push(ratio);
     }
     println!();

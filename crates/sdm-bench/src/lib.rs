@@ -7,6 +7,7 @@
 use std::sync::Arc;
 
 use sdm_apps::PhaseReport;
+use sdm_core::{CachedStore, SharedStore};
 use sdm_metadb::Database;
 use sdm_pfs::Pfs;
 use sdm_sim::MachineConfig;
@@ -26,7 +27,12 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        Self { scale: 1.0 / 32.0, procs: None, machine: "origin2000".into(), seed: 20010220 }
+        Self {
+            scale: 1.0 / 32.0,
+            procs: None,
+            machine: "origin2000".into(),
+            seed: 20010220,
+        }
     }
 }
 
@@ -39,7 +45,10 @@ impl HarnessArgs {
         while i < argv.len() {
             match argv[i].as_str() {
                 "--scale" => {
-                    out.scale = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(out.scale);
+                    out.scale = argv
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(out.scale);
                     i += 2;
                 }
                 "--procs" => {
@@ -51,7 +60,10 @@ impl HarnessArgs {
                     i += 2;
                 }
                 "--seed" => {
-                    out.seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(out.seed);
+                    out.seed = argv
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(out.seed);
                     i += 2;
                 }
                 _ => i += 1,
@@ -80,9 +92,13 @@ impl HarnessArgs {
     }
 }
 
-/// Fresh (pfs, db) pair on a machine config.
-pub fn fresh_world(cfg: &MachineConfig) -> (Arc<Pfs>, Arc<Database>) {
-    (Pfs::new(cfg.clone()), Arc::new(Database::new()))
+/// Fresh (pfs, metadata store) pair on a machine config. The store is
+/// the default stack: a write-through cache over prepared-statement SQL.
+pub fn fresh_world(cfg: &MachineConfig) -> (Arc<Pfs>, SharedStore) {
+    (
+        Pfs::new(cfg.clone()),
+        CachedStore::shared(&Arc::new(Database::new())),
+    )
 }
 
 /// Aggregate per-rank reports to the figure's bar values (max over ranks).
@@ -93,7 +109,10 @@ pub fn aggregate(reports: Vec<PhaseReport>) -> PhaseReport {
 /// Print a figure table header.
 pub fn print_header(title: &str, cfg: &MachineConfig, extra: &str) {
     println!("# {title}");
-    println!("# machine={} servers={} stripe={}B {extra}", cfg.name, cfg.io_servers, cfg.stripe_size);
+    println!(
+        "# machine={} servers={} stripe={}B {extra}",
+        cfg.name, cfg.io_servers, cfg.stripe_size
+    );
 }
 
 /// Print one labeled seconds row.
@@ -124,9 +143,18 @@ mod tests {
         assert_eq!(a.procs, None);
         assert!((a.scale - 1.0 / 32.0).abs() < 1e-12);
         let b = HarnessArgs::parse(
-            ["--scale", "0.5", "--procs", "16", "--machine", "high-open-cost", "--seed", "9"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale",
+                "0.5",
+                "--procs",
+                "16",
+                "--machine",
+                "high-open-cost",
+                "--seed",
+                "9",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(b.scale, 0.5);
         assert_eq!(b.procs, Some(16));
@@ -137,7 +165,10 @@ mod tests {
 
     #[test]
     fn scaled_sizes_have_floors() {
-        let a = HarnessArgs { scale: 1e-9, ..Default::default() };
+        let a = HarnessArgs {
+            scale: 1e-9,
+            ..Default::default()
+        };
         assert!(a.fun3d_nodes() >= 200);
         assert!(a.rt_nodes() >= 200);
     }

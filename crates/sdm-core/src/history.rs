@@ -20,7 +20,7 @@ use sdm_mpi::Comm;
 use crate::error::{SdmError, SdmResult};
 use crate::partition_api::PartitionedIndex;
 use crate::sdm::Sdm;
-use crate::tables::{self, HistoryBlock};
+use crate::store::HistoryBlock;
 
 const MAGIC: u64 = 0x5344_4D48_4953_5431; // "SDMHIST1"
 
@@ -61,7 +61,10 @@ pub(crate) fn encode_block(pi: &PartitionedIndex) -> Vec<u8> {
 /// Parse a block, verifying magic and checksum.
 pub(crate) fn decode_block(bytes: &[u8]) -> SdmResult<PartitionedIndex> {
     if bytes.len() < 40 {
-        return Err(SdmError::BadHistory(format!("block too short: {} bytes", bytes.len())));
+        return Err(SdmError::BadHistory(format!(
+            "block too short: {} bytes",
+            bytes.len()
+        )));
     }
     let magic = u64::from_ne_bytes(bytes[0..8].try_into().unwrap());
     if magic != MAGIC {
@@ -93,7 +96,12 @@ pub(crate) fn decode_block(bytes: &[u8]) -> SdmResult<PartitionedIndex> {
     at += n * 4;
     let ghost_nodes: Vec<u32> = vec_from_bytes(&payload[at..at + g * 4]);
     let edge_nodes = e1.into_iter().zip(e2).collect();
-    Ok(PartitionedIndex { edge_ids, edge_nodes, owned_nodes, ghost_nodes })
+    Ok(PartitionedIndex {
+        edge_ids,
+        edge_nodes,
+        owned_nodes,
+        ghost_nodes,
+    })
 }
 
 impl Sdm {
@@ -135,16 +143,14 @@ impl Sdm {
             ],
         )?;
         if let Some(metas) = metas {
-            tables::insert_index_registry(
-                &self.db,
+            self.store.record_index_registry(
                 problem_size as i64,
                 nprocs as i64,
                 self.cfg.dimension,
                 &name,
             )?;
             for (rank, m) in metas.iter().enumerate() {
-                tables::insert_history_block(
-                    &self.db,
+                self.store.record_history_block(
                     problem_size as i64,
                     nprocs as i64,
                     &HistoryBlock {
@@ -179,14 +185,15 @@ impl Sdm {
         let nprocs = comm.size();
         // "the SDM_import first accesses the index table in the database
         // to see whether a history file exists with this problem size"
-        let reg = tables::lookup_index_registry(&self.db, problem_size as i64, nprocs as i64)?;
+        let reg = self
+            .store
+            .lookup_index_registry(problem_size as i64, nprocs as i64)?;
         let t = self.pfs.metadata_roundtrip(comm.now());
         comm.sync_to(t);
         let Some(name) = reg else {
             return Ok(None);
         };
-        let block = tables::lookup_history_block(
-            &self.db,
+        let block = self.store.lookup_history_block(
             problem_size as i64,
             nprocs as i64,
             comm.rank() as i64,
@@ -202,16 +209,18 @@ impl Sdm {
             let (file, t) = self.pfs.open(&name, comm.now())?;
             comm.sync_to(t);
             let mut buf = vec![0u8; block.byte_len as usize];
-            let t = self
-                .pfs
-                .read_exact_at(&file, block.file_offset as u64, &mut buf, comm.now())?;
+            let t =
+                self.pfs
+                    .read_exact_at(&file, block.file_offset as u64, &mut buf, comm.now())?;
             comm.sync_to(t);
             let pi = decode_block(&buf)?;
             if pi.edge_ids.len() as i64 != block.edge_count
                 || pi.owned_nodes.len() as i64 != block.node_count
                 || pi.ghost_nodes.len() as i64 != block.ghost_count
             {
-                return Err(SdmError::BadHistory("block counts disagree with metadata".into()));
+                return Err(SdmError::BadHistory(
+                    "block counts disagree with metadata".into(),
+                ));
             }
             Ok(pi)
         })();
@@ -222,7 +231,8 @@ impl Sdm {
             // Drop the poisoned registration so later runs go fresh
             // immediately ("fall back to the fresh distribution").
             if comm.rank() == 0 {
-                tables::delete_index_registry(&self.db, problem_size as i64, nprocs as i64)?;
+                self.store
+                    .delete_index_registry(problem_size as i64, nprocs as i64)?;
             }
             comm.counters().incr("sdm.history_invalid");
             return Ok(None);
@@ -304,6 +314,8 @@ mod tests {
     fn wrong_magic_detected() {
         let mut bytes = encode_block(&sample_pi());
         bytes[0] ^= 1;
-        assert!(matches!(decode_block(&bytes), Err(SdmError::BadHistory(m)) if m.contains("magic")));
+        assert!(
+            matches!(decode_block(&bytes), Err(SdmError::BadHistory(m)) if m.contains("magic"))
+        );
     }
 }

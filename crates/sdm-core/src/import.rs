@@ -13,7 +13,6 @@ use sdm_mpi::Comm;
 use crate::dataset::ImportDesc;
 use crate::error::{SdmError, SdmResult};
 use crate::sdm::{GroupHandle, Sdm};
-use crate::tables;
 use crate::view::DataView;
 
 impl Sdm {
@@ -27,8 +26,7 @@ impl Sdm {
     ) -> SdmResult<()> {
         if comm.rank() == 0 {
             for im in &imports {
-                tables::insert_import(
-                    &self.db,
+                self.store.record_import(
                     self.runid,
                     &im.name,
                     &im.file_name,
@@ -89,7 +87,10 @@ impl Sdm {
         let hi = ((comm.rank() as u64 + 1) * chunk).min(total_elems);
         self.open_import(comm, h, &desc.file_name)?;
         let g = self.group_mut(h)?;
-        let f = g.open_files.get_mut(&format!("import:{}", desc.file_name)).expect("cached");
+        let f = g
+            .open_files
+            .get_mut(&format!("import:{}", desc.file_name))
+            .expect("cached");
         let mut out = vec![T::default(); (hi - lo) as usize];
         let segs = if hi > lo {
             vec![(file_offset + lo * esize, (hi - lo) * esize)]
@@ -127,7 +128,10 @@ impl Sdm {
         let view = DataView::compile(map, total_elems, ty)?;
         self.open_import(comm, h, &desc.file_name)?;
         let g = self.group_mut(h)?;
-        let f = g.open_files.get_mut(&format!("import:{}", desc.file_name)).expect("cached");
+        let f = g
+            .open_files
+            .get_mut(&format!("import:{}", desc.file_name))
+            .expect("cached");
         f.set_view(comm, file_offset, view.ftype.clone())?;
         let mut file_ordered = vec![T::default(); map.len()];
         f.read_all(comm, 0, &mut file_ordered)?;
@@ -157,7 +161,10 @@ impl Sdm {
 
 impl crate::view::DataView {
     /// `to_user_order` without the `Default` bound (uses clone-from-permutation).
-    pub(crate) fn to_user_order_nondefault<T: Copy>(&self, file_ordered: &[T]) -> SdmResult<Vec<T>> {
+    pub(crate) fn to_user_order_nondefault<T: Copy>(
+        &self,
+        file_ordered: &[T],
+    ) -> SdmResult<Vec<T>> {
         if file_ordered.len() != self.perm.len() {
             return Err(SdmError::Usage("length mismatch in to_user_order".into()));
         }

@@ -21,7 +21,10 @@
 //!   reused by later runs with the same problem size and process count.
 //! * [`org`] — the three file organizations (Level 1 / 2 / 3) and the
 //!   `execution_table` offset bookkeeping.
-//! * [`tables`] — the six SQL tables of Figure 4.
+//! * [`store`] — the [`store::MetadataStore`] trait over the six SQL
+//!   tables of Figure 4: [`store::SqlStore`] (prepared statements +
+//!   secondary indexes) and [`store::CachedStore`] (rank-0 write-through
+//!   cache with per-timestep transaction batching).
 
 pub mod dataset;
 pub mod error;
@@ -31,7 +34,7 @@ pub mod memory;
 pub mod org;
 pub mod partition_api;
 pub mod sdm;
-pub mod tables;
+pub mod store;
 pub mod types;
 pub mod view;
 
@@ -40,4 +43,5 @@ pub use error::{SdmError, SdmResult};
 pub use org::OrgLevel;
 pub use partition_api::PartitionedIndex;
 pub use sdm::{GroupHandle, Sdm, SdmConfig};
+pub use store::{CachedStore, HistoryBlock, MetadataStore, RunRecord, SharedStore, SqlStore};
 pub use types::{AccessPattern, SdmType, StorageOrder};

@@ -21,7 +21,11 @@ impl<T> DoublingBuf<T> {
     /// amount of memory space").
     pub fn with_initial_capacity(cap: usize) -> Self {
         let cap = cap.max(1);
-        Self { data: Vec::with_capacity(cap), initial_capacity: cap, reallocs: 0 }
+        Self {
+            data: Vec::with_capacity(cap),
+            initial_capacity: cap,
+            reallocs: 0,
+        }
     }
 
     /// Append, doubling the allocation when full (one `realloc`).

@@ -107,7 +107,10 @@ fn unpack_chunk(msg: &[u8]) -> SdmResult<(Vec<u64>, Vec<i32>, Vec<i32>)> {
     let n = u64::from_ne_bytes(msg[..8].try_into().unwrap()) as usize;
     let need = 8 + n * 8 + n * 4 + n * 4;
     if msg.len() != need {
-        return Err(SdmError::Usage(format!("ring message length {} != expected {need}", msg.len())));
+        return Err(SdmError::Usage(format!(
+            "ring message length {} != expected {need}",
+            msg.len()
+        )));
     }
     let ids = vec_from_bytes(&msg[8..8 + n * 8]);
     let e1 = vec_from_bytes(&msg[8 + n * 8..8 + n * 8 + n * 4]);
@@ -212,7 +215,12 @@ impl Sdm {
         ghost.dedup();
 
         comm.counters().incr("sdm.index_distributions");
-        Ok(PartitionedIndex { edge_ids, edge_nodes, owned_nodes, ghost_nodes: ghost })
+        Ok(PartitionedIndex {
+            edge_ids,
+            edge_nodes,
+            owned_nodes,
+            ghost_nodes: ghost,
+        })
     }
 
     /// Sequential reference implementation of the edge distribution
@@ -246,7 +254,12 @@ impl Sdm {
             .collect();
         ghost.sort_unstable();
         ghost.dedup();
-        PartitionedIndex { edge_ids, edge_nodes, owned_nodes, ghost_nodes: ghost }
+        PartitionedIndex {
+            edge_ids,
+            edge_nodes,
+            owned_nodes,
+            ghost_nodes: ghost,
+        }
     }
 
     /// Import the per-edge data arrays for the partitioned edges
@@ -314,8 +327,16 @@ mod tests {
         let e2 = vec![1, 4, 3, 2];
         let p0 = Sdm::partition_index_reference(&pv, &e1, &e2, 0);
         let p1 = Sdm::partition_index_reference(&pv, &e1, &e2, 1);
-        assert_eq!(p0.edge_ids, vec![0, 2], "p0 gets edges touching nodes 0 or 3");
-        assert_eq!(p1.edge_ids, vec![0, 1, 3], "p1 gets edges touching nodes 1, 2, 4");
+        assert_eq!(
+            p0.edge_ids,
+            vec![0, 2],
+            "p0 gets edges touching nodes 0 or 3"
+        );
+        assert_eq!(
+            p1.edge_ids,
+            vec![0, 1, 3],
+            "p1 gets edges touching nodes 1, 2, 4"
+        );
         // Nodes: p0 owns {0,3}, p1 owns {1,2,4} (paper: "nodes 0 and 3
         // are assigned to process 0, and nodes 1, 2, and 4 to process 1").
         assert_eq!(p0.owned_nodes, vec![0, 3]);
@@ -339,7 +360,11 @@ mod tests {
         let p1 = Sdm::partition_index_reference(&pv, &e1, &e2, 1);
         assert_eq!(p0.edge_ids, vec![0]);
         assert_eq!(p1.edge_ids, vec![0]);
-        assert_eq!(p0.index_size() + p1.index_size(), 2, "shared edge counted on both");
+        assert_eq!(
+            p0.index_size() + p1.index_size(),
+            2,
+            "shared edge counted on both"
+        );
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use sdm_metadb::Database;
 use sdm_mpi::io::MpiFile;
 use sdm_mpi::pod::Pod;
 use sdm_mpi::Comm;
@@ -12,7 +11,7 @@ use sdm_pfs::Pfs;
 use crate::dataset::{DatasetDesc, ImportDesc};
 use crate::error::{SdmError, SdmResult};
 use crate::org::OrgLevel;
-use crate::tables;
+use crate::store::{RunRecord, SharedStore};
 use crate::view::DataView;
 
 /// Tunables for an SDM instance.
@@ -75,39 +74,39 @@ pub(crate) struct DataGroup {
 /// The per-rank SDM instance (the paper's `handle`).
 pub struct Sdm {
     pub(crate) pfs: Arc<Pfs>,
-    pub(crate) db: Arc<Database>,
+    pub(crate) store: SharedStore,
     pub(crate) app: String,
     pub(crate) runid: i64,
     pub(crate) cfg: SdmConfig,
     pub(crate) groups: Vec<DataGroup>,
-    /// Whether this run's `run_table` row exists yet (the first
-    /// `set_attributes` or an explicit `record_run` writes it).
+    /// Whether this run's `run_table` row is complete yet (the first
+    /// `set_attributes` or an explicit `record_run` fills it in).
     pub(crate) run_recorded: bool,
 }
 
 impl Sdm {
-    /// `SDM_initialize`: establish the database connection, create the
-    /// six metadata tables, and agree on a run id. Collective.
+    /// `SDM_initialize`: connect to the metadata store, create the six
+    /// metadata tables, and agree on a run id. Collective.
     pub fn initialize(
         comm: &mut Comm,
         pfs: &Arc<Pfs>,
-        db: &Arc<Database>,
+        store: &SharedStore,
         application: &str,
     ) -> SdmResult<Self> {
-        Self::initialize_with(comm, pfs, db, application, SdmConfig::default())
+        Self::initialize_with(comm, pfs, store, application, SdmConfig::default())
     }
 
     /// [`Sdm::initialize`] with explicit configuration.
     pub fn initialize_with(
         comm: &mut Comm,
         pfs: &Arc<Pfs>,
-        db: &Arc<Database>,
+        store: &SharedStore,
         application: &str,
         cfg: SdmConfig,
     ) -> SdmResult<Self> {
         let runid = if comm.rank() == 0 {
-            tables::create_all(db)?;
-            tables::next_runid(db)?
+            store.ensure_schema()?;
+            store.allocate_runid(application)?
         } else {
             0
         };
@@ -117,7 +116,7 @@ impl Sdm {
         let runid = comm.bcast(0, &[runid])?[0];
         Ok(Self {
             pfs: Arc::clone(pfs),
-            db: Arc::clone(db),
+            store: Arc::clone(store),
             app: application.to_string(),
             runid,
             cfg,
@@ -135,20 +134,20 @@ impl Sdm {
     pub fn attach(
         comm: &mut Comm,
         pfs: &Arc<Pfs>,
-        db: &Arc<Database>,
+        store: &SharedStore,
         application: &str,
         runid: i64,
         cfg: SdmConfig,
     ) -> SdmResult<Self> {
         if comm.rank() == 0 {
-            tables::create_all(db)?;
+            store.ensure_schema()?;
         }
         let t = pfs.metadata_roundtrip(comm.now());
         comm.sync_to(t);
         comm.barrier();
         Ok(Self {
             pfs: Arc::clone(pfs),
-            db: Arc::clone(db),
+            store: Arc::clone(store),
             app: application.to_string(),
             runid,
             cfg,
@@ -177,13 +176,15 @@ impl Sdm {
         &self.pfs
     }
 
-    /// The metadata database.
-    pub fn db(&self) -> &Arc<Database> {
-        &self.db
+    /// The metadata store.
+    pub fn store(&self) -> &SharedStore {
+        &self.store
     }
 
     pub(crate) fn group(&self, h: GroupHandle) -> SdmResult<&DataGroup> {
-        self.groups.get(h.0).ok_or_else(|| SdmError::Usage(format!("bad group handle {}", h.0)))
+        self.groups
+            .get(h.0)
+            .ok_or_else(|| SdmError::Usage(format!("bad group handle {}", h.0)))
     }
 
     pub(crate) fn group_mut(&mut self, h: GroupHandle) -> SdmResult<&mut DataGroup> {
@@ -192,10 +193,7 @@ impl Sdm {
             .ok_or_else(|| SdmError::Usage(format!("bad group handle {}", h.0)))
     }
 
-    pub(crate) fn dataset<'a>(
-        group: &'a DataGroup,
-        name: &str,
-    ) -> SdmResult<&'a DatasetDesc> {
+    pub(crate) fn dataset<'a>(group: &'a DataGroup, name: &str) -> SdmResult<&'a DatasetDesc> {
         group
             .datasets
             .iter()
@@ -212,24 +210,24 @@ impl Sdm {
         datasets: Vec<DatasetDesc>,
     ) -> SdmResult<GroupHandle> {
         if datasets.is_empty() {
-            return Err(SdmError::Usage("a data group needs at least one dataset".into()));
+            return Err(SdmError::Usage(
+                "a data group needs at least one dataset".into(),
+            ));
         }
         if comm.rank() == 0 {
             if !self.run_recorded {
-                tables::insert_run(
-                    &self.db,
-                    self.runid,
-                    &self.app,
-                    self.cfg.dimension,
-                    datasets[0].global_size as i64,
-                    0,
-                    self.cfg.run_date,
-                    self.cfg.run_time,
-                )?;
+                self.store.record_run(&RunRecord {
+                    runid: self.runid,
+                    application: self.app.clone(),
+                    dimension: self.cfg.dimension,
+                    problem_size: datasets[0].global_size as i64,
+                    num_timesteps: 0,
+                    date: self.cfg.run_date,
+                    time: self.cfg.run_time,
+                })?;
             }
             for d in &datasets {
-                tables::insert_access_pattern(
-                    &self.db,
+                self.store.record_access_pattern(
                     self.runid,
                     &d.name,
                     d.data_type.sql_name(),
@@ -259,16 +257,15 @@ impl Sdm {
     /// Collective; idempotent.
     pub fn record_run(&mut self, comm: &mut Comm, problem_size: u64) -> SdmResult<()> {
         if comm.rank() == 0 && !self.run_recorded {
-            tables::insert_run(
-                &self.db,
-                self.runid,
-                &self.app,
-                self.cfg.dimension,
-                problem_size as i64,
-                0,
-                self.cfg.run_date,
-                self.cfg.run_time,
-            )?;
+            self.store.record_run(&RunRecord {
+                runid: self.runid,
+                application: self.app.clone(),
+                dimension: self.cfg.dimension,
+                problem_size: problem_size as i64,
+                num_timesteps: 0,
+                date: self.cfg.run_date,
+                time: self.cfg.run_time,
+            })?;
         }
         let t = self.pfs.metadata_roundtrip(comm.now());
         comm.sync_to(t);
@@ -289,7 +286,9 @@ impl Sdm {
         datasets: Vec<DatasetDesc>,
     ) -> SdmResult<GroupHandle> {
         if datasets.is_empty() {
-            return Err(SdmError::Usage("a data group needs at least one dataset".into()));
+            return Err(SdmError::Usage(
+                "a data group needs at least one dataset".into(),
+            ));
         }
         comm.barrier();
         self.groups.push(DataGroup {
@@ -323,15 +322,12 @@ impl Sdm {
         Ok(())
     }
 
-    fn open_cached(
-        &mut self,
-        comm: &mut Comm,
-        h: GroupHandle,
-        file_name: &str,
-    ) -> SdmResult<()> {
+    fn open_cached(&mut self, comm: &mut Comm, h: GroupHandle, file_name: &str) -> SdmResult<()> {
         if !self.group(h)?.open_files.contains_key(file_name) {
             let f = MpiFile::open_collective(comm, &self.pfs, file_name, true)?;
-            self.group_mut(h)?.open_files.insert(file_name.to_string(), f);
+            self.group_mut(h)?
+                .open_files
+                .insert(file_name.to_string(), f);
         }
         Ok(())
     }
@@ -386,7 +382,8 @@ impl Sdm {
             f.write_all(comm, 0, &file_ordered)?;
         }
         if comm.rank() == 0 {
-            tables::insert_execution(&self.db, self.runid, dataset, timestep, base as i64, &file_name)?;
+            self.store
+                .record_execution(self.runid, dataset, timestep, base as i64, &file_name)?;
         }
         let t = self.pfs.metadata_roundtrip(comm.now());
         comm.sync_to(t);
@@ -396,7 +393,11 @@ impl Sdm {
         comm.barrier();
         if self.cfg.org.opens_per_timestep() {
             // Level 1: dedicated file, close it now.
-            let f = self.group_mut(h)?.open_files.remove(&file_name).expect("cached above");
+            let f = self
+                .group_mut(h)?
+                .open_files
+                .remove(&file_name)
+                .expect("cached above");
             f.close(comm);
         }
         comm.counters().incr("sdm.writes");
@@ -414,7 +415,7 @@ impl Sdm {
         timestep: i64,
         out: &mut [T],
     ) -> SdmResult<()> {
-        let hit = tables::lookup_execution(&self.db, self.runid, dataset, timestep)?;
+        let hit = self.store.lookup_execution(self.runid, dataset, timestep)?;
         let t = self.pfs.metadata_roundtrip(comm.now());
         comm.sync_to(t);
         let (base, file_name) = hit.ok_or(SdmError::NotWritten {
@@ -450,19 +451,27 @@ impl Sdm {
         out.copy_from_slice(&user);
         if self.cfg.org.opens_per_timestep() {
             let file_name2 = file_name.clone();
-            let f = self.group_mut(h)?.open_files.remove(&file_name2).expect("cached above");
+            let f = self
+                .group_mut(h)?
+                .open_files
+                .remove(&file_name2)
+                .expect("cached above");
             f.close(comm);
         }
         comm.counters().incr("sdm.reads");
         Ok(())
     }
 
-    /// `SDM_finalize`: close every cached file and synchronize.
+    /// `SDM_finalize`: close every cached file, push buffered metadata
+    /// down to the database, and synchronize.
     pub fn finalize(mut self, comm: &mut Comm) -> SdmResult<()> {
         for g in &mut self.groups {
             for (_, f) in g.open_files.drain() {
                 f.close(comm);
             }
+        }
+        if comm.rank() == 0 {
+            self.store.flush()?;
         }
         comm.barrier();
         Ok(())

@@ -1,0 +1,1299 @@
+//! The metadata access layer: every metadata read and write in SDM goes
+//! through the [`MetadataStore`] trait.
+//!
+//! The paper routes all application metadata — run registration, access
+//! patterns, per-timestep file offsets, import descriptions, index
+//! history — through a MySQL server, making the metadata path the
+//! system's control plane. This module is the seam that path plugs into:
+//!
+//! * [`SqlStore`] speaks embedded SQL to [`sdm_metadb::Database`]
+//!   through prepared statements (parse once, execute many) over the
+//!   six tables of the paper's Figure 4, with secondary indexes declared
+//!   on the hot lookup columns (`runid`, `application`, `problem_size`).
+//! * [`CachedStore`] layers a rank-0 write-through cache on any inner
+//!   store: repeated per-timestep `execution_table` inserts batch into
+//!   one transaction per timestep, and hot lookups (execution rows,
+//!   index registrations, history blocks) are answered from memory.
+//!
+//! Future backends (sharded, remote, persistent) implement the same
+//! trait; `Sdm`, the container layers, and the application harnesses
+//! never name a concrete store.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sdm_metadb::{Database, DbError, DbResult, ResultSet, TxTicket, Value};
+
+/// DDL for the six SDM tables (Figure 4).
+pub const TABLE_DDL: [&str; 6] = [
+    "CREATE TABLE IF NOT EXISTS run_table (
+        runid INT, application TEXT, dimension INT, problem_size INT,
+        num_timesteps INT, year INT, month INT, day INT, hour INT, min INT)",
+    "CREATE TABLE IF NOT EXISTS access_pattern_table (
+        runid INT, dataset TEXT, basic_pattern TEXT, data_type TEXT,
+        storage_order TEXT, access_pattern TEXT, global_size INT)",
+    "CREATE TABLE IF NOT EXISTS execution_table (
+        runid INT, dataset TEXT, timestep INT, file_offset INT, file_name TEXT)",
+    "CREATE TABLE IF NOT EXISTS import_table (
+        runid INT, imported_name TEXT, file_name TEXT, data_type TEXT,
+        storage_order TEXT, partition TEXT, file_content TEXT)",
+    "CREATE TABLE IF NOT EXISTS index_table (
+        problem_size INT, num_procs INT, dimension INT, registered_file_name TEXT)",
+    "CREATE TABLE IF NOT EXISTS index_history_table (
+        problem_size INT, num_procs INT, rank INT, edge_count INT,
+        node_count INT, ghost_count INT, file_offset INT, byte_len INT)",
+];
+
+/// Secondary indexes on the columns every hot lookup filters by.
+/// `(index name, CREATE INDEX statement)`; creation ignores
+/// already-exists errors so schema setup stays idempotent.
+const INDEX_DDL: [&str; 6] = [
+    "CREATE INDEX run_table_runid ON run_table (runid)",
+    "CREATE INDEX run_table_application ON run_table (application)",
+    "CREATE INDEX access_pattern_runid ON access_pattern_table (runid)",
+    "CREATE INDEX execution_runid ON execution_table (runid)",
+    "CREATE INDEX import_runid ON import_table (runid)",
+    "CREATE INDEX index_table_psize ON index_table (problem_size)",
+];
+
+/// One `run_table` row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Run id (allocated by [`MetadataStore::allocate_runid`]).
+    pub runid: i64,
+    /// Application name.
+    pub application: String,
+    /// Spatial dimension.
+    pub dimension: i64,
+    /// Problem size (nodes/elements; application-defined).
+    pub problem_size: i64,
+    /// Declared timestep count (0 when open-ended).
+    pub num_timesteps: i64,
+    /// Run date `(year, month, day)`.
+    pub date: (i64, i64, i64),
+    /// Run time `(hour, minute)`.
+    pub time: (i64, i64),
+}
+
+/// Per-rank block of a history file (one `index_history_table` row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryBlock {
+    /// Rank the block belongs to.
+    pub rank: i64,
+    /// Partitioned edge count.
+    pub edge_count: i64,
+    /// Owned node count.
+    pub node_count: i64,
+    /// Ghost node count.
+    pub ghost_count: i64,
+    /// Byte offset of the block in the history file.
+    pub file_offset: i64,
+    /// Byte length of the block.
+    pub byte_len: i64,
+}
+
+/// A shared, thread-safe metadata store handle.
+pub type SharedStore = Arc<dyn MetadataStore>;
+
+/// Typed access to SDM's metadata tables.
+///
+/// All methods take `&self` and must be safe to call from every rank
+/// thread of a world; implementations serialize internally. `Sdm` calls
+/// the mutating methods from rank 0 only, mirroring the paper.
+pub trait MetadataStore: Send + Sync {
+    /// Create the six tables (and any backend index structures) if
+    /// absent. Idempotent.
+    fn ensure_schema(&self) -> DbResult<()>;
+
+    /// Allocate a fresh run id and reserve it atomically: two
+    /// concurrent initializers can never mint the same id. The
+    /// reservation writes an *anonymous* minimal `run_table` row
+    /// (`application` is recorded only when
+    /// [`MetadataStore::record_run`] completes it), so an abandoned
+    /// initialize never shadows a finished run in
+    /// [`MetadataStore::latest_runid_for_app`]. `application` is
+    /// advisory for backends (sharding keys, audit logs).
+    fn allocate_runid(&self, application: &str) -> DbResult<i64>;
+
+    /// Most recent runid recorded for an application, if any. Used by
+    /// post-processing layers (visualization, containers) to re-attach
+    /// to a finished run's metadata.
+    fn latest_runid_for_app(&self, application: &str) -> DbResult<Option<i64>>;
+
+    /// Record (or complete a reserved) run row.
+    fn record_run(&self, rec: &RunRecord) -> DbResult<()>;
+
+    /// Record a dataset's attributes (the `SDM_set_attributes` step).
+    fn record_access_pattern(
+        &self,
+        runid: i64,
+        dataset: &str,
+        data_type: &str,
+        storage_order: &str,
+        access_pattern: &str,
+        global_size: i64,
+    ) -> DbResult<()>;
+
+    /// Record where a (dataset, timestep) landed (the `SDM_write` step:
+    /// "the file offset for each data set is stored in the execution
+    /// table by process 0").
+    fn record_execution(
+        &self,
+        runid: i64,
+        dataset: &str,
+        timestep: i64,
+        file_offset: i64,
+        file_name: &str,
+    ) -> DbResult<()>;
+
+    /// Look up where a (dataset, timestep) was written.
+    fn lookup_execution(
+        &self,
+        runid: i64,
+        dataset: &str,
+        timestep: i64,
+    ) -> DbResult<Option<(i64, String)>>;
+
+    /// Record an imported array's metadata (`SDM_make_importlist`).
+    fn record_import(
+        &self,
+        runid: i64,
+        imported_name: &str,
+        file_name: &str,
+        data_type: &str,
+        storage_order: &str,
+        file_content: &str,
+    ) -> DbResult<()>;
+
+    /// Register a history file (`SDM_index_registry`).
+    fn record_index_registry(
+        &self,
+        problem_size: i64,
+        num_procs: i64,
+        dimension: i64,
+        file_name: &str,
+    ) -> DbResult<()>;
+
+    /// Look up a history file for (problem_size, num_procs) — the check
+    /// at the top of `SDM_import`/`SDM_partition_index`.
+    fn lookup_index_registry(&self, problem_size: i64, num_procs: i64) -> DbResult<Option<String>>;
+
+    /// Record one rank's history block metadata.
+    fn record_history_block(
+        &self,
+        problem_size: i64,
+        num_procs: i64,
+        block: &HistoryBlock,
+    ) -> DbResult<()>;
+
+    /// Fetch one rank's history block metadata.
+    fn lookup_history_block(
+        &self,
+        problem_size: i64,
+        num_procs: i64,
+        rank: i64,
+    ) -> DbResult<Option<HistoryBlock>>;
+
+    /// Remove a registered history (e.g. after detecting corruption).
+    fn delete_index_registry(&self, problem_size: i64, num_procs: i64) -> DbResult<()>;
+
+    /// Run arbitrary SQL through the store (prepared-statement cached).
+    /// Layered metadata schemas — the `sdm-sci` container tables, bench
+    /// report queries — use this instead of holding a raw database
+    /// handle, so their statements share the same caching/batching
+    /// machinery and future backends can intercept them.
+    fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet>;
+
+    /// Push any buffered writes down to the backing database. A no-op
+    /// for unbuffered stores.
+    fn flush(&self) -> DbResult<()>;
+
+    /// The backing embedded database (persistence snapshots, stats).
+    fn database(&self) -> &Arc<Database>;
+}
+
+// ---------------------------------------------------------------------
+// SqlStore
+// ---------------------------------------------------------------------
+
+/// The hot statements of the metadata path, prepared once per store and
+/// held in [`SqlStore`] so repeated calls skip even the plan-cache
+/// lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Hot {
+    AllocMax,
+    AllocReserve,
+    LatestForApp,
+    UpdateRun,
+    InsertRun,
+    InsertAccessPattern,
+    InsertExecution,
+    LookupExecution,
+    InsertImport,
+    InsertRegistry,
+    LookupRegistry,
+    InsertBlock,
+    LookupBlock,
+    DeleteRegistry,
+    DeleteBlocks,
+}
+
+impl Hot {
+    const COUNT: usize = 15;
+
+    fn sql(self) -> &'static str {
+        match self {
+            Hot::AllocMax => "SELECT MAX(runid) FROM run_table",
+            Hot::AllocReserve => "INSERT INTO run_table VALUES (?, ?, 0, 0, 0, 0, 0, 0, 0, 0)",
+            Hot::LatestForApp => "SELECT MAX(runid) FROM run_table WHERE application = ?",
+            Hot::UpdateRun => {
+                "UPDATE run_table SET application = ?, dimension = ?, problem_size = ?,
+                 num_timesteps = ?, year = ?, month = ?, day = ?, hour = ?, min = ?
+                 WHERE runid = ?"
+            }
+            Hot::InsertRun => "INSERT INTO run_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            Hot::InsertAccessPattern => {
+                "INSERT INTO access_pattern_table VALUES (?, ?, ?, ?, ?, ?, ?)"
+            }
+            Hot::InsertExecution => "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?)",
+            Hot::LookupExecution => {
+                "SELECT file_offset, file_name FROM execution_table
+                 WHERE runid = ? AND dataset = ? AND timestep = ?"
+            }
+            Hot::InsertImport => "INSERT INTO import_table VALUES (?, ?, ?, ?, ?, ?, ?)",
+            Hot::InsertRegistry => "INSERT INTO index_table VALUES (?, ?, ?, ?)",
+            Hot::LookupRegistry => {
+                "SELECT registered_file_name FROM index_table
+                 WHERE problem_size = ? AND num_procs = ?"
+            }
+            Hot::InsertBlock => "INSERT INTO index_history_table VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            Hot::LookupBlock => {
+                "SELECT rank, edge_count, node_count, ghost_count, file_offset, byte_len
+                 FROM index_history_table
+                 WHERE problem_size = ? AND num_procs = ? AND rank = ?"
+            }
+            Hot::DeleteRegistry => {
+                "DELETE FROM index_table WHERE problem_size = ? AND num_procs = ?"
+            }
+            Hot::DeleteBlocks => {
+                "DELETE FROM index_history_table WHERE problem_size = ? AND num_procs = ?"
+            }
+        }
+    }
+}
+
+/// Direct SQL-backed store: every method is one (or a few) prepared
+/// statements against the embedded database, prepared lazily once and
+/// reused for the lifetime of the store.
+pub struct SqlStore {
+    db: Arc<Database>,
+    plans: [std::sync::OnceLock<sdm_metadb::PreparedStatement>; Hot::COUNT],
+}
+
+impl SqlStore {
+    /// Wrap a database handle.
+    pub fn new(db: Arc<Database>) -> Self {
+        SqlStore {
+            db,
+            plans: std::array::from_fn(|_| std::sync::OnceLock::new()),
+        }
+    }
+
+    /// Convenience: a [`SharedStore`] over `db`.
+    pub fn shared(db: &Arc<Database>) -> SharedStore {
+        Arc::new(SqlStore::new(Arc::clone(db)))
+    }
+
+    /// Execute a hot statement through its once-prepared plan.
+    fn run_hot(&self, which: Hot, params: &[Value]) -> DbResult<ResultSet> {
+        let slot = &self.plans[which as usize];
+        let ps = match slot.get() {
+            Some(ps) => ps,
+            None => {
+                let prepared = self.db.prepare(which.sql())?;
+                slot.get_or_init(|| prepared)
+            }
+        };
+        self.db.exec_prepared(ps, params)
+    }
+
+    /// Execute ad-hoc SQL through the database's plan cache (DDL, the
+    /// raw-SQL escape hatch).
+    fn run(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
+        let ps = self.db.prepare(sql)?;
+        self.db.exec_prepared(&ps, params)
+    }
+}
+
+impl MetadataStore for SqlStore {
+    fn ensure_schema(&self) -> DbResult<()> {
+        for ddl in TABLE_DDL {
+            self.run(ddl, &[])?;
+        }
+        for ddl in INDEX_DDL {
+            match self.run(ddl, &[]) {
+                Ok(_) | Err(DbError::IndexExists(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn allocate_runid(&self, application: &str) -> DbResult<i64> {
+        // BEGIN ... COMMIT brackets the read-modify-write so interleaved
+        // initializers serialize instead of both computing max+1 from
+        // the same snapshot (writes from other threads wait at the
+        // database's table lock while the transaction is open). The
+        // reservation row is what makes the new id visible to the next
+        // allocator — but it is *anonymous* (NULL application) until
+        // `record_run` completes it, so a crashed or failed initialize
+        // can never hijack `latest_runid_for_app` re-attachment.
+        let _ = application;
+        let ticket = self.db.begin_nested();
+        let attempt = (|| {
+            let rs = self.run_hot(Hot::AllocMax, &[])?;
+            let next = rs.scalar().and_then(Value::as_i64).unwrap_or(0) + 1;
+            self.run_hot(Hot::AllocReserve, &[Value::Int(next), Value::Null])?;
+            Ok(next)
+        })();
+        match (attempt, ticket) {
+            (Ok(id), TxTicket::Owned) => {
+                self.run("COMMIT", &[])?;
+                Ok(id)
+            }
+            (Ok(id), TxTicket::Inherited) => Ok(id),
+            (Err(e), TxTicket::Owned) => {
+                let _ = self.run("ROLLBACK", &[]);
+                Err(e)
+            }
+            (Err(e), TxTicket::Inherited) => Err(e),
+        }
+    }
+
+    fn latest_runid_for_app(&self, application: &str) -> DbResult<Option<i64>> {
+        let rs = self.run_hot(Hot::LatestForApp, &[Value::from(application)])?;
+        Ok(rs.scalar().and_then(Value::as_i64))
+    }
+
+    fn record_run(&self, rec: &RunRecord) -> DbResult<()> {
+        // Complete the row reserved by `allocate_runid`; fall back to a
+        // plain insert for runids minted elsewhere (imports, tests).
+        let rs = self.run_hot(
+            Hot::UpdateRun,
+            &[
+                Value::from(rec.application.as_str()),
+                Value::Int(rec.dimension),
+                Value::Int(rec.problem_size),
+                Value::Int(rec.num_timesteps),
+                Value::Int(rec.date.0),
+                Value::Int(rec.date.1),
+                Value::Int(rec.date.2),
+                Value::Int(rec.time.0),
+                Value::Int(rec.time.1),
+                Value::Int(rec.runid),
+            ],
+        )?;
+        if rs.affected == 0 {
+            self.run_hot(
+                Hot::InsertRun,
+                &[
+                    Value::Int(rec.runid),
+                    Value::from(rec.application.as_str()),
+                    Value::Int(rec.dimension),
+                    Value::Int(rec.problem_size),
+                    Value::Int(rec.num_timesteps),
+                    Value::Int(rec.date.0),
+                    Value::Int(rec.date.1),
+                    Value::Int(rec.date.2),
+                    Value::Int(rec.time.0),
+                    Value::Int(rec.time.1),
+                ],
+            )?;
+        }
+        Ok(())
+    }
+
+    fn record_access_pattern(
+        &self,
+        runid: i64,
+        dataset: &str,
+        data_type: &str,
+        storage_order: &str,
+        access_pattern: &str,
+        global_size: i64,
+    ) -> DbResult<()> {
+        self.run_hot(
+            Hot::InsertAccessPattern,
+            &[
+                Value::Int(runid),
+                Value::from(dataset),
+                Value::from(access_pattern), // basic_pattern mirrors the access pattern here
+                Value::from(data_type),
+                Value::from(storage_order),
+                Value::from(access_pattern),
+                Value::Int(global_size),
+            ],
+        )?;
+        Ok(())
+    }
+
+    fn record_execution(
+        &self,
+        runid: i64,
+        dataset: &str,
+        timestep: i64,
+        file_offset: i64,
+        file_name: &str,
+    ) -> DbResult<()> {
+        self.run_hot(
+            Hot::InsertExecution,
+            &[
+                Value::Int(runid),
+                Value::from(dataset),
+                Value::Int(timestep),
+                Value::Int(file_offset),
+                Value::from(file_name),
+            ],
+        )?;
+        Ok(())
+    }
+
+    fn lookup_execution(
+        &self,
+        runid: i64,
+        dataset: &str,
+        timestep: i64,
+    ) -> DbResult<Option<(i64, String)>> {
+        let rs = self.run_hot(
+            Hot::LookupExecution,
+            &[
+                Value::Int(runid),
+                Value::from(dataset),
+                Value::Int(timestep),
+            ],
+        )?;
+        Ok(rs.first().map(|r| {
+            (
+                r[0].as_i64().unwrap_or(0),
+                r[1].as_str().unwrap_or_default().to_string(),
+            )
+        }))
+    }
+
+    fn record_import(
+        &self,
+        runid: i64,
+        imported_name: &str,
+        file_name: &str,
+        data_type: &str,
+        storage_order: &str,
+        file_content: &str,
+    ) -> DbResult<()> {
+        self.run_hot(
+            Hot::InsertImport,
+            &[
+                Value::Int(runid),
+                Value::from(imported_name),
+                Value::from(file_name),
+                Value::from(data_type),
+                Value::from(storage_order),
+                Value::from("DISTRIBUTED"),
+                Value::from(file_content),
+            ],
+        )?;
+        Ok(())
+    }
+
+    fn record_index_registry(
+        &self,
+        problem_size: i64,
+        num_procs: i64,
+        dimension: i64,
+        file_name: &str,
+    ) -> DbResult<()> {
+        self.run_hot(
+            Hot::InsertRegistry,
+            &[
+                Value::Int(problem_size),
+                Value::Int(num_procs),
+                Value::Int(dimension),
+                Value::from(file_name),
+            ],
+        )?;
+        Ok(())
+    }
+
+    fn lookup_index_registry(&self, problem_size: i64, num_procs: i64) -> DbResult<Option<String>> {
+        let rs = self.run_hot(
+            Hot::LookupRegistry,
+            &[Value::Int(problem_size), Value::Int(num_procs)],
+        )?;
+        Ok(rs.first().and_then(|r| r[0].as_str().map(str::to_string)))
+    }
+
+    fn record_history_block(
+        &self,
+        problem_size: i64,
+        num_procs: i64,
+        b: &HistoryBlock,
+    ) -> DbResult<()> {
+        self.run_hot(
+            Hot::InsertBlock,
+            &[
+                Value::Int(problem_size),
+                Value::Int(num_procs),
+                Value::Int(b.rank),
+                Value::Int(b.edge_count),
+                Value::Int(b.node_count),
+                Value::Int(b.ghost_count),
+                Value::Int(b.file_offset),
+                Value::Int(b.byte_len),
+            ],
+        )?;
+        Ok(())
+    }
+
+    fn lookup_history_block(
+        &self,
+        problem_size: i64,
+        num_procs: i64,
+        rank: i64,
+    ) -> DbResult<Option<HistoryBlock>> {
+        let rs = self.run_hot(
+            Hot::LookupBlock,
+            &[
+                Value::Int(problem_size),
+                Value::Int(num_procs),
+                Value::Int(rank),
+            ],
+        )?;
+        Ok(rs.first().map(|r| HistoryBlock {
+            rank: r[0].as_i64().unwrap_or(0),
+            edge_count: r[1].as_i64().unwrap_or(0),
+            node_count: r[2].as_i64().unwrap_or(0),
+            ghost_count: r[3].as_i64().unwrap_or(0),
+            file_offset: r[4].as_i64().unwrap_or(0),
+            byte_len: r[5].as_i64().unwrap_or(0),
+        }))
+    }
+
+    fn delete_index_registry(&self, problem_size: i64, num_procs: i64) -> DbResult<()> {
+        self.run_hot(
+            Hot::DeleteRegistry,
+            &[Value::Int(problem_size), Value::Int(num_procs)],
+        )?;
+        self.run_hot(
+            Hot::DeleteBlocks,
+            &[Value::Int(problem_size), Value::Int(num_procs)],
+        )?;
+        Ok(())
+    }
+
+    fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
+        self.run(sql, params)
+    }
+
+    fn flush(&self) -> DbResult<()> {
+        Ok(())
+    }
+
+    fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+}
+
+// ---------------------------------------------------------------------
+// CachedStore
+// ---------------------------------------------------------------------
+
+/// Buffered per-timestep execution inserts.
+struct PendingExec {
+    runid: i64,
+    dataset: String,
+    timestep: i64,
+    file_offset: i64,
+    file_name: String,
+}
+
+#[derive(Default)]
+struct CacheState {
+    /// (runid, dataset, timestep) → (offset, file): every recorded or
+    /// looked-up execution row.
+    executions: HashMap<(i64, String, i64), (i64, String)>,
+    /// Execution rows recorded but not yet in the database; all share
+    /// `pending_key`'s (runid, timestep).
+    pending: Vec<PendingExec>,
+    pending_key: Option<(i64, i64)>,
+    /// (problem_size, num_procs) → history file name.
+    registry: HashMap<(i64, i64), String>,
+    /// (problem_size, num_procs, rank) → block metadata.
+    blocks: HashMap<(i64, i64, i64), HistoryBlock>,
+}
+
+/// Write-through cache over an inner [`MetadataStore`].
+///
+/// Designed for the world-shared usage pattern: all ranks of a run hold
+/// one `CachedStore` (rank 0 writes, everyone reads), so a row recorded
+/// by rank 0 is immediately visible to every rank through the cache even
+/// while its database insert is still buffered. Buffered
+/// `execution_table` inserts are flushed in one `BEGIN`/`COMMIT`
+/// transaction whenever the (runid, timestep) key advances, on
+/// [`MetadataStore::flush`], and on drop — turning N-datasets-per-
+/// timestep metadata traffic into one round trip per timestep.
+pub struct CachedStore {
+    inner: SharedStore,
+    state: Mutex<CacheState>,
+}
+
+impl CachedStore {
+    /// Layer a cache over `inner`.
+    pub fn new(inner: SharedStore) -> Self {
+        CachedStore {
+            inner,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Convenience: a cached [`SharedStore`] over a [`SqlStore`] on `db`
+    /// — the default store stack.
+    pub fn shared(db: &Arc<Database>) -> SharedStore {
+        Arc::new(CachedStore::new(SqlStore::shared(db)))
+    }
+
+    /// Detach the pending batch so it can be written without holding
+    /// the cache mutex (database calls may block on the table lock of a
+    /// transaction whose owner needs this mutex — never nest them).
+    fn take_pending(state: &mut CacheState) -> Vec<PendingExec> {
+        state.pending_key = None;
+        std::mem::take(&mut state.pending)
+    }
+
+    /// Write a detached batch inside one transaction. Called WITHOUT the
+    /// cache mutex held. When the calling thread already has a
+    /// transaction open (the raw-SQL escape hatch lets callers bracket
+    /// their own work), the batch joins it instead of deadlocking on a
+    /// second `BEGIN`; its fate then follows the caller's
+    /// COMMIT/ROLLBACK.
+    fn write_batch(&self, batch: Vec<PendingExec>) -> DbResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let db = self.inner.database();
+        let ticket = db.begin_nested();
+        let mut written = 0;
+        let attempt = (|| {
+            for p in &batch {
+                self.inner.record_execution(
+                    p.runid,
+                    &p.dataset,
+                    p.timestep,
+                    p.file_offset,
+                    &p.file_name,
+                )?;
+                written += 1;
+            }
+            Ok(())
+        })();
+        match (attempt, ticket) {
+            (Ok(()), TxTicket::Owned) => db.exec("COMMIT", &[]).map(|_| ()),
+            (Ok(()), TxTicket::Inherited) => Ok(()),
+            (Err(e), TxTicket::Owned) => {
+                let _ = db.exec("ROLLBACK", &[]);
+                // Nothing landed: requeue the whole batch for a later
+                // retry (rows stay visible through the cache meanwhile).
+                self.requeue(batch);
+                Err(e)
+            }
+            (Err(e), TxTicket::Inherited) => {
+                // Inside a caller-owned transaction there is no safe
+                // rollback of our own writes: the first `written` rows
+                // belong to the caller's transaction now. Requeue only
+                // the rest so a retry cannot duplicate them.
+                self.requeue(batch.into_iter().skip(written).collect());
+                Err(e)
+            }
+        }
+    }
+
+    /// Put unwritten rows back at the head of the pending queue.
+    fn requeue(&self, mut batch: Vec<PendingExec>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock();
+        batch.append(&mut state.pending);
+        state.pending = batch;
+        // The queue may now span timesteps; the next flush writes it as
+        // one batch, which is still atomic per flush.
+        state.pending_key = None;
+    }
+
+    /// Take and write everything currently pending.
+    fn flush_pending(&self) -> DbResult<()> {
+        let batch = Self::take_pending(&mut self.state.lock());
+        self.write_batch(batch)
+    }
+}
+
+impl Drop for CachedStore {
+    fn drop(&mut self) {
+        let _ = self.flush_pending();
+    }
+}
+
+impl MetadataStore for CachedStore {
+    fn ensure_schema(&self) -> DbResult<()> {
+        self.inner.ensure_schema()
+    }
+
+    fn allocate_runid(&self, application: &str) -> DbResult<i64> {
+        self.inner.allocate_runid(application)
+    }
+
+    fn latest_runid_for_app(&self, application: &str) -> DbResult<Option<i64>> {
+        self.inner.latest_runid_for_app(application)
+    }
+
+    fn record_run(&self, rec: &RunRecord) -> DbResult<()> {
+        self.inner.record_run(rec)
+    }
+
+    fn record_access_pattern(
+        &self,
+        runid: i64,
+        dataset: &str,
+        data_type: &str,
+        storage_order: &str,
+        access_pattern: &str,
+        global_size: i64,
+    ) -> DbResult<()> {
+        self.inner.record_access_pattern(
+            runid,
+            dataset,
+            data_type,
+            storage_order,
+            access_pattern,
+            global_size,
+        )
+    }
+
+    fn record_execution(
+        &self,
+        runid: i64,
+        dataset: &str,
+        timestep: i64,
+        file_offset: i64,
+        file_name: &str,
+    ) -> DbResult<()> {
+        let closed_batch = {
+            let mut state = self.state.lock();
+            // A new (runid, timestep) closes the previous batch.
+            let closed = if state.pending_key.is_some_and(|k| k != (runid, timestep)) {
+                Self::take_pending(&mut state)
+            } else {
+                Vec::new()
+            };
+            state.pending_key = Some((runid, timestep));
+            state.pending.push(PendingExec {
+                runid,
+                dataset: dataset.to_string(),
+                timestep,
+                file_offset,
+                file_name: file_name.to_string(),
+            });
+            state.executions.insert(
+                (runid, dataset.to_string(), timestep),
+                (file_offset, file_name.to_string()),
+            );
+            closed
+        };
+        self.write_batch(closed_batch)
+    }
+
+    fn lookup_execution(
+        &self,
+        runid: i64,
+        dataset: &str,
+        timestep: i64,
+    ) -> DbResult<Option<(i64, String)>> {
+        let batch = {
+            let mut state = self.state.lock();
+            if let Some(hit) = state
+                .executions
+                .get(&(runid, dataset.to_string(), timestep))
+            {
+                return Ok(Some(hit.clone()));
+            }
+            // Not cached: the row may predate this store (attach) or
+            // belong to a foreign writer. Make buffered rows visible
+            // first (outside the cache mutex), then ask the inner store
+            // and remember a positive answer.
+            Self::take_pending(&mut state)
+        };
+        self.write_batch(batch)?;
+        let found = self.inner.lookup_execution(runid, dataset, timestep)?;
+        if let Some(hit) = &found {
+            self.state
+                .lock()
+                .executions
+                .insert((runid, dataset.to_string(), timestep), hit.clone());
+        }
+        Ok(found)
+    }
+
+    fn record_import(
+        &self,
+        runid: i64,
+        imported_name: &str,
+        file_name: &str,
+        data_type: &str,
+        storage_order: &str,
+        file_content: &str,
+    ) -> DbResult<()> {
+        self.inner.record_import(
+            runid,
+            imported_name,
+            file_name,
+            data_type,
+            storage_order,
+            file_content,
+        )
+    }
+
+    fn record_index_registry(
+        &self,
+        problem_size: i64,
+        num_procs: i64,
+        dimension: i64,
+        file_name: &str,
+    ) -> DbResult<()> {
+        self.inner
+            .record_index_registry(problem_size, num_procs, dimension, file_name)?;
+        self.state
+            .lock()
+            .registry
+            .insert((problem_size, num_procs), file_name.to_string());
+        Ok(())
+    }
+
+    fn lookup_index_registry(&self, problem_size: i64, num_procs: i64) -> DbResult<Option<String>> {
+        if let Some(hit) = self.state.lock().registry.get(&(problem_size, num_procs)) {
+            return Ok(Some(hit.clone()));
+        }
+        let found = self.inner.lookup_index_registry(problem_size, num_procs)?;
+        if let Some(name) = &found {
+            self.state
+                .lock()
+                .registry
+                .insert((problem_size, num_procs), name.clone());
+        }
+        Ok(found)
+    }
+
+    fn record_history_block(
+        &self,
+        problem_size: i64,
+        num_procs: i64,
+        block: &HistoryBlock,
+    ) -> DbResult<()> {
+        self.inner
+            .record_history_block(problem_size, num_procs, block)?;
+        self.state
+            .lock()
+            .blocks
+            .insert((problem_size, num_procs, block.rank), *block);
+        Ok(())
+    }
+
+    fn lookup_history_block(
+        &self,
+        problem_size: i64,
+        num_procs: i64,
+        rank: i64,
+    ) -> DbResult<Option<HistoryBlock>> {
+        if let Some(hit) = self
+            .state
+            .lock()
+            .blocks
+            .get(&(problem_size, num_procs, rank))
+        {
+            return Ok(Some(*hit));
+        }
+        let found = self
+            .inner
+            .lookup_history_block(problem_size, num_procs, rank)?;
+        if let Some(b) = found {
+            self.state
+                .lock()
+                .blocks
+                .insert((problem_size, num_procs, rank), b);
+        }
+        Ok(found)
+    }
+
+    fn delete_index_registry(&self, problem_size: i64, num_procs: i64) -> DbResult<()> {
+        self.inner.delete_index_registry(problem_size, num_procs)?;
+        let mut state = self.state.lock();
+        state.registry.remove(&(problem_size, num_procs));
+        state
+            .blocks
+            .retain(|&(ps, np, _), _| (ps, np) != (problem_size, num_procs));
+        Ok(())
+    }
+
+    fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
+        // Raw SQL may read anything, including buffered execution rows.
+        self.flush()?;
+        self.inner.exec(sql, params)
+    }
+
+    fn flush(&self) -> DbResult<()> {
+        self.flush_pending()?;
+        self.inner.flush()
+    }
+
+    fn database(&self) -> &Arc<Database> {
+        self.inner.database()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sql_store() -> SqlStore {
+        let store = SqlStore::new(Arc::new(Database::new()));
+        store.ensure_schema().unwrap();
+        store
+    }
+
+    fn cached_store() -> SharedStore {
+        let db = Arc::new(Database::new());
+        let store = CachedStore::shared(&db);
+        store.ensure_schema().unwrap();
+        store
+    }
+
+    fn run_rec(runid: i64, app: &str) -> RunRecord {
+        RunRecord {
+            runid,
+            application: app.to_string(),
+            dimension: 3,
+            problem_size: 1000,
+            num_timesteps: 2,
+            date: (2001, 2, 20),
+            time: (12, 0),
+        }
+    }
+
+    #[test]
+    fn schema_setup_is_idempotent() {
+        let s = sql_store();
+        s.ensure_schema().unwrap();
+        assert!(s.database().has_table("run_table"));
+        assert!(s.database().has_table("index_history_table"));
+    }
+
+    #[test]
+    fn runid_allocation_reserves_and_advances() {
+        let s = sql_store();
+        assert_eq!(s.allocate_runid("fun3d").unwrap(), 1);
+        assert_eq!(s.allocate_runid("rt").unwrap(), 2);
+        // Reservations are anonymous: an allocated-but-never-recorded
+        // run must not be discoverable by application name.
+        assert_eq!(s.latest_runid_for_app("fun3d").unwrap(), None);
+        s.record_run(&run_rec(2, "rt")).unwrap();
+        assert_eq!(s.latest_runid_for_app("rt").unwrap(), Some(2));
+        // record_run completes the reserved row instead of duplicating it.
+        s.record_run(&run_rec(1, "fun3d")).unwrap();
+        let rs = s
+            .exec("SELECT COUNT(*) FROM run_table WHERE runid = 1", &[])
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+        let rs = s
+            .exec("SELECT problem_size FROM run_table WHERE runid = 1", &[])
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(1000)));
+    }
+
+    #[test]
+    fn concurrent_runid_allocation_never_duplicates() {
+        use std::collections::HashSet;
+        let db = Arc::new(Database::new());
+        let store = SqlStore::shared(&db);
+        store.ensure_schema().unwrap();
+        let ids = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let store = Arc::clone(&store);
+                    scope.spawn(move || {
+                        (0..10)
+                            .map(|_| store.allocate_runid("race").unwrap())
+                            .collect::<Vec<i64>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<i64>>()
+        });
+        let unique: HashSet<i64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "duplicate run ids minted: {ids:?}");
+        assert_eq!(ids.len(), 80);
+    }
+
+    #[test]
+    fn record_run_without_reservation_inserts() {
+        let s = sql_store();
+        s.record_run(&run_rec(42, "import")).unwrap();
+        assert_eq!(s.latest_runid_for_app("import").unwrap(), Some(42));
+    }
+
+    #[test]
+    fn execution_round_trip() {
+        let s = sql_store();
+        s.record_execution(1, "p", 10, 4096, "fun3d.g0.dat")
+            .unwrap();
+        let hit = s.lookup_execution(1, "p", 10).unwrap();
+        assert_eq!(hit, Some((4096, "fun3d.g0.dat".to_string())));
+        assert_eq!(s.lookup_execution(1, "p", 20).unwrap(), None);
+        assert_eq!(s.lookup_execution(2, "p", 10).unwrap(), None);
+    }
+
+    #[test]
+    fn index_registry_round_trip() {
+        let s = sql_store();
+        s.record_index_registry(18_000_000, 64, 3, "hist.18M.64")
+            .unwrap();
+        assert_eq!(
+            s.lookup_index_registry(18_000_000, 64).unwrap(),
+            Some("hist.18M.64".to_string())
+        );
+        // Different process count: miss (the paper's key limitation).
+        assert_eq!(s.lookup_index_registry(18_000_000, 32).unwrap(), None);
+        s.delete_index_registry(18_000_000, 64).unwrap();
+        assert_eq!(s.lookup_index_registry(18_000_000, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn history_blocks_round_trip() {
+        let s = sql_store();
+        let b = HistoryBlock {
+            rank: 3,
+            edge_count: 1000,
+            node_count: 300,
+            ghost_count: 40,
+            file_offset: 65536,
+            byte_len: 20480,
+        };
+        s.record_history_block(500, 8, &b).unwrap();
+        assert_eq!(s.lookup_history_block(500, 8, 3).unwrap(), Some(b));
+        assert_eq!(s.lookup_history_block(500, 8, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn access_pattern_and_import_records() {
+        let s = sql_store();
+        s.record_access_pattern(1, "p", "DOUBLE", "ROW_MAJOR", "IRREGULAR", 2_000_000)
+            .unwrap();
+        s.record_import(1, "edge1", "uns3d.msh", "INTEGER", "ROW_MAJOR", "INDEX")
+            .unwrap();
+        let rs = s
+            .exec(
+                "SELECT data_type FROM access_pattern_table WHERE dataset = 'p'",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.scalar().and_then(Value::as_str), Some("DOUBLE"));
+        let rs = s
+            .exec(
+                "SELECT file_content FROM import_table WHERE imported_name = 'edge1'",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.scalar().and_then(Value::as_str), Some("INDEX"));
+    }
+
+    #[test]
+    fn lookups_use_declared_indexes() {
+        let s = sql_store();
+        for ts in 0..50 {
+            s.record_execution(7, "p", ts, ts * 512, "f.dat").unwrap();
+        }
+        s.database().reset_stats();
+        assert!(s.lookup_execution(7, "p", 25).unwrap().is_some());
+        let stats = s.database().stats();
+        assert_eq!(
+            stats.index_scans, 1,
+            "execution lookup must probe the runid index"
+        );
+        assert_eq!(stats.full_scans, 0);
+    }
+
+    #[test]
+    fn repeated_statements_never_reparse() {
+        let s = sql_store();
+        s.database().reset_stats();
+        for ts in 0..20 {
+            s.record_execution(1, "p", ts, 0, "f").unwrap();
+            s.lookup_execution(1, "p", ts).unwrap();
+        }
+        let stats = s.database().stats();
+        assert_eq!(stats.parse_misses, 2, "one parse per distinct statement");
+        // After the first call each statement executes through its
+        // once-prepared plan: no further cache traffic at all.
+        assert_eq!(stats.parse_hits, 0);
+    }
+
+    // ---- CachedStore ----
+
+    #[test]
+    fn cached_store_batches_per_timestep() {
+        let s = cached_store();
+        let count = |s: &SharedStore| {
+            s.database()
+                .exec("SELECT COUNT(*) FROM execution_table", &[])
+                .unwrap()
+                .scalar()
+                .and_then(Value::as_i64)
+                .unwrap()
+        };
+        // Three datasets in timestep 0: buffered, not yet in the DB...
+        s.record_execution(1, "p", 0, 0, "f").unwrap();
+        s.record_execution(1, "q", 0, 100, "f").unwrap();
+        s.record_execution(1, "r", 0, 200, "f").unwrap();
+        assert_eq!(count(&s), 0, "same-timestep inserts stay buffered");
+        // ...but visible through the cache on every rank.
+        assert_eq!(
+            s.lookup_execution(1, "q", 0).unwrap(),
+            Some((100, "f".into()))
+        );
+        // Moving to timestep 1 flushes the batch in one transaction.
+        s.record_execution(1, "p", 1, 300, "f").unwrap();
+        assert_eq!(count(&s), 3);
+        // Explicit flush drains the rest.
+        s.flush().unwrap();
+        assert_eq!(count(&s), 4);
+    }
+
+    #[test]
+    fn cached_store_serves_foreign_rows_after_flush() {
+        let db = Arc::new(Database::new());
+        let writer = CachedStore::shared(&db);
+        writer.ensure_schema().unwrap();
+        writer.record_execution(1, "p", 0, 42, "f").unwrap();
+        writer.flush().unwrap();
+        // A second store over the same database (a later attach).
+        let reader = CachedStore::shared(&db);
+        assert_eq!(
+            reader.lookup_execution(1, "p", 0).unwrap(),
+            Some((42, "f".into()))
+        );
+        // Second lookup is a pure cache hit: no new scans.
+        db.reset_stats();
+        assert_eq!(
+            reader.lookup_execution(1, "p", 0).unwrap(),
+            Some((42, "f".into()))
+        );
+        let stats = db.stats();
+        assert_eq!(stats.index_scans + stats.full_scans, 0);
+    }
+
+    #[test]
+    fn cached_store_raw_exec_sees_buffered_rows() {
+        let s = cached_store();
+        s.record_execution(5, "p", 0, 7, "f").unwrap();
+        let rs = s
+            .exec(
+                "SELECT file_offset FROM execution_table WHERE runid = 5",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn flush_inside_caller_transaction_joins_it() {
+        // The raw-SQL escape hatch lets a caller bracket its own work;
+        // a timestep advance mid-transaction must join that transaction
+        // instead of deadlocking on a second BEGIN.
+        let s = cached_store();
+        s.exec("BEGIN", &[]).unwrap();
+        s.record_execution(1, "p", 0, 0, "f").unwrap();
+        s.record_execution(1, "p", 1, 64, "f").unwrap(); // timestep advance → flush
+        s.flush().unwrap();
+        s.exec("COMMIT", &[]).unwrap();
+        assert_eq!(
+            s.lookup_execution(1, "p", 0).unwrap(),
+            Some((0, "f".into()))
+        );
+        assert_eq!(
+            s.lookup_execution(1, "p", 1).unwrap(),
+            Some((64, "f".into()))
+        );
+        // Same for runid allocation inside a caller transaction.
+        s.exec("BEGIN", &[]).unwrap();
+        let id = s.allocate_runid("nested").unwrap();
+        s.exec("COMMIT", &[]).unwrap();
+        assert!(id >= 1);
+    }
+
+    #[test]
+    fn abandoned_allocation_does_not_shadow_finished_runs() {
+        // A finished run for an app, then a crashed/abandoned initialize
+        // (allocation without record_run): re-attachment by name must
+        // still resolve the finished run.
+        let s = sql_store();
+        let good = s.allocate_runid("viz").unwrap();
+        s.record_run(&run_rec(good, "viz")).unwrap();
+        let _abandoned = s.allocate_runid("viz").unwrap();
+        assert_eq!(s.latest_runid_for_app("viz").unwrap(), Some(good));
+    }
+
+    #[test]
+    fn cached_store_flushes_on_drop() {
+        let db = Arc::new(Database::new());
+        {
+            let s = CachedStore::shared(&db);
+            s.ensure_schema().unwrap();
+            s.record_execution(1, "p", 0, 1, "f").unwrap();
+        }
+        let rs = db
+            .exec("SELECT COUNT(*) FROM execution_table", &[])
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn cached_store_registry_and_blocks_cache() {
+        let s = cached_store();
+        s.record_index_registry(100, 4, 3, "hist").unwrap();
+        let b = HistoryBlock {
+            rank: 0,
+            edge_count: 10,
+            node_count: 5,
+            ghost_count: 1,
+            file_offset: 0,
+            byte_len: 64,
+        };
+        s.record_history_block(100, 4, &b).unwrap();
+        s.database().reset_stats();
+        assert_eq!(
+            s.lookup_index_registry(100, 4).unwrap(),
+            Some("hist".into())
+        );
+        assert_eq!(s.lookup_history_block(100, 4, 0).unwrap(), Some(b));
+        let stats = s.database().stats();
+        assert_eq!(
+            stats.index_scans + stats.full_scans,
+            0,
+            "lookups served from cache"
+        );
+        // Deletion invalidates both caches.
+        s.delete_index_registry(100, 4).unwrap();
+        assert_eq!(s.lookup_index_registry(100, 4).unwrap(), None);
+        assert_eq!(s.lookup_history_block(100, 4, 0).unwrap(), None);
+    }
+}

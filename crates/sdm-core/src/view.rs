@@ -35,7 +35,10 @@ impl DataView {
         let sorted_map: Vec<u64> = idx.iter().map(|&k| map[k as usize]).collect();
         for w in sorted_map.windows(2) {
             if w[0] == w[1] {
-                return Err(SdmError::Usage(format!("duplicate global index {} in map array", w[0])));
+                return Err(SdmError::Usage(format!(
+                    "duplicate global index {} in map array",
+                    w[0]
+                )));
             }
         }
         if let Some(&last) = sorted_map.last() {
@@ -55,7 +58,12 @@ impl DataView {
             Datatype::indexed_block(1, sorted_map.clone(), elem),
         );
         let ftype = dtype.flatten()?;
-        Ok(Self { sorted_map, perm: idx, ftype, elem_size: ty.size() })
+        Ok(Self {
+            sorted_map,
+            perm: idx,
+            ftype,
+            elem_size: ty.size(),
+        })
     }
 
     /// Local element count.

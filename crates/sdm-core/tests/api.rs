@@ -4,41 +4,56 @@
 use std::sync::Arc;
 
 use sdm_core::dataset::{make_datalist, DatasetDesc, ImportDesc};
-use sdm_core::{OrgLevel, Sdm, SdmConfig, SdmError, SdmType};
+use sdm_core::{CachedStore, OrgLevel, Sdm, SdmConfig, SdmError, SdmType, SharedStore};
 use sdm_metadb::{Database, Value};
 use sdm_mpi::World;
 use sdm_pfs::Pfs;
 use sdm_sim::MachineConfig;
 
-fn setup() -> (Arc<Pfs>, Arc<Database>) {
-    (Pfs::new(MachineConfig::test_tiny()), Arc::new(Database::new()))
+fn setup() -> (Arc<Pfs>, Arc<Database>, SharedStore) {
+    let db = Arc::new(Database::new());
+    let store = CachedStore::shared(&db);
+    (Pfs::new(MachineConfig::test_tiny()), db, store)
 }
 
 #[test]
 fn initialize_creates_tables_and_unique_runids() {
-    let (pfs, db) = setup();
+    let (pfs, db, store) = setup();
     World::run(2, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let s1 = Sdm::initialize(c, &pfs, &db, "app1").unwrap();
-            let s2 = Sdm::initialize(c, &pfs, &db, "app2").unwrap();
-            assert_eq!(s1.runid(), s2.runid(), "no run rows yet: same next id");
+            let s1 = Sdm::initialize(c, &pfs, &store, "app1").unwrap();
+            let s2 = Sdm::initialize(c, &pfs, &store, "app2").unwrap();
+            assert_ne!(
+                s1.runid(),
+                s2.runid(),
+                "allocation reserves ids: two initializers never collide"
+            );
             (s1.runid(), s2.runid())
         }
     });
-    for t in ["run_table", "access_pattern_table", "execution_table", "import_table", "index_table", "index_history_table"] {
+    for t in [
+        "run_table",
+        "access_pattern_table",
+        "execution_table",
+        "import_table",
+        "index_table",
+        "index_history_table",
+    ] {
         assert!(db.has_table(t), "missing {t}");
     }
 }
 
 #[test]
 fn set_attributes_registers_run_and_datasets() {
-    let (pfs, db) = setup();
+    let (pfs, db, store) = setup();
     World::run(2, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let mut s = Sdm::initialize(c, &pfs, &db, "meta").unwrap();
-            let h = s.set_attributes(c, make_datalist(&["p", "q"], SdmType::Double, 100)).unwrap();
+            let mut s = Sdm::initialize(c, &pfs, &store, "meta").unwrap();
+            let h = s
+                .set_attributes(c, make_datalist(&["p", "q"], SdmType::Double, 100))
+                .unwrap();
             let _ = h;
             s.finalize(c).unwrap();
         }
@@ -47,19 +62,27 @@ fn set_attributes_registers_run_and_datasets() {
     assert_eq!(rs.len(), 1);
     assert_eq!(rs.rows[0][0].as_str(), Some("meta"));
     let rs = db
-        .exec("SELECT dataset FROM access_pattern_table ORDER BY dataset", &[])
+        .exec(
+            "SELECT dataset FROM access_pattern_table ORDER BY dataset",
+            &[],
+        )
         .unwrap();
-    assert_eq!(rs.rows, vec![vec![Value::from("p")], vec![Value::from("q")]]);
+    assert_eq!(
+        rs.rows,
+        vec![vec![Value::from("p")], vec![Value::from("q")]]
+    );
 }
 
 #[test]
 fn write_without_view_is_error() {
-    let (pfs, db) = setup();
+    let (pfs, _db, store) = setup();
     World::run(1, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let mut s = Sdm::initialize(c, &pfs, &db, "e1").unwrap();
-            let h = s.set_attributes(c, vec![DatasetDesc::doubles("p", 10)]).unwrap();
+            let mut s = Sdm::initialize(c, &pfs, &store, "e1").unwrap();
+            let h = s
+                .set_attributes(c, vec![DatasetDesc::doubles("p", 10)])
+                .unwrap();
             let err = s.write(c, h, "p", 0, &[1.0f64]).unwrap_err();
             assert!(matches!(err, SdmError::NoView(_)), "got {err}");
         }
@@ -68,59 +91,81 @@ fn write_without_view_is_error() {
 
 #[test]
 fn read_unwritten_timestep_is_error() {
-    let (pfs, db) = setup();
+    let (pfs, _db, store) = setup();
     World::run(1, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let mut s = Sdm::initialize(c, &pfs, &db, "e2").unwrap();
-            let h = s.set_attributes(c, vec![DatasetDesc::doubles("p", 4)]).unwrap();
+            let mut s = Sdm::initialize(c, &pfs, &store, "e2").unwrap();
+            let h = s
+                .set_attributes(c, vec![DatasetDesc::doubles("p", 4)])
+                .unwrap();
             s.data_view(c, h, "p", &[0, 1, 2, 3]).unwrap();
             let mut buf = vec![0.0f64; 4];
             let err = s.read(c, h, "p", 5, &mut buf).unwrap_err();
-            assert!(matches!(err, SdmError::NotWritten { timestep: 5, .. }), "got {err}");
+            assert!(
+                matches!(err, SdmError::NotWritten { timestep: 5, .. }),
+                "got {err}"
+            );
         }
     });
 }
 
 #[test]
 fn unknown_dataset_and_bad_sizes_are_errors() {
-    let (pfs, db) = setup();
+    let (pfs, _db, store) = setup();
     World::run(1, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let mut s = Sdm::initialize(c, &pfs, &db, "e3").unwrap();
-            let h = s.set_attributes(c, vec![DatasetDesc::doubles("p", 4)]).unwrap();
+            let mut s = Sdm::initialize(c, &pfs, &store, "e3").unwrap();
+            let h = s
+                .set_attributes(c, vec![DatasetDesc::doubles("p", 4)])
+                .unwrap();
             assert!(matches!(
                 s.data_view(c, h, "nope", &[0]),
                 Err(SdmError::NoSuchDataset(_))
             ));
             // Wrong element type (4-byte vs DOUBLE).
             s.data_view(c, h, "p", &[0, 1]).unwrap();
-            assert!(matches!(s.write(c, h, "p", 0, &[1i32, 2]), Err(SdmError::Usage(_))));
+            assert!(matches!(
+                s.write(c, h, "p", 0, &[1i32, 2]),
+                Err(SdmError::Usage(_))
+            ));
             // Wrong buffer length.
-            assert!(matches!(s.write(c, h, "p", 0, &[1.0f64]), Err(SdmError::Usage(_))));
+            assert!(matches!(
+                s.write(c, h, "p", 0, &[1.0f64]),
+                Err(SdmError::Usage(_))
+            ));
             // Map index out of range.
-            assert!(matches!(s.data_view(c, h, "p", &[99]), Err(SdmError::Usage(_))));
+            assert!(matches!(
+                s.data_view(c, h, "p", &[99]),
+                Err(SdmError::Usage(_))
+            ));
             // Empty data group.
-            assert!(matches!(s.set_attributes(c, vec![]), Err(SdmError::Usage(_))));
+            assert!(matches!(
+                s.set_attributes(c, vec![]),
+                Err(SdmError::Usage(_))
+            ));
         }
     });
 }
 
 #[test]
 fn import_type_mismatch_is_error() {
-    let (pfs, db) = setup();
+    let (pfs, _db, store) = setup();
     // Stage a tiny file.
     {
         let (f, _) = pfs.open_or_create("m.msh", 0.0).unwrap();
         pfs.write_at(&f, 0, &[0u8; 64], 0.0).unwrap();
     }
     World::run(1, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let mut s = Sdm::initialize(c, &pfs, &db, "e4").unwrap();
-            let h = s.set_attributes(c, vec![DatasetDesc::doubles("p", 4)]).unwrap();
-            s.make_importlist(c, h, vec![ImportDesc::index("edge1", "m.msh")]).unwrap();
+            let mut s = Sdm::initialize(c, &pfs, &store, "e4").unwrap();
+            let h = s
+                .set_attributes(c, vec![DatasetDesc::doubles("p", 4)])
+                .unwrap();
+            s.make_importlist(c, h, vec![ImportDesc::index("edge1", "m.msh")])
+                .unwrap();
             // edge1 is declared INTEGER (4 bytes); importing f64 must fail.
             let err = s.import_contiguous::<f64>(c, h, "edge1", 0, 8).unwrap_err();
             assert!(matches!(err, SdmError::Usage(_)));
@@ -133,19 +178,26 @@ fn import_type_mismatch_is_error() {
 
 #[test]
 fn two_groups_are_independent() {
-    let (pfs, db) = setup();
+    let (pfs, _db, store) = setup();
     World::run(2, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let cfg = SdmConfig { org: OrgLevel::Level3, ..Default::default() };
-            let mut s = Sdm::initialize_with(c, &pfs, &db, "two", cfg).unwrap();
-            let g1 = s.set_attributes(c, vec![DatasetDesc::doubles("a", 8)]).unwrap();
-            let g2 = s.set_attributes(c, vec![DatasetDesc::doubles("b", 8)]).unwrap();
+            let cfg = SdmConfig {
+                org: OrgLevel::Level3,
+                ..Default::default()
+            };
+            let mut s = Sdm::initialize_with(c, &pfs, &store, "two", cfg).unwrap();
+            let g1 = s
+                .set_attributes(c, vec![DatasetDesc::doubles("a", 8)])
+                .unwrap();
+            let g2 = s
+                .set_attributes(c, vec![DatasetDesc::doubles("b", 8)])
+                .unwrap();
             let mine: Vec<u64> = (c.rank() as u64..8).step_by(c.size()).collect();
             s.data_view(c, g1, "a", &mine).unwrap();
             s.data_view(c, g2, "b", &mine).unwrap();
             let va: Vec<f64> = mine.iter().map(|&g| g as f64).collect();
-            let vb: Vec<f64> = mine.iter().map(|&g| g as f64 * -1.0).collect();
+            let vb: Vec<f64> = mine.iter().map(|&g| -(g as f64)).collect();
             s.write(c, g1, "a", 0, &va).unwrap();
             s.write(c, g2, "b", 0, &vb).unwrap();
             // Level 3: one file per *group*.
@@ -165,13 +217,18 @@ fn two_groups_are_independent() {
 
 #[test]
 fn level2_appends_across_timesteps() {
-    let (pfs, db) = setup();
+    let (pfs, db, store) = setup();
     World::run(1, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let cfg = SdmConfig { org: OrgLevel::Level2, ..Default::default() };
-            let mut s = Sdm::initialize_with(c, &pfs, &db, "app", cfg).unwrap();
-            let h = s.set_attributes(c, vec![DatasetDesc::doubles("p", 4)]).unwrap();
+            let cfg = SdmConfig {
+                org: OrgLevel::Level2,
+                ..Default::default()
+            };
+            let mut s = Sdm::initialize_with(c, &pfs, &store, "app", cfg).unwrap();
+            let h = s
+                .set_attributes(c, vec![DatasetDesc::doubles("p", 4)])
+                .unwrap();
             s.data_view(c, h, "p", &[0, 1, 2, 3]).unwrap();
             for t in 0..3i64 {
                 let v = vec![t as f64; 4];
@@ -186,7 +243,12 @@ fn level2_appends_across_timesteps() {
     });
     // One file, three regions.
     assert_eq!(pfs.file_len("app.g0.p.dat").unwrap(), 3 * 4 * 8);
-    let rs = db.exec("SELECT file_offset FROM execution_table ORDER BY file_offset", &[]).unwrap();
+    let rs = db
+        .exec(
+            "SELECT file_offset FROM execution_table ORDER BY file_offset",
+            &[],
+        )
+        .unwrap();
     assert_eq!(rs.len(), 3);
     assert_eq!(rs.rows[2][0].as_i64(), Some(64));
 }

@@ -16,7 +16,10 @@ impl CsrGraph {
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
         let mut deg = vec![0usize; n];
         for &(a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
             deg[a as usize] += 1;
             deg[b as usize] += 1;
         }
@@ -61,7 +64,10 @@ impl CsrGraph {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -103,7 +109,10 @@ mod tests {
         let g = CsrGraph::from_edges(5, &[(0, 4), (1, 3), (0, 2)]);
         for v in 0..5 {
             for &u in g.neighbors(v) {
-                assert!(g.neighbors(u as usize).contains(&(v as u32)), "asymmetric {v}-{u}");
+                assert!(
+                    g.neighbors(u as usize).contains(&(v as u32)),
+                    "asymmetric {v}-{u}"
+                );
             }
         }
     }

@@ -34,7 +34,12 @@ pub struct Uns3dLayout {
 impl Uns3dLayout {
     /// FUN3D benchmark shape: 4 edge arrays + 4 node arrays.
     pub fn fun3d(total_edges: u64, total_nodes: u64) -> Self {
-        Self { total_edges, total_nodes, n_edge_arrays: 4, n_node_arrays: 4 }
+        Self {
+            total_edges,
+            total_nodes,
+            n_edge_arrays: 4,
+            n_node_arrays: 4,
+        }
     }
 
     /// Byte offset of `edge1`.
@@ -83,8 +88,16 @@ impl Uns3dLayout {
     /// Build the complete file image for `mesh` (must match the layout's
     /// edge/node counts).
     pub fn build_image(&self, mesh: &UnstructuredMesh) -> Vec<u8> {
-        assert_eq!(mesh.num_edges() as u64, self.total_edges, "edge count mismatch");
-        assert_eq!(mesh.num_nodes() as u64, self.total_nodes, "node count mismatch");
+        assert_eq!(
+            mesh.num_edges() as u64,
+            self.total_edges,
+            "edge count mismatch"
+        );
+        assert_eq!(
+            mesh.num_nodes() as u64,
+            self.total_nodes,
+            "node count mismatch"
+        );
         let mut img = Vec::with_capacity(self.file_len() as usize);
         let (e1, e2) = mesh.indirection_arrays();
         for v in &e1 {
@@ -110,9 +123,8 @@ impl Uns3dLayout {
     /// Parse `edge1`/`edge2` back out of a file image.
     pub fn read_edges(&self, image: &[u8]) -> (Vec<i32>, Vec<i32>) {
         let n = self.total_edges as usize;
-        let read_i32 = |bytes: &[u8], at: usize| {
-            i32::from_ne_bytes(bytes[at..at + 4].try_into().unwrap())
-        };
+        let read_i32 =
+            |bytes: &[u8], at: usize| i32::from_ne_bytes(bytes[at..at + 4].try_into().unwrap());
         let mut e1 = Vec::with_capacity(n);
         let mut e2 = Vec::with_capacity(n);
         for i in 0..n {
@@ -130,7 +142,12 @@ mod tests {
 
     #[test]
     fn offsets_match_figure3_arithmetic() {
-        let l = Uns3dLayout { total_edges: 100, total_nodes: 40, n_edge_arrays: 1, n_node_arrays: 1 };
+        let l = Uns3dLayout {
+            total_edges: 100,
+            total_nodes: 40,
+            n_edge_arrays: 1,
+            n_node_arrays: 1,
+        };
         assert_eq!(l.edge1_offset(), 0);
         assert_eq!(l.edge2_offset(), 100 * 4);
         // Figure 3: file_offset = 2 * totalEdges * sizeof(int)
@@ -175,15 +192,20 @@ mod tests {
             n_node_arrays: 2,
         };
         let img = l.build_image(&m);
-        let f64_at = |off: u64| {
-            f64::from_ne_bytes(img[off as usize..off as usize + 8].try_into().unwrap())
-        };
-        assert_eq!(f64_at(l.edge_array_offset(1)), Uns3dLayout::edge_value(1, 0));
+        let f64_at =
+            |off: u64| f64::from_ne_bytes(img[off as usize..off as usize + 8].try_into().unwrap());
+        assert_eq!(
+            f64_at(l.edge_array_offset(1)),
+            Uns3dLayout::edge_value(1, 0)
+        );
         assert_eq!(
             f64_at(l.edge_array_offset(0) + 8 * 3),
             Uns3dLayout::edge_value(0, 3)
         );
-        assert_eq!(f64_at(l.node_array_offset(1) + 8), Uns3dLayout::node_value(1, 1));
+        assert_eq!(
+            f64_at(l.node_array_offset(1) + 8),
+            Uns3dLayout::node_value(1, 1)
+        );
     }
 
     #[test]

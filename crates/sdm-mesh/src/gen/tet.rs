@@ -36,7 +36,10 @@ const TETS_ODD: [[usize; 4]; 5] = [
 /// `jitter` perturbs interior coordinates by up to that fraction of the
 /// grid spacing (0.0 gives a regular lattice). Deterministic in `seed`.
 pub fn tet_box(nx: usize, ny: usize, nz: usize, jitter: f64, seed: u64) -> UnstructuredMesh {
-    assert!(nx >= 2 && ny >= 2 && nz >= 2, "need at least 2 vertices per axis");
+    assert!(
+        nx >= 2 && ny >= 2 && nz >= 2,
+        "need at least 2 vertices per axis"
+    );
     assert!((0.0..0.5).contains(&jitter), "jitter must be in [0, 0.5)");
     let nn = nx * ny * nz;
     let node = |x: usize, y: usize, z: usize| (z * ny * nx + y * nx + x) as u32;
@@ -71,10 +74,12 @@ pub fn tet_box(nx: usize, ny: usize, nz: usize, jitter: f64, seed: u64) -> Unstr
     for z in 0..cz {
         for y in 0..cy {
             for x in 0..cx {
-                let corner = |b: usize| {
-                    node(x + (b & 1), y + ((b >> 1) & 1), z + ((b >> 2) & 1))
+                let corner = |b: usize| node(x + (b & 1), y + ((b >> 1) & 1), z + ((b >> 2) & 1));
+                let tets = if (x + y + z) % 2 == 0 {
+                    &TETS_EVEN
+                } else {
+                    &TETS_ODD
                 };
-                let tets = if (x + y + z) % 2 == 0 { &TETS_EVEN } else { &TETS_ODD };
                 for t in tets {
                     for &v in t {
                         cells.push(corner(v));
@@ -84,7 +89,12 @@ pub fn tet_box(nx: usize, ny: usize, nz: usize, jitter: f64, seed: u64) -> Unstr
         }
     }
     let edges = UnstructuredMesh::edges_from_cells(CellKind::Tetrahedron, &cells);
-    UnstructuredMesh { coords, edges, cell_kind: CellKind::Tetrahedron, cells }
+    UnstructuredMesh {
+        coords,
+        edges,
+        cell_kind: CellKind::Tetrahedron,
+        cells,
+    }
 }
 
 /// Pick grid dimensions for approximately `target_nodes` nodes with a
@@ -125,7 +135,10 @@ mod tests {
         // box decomposition gives ~7 for interior-dominated meshes.
         let m = tet_box(12, 12, 12, 0.1, 1);
         let ratio = m.num_edges() as f64 / m.num_nodes() as f64;
-        assert!((5.0..9.0).contains(&ratio), "edges/node ratio {ratio} out of unstructured range");
+        assert!(
+            (5.0..9.0).contains(&ratio),
+            "edges/node ratio {ratio} out of unstructured range"
+        );
     }
 
     #[test]

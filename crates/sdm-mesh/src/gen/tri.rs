@@ -13,12 +13,18 @@ use crate::mesh::{CellKind, UnstructuredMesh};
 pub fn tri_rect(nx: usize, ny: usize) -> UnstructuredMesh {
     assert!(nx >= 2 && ny >= 2, "need at least 2 vertices per axis");
     let node = |x: usize, y: usize| (y * nx + x) as u32;
-    let coords: Vec<[f64; 3]> =
-        (0..nx * ny).map(|i| [(i % nx) as f64, (i / nx) as f64, 0.0]).collect();
+    let coords: Vec<[f64; 3]> = (0..nx * ny)
+        .map(|i| [(i % nx) as f64, (i / nx) as f64, 0.0])
+        .collect();
     let mut cells = Vec::with_capacity((nx - 1) * (ny - 1) * 2 * 3);
     for y in 0..ny - 1 {
         for x in 0..nx - 1 {
-            let (a, b, c, d) = (node(x, y), node(x + 1, y), node(x, y + 1), node(x + 1, y + 1));
+            let (a, b, c, d) = (
+                node(x, y),
+                node(x + 1, y),
+                node(x, y + 1),
+                node(x + 1, y + 1),
+            );
             if (x + y) % 2 == 0 {
                 cells.extend_from_slice(&[a, b, d, a, d, c]);
             } else {
@@ -27,7 +33,12 @@ pub fn tri_rect(nx: usize, ny: usize) -> UnstructuredMesh {
         }
     }
     let edges = UnstructuredMesh::edges_from_cells(CellKind::Triangle, &cells);
-    UnstructuredMesh { coords, edges, cell_kind: CellKind::Triangle, cells }
+    UnstructuredMesh {
+        coords,
+        edges,
+        cell_kind: CellKind::Triangle,
+        cells,
+    }
 }
 
 /// RT instability mesh: a rectangle with the mid-height interface rows

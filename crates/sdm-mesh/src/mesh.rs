@@ -74,7 +74,11 @@ impl UnstructuredMesh {
     /// Extract unique sorted edges from cell connectivity.
     pub fn edges_from_cells(kind: CellKind, cells: &[u32]) -> Vec<(u32, u32)> {
         let arity = kind.arity();
-        assert_eq!(cells.len() % arity, 0, "cell array length must be a multiple of arity");
+        assert_eq!(
+            cells.len() % arity,
+            0,
+            "cell array length must be a multiple of arity"
+        );
         let pattern = kind.edge_pattern();
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(cells.len() / arity * pattern.len());
         for cell in cells.chunks_exact(arity) {
@@ -107,13 +111,15 @@ impl UnstructuredMesh {
                 return Err(format!("edge {i} references node out of range"));
             }
             if a >= b {
-                return Err(format!("edge {i} not in (lo, hi) form or self-loop: ({a}, {b})"));
+                return Err(format!(
+                    "edge {i} not in (lo, hi) form or self-loop: ({a}, {b})"
+                ));
             }
             if i > 0 && self.edges[i - 1] >= (a, b) {
                 return Err(format!("edges not strictly sorted at {i}"));
             }
         }
-        if self.cells.len() % self.cell_kind.arity() != 0 {
+        if !self.cells.len().is_multiple_of(self.cell_kind.arity()) {
             return Err("cell array length not a multiple of arity".into());
         }
         if let Some(&bad) = self.cells.iter().find(|&&c| c >= n) {
@@ -174,8 +180,7 @@ mod tests {
     #[test]
     fn tet_edge_pattern_has_six() {
         assert_eq!(CellKind::Tetrahedron.edge_pattern().len(), 6);
-        let edges =
-            UnstructuredMesh::edges_from_cells(CellKind::Tetrahedron, &[0, 1, 2, 3]);
+        let edges = UnstructuredMesh::edges_from_cells(CellKind::Tetrahedron, &[0, 1, 2, 3]);
         assert_eq!(edges.len(), 6);
     }
 

@@ -30,8 +30,12 @@ pub fn rcm_order(g: &CsrGraph) -> Vec<u32> {
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<u32> =
-                g.neighbors(v as usize).iter().copied().filter(|&u| !visited[u as usize]).collect();
+            let mut nbrs: Vec<u32> = g
+                .neighbors(v as usize)
+                .iter()
+                .copied()
+                .filter(|&u| !visited[u as usize])
+                .collect();
             nbrs.sort_by_key(|&u| g.degree(u as usize));
             for u in nbrs {
                 visited[u as usize] = true;
@@ -87,7 +91,10 @@ mod tests {
         let before = bandwidth(&g, &identity);
         let perm = rcm_order(&g);
         let after = bandwidth(&g, &invert(&perm));
-        assert_eq!(after, 1, "a path reordered by RCM has bandwidth 1, got {after}");
+        assert_eq!(
+            after, 1,
+            "a path reordered by RCM has bandwidth 1, got {after}"
+        );
         assert!(after < before);
     }
 

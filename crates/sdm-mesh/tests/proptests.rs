@@ -117,7 +117,10 @@ fn tet_cells_cover_volume() {
         })
         .sum();
     let expect = 3.0 * 2.0 * 2.0;
-    assert!((vol - expect).abs() < 1e-9, "tet volumes {vol} != box volume {expect}");
+    assert!(
+        (vol - expect).abs() < 1e-9,
+        "tet volumes {vol} != box volume {expect}"
+    );
 }
 
 #[test]

@@ -25,7 +25,12 @@ impl Catalog {
     }
 
     /// Create a table; errors if it exists (unless `if_not_exists`).
-    pub fn create_table(&mut self, name: &str, schema: Schema, if_not_exists: bool) -> DbResult<()> {
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        if_not_exists: bool,
+    ) -> DbResult<()> {
         let key = Self::key(name);
         if self.tables.contains_key(&key) {
             if if_not_exists {
@@ -47,7 +52,9 @@ impl Catalog {
 
     /// Shared table access.
     pub fn get(&self, name: &str) -> DbResult<&Table> {
-        self.tables.get(&Self::key(name)).ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
     /// Mutable table access.
@@ -74,7 +81,11 @@ mod tests {
     use crate::schema::{ColType, Column};
 
     fn schema() -> Schema {
-        Schema::new(vec![Column { name: "a".into(), ctype: ColType::Int }]).unwrap()
+        Schema::new(vec![Column {
+            name: "a".into(),
+            ctype: ColType::Int,
+        }])
+        .unwrap()
     }
 
     #[test]
@@ -91,7 +102,10 @@ mod tests {
     fn double_create_errors_unless_if_not_exists() {
         let mut c = Catalog::new();
         c.create_table("t", schema(), false).unwrap();
-        assert!(matches!(c.create_table("t", schema(), false), Err(DbError::TableExists(_))));
+        assert!(matches!(
+            c.create_table("t", schema(), false),
+            Err(DbError::TableExists(_))
+        ));
         assert!(c.create_table("t", schema(), true).is_ok());
     }
 

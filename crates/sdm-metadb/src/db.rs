@@ -1,5 +1,8 @@
 //! The embedded database connection.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use parking_lot::{Mutex, RwLock};
 
 use crate::catalog::Catalog;
@@ -47,20 +50,125 @@ impl ResultSet {
     }
 }
 
+/// A statement parsed once and executable many times with fresh
+/// parameters — the embedded analogue of `mysql_stmt_prepare`.
+///
+/// Obtained from [`Database::prepare`]; execute with
+/// [`PreparedStatement::execute`] or [`Database::exec_prepared`]. The
+/// parsed AST is shared (`Arc`), so cloning a prepared statement and
+/// caching it across calls is free.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    sql: Arc<str>,
+    stmt: Arc<Statement>,
+}
+
+impl PreparedStatement {
+    /// The SQL text this statement was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The parsed statement.
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
+    }
+
+    /// Execute against `db` with positional parameters.
+    pub fn execute(&self, db: &Database, params: &[Value]) -> DbResult<ResultSet> {
+        db.exec_prepared(self, params)
+    }
+}
+
+/// Capacity of the per-connection statement cache. SDM's whole metadata
+/// path uses a few dozen distinct statements; 256 leaves room for
+/// layered schemas (containers, reports) without unbounded growth.
+const PLAN_CACHE_CAPACITY: usize = 256;
+
+/// LRU cache of parsed statements keyed by SQL text. The key is also
+/// held as a shared `Arc<str>` so cache hits hand out the text without
+/// re-allocating it.
+#[derive(Debug, Default)]
+struct PlanCache {
+    entries: HashMap<String, (Arc<str>, Arc<Statement>, u64)>,
+    tick: u64,
+}
+
+impl PlanCache {
+    fn get(&mut self, sql: &str) -> Option<(Arc<str>, Arc<Statement>)> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(sql).map(|(text, stmt, used)| {
+            *used = tick;
+            (Arc::clone(text), Arc::clone(stmt))
+        })
+    }
+
+    fn insert(&mut self, sql: String, stmt: Arc<Statement>) {
+        self.tick += 1;
+        if self.entries.len() >= PLAN_CACHE_CAPACITY {
+            // Evict the least-recently-used entry. A linear scan is fine:
+            // eviction is rare (the working set is far below capacity) and
+            // the map is small by construction.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, _, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        let text: Arc<str> = Arc::from(sql.as_str());
+        self.entries.insert(sql, (text, stmt, self.tick));
+    }
+}
+
 /// An embedded SQL database ("the MySQL connection" of the paper),
 /// thread-safe: SDM ranks share one `Database` behind an `Arc`.
 ///
+/// Statements are parsed once and cached by SQL text (an LRU of parsed
+/// ASTs), so the hot metadata path — the same dozen INSERT/SELECT shapes
+/// issued every timestep — never re-lexes SQL after warmup;
+/// [`Database::stats`] exposes the hit/miss counts along with scan
+/// strategy and row-volume counters.
+///
 /// Transactions (`BEGIN` / `COMMIT` / `ROLLBACK`) snapshot the whole
-/// catalog, like a global table lock: one transaction may be open at a
-/// time, and concurrent writers during an open transaction are rolled
-/// back with it. That matches how SDM uses the database — rank 0
-/// brackets its metadata updates — and the table-level locking of the
-/// MySQL 3.23 era.
+/// catalog under a global table lock: one transaction may be open at a
+/// time, and while it is open, **writes from other threads wait** for
+/// it to close (reads proceed). A `ROLLBACK` therefore only ever
+/// discards the owning transaction's own work. That matches how SDM
+/// uses the database — rank 0 brackets its metadata updates — and the
+/// table-level locking of the MySQL 3.23 era.
 #[derive(Debug, Default)]
 pub struct Database {
     catalog: RwLock<Catalog>,
-    tx_snapshot: Mutex<Option<Catalog>>,
+    tx: Mutex<Option<TxState>>,
+    /// Signaled whenever the transaction slot frees (COMMIT/ROLLBACK);
+    /// blocked writers and `begin_nested` park here instead of spinning.
+    tx_freed: parking_lot::Condvar,
     stats: Mutex<DbStats>,
+    plans: Mutex<PlanCache>,
+}
+
+/// An open transaction: the pre-`BEGIN` snapshot plus the thread that
+/// owns it (the owner's own writes pass the table lock; everyone
+/// else's wait).
+#[derive(Debug)]
+struct TxState {
+    snapshot: Catalog,
+    owner: std::thread::ThreadId,
+}
+
+/// What [`Database::begin_nested`] acquired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxTicket {
+    /// A fresh transaction was opened; the caller must `COMMIT` (or
+    /// `ROLLBACK`) it.
+    Owned,
+    /// The calling thread already has a transaction open; the caller's
+    /// statements join it and the outer owner decides its fate.
+    Inherited,
 }
 
 impl Database {
@@ -69,42 +177,135 @@ impl Database {
         Self::default()
     }
 
-    /// Parse and execute one statement with positional `?` parameters.
+    /// Parse `sql` into a reusable [`PreparedStatement`].
+    ///
+    /// Results are cached by SQL text: preparing the same text again
+    /// (from any thread) returns the shared parsed AST and counts as a
+    /// `parse_hits` in [`Database::stats`] instead of re-parsing.
+    pub fn prepare(&self, sql: &str) -> DbResult<PreparedStatement> {
+        if let Some((text, stmt)) = self.plans.lock().get(sql) {
+            self.stats.lock().parse_hits += 1;
+            return Ok(PreparedStatement { sql: text, stmt });
+        }
+        let stmt = Arc::new(parse(sql)?);
+        self.stats.lock().parse_misses += 1;
+        self.plans.lock().insert(sql.to_string(), Arc::clone(&stmt));
+        Ok(PreparedStatement {
+            sql: Arc::from(sql),
+            stmt,
+        })
+    }
+
+    /// Execute a prepared statement with positional `?` parameters.
+    pub fn exec_prepared(&self, ps: &PreparedStatement, params: &[Value]) -> DbResult<ResultSet> {
+        self.run_statement(&ps.stmt, params)
+    }
+
+    /// Parse (through the statement cache) and execute one statement
+    /// with positional `?` parameters.
     pub fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
-        let stmt = parse(sql)?;
+        let ps = self.prepare(sql)?;
+        self.run_statement(&ps.stmt, params)
+    }
+
+    fn run_statement(&self, stmt: &Statement, params: &[Value]) -> DbResult<ResultSet> {
         match stmt {
             Statement::Begin => {
-                let mut tx = self.tx_snapshot.lock();
+                let mut tx = self.tx.lock();
                 if tx.is_some() {
                     return Err(DbError::Tx("transaction already open".into()));
                 }
-                *tx = Some(self.catalog.read().clone());
+                *tx = Some(TxState {
+                    snapshot: self.catalog.read().clone(),
+                    owner: std::thread::current().id(),
+                });
                 Ok(ResultSet::default())
             }
             Statement::Commit => {
-                let mut tx = self.tx_snapshot.lock();
-                if tx.take().is_none() {
-                    return Err(DbError::Tx("COMMIT without an open transaction".into()));
+                let mut tx = self.tx.lock();
+                match &*tx {
+                    None => {
+                        return Err(DbError::Tx("COMMIT without an open transaction".into()));
+                    }
+                    Some(state) if state.owner != std::thread::current().id() => {
+                        return Err(DbError::Tx(
+                            "COMMIT of a transaction owned by another thread".into(),
+                        ));
+                    }
+                    Some(_) => {}
                 }
+                *tx = None;
+                self.tx_freed.notify_all();
                 Ok(ResultSet::default())
             }
             Statement::Rollback => {
-                let mut tx = self.tx_snapshot.lock();
-                match tx.take() {
-                    None => Err(DbError::Tx("ROLLBACK without an open transaction".into())),
-                    Some(snapshot) => {
-                        *self.catalog.write() = snapshot;
-                        Ok(ResultSet::default())
+                let mut tx = self.tx.lock();
+                match &*tx {
+                    None => {
+                        return Err(DbError::Tx("ROLLBACK without an open transaction".into()));
                     }
+                    Some(state) if state.owner != std::thread::current().id() => {
+                        return Err(DbError::Tx(
+                            "ROLLBACK of a transaction owned by another thread".into(),
+                        ));
+                    }
+                    Some(_) => {}
                 }
+                let state = tx.take().expect("matched Some above");
+                *self.catalog.write() = state.snapshot;
+                self.tx_freed.notify_all();
+                Ok(ResultSet::default())
             }
             stmt => {
+                // Table-lock semantics: mutations from threads other
+                // than an open transaction's owner wait for it to
+                // close, so a ROLLBACK can never discard a foreign
+                // committed write. The guard is held across execution
+                // so a BEGIN cannot slip in mid-statement either.
+                let _clearance = if Self::is_mutation(stmt) {
+                    Some(self.write_clearance())
+                } else {
+                    None
+                };
                 let mut catalog = self.catalog.write();
                 let mut stats = self.stats.lock();
-                match execute_with_stats(&mut catalog, &stmt, params, &mut stats)? {
-                    Outcome::Rows { columns, rows } => Ok(ResultSet { columns, rows, affected: 0 }),
-                    Outcome::Affected(n) => Ok(ResultSet { columns: vec![], rows: vec![], affected: n }),
+                match execute_with_stats(&mut catalog, stmt, params, &mut stats)? {
+                    Outcome::Rows { columns, rows } => Ok(ResultSet {
+                        columns,
+                        rows,
+                        affected: 0,
+                    }),
+                    Outcome::Affected(n) => Ok(ResultSet {
+                        columns: vec![],
+                        rows: vec![],
+                        affected: n,
+                    }),
                 }
+            }
+        }
+    }
+
+    /// Whether a statement mutates the catalog (subject to the table
+    /// lock of an open transaction).
+    fn is_mutation(stmt: &Statement) -> bool {
+        !matches!(
+            stmt,
+            Statement::Select { .. } | Statement::Begin | Statement::Commit | Statement::Rollback
+        )
+    }
+
+    /// Block until no *foreign* transaction is open, returning the tx
+    /// slot guard (held while the caller executes its mutation). The
+    /// owning thread of an open transaction passes straight through —
+    /// its writes belong to the transaction.
+    fn write_clearance(&self) -> parking_lot::MutexGuard<'_, Option<TxState>> {
+        let mut tx = self.tx.lock();
+        loop {
+            match &*tx {
+                Some(state) if state.owner != std::thread::current().id() => {
+                    self.tx_freed.wait(&mut tx);
+                }
+                _ => return tx,
             }
         }
     }
@@ -124,16 +325,44 @@ impl Database {
 
     /// Whether a transaction is currently open.
     pub fn in_transaction(&self) -> bool {
-        self.tx_snapshot.lock().is_some()
+        self.tx.lock().is_some()
     }
 
-    /// Scan-strategy counters (full scans vs index probes) since the
-    /// last [`Database::reset_stats`].
+    /// Open a transaction for a short read-modify-write sequence,
+    /// cooperating with the single-transaction model:
+    ///
+    /// * no transaction open → opens one ([`TxTicket::Owned`]; the
+    ///   caller must `COMMIT`/`ROLLBACK`);
+    /// * the **calling thread** already owns the open transaction →
+    ///   returns [`TxTicket::Inherited`] immediately (the caller's
+    ///   statements join the outer transaction; never self-deadlocks);
+    /// * another thread owns it → waits (yielding) until it closes.
+    pub fn begin_nested(&self) -> TxTicket {
+        let mut tx = self.tx.lock();
+        loop {
+            match &*tx {
+                None => {
+                    *tx = Some(TxState {
+                        snapshot: self.catalog.read().clone(),
+                        owner: std::thread::current().id(),
+                    });
+                    return TxTicket::Owned;
+                }
+                Some(state) if state.owner == std::thread::current().id() => {
+                    return TxTicket::Inherited;
+                }
+                Some(_) => self.tx_freed.wait(&mut tx),
+            }
+        }
+    }
+
+    /// Statement-cache and scan-strategy counters since the last
+    /// [`Database::reset_stats`].
     pub fn stats(&self) -> DbStats {
         *self.stats.lock()
     }
 
-    /// Zero the scan counters.
+    /// Zero the counters.
     pub fn reset_stats(&self) {
         *self.stats.lock() = DbStats::default();
     }
@@ -157,9 +386,19 @@ mod tests {
     fn end_to_end_session() {
         let db = Database::new();
         db.exec("CREATE TABLE kv (k TEXT, v INT)", &[]).unwrap();
-        db.exec("INSERT INTO kv VALUES (?, ?)", &[Value::from("x"), Value::Int(1)]).unwrap();
-        db.exec("INSERT INTO kv VALUES (?, ?)", &[Value::from("y"), Value::Int(2)]).unwrap();
-        let rs = db.exec("SELECT v FROM kv WHERE k = ?", &[Value::from("y")]).unwrap();
+        db.exec(
+            "INSERT INTO kv VALUES (?, ?)",
+            &[Value::from("x"), Value::Int(1)],
+        )
+        .unwrap();
+        db.exec(
+            "INSERT INTO kv VALUES (?, ?)",
+            &[Value::from("y"), Value::Int(2)],
+        )
+        .unwrap();
+        let rs = db
+            .exec("SELECT v FROM kv WHERE k = ?", &[Value::from("y")])
+            .unwrap();
         assert_eq!(rs.scalar(), Some(&Value::Int(2)));
         let rs = db.exec("UPDATE kv SET v = v * 10", &[]).unwrap();
         assert_eq!(rs.affected, 2);
@@ -177,7 +416,8 @@ mod tests {
                 let db = Arc::clone(&db);
                 s.spawn(move || {
                     for j in 0..50 {
-                        db.exec("INSERT INTO c VALUES (?)", &[Value::Int(i * 100 + j)]).unwrap();
+                        db.exec("INSERT INTO c VALUES (?)", &[Value::Int(i * 100 + j)])
+                            .unwrap();
                     }
                 });
             }
@@ -261,11 +501,68 @@ mod tests {
     }
 
     #[test]
+    fn begin_nested_owns_free_slot_and_inherits_own_tx() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        assert_eq!(db.begin_nested(), TxTicket::Owned);
+        assert!(db.in_transaction());
+        // Same thread again: join, don't deadlock, don't double-open.
+        assert_eq!(db.begin_nested(), TxTicket::Inherited);
+        db.exec("INSERT INTO t VALUES (1)", &[]).unwrap();
+        db.exec("COMMIT", &[]).unwrap();
+        assert_eq!(db.exec("SELECT a FROM t", &[]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn foreign_writes_wait_for_open_transaction() {
+        use std::sync::Arc;
+        let db = Arc::new(Database::new());
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        db.exec("BEGIN", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (1)", &[]).unwrap();
+        // A writer on another thread must block until the transaction
+        // closes — its row must NOT be erased by our rollback.
+        let writer = {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                db.exec("INSERT INTO t VALUES (2)", &[]).unwrap();
+            })
+        };
+        // Give the writer time to reach the table lock, then discard
+        // only our own work.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        db.exec("ROLLBACK", &[]).unwrap();
+        writer.join().unwrap();
+        let rs = db.exec("SELECT a FROM t", &[]).unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::Int(2)]],
+            "rollback must only discard the transaction's own writes"
+        );
+    }
+
+    #[test]
+    fn reads_proceed_during_foreign_transaction() {
+        use std::sync::Arc;
+        let db = Arc::new(Database::new());
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (1)", &[]).unwrap();
+        db.exec("BEGIN", &[]).unwrap();
+        let reader = {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || db.exec("SELECT a FROM t", &[]).unwrap().len())
+        };
+        assert_eq!(reader.join().unwrap(), 1, "reads are not table-locked");
+        db.exec("COMMIT", &[]).unwrap();
+    }
+
+    #[test]
     fn stats_observe_index_usage() {
         let db = Database::new();
         db.exec("CREATE TABLE t (k INT)", &[]).unwrap();
         for i in 0..20 {
-            db.exec("INSERT INTO t VALUES (?)", &[Value::Int(i)]).unwrap();
+            db.exec("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+                .unwrap();
         }
         db.exec("CREATE INDEX tk ON t (k)", &[]).unwrap();
         db.reset_stats();
@@ -273,5 +570,96 @@ mod tests {
         db.exec("SELECT * FROM t WHERE k > 5", &[]).unwrap();
         let s = db.stats();
         assert_eq!((s.index_scans, s.full_scans), (1, 1));
+        // The index probe touched one row; the fallback scanned all 20.
+        assert_eq!(s.rows_scanned, 21);
+        assert_eq!(s.rows_returned, 15);
+    }
+
+    // ---- prepared statements ----
+
+    #[test]
+    fn prepared_statement_reuses_parse() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (k INT, v TEXT)", &[]).unwrap();
+        db.reset_stats();
+        let ins = db.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
+        for i in 0..10 {
+            ins.execute(&db, &[Value::Int(i), Value::from("x")])
+                .unwrap();
+        }
+        let s = db.stats();
+        assert_eq!(s.parse_misses, 1, "one parse for ten executions");
+        // Executing a prepared statement never re-parses (hits stay 0:
+        // only `prepare`/`exec` consult the cache).
+        let sel = db.prepare("SELECT COUNT(*) FROM t WHERE k >= ?").unwrap();
+        let rs = sel.execute(&db, &[Value::Int(5)]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn exec_reuses_cached_plans() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (k INT)", &[]).unwrap();
+        db.reset_stats();
+        for i in 0..5 {
+            db.exec("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+                .unwrap();
+        }
+        let s = db.stats();
+        assert_eq!((s.parse_misses, s.parse_hits), (1, 4));
+    }
+
+    #[test]
+    fn prepared_equals_exec_results() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (k INT, v TEXT)", &[]).unwrap();
+        for i in 0..10 {
+            db.exec(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i % 3), Value::from("x")],
+            )
+            .unwrap();
+        }
+        let sql = "SELECT COUNT(*) FROM t WHERE k = ?";
+        let ps = db.prepare(sql).unwrap();
+        for probe in 0..4 {
+            let a = db.exec(sql, &[Value::Int(probe)]).unwrap();
+            let b = ps.execute(&db, &[Value::Int(probe)]).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn prepared_transactions_work() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        let begin = db.prepare("BEGIN").unwrap();
+        let rollback = db.prepare("ROLLBACK").unwrap();
+        begin.execute(&db, &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (1)", &[]).unwrap();
+        rollback.execute(&db, &[]).unwrap();
+        assert!(db.exec("SELECT * FROM t", &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn plan_cache_evicts_at_capacity() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        // Distinct SQL texts beyond capacity: must not grow unboundedly
+        // and must still parse correctly afterwards.
+        for i in 0..(super::PLAN_CACHE_CAPACITY + 50) {
+            db.exec(&format!("SELECT a FROM t WHERE a = {i}"), &[])
+                .unwrap();
+        }
+        db.reset_stats();
+        db.exec("SELECT a FROM t WHERE a = 1", &[]).unwrap(); // evicted long ago
+        let s = db.stats();
+        assert_eq!(s.parse_misses, 1);
+    }
+
+    #[test]
+    fn prepare_rejects_bad_sql() {
+        let db = Database::new();
+        assert!(db.prepare("SELEKT nope").is_err());
     }
 }

@@ -24,14 +24,24 @@ pub enum Outcome {
     Affected(usize),
 }
 
-/// Scan-strategy counters (how SELECTs touched their tables); exposed by
-/// `Database::stats` so tests and benches can observe index usage.
+/// Per-connection execution counters; exposed by `Database::stats` so
+/// tests and benches can observe parse reuse, index usage, and row
+/// volumes per query shape.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DbStats {
     /// SELECTs answered by a full table (or join) scan.
     pub full_scans: u64,
     /// SELECTs answered through a secondary-index equality probe.
     pub index_scans: u64,
+    /// Statement preparations served from the parsed-plan cache.
+    pub parse_hits: u64,
+    /// Statement preparations that had to lex + parse the SQL text.
+    pub parse_misses: u64,
+    /// Source rows visited by SELECTs (index candidates for probes,
+    /// whole tables for scans, both sides for joins).
+    pub rows_scanned: u64,
+    /// Rows returned by SELECTs after filtering/aggregation/limit.
+    pub rows_returned: u64,
 }
 
 /// Column-name resolution context for expression evaluation.
@@ -81,12 +91,16 @@ impl Resolve for JoinRel {
                 .position(|(q, _)| q.eq_ignore_ascii_case(name))
                 .ok_or_else(|| DbError::NoSuchColumn(name.to_string()));
         }
-        let mut hits = self.cols.iter().enumerate().filter(|(_, (_, p))| p.eq_ignore_ascii_case(name));
+        let mut hits = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, p))| p.eq_ignore_ascii_case(name));
         match (hits.next(), hits.next()) {
             (Some((i, _)), None) => Ok(i),
-            (Some(_), Some(_)) => {
-                Err(DbError::NoSuchColumn(format!("ambiguous column {name} (qualify it)")))
-            }
+            (Some(_), Some(_)) => Err(DbError::NoSuchColumn(format!(
+                "ambiguous column {name} (qualify it)"
+            ))),
             _ => Err(DbError::NoSuchColumn(name.to_string())),
         }
     }
@@ -112,15 +126,21 @@ pub fn eval(expr: &Expr, res: &impl Resolve, row: &Row, params: &[Value]) -> DbR
     match expr {
         Expr::Lit(v) => Ok(v.clone()),
         Expr::Col(name) => Ok(row[res.col_index(name)?].clone()),
-        Expr::Param(i) => params
-            .get(*i)
-            .cloned()
-            .ok_or_else(|| DbError::Arity(format!("missing parameter {} (got {})", i + 1, params.len()))),
+        Expr::Param(i) => params.get(*i).cloned().ok_or_else(|| {
+            DbError::Arity(format!(
+                "missing parameter {} (got {})",
+                i + 1,
+                params.len()
+            ))
+        }),
         Expr::Neg(e) => match eval(e, res, row, params)? {
             Value::Int(i) => Ok(Value::Int(-i)),
             Value::Double(d) => Ok(Value::Double(-d)),
             Value::Null => Ok(Value::Null),
-            other => Err(DbError::Type(format!("cannot negate {}", other.type_name()))),
+            other => Err(DbError::Type(format!(
+                "cannot negate {}",
+                other.type_name()
+            ))),
         },
         Expr::Not(e) => match truthy(&eval(e, res, row, params)?) {
             Some(b) => Ok(Value::Int(!b as i64)),
@@ -213,12 +233,12 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> DbResult<Value> {
             _ => unreachable!(),
         }),
         _ => {
-            let a = l.as_f64().ok_or_else(|| {
-                DbError::Type(format!("arithmetic on {}", l.type_name()))
-            })?;
-            let b = r.as_f64().ok_or_else(|| {
-                DbError::Type(format!("arithmetic on {}", r.type_name()))
-            })?;
+            let a = l
+                .as_f64()
+                .ok_or_else(|| DbError::Type(format!("arithmetic on {}", l.type_name())))?;
+            let b = r
+                .as_f64()
+                .ok_or_else(|| DbError::Type(format!("arithmetic on {}", r.type_name())))?;
             Ok(match op {
                 BinOp::Add => Value::Double(a + b),
                 BinOp::Sub => Value::Double(a - b),
@@ -295,10 +315,16 @@ fn aggregate(func: AggFunc, vals: &[&Value]) -> Value {
 /// probing.
 fn eq_probe<'a>(filter: &'a Expr, params: &[Value]) -> Option<(&'a str, Value)> {
     match filter {
-        Expr::Binary { op: BinOp::And, lhs, rhs } => {
-            eq_probe(lhs, params).or_else(|| eq_probe(rhs, params))
-        }
-        Expr::Binary { op: BinOp::Eq, lhs, rhs } => {
+        Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => eq_probe(lhs, params).or_else(|| eq_probe(rhs, params)),
+        Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } => {
             let const_of = |e: &Expr| -> Option<Value> {
                 match e {
                     Expr::Lit(v) => Some(v.clone()),
@@ -314,6 +340,98 @@ fn eq_probe<'a>(filter: &'a Expr, params: &[Value]) -> Option<(&'a str, Value)> 
         }
         _ => None,
     }
+}
+
+/// Positions of rows matching a top-level `col = const` conjunct through
+/// a secondary index, if one applies (`None` means scan).
+fn index_candidates(
+    catalog: &mut Catalog,
+    table: &str,
+    rel: &TableRel<'_>,
+    filter: &Option<Expr>,
+    params: &[Value],
+) -> Option<Vec<usize>> {
+    filter.as_ref().and_then(|f| {
+        let (col, val) = eq_probe(f, params)?;
+        let plain = col.rsplit('.').next().unwrap_or(col);
+        rel.col_index(col).ok()?; // must resolve in this table
+        catalog.get_mut(table).ok()?.index_lookup(plain, &val)
+    })
+}
+
+/// `SELECT <aggregates only> FROM t [WHERE ...]`: one streaming pass over
+/// borrowed rows (index-probed when possible). This is the `next_runid`
+/// fast path — `SELECT MAX(runid)` touches each candidate row once and
+/// clones nothing.
+fn exec_simple_aggregates(
+    catalog: &mut Catalog,
+    params: &[Value],
+    stats: &mut DbStats,
+    items: &[SelectItem],
+    table: &str,
+    filter: &Option<Expr>,
+    limit: Option<usize>,
+) -> DbResult<Outcome> {
+    let schema = catalog.get(table)?.schema.clone();
+    let rel = TableRel {
+        table,
+        schema: &schema,
+    };
+    let arg_idx: Vec<Option<usize>> = items
+        .iter()
+        .map(|it| match &it.expr {
+            SelExpr::Agg { arg: Some(c), .. } => rel.col_index(c).map(Some),
+            SelExpr::Agg { arg: None, .. } => Ok(None),
+            SelExpr::Col(_) => unreachable!("caller checked all items are aggregates"),
+        })
+        .collect::<DbResult<_>>()?;
+    let candidates = index_candidates(catalog, table, &rel, filter, params);
+    let t = catalog.get(table)?;
+    let rows = t.rows();
+    let visited: Vec<&Row> = match candidates {
+        Some(pos) => {
+            stats.index_scans += 1;
+            pos.iter().map(|&p| &rows[p]).collect()
+        }
+        None => {
+            stats.full_scans += 1;
+            rows.iter().collect()
+        }
+    };
+    stats.rows_scanned += visited.len() as u64;
+    let mut matching: Vec<&Row> = Vec::with_capacity(visited.len());
+    for row in visited {
+        if let Some(f) = filter {
+            if truthy(&eval(f, &rel, row, params)?) != Some(true) {
+                continue;
+            }
+        }
+        matching.push(row);
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for (it, idx) in items.iter().zip(&arg_idx) {
+        let SelExpr::Agg { func, .. } = &it.expr else {
+            unreachable!()
+        };
+        let v = match idx {
+            None => Value::Int(matching.len() as i64), // COUNT(*)
+            Some(i) => {
+                let vals: Vec<&Value> = matching.iter().map(|r| &r[*i]).collect();
+                aggregate(*func, &vals)
+            }
+        };
+        out.push(v);
+    }
+    let names = items.iter().map(SelectItem::output_name).collect();
+    let mut rows_out = vec![out];
+    if let Some(l) = limit {
+        rows_out.truncate(l);
+    }
+    stats.rows_returned += rows_out.len() as u64;
+    Ok(Outcome::Rows {
+        columns: names,
+        rows: rows_out,
+    })
 }
 
 /// Execute a parsed statement against the catalog.
@@ -336,11 +454,18 @@ pub fn execute_with_stats(
     stats: &mut DbStats,
 ) -> DbResult<Outcome> {
     match stmt {
-        Statement::CreateTable { name, columns, if_not_exists } => {
+        Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        } => {
             let schema = Schema::new(
                 columns
                     .iter()
-                    .map(|(n, t)| Column { name: n.clone(), ctype: *t })
+                    .map(|(n, t)| Column {
+                        name: n.clone(),
+                        ctype: *t,
+                    })
                     .collect(),
             )?;
             catalog.create_table(name, schema, *if_not_exists)?;
@@ -350,7 +475,11 @@ pub fn execute_with_stats(
             catalog.drop_table(name)?;
             Ok(Outcome::Affected(0))
         }
-        Statement::CreateIndex { name, table, column } => {
+        Statement::CreateIndex {
+            name,
+            table,
+            column,
+        } => {
             catalog.get_mut(table)?.create_index(name, column)?;
             Ok(Outcome::Affected(0))
         }
@@ -358,7 +487,11 @@ pub fn execute_with_stats(
             catalog.get_mut(table)?.drop_index(name)?;
             Ok(Outcome::Affected(0))
         }
-        Statement::Insert { table, columns, rows } => {
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
             let empty_schema = Schema::new(vec![])?;
             let empty_row: Row = vec![];
             // Evaluate expressions first (no column refs allowed in VALUES).
@@ -410,7 +543,11 @@ pub fn execute_with_stats(
             catalog, params, stats, *distinct, items, table, join, filter, group_by, having,
             order_by, *limit,
         ),
-        Statement::Update { table, sets, filter } => {
+        Statement::Update {
+            table,
+            sets,
+            filter,
+        } => {
             let t = catalog.get_mut(table)?;
             let schema = t.schema.clone();
             let set_idx: Vec<(usize, &Expr)> = sets
@@ -491,23 +628,38 @@ fn exec_select(
     order_by: &[OrderBy],
     limit: Option<usize>,
 ) -> DbResult<Outcome> {
+    // ---- Streaming aggregate fast path ----
+    // Plain aggregates over one table (`SELECT MAX(runid) FROM
+    // run_table`, the COUNTs of report queries) accumulate over borrowed
+    // rows in a single pass: no row clones, no sort, no group machinery.
+    if join.is_none() && !distinct && group_by.is_empty() && having.is_none() && order_by.is_empty()
+    {
+        if let Some(items) = items {
+            if !items.is_empty()
+                && items
+                    .iter()
+                    .all(|it| matches!(it.expr, SelExpr::Agg { .. }))
+            {
+                return exec_simple_aggregates(catalog, params, stats, items, table, filter, limit);
+            }
+        }
+    }
+
     // ---- Source relation ----
     let (rel_cols, mut rows): (Vec<(String, String)>, Vec<Row>) = match join {
         None => {
             let schema = catalog.get(table)?.schema.clone();
-            let rel = TableRel { table, schema: &schema };
-            // Index path: a top-level equality conjunct on an indexed column.
-            let candidates: Option<Vec<usize>> = filter.as_ref().and_then(|f| {
-                let (col, val) = eq_probe(f, params)?;
-                let plain = col.rsplit('.').next().unwrap_or(col);
-                rel.col_index(col).ok()?; // must resolve in this table
-                catalog.get_mut(table).ok()?.index_lookup(plain, &val)
-            });
+            let rel = TableRel {
+                table,
+                schema: &schema,
+            };
+            let candidates = index_candidates(catalog, table, &rel, filter, params);
             let t = catalog.get(table)?;
             let mut out = Vec::new();
             match candidates {
                 Some(pos) => {
                     stats.index_scans += 1;
+                    stats.rows_scanned += pos.len() as u64;
                     for p in pos {
                         let row = &t.rows()[p];
                         if let Some(f) = filter {
@@ -520,6 +672,7 @@ fn exec_select(
                 }
                 None => {
                     stats.full_scans += 1;
+                    stats.rows_scanned += t.len() as u64;
                     for row in t.rows() {
                         if let Some(f) = filter {
                             if truthy(&eval(f, &rel, row, params)?) != Some(true) {
@@ -541,6 +694,7 @@ fn exec_select(
             stats.full_scans += 1;
             let left = catalog.get(table)?;
             let right = catalog.get(&j.table)?;
+            stats.rows_scanned += (left.len() + right.len()) as u64;
             let lschema = left.schema.clone();
             let rschema = right.schema.clone();
             let cols: Vec<(String, String)> = lschema
@@ -556,8 +710,14 @@ fn exec_select(
                 .collect();
             let rel = JoinRel { cols: cols.clone() };
             // Resolve the ON columns against each side.
-            let lrel = TableRel { table, schema: &lschema };
-            let rrel = TableRel { table: &j.table, schema: &rschema };
+            let lrel = TableRel {
+                table,
+                schema: &lschema,
+            };
+            let rrel = TableRel {
+                table: &j.table,
+                schema: &rschema,
+            };
             let (lcol, rcol) = match (lrel.col_index(&j.on_left), rrel.col_index(&j.on_right)) {
                 (Ok(a), Ok(b)) => (a, b),
                 // Allow the ON sides in either order.
@@ -605,7 +765,9 @@ fn exec_select(
             (cols, out)
         }
     };
-    let rel = JoinRel { cols: rel_cols.clone() };
+    let rel = JoinRel {
+        cols: rel_cols.clone(),
+    };
 
     // ---- Aggregate path ----
     let has_agg = items
@@ -626,8 +788,10 @@ fn exec_select(
                 }
             }
         }
-        let gidx: Vec<usize> =
-            group_by.iter().map(|g| rel.col_index(g)).collect::<DbResult<_>>()?;
+        let gidx: Vec<usize> = group_by
+            .iter()
+            .map(|g| rel.col_index(g))
+            .collect::<DbResult<_>>()?;
         // Group rows, preserving first-seen order.
         let mut order: Vec<String> = Vec::new();
         let mut groups: HashMap<String, Vec<Row>> = HashMap::new();
@@ -636,7 +800,11 @@ fn exec_select(
             groups.insert(String::new(), std::mem::take(&mut rows));
         } else {
             for row in rows.drain(..) {
-                let key = gidx.iter().map(|&i| row[i].index_key()).collect::<Vec<_>>().join("\u{1}");
+                let key = gidx
+                    .iter()
+                    .map(|&i| row[i].index_key())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}");
                 if !groups.contains_key(&key) {
                     order.push(key.clone());
                 }
@@ -669,7 +837,9 @@ fn exec_select(
             }
             out_rows.push(out);
         }
-        let out_rel = NamedRel { names: names.clone() };
+        let out_rel = NamedRel {
+            names: names.clone(),
+        };
         if let Some(h) = having {
             let mut kept = Vec::with_capacity(out_rows.len());
             for r in out_rows {
@@ -679,11 +849,13 @@ fn exec_select(
             }
             out_rows = kept;
         }
-        sort_rows(&mut out_rows, order_by, &out_rel)?;
-        finish(names, out_rows, distinct, limit)
+        let top_k = if distinct { None } else { limit };
+        sort_rows(&mut out_rows, order_by, &out_rel, top_k)?;
+        finish(names, out_rows, distinct, limit, stats)
     } else {
         // ---- Plain path: sort on the source relation, then project ----
-        sort_rows(&mut rows, order_by, &rel)?;
+        let top_k = if distinct { None } else { limit };
+        sort_rows(&mut rows, order_by, &rel, top_k)?;
         let (names, rows) = match items {
             None => {
                 // `*`: plain names for single tables, qualified for joins.
@@ -710,11 +882,20 @@ fn exec_select(
                 (names, rows)
             }
         };
-        finish(names, rows, distinct, limit)
+        finish(names, rows, distinct, limit, stats)
     }
 }
 
-fn sort_rows(rows: &mut [Row], order_by: &[OrderBy], rel: &impl Resolve) -> DbResult<()> {
+/// Sort rows by the ORDER BY keys. When a `top_k` row budget applies
+/// (LIMIT without DISTINCT), the sort is a partial selection: pick the
+/// first `k` under the ordering, then sort only those — `ORDER BY ...
+/// LIMIT k` stops paying for a full sort of the table.
+fn sort_rows(
+    rows: &mut Vec<Row>,
+    order_by: &[OrderBy],
+    rel: &impl Resolve,
+    top_k: Option<usize>,
+) -> DbResult<()> {
     if order_by.is_empty() {
         return Ok(());
     }
@@ -722,7 +903,7 @@ fn sort_rows(rows: &mut [Row], order_by: &[OrderBy], rel: &impl Resolve) -> DbRe
         .iter()
         .map(|o| Ok((rel.col_index(&o.column)?, o.desc)))
         .collect::<DbResult<_>>()?;
-    rows.sort_by(|a, b| {
+    let cmp = |a: &Row, b: &Row| {
         for &(i, desc) in &keys {
             let o = a[i].sql_cmp(&b[i]).unwrap_or(Ordering::Equal);
             let o = if desc { o.reverse() } else { o };
@@ -731,7 +912,15 @@ fn sort_rows(rows: &mut [Row], order_by: &[OrderBy], rel: &impl Resolve) -> DbRe
             }
         }
         Ordering::Equal
-    });
+    };
+    match top_k {
+        Some(k) if k > 0 && k < rows.len() => {
+            rows.select_nth_unstable_by(k - 1, cmp);
+            rows.truncate(k);
+            rows.sort_by(cmp);
+        }
+        _ => rows.sort_by(cmp),
+    }
     Ok(())
 }
 
@@ -741,17 +930,27 @@ fn finish(
     mut rows: Vec<Row>,
     distinct: bool,
     limit: Option<usize>,
+    stats: &mut DbStats,
 ) -> DbResult<Outcome> {
     if distinct {
         let mut seen = std::collections::HashSet::new();
         rows.retain(|r| {
-            seen.insert(r.iter().map(Value::index_key).collect::<Vec<_>>().join("\u{1}"))
+            seen.insert(
+                r.iter()
+                    .map(Value::index_key)
+                    .collect::<Vec<_>>()
+                    .join("\u{1}"),
+            )
         });
     }
     if let Some(l) = limit {
         rows.truncate(l);
     }
-    Ok(Outcome::Rows { columns: names, rows })
+    stats.rows_returned += rows.len() as u64;
+    Ok(Outcome::Rows {
+        columns: names,
+        rows,
+    })
 }
 
 #[cfg(test)]
@@ -772,8 +971,16 @@ mod tests {
 
     fn setup() -> Catalog {
         let mut c = Catalog::new();
-        run(&mut c, "CREATE TABLE t (id INT, score DOUBLE, name TEXT)", &[]);
-        run(&mut c, "INSERT INTO t VALUES (1, 3.5, 'a'), (2, 1.0, 'b'), (3, 9.25, 'c')", &[]);
+        run(
+            &mut c,
+            "CREATE TABLE t (id INT, score DOUBLE, name TEXT)",
+            &[],
+        );
+        run(
+            &mut c,
+            "INSERT INTO t VALUES (1, 3.5, 'a'), (2, 1.0, 'b'), (3, 9.25, 'c')",
+            &[],
+        );
         c
     }
 
@@ -792,14 +999,22 @@ mod tests {
     #[test]
     fn select_where_params() {
         let mut c = setup();
-        let rows = rows_of(run(&mut c, "SELECT name FROM t WHERE id = ?", &[Value::Int(2)]));
+        let rows = rows_of(run(
+            &mut c,
+            "SELECT name FROM t WHERE id = ?",
+            &[Value::Int(2)],
+        ));
         assert_eq!(rows, vec![vec![Value::Text("b".into())]]);
     }
 
     #[test]
     fn select_order_desc_limit() {
         let mut c = setup();
-        let rows = rows_of(run(&mut c, "SELECT id FROM t ORDER BY score DESC LIMIT 2", &[]));
+        let rows = rows_of(run(
+            &mut c,
+            "SELECT id FROM t ORDER BY score DESC LIMIT 2",
+            &[],
+        ));
         assert_eq!(rows, vec![vec![Value::Int(3)], vec![Value::Int(1)]]);
     }
 
@@ -835,8 +1050,11 @@ mod tests {
         run(&mut c, "INSERT INTO t (id) VALUES (9)", &[]);
         let rows = rows_of(run(&mut c, "SELECT id FROM t WHERE name IS NULL", &[]));
         assert_eq!(rows, vec![vec![Value::Int(9)]]);
-        let rows =
-            rows_of(run(&mut c, "SELECT id FROM t WHERE name IS NOT NULL ORDER BY id LIMIT 1", &[]));
+        let rows = rows_of(run(
+            &mut c,
+            "SELECT id FROM t WHERE name IS NOT NULL ORDER BY id LIMIT 1",
+            &[],
+        ));
         assert_eq!(rows, vec![vec![Value::Int(1)]]);
     }
 
@@ -890,7 +1108,11 @@ mod tests {
         let mut c = setup();
         run(&mut c, "INSERT INTO t (id) VALUES (11)", &[]);
         // (score > 0 OR id = 11): unknown OR true = true.
-        let rows = rows_of(run(&mut c, "SELECT id FROM t WHERE score > 0 OR id = 11", &[]));
+        let rows = rows_of(run(
+            &mut c,
+            "SELECT id FROM t WHERE score > 0 OR id = 11",
+            &[],
+        ));
         assert_eq!(rows.len(), 4);
     }
 
@@ -907,8 +1129,11 @@ mod tests {
     #[test]
     fn sum_avg_min_max() {
         let mut c = setup();
-        let rows =
-            rows_of(run(&mut c, "SELECT SUM(id), AVG(score), MIN(score), MAX(name) FROM t", &[]));
+        let rows = rows_of(run(
+            &mut c,
+            "SELECT SUM(id), AVG(score), MIN(score), MAX(name) FROM t",
+            &[],
+        ));
         assert_eq!(rows[0][0], Value::Int(6));
         assert!((rows[0][1].as_f64().unwrap() - (3.5 + 1.0 + 9.25) / 3.0).abs() < 1e-12);
         assert_eq!(rows[0][2], Value::Double(1.0));
@@ -977,7 +1202,14 @@ mod tests {
         run(&mut c, "CREATE TABLE d (x INT)", &[]);
         run(&mut c, "INSERT INTO d VALUES (1), (2), (1), (3), (2)", &[]);
         let rows = rows_of(run(&mut c, "SELECT DISTINCT x FROM d ORDER BY x", &[]));
-        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(3)]
+            ]
+        );
     }
 
     // ---- joins ----
@@ -985,8 +1217,16 @@ mod tests {
     fn join_setup() -> Catalog {
         let mut c = Catalog::new();
         run(&mut c, "CREATE TABLE runs (runid INT, app TEXT)", &[]);
-        run(&mut c, "CREATE TABLE execs (runid INT, ds TEXT, off INT)", &[]);
-        run(&mut c, "INSERT INTO runs VALUES (1, 'fun3d'), (2, 'rt')", &[]);
+        run(
+            &mut c,
+            "CREATE TABLE execs (runid INT, ds TEXT, off INT)",
+            &[],
+        );
+        run(
+            &mut c,
+            "INSERT INTO runs VALUES (1, 'fun3d'), (2, 'rt')",
+            &[],
+        );
         run(
             &mut c,
             "INSERT INTO execs VALUES (1, 'p', 0), (1, 'q', 100), (2, 'nodes', 0)",
@@ -1016,7 +1256,11 @@ mod tests {
     #[test]
     fn join_star_uses_qualified_names() {
         let mut c = join_setup();
-        match run(&mut c, "SELECT * FROM runs JOIN execs ON runs.runid = execs.runid", &[]) {
+        match run(
+            &mut c,
+            "SELECT * FROM runs JOIN execs ON runs.runid = execs.runid",
+            &[],
+        ) {
             Outcome::Rows { columns, rows } => {
                 assert_eq!(columns[0], "runs.runid");
                 assert_eq!(columns[2], "execs.runid");
@@ -1062,7 +1306,11 @@ mod tests {
         let mut c = Catalog::new();
         run(&mut c, "CREATE TABLE h (k INT, v TEXT)", &[]);
         for i in 0..50 {
-            run(&mut c, "INSERT INTO h VALUES (?, 'x')", &[Value::Int(i % 10)]);
+            run(
+                &mut c,
+                "INSERT INTO h VALUES (?, 'x')",
+                &[Value::Int(i % 10)],
+            );
         }
         run(&mut c, "CREATE INDEX hk ON h (k)", &[]);
         let mut stats = DbStats::default();
@@ -1074,7 +1322,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rows_of(out), vec![vec![Value::Int(5)]]);
-        assert_eq!(stats, DbStats { full_scans: 0, index_scans: 1 });
+        assert_eq!((stats.full_scans, stats.index_scans), (0, 1));
+        assert_eq!(
+            stats.rows_scanned, 5,
+            "probe visits only the candidate bucket"
+        );
         // Non-equality predicates fall back to a scan.
         let out = execute_with_stats(
             &mut c,
@@ -1091,10 +1343,120 @@ mod tests {
     fn index_probe_respects_extra_conjuncts() {
         let mut c = Catalog::new();
         run(&mut c, "CREATE TABLE h (k INT, v INT)", &[]);
-        run(&mut c, "INSERT INTO h VALUES (1, 10), (1, 20), (2, 30)", &[]);
+        run(
+            &mut c,
+            "INSERT INTO h VALUES (1, 10), (1, 20), (2, 30)",
+            &[],
+        );
         run(&mut c, "CREATE INDEX hk ON h (k)", &[]);
         let rows = rows_of(run(&mut c, "SELECT v FROM h WHERE k = 1 AND v > 15", &[]));
         assert_eq!(rows, vec![vec![Value::Int(20)]]);
+    }
+
+    // ---- streaming aggregates / top-k ----
+
+    #[test]
+    fn max_fast_path_matches_generic_answer() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE r (runid INT)", &[]);
+        for i in [3, 9, 1, 7, 9, 2] {
+            run(&mut c, "INSERT INTO r VALUES (?)", &[Value::Int(i)]);
+        }
+        let mut stats = DbStats::default();
+        let out = execute_with_stats(
+            &mut c,
+            &parse("SELECT MAX(runid) FROM r").unwrap(),
+            &[],
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(rows_of(out), vec![vec![Value::Int(9)]]);
+        // Same answer as the ORDER BY ... LIMIT 1 spelling.
+        let out = run(
+            &mut c,
+            "SELECT runid FROM r ORDER BY runid DESC LIMIT 1",
+            &[],
+        );
+        assert_eq!(rows_of(out), vec![vec![Value::Int(9)]]);
+        assert_eq!((stats.rows_scanned, stats.rows_returned), (6, 1));
+    }
+
+    #[test]
+    fn aggregate_fast_path_honors_filter_and_index() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE t (k INT, v INT)", &[]);
+        for i in 0..30 {
+            run(
+                &mut c,
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i % 3), Value::Int(i)],
+            );
+        }
+        run(&mut c, "CREATE INDEX tk ON t (k)", &[]);
+        let mut stats = DbStats::default();
+        let out = execute_with_stats(
+            &mut c,
+            &parse("SELECT COUNT(*), MIN(v), MAX(v) FROM t WHERE k = ?").unwrap(),
+            &[Value::Int(1)],
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(
+            rows_of(out),
+            vec![vec![Value::Int(10), Value::Int(1), Value::Int(28)]]
+        );
+        assert_eq!(stats.index_scans, 1, "fast path still probes the index");
+        assert_eq!(stats.rows_scanned, 10);
+    }
+
+    #[test]
+    fn aggregate_over_empty_table_still_null() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE e (x INT)", &[]);
+        let rows = rows_of(run(&mut c, "SELECT MAX(x), COUNT(*) FROM e", &[]));
+        assert_eq!(rows, vec![vec![Value::Null, Value::Int(0)]]);
+    }
+
+    #[test]
+    fn order_by_limit_partial_sort_matches_full_sort() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE t (k INT)", &[]);
+        for i in [5i64, 3, 8, 1, 9, 2, 7, 4, 6, 0] {
+            run(&mut c, "INSERT INTO t VALUES (?)", &[Value::Int(i)]);
+        }
+        let top3 = rows_of(run(&mut c, "SELECT k FROM t ORDER BY k LIMIT 3", &[]));
+        assert_eq!(
+            top3,
+            vec![
+                vec![Value::Int(0)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)]
+            ]
+        );
+        let bottom2 = rows_of(run(&mut c, "SELECT k FROM t ORDER BY k DESC LIMIT 2", &[]));
+        assert_eq!(bottom2, vec![vec![Value::Int(9)], vec![Value::Int(8)]]);
+        // LIMIT larger than the table falls back to a plain sort.
+        let all = rows_of(run(&mut c, "SELECT k FROM t ORDER BY k LIMIT 99", &[]));
+        assert_eq!(all.len(), 10);
+        let none = rows_of(run(&mut c, "SELECT k FROM t ORDER BY k LIMIT 0", &[]));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn distinct_with_limit_dedups_before_truncating() {
+        let mut c = Catalog::new();
+        run(&mut c, "CREATE TABLE d (x INT)", &[]);
+        run(
+            &mut c,
+            "INSERT INTO d VALUES (2), (2), (2), (1), (1), (3)",
+            &[],
+        );
+        let rows = rows_of(run(
+            &mut c,
+            "SELECT DISTINCT x FROM d ORDER BY x LIMIT 2",
+            &[],
+        ));
+        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
     }
 
     #[test]

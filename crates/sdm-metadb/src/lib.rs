@@ -32,7 +32,7 @@ pub mod sql;
 pub mod table;
 pub mod value;
 
-pub use db::{Database, ResultSet};
+pub use db::{Database, PreparedStatement, ResultSet, TxTicket};
 pub use error::{DbError, DbResult};
 pub use exec::DbStats;
 pub use schema::{ColType, Column, Schema};

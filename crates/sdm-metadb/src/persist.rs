@@ -43,7 +43,8 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("meta.json");
         let db = Database::new();
-        db.exec("CREATE TABLE t (a INT, b TEXT, c DOUBLE)", &[]).unwrap();
+        db.exec("CREATE TABLE t (a INT, b TEXT, c DOUBLE)", &[])
+            .unwrap();
         db.exec(
             "INSERT INTO t VALUES (?, ?, ?)",
             &[Value::Int(7), Value::from("seven"), Value::Double(7.5)],
@@ -55,13 +56,20 @@ mod tests {
         let rs = db2.exec("SELECT a, b, c FROM t", &[]).unwrap();
         assert_eq!(
             rs.rows,
-            vec![vec![Value::Int(7), Value::Text("seven".into()), Value::Double(7.5)]]
+            vec![vec![
+                Value::Int(7),
+                Value::Text("seven".into()),
+                Value::Double(7.5)
+            ]]
         );
     }
 
     #[test]
     fn load_missing_file_errors() {
-        assert!(matches!(Database::load("/nonexistent/nope.json"), Err(DbError::Persist(_))));
+        assert!(matches!(
+            Database::load("/nonexistent/nope.json"),
+            Err(DbError::Persist(_))
+        ));
     }
 
     #[test]

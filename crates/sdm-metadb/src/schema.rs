@@ -114,9 +114,18 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::new(vec![
-            Column { name: "id".into(), ctype: ColType::Int },
-            Column { name: "score".into(), ctype: ColType::Double },
-            Column { name: "name".into(), ctype: ColType::Text },
+            Column {
+                name: "id".into(),
+                ctype: ColType::Int,
+            },
+            Column {
+                name: "score".into(),
+                ctype: ColType::Double,
+            },
+            Column {
+                name: "name".into(),
+                ctype: ColType::Text,
+            },
         ])
         .unwrap()
     }
@@ -132,8 +141,14 @@ mod tests {
     #[test]
     fn duplicate_columns_rejected() {
         assert!(Schema::new(vec![
-            Column { name: "a".into(), ctype: ColType::Int },
-            Column { name: "A".into(), ctype: ColType::Text },
+            Column {
+                name: "a".into(),
+                ctype: ColType::Int
+            },
+            Column {
+                name: "A".into(),
+                ctype: ColType::Text
+            },
         ])
         .is_err());
     }
@@ -151,7 +166,11 @@ mod tests {
     fn check_row_rejects_type_mismatch() {
         let s = schema();
         assert!(matches!(
-            s.check_row(vec![Value::from("oops"), Value::Double(0.0), Value::from("x")]),
+            s.check_row(vec![
+                Value::from("oops"),
+                Value::Double(0.0),
+                Value::from("x")
+            ]),
             Err(DbError::Type(_))
         ));
     }
@@ -159,12 +178,17 @@ mod tests {
     #[test]
     fn check_row_rejects_wrong_arity() {
         let s = schema();
-        assert!(matches!(s.check_row(vec![Value::Int(1)]), Err(DbError::Arity(_))));
+        assert!(matches!(
+            s.check_row(vec![Value::Int(1)]),
+            Err(DbError::Arity(_))
+        ));
     }
 
     #[test]
     fn null_admitted_everywhere() {
         let s = schema();
-        assert!(s.check_row(vec![Value::Null, Value::Null, Value::Null]).is_ok());
+        assert!(s
+            .check_row(vec![Value::Null, Value::Null, Value::Null])
+            .is_ok());
     }
 }

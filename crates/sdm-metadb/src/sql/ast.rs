@@ -117,7 +117,10 @@ pub struct SelectItem {
 impl SelectItem {
     /// Plain column item without alias (test/convenience constructor).
     pub fn col(name: impl Into<String>) -> Self {
-        Self { expr: SelExpr::Col(name.into()), alias: None }
+        Self {
+            expr: SelExpr::Col(name.into()),
+            alias: None,
+        }
     }
 
     /// The output column name: the alias if present, else the column

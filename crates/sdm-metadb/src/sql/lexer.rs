@@ -198,7 +198,11 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                 }
                 out.push(Token::Ident(input[start..i].to_string()));
             }
-            other => return Err(DbError::Lex(format!("unexpected character '{other}' at byte {i}"))),
+            other => {
+                return Err(DbError::Lex(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )))
+            }
         }
     }
     Ok(out)
@@ -250,7 +254,13 @@ mod tests {
         let toks = lex("(?, ?)").unwrap();
         assert_eq!(
             toks,
-            vec![Token::LParen, Token::Param, Token::Comma, Token::Param, Token::RParen]
+            vec![
+                Token::LParen,
+                Token::Param,
+                Token::Comma,
+                Token::Param,
+                Token::RParen
+            ]
         );
     }
 

@@ -9,11 +9,18 @@ use crate::value::Value;
 /// Parse one SQL statement (a trailing `;` is allowed).
 pub fn parse(input: &str) -> DbResult<Statement> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, params: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let stmt = p.statement()?;
     p.eat_optional_semi();
     if p.pos != p.tokens.len() {
-        return Err(DbError::Parse(format!("trailing tokens after statement: {:?}", &p.tokens[p.pos..])));
+        return Err(DbError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            &p.tokens[p.pos..]
+        )));
     }
     Ok(stmt)
 }
@@ -58,7 +65,9 @@ impl Parser {
     fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
         match self.next()? {
             Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(DbError::Parse(format!("expected keyword {kw}, got {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected keyword {kw}, got {other:?}"
+            ))),
         }
     }
 
@@ -76,7 +85,9 @@ impl Parser {
     fn ident(&mut self) -> DbResult<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(DbError::Parse(format!("expected identifier, got {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -95,7 +106,9 @@ impl Parser {
                 Ok(Statement::DropIndex { name, table })
             } else {
                 self.expect_kw("TABLE")?;
-                Ok(Statement::DropTable { name: self.ident()? })
+                Ok(Statement::DropTable {
+                    name: self.ident()?,
+                })
             }
         } else if self.accept_kw("INSERT") {
             self.insert()
@@ -118,7 +131,10 @@ impl Parser {
         } else if self.accept_kw("ROLLBACK") {
             Ok(Statement::Rollback)
         } else {
-            Err(DbError::Parse(format!("unknown statement start: {:?}", self.peek())))
+            Err(DbError::Parse(format!(
+                "unknown statement start: {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -139,7 +155,9 @@ impl Parser {
                     Token::RParen => break,
                     Token::Int(_) | Token::Comma => {}
                     other => {
-                        return Err(DbError::Parse(format!("unexpected {other:?} in type suffix")))
+                        return Err(DbError::Parse(format!(
+                            "unexpected {other:?} in type suffix"
+                        )))
                     }
                 }
             }
@@ -169,7 +187,11 @@ impl Parser {
                 other => return Err(DbError::Parse(format!("expected , or ), got {other:?}"))),
             }
         }
-        Ok(Statement::CreateTable { name, columns, if_not_exists })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        })
     }
 
     fn create_index(&mut self) -> DbResult<Statement> {
@@ -179,7 +201,11 @@ impl Parser {
         self.expect(&Token::LParen)?;
         let column = self.ident()?;
         self.expect(&Token::RParen)?;
-        Ok(Statement::CreateIndex { name, table, column })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+        })
     }
 
     fn insert(&mut self) -> DbResult<Statement> {
@@ -220,7 +246,11 @@ impl Parser {
             }
             break;
         }
-        Ok(Statement::Insert { table, columns, rows })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
     }
 
     /// One SELECT-list item: column, or `FUNC(col)` / `COUNT(*)`, with an
@@ -235,7 +265,9 @@ impl Parser {
                 "MIN" => AggFunc::Min,
                 "MAX" => AggFunc::Max,
                 other => {
-                    return Err(DbError::Parse(format!("unknown aggregate function {other}")))
+                    return Err(DbError::Parse(format!(
+                        "unknown aggregate function {other}"
+                    )))
                 }
             };
             self.pos += 1; // (
@@ -253,7 +285,11 @@ impl Parser {
         } else {
             SelExpr::Col(head)
         };
-        let alias = if self.accept_kw("AS") { Some(self.ident()?) } else { None };
+        let alias = if self.accept_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         Ok(SelectItem { expr, alias })
     }
 
@@ -290,7 +326,11 @@ impl Parser {
                 group_by.push(self.ident()?);
             }
         }
-        let having = if self.accept_kw("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.accept_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.accept_kw("ORDER") {
             self.expect_kw("BY")?;
@@ -318,7 +358,17 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Select { distinct, items, table, join, filter, group_by, having, order_by, limit })
+        Ok(Statement::Select {
+            distinct,
+            items,
+            table,
+            join,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn join_clause(&mut self) -> DbResult<Join> {
@@ -327,7 +377,11 @@ impl Parser {
         let on_left = self.ident()?;
         self.expect(&Token::Eq)?;
         let on_right = self.ident()?;
-        Ok(Join { table, on_left, on_right })
+        Ok(Join {
+            table,
+            on_left,
+            on_right,
+        })
     }
 
     fn update(&mut self) -> DbResult<Statement> {
@@ -345,7 +399,11 @@ impl Parser {
             break;
         }
         let filter = self.opt_where()?;
-        Ok(Statement::Update { table, sets, filter })
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
     }
 
     fn opt_where(&mut self) -> DbResult<Option<Expr>> {
@@ -361,7 +419,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.accept_kw("OR") {
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -370,7 +432,11 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.accept_kw("AND") {
             let rhs = self.not_expr()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -389,7 +455,10 @@ impl Parser {
         if self.accept_kw("IS") {
             let negated = self.accept_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
         }
         let op = match self.peek() {
             Some(Token::Eq) => BinOp::Eq,
@@ -402,7 +471,11 @@ impl Parser {
         };
         self.pos += 1;
         let rhs = self.add_expr()?;
-        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn add_expr(&mut self) -> DbResult<Expr> {
@@ -415,7 +488,11 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -429,7 +506,11 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.unary_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -458,7 +539,9 @@ impl Parser {
             }
             Token::Ident(s) if s.eq_ignore_ascii_case("NULL") => Ok(Expr::Lit(Value::Null)),
             Token::Ident(s) => Ok(Expr::Col(s)),
-            other => Err(DbError::Parse(format!("unexpected token in expression: {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
         }
     }
 }
@@ -470,9 +553,9 @@ mod tests {
     /// Shorthand: the projected column names of a parsed SELECT.
     fn cols_of(s: &Statement) -> Option<Vec<String>> {
         match s {
-            Statement::Select { items, .. } => {
-                items.as_ref().map(|v| v.iter().map(SelectItem::output_name).collect())
-            }
+            Statement::Select { items, .. } => items
+                .as_ref()
+                .map(|v| v.iter().map(SelectItem::output_name).collect()),
             other => panic!("not a select: {other:?}"),
         }
     }
@@ -484,7 +567,11 @@ mod tests {
         )
         .unwrap();
         match s {
-            Statement::CreateTable { name, columns, if_not_exists } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                if_not_exists,
+            } => {
                 assert_eq!(name, "run_table");
                 assert_eq!(columns.len(), 3);
                 assert_eq!(columns[2], ("file_name".to_string(), ColType::Text));
@@ -497,7 +584,13 @@ mod tests {
     #[test]
     fn parse_create_if_not_exists() {
         let s = parse("CREATE TABLE IF NOT EXISTS t (a INT)").unwrap();
-        assert!(matches!(s, Statement::CreateTable { if_not_exists: true, .. }));
+        assert!(matches!(
+            s,
+            Statement::CreateTable {
+                if_not_exists: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -533,7 +626,13 @@ mod tests {
         .unwrap();
         assert_eq!(cols_of(&s), Some(vec!["a".to_string(), "b".to_string()]));
         match s {
-            Statement::Select { table, filter, order_by, limit, .. } => {
+            Statement::Select {
+                table,
+                filter,
+                order_by,
+                limit,
+                ..
+            } => {
                 assert_eq!(table, "t");
                 assert!(filter.is_some());
                 assert_eq!(order_by.len(), 2);
@@ -560,18 +659,32 @@ mod tests {
     fn parse_aggregates() {
         let s = parse("SELECT COUNT(*), SUM(v) AS total, MAX(v) FROM t").unwrap();
         match &s {
-            Statement::Select { items: Some(items), .. } => {
-                assert_eq!(items[0].expr, SelExpr::Agg { func: AggFunc::Count, arg: None });
+            Statement::Select {
+                items: Some(items), ..
+            } => {
+                assert_eq!(
+                    items[0].expr,
+                    SelExpr::Agg {
+                        func: AggFunc::Count,
+                        arg: None
+                    }
+                );
                 assert_eq!(
                     items[1].expr,
-                    SelExpr::Agg { func: AggFunc::Sum, arg: Some("v".into()) }
+                    SelExpr::Agg {
+                        func: AggFunc::Sum,
+                        arg: Some("v".into())
+                    }
                 );
                 assert_eq!(items[1].alias.as_deref(), Some("total"));
                 assert_eq!(items[2].output_name(), "max(v)");
             }
             other => panic!("wrong: {other:?}"),
         }
-        assert_eq!(cols_of(&s), Some(vec!["count(*)".into(), "total".into(), "max(v)".into()]));
+        assert_eq!(
+            cols_of(&s),
+            Some(vec!["count(*)".into(), "total".into(), "max(v)".into()])
+        );
     }
 
     #[test]
@@ -581,7 +694,9 @@ mod tests {
         )
         .unwrap();
         match s {
-            Statement::Select { group_by, having, .. } => {
+            Statement::Select {
+                group_by, having, ..
+            } => {
                 assert_eq!(group_by, vec!["dataset".to_string()]);
                 assert!(having.is_some());
             }
@@ -625,7 +740,10 @@ mod tests {
         let s = parse("DROP INDEX idx_ds ON execution_table").unwrap();
         assert_eq!(
             s,
-            Statement::DropIndex { name: "idx_ds".into(), table: "execution_table".into() }
+            Statement::DropIndex {
+                name: "idx_ds".into(),
+                table: "execution_table".into()
+            }
         );
     }
 
@@ -653,7 +771,10 @@ mod tests {
     fn parse_delete() {
         let s = parse("DELETE FROM t WHERE a IS NOT NULL").unwrap();
         match s {
-            Statement::Delete { filter: Some(Expr::IsNull { negated: true, .. }), .. } => {}
+            Statement::Delete {
+                filter: Some(Expr::IsNull { negated: true, .. }),
+                ..
+            } => {}
             other => panic!("wrong: {other:?}"),
         }
     }
@@ -662,13 +783,25 @@ mod tests {
     fn parse_precedence_and_parens() {
         let s = parse("SELECT * FROM t WHERE a = 1 + 2 * 3").unwrap();
         // 1 + (2*3), compared to a.
-        if let Statement::Select { filter: Some(Expr::Binary { op: BinOp::Eq, rhs, .. }), .. } = s {
+        if let Statement::Select {
+            filter: Some(Expr::Binary {
+                op: BinOp::Eq, rhs, ..
+            }),
+            ..
+        } = s
+        {
             assert!(matches!(*rhs, Expr::Binary { op: BinOp::Add, .. }));
         } else {
             panic!("wrong shape");
         }
         let s2 = parse("SELECT * FROM t WHERE a = (1 + 2) * 3").unwrap();
-        if let Statement::Select { filter: Some(Expr::Binary { op: BinOp::Eq, rhs, .. }), .. } = s2 {
+        if let Statement::Select {
+            filter: Some(Expr::Binary {
+                op: BinOp::Eq, rhs, ..
+            }),
+            ..
+        } = s2
+        {
             assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
         } else {
             panic!("wrong shape");
@@ -678,7 +811,11 @@ mod tests {
     #[test]
     fn parse_negative_number() {
         let s = parse("SELECT * FROM t WHERE a = -5").unwrap();
-        if let Statement::Select { filter: Some(Expr::Binary { rhs, .. }), .. } = s {
+        if let Statement::Select {
+            filter: Some(Expr::Binary { rhs, .. }),
+            ..
+        } = s
+        {
             assert!(matches!(*rhs, Expr::Neg(_)));
         } else {
             panic!("wrong shape");
@@ -689,7 +826,11 @@ mod tests {
     fn parse_qualified_columns() {
         let s = parse("SELECT t.a FROM t WHERE t.a > 0").unwrap();
         assert_eq!(cols_of(&s), Some(vec!["t.a".to_string()]));
-        if let Statement::Select { filter: Some(Expr::Binary { lhs, .. }), .. } = s {
+        if let Statement::Select {
+            filter: Some(Expr::Binary { lhs, .. }),
+            ..
+        } = s
+        {
             assert_eq!(*lhs, Expr::Col("t.a".into()));
         } else {
             panic!("wrong shape");

@@ -53,7 +53,13 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Self { schema, rows: Vec::new(), indexes: Vec::new(), version: 1, cache: IndexCache::default() }
+        Self {
+            schema,
+            rows: Vec::new(),
+            indexes: Vec::new(),
+            version: 1,
+            cache: IndexCache::default(),
+        }
     }
 
     /// Number of rows.
@@ -98,10 +104,17 @@ impl Table {
     /// name is taken.
     pub fn create_index(&mut self, name: &str, column: &str) -> DbResult<()> {
         self.schema.index_of(column)?;
-        if self.indexes.iter().any(|i| i.name.eq_ignore_ascii_case(name)) {
+        if self
+            .indexes
+            .iter()
+            .any(|i| i.name.eq_ignore_ascii_case(name))
+        {
             return Err(DbError::IndexExists(name.to_string()));
         }
-        self.indexes.push(IndexDef { name: name.to_string(), column: column.to_string() });
+        self.indexes.push(IndexDef {
+            name: name.to_string(),
+            column: column.to_string(),
+        });
         Ok(())
     }
 
@@ -123,7 +136,9 @@ impl Table {
 
     /// Whether some index covers `column`.
     pub fn has_index_on(&self, column: &str) -> bool {
-        self.indexes.iter().any(|i| i.column.eq_ignore_ascii_case(column))
+        self.indexes
+            .iter()
+            .any(|i| i.column.eq_ignore_ascii_case(column))
     }
 
     /// Equality probe through an index on `column`: positions of rows
@@ -139,12 +154,20 @@ impl Table {
         }
         self.ensure_cache();
         let key = column.to_ascii_lowercase();
-        Some(self.cache.maps[&key].get(&value.index_key()).cloned().unwrap_or_default())
+        Some(
+            self.cache.maps[&key]
+                .get(&value.index_key())
+                .cloned()
+                .unwrap_or_default(),
+        )
     }
 
     fn ensure_cache(&mut self) {
         if self.cache.built_at == self.version
-            && self.indexes.iter().all(|i| self.cache.maps.contains_key(&i.column.to_ascii_lowercase()))
+            && self
+                .indexes
+                .iter()
+                .all(|i| self.cache.maps.contains_key(&i.column.to_ascii_lowercase()))
         {
             return;
         }
@@ -175,8 +198,14 @@ mod tests {
     fn table() -> Table {
         Table::new(
             Schema::new(vec![
-                Column { name: "k".into(), ctype: ColType::Int },
-                Column { name: "v".into(), ctype: ColType::Text },
+                Column {
+                    name: "k".into(),
+                    ctype: ColType::Int,
+                },
+                Column {
+                    name: "v".into(),
+                    ctype: ColType::Text,
+                },
             ])
             .unwrap(),
         )
@@ -194,7 +223,9 @@ mod tests {
     #[test]
     fn insert_validates() {
         let mut t = table();
-        assert!(t.insert(vec![Value::from("bad"), Value::from("a")]).is_err());
+        assert!(t
+            .insert(vec![Value::from("bad"), Value::from("a")])
+            .is_err());
         assert!(t.is_empty());
     }
 
@@ -255,8 +286,14 @@ mod tests {
     fn duplicate_index_name_rejected() {
         let mut t = table();
         t.create_index("i", "k").unwrap();
-        assert!(matches!(t.create_index("i", "v"), Err(DbError::IndexExists(_))));
-        assert!(matches!(t.create_index("j", "nope"), Err(DbError::NoSuchColumn(_))));
+        assert!(matches!(
+            t.create_index("i", "v"),
+            Err(DbError::IndexExists(_))
+        ));
+        assert!(matches!(
+            t.create_index("j", "nope"),
+            Err(DbError::NoSuchColumn(_))
+        ));
     }
 
     #[test]

@@ -149,8 +149,14 @@ mod tests {
 
     #[test]
     fn cross_type_numeric_compare() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(1).sql_cmp(&Value::Double(1.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Double(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Double(1.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -161,7 +167,10 @@ mod tests {
 
     #[test]
     fn text_lexicographic() {
-        assert_eq!(Value::from("abc").sql_cmp(&Value::from("abd")), Some(Ordering::Less));
+        assert_eq!(
+            Value::from("abc").sql_cmp(&Value::from("abd")),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::from("x").sql_eq(&Value::from("x")), Some(true));
     }
 

@@ -1,0 +1,115 @@
+//! Property tests for the prepared-statement path and the index
+//! planner: for generated data and query shapes,
+//! `exec(sql, params)` and `prepare(sql).execute(params)` must return
+//! identical result sets, and a query against an indexed table must
+//! agree row-for-row with the same query scanning an unindexed copy.
+
+use proptest::prelude::*;
+use sdm_metadb::{Database, Value};
+
+/// Build twin tables with identical rows: `ti` carries secondary
+/// indexes on both columns, `tn` has none.
+fn twin_db(rows: &[(i64, i64)]) -> Database {
+    let db = Database::new();
+    db.exec("CREATE TABLE ti (k INT, v INT)", &[]).unwrap();
+    db.exec("CREATE TABLE tn (k INT, v INT)", &[]).unwrap();
+    for &(k, v) in rows {
+        db.exec(
+            "INSERT INTO ti VALUES (?, ?)",
+            &[Value::Int(k), Value::Int(v)],
+        )
+        .unwrap();
+        db.exec(
+            "INSERT INTO tn VALUES (?, ?)",
+            &[Value::Int(k), Value::Int(v)],
+        )
+        .unwrap();
+    }
+    db.exec("CREATE INDEX ti_k ON ti (k)", &[]).unwrap();
+    db.exec("CREATE INDEX ti_v ON ti (v)", &[]).unwrap();
+    db
+}
+
+/// Query templates over a table `{T}`; every `?` consumes one of the
+/// two generated probe parameters.
+const TEMPLATES: [(&str, usize); 8] = [
+    ("SELECT k, v FROM {T} WHERE k = ?", 1),
+    ("SELECT v FROM {T} WHERE k = ? AND v >= ?", 2),
+    ("SELECT k FROM {T} WHERE k = ? OR v = ?", 2),
+    ("SELECT COUNT(*), MIN(v), MAX(v) FROM {T} WHERE k = ?", 1),
+    ("SELECT COUNT(k), SUM(v) FROM {T} WHERE k > ?", 1),
+    ("SELECT k FROM {T} WHERE v = ? ORDER BY k DESC LIMIT 3", 1),
+    ("SELECT DISTINCT k FROM {T} WHERE v >= ? ORDER BY k", 1),
+    (
+        "SELECT k, COUNT(*) AS n FROM {T} WHERE v = ? GROUP BY k ORDER BY k",
+        1,
+    ),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exec_prepared_and_indexed_paths_agree(
+        rows in proptest::collection::vec((0i64..12, -4i64..4), 0..60),
+        template in 0usize..8,
+        p1 in 0i64..12,
+        p2 in -4i64..4,
+    ) {
+        let db = twin_db(&rows);
+        let (shape, arity) = TEMPLATES[template];
+        let params: Vec<Value> = [Value::Int(p1), Value::Int(p2)][..arity].to_vec();
+
+        let sql_indexed = shape.replace("{T}", "ti");
+        let sql_scan = shape.replace("{T}", "tn");
+
+        // exec vs prepared on the indexed table.
+        let via_exec = db.exec(&sql_indexed, &params).unwrap();
+        let ps = db.prepare(&sql_indexed).unwrap();
+        let via_prepared = ps.execute(&db, &params).unwrap();
+        prop_assert_eq!(&via_exec, &via_prepared, "exec != prepared for {}", sql_indexed);
+        // Preparing again and re-executing stays stable.
+        let again = db.prepare(&sql_indexed).unwrap().execute(&db, &params).unwrap();
+        prop_assert_eq!(&via_exec, &again);
+
+        // Indexed vs unindexed execution returns identical rows.
+        let via_scan = db.exec(&sql_scan, &params).unwrap();
+        prop_assert_eq!(
+            &via_exec.rows, &via_scan.rows,
+            "indexed and scanned rows differ for {}", shape
+        );
+
+        // Same statement texts never re-parse.
+        db.reset_stats();
+        db.exec(&sql_indexed, &params).unwrap();
+        db.exec(&sql_scan, &params).unwrap();
+        let stats = db.stats();
+        prop_assert_eq!(stats.parse_misses, 0, "warm statements re-parsed");
+    }
+
+    #[test]
+    fn mutations_keep_twin_tables_and_paths_consistent(
+        rows in proptest::collection::vec((0i64..8, 0i64..8), 1..40),
+        pivot in 0i64..8,
+    ) {
+        let db = twin_db(&rows);
+        // Mutate both tables identically through prepared statements.
+        let up_i = db.prepare("UPDATE ti SET v = v + 100 WHERE k = ?").unwrap();
+        let up_n = db.prepare("UPDATE tn SET v = v + 100 WHERE k = ?").unwrap();
+        let a = up_i.execute(&db, &[Value::Int(pivot)]).unwrap();
+        let b = up_n.execute(&db, &[Value::Int(pivot)]).unwrap();
+        prop_assert_eq!(a.affected, b.affected);
+
+        let del_i = db.prepare("DELETE FROM ti WHERE v >= 100 AND k = ?").unwrap();
+        let del_n = db.prepare("DELETE FROM tn WHERE v >= 100 AND k = ?").unwrap();
+        let a = del_i.execute(&db, &[Value::Int(pivot)]).unwrap();
+        let b = del_n.execute(&db, &[Value::Int(pivot)]).unwrap();
+        prop_assert_eq!(a.affected, b.affected);
+
+        // After updates + deletes, the indexed table still answers
+        // probes identically to the scan table.
+        let qi = db.exec("SELECT k, v FROM ti WHERE k = ?", &[Value::Int(pivot)]).unwrap();
+        let qn = db.exec("SELECT k, v FROM tn WHERE k = ?", &[Value::Int(pivot)]).unwrap();
+        prop_assert_eq!(qi.rows, qn.rows);
+    }
+}

@@ -35,12 +35,20 @@ impl Comm {
 
     /// Typed allgather: returns every rank's slice, indexed by rank.
     pub fn allgather<T: Pod>(&mut self, data: &[T]) -> MpiResult<Vec<Vec<T>>> {
-        Ok(self.allgather_bytes(as_bytes(data))?.iter().map(|b| vec_from_bytes(b)).collect())
+        Ok(self
+            .allgather_bytes(as_bytes(data))?
+            .iter()
+            .map(|b| vec_from_bytes(b))
+            .collect())
     }
 
     /// Allgather of a single value per rank.
     pub fn allgather_one<T: Pod>(&mut self, value: T) -> MpiResult<Vec<T>> {
-        Ok(self.allgather(&[value])?.into_iter().map(|v| v[0]).collect())
+        Ok(self
+            .allgather(&[value])?
+            .into_iter()
+            .map(|v| v[0])
+            .collect())
     }
 
     /// Typed allgather concatenated in rank order.
@@ -61,7 +69,11 @@ mod tests {
                 c.allgather(&[c.rank() as u32]).unwrap()
             });
             for v in out {
-                assert_eq!(v, (0..n as u32).map(|r| vec![r]).collect::<Vec<_>>(), "n={n}");
+                assert_eq!(
+                    v,
+                    (0..n as u32).map(|r| vec![r]).collect::<Vec<_>>(),
+                    "n={n}"
+                );
             }
         }
     }
@@ -92,7 +104,8 @@ mod tests {
     #[test]
     fn allgather_concat_in_rank_order() {
         let out = World::run(3, MachineConfig::test_tiny(), |c| {
-            c.allgather_concat(&[c.rank() as i32 * 2, c.rank() as i32 * 2 + 1]).unwrap()
+            c.allgather_concat(&[c.rank() as i32 * 2, c.rank() as i32 * 2 + 1])
+                .unwrap()
         });
         for v in out {
             assert_eq!(v, vec![0, 1, 2, 3, 4, 5]);
@@ -102,7 +115,11 @@ mod tests {
     #[test]
     fn allgather_with_empty_contribution() {
         let out = World::run(3, MachineConfig::test_tiny(), |c| {
-            let mine: Vec<u8> = if c.rank() == 1 { vec![] } else { vec![c.rank() as u8] };
+            let mine: Vec<u8> = if c.rank() == 1 {
+                vec![]
+            } else {
+                vec![c.rank() as u8]
+            };
             c.allgather(&mine).unwrap()
         });
         for v in out {

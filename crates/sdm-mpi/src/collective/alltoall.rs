@@ -16,7 +16,11 @@ impl Comm {
     pub fn alltoallv_bytes(&mut self, blocks: Vec<Vec<u8>>) -> MpiResult<Vec<Vec<u8>>> {
         let size = self.size();
         let rank = self.rank();
-        assert_eq!(blocks.len(), size, "alltoallv needs one block per destination");
+        assert_eq!(
+            blocks.len(),
+            size,
+            "alltoallv needs one block per destination"
+        );
         let mut outgoing = blocks;
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); size];
         // Self block: local copy, charged at memory speed.

@@ -15,7 +15,11 @@ impl Comm {
             return Ok(data.to_vec());
         }
         let vrank = (rank + size - root) % size;
-        let mut payload: Option<Vec<u8>> = if rank == root { Some(data.to_vec()) } else { None };
+        let mut payload: Option<Vec<u8>> = if rank == root {
+            Some(data.to_vec())
+        } else {
+            None
+        };
 
         // Receive phase: find the set bit that names our parent.
         let mut mask = 1usize;
@@ -56,7 +60,11 @@ mod tests {
     fn bcast_from_rank0() {
         for n in [1, 2, 3, 4, 7, 8] {
             let out = World::run(n, MachineConfig::test_tiny(), |c| {
-                let data = if c.rank() == 0 { vec![3.25f64, -1.0] } else { vec![] };
+                let data = if c.rank() == 0 {
+                    vec![3.25f64, -1.0]
+                } else {
+                    vec![]
+                };
                 c.bcast(0, &data).unwrap()
             });
             for v in out {
@@ -68,7 +76,11 @@ mod tests {
     #[test]
     fn bcast_from_nonzero_root() {
         let out = World::run(5, MachineConfig::test_tiny(), |c| {
-            let data = if c.rank() == 3 { vec![9u32, 8, 7] } else { vec![0u32; 3] };
+            let data = if c.rank() == 3 {
+                vec![9u32, 8, 7]
+            } else {
+                vec![0u32; 3]
+            };
             c.bcast(3, &data).unwrap()
         });
         for v in out {
@@ -91,21 +103,35 @@ mod tests {
         let cfg = MachineConfig::origin2000();
         let one_transfer = cfg.network.wire_time(1 << 20);
         let out = World::run(8, cfg, |c| {
-            let data = if c.rank() == 0 { vec![0u8; 1 << 20] } else { vec![] };
+            let data = if c.rank() == 0 {
+                vec![0u8; 1 << 20]
+            } else {
+                vec![]
+            };
             c.bcast_bytes(0, &data).unwrap();
             c.barrier();
             c.now()
         });
         let t = out[0];
-        assert!(t < one_transfer * 5.0, "8-rank bcast {t}s should be ~3 transfers, not 7");
-        assert!(t > one_transfer * 1.5, "tree depth must show up: {t}s vs {one_transfer}s");
+        assert!(
+            t < one_transfer * 5.0,
+            "8-rank bcast {t}s should be ~3 transfers, not 7"
+        );
+        assert!(
+            t > one_transfer * 1.5,
+            "tree depth must show up: {t}s vs {one_transfer}s"
+        );
     }
 
     #[test]
     fn consecutive_bcasts_do_not_cross_match() {
         let out = World::run(4, MachineConfig::test_tiny(), |c| {
-            let a = c.bcast(0, &(if c.rank() == 0 { vec![1u8] } else { vec![] })).unwrap();
-            let b = c.bcast(0, &(if c.rank() == 0 { vec![2u8] } else { vec![] })).unwrap();
+            let a = c
+                .bcast(0, &(if c.rank() == 0 { vec![1u8] } else { vec![] }))
+                .unwrap();
+            let b = c
+                .bcast(0, &(if c.rank() == 0 { vec![2u8] } else { vec![] }))
+                .unwrap();
             (a[0], b[0])
         });
         for (a, b) in out {

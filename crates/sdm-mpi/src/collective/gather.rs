@@ -13,10 +13,9 @@ impl Comm {
         if self.rank() == root {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
             out[root] = data.to_vec();
-            for src in 0..self.size() {
-                if src != root {
-                    out[src] = self.recv_bytes(src, tags::GATHER)?;
-                }
+            for src in (0..self.size()).filter(|&s| s != root) {
+                let block = self.recv_bytes(src, tags::GATHER)?;
+                out[src] = block;
             }
             self.counters().incr("mpi.gathers");
             Ok(Some(out))
@@ -37,7 +36,9 @@ impl Comm {
     /// Typed gather that concatenates all ranks' contributions in rank
     /// order (classic `MPI_Gatherv` into one buffer).
     pub fn gather_concat<T: Pod>(&mut self, root: usize, data: &[T]) -> MpiResult<Option<Vec<T>>> {
-        Ok(self.gather(root, data)?.map(|blocks| blocks.into_iter().flatten().collect()))
+        Ok(self
+            .gather(root, data)?
+            .map(|blocks| blocks.into_iter().flatten().collect()))
     }
 }
 
@@ -64,14 +65,17 @@ mod tests {
     #[test]
     fn gather_concat_orders_by_rank() {
         let out = World::run(3, MachineConfig::test_tiny(), |c| {
-            c.gather_concat(0, &[c.rank() as u64 * 10, c.rank() as u64 * 10 + 1]).unwrap()
+            c.gather_concat(0, &[c.rank() as u64 * 10, c.rank() as u64 * 10 + 1])
+                .unwrap()
         });
         assert_eq!(out[0], Some(vec![0, 1, 10, 11, 20, 21]));
     }
 
     #[test]
     fn gather_single_rank() {
-        let out = World::run(1, MachineConfig::test_tiny(), |c| c.gather(0, &[42u8]).unwrap());
+        let out = World::run(1, MachineConfig::test_tiny(), |c| {
+            c.gather(0, &[42u8]).unwrap()
+        });
         assert_eq!(out[0], Some(vec![vec![42u8]]));
     }
 }

@@ -39,7 +39,11 @@ impl_numpod!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
 
 /// Elementwise combine of `src` into `acc` with `f`.
 pub(crate) fn combine<T: Copy>(acc: &mut [T], src: &[T], f: impl Fn(T, T) -> T) {
-    assert_eq!(acc.len(), src.len(), "reduction buffers must agree in length");
+    assert_eq!(
+        acc.len(),
+        src.len(),
+        "reduction buffers must agree in length"
+    );
     for (a, &s) in acc.iter_mut().zip(src) {
         *a = f(*a, s);
     }

@@ -55,7 +55,8 @@ impl Comm {
 
     /// Elementwise sum across all ranks.
     pub fn allreduce_sum<T: NumPod>(&mut self, local: &[T]) -> Vec<T> {
-        self.allreduce_with(local, |a, b| a.add(b)).expect("allreduce_sum failed")
+        self.allreduce_with(local, |a, b| a.add(b))
+            .expect("allreduce_sum failed")
     }
 
     /// Elementwise max across all ranks.
@@ -80,12 +81,13 @@ mod tests {
     fn reduce_sum_to_root() {
         for n in [1, 2, 5, 8] {
             let out = World::run(n, MachineConfig::test_tiny(), |c| {
-                c.reduce_with(0, &[c.rank() as u64, 1u64], |a, b| a + b).unwrap()
+                c.reduce_with(0, &[c.rank() as u64, 1u64], |a, b| a + b)
+                    .unwrap()
             });
             let expect: u64 = (0..n as u64).sum();
             assert_eq!(out[0], Some(vec![expect, n as u64]), "n={n}");
-            for r in 1..n {
-                assert_eq!(out[r], None);
+            for o in &out[1..] {
+                assert_eq!(*o, None);
             }
         }
     }
@@ -93,7 +95,8 @@ mod tests {
     #[test]
     fn reduce_to_nonzero_root() {
         let out = World::run(6, MachineConfig::test_tiny(), |c| {
-            c.reduce_with(4, &[c.rank() as i64], |a, b| a.max(b)).unwrap()
+            c.reduce_with(4, &[c.rank() as i64], |a, b| a.max(b))
+                .unwrap()
         });
         assert_eq!(out[4], Some(vec![5]));
         assert!(out.iter().enumerate().all(|(r, v)| (r == 4) == v.is_some()));

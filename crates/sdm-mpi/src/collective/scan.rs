@@ -40,7 +40,8 @@ impl Comm {
 
     /// Exclusive prefix sum.
     pub fn exscan_sum<T: NumPod>(&mut self, local: &[T]) -> Vec<T> {
-        self.exscan_with(local, T::zero(), |a, b| a.add(b)).expect("exscan_sum failed")
+        self.exscan_with(local, T::zero(), |a, b| a.add(b))
+            .expect("exscan_sum failed")
     }
 }
 
@@ -78,7 +79,8 @@ mod tests {
     fn exscan_custom_op_max() {
         let vals = [3u64, 1, 4, 1, 5];
         let out = World::run(5, MachineConfig::test_tiny(), move |c| {
-            c.exscan_with(&[vals[c.rank()]], 0u64, |a, b| a.max(b)).unwrap()[0]
+            c.exscan_with(&[vals[c.rank()]], 0u64, |a, b| a.max(b))
+                .unwrap()[0]
         });
         assert_eq!(out, vec![0, 3, 3, 4, 4]);
     }

@@ -57,7 +57,12 @@ impl Comm {
     /// `ceil(len/size)` elements goes to rank `d` (the last chunk may be
     /// short). This is the "total domain equally divided among processes"
     /// import pattern of SDM.
-    pub fn scatter_even<T: Pod>(&mut self, root: usize, data: Option<&[T]>, total_len: usize) -> MpiResult<Vec<T>> {
+    pub fn scatter_even<T: Pod>(
+        &mut self,
+        root: usize,
+        data: Option<&[T]>,
+        total_len: usize,
+    ) -> MpiResult<Vec<T>> {
         let size = self.size();
         let chunk = total_len.div_ceil(size);
         let blocks = if self.rank() == root {
@@ -95,8 +100,7 @@ mod tests {
     #[test]
     fn scatter_variable_blocks() {
         let out = World::run(3, MachineConfig::test_tiny(), |c| {
-            let blocks = (c.rank() == 1)
-                .then(|| vec![vec![0u32], vec![10, 11], vec![20, 21, 22]]);
+            let blocks = (c.rank() == 1).then(|| vec![vec![0u32], vec![10, 11], vec![20, 21, 22]]);
             c.scatter(1, blocks).unwrap()
         });
         assert_eq!(out[0], vec![0]);
@@ -135,7 +139,8 @@ mod tests {
             if c.rank() == 0 {
                 assert!(c.scatter::<u8>(0, None).is_err());
                 // Unblock rank 1, which is waiting for its block.
-                c.send_bytes(1, crate::envelope::tags::SCATTER, &[]).unwrap();
+                c.send_bytes(1, crate::envelope::tags::SCATTER, &[])
+                    .unwrap();
             } else {
                 c.scatter::<u8>(0, None).unwrap();
             }

@@ -154,7 +154,10 @@ impl World {
                 }
             }
         });
-        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
     }
 }
 
@@ -240,7 +243,10 @@ impl Comm {
 
     fn check_rank(&self, r: usize) -> MpiResult<()> {
         if r >= self.size {
-            return Err(MpiError::InvalidRank { rank: r, size: self.size });
+            return Err(MpiError::InvalidRank {
+                rank: r,
+                size: self.size,
+            });
         }
         Ok(())
     }
@@ -250,14 +256,27 @@ impl Comm {
     pub fn send_bytes(&mut self, dst: usize, tag: Tag, payload: &[u8]) -> MpiResult<()> {
         self.check_rank(dst)?;
         let depart = self.clock.now();
-        self.clock.advance(self.shared.config.network.send_busy(payload.len()));
-        self.shared.counters.add("mpi.send_bytes", payload.len() as u64);
+        self.clock
+            .advance(self.shared.config.network.send_busy(payload.len()));
+        self.shared
+            .counters
+            .add("mpi.send_bytes", payload.len() as u64);
         self.shared.counters.incr("mpi.sends");
         if self.shared.trace.is_enabled() {
-            self.shared.trace.record(depart, self.rank, EventKind::Send, format!("to={dst} tag={tag}"));
+            self.shared.trace.record(
+                depart,
+                self.rank,
+                EventKind::Send,
+                format!("to={dst} tag={tag}"),
+            );
         }
         self.txs[dst]
-            .send(Envelope { src: self.rank, tag, depart, payload: payload.to_vec() })
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                depart,
+                payload: payload.to_vec(),
+            })
             .map_err(|_| MpiError::Disconnected)
     }
 
@@ -268,7 +287,11 @@ impl Comm {
 
     /// Take the first pending or incoming envelope matching `(src, tag)`.
     fn take_matching(&mut self, src: usize, tag: Tag) -> MpiResult<Envelope> {
-        if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == src && e.tag == tag)
+        {
             return Ok(self.pending.remove(pos));
         }
         loop {
@@ -298,7 +321,9 @@ impl Comm {
         let arrival = env.depart + net.wire_time(env.payload.len());
         self.clock.sync_to(arrival);
         self.clock.advance(net.recv_overhead());
-        self.shared.counters.add("mpi.recv_bytes", env.payload.len() as u64);
+        self.shared
+            .counters
+            .add("mpi.recv_bytes", env.payload.len() as u64);
         self.shared.counters.incr("mpi.recvs");
         if self.shared.trace.is_enabled() {
             self.shared.trace.record(
@@ -329,7 +354,10 @@ impl Comm {
         let bytes = self.recv_bytes(src, tag)?;
         let want = std::mem::size_of_val(dst);
         if bytes.len() != want {
-            return Err(MpiError::LengthMismatch { expected: want, got: bytes.len() });
+            return Err(MpiError::LengthMismatch {
+                expected: want,
+                got: bytes.len(),
+            });
         }
         crate::pod::copy_into(&bytes, dst);
         Ok(())
@@ -351,7 +379,8 @@ impl Comm {
     /// plus one synchronization latency.
     pub fn barrier(&mut self) {
         let t_max = self.shared.barrier.rendezvous_max(self.clock.now());
-        self.clock.sync_to(t_max + self.shared.config.network.latency);
+        self.clock
+            .sync_to(t_max + self.shared.config.network.latency);
         self.shared.counters.incr("mpi.barriers");
     }
 
@@ -423,7 +452,12 @@ mod tests {
                 c.now()
             }
         });
-        assert!(out[1] > out[0], "receiver {}'s clock should trail sender {}", out[1], out[0]);
+        assert!(
+            out[1] > out[0],
+            "receiver {}'s clock should trail sender {}",
+            out[1],
+            out[0]
+        );
         assert!(out[1] > 1e-4, "1MB transfer should cost real virtual time");
     }
 
@@ -436,7 +470,10 @@ mod tests {
         });
         let expected = out[3];
         for t in &out {
-            assert!((t - expected).abs() < 1e-9, "all clocks equal after barrier: {out:?}");
+            assert!(
+                (t - expected).abs() < 1e-9,
+                "all clocks equal after barrier: {out:?}"
+            );
         }
         assert!(expected >= 3.0);
     }
@@ -446,7 +483,9 @@ mod tests {
         let out = World::run(3, tiny(), |c| {
             let right = (c.rank() + 1) % 3;
             let left = (c.rank() + 2) % 3;
-            let got = c.sendrecv(right, &[c.rank() as u64], left, tags::SDM_RING).unwrap();
+            let got = c
+                .sendrecv(right, &[c.rank() as u64], left, tags::SDM_RING)
+                .unwrap();
             got[0]
         });
         assert_eq!(out, vec![2, 0, 1]);

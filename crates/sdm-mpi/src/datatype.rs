@@ -86,33 +86,55 @@ impl Datatype {
 
     /// `count` copies of `inner`, contiguous.
     pub fn contiguous(count: usize, inner: Datatype) -> Self {
-        Datatype::Contiguous { count, inner: Box::new(inner) }
+        Datatype::Contiguous {
+            count,
+            inner: Box::new(inner),
+        }
     }
 
     /// Strided blocks (see [`Datatype::Vector`]).
     pub fn vector(count: usize, blocklen: usize, stride: usize, inner: Datatype) -> Self {
-        Datatype::Vector { count, blocklen, stride, inner: Box::new(inner) }
+        Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            inner: Box::new(inner),
+        }
     }
 
     /// Indexed blocks with per-block lengths.
     pub fn indexed(blocklens: Vec<usize>, displs: Vec<u64>, inner: Datatype) -> Self {
-        Datatype::Indexed { blocklens, displs, inner: Box::new(inner) }
+        Datatype::Indexed {
+            blocklens,
+            displs,
+            inner: Box::new(inner),
+        }
     }
 
     /// Indexed blocks of uniform length `blocklen` (like
     /// `MPI_Type_create_indexed_block`).
     pub fn indexed_block(blocklen: usize, displs: Vec<u64>, inner: Datatype) -> Self {
-        Datatype::Indexed { blocklens: vec![blocklen; displs.len()], displs, inner: Box::new(inner) }
+        Datatype::Indexed {
+            blocklens: vec![blocklen; displs.len()],
+            displs,
+            inner: Box::new(inner),
+        }
     }
 
     /// Byte-displacement blocks.
     pub fn hindexed(blocks: Vec<(u64, usize)>, inner: Datatype) -> Self {
-        Datatype::Hindexed { blocks, inner: Box::new(inner) }
+        Datatype::Hindexed {
+            blocks,
+            inner: Box::new(inner),
+        }
     }
 
     /// Override the extent (tiling period).
     pub fn resized(extent: u64, inner: Datatype) -> Self {
-        Datatype::Resized { extent, inner: Box::new(inner) }
+        Datatype::Resized {
+            extent,
+            inner: Box::new(inner),
+        }
     }
 
     /// Total payload bytes one instance of this type describes.
@@ -120,12 +142,15 @@ impl Datatype {
         match self {
             Datatype::Elementary(s) => *s as u64,
             Datatype::Contiguous { count, inner } => *count as u64 * inner.size(),
-            Datatype::Vector { count, blocklen, inner, .. } => {
-                *count as u64 * *blocklen as u64 * inner.size()
-            }
-            Datatype::Indexed { blocklens, inner, .. } => {
-                blocklens.iter().map(|&b| b as u64).sum::<u64>() * inner.size()
-            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                inner,
+                ..
+            } => *count as u64 * *blocklen as u64 * inner.size(),
+            Datatype::Indexed {
+                blocklens, inner, ..
+            } => blocklens.iter().map(|&b| b as u64).sum::<u64>() * inner.size(),
             Datatype::Hindexed { blocks, inner } => {
                 blocks.iter().map(|&(_, c)| c as u64).sum::<u64>() * inner.size()
             }
@@ -139,14 +164,23 @@ impl Datatype {
         match self {
             Datatype::Elementary(s) => *s as u64,
             Datatype::Contiguous { count, inner } => *count as u64 * inner.extent(),
-            Datatype::Vector { count, blocklen, stride, inner } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
                 if *count == 0 {
                     0
                 } else {
                     ((*count as u64 - 1) * *stride as u64 + *blocklen as u64) * inner.extent()
                 }
             }
-            Datatype::Indexed { blocklens, displs, inner } => {
+            Datatype::Indexed {
+                blocklens,
+                displs,
+                inner,
+            } => {
                 let ie = inner.extent();
                 displs
                     .iter()
@@ -157,7 +191,11 @@ impl Datatype {
             }
             Datatype::Hindexed { blocks, inner } => {
                 let ie = inner.extent();
-                blocks.iter().map(|&(d, c)| d + c as u64 * ie).max().unwrap_or(0)
+                blocks
+                    .iter()
+                    .map(|&(d, c)| d + c as u64 * ie)
+                    .max()
+                    .unwrap_or(0)
             }
             Datatype::Resized { extent, .. } => *extent,
         }
@@ -186,7 +224,11 @@ impl Datatype {
                 _ => out.push((off, len)),
             }
         }
-        Ok(Flattened { segments: out, extent: self.extent(), size: self.size() })
+        Ok(Flattened {
+            segments: out,
+            extent: self.extent(),
+            size: self.size(),
+        })
     }
 
     fn emit(&self, base: u64, segs: &mut Vec<(u64, u64)>) -> MpiResult<()> {
@@ -207,7 +249,12 @@ impl Datatype {
                 }
                 Ok(())
             }
-            Datatype::Vector { count, blocklen, stride, inner } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
                 let ie = inner.extent();
                 for i in 0..*count {
                     let bstart = base + i as u64 * *stride as u64 * ie;
@@ -221,7 +268,11 @@ impl Datatype {
                 }
                 Ok(())
             }
-            Datatype::Indexed { blocklens, displs, inner } => {
+            Datatype::Indexed {
+                blocklens,
+                displs,
+                inner,
+            } => {
                 if blocklens.len() != displs.len() {
                     return Err(MpiError::InvalidDatatype(format!(
                         "indexed: {} blocklens vs {} displs",

@@ -35,11 +35,17 @@ impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MpiError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             MpiError::Disconnected => write!(f, "peer disconnected"),
             MpiError::LengthMismatch { expected, got } => {
-                write!(f, "message length mismatch: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "message length mismatch: expected {expected} bytes, got {got}"
+                )
             }
             MpiError::Pfs(e) => write!(f, "file system: {e}"),
             MpiError::InvalidDatatype(s) => write!(f, "invalid datatype: {s}"),

@@ -51,11 +51,20 @@ mod tests {
 
     #[test]
     fn cb_nodes_clamped() {
-        let h = Hints { cb_nodes: Some(100), ..Default::default() };
+        let h = Hints {
+            cb_nodes: Some(100),
+            ..Default::default()
+        };
         assert_eq!(h.aggregators(8), 8);
-        let h = Hints { cb_nodes: Some(0), ..Default::default() };
+        let h = Hints {
+            cb_nodes: Some(0),
+            ..Default::default()
+        };
         assert_eq!(h.aggregators(8), 1);
-        let h = Hints { cb_nodes: Some(4), ..Default::default() };
+        let h = Hints {
+            cb_nodes: Some(4),
+            ..Default::default()
+        };
         assert_eq!(h.aggregators(8), 4);
     }
 }

@@ -123,7 +123,9 @@ impl MpiFile {
     /// Independent contiguous write at an absolute byte offset (ignores
     /// the view), like `MPI_File_write_at`.
     pub fn write_at<T: Pod>(&self, comm: &mut Comm, offset: u64, data: &[T]) -> MpiResult<()> {
-        let t = self.pfs.write_at(&self.file, offset, as_bytes(data), comm.now())?;
+        let t = self
+            .pfs
+            .write_at(&self.file, offset, as_bytes(data), comm.now())?;
         comm.sync_to(t);
         Ok(())
     }
@@ -131,7 +133,9 @@ impl MpiFile {
     /// Independent contiguous read at an absolute byte offset (ignores the
     /// view), like `MPI_File_read_at`. Fails on short reads.
     pub fn read_at<T: Pod>(&self, comm: &mut Comm, offset: u64, buf: &mut [T]) -> MpiResult<()> {
-        let t = self.pfs.read_exact_at(&self.file, offset, as_bytes_mut(buf), comm.now())?;
+        let t = self
+            .pfs
+            .read_exact_at(&self.file, offset, as_bytes_mut(buf), comm.now())?;
         comm.sync_to(t);
         Ok(())
     }
@@ -148,7 +152,12 @@ impl MpiFile {
 
     /// Independent noncontiguous read through the view starting at visible
     /// byte `view_off`, using data sieving where profitable.
-    pub fn read_view<T: Pod>(&self, comm: &mut Comm, view_off: u64, buf: &mut [T]) -> MpiResult<()> {
+    pub fn read_view<T: Pod>(
+        &self,
+        comm: &mut Comm,
+        view_off: u64,
+        buf: &mut [T],
+    ) -> MpiResult<()> {
         let nbytes = std::mem::size_of_val(buf) as u64;
         let segs = self.view.segments(view_off, nbytes);
         let bytes = as_bytes_mut(buf);
@@ -190,7 +199,8 @@ mod tests {
             move |c| {
                 let f = MpiFile::open_collective(c, &pfs, "data.bin", true).unwrap();
                 // Each rank writes its rank id at its slot.
-                f.write_at(c, c.rank() as u64 * 8, &[c.rank() as u64]).unwrap();
+                f.write_at(c, c.rank() as u64 * 8, &[c.rank() as u64])
+                    .unwrap();
                 c.barrier();
                 let mut all = vec![0u64; 4];
                 f.read_at(c, 0, &mut all).unwrap();

@@ -52,7 +52,10 @@ pub fn sieved_read(
     hints: &Hints,
     now: Seconds,
 ) -> PfsResult<Seconds> {
-    debug_assert_eq!(segs.iter().map(|&(_, l)| l).sum::<u64>() as usize, buf.len());
+    debug_assert_eq!(
+        segs.iter().map(|&(_, l)| l).sum::<u64>() as usize,
+        buf.len()
+    );
     let mut t = now;
     let mut cursor = 0usize;
     for range in group_by_extent(segs, hints.sieve_buffer_size as u64) {
@@ -97,7 +100,10 @@ pub fn sieved_write(
     hints: &Hints,
     now: Seconds,
 ) -> PfsResult<Seconds> {
-    debug_assert_eq!(segs.iter().map(|&(_, l)| l).sum::<u64>() as usize, data.len());
+    debug_assert_eq!(
+        segs.iter().map(|&(_, l)| l).sum::<u64>() as usize,
+        data.len()
+    );
     let mut t = now;
     let mut cursor = 0usize;
     for range in group_by_extent(segs, hints.sieve_buffer_size as u64) {
@@ -175,7 +181,10 @@ mod tests {
     fn sparse_segments_take_direct_path() {
         let (pfs, f) = setup();
         pfs.write_at(&f, 0, &vec![0u8; 100_000], 0.0).unwrap();
-        let hints = Hints { sieve_min_density: 0.5, ..Default::default() };
+        let hints = Hints {
+            sieve_min_density: 0.5,
+            ..Default::default()
+        };
         // Two 1-byte segments 50KB apart: density ~0, must go direct.
         let segs = vec![(0u64, 1u64), (50_000, 1)];
         sieved_write(&pfs, &f, &segs, &[7, 8], &hints, 0.0).unwrap();
@@ -208,15 +217,17 @@ mod tests {
         pfs.reset_timing();
         let segs: Vec<(u64, u64)> = (0..1000u64).map(|i| (i * 1000, 800)).collect();
         let mut buf = vec![0u8; 800_000];
-        let sieved =
-            sieved_read(&pfs, &f, &segs, &mut buf, &Hints::default(), 0.0).unwrap();
+        let sieved = sieved_read(&pfs, &f, &segs, &mut buf, &Hints::default(), 0.0).unwrap();
         pfs.reset_timing();
         let direct = sieved_read(
             &pfs,
             &f,
             &segs,
             &mut buf,
-            &Hints { sieve_min_density: 2.0, ..Default::default() }, // force direct
+            &Hints {
+                sieve_min_density: 2.0,
+                ..Default::default()
+            }, // force direct
             0.0,
         )
         .unwrap();

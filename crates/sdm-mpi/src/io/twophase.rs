@@ -60,12 +60,18 @@ fn encode_header(segs: &[(u64, u64)]) -> Vec<u8> {
 
 fn decode_header(bytes: &[u8]) -> MpiResult<(Vec<(u64, u64)>, usize)> {
     if bytes.len() < 8 {
-        return Err(MpiError::LengthMismatch { expected: 8, got: bytes.len() });
+        return Err(MpiError::LengthMismatch {
+            expected: 8,
+            got: bytes.len(),
+        });
     }
     let n = u64::from_ne_bytes(bytes[..8].try_into().unwrap()) as usize;
     let header_len = 8 + n * 16;
     if bytes.len() < header_len {
-        return Err(MpiError::LengthMismatch { expected: header_len, got: bytes.len() });
+        return Err(MpiError::LengthMismatch {
+            expected: header_len,
+            got: bytes.len(),
+        });
     }
     let words: Vec<u64> = vec_from_bytes(&bytes[8..header_len]);
     let segs = words.chunks_exact(2).map(|c| (c[0], c[1])).collect();
@@ -136,10 +142,11 @@ impl MpiFile {
         for &(off, len) in segs {
             let d0 = ((off - gmin) / share) as usize;
             let d1 = ((off + len - 1 - gmin) / share) as usize;
-            for d in d0..=d1.min(naggs - 1) {
+            let d1 = d1.min(naggs - 1);
+            for (d, agg) in per_agg.iter_mut().enumerate().take(d1 + 1).skip(d0) {
                 let (dlo, dhi) = domain_of(gmin, gmax, naggs, d);
                 if let Some(c) = clip(off, len, dlo, dhi) {
-                    per_agg[d].push(c);
+                    agg.push(c);
                 }
             }
         }
@@ -147,7 +154,10 @@ impl MpiFile {
     }
 
     fn two_phase_write(&self, comm: &mut Comm, segs: &[(u64, u64)], data: &[u8]) -> MpiResult<()> {
-        debug_assert_eq!(segs.iter().map(|&(_, l)| l).sum::<u64>() as usize, data.len());
+        debug_assert_eq!(
+            segs.iter().map(|&(_, l)| l).sum::<u64>() as usize,
+            data.len()
+        );
         let size = comm.size();
         let Some((gmin, gmax)) = self.global_range(comm, segs) else {
             comm.barrier();
@@ -196,14 +206,23 @@ impl MpiFile {
                 let (hsegs, header_len) = decode_header(msg)?;
                 let mut pos = 0u64;
                 for &(o, l) in &hsegs {
-                    agg_segs.push(AggSeg { off: o, len: l, src, stream_pos: pos });
+                    agg_segs.push(AggSeg {
+                        off: o,
+                        len: l,
+                        src,
+                        stream_pos: pos,
+                    });
                     pos += l;
                 }
                 payloads.push((src, msg[header_len..].to_vec()));
             }
             agg_segs.sort_by_key(|s| (s.off, s.src));
             let stream_of = |src: usize| -> &[u8] {
-                payloads.iter().find(|&&(s, _)| s == src).map(|(_, d)| d.as_slice()).unwrap()
+                payloads
+                    .iter()
+                    .find(|&&(s, _)| s == src)
+                    .map(|(_, d)| d.as_slice())
+                    .unwrap()
             };
             let cb = self.hints().cb_buffer_size.max(1) as u64;
             let mut now = comm.now();
@@ -242,7 +261,9 @@ impl MpiFile {
                     if useful < span as u64 {
                         // Holes: read-modify-write (short read leaves zeros
                         // past EOF, matching extension semantics).
-                        let (_n, t) = self.pfs().read_at(self.pfs_file(), touched_lo, &mut staging, now)?;
+                        let (_n, t) =
+                            self.pfs()
+                                .read_at(self.pfs_file(), touched_lo, &mut staging, now)?;
                         now = t;
                         self.pfs().counters().incr("mpi.twophase_rmw");
                     }
@@ -252,7 +273,9 @@ impl MpiFile {
                         staging[s..s + cl as usize]
                             .copy_from_slice(&stream[spos as usize..(spos + cl) as usize]);
                     }
-                    now = self.pfs().write_at(self.pfs_file(), touched_lo, &staging, now)?;
+                    now = self
+                        .pfs()
+                        .write_at(self.pfs_file(), touched_lo, &staging, now)?;
                 }
                 win = whi;
             }
@@ -263,8 +286,16 @@ impl MpiFile {
         Ok(())
     }
 
-    fn two_phase_read(&self, comm: &mut Comm, segs: &[(u64, u64)], buf: &mut [u8]) -> MpiResult<()> {
-        debug_assert_eq!(segs.iter().map(|&(_, l)| l).sum::<u64>() as usize, buf.len());
+    fn two_phase_read(
+        &self,
+        comm: &mut Comm,
+        segs: &[(u64, u64)],
+        buf: &mut [u8],
+    ) -> MpiResult<()> {
+        debug_assert_eq!(
+            segs.iter().map(|&(_, l)| l).sum::<u64>() as usize,
+            buf.len()
+        );
         let size = comm.size();
         let Some((gmin, gmax)) = self.global_range(comm, segs) else {
             comm.barrier();
@@ -294,7 +325,12 @@ impl MpiFile {
                 }
                 let (hsegs, _) = decode_header(msg)?;
                 for &(o, l) in &hsegs {
-                    agg_segs.push(AggSeg { off: o, len: l, src, stream_pos: reply_len[src] });
+                    agg_segs.push(AggSeg {
+                        off: o,
+                        len: l,
+                        src,
+                        stream_pos: reply_len[src],
+                    });
                     reply_len[src] += l;
                 }
             }
@@ -330,7 +366,9 @@ impl MpiFile {
                 if touched_lo < touched_hi {
                     let span = (touched_hi - touched_lo) as usize;
                     let mut staging = vec![0u8; span];
-                    now = self.pfs().read_exact_at(self.pfs_file(), touched_lo, &mut staging, now)?;
+                    now =
+                        self.pfs()
+                            .read_exact_at(self.pfs_file(), touched_lo, &mut staging, now)?;
                     for (co, cl, src, spos) in in_window {
                         let s = (co - touched_lo) as usize;
                         replies[src][spos as usize..(spos + cl) as usize]
@@ -356,7 +394,8 @@ impl MpiFile {
                 let (dlo, dhi) = domain_of(gmin, gmax, naggs, d);
                 if let Some((_, cl)) = clip(off, len, dlo, dhi) {
                     let p = stream_pos[d];
-                    buf[cursor..cursor + cl as usize].copy_from_slice(&replies[d][p..p + cl as usize]);
+                    buf[cursor..cursor + cl as usize]
+                        .copy_from_slice(&replies[d][p..p + cl as usize]);
                     stream_pos[d] += cl as usize;
                     cursor += cl as usize;
                 }
@@ -372,8 +411,8 @@ mod tests {
     use super::*;
     use crate::comm::World;
     use crate::datatype::Datatype;
-    use sdm_sim::MachineConfig;
     use sdm_pfs::Pfs;
+    use sdm_sim::MachineConfig;
     use std::sync::Arc;
 
     fn tiny_pfs() -> Arc<Pfs> {
@@ -466,13 +505,15 @@ mod tests {
                 let f = MpiFile::open_collective(c, &pfs, "e.bin", true).unwrap();
                 // Only rank 1 writes anything.
                 if c.rank() == 1 {
-                    f.write_all_segments(c, &[(8, 8)], &7u64.to_ne_bytes()).unwrap();
+                    f.write_all_segments(c, &[(8, 8)], &7u64.to_ne_bytes())
+                        .unwrap();
                 } else {
                     f.write_all_segments(c, &[], &[]).unwrap();
                 }
                 let mut back = [0u64; 1];
                 if c.rank() == 2 {
-                    f.read_all_segments(c, &[(8, 8)], as_bytes_mut(&mut back)).unwrap();
+                    f.read_all_segments(c, &[(8, 8)], as_bytes_mut(&mut back))
+                        .unwrap();
                     assert_eq!(back[0], 7);
                 } else {
                     f.read_all_segments(c, &[], &mut []).unwrap();
@@ -533,14 +574,13 @@ mod tests {
             let pfs = Arc::clone(&pfs);
             move |c| {
                 let mut f = MpiFile::open_collective(c, &pfs, "agg.bin", true).unwrap();
-                f.set_hints(crate::io::Hints { cb_nodes: Some(2), ..Default::default() });
+                f.set_hints(crate::io::Hints {
+                    cb_nodes: Some(2),
+                    ..Default::default()
+                });
                 let mine = vec![c.rank() as u64; 10];
-                f.write_all_segments(
-                    c,
-                    &[(c.rank() as u64 * 80, 80)],
-                    as_bytes(&mine),
-                )
-                .unwrap();
+                f.write_all_segments(c, &[(c.rank() as u64 * 80, 80)], as_bytes(&mine))
+                    .unwrap();
                 let mut back = vec![0u64; 10];
                 f.read_all_segments(
                     c,
@@ -561,9 +601,13 @@ mod tests {
             let pfs = Arc::clone(&pfs);
             move |c| {
                 let mut f = MpiFile::open_collective(c, &pfs, "cb.bin", true).unwrap();
-                f.set_hints(crate::io::Hints { cb_buffer_size: 16, ..Default::default() });
+                f.set_hints(crate::io::Hints {
+                    cb_buffer_size: 16,
+                    ..Default::default()
+                });
                 let mine: Vec<u8> = (0..50).map(|i| (c.rank() * 50 + i) as u8).collect();
-                f.write_all_segments(c, &[(c.rank() as u64 * 50, 50)], &mine).unwrap();
+                f.write_all_segments(c, &[(c.rank() as u64 * 50, 50)], &mine)
+                    .unwrap();
                 let mut all = vec![0u8; 150];
                 if c.rank() == 0 {
                     f.read_at(c, 0, &mut all).unwrap();
@@ -593,8 +637,10 @@ mod tests {
                 // Read a window crossing the boundary.
                 let mut buf = vec![0u8; 60];
                 f.read_all_segments(c, &[(70, 60)], &mut buf).unwrap();
-                let want: Vec<u8> =
-                    (70..100).map(|i| i as u8).chain(std::iter::repeat(200).take(30)).collect();
+                let want: Vec<u8> = (70..100)
+                    .map(|i| i as u8)
+                    .chain(std::iter::repeat_n(200, 30))
+                    .collect();
                 assert_eq!(buf, want);
                 f.close(c);
             }

@@ -26,7 +26,15 @@ impl FileView {
     /// A contiguous byte view starting at `disp` (the default view).
     pub fn contiguous(disp: u64) -> Self {
         // A zero-segment contiguous view is special-cased in `segments`.
-        Self { disp, ftype: Flattened { segments: vec![], extent: 0, size: 0 }, cum: vec![] }
+        Self {
+            disp,
+            ftype: Flattened {
+                segments: vec![],
+                extent: 0,
+                size: 0,
+            },
+            cum: vec![],
+        }
     }
 
     /// A view with the given flattened filetype at `disp`.
@@ -131,7 +139,7 @@ mod tests {
     #[test]
     fn strided_view_single_tile() {
         let v = view_every_other_f64(0, 4); // visible 4 f64 per 8-f64 tile
-        // First 16 visible bytes = elements 0 and 2 of the file.
+                                            // First 16 visible bytes = elements 0 and 2 of the file.
         assert_eq!(v.segments(0, 16), vec![(0, 8), (16, 8)]);
         // Visible bytes 8..24 = elements 2 and 4.
         assert_eq!(v.segments(8, 16), vec![(16, 8), (32, 8)]);
@@ -140,7 +148,7 @@ mod tests {
     #[test]
     fn strided_view_crosses_tiles() {
         let v = view_every_other_f64(0, 2); // tile: 2 visible f64 in 4 (32B extent, 16B visible)
-        // Visible 0..32 spans two tiles: file elements 0,2 then 4,6.
+                                            // Visible 0..32 spans two tiles: file elements 0,2 then 4,6.
         assert_eq!(v.segments(0, 32), vec![(0, 8), (16, 8), (32, 8), (48, 8)]);
     }
 
@@ -173,7 +181,11 @@ mod tests {
 
     #[test]
     fn bad_extent_rejected() {
-        let f = Flattened { segments: vec![(0, 16)], extent: 8, size: 16 };
+        let f = Flattened {
+            segments: vec![(0, 16)],
+            extent: 8,
+            size: 16,
+        };
         assert!(FileView::new(0, f).is_err());
     }
 
@@ -182,7 +194,11 @@ mod tests {
         let v = view_every_other_f64(64, 5);
         for (off, len) in [(0u64, 80u64), (8, 72), (40, 33), (3, 9)] {
             let segs = v.segments(off, len);
-            assert_eq!(segs.iter().map(|&(_, l)| l).sum::<u64>(), len, "off={off} len={len}");
+            assert_eq!(
+                segs.iter().map(|&(_, l)| l).sum::<u64>(),
+                len,
+                "off={off} len={len}"
+            );
             // Monotone, non-overlapping.
             for w in segs.windows(2) {
                 assert!(w[0].0 + w[0].1 <= w[1].0);

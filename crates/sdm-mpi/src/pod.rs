@@ -37,7 +37,9 @@ pub fn as_bytes<T: Pod>(xs: &[T]) -> &[u8] {
 /// Mutable byte view of a slice of Pod values.
 pub fn as_bytes_mut<T: Pod>(xs: &mut [T]) -> &mut [u8] {
     // SAFETY: T is Pod: any byte pattern written is a valid T.
-    unsafe { std::slice::from_raw_parts_mut(xs.as_mut_ptr().cast::<u8>(), std::mem::size_of_val(xs)) }
+    unsafe {
+        std::slice::from_raw_parts_mut(xs.as_mut_ptr().cast::<u8>(), std::mem::size_of_val(xs))
+    }
 }
 
 /// Copy bytes into a freshly allocated, properly aligned `Vec<T>`.
@@ -45,7 +47,7 @@ pub fn as_bytes_mut<T: Pod>(xs: &mut [T]) -> &mut [u8] {
 pub fn vec_from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
     let sz = size_of::<T>();
     assert!(
-        bytes.len() % sz == 0,
+        bytes.len().is_multiple_of(sz),
         "byte length {} not a multiple of element size {}",
         bytes.len(),
         sz
@@ -64,7 +66,11 @@ pub fn vec_from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
 /// Copy bytes over an existing slice of Pod values. Panics if lengths
 /// disagree.
 pub fn copy_into<T: Pod>(bytes: &[u8], dst: &mut [T]) {
-    assert_eq!(bytes.len(), std::mem::size_of_val(dst), "length mismatch in copy_into");
+    assert_eq!(
+        bytes.len(),
+        std::mem::size_of_val(dst),
+        "length mismatch in copy_into"
+    );
     as_bytes_mut(dst).copy_from_slice(bytes);
 }
 

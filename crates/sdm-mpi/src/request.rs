@@ -37,7 +37,9 @@ pub struct RecvRequest {
 impl Comm {
     /// Nonblocking typed send (eager: the payload is buffered immediately).
     pub fn isend<T: Pod>(&mut self, dst: usize, tag: Tag, data: &[T]) -> SendRequest {
-        SendRequest { result: self.send(dst, tag, data) }
+        SendRequest {
+            result: self.send(dst, tag, data),
+        }
     }
 
     /// Post a receive for `(src, tag)`; match it later with

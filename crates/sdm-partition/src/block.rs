@@ -8,7 +8,9 @@ use crate::vector::PartitionVector;
 pub fn partition_block(n: usize, nparts: usize) -> PartitionVector {
     assert!(nparts > 0);
     let chunk = n.div_ceil(nparts).max(1);
-    (0..n).map(|i| ((i / chunk) as u32).min(nparts as u32 - 1)).collect()
+    (0..n)
+        .map(|i| ((i / chunk) as u32).min(nparts as u32 - 1))
+        .collect()
 }
 
 #[cfg(test)]

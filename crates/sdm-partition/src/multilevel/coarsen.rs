@@ -76,7 +76,15 @@ pub fn contract(g: &WGraph, mate: &[u32]) -> (WGraph, Vec<u32>) {
         adjwgt[fill[b as usize]] = w;
         fill[b as usize] += 1;
     }
-    (WGraph { xadj, adjncy, adjwgt, vwgt }, cmap)
+    (
+        WGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        },
+        cmap,
+    )
 }
 
 #[cfg(test)]

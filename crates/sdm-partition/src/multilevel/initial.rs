@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn covers_all_nodes() {
-        let g = wg(10, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (7, 8), (8, 9)]);
+        let g = wg(
+            10,
+            &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (7, 8), (8, 9)],
+        );
         let p = greedy_growing(&g, 3, 1);
         assert!(p.iter().all(|&x| x != u32::MAX));
         validate(&p, 3, false).unwrap();

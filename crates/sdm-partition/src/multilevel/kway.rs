@@ -42,8 +42,16 @@ pub fn partition_kway(graph: &CsrGraph, nparts: usize, seed: u64) -> PartitionVe
     }
 
     // Initial partition on the coarsest graph.
-    let mut part = greedy_growing(&g, nparts, seed ^ 0xC0FF_EE);
-    refine(&g, &mut part, nparts, RefineParams { max_imbalance: 1.03, passes: 8 });
+    let mut part = greedy_growing(&g, nparts, seed ^ 0x00C0_FFEE);
+    refine(
+        &g,
+        &mut part,
+        nparts,
+        RefineParams {
+            max_imbalance: 1.03,
+            passes: 8,
+        },
+    );
 
     // Uncoarsening with refinement.
     while let Some((fine, cmap)) = levels.pop() {
@@ -51,7 +59,15 @@ pub fn partition_kway(graph: &CsrGraph, nparts: usize, seed: u64) -> PartitionVe
         for v in 0..fine.n() {
             fine_part[v] = part[cmap[v] as usize];
         }
-        refine(&fine, &mut fine_part, nparts, RefineParams { max_imbalance: 1.05, passes: 4 });
+        refine(
+            &fine,
+            &mut fine_part,
+            nparts,
+            RefineParams {
+                max_imbalance: 1.05,
+                passes: 4,
+            },
+        );
         part = fine_part;
     }
     part

@@ -119,7 +119,10 @@ mod tests {
         let g = wg(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
         let mate = heavy_edge_matching(&g, 1);
         let matched = (0..8).filter(|&v| mate[v] as usize != v).count();
-        assert!(matched >= 6, "a path of 8 should match at least 3 pairs, matched {matched}");
+        assert!(
+            matched >= 6,
+            "a path of 8 should match at least 3 pairs, matched {matched}"
+        );
     }
 
     #[test]
@@ -138,6 +141,9 @@ mod tests {
         let g = wg(10, &edges);
         let mate = heavy_edge_matching(&g, 3);
         let matched = (0..10).filter(|&v| mate[v] as usize != v).count();
-        assert!(matched >= 8, "cycle of 10 should match >= 4 pairs, got {matched}");
+        assert!(
+            matched >= 8,
+            "cycle of 10 should match >= 4 pairs, got {matched}"
+        );
     }
 }

@@ -16,7 +16,10 @@ pub struct RefineParams {
 
 impl Default for RefineParams {
     fn default() -> Self {
-        Self { max_imbalance: 1.05, passes: 4 }
+        Self {
+            max_imbalance: 1.05,
+            passes: 4,
+        }
     }
 }
 
@@ -57,12 +60,7 @@ pub fn refine(g: &WGraph, part: &mut [u32], nparts: usize, params: RefineParams)
 
         // Best available gain of v over adjacent foreign parts, ignoring
         // weight limits (rechecked at pop time).
-        fn best_gain(
-            g: &WGraph,
-            part: &[u32],
-            conn: &mut [i64],
-            v: usize,
-        ) -> Option<i64> {
+        fn best_gain(g: &WGraph, part: &[u32], conn: &mut [i64], v: usize) -> Option<i64> {
             let home = part[v] as usize;
             let mut touched: Vec<usize> = Vec::with_capacity(8);
             for e in g.nbr_range(v) {
@@ -88,9 +86,9 @@ pub fn refine(g: &WGraph, part: &mut [u32], nparts: usize, params: RefineParams)
             best
         }
 
-        for v in 0..n {
+        for (v, &ver) in version.iter().enumerate().take(n) {
             if let Some(gain) = best_gain(g, part, &mut conn, v) {
-                heap.push((gain, Reverse(v), version[v]));
+                heap.push((gain, Reverse(v), ver));
             }
         }
 
@@ -98,8 +96,8 @@ pub fn refine(g: &WGraph, part: &mut [u32], nparts: usize, params: RefineParams)
         let feasible = |pw: &[u64]| pw.iter().all(|&w| w <= max_weight);
         let initial_feasible = feasible(&part_weight);
         let mut history: Vec<(usize, u32)> = Vec::new(); // (vertex, old part)
-        // Best prefix key: feasibility (or the input was already
-        // infeasible), then lower cut. Ties keep the earlier prefix.
+                                                         // Best prefix key: feasibility (or the input was already
+                                                         // infeasible), then lower cut. Ties keep the earlier prefix.
         let mut best_prefix = 0usize;
         let mut best_key = (initial_feasible, -cut);
 
@@ -191,7 +189,15 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..7).map(|i| (i, i + 1)).collect();
         let g = wg(8, &edges);
         let mut part = vec![0u32, 1, 0, 1, 0, 1, 0, 1];
-        refine(&g, &mut part, 2, RefineParams { max_imbalance: 1.0, passes: 8 });
+        refine(
+            &g,
+            &mut part,
+            2,
+            RefineParams {
+                max_imbalance: 1.0,
+                passes: 8,
+            },
+        );
         let cut = g.cut(&part);
         assert!(cut <= 2, "refined cut {cut} should approach optimal 1");
         assert!(imbalance(&part, 2) <= 1.01);
@@ -204,15 +210,27 @@ mod tests {
         let edges: Vec<(u32, u32)> = (1..7).map(|l| (0, l)).collect();
         let g = wg(7, &edges);
         let mut part = vec![0, 0, 0, 0, 1, 1, 1];
-        refine(&g, &mut part, 2, RefineParams { max_imbalance: 1.15, passes: 4 });
+        refine(
+            &g,
+            &mut part,
+            2,
+            RefineParams {
+                max_imbalance: 1.15,
+                passes: 4,
+            },
+        );
         let sizes = crate::vector::part_sizes(&part, 2);
-        assert!(sizes.iter().all(|&s| s >= 3), "balance must hold: {sizes:?}");
+        assert!(
+            sizes.iter().all(|&s| s >= 3),
+            "balance must hold: {sizes:?}"
+        );
     }
 
     #[test]
     fn never_worsens_cut() {
-        let edges: Vec<(u32, u32)> =
-            (0..20u32).flat_map(|i| [(i, (i + 1) % 21), (i, (i + 3) % 21)]).collect();
+        let edges: Vec<(u32, u32)> = (0..20u32)
+            .flat_map(|i| [(i, (i + 1) % 21), (i, (i + 3) % 21)])
+            .collect();
         let g = wg(21, &edges);
         let mut part: Vec<u32> = (0..21).map(|i| (i % 3) as u32).collect();
         let before = g.cut(&part);
@@ -237,13 +255,25 @@ mod tests {
         let g = wg(10, &edges);
         let mut part = vec![0u32; 10];
         part[9] = 1; // seed the other side
-        refine(&g, &mut part, 2, RefineParams { max_imbalance: 1.1, passes: 10 });
+        refine(
+            &g,
+            &mut part,
+            2,
+            RefineParams {
+                max_imbalance: 1.1,
+                passes: 10,
+            },
+        );
         let sizes = crate::vector::part_sizes(&part, 2);
         assert!(
             sizes.iter().all(|&s| s >= 3),
             "weight must flow to the light part: {sizes:?}"
         );
-        assert!(g.cut(&part) <= 2, "path split should stay contiguous: cut {}", g.cut(&part));
+        assert!(
+            g.cut(&part) <= 2,
+            "path split should stay contiguous: cut {}",
+            g.cut(&part)
+        );
     }
 
     #[test]
@@ -252,13 +282,24 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..15).map(|i| (i, (i + 1) % 16)).collect();
         let g = wg(16, &edges);
         let mut part: Vec<u32> = (0..16).map(|i| (i / 4) as u32).collect();
-        refine(&g, &mut part, 4, RefineParams { max_imbalance: 1.05, passes: 6 });
+        refine(
+            &g,
+            &mut part,
+            4,
+            RefineParams {
+                max_imbalance: 1.05,
+                passes: 6,
+            },
+        );
         let total = g.total_weight();
         let cap = (((total as f64 / 4.0) * 1.05) as u64).max(total.div_ceil(4));
         let mut w = vec![0u64; 4];
         for v in 0..16 {
             w[part[v] as usize] += g.vwgt[v];
         }
-        assert!(w.iter().all(|&x| x <= cap), "weights {w:?} exceed cap {cap}");
+        assert!(
+            w.iter().all(|&x| x <= cap),
+            "weights {w:?} exceed cap {cap}"
+        );
     }
 }

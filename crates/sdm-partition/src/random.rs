@@ -10,7 +10,9 @@ use crate::vector::PartitionVector;
 pub fn partition_random(n: usize, nparts: usize, seed: u64) -> PartitionVector {
     assert!(nparts > 0);
     let mut rng = SplitMix64::new(seed);
-    (0..n).map(|_| rng.next_below(nparts as u64) as u32).collect()
+    (0..n)
+        .map(|_| rng.next_below(nparts as u64) as u32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -31,7 +33,10 @@ mod tests {
         let v = partition_random(70_000, 7, 11);
         let sizes = part_sizes(&v, 7);
         for s in sizes {
-            assert!((9_000..11_000).contains(&s), "size {s} too skewed for uniform assignment");
+            assert!(
+                (9_000..11_000).contains(&s),
+                "size {s} too skewed for uniform assignment"
+            );
         }
     }
 

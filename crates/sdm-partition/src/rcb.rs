@@ -15,7 +15,13 @@ pub fn partition_rcb(coords: &[[f64; 3]], nparts: usize) -> PartitionVector {
     vector
 }
 
-fn bisect(coords: &[[f64; 3]], ids: &mut [u32], first_part: usize, nparts: usize, out: &mut Vec<u32>) {
+fn bisect(
+    coords: &[[f64; 3]],
+    ids: &mut [u32],
+    first_part: usize,
+    nparts: usize,
+    out: &mut Vec<u32>,
+) {
     if nparts == 1 || ids.len() <= 1 {
         for &i in ids.iter() {
             out[i as usize] = first_part as u32;
@@ -33,7 +39,9 @@ fn bisect(coords: &[[f64; 3]], ids: &mut [u32], first_part: usize, nparts: usize
             hi[a] = hi[a].max(coords[i as usize][a]);
         }
     }
-    let axis = (0..3).max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap()).unwrap();
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .unwrap();
 
     // Split proportionally: left gets floor(nparts/2) parts' worth.
     let left_parts = nparts / 2;
@@ -48,7 +56,13 @@ fn bisect(coords: &[[f64; 3]], ids: &mut [u32], first_part: usize, nparts: usize
     });
     let (left, right) = ids.split_at_mut(split);
     bisect(coords, left, first_part, left_parts, out);
-    bisect(coords, right, first_part + left_parts, nparts - left_parts, out);
+    bisect(
+        coords,
+        right,
+        first_part + left_parts,
+        nparts - left_parts,
+        out,
+    );
 }
 
 #[cfg(test)]

@@ -63,7 +63,11 @@ impl BlockCache {
 
     fn evict_if_full(&mut self) {
         while self.blocks.len() >= self.capacity_blocks {
-            let oldest = self.blocks.iter().min_by_key(|(_, (_, t))| *t).map(|(&b, _)| b);
+            let oldest = self
+                .blocks
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(&b, _)| b);
             if let Some(b) = oldest {
                 self.blocks.remove(&b);
             } else {
@@ -82,7 +86,7 @@ impl BlockCache {
         self.evict_if_full();
         let mut buf = vec![0u8; self.block_size];
         let (n, t) = pfs.read_at(&self.file, block * self.block_size as u64, &mut buf, now)?;
-        buf.truncate(n.max(0));
+        buf.truncate(n);
         // Keep a full-size block image; bytes past EOF read as zeros.
         buf.resize(self.block_size, 0);
         self.tick += 1;
@@ -157,7 +161,8 @@ mod tests {
     fn setup() -> (std::sync::Arc<Pfs>, BlockCache) {
         let pfs = Pfs::new(MachineConfig::test_tiny());
         let (f, _) = pfs.open_or_create("cache.dat", 0.0).unwrap();
-        pfs.write_at(&f, 0, &(0..=255u8).collect::<Vec<_>>(), 0.0).unwrap();
+        pfs.write_at(&f, 0, &(0..=255u8).collect::<Vec<_>>(), 0.0)
+            .unwrap();
         let cache = BlockCache::new(f, 64, 2);
         (pfs, cache)
     }

@@ -15,7 +15,10 @@ pub(crate) struct FileData {
 
 impl FileData {
     pub(crate) fn new(name: String) -> Arc<Self> {
-        Arc::new(Self { name, bytes: RwLock::new(Vec::new()) })
+        Arc::new(Self {
+            name,
+            bytes: RwLock::new(Vec::new()),
+        })
     }
 }
 
@@ -30,7 +33,10 @@ pub struct PfsFile {
 
 impl PfsFile {
     pub(crate) fn new(data: Arc<FileData>) -> Self {
-        Self { data, closed: Arc::new(AtomicBool::new(false)) }
+        Self {
+            data,
+            closed: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// The file's name in the PFS namespace.

@@ -70,7 +70,11 @@ impl Pfs {
         }
         let data = {
             let mut files = self.files.write();
-            Arc::clone(files.entry(name.to_string()).or_insert_with(|| FileData::new(name.to_string())))
+            Arc::clone(
+                files
+                    .entry(name.to_string())
+                    .or_insert_with(|| FileData::new(name.to_string())),
+            )
         };
         let t = self.meta.submit(now, self.config.io.open_cost);
         self.counters.incr("pfs.opens");
@@ -124,7 +128,9 @@ impl Pfs {
     /// `NotFound`.
     pub fn file_len(&self, name: &str) -> PfsResult<u64> {
         let files = self.files.read();
-        let data = files.get(name).ok_or_else(|| PfsError::NotFound(name.to_string()))?;
+        let data = files
+            .get(name)
+            .ok_or_else(|| PfsError::NotFound(name.to_string()))?;
         let real = data.bytes.read().len() as u64;
         Ok(self.faults.visible_len(name, real))
     }
@@ -163,7 +169,13 @@ impl Pfs {
 
     /// Write `data` at `offset`, extending the file as needed. Returns the
     /// completion time.
-    pub fn write_at(&self, file: &PfsFile, offset: u64, data: &[u8], now: Seconds) -> PfsResult<Seconds> {
+    pub fn write_at(
+        &self,
+        file: &PfsFile,
+        offset: u64,
+        data: &[u8],
+        now: Seconds,
+    ) -> PfsResult<Seconds> {
         if file.is_closed() {
             return Err(PfsError::Closed(file.name().to_string()));
         }
@@ -305,7 +317,14 @@ mod tests {
         let (n, _) = fs.read_at(&f, 0, &mut buf, 0.0).unwrap();
         assert_eq!(n, 3);
         let err = fs.read_exact_at(&f, 0, &mut buf, 0.0).unwrap_err();
-        assert!(matches!(err, PfsError::ShortRead { wanted: 10, got: 3, .. }));
+        assert!(matches!(
+            err,
+            PfsError::ShortRead {
+                wanted: 10,
+                got: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -322,9 +341,15 @@ mod tests {
         let fs = fs();
         let (f, t) = fs.open_or_create("c.dat", 0.0).unwrap();
         fs.close(&f, t);
-        assert!(matches!(fs.write_at(&f, 0, b"x", 0.0), Err(PfsError::Closed(_))));
+        assert!(matches!(
+            fs.write_at(&f, 0, b"x", 0.0),
+            Err(PfsError::Closed(_))
+        ));
         let mut b = [0u8; 1];
-        assert!(matches!(fs.read_at(&f, 0, &mut b, 0.0), Err(PfsError::Closed(_))));
+        assert!(matches!(
+            fs.read_at(&f, 0, &mut b, 0.0),
+            Err(PfsError::Closed(_))
+        ));
     }
 
     #[test]
@@ -333,7 +358,10 @@ mod tests {
         fs.open_or_create("d.dat", 0.0).unwrap();
         fs.delete("d.dat", 0.0).unwrap();
         assert!(!fs.exists("d.dat"));
-        assert!(matches!(fs.delete("d.dat", 0.0), Err(PfsError::NotFound(_))));
+        assert!(matches!(
+            fs.delete("d.dat", 0.0),
+            Err(PfsError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -352,7 +380,10 @@ mod tests {
         let small = fs.write_at(&f, 0, &vec![0u8; 1024], t).unwrap() - t;
         fs.reset_timing();
         let big = fs.write_at(&f, 0, &vec![0u8; 16 << 20], t).unwrap() - t;
-        assert!(big > small * 10.0, "16MB ({big}s) should cost much more than 1KB ({small}s)");
+        assert!(
+            big > small * 10.0,
+            "16MB ({big}s) should cost much more than 1KB ({small}s)"
+        );
     }
 
     #[test]
@@ -380,20 +411,34 @@ mod tests {
         // Two writers to disjoint halves at t=0: second completion should
         // exceed a single writer's because the stripe sets overlap.
         let t1 = fs.write_at(&f, 0, &vec![0u8; chunk], 0.0).unwrap();
-        let t2 = fs.write_at(&f, chunk as u64, &vec![1u8; chunk], 0.0).unwrap();
-        assert!(t2 > t1 * 1.5, "queued write t2={t2} should be well after t1={t1}");
+        let t2 = fs
+            .write_at(&f, chunk as u64, &vec![1u8; chunk], 0.0)
+            .unwrap();
+        assert!(
+            t2 > t1 * 1.5,
+            "queued write t2={t2} should be well after t1={t1}"
+        );
     }
 
     #[test]
     fn open_failure_injection() {
-        let fs = Pfs::with_faults(MachineConfig::test_tiny(), FaultPlan::none().fail_open("h.dat"));
-        assert!(matches!(fs.open_or_create("h.dat", 0.0), Err(PfsError::OpenFailed(_))));
+        let fs = Pfs::with_faults(
+            MachineConfig::test_tiny(),
+            FaultPlan::none().fail_open("h.dat"),
+        );
+        assert!(matches!(
+            fs.open_or_create("h.dat", 0.0),
+            Err(PfsError::OpenFailed(_))
+        ));
         assert!(fs.open_or_create("ok.dat", 0.0).is_ok());
     }
 
     #[test]
     fn truncation_injection_shortens_reads() {
-        let fs = Pfs::with_faults(MachineConfig::test_tiny(), FaultPlan::none().truncate("t.dat", 2));
+        let fs = Pfs::with_faults(
+            MachineConfig::test_tiny(),
+            FaultPlan::none().truncate("t.dat", 2),
+        );
         let (f, t) = fs.open_or_create("t.dat", 0.0).unwrap();
         fs.write_at(&f, 0, b"abcdef", t).unwrap();
         let mut buf = [0u8; 6];
@@ -404,8 +449,10 @@ mod tests {
 
     #[test]
     fn corruption_injection_flips_first_byte() {
-        let fs =
-            Pfs::with_faults(MachineConfig::test_tiny(), FaultPlan::none().corrupt_first_byte("c.dat"));
+        let fs = Pfs::with_faults(
+            MachineConfig::test_tiny(),
+            FaultPlan::none().corrupt_first_byte("c.dat"),
+        );
         let (f, t) = fs.open_or_create("c.dat", 0.0).unwrap();
         fs.write_at(&f, 0, b"abc", t).unwrap();
         let mut buf = [0u8; 3];
@@ -419,7 +466,10 @@ mod tests {
         let fs = Pfs::new(MachineConfig::origin2000());
         let (f, _) = fs.open_or_create("h.dat", 0.0).unwrap();
         let (caller, done) = fs.write_at_async(&f, 0, &vec![0u8; 32 << 20], 0.0).unwrap();
-        assert!(caller < done, "caller time {caller} should precede background completion {done}");
+        assert!(
+            caller < done,
+            "caller time {caller} should precede background completion {done}"
+        );
         // Data is still durable.
         let mut b = [9u8; 1];
         let (n, _) = fs.read_at(&f, 0, &mut b, 0.0).unwrap();
@@ -446,6 +496,9 @@ mod tests {
         let (_, t1) = fs.open_or_create("f1", 0.0).unwrap();
         let (_, t2) = fs.open_or_create("f2", 0.0).unwrap();
         assert!((t1 - open_cost).abs() < 1e-9);
-        assert!((t2 - 2.0 * open_cost).abs() < 1e-9, "second open must queue: {t2}");
+        assert!(
+            (t2 - 2.0 * open_cost).abs() < 1e-9,
+            "second open must queue: {t2}"
+        );
     }
 }

@@ -20,7 +20,10 @@ impl StripeLayout {
     pub fn new(stripe_size: u64, servers: usize) -> Self {
         assert!(stripe_size > 0, "stripe size must be positive");
         assert!(servers > 0, "need at least one server");
-        Self { stripe_size, servers }
+        Self {
+            stripe_size,
+            servers,
+        }
     }
 
     /// Server holding the stripe unit that contains byte offset `off`.
@@ -54,7 +57,9 @@ impl StripeLayout {
             // Many units: whole cycles contribute evenly; handle the
             // ragged head and tail unit-by-unit.
             let head_end = (first_unit + self.servers as u64).min(last_unit + 1);
-            let tail_start = last_unit.saturating_sub(self.servers as u64 - 1).max(head_end);
+            let tail_start = last_unit
+                .saturating_sub(self.servers as u64 - 1)
+                .max(head_end);
             // Head units (first `servers` units, possibly partial first).
             let end = off + len;
             for unit in first_unit..head_end {
@@ -157,8 +162,15 @@ mod tests {
     fn matches_reference_large_extent() {
         let l = StripeLayout::new(64, 10);
         // Extent spanning many complete cycles with ragged ends.
-        for &(off, len) in &[(3u64, 64 * 10 * 7 + 100), (64 * 3 + 5, 64 * 10 * 3), (0, 64 * 25)] {
-            assert_eq!(l.bytes_per_server(off, len), bytes_per_server_ref(&l, off, len));
+        for &(off, len) in &[
+            (3u64, 64 * 10 * 7 + 100),
+            (64 * 3 + 5, 64 * 10 * 3),
+            (0, 64 * 25),
+        ] {
+            assert_eq!(
+                l.bytes_per_server(off, len),
+                bytes_per_server_ref(&l, off, len)
+            );
         }
     }
 

@@ -98,7 +98,11 @@ mod tests {
 
     #[test]
     fn column_round_trip() {
-        for v in [AttrValue::Int(-3), AttrValue::Double(2.5), AttrValue::from("units: m/s")] {
+        for v in [
+            AttrValue::Int(-3),
+            AttrValue::Double(2.5),
+            AttrValue::from("units: m/s"),
+        ] {
             let (i, d, t) = v.to_columns();
             let back = AttrValue::from_columns(v.type_tag(), &i, &d, &t).unwrap();
             assert_eq!(back, v);
@@ -117,6 +121,9 @@ mod tests {
 
     #[test]
     fn bad_tag_decodes_none() {
-        assert_eq!(AttrValue::from_columns("BLOB", &Value::Null, &Value::Null, &Value::Null), None);
+        assert_eq!(
+            AttrValue::from_columns("BLOB", &Value::Null, &Value::Null, &Value::Null),
+            None
+        );
     }
 }

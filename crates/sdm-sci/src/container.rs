@@ -13,8 +13,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use sdm_core::dataset::DatasetDesc;
-use sdm_core::{GroupHandle, Sdm, SdmConfig, SdmError, SdmType};
-use sdm_metadb::{Database, DbError, Value};
+use sdm_core::{GroupHandle, Sdm, SdmConfig, SdmError, SdmType, SharedStore};
+use sdm_metadb::{DbError, Value};
 use sdm_mpi::pod::Pod;
 use sdm_mpi::Comm;
 use sdm_pfs::Pfs;
@@ -111,7 +111,9 @@ fn validate_path(path: &str) -> SciResult<()> {
         )));
     }
     if path.split('/').skip(1).any(str::is_empty) {
-        return Err(SciError::Usage(format!("path {path:?} has an empty segment")));
+        return Err(SciError::Usage(format!(
+            "path {path:?} has an empty segment"
+        )));
     }
     Ok(())
 }
@@ -129,17 +131,17 @@ impl SciFile {
     pub fn create(
         comm: &mut Comm,
         pfs: &Arc<Pfs>,
-        db: &Arc<Database>,
+        store: &SharedStore,
         name: &str,
         cfg: SdmConfig,
     ) -> SciResult<Self> {
-        let mut sdm = Sdm::initialize_with(comm, pfs, db, name, cfg)?;
+        let mut sdm = Sdm::initialize_with(comm, pfs, store, name, cfg)?;
         sdm.record_run(comm, 0)?;
         if comm.rank() == 0 {
             for ddl in SCI_DDL {
-                db.exec(ddl, &[])?;
+                store.exec(ddl, &[])?;
             }
-            db.exec(
+            store.exec(
                 "INSERT INTO sci_group_table VALUES (?, ?)",
                 &[Value::Int(sdm.runid()), Value::from("/")],
             )?;
@@ -147,7 +149,13 @@ impl SciFile {
         comm.barrier();
         let mut groups = BTreeSet::new();
         groups.insert("/".to_string());
-        Ok(Self { sdm, groups, dims: BTreeMap::new(), datasets: HashMap::new(), order: Vec::new() })
+        Ok(Self {
+            sdm,
+            groups,
+            dims: BTreeMap::new(),
+            datasets: HashMap::new(),
+            order: Vec::new(),
+        })
     }
 
     /// Reopen the latest container run named `name`: rebuilds the whole
@@ -156,25 +164,34 @@ impl SciFile {
     pub fn open(
         comm: &mut Comm,
         pfs: &Arc<Pfs>,
-        db: &Arc<Database>,
+        store: &SharedStore,
         name: &str,
         cfg: SdmConfig,
     ) -> SciResult<Self> {
-        let runid = sdm_core::tables::latest_runid_for_app(db, name)?
+        let runid = store
+            .latest_runid_for_app(name)?
             .ok_or_else(|| SciError::Usage(format!("no container named {name:?}")))?;
-        let mut sdm = Sdm::attach(comm, pfs, db, name, runid, cfg)?;
+        let mut sdm = Sdm::attach(comm, pfs, store, name, runid, cfg)?;
 
         let mut groups = BTreeSet::new();
-        let rs = db.exec("SELECT path FROM sci_group_table WHERE runid = ?", &[Value::Int(runid)])?;
+        let rs = store.exec(
+            "SELECT path FROM sci_group_table WHERE runid = ?",
+            &[Value::Int(runid)],
+        )?;
         for r in &rs.rows {
             groups.insert(r[0].as_str().unwrap_or("/").to_string());
         }
         if groups.is_empty() {
-            return Err(SciError::Usage(format!("{name:?} exists but is not a SciFile container")));
+            return Err(SciError::Usage(format!(
+                "{name:?} exists but is not a SciFile container"
+            )));
         }
 
         let mut dims = BTreeMap::new();
-        let rs = db.exec("SELECT name, len FROM sci_dim_table WHERE runid = ?", &[Value::Int(runid)])?;
+        let rs = store.exec(
+            "SELECT name, len FROM sci_dim_table WHERE runid = ?",
+            &[Value::Int(runid)],
+        )?;
         for r in &rs.rows {
             dims.insert(
                 r[0].as_str().unwrap_or_default().to_string(),
@@ -182,7 +199,7 @@ impl SciFile {
             );
         }
 
-        let rs = db.exec(
+        let rs = store.exec(
             "SELECT ghandle, path, data_type, dims, global_size
              FROM sci_dataset_table WHERE runid = ? ORDER BY ghandle",
             &[Value::Int(runid)],
@@ -201,13 +218,29 @@ impl SciFile {
                 Some(s) => s.split(',').map(str::to_string).collect(),
             };
             let global_size = r[4].as_i64().unwrap_or(0) as u64;
-            let handle =
-                sdm.attach_group(comm, vec![DatasetDesc { data_type: dtype, ..DatasetDesc::doubles(path.clone(), global_size) }])?;
-            let info = DatasetInfo { path: path.clone(), dtype, dims: dim_names, global_size };
+            let handle = sdm.attach_group(
+                comm,
+                vec![DatasetDesc {
+                    data_type: dtype,
+                    ..DatasetDesc::doubles(path.clone(), global_size)
+                }],
+            )?;
+            let info = DatasetInfo {
+                path: path.clone(),
+                dtype,
+                dims: dim_names,
+                global_size,
+            };
             order.push(path.clone());
             datasets.insert(path, DsEntry { handle, info });
         }
-        Ok(Self { sdm, groups, dims, datasets, order })
+        Ok(Self {
+            sdm,
+            groups,
+            dims,
+            datasets,
+            order,
+        })
     }
 
     /// The underlying SDM run id (metadata key).
@@ -223,10 +256,12 @@ impl SciFile {
         }
         let parent = parent_of(path);
         if !self.groups.contains(parent) {
-            return Err(SciError::Usage(format!("parent group {parent} does not exist")));
+            return Err(SciError::Usage(format!(
+                "parent group {parent} does not exist"
+            )));
         }
         if comm.rank() == 0 {
-            self.sdm.db().exec(
+            self.sdm.store().exec(
                 "INSERT INTO sci_group_table VALUES (?, ?)",
                 &[Value::Int(self.sdm.runid()), Value::from(path)],
             )?;
@@ -242,15 +277,21 @@ impl SciFile {
             return Err(SciError::Usage(format!("bad dimension name {name:?}")));
         }
         if len == 0 {
-            return Err(SciError::Usage(format!("dimension {name} must have nonzero length")));
+            return Err(SciError::Usage(format!(
+                "dimension {name} must have nonzero length"
+            )));
         }
         if self.dims.contains_key(name) {
             return Err(SciError::Usage(format!("dimension {name} already defined")));
         }
         if comm.rank() == 0 {
-            self.sdm.db().exec(
+            self.sdm.store().exec(
                 "INSERT INTO sci_dim_table VALUES (?, ?, ?)",
-                &[Value::Int(self.sdm.runid()), Value::from(name), Value::from(len)],
+                &[
+                    Value::Int(self.sdm.runid()),
+                    Value::from(name),
+                    Value::from(len),
+                ],
             )?;
         }
         comm.barrier();
@@ -279,10 +320,14 @@ impl SciFile {
         }
         let parent = parent_of(path);
         if !self.groups.contains(parent) {
-            return Err(SciError::Usage(format!("parent group {parent} does not exist")));
+            return Err(SciError::Usage(format!(
+                "parent group {parent} does not exist"
+            )));
         }
         if dims.is_empty() {
-            return Err(SciError::Usage("a dataset needs at least one dimension".into()));
+            return Err(SciError::Usage(
+                "a dataset needs at least one dimension".into(),
+            ));
         }
         let mut global_size = 1u64;
         for d in dims {
@@ -293,10 +338,13 @@ impl SciFile {
                 .ok_or_else(|| SciError::Usage(format!("unknown dimension {d}")))?;
             global_size = global_size.saturating_mul(len);
         }
-        let desc = DatasetDesc { data_type: dtype, ..DatasetDesc::doubles(path, global_size) };
+        let desc = DatasetDesc {
+            data_type: dtype,
+            ..DatasetDesc::doubles(path, global_size)
+        };
         let handle = self.sdm.set_attributes(comm, vec![desc])?;
         if comm.rank() == 0 {
-            self.sdm.db().exec(
+            self.sdm.store().exec(
                 "INSERT INTO sci_dataset_table VALUES (?, ?, ?, ?, ?, ?)",
                 &[
                     Value::Int(self.sdm.runid()),
@@ -316,7 +364,8 @@ impl SciFile {
             global_size,
         };
         self.order.push(path.to_string());
-        self.datasets.insert(path.to_string(), DsEntry { handle, info });
+        self.datasets
+            .insert(path.to_string(), DsEntry { handle, info });
         Ok(())
     }
 
@@ -368,13 +417,17 @@ impl SciFile {
             return Err(SciError::Usage(format!("no group or dataset at {path}")));
         }
         if comm.rank() == 0 {
-            let db = self.sdm.db();
-            db.exec(
+            let store = self.sdm.store();
+            store.exec(
                 "DELETE FROM sci_attr_table WHERE runid = ? AND path = ? AND name = ?",
-                &[Value::Int(self.sdm.runid()), Value::from(path), Value::from(name)],
+                &[
+                    Value::Int(self.sdm.runid()),
+                    Value::from(path),
+                    Value::from(name),
+                ],
             )?;
             let (i, d, t) = value.to_columns();
-            db.exec(
+            store.exec(
                 "INSERT INTO sci_attr_table VALUES (?, ?, ?, ?, ?, ?, ?)",
                 &[
                     Value::Int(self.sdm.runid()),
@@ -393,10 +446,14 @@ impl SciFile {
 
     /// Read an attribute (local metadata query; no communication).
     pub fn get_attr(&self, path: &str, name: &str) -> SciResult<Option<AttrValue>> {
-        let rs = self.sdm.db().exec(
+        let rs = self.sdm.store().exec(
             "SELECT vtype, ival, dval, tval FROM sci_attr_table
              WHERE runid = ? AND path = ? AND name = ?",
-            &[Value::Int(self.sdm.runid()), Value::from(path), Value::from(name)],
+            &[
+                Value::Int(self.sdm.runid()),
+                Value::from(path),
+                Value::from(name),
+            ],
         )?;
         Ok(rs.first().and_then(|r| {
             AttrValue::from_columns(r[0].as_str().unwrap_or_default(), &r[1], &r[2], &r[3])
@@ -405,11 +462,15 @@ impl SciFile {
 
     /// All attribute names on an object, sorted.
     pub fn attr_names(&self, path: &str) -> SciResult<Vec<String>> {
-        let rs = self.sdm.db().exec(
+        let rs = self.sdm.store().exec(
             "SELECT name FROM sci_attr_table WHERE runid = ? AND path = ? ORDER BY name",
             &[Value::Int(self.sdm.runid()), Value::from(path)],
         )?;
-        Ok(rs.rows.iter().filter_map(|r| r[0].as_str().map(str::to_string)).collect())
+        Ok(rs
+            .rows
+            .iter()
+            .filter_map(|r| r[0].as_str().map(str::to_string))
+            .collect())
     }
 
     /// Dataset description, if `path` names a dataset.
@@ -429,15 +490,17 @@ impl SciFile {
 
     /// Direct children (groups and datasets) of a group, sorted.
     pub fn children(&self, path: &str) -> Vec<String> {
-        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
         let mut out: Vec<String> = self
             .groups
             .iter()
             .map(String::as_str)
             .chain(self.datasets.keys().map(String::as_str))
-            .filter(|p| {
-                p.starts_with(&prefix) && **p != *path && !p[prefix.len()..].contains('/')
-            })
+            .filter(|p| p.starts_with(&prefix) && **p != *path && !p[prefix.len()..].contains('/'))
             .map(str::to_string)
             .collect();
         out.sort();
@@ -465,6 +528,8 @@ impl SciFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sdm_core::CachedStore;
+    use sdm_metadb::Database;
     use sdm_mpi::World;
     use sdm_sim::MachineConfig;
 
@@ -484,22 +549,27 @@ mod tests {
         assert_eq!(parent_of("/a/b/c"), "/a/b");
     }
 
-    fn world_pfs() -> (Arc<Pfs>, Arc<Database>) {
-        (Pfs::new(MachineConfig::test_tiny()), Arc::new(Database::new()))
+    fn world_pfs() -> (Arc<Pfs>, SharedStore) {
+        let db = Arc::new(Database::new());
+        (
+            Pfs::new(MachineConfig::test_tiny()),
+            CachedStore::shared(&db),
+        )
     }
 
     #[test]
     fn container_write_read_round_trip() {
-        let (pfs, db) = world_pfs();
+        let (pfs, store) = world_pfs();
         let n = 2usize;
         let out = World::run(n, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
                 let mut f =
-                    SciFile::create(c, &pfs, &db, "flowdb", SdmConfig::default()).unwrap();
+                    SciFile::create(c, &pfs, &store, "flowdb", SdmConfig::default()).unwrap();
                 f.create_group(c, "/flow").unwrap();
                 f.define_dim(c, "nodes", 16).unwrap();
-                f.create_dataset(c, "/flow/pressure", SdmType::Double, &["nodes"]).unwrap();
+                f.create_dataset(c, "/flow/pressure", SdmType::Double, &["nodes"])
+                    .unwrap();
                 // Rank r owns the odd or even global elements.
                 let map: Vec<u64> = (0..8).map(|i| i * 2 + c.rank() as u64).collect();
                 f.set_view(c, "/flow/pressure", &map).unwrap();
@@ -518,17 +588,20 @@ mod tests {
 
     #[test]
     fn reopen_rebuilds_tree_and_reads() {
-        let (pfs, db) = world_pfs();
+        let (pfs, store) = world_pfs();
         let n = 2usize;
         World::run(n, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut f = SciFile::create(c, &pfs, &db, "reopen", SdmConfig::default()).unwrap();
+                let mut f =
+                    SciFile::create(c, &pfs, &store, "reopen", SdmConfig::default()).unwrap();
                 f.create_group(c, "/a").unwrap();
                 f.create_group(c, "/a/b").unwrap();
                 f.define_dim(c, "n", 10).unwrap();
-                f.create_dataset(c, "/a/b/x", SdmType::Double, &["n"]).unwrap();
-                f.set_attr(c, "/a/b/x", "units", AttrValue::from("K")).unwrap();
+                f.create_dataset(c, "/a/b/x", SdmType::Double, &["n"])
+                    .unwrap();
+                f.set_attr(c, "/a/b/x", "units", AttrValue::from("K"))
+                    .unwrap();
                 let map: Vec<u64> = (0..5).map(|i| i * 2 + c.rank() as u64).collect();
                 f.set_view(c, "/a/b/x", &map).unwrap();
                 let mine: Vec<f64> = map.iter().map(|&g| 100.0 + g as f64).collect();
@@ -538,9 +611,9 @@ mod tests {
         });
         // Second "session": rebuild from metadata alone.
         let out = World::run(n, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut f = SciFile::open(c, &pfs, &db, "reopen", SdmConfig::default()).unwrap();
+                let mut f = SciFile::open(c, &pfs, &store, "reopen", SdmConfig::default()).unwrap();
                 assert_eq!(f.group_paths(), vec!["/", "/a", "/a/b"]);
                 assert_eq!(f.dim_len("n"), Some(10));
                 let info = f.dataset_info("/a/b/x").unwrap().clone();
@@ -566,11 +639,12 @@ mod tests {
 
     #[test]
     fn hierarchy_rules_enforced() {
-        let (pfs, db) = world_pfs();
+        let (pfs, store) = world_pfs();
         World::run(1, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut f = SciFile::create(c, &pfs, &db, "rules", SdmConfig::default()).unwrap();
+                let mut f =
+                    SciFile::create(c, &pfs, &store, "rules", SdmConfig::default()).unwrap();
                 // Parent must exist.
                 assert!(f.create_group(c, "/x/y").is_err());
                 f.create_group(c, "/x").unwrap();
@@ -578,12 +652,19 @@ mod tests {
                 // No duplicates.
                 assert!(f.create_group(c, "/x").is_err());
                 // Dataset needs known dims and an existing parent.
-                assert!(f.create_dataset(c, "/x/d", SdmType::Double, &["nope"]).is_err());
+                assert!(f
+                    .create_dataset(c, "/x/d", SdmType::Double, &["nope"])
+                    .is_err());
                 f.define_dim(c, "k", 4).unwrap();
-                assert!(f.create_dataset(c, "/zz/d", SdmType::Double, &["k"]).is_err());
-                f.create_dataset(c, "/x/d", SdmType::Double, &["k"]).unwrap();
+                assert!(f
+                    .create_dataset(c, "/zz/d", SdmType::Double, &["k"])
+                    .is_err());
+                f.create_dataset(c, "/x/d", SdmType::Double, &["k"])
+                    .unwrap();
                 // A dataset path cannot be reused.
-                assert!(f.create_dataset(c, "/x/d", SdmType::Double, &["k"]).is_err());
+                assert!(f
+                    .create_dataset(c, "/x/d", SdmType::Double, &["k"])
+                    .is_err());
                 // Dim redefinition rejected.
                 assert!(f.define_dim(c, "k", 9).is_err());
                 f.close(c).unwrap();
@@ -593,16 +674,17 @@ mod tests {
 
     #[test]
     fn children_listing() {
-        let (pfs, db) = world_pfs();
+        let (pfs, store) = world_pfs();
         World::run(1, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut f = SciFile::create(c, &pfs, &db, "tree", SdmConfig::default()).unwrap();
+                let mut f = SciFile::create(c, &pfs, &store, "tree", SdmConfig::default()).unwrap();
                 f.create_group(c, "/a").unwrap();
                 f.create_group(c, "/b").unwrap();
                 f.create_group(c, "/a/sub").unwrap();
                 f.define_dim(c, "n", 2).unwrap();
-                f.create_dataset(c, "/a/data", SdmType::Double, &["n"]).unwrap();
+                f.create_dataset(c, "/a/data", SdmType::Double, &["n"])
+                    .unwrap();
                 assert_eq!(f.children("/"), vec!["/a", "/b"]);
                 assert_eq!(f.children("/a"), vec!["/a/data", "/a/sub"]);
                 assert!(f.children("/b").is_empty());
@@ -613,12 +695,14 @@ mod tests {
 
     #[test]
     fn attributes_upsert_and_list() {
-        let (pfs, db) = world_pfs();
+        let (pfs, store) = world_pfs();
         World::run(2, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut f = SciFile::create(c, &pfs, &db, "attrs", SdmConfig::default()).unwrap();
-                f.set_attr(c, "/", "title", AttrValue::from("RT run")).unwrap();
+                let mut f =
+                    SciFile::create(c, &pfs, &store, "attrs", SdmConfig::default()).unwrap();
+                f.set_attr(c, "/", "title", AttrValue::from("RT run"))
+                    .unwrap();
                 f.set_attr(c, "/", "steps", AttrValue::Int(5)).unwrap();
                 f.set_attr(c, "/", "steps", AttrValue::Int(7)).unwrap(); // replace
                 assert_eq!(f.get_attr("/", "steps").unwrap(), Some(AttrValue::Int(7)));
@@ -632,14 +716,15 @@ mod tests {
 
     #[test]
     fn multidim_dataset_size() {
-        let (pfs, db) = world_pfs();
+        let (pfs, store) = world_pfs();
         World::run(1, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut f = SciFile::create(c, &pfs, &db, "md", SdmConfig::default()).unwrap();
+                let mut f = SciFile::create(c, &pfs, &store, "md", SdmConfig::default()).unwrap();
                 f.define_dim(c, "x", 6).unwrap();
                 f.define_dim(c, "y", 7).unwrap();
-                f.create_dataset(c, "/grid", SdmType::Double, &["x", "y"]).unwrap();
+                f.create_dataset(c, "/grid", SdmType::Double, &["x", "y"])
+                    .unwrap();
                 assert_eq!(f.dataset_info("/grid").unwrap().global_size, 42);
                 f.close(c).unwrap();
             }

@@ -12,8 +12,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use sdm_core::{SdmConfig, SdmType};
-use sdm_metadb::Database;
+use sdm_core::{SdmConfig, SdmType, SharedStore};
 use sdm_mpi::pod::Pod;
 use sdm_mpi::Comm;
 use sdm_pfs::Pfs;
@@ -60,11 +59,11 @@ impl NcFile {
     pub fn create(
         comm: &mut Comm,
         pfs: &Arc<Pfs>,
-        db: &Arc<Database>,
+        store: &SharedStore,
         name: &str,
         cfg: SdmConfig,
     ) -> SciResult<Self> {
-        let sci = SciFile::create(comm, pfs, db, name, cfg)?;
+        let sci = SciFile::create(comm, pfs, store, name, cfg)?;
         Ok(Self {
             sci,
             mode: Mode::Define,
@@ -81,7 +80,9 @@ impl NcFile {
         self.require(Mode::Define)?;
         if len == NC_UNLIMITED {
             if self.record_dim.is_some() {
-                return Err(SciError::Usage("only one unlimited dimension is allowed".into()));
+                return Err(SciError::Usage(
+                    "only one unlimited dimension is allowed".into(),
+                ));
             }
             if self.dims.contains_key(name) {
                 return Err(SciError::Usage(format!("dimension {name} already defined")));
@@ -89,7 +90,8 @@ impl NcFile {
             self.record_dim = Some(name.to_string());
             self.dims.insert(name.to_string(), NC_UNLIMITED);
             // Recorded as an attribute so reopen can identify it.
-            self.sci.set_attr(comm, "/", "_nc_record_dim", AttrValue::from(name))?;
+            self.sci
+                .set_attr(comm, "/", "_nc_record_dim", AttrValue::from(name))?;
             return Ok(());
         }
         if self.dims.contains_key(name) {
@@ -111,7 +113,9 @@ impl NcFile {
     ) -> SciResult<()> {
         self.require(Mode::Define)?;
         if dims.is_empty() {
-            return Err(SciError::Usage("a variable needs at least one dimension".into()));
+            return Err(SciError::Usage(
+                "a variable needs at least one dimension".into(),
+            ));
         }
         for (i, d) in dims.iter().enumerate() {
             let len = self
@@ -134,7 +138,8 @@ impl NcFile {
         }
         // The container dataset covers one record; records append as SDM
         // timesteps.
-        self.sci.create_dataset(comm, &format!("/{name}"), dtype, fixed)?;
+        self.sci
+            .create_dataset(comm, &format!("/{name}"), dtype, fixed)?;
         let record_size = fixed.iter().map(|d| self.dims[*d]).product();
         self.vars.insert(
             name.to_string(),
@@ -182,7 +187,8 @@ impl NcFile {
     /// underlying attribute write).
     pub fn enddef(&mut self, comm: &mut Comm) -> SciResult<()> {
         self.require(Mode::Define)?;
-        self.sci.set_attr(comm, "/", "_nc_defined", AttrValue::Int(1))?;
+        self.sci
+            .set_attr(comm, "/", "_nc_defined", AttrValue::Int(1))?;
         self.mode = Mode::Data;
         Ok(())
     }
@@ -190,12 +196,7 @@ impl NcFile {
     /// Install this rank's element map for a variable (which global
     /// elements of each record this rank holds, in local order).
     /// Data mode only.
-    pub fn set_decomposition(
-        &mut self,
-        comm: &mut Comm,
-        var: &str,
-        map: &[u64],
-    ) -> SciResult<()> {
+    pub fn set_decomposition(&mut self, comm: &mut Comm, var: &str, map: &[u64]) -> SciResult<()> {
         self.require(Mode::Data)?;
         let def = self.var(var)?;
         if let Some(&m) = map.iter().max() {
@@ -269,7 +270,9 @@ impl NcFile {
     }
 
     fn var(&self, name: &str) -> SciResult<&VarDef> {
-        self.vars.get(name).ok_or_else(|| SciError::Usage(format!("no variable {name}")))
+        self.vars
+            .get(name)
+            .ok_or_else(|| SciError::Usage(format!("no variable {name}")))
     }
 
     fn require(&self, mode: Mode) -> SciResult<()> {
@@ -289,23 +292,31 @@ mod tests {
     use sdm_mpi::World;
     use sdm_sim::MachineConfig;
 
-    fn fixtures() -> (Arc<Pfs>, Arc<Database>) {
-        (Pfs::new(MachineConfig::test_tiny()), Arc::new(Database::new()))
+    fn fixtures() -> (Arc<Pfs>, SharedStore) {
+        let db = Arc::new(sdm_metadb::Database::new());
+        (
+            Pfs::new(MachineConfig::test_tiny()),
+            sdm_core::CachedStore::shared(&db),
+        )
     }
 
     #[test]
     fn define_then_data_mode_flow() {
-        let (pfs, db) = fixtures();
+        let (pfs, store) = fixtures();
         let n = 2usize;
         let out = World::run(n, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut nc = NcFile::create(c, &pfs, &db, "climate", SdmConfig::default()).unwrap();
+                let mut nc =
+                    NcFile::create(c, &pfs, &store, "climate", SdmConfig::default()).unwrap();
                 nc.def_dim(c, "time", NC_UNLIMITED).unwrap();
                 nc.def_dim(c, "cell", 12).unwrap();
-                nc.def_var(c, "temp", SdmType::Double, &["time", "cell"]).unwrap();
-                nc.put_att(c, Some("temp"), "units", AttrValue::from("K")).unwrap();
-                nc.put_att(c, None, "title", AttrValue::from("toy climate")).unwrap();
+                nc.def_var(c, "temp", SdmType::Double, &["time", "cell"])
+                    .unwrap();
+                nc.put_att(c, Some("temp"), "units", AttrValue::from("K"))
+                    .unwrap();
+                nc.put_att(c, None, "title", AttrValue::from("toy climate"))
+                    .unwrap();
                 // Writing before enddef is an error.
                 assert!(nc.put_record(c, "temp", 0, &[0.0f64; 6]).is_err());
                 nc.enddef(c).unwrap();
@@ -331,11 +342,12 @@ mod tests {
 
     #[test]
     fn define_mode_rules() {
-        let (pfs, db) = fixtures();
+        let (pfs, store) = fixtures();
         World::run(1, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut nc = NcFile::create(c, &pfs, &db, "rules", SdmConfig::default()).unwrap();
+                let mut nc =
+                    NcFile::create(c, &pfs, &store, "rules", SdmConfig::default()).unwrap();
                 nc.def_dim(c, "t", NC_UNLIMITED).unwrap();
                 // Second unlimited dim rejected.
                 assert!(nc.def_dim(c, "t2", NC_UNLIMITED).is_err());
@@ -358,11 +370,12 @@ mod tests {
 
     #[test]
     fn fixed_variable_single_record() {
-        let (pfs, db) = fixtures();
+        let (pfs, store) = fixtures();
         World::run(1, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut nc = NcFile::create(c, &pfs, &db, "fixed", SdmConfig::default()).unwrap();
+                let mut nc =
+                    NcFile::create(c, &pfs, &store, "fixed", SdmConfig::default()).unwrap();
                 nc.def_dim(c, "n", 5).unwrap();
                 nc.def_var(c, "coords", SdmType::Double, &["n"]).unwrap();
                 nc.enddef(c).unwrap();
@@ -382,11 +395,12 @@ mod tests {
 
     #[test]
     fn decomposition_bounds_checked() {
-        let (pfs, db) = fixtures();
+        let (pfs, store) = fixtures();
         World::run(1, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut nc = NcFile::create(c, &pfs, &db, "bounds", SdmConfig::default()).unwrap();
+                let mut nc =
+                    NcFile::create(c, &pfs, &store, "bounds", SdmConfig::default()).unwrap();
                 nc.def_dim(c, "n", 3).unwrap();
                 nc.def_var(c, "v", SdmType::Double, &["n"]).unwrap();
                 nc.enddef(c).unwrap();
@@ -399,21 +413,29 @@ mod tests {
 
     #[test]
     fn attributes_round_trip() {
-        let (pfs, db) = fixtures();
+        let (pfs, store) = fixtures();
         World::run(1, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let mut nc = NcFile::create(c, &pfs, &db, "atts", SdmConfig::default()).unwrap();
+                let mut nc = NcFile::create(c, &pfs, &store, "atts", SdmConfig::default()).unwrap();
                 nc.def_dim(c, "n", 2).unwrap();
                 nc.def_var(c, "v", SdmType::Double, &["n"]).unwrap();
                 nc.put_att(c, None, "version", AttrValue::Int(3)).unwrap();
-                nc.put_att(c, Some("v"), "scale", AttrValue::Double(0.5)).unwrap();
+                nc.put_att(c, Some("v"), "scale", AttrValue::Double(0.5))
+                    .unwrap();
                 assert!(nc.put_att(c, Some("w"), "x", AttrValue::Int(0)).is_err());
-                assert_eq!(nc.get_att(None, "version").unwrap(), Some(AttrValue::Int(3)));
-                assert_eq!(nc.get_att(Some("v"), "scale").unwrap(), Some(AttrValue::Double(0.5)));
+                assert_eq!(
+                    nc.get_att(None, "version").unwrap(),
+                    Some(AttrValue::Int(3))
+                );
+                assert_eq!(
+                    nc.get_att(Some("v"), "scale").unwrap(),
+                    Some(AttrValue::Double(0.5))
+                );
                 nc.enddef(c).unwrap();
                 // Attributes are writable in data mode too.
-                nc.put_att(c, None, "history", AttrValue::from("created")).unwrap();
+                nc.put_att(c, None, "history", AttrValue::from("created"))
+                    .unwrap();
                 nc.close(c).unwrap();
             }
         });

@@ -77,7 +77,10 @@ pub fn render_vtk(
     let mut out = String::with_capacity(64 + np * 36 + nc * (arity + 1) * 8);
     out.push_str("# vtk DataFile Version 2.0\n");
     // Titles are a single line in the format.
-    let title_line: String = title.chars().map(|c| if c == '\n' { ' ' } else { c }).collect();
+    let title_line: String = title
+        .chars()
+        .map(|c| if c == '\n' { ' ' } else { c })
+        .collect();
     let _ = writeln!(out, "{title_line}");
     out.push_str("ASCII\nDATASET UNSTRUCTURED_GRID\n");
 
@@ -134,7 +137,9 @@ pub fn write_vtk(
     now: f64,
 ) -> SciResult<f64> {
     let body = render_vtk(title, mesh, point_fields, cell_fields).map_err(SciError::Usage)?;
-    let (f, t) = pfs.open_or_create(name, now).map_err(|e| SciError::Usage(e.to_string()))?;
+    let (f, t) = pfs
+        .open_or_create(name, now)
+        .map_err(|e| SciError::Usage(e.to_string()))?;
     let t = pfs
         .write_at(&f, 0, body.as_bytes(), t)
         .map_err(|e| SciError::Usage(e.to_string()))?;

@@ -32,7 +32,13 @@ impl MachineConfig {
         validate(&network, &io).unwrap_or_else(|e| panic!("invalid MachineConfig: {e}"));
         assert!(io_servers > 0, "need at least one I/O server");
         assert!(stripe_size > 0, "stripe size must be positive");
-        Self { name: name.into(), network, io, io_servers, stripe_size }
+        Self {
+            name: name.into(),
+            network,
+            io,
+            io_servers,
+            stripe_size,
+        }
     }
 
     /// Approximation of the paper's platform: SGI Origin2000 at Argonne,
@@ -89,7 +95,12 @@ impl MachineConfig {
     pub fn test_tiny() -> Self {
         Self::new(
             "test-tiny",
-            NetworkModel { latency: 1e-9, overhead: 1e-9, byte_time: 1e-12, inject_byte_time: 1e-12 },
+            NetworkModel {
+                latency: 1e-9,
+                overhead: 1e-9,
+                byte_time: 1e-12,
+                inject_byte_time: 1e-12,
+            },
             IoModel {
                 open_cost: 1e-9,
                 close_cost: 1e-9,
@@ -124,14 +135,20 @@ mod tests {
         let c = MachineConfig::origin2000();
         let agg = c.aggregate_bandwidth() / 1e6;
         // Figure 6 reports 100-150 MB/s aggregate.
-        assert!((100.0..=250.0).contains(&agg), "aggregate {agg} MB/s out of paper range");
+        assert!(
+            (100.0..=250.0).contains(&agg),
+            "aggregate {agg} MB/s out of paper range"
+        );
         assert_eq!(c.io_servers, 10, "paper: 10 Fibre Channel controllers");
         assert!(c.io.open_cost < 10e-3, "paper: low open cost on XFS");
     }
 
     #[test]
     fn high_open_cost_is_higher() {
-        assert!(MachineConfig::high_open_cost().io.open_cost > MachineConfig::origin2000().io.open_cost * 100.0);
+        assert!(
+            MachineConfig::high_open_cost().io.open_cost
+                > MachineConfig::origin2000().io.open_cost * 100.0
+        );
     }
 
     #[test]

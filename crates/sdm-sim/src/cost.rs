@@ -55,7 +55,9 @@ impl NetworkModel {
             ("inject_byte_time", self.inject_byte_time),
         ] {
             if !v.is_finite() || v < 0.0 {
-                return Err(format!("NetworkModel.{name} must be finite and >= 0, got {v}"));
+                return Err(format!(
+                    "NetworkModel.{name} must be finite and >= 0, got {v}"
+                ));
             }
         }
         Ok(())
@@ -130,7 +132,12 @@ mod tests {
     use super::*;
 
     fn net() -> NetworkModel {
-        NetworkModel { latency: 10e-6, overhead: 1e-6, byte_time: 1.0 / 300e6, inject_byte_time: 1.0 / 600e6 }
+        NetworkModel {
+            latency: 10e-6,
+            overhead: 1e-6,
+            byte_time: 1.0 / 300e6,
+            inject_byte_time: 1.0 / 600e6,
+        }
     }
 
     fn io() -> IoModel {
@@ -167,7 +174,10 @@ mod tests {
         let m = io();
         assert!(m.service_time(0) >= m.request_latency);
         let big = m.service_time(30_000_000);
-        assert!(big > 1.0, "30MB at 30MB/s should take about a second, got {big}");
+        assert!(
+            big > 1.0,
+            "30MB at 30MB/s should take about a second, got {big}"
+        );
     }
 
     #[test]

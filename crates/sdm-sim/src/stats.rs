@@ -27,7 +27,10 @@ impl Counters {
             return Arc::clone(c);
         }
         let mut w = self.inner.write();
-        Arc::clone(w.entry(name.to_string()).or_insert_with(|| Arc::new(AtomicU64::new(0))))
+        Arc::clone(
+            w.entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
     }
 
     /// Add `n` to counter `name`, creating it at zero if absent.
@@ -42,12 +45,19 @@ impl Counters {
 
     /// Current value of `name` (zero if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.inner.read().get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+        self.inner
+            .read()
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
     /// Snapshot of all counters, sorted by name.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.inner.read().iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
     }
 
     /// Reset every counter to zero (bench repetitions).
@@ -77,7 +87,13 @@ impl Summary {
     /// Compute a summary of `xs`.
     pub fn of(xs: &[f64]) -> Self {
         if xs.is_empty() {
-            return Self { n: 0, min: 0.0, max: 0.0, mean: 0.0, stddev: 0.0 };
+            return Self {
+                n: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                stddev: 0.0,
+            };
         }
         let n = xs.len();
         let mut min = f64::INFINITY;
@@ -94,7 +110,13 @@ impl Summary {
         } else {
             xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
         };
-        Self { n, min, max, mean, stddev: var.sqrt() }
+        Self {
+            n,
+            min,
+            max,
+            mean,
+            stddev: var.sqrt(),
+        }
     }
 }
 

@@ -30,7 +30,10 @@ impl VClock {
 
     /// A clock starting at the given instant.
     pub fn starting_at(t: Seconds) -> Self {
-        assert!(t.is_finite() && t >= 0.0, "clock must start at finite t >= 0");
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "clock must start at finite t >= 0"
+        );
         Self { now: t }
     }
 
@@ -43,7 +46,10 @@ impl VClock {
     /// Advance by a non-negative duration and return the new time.
     #[inline]
     pub fn advance(&mut self, dt: Seconds) -> Seconds {
-        debug_assert!(dt.is_finite() && dt >= 0.0, "advance must be finite and >= 0, got {dt}");
+        debug_assert!(
+            dt.is_finite() && dt >= 0.0,
+            "advance must be finite and >= 0, got {dt}"
+        );
         self.now += dt.max(0.0);
         self.now
     }
@@ -99,7 +105,10 @@ impl Default for PhaseTimer {
 impl PhaseTimer {
     /// An empty timer.
     pub fn new() -> Self {
-        Self { spans: Vec::new(), open: None }
+        Self {
+            spans: Vec::new(),
+            open: None,
+        }
     }
 
     /// Begin a phase at the clock's current time, ending any open phase.
@@ -111,7 +120,11 @@ impl PhaseTimer {
     /// End the open phase (if any) at the clock's current time.
     pub fn end(&mut self, clock: &VClock) {
         if let Some((phase, start)) = self.open.take() {
-            self.spans.push(PhaseSpan { phase, start, end: clock.now() });
+            self.spans.push(PhaseSpan {
+                phase,
+                start,
+                end: clock.now(),
+            });
         }
     }
 
@@ -122,7 +135,11 @@ impl PhaseTimer {
 
     /// Total duration attributed to a phase label across all spans.
     pub fn total(&self, phase: &str) -> Seconds {
-        self.spans.iter().filter(|s| s.phase == phase).map(PhaseSpan::duration).sum()
+        self.spans
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(PhaseSpan::duration)
+            .sum()
     }
 }
 

@@ -51,13 +51,19 @@ pub struct Trace {
 impl Trace {
     /// An enabled trace.
     pub fn enabled() -> Self {
-        Self { events: Arc::default(), enabled: true }
+        Self {
+            events: Arc::default(),
+            enabled: true,
+        }
     }
 
     /// A disabled trace: `record` is a no-op. This is the default, so the
     /// hot paths pay only a branch.
     pub fn disabled() -> Self {
-        Self { events: Arc::default(), enabled: false }
+        Self {
+            events: Arc::default(),
+            enabled: false,
+        }
     }
 
     /// Whether events are being recorded.
@@ -68,7 +74,12 @@ impl Trace {
     /// Record an event (no-op when disabled).
     pub fn record(&self, t: Seconds, rank: usize, kind: EventKind, label: impl Into<String>) {
         if self.enabled {
-            self.events.lock().push(Event { t, rank, kind, label: label.into() });
+            self.events.lock().push(Event {
+                t,
+                rank,
+                kind,
+                label: label.into(),
+            });
         }
     }
 
@@ -79,7 +90,12 @@ impl Trace {
 
     /// Events matching a predicate.
     pub fn filter(&self, pred: impl Fn(&Event) -> bool) -> Vec<Event> {
-        self.events.lock().iter().filter(|e| pred(e)).cloned().collect()
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| pred(e))
+            .cloned()
+            .collect()
     }
 
     /// Clear all recorded events.

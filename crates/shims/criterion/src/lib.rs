@@ -1,0 +1,164 @@
+//! In-tree stand-in for the `criterion` crate (see the note in the
+//! `parking_lot` shim). Provides the group/bencher API surface used by
+//! `benches/micro.rs` with a simple adaptive timing loop: each benchmark
+//! runs for a short fixed budget and reports mean time per iteration
+//! (plus derived throughput when declared).
+
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark id.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into an id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs the timed loop.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly and record the mean per-iteration cost.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm up once (also forces lazy setup).
+        std::hint::black_box(f());
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 100_000 {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / iters.max(1) as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; the shim's timing loop is
+    /// budget-based, so the sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    fn run(&mut self, name: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { mean_secs: 0.0 };
+        f(&mut b);
+        let per = b.mean_secs;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / per)
+            }
+            Some(Throughput::Bytes(n)) if per > 0.0 => {
+                format!("  {:>12.1} MB/s", n as f64 / per / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{name}: {:>12.3} us/iter{rate}", self.group, per * 1e6);
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(&mut self, name: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        self.run(name.to_string(), f);
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(id.name.clone(), |b| f(b, input));
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            group: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(&mut self, name: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        BenchmarkGroup {
+            group: "bench".into(),
+            throughput: None,
+        }
+        .run(name.to_string(), f);
+    }
+}
+
+/// Bundle benchmark functions into one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_runs() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| b.iter(|| calls += 1));
+        g.bench_with_input(BenchmarkId::new("with", 7), &3u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        assert!(calls > 0);
+    }
+}

@@ -30,15 +30,18 @@ fn main() {
     );
 
     let pfs = Pfs::new(cfg.clone());
-    let db = Arc::new(Database::new());
+    let store = sdm::core::CachedStore::shared(&Arc::new(Database::new()));
     w.stage(&pfs);
 
     // First run: fresh distribution, register a history file.
     let first = World::run(nprocs, cfg.clone(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
         move |c| {
-            let opts = Fun3dOptions { register_history: true, ..Default::default() };
-            run_sdm(c, &pfs, &db, &w, &opts).unwrap().report
+            let opts = Fun3dOptions {
+                register_history: true,
+                ..Default::default()
+            };
+            run_sdm(c, &pfs, &store, &w, &opts).unwrap().report
         }
     });
     let first = PhaseReport::reduce_max(&first);
@@ -46,19 +49,30 @@ fn main() {
     // Second run: replays the index distribution from the history file.
     pfs.reset_timing();
     let second = World::run(nprocs, cfg, {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
         move |c| {
-            let opts = Fun3dOptions { use_history: true, ..Default::default() };
-            let r = run_sdm(c, &pfs, &db, &w, &opts).unwrap();
+            let opts = Fun3dOptions {
+                use_history: true,
+                ..Default::default()
+            };
+            let r = run_sdm(c, &pfs, &store, &w, &opts).unwrap();
             assert!(r.history_hit, "second run must hit the history file");
             r.report
         }
     });
     let second = PhaseReport::reduce_max(&second);
 
-    println!("\n{:<22} {:>12} {:>12}", "phase", "fresh (s)", "history (s)");
+    println!(
+        "\n{:<22} {:>12} {:>12}",
+        "phase", "fresh (s)", "history (s)"
+    );
     for phase in ["import", "index-distribution", "compute", "write", "read"] {
-        println!("{:<22} {:>12.4} {:>12.4}", phase, first.get(phase), second.get(phase));
+        println!(
+            "{:<22} {:>12.4} {:>12.4}",
+            phase,
+            first.get(phase),
+            second.get(phase)
+        );
     }
     let f = first.get("import") + first.get("index-distribution");
     let s = second.get("import") + second.get("index-distribution");

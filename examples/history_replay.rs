@@ -31,15 +31,23 @@ fn edges(n: usize) -> (Vec<i32>, Vec<i32>) {
 }
 
 fn run(nprocs: usize, pfs: &Arc<Pfs>, db: &Arc<Database>, label: &str) -> bool {
+    // Fresh store per run: each "job" re-attaches to the shared database.
+    let store = sdm::core::CachedStore::shared(db);
     let n = 600usize;
     let (e1, e2) = edges(n);
     let pv = partition_block(n, nprocs);
     let total_edges = e1.len() as u64;
     let hits = World::run(nprocs, MachineConfig::origin2000(), {
-        let (pfs, db, pv, e1, e2) = (Arc::clone(pfs), Arc::clone(db), pv.clone(), e1.clone(), e2.clone());
+        let (pfs, store, pv, e1, e2) = (
+            Arc::clone(pfs),
+            Arc::clone(&store),
+            pv.clone(),
+            e1.clone(),
+            e2.clone(),
+        );
         move |c| {
             let mut sdm =
-                Sdm::initialize_with(c, &pfs, &db, "hist_demo", SdmConfig::default()).unwrap();
+                Sdm::initialize_with(c, &pfs, &store, "hist_demo", SdmConfig::default()).unwrap();
             // Each rank holds a contiguous chunk (as an import would give).
             let chunk = e1.len().div_ceil(c.size());
             let lo = (c.rank() * chunk).min(e1.len());
@@ -54,7 +62,10 @@ fn run(nprocs: usize, pfs: &Arc<Pfs>, db: &Arc<Database>, label: &str) -> bool {
         }
     });
     let hit = hits.iter().all(|&h| h);
-    println!("{label}: history {}", if hit { "HIT" } else { "MISS (registered now)" });
+    println!(
+        "{label}: history {}",
+        if hit { "HIT" } else { "MISS (registered now)" }
+    );
     hit
 }
 
@@ -65,9 +76,18 @@ fn main() {
 
     assert!(!run(4, &pfs, &db, "run 1 @ 4 procs"), "first run must miss");
     assert!(run(4, &pfs, &db, "run 2 @ 4 procs"), "second run must hit");
-    assert!(!run(2, &pfs, &db, "run 3 @ 2 procs"), "different proc count must miss");
-    assert!(run(2, &pfs, &db, "run 4 @ 2 procs"), "now both counts are pre-created");
-    assert!(run(4, &pfs, &db, "run 5 @ 4 procs"), "4-proc history still valid");
+    assert!(
+        !run(2, &pfs, &db, "run 3 @ 2 procs"),
+        "different proc count must miss"
+    );
+    assert!(
+        run(2, &pfs, &db, "run 4 @ 2 procs"),
+        "now both counts are pre-created"
+    );
+    assert!(
+        run(4, &pfs, &db, "run 5 @ 4 procs"),
+        "4-proc history still valid"
+    );
 
     // Corrupt the 4-proc history file: the next run must detect it
     // (checksum), fall back to fresh distribution, and deregister.
@@ -75,7 +95,13 @@ fn main() {
     let (f, _) = pfs.open(name, 0.0).unwrap();
     pfs.write_at(&f, 20, &[0xFFu8; 8], 0.0).unwrap();
     println!("(corrupted {name})");
-    assert!(!run(4, &pfs, &db, "run 6 @ 4 procs after corruption"), "corruption must force fresh");
-    assert!(run(4, &pfs, &db, "run 7 @ 4 procs"), "re-registered after fallback");
+    assert!(
+        !run(4, &pfs, &db, "run 6 @ 4 procs after corruption"),
+        "corruption must force fresh"
+    );
+    assert!(
+        run(4, &pfs, &db, "run 7 @ 4 procs"),
+        "re-registered after fallback"
+    );
     println!("OK");
 }

@@ -1,37 +1,55 @@
-//! Tour of the embedded metadata database: the six SDM tables, embedded
-//! SQL with parameters, and snapshot persistence — what MySQL did for
-//! the paper's SDM.
+//! Tour of the metadata layer: the `MetadataStore` trait over the six
+//! SDM tables, embedded SQL with prepared statements, and snapshot
+//! persistence — what MySQL did for the paper's SDM.
 //!
 //! Run: `cargo run --example metadb_tour`
 
-use sdm::core::tables;
+use std::sync::Arc;
+
+use sdm::core::{MetadataStore, RunRecord, SqlStore};
 use sdm::metadb::{Database, Value};
 
 fn main() {
-    let db = Database::new();
+    let db = Arc::new(Database::new());
+    let store = SqlStore::new(Arc::clone(&db));
 
-    // The six tables of Figure 4.
-    tables::create_all(&db).unwrap();
+    // The six tables of Figure 4, plus secondary indexes on the hot
+    // lookup columns.
+    store.ensure_schema().unwrap();
     println!("tables created: run, access_pattern, execution, import, index, index_history");
 
     // A run writes two datasets over three checkpoints (Level 3: one
     // file, offsets tracked per write).
-    let runid = tables::next_runid(&db).unwrap();
-    tables::insert_run(&db, runid, "fun3d", 3, 2_000_000, 3, (2001, 2, 20), (14, 30)).unwrap();
+    let runid = store.allocate_runid("fun3d").unwrap();
+    store
+        .record_run(&RunRecord {
+            runid,
+            application: "fun3d".into(),
+            dimension: 3,
+            problem_size: 2_000_000,
+            num_timesteps: 3,
+            date: (2001, 2, 20),
+            time: (14, 30),
+        })
+        .unwrap();
     for ds in ["p", "q"] {
-        tables::insert_access_pattern(&db, runid, ds, "DOUBLE", "ROW_MAJOR", "IRREGULAR", 2_000_000)
+        store
+            .record_access_pattern(runid, ds, "DOUBLE", "ROW_MAJOR", "IRREGULAR", 2_000_000)
             .unwrap();
     }
     let mut offset = 0i64;
     for t in 0..3 {
         for ds in ["p", "q"] {
-            tables::insert_execution(&db, runid, ds, t, offset, "fun3d.g0.dat").unwrap();
+            store
+                .record_execution(runid, ds, t, offset, "fun3d.g0.dat")
+                .unwrap();
             offset += 2_000_000 * 8;
         }
     }
 
     // Ad-hoc embedded SQL, exactly how SDM queries its own metadata.
-    let rs = db
+    // Repeated statements are parsed once (prepared-statement cache).
+    let rs = store
         .exec(
             "SELECT dataset, timestep, file_offset FROM execution_table
              WHERE runid = ? AND timestep >= 1 ORDER BY file_offset DESC LIMIT 3",
@@ -43,21 +61,34 @@ fn main() {
         println!("  dataset={} t={} offset={}", row[0], row[1], row[2]);
     }
     assert_eq!(rs.len(), 3);
+    let stats = db.stats();
+    println!(
+        "statement cache: {} parses, {} hits; scans: {} indexed / {} full",
+        stats.parse_misses, stats.parse_hits, stats.index_scans, stats.full_scans
+    );
 
     // History registry: key by (problem_size, nprocs).
-    tables::insert_index_registry(&db, 18_000_000, 64, 3, "fun3d.hist.18M.64").unwrap();
-    match tables::lookup_index_registry(&db, 18_000_000, 64).unwrap() {
+    store
+        .record_index_registry(18_000_000, 64, 3, "fun3d.hist.18M.64")
+        .unwrap();
+    match store.lookup_index_registry(18_000_000, 64).unwrap() {
         Some(f) => println!("\nhistory hit for (18M, 64): {f}"),
         None => unreachable!(),
     }
-    assert!(tables::lookup_index_registry(&db, 18_000_000, 32).unwrap().is_none());
+    assert!(store
+        .lookup_index_registry(18_000_000, 32)
+        .unwrap()
+        .is_none());
     println!("history miss for (18M, 32): fresh distribution required");
 
     // Persistence: metadata must survive across runs.
     let dir = std::env::temp_dir().join("sdm_metadb_tour.json");
     db.save(&dir).unwrap();
     let db2 = Database::load(&dir).unwrap();
-    let n = db2.exec("SELECT * FROM execution_table", &[]).unwrap().len();
+    let n = db2
+        .exec("SELECT * FROM execution_table", &[])
+        .unwrap()
+        .len();
     println!("\nreloaded snapshot: {n} execution rows survive");
     assert_eq!(n, 6);
     std::fs::remove_file(&dir).ok();

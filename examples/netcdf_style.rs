@@ -26,31 +26,35 @@ fn main() {
     let steps = 3i64;
     let cfg = MachineConfig::origin2000();
     let pfs = Pfs::new(cfg.clone());
-    let db = Arc::new(Database::new());
+    let store = sdm::core::CachedStore::shared(&Arc::new(Database::new()));
 
     // ---- Session 1: a simulation writes a record variable ----
     World::run(nprocs, cfg.clone(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |comm| {
             let mut nc =
-                NcFile::create(comm, &pfs, &db, "climate", SdmConfig::default()).unwrap();
+                NcFile::create(comm, &pfs, &store, "climate", SdmConfig::default()).unwrap();
             // Define mode: one unlimited (record) dimension + one spatial.
             nc.def_dim(comm, "time", NC_UNLIMITED).unwrap();
             nc.def_dim(comm, "cell", cells).unwrap();
-            nc.def_var(comm, "temperature", SdmType::Double, &["time", "cell"]).unwrap();
-            nc.put_att(comm, Some("temperature"), "units", AttrValue::from("K")).unwrap();
-            nc.put_att(comm, None, "title", AttrValue::from("toy climate run")).unwrap();
+            nc.def_var(comm, "temperature", SdmType::Double, &["time", "cell"])
+                .unwrap();
+            nc.put_att(comm, Some("temperature"), "units", AttrValue::from("K"))
+                .unwrap();
+            nc.put_att(comm, None, "title", AttrValue::from("toy climate run"))
+                .unwrap();
             nc.enddef(comm).unwrap();
 
             // Data mode: interleaved decomposition (deliberately
             // irregular, so each record write is a noncontiguous
             // collective underneath).
-            let mine: Vec<u64> =
-                (comm.rank() as u64..cells).step_by(comm.size()).collect();
+            let mine: Vec<u64> = (comm.rank() as u64..cells).step_by(comm.size()).collect();
             nc.set_decomposition(comm, "temperature", &mine).unwrap();
             for t in 0..steps {
-                let rec: Vec<f64> =
-                    mine.iter().map(|&g| 273.0 + g as f64 * 0.01 + t as f64).collect();
+                let rec: Vec<f64> = mine
+                    .iter()
+                    .map(|&g| 273.0 + g as f64 * 0.01 + t as f64)
+                    .collect();
                 nc.put_record(comm, "temperature", t, &rec).unwrap();
             }
             assert_eq!(nc.num_records("temperature"), steps);
@@ -62,18 +66,17 @@ fn main() {
 
     // ---- Session 2: a different "program" reopens the container ----
     let checks = World::run(nprocs, cfg, {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |comm| {
             // The container layer under NcFile is self-describing, so a
             // plain SciFile sees the variable as /temperature.
-            let mut f = SciFile::open(comm, &pfs, &db, "climate", SdmConfig::default()).unwrap();
+            let mut f = SciFile::open(comm, &pfs, &store, "climate", SdmConfig::default()).unwrap();
             let info = f.dataset_info("/temperature").unwrap().clone();
             assert_eq!(info.global_size, cells);
             let units = f.get_attr("/temperature", "units").unwrap();
             assert_eq!(units, Some(AttrValue::from("K")));
 
-            let mine: Vec<u64> =
-                (comm.rank() as u64..cells).step_by(comm.size()).collect();
+            let mine: Vec<u64> = (comm.rank() as u64..cells).step_by(comm.size()).collect();
             f.set_view(comm, "/temperature", &mine).unwrap();
             let mut back = vec![0.0f64; mine.len()];
             f.read(comm, "/temperature", steps - 1, &mut back).unwrap();
@@ -88,6 +91,9 @@ fn main() {
     });
     let total: usize = checks.iter().sum();
     assert_eq!(total as u64, cells);
-    println!("session 2: reopened from metadata and verified record {}", steps - 1);
+    println!(
+        "session 2: reopened from metadata and verified record {}",
+        steps - 1
+    );
     println!("OK");
 }

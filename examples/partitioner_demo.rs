@@ -24,7 +24,12 @@ fn main() {
         "method", "edge cut", "balance", "ghost nodes", "ghost edges"
     );
 
-    for method in [Method::Multilevel, Method::Rcb, Method::Block, Method::Random] {
+    for method in [
+        Method::Multilevel,
+        Method::Rcb,
+        Method::Block,
+        Method::Random,
+    ] {
         let pv = partition(&graph, Some(&mesh.coords), k, method, 3);
         let cut = edge_cut(&graph, &pv);
         let bal = imbalance(&pv, k);

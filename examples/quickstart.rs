@@ -21,12 +21,13 @@ fn main() {
     let cfg = MachineConfig::origin2000();
     let pfs = Pfs::new(cfg.clone());
     let db = Arc::new(Database::new());
+    let store = sdm::core::CachedStore::shared(&db);
 
     let reports = World::run(nprocs, cfg, {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |comm| {
             // SDM_initialize: connect the metadata database.
-            let mut sdm = Sdm::initialize(comm, &pfs, &db, "quickstart").unwrap();
+            let mut sdm = Sdm::initialize(comm, &pfs, &store, "quickstart").unwrap();
 
             // SDM_make_datalist + SDM_set_attributes: one group, two
             // datasets sharing type and global size (like p and q).
@@ -35,8 +36,9 @@ fn main() {
 
             // SDM_data_view: this rank owns every nprocs-th element —
             // a deliberately irregular (interleaved) map array.
-            let mine: Vec<u64> =
-                (comm.rank() as u64..global_size).step_by(comm.size()).collect();
+            let mine: Vec<u64> = (comm.rank() as u64..global_size)
+                .step_by(comm.size())
+                .collect();
             sdm.data_view(comm, h, "p", &mine).unwrap();
             sdm.data_view(comm, h, "q", &mine).unwrap();
 
@@ -61,6 +63,15 @@ fn main() {
         println!("rank {rank}: wrote+read {n} elements, virtual time {t:.4}s");
     }
     println!("files created: {:?}", pfs.list());
-    println!("metadata rows: {:?}", db.exec("SELECT dataset, timestep, file_name FROM execution_table", &[]).unwrap().rows.len());
+    println!(
+        "metadata rows: {:?}",
+        db.exec(
+            "SELECT dataset, timestep, file_name FROM execution_table",
+            &[]
+        )
+        .unwrap()
+        .rows
+        .len()
+    );
     println!("OK");
 }

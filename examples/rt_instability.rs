@@ -41,10 +41,10 @@ fn main() {
     // SDM under each level.
     for org in OrgLevel::all() {
         let pfs = Pfs::new(cfg.clone());
-        let db = Arc::new(Database::new());
+        let store = sdm::core::CachedStore::shared(&Arc::new(Database::new()));
         let rep = PhaseReport::reduce_max(&World::run(nprocs, cfg.clone(), {
-            let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
-            move |c| run_sdm(c, &pfs, &db, &w, org).unwrap()
+            let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
+            move |c| run_sdm(c, &pfs, &store, &w, org).unwrap()
         }));
         println!(
             "SDM {:<18} {:>8.1} MB/s  ({} files)",

@@ -83,8 +83,9 @@ proptest! {
 fn alltoallv_three_rank_regression() {
     let n = 3;
     let out = World::run(n, MachineConfig::test_tiny(), move |c| {
-        let blocks: Vec<Vec<u32>> =
-            (0..n).map(|d| vec![(c.rank() * 100 + d) as u32; 4]).collect();
+        let blocks: Vec<Vec<u32>> = (0..n)
+            .map(|d| vec![(c.rank() * 100 + d) as u32; 4])
+            .collect();
         c.alltoallv(blocks).unwrap()
     });
     for (r, recv) in out.iter().enumerate() {

@@ -19,10 +19,23 @@ fn run_and_verify(nprocs: usize, org: OrgLevel) {
     let w = Fun3dWorkload::new(220, nprocs, 13);
     let pfs = Pfs::new(MachineConfig::test_tiny());
     let db = Arc::new(Database::new());
+    let store = sdm::core::CachedStore::shared(&db);
     w.stage(&pfs);
     let out = World::run(nprocs, MachineConfig::test_tiny(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
-        move |c| run_sdm(c, &pfs, &db, &w, &Fun3dOptions { org, ..Default::default() }).unwrap()
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
+        move |c| {
+            run_sdm(
+                c,
+                &pfs,
+                &store,
+                &w,
+                &Fun3dOptions {
+                    org,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        }
     });
     assert!(out.iter().all(|r| !r.history_hit));
 
@@ -44,7 +57,8 @@ fn run_and_verify(nprocs: usize, org: OrgLevel) {
                 .unwrap();
             let offset = rs.scalar().and_then(sdm::metadb::Value::as_i64).unwrap() as u64;
             let mut vals = vec![0.0f64; n];
-            pfs.read_exact_at(&f, offset, as_bytes_mut(&mut vals), 0.0).unwrap();
+            pfs.read_exact_at(&f, offset, as_bytes_mut(&mut vals), 0.0)
+                .unwrap();
             for (node, (&got, &exp)) in vals.iter().zip(&want).enumerate() {
                 assert!(
                     (got - exp).abs() <= 1e-6 * exp.abs().max(1.0),
@@ -79,18 +93,37 @@ fn fun3d_single_rank_degenerate() {
 fn file_counts_match_levels() {
     // 5 result datasets x 2 timesteps: Level1 -> 10 result files,
     // Level2 -> 5, Level3 -> 1.
-    for (org, expect) in [(OrgLevel::Level1, 10), (OrgLevel::Level2, 5), (OrgLevel::Level3, 1)] {
+    for (org, expect) in [
+        (OrgLevel::Level1, 10),
+        (OrgLevel::Level2, 5),
+        (OrgLevel::Level3, 1),
+    ] {
         let w = Fun3dWorkload::new(200, 2, 5);
         let pfs = Pfs::new(MachineConfig::test_tiny());
         let db = Arc::new(Database::new());
+        let store = sdm::core::CachedStore::shared(&db);
         w.stage(&pfs);
         World::run(2, MachineConfig::test_tiny(), {
-            let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+            let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
             move |c| {
-                run_sdm(c, &pfs, &db, &w, &Fun3dOptions { org, ..Default::default() }).unwrap();
+                run_sdm(
+                    c,
+                    &pfs,
+                    &store,
+                    &w,
+                    &Fun3dOptions {
+                        org,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
             }
         });
-        let results = pfs.list().iter().filter(|f| f.starts_with("fun3d.g0")).count();
+        let results = pfs
+            .list()
+            .iter()
+            .filter(|f| f.starts_with("fun3d.g0"))
+            .count();
         assert_eq!(results, expect, "org {org:?}");
     }
 }

@@ -26,47 +26,113 @@ fn run(
     nprocs: usize,
     opts: Fun3dOptions,
 ) -> Vec<sdm::apps::fun3d::Fun3dResult> {
+    // Each run gets a fresh store over the shared database, exactly like
+    // a separate job session re-attaching to the metadata service.
+    let store = sdm::core::CachedStore::shared(db);
     World::run(nprocs, MachineConfig::test_tiny(), {
-        let (pfs, db, w, opts) = (Arc::clone(pfs), Arc::clone(db), w.clone(), opts);
-        move |c| run_sdm(c, &pfs, &db, &w, &opts).unwrap()
+        let (pfs, store, w, opts) = (Arc::clone(pfs), Arc::clone(&store), w.clone(), opts);
+        move |c| run_sdm(c, &pfs, &store, &w, &opts).unwrap()
     })
 }
 
 #[test]
 fn replay_produces_identical_partitions_and_results() {
     let (w, pfs, db) = world();
-    let fresh = run(&w, &pfs, &db, 3, Fun3dOptions { register_history: true, ..Default::default() });
-    let replay = run(&w, &pfs, &db, 3, Fun3dOptions { use_history: true, ..Default::default() });
+    let fresh = run(
+        &w,
+        &pfs,
+        &db,
+        3,
+        Fun3dOptions {
+            register_history: true,
+            ..Default::default()
+        },
+    );
+    let replay = run(
+        &w,
+        &pfs,
+        &db,
+        3,
+        Fun3dOptions {
+            use_history: true,
+            ..Default::default()
+        },
+    );
     for (a, b) in fresh.iter().zip(&replay) {
         assert!(!a.history_hit && b.history_hit);
         assert_eq!(a.partition, b.partition, "partitions must be identical");
-        assert!((a.p_checksum - b.p_checksum).abs() < 1e-9, "results must be identical");
+        assert!(
+            (a.p_checksum - b.p_checksum).abs() < 1e-9,
+            "results must be identical"
+        );
     }
 }
 
 #[test]
 fn use_history_without_registration_falls_back() {
     let (w, pfs, db) = world();
-    let out = run(&w, &pfs, &db, 3, Fun3dOptions { use_history: true, ..Default::default() });
-    assert!(out.iter().all(|r| !r.history_hit), "no registration: must run fresh");
+    let out = run(
+        &w,
+        &pfs,
+        &db,
+        3,
+        Fun3dOptions {
+            use_history: true,
+            ..Default::default()
+        },
+    );
+    assert!(
+        out.iter().all(|r| !r.history_hit),
+        "no registration: must run fresh"
+    );
 }
 
 #[test]
 fn different_process_count_misses() {
     let (w3, pfs, db) = world();
-    run(&w3, &pfs, &db, 3, Fun3dOptions { register_history: true, ..Default::default() });
+    run(
+        &w3,
+        &pfs,
+        &db,
+        3,
+        Fun3dOptions {
+            register_history: true,
+            ..Default::default()
+        },
+    );
     // Same mesh partitioned for 2 ranks.
     let w2 = Fun3dWorkload::new(220, 2, 21);
     // Note: same problem size key (edge count), different nprocs.
     assert_eq!(w2.mesh.num_edges(), w3.mesh.num_edges());
-    let out = run(&w2, &pfs, &db, 2, Fun3dOptions { use_history: true, ..Default::default() });
-    assert!(out.iter().all(|r| !r.history_hit), "2-proc run must miss a 3-proc history");
+    let out = run(
+        &w2,
+        &pfs,
+        &db,
+        2,
+        Fun3dOptions {
+            use_history: true,
+            ..Default::default()
+        },
+    );
+    assert!(
+        out.iter().all(|r| !r.history_hit),
+        "2-proc run must miss a 3-proc history"
+    );
 }
 
 #[test]
 fn truncated_history_file_falls_back_and_deregisters() {
     let (w, pfs, db) = world();
-    run(&w, &pfs, &db, 3, Fun3dOptions { register_history: true, ..Default::default() });
+    run(
+        &w,
+        &pfs,
+        &db,
+        3,
+        Fun3dOptions {
+            register_history: true,
+            ..Default::default()
+        },
+    );
     // Truncate the history file to a few bytes.
     let name = format!("fun3d.hist.{}.3", w.mesh.num_edges());
     assert!(pfs.exists(&name), "history file {name} must exist");
@@ -74,25 +140,65 @@ fn truncated_history_file_falls_back_and_deregisters() {
     let len = f.len();
     pfs.delete(&name, 0.0).unwrap();
     let (f2, _) = pfs.open_or_create(&name, 0.0).unwrap();
-    pfs.write_at(&f2, 0, &vec![0u8; (len / 10) as usize], 0.0).unwrap();
+    pfs.write_at(&f2, 0, &vec![0u8; (len / 10) as usize], 0.0)
+        .unwrap();
 
-    let out = run(&w, &pfs, &db, 3, Fun3dOptions { use_history: true, ..Default::default() });
-    assert!(out.iter().all(|r| !r.history_hit), "corrupt history must fall back");
+    let out = run(
+        &w,
+        &pfs,
+        &db,
+        3,
+        Fun3dOptions {
+            use_history: true,
+            ..Default::default()
+        },
+    );
+    assert!(
+        out.iter().all(|r| !r.history_hit),
+        "corrupt history must fall back"
+    );
     // The poisoned registration is gone: next run misses cleanly too.
-    let again = run(&w, &pfs, &db, 3, Fun3dOptions { use_history: true, ..Default::default() });
+    let again = run(
+        &w,
+        &pfs,
+        &db,
+        3,
+        Fun3dOptions {
+            use_history: true,
+            ..Default::default()
+        },
+    );
     assert!(again.iter().all(|r| !r.history_hit));
 }
 
 #[test]
 fn metadata_persists_across_database_sessions() {
     let (w, pfs, db) = world();
-    run(&w, &pfs, &db, 3, Fun3dOptions { register_history: true, ..Default::default() });
+    run(
+        &w,
+        &pfs,
+        &db,
+        3,
+        Fun3dOptions {
+            register_history: true,
+            ..Default::default()
+        },
+    );
     // Save + reload the DB (a new "MySQL session"), keep the PFS.
     let dir = tempfile::tempdir().unwrap();
     let snap = dir.path().join("meta.json");
     db.save(&snap).unwrap();
     let db2 = Arc::new(Database::load(&snap).unwrap());
-    let out = run(&w, &pfs, &db2, 3, Fun3dOptions { use_history: true, ..Default::default() });
+    let out = run(
+        &w,
+        &pfs,
+        &db2,
+        3,
+        Fun3dOptions {
+            use_history: true,
+            ..Default::default()
+        },
+    );
     assert!(
         out.iter().all(|r| r.history_hit),
         "a reloaded metadata DB must still resolve the history file"

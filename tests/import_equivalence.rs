@@ -16,19 +16,23 @@ use sdm::partition::{partition_block, partition_random};
 use sdm::pfs::Pfs;
 use sdm::sim::MachineConfig;
 
-fn sdm_partitions(
-    w: &Fun3dWorkload,
-    nprocs: usize,
-) -> Vec<sdm::core::PartitionedIndex> {
+fn sdm_partitions(w: &Fun3dWorkload, nprocs: usize) -> Vec<sdm::core::PartitionedIndex> {
     let pfs = Pfs::new(MachineConfig::test_tiny());
-    let db = Arc::new(Database::new());
+    let store = sdm::core::CachedStore::shared(&Arc::new(Database::new()));
     w.stage(&pfs);
     World::run(nprocs, MachineConfig::test_tiny(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
         move |c| {
-            let mut sdm = Sdm::initialize_with(c, &pfs, &db, "eq", SdmConfig::default()).unwrap();
+            let mut sdm =
+                Sdm::initialize_with(c, &pfs, &store, "eq", SdmConfig::default()).unwrap();
             let h = sdm
-                .set_attributes(c, vec![sdm::core::DatasetDesc::doubles("d", w.mesh.num_nodes() as u64)])
+                .set_attributes(
+                    c,
+                    vec![sdm::core::DatasetDesc::doubles(
+                        "d",
+                        w.mesh.num_nodes() as u64,
+                    )],
+                )
                 .unwrap();
             sdm.make_importlist(
                 c,
@@ -40,19 +44,19 @@ fn sdm_partitions(
             )
             .unwrap();
             let total = w.mesh.num_edges() as u64;
-            let (start, e1) =
-                sdm.import_contiguous::<i32>(c, h, "edge1", w.layout.edge1_offset(), total).unwrap();
-            let (_, e2) =
-                sdm.import_contiguous::<i32>(c, h, "edge2", w.layout.edge2_offset(), total).unwrap();
-            sdm.partition_index_fresh(c, &w.partitioning_vector, start, &e1, &e2).unwrap()
+            let (start, e1) = sdm
+                .import_contiguous::<i32>(c, h, "edge1", w.layout.edge1_offset(), total)
+                .unwrap();
+            let (_, e2) = sdm
+                .import_contiguous::<i32>(c, h, "edge2", w.layout.edge2_offset(), total)
+                .unwrap();
+            sdm.partition_index_fresh(c, &w.partitioning_vector, start, &e1, &e2)
+                .unwrap()
         }
     })
 }
 
-fn original_partitions(
-    w: &Fun3dWorkload,
-    nprocs: usize,
-) -> Vec<sdm::core::PartitionedIndex> {
+fn original_partitions(w: &Fun3dWorkload, nprocs: usize) -> Vec<sdm::core::PartitionedIndex> {
     let pfs = Pfs::new(MachineConfig::test_tiny());
     w.stage(&pfs);
     World::run(nprocs, MachineConfig::test_tiny(), {
@@ -65,7 +69,11 @@ fn original_partitions(
 fn ring_equals_broadcast_partition() {
     for nprocs in [1, 2, 3, 5] {
         let w = Fun3dWorkload::new(200, nprocs, 31);
-        assert_eq!(sdm_partitions(&w, nprocs), original_partitions(&w, nprocs), "nprocs={nprocs}");
+        assert_eq!(
+            sdm_partitions(&w, nprocs),
+            original_partitions(&w, nprocs),
+            "nprocs={nprocs}"
+        );
     }
 }
 
@@ -74,14 +82,21 @@ fn imported_edge_data_matches_layout_values() {
     let nprocs = 3;
     let w = Fun3dWorkload::new(200, nprocs, 17);
     let pfs = Pfs::new(MachineConfig::test_tiny());
-    let db = Arc::new(Database::new());
+    let store = sdm::core::CachedStore::shared(&Arc::new(Database::new()));
     w.stage(&pfs);
     let ok = World::run(nprocs, MachineConfig::test_tiny(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
         move |c| {
-            let mut sdm = Sdm::initialize_with(c, &pfs, &db, "eq2", SdmConfig::default()).unwrap();
+            let mut sdm =
+                Sdm::initialize_with(c, &pfs, &store, "eq2", SdmConfig::default()).unwrap();
             let h = sdm
-                .set_attributes(c, vec![sdm::core::DatasetDesc::doubles("d", w.mesh.num_nodes() as u64)])
+                .set_attributes(
+                    c,
+                    vec![sdm::core::DatasetDesc::doubles(
+                        "d",
+                        w.mesh.num_nodes() as u64,
+                    )],
+                )
                 .unwrap();
             let mut imports = vec![
                 sdm::core::ImportDesc::index("edge1", &w.mesh_file),
@@ -94,23 +109,40 @@ fn imported_edge_data_matches_layout_values() {
             sdm.make_importlist(c, h, imports).unwrap();
             let total_edges = w.mesh.num_edges() as u64;
             let total_nodes = w.mesh.num_nodes() as u64;
-            let (start, e1) =
-                sdm.import_contiguous::<i32>(c, h, "edge1", w.layout.edge1_offset(), total_edges).unwrap();
-            let (_, e2) =
-                sdm.import_contiguous::<i32>(c, h, "edge2", w.layout.edge2_offset(), total_edges).unwrap();
-            let pi =
-                sdm.partition_index_fresh(c, &w.partitioning_vector, start, &e1, &e2).unwrap();
+            let (start, e1) = sdm
+                .import_contiguous::<i32>(c, h, "edge1", w.layout.edge1_offset(), total_edges)
+                .unwrap();
+            let (_, e2) = sdm
+                .import_contiguous::<i32>(c, h, "edge2", w.layout.edge2_offset(), total_edges)
+                .unwrap();
+            let pi = sdm
+                .partition_index_fresh(c, &w.partitioning_vector, start, &e1, &e2)
+                .unwrap();
             // Every imported edge/node value must equal the synthetic
             // generator formula at its global index.
             for k in 0..4 {
                 let x = sdm
-                    .partition_data_edges(c, h, &format!("x{k}"), w.layout.edge_array_offset(k), &pi, total_edges)
+                    .partition_data_edges(
+                        c,
+                        h,
+                        &format!("x{k}"),
+                        w.layout.edge_array_offset(k),
+                        &pi,
+                        total_edges,
+                    )
                     .unwrap();
                 for (i, &e) in pi.edge_ids.iter().enumerate() {
                     assert_eq!(x[i], Uns3dLayout::edge_value(k, e), "x{k}[{e}]");
                 }
                 let y = sdm
-                    .partition_data_nodes(c, h, &format!("y{k}"), w.layout.node_array_offset(k), &pi, total_nodes)
+                    .partition_data_nodes(
+                        c,
+                        h,
+                        &format!("y{k}"),
+                        w.layout.node_array_offset(k),
+                        &pi,
+                        total_nodes,
+                    )
                     .unwrap();
                 for (i, &n) in pi.all_nodes().iter().enumerate() {
                     assert_eq!(y[i], Uns3dLayout::node_value(k, n as u64), "y{k}[{n}]");
@@ -135,12 +167,12 @@ proptest! {
         let (e1, e2) = w.mesh.indirection_arrays();
         // Distributed run with the random vector.
         let pfs = Pfs::new(MachineConfig::test_tiny());
-        let db = Arc::new(Database::new());
+        let store = sdm::core::CachedStore::shared(&Arc::new(Database::new()));
         w.stage(&pfs);
         let out = World::run(nprocs, MachineConfig::test_tiny(), {
-            let (pfs, db, w, pv) = (Arc::clone(&pfs), Arc::clone(&db), w.clone(), pv.clone());
+            let (pfs, store, w, pv) = (Arc::clone(&pfs), Arc::clone(&store), w.clone(), pv.clone());
             move |c| {
-                let mut sdm = Sdm::initialize_with(c, &pfs, &db, "pp", SdmConfig::default()).unwrap();
+                let mut sdm = Sdm::initialize_with(c, &pfs, &store, "pp", SdmConfig::default()).unwrap();
                 let h = sdm.set_attributes(c, vec![sdm::core::DatasetDesc::doubles("d", 1)]).unwrap();
                 sdm.make_importlist(c, h, vec![
                     sdm::core::ImportDesc::index("edge1", &w.mesh_file),

@@ -21,15 +21,18 @@ fn execution_table_offsets_are_authoritative() {
     let global = 64u64;
     let pfs = Pfs::new(MachineConfig::test_tiny());
     let db = Arc::new(Database::new());
+    let store = sdm::core::CachedStore::shared(&db);
     World::run(nprocs, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let cfg = SdmConfig { org: OrgLevel::Level3, ..Default::default() };
-            let mut sdm = Sdm::initialize_with(c, &pfs, &db, "mt", cfg).unwrap();
+            let cfg = SdmConfig {
+                org: OrgLevel::Level3,
+                ..Default::default()
+            };
+            let mut sdm = Sdm::initialize_with(c, &pfs, &store, "mt", cfg).unwrap();
             let ds = make_datalist(&["a", "b"], SdmType::Double, global);
             let h = sdm.set_attributes(c, ds).unwrap();
-            let mine: Vec<u64> =
-                (c.rank() as u64..global).step_by(c.size()).collect();
+            let mine: Vec<u64> = (c.rank() as u64..global).step_by(c.size()).collect();
             sdm.data_view(c, h, "a", &mine).unwrap();
             sdm.data_view(c, h, "b", &mine).unwrap();
             for t in 0..3i64 {
@@ -48,16 +51,24 @@ fn execution_table_offsets_are_authoritative() {
         .unwrap();
     assert_eq!(rs.len(), 6);
     let file = rs.rows[0][3].as_str().unwrap().to_string();
-    assert!(rs.rows.iter().all(|r| r[3].as_str() == Some(&file)), "level 3: one file");
+    assert!(
+        rs.rows.iter().all(|r| r[3].as_str() == Some(&file)),
+        "level 3: one file"
+    );
     let (f, _) = pfs.open(&file, 0.0).unwrap();
     for row in &rs.rows {
         let ds = row[0].as_str().unwrap();
         let t = row[1].as_i64().unwrap();
         let off = row[2].as_i64().unwrap() as u64;
         let mut vals = vec![0.0f64; global as usize];
-        pfs.read_exact_at(&f, off, sdm::mpi::pod::as_bytes_mut(&mut vals), 0.0).unwrap();
+        pfs.read_exact_at(&f, off, sdm::mpi::pod::as_bytes_mut(&mut vals), 0.0)
+            .unwrap();
         for (g, &v) in vals.iter().enumerate() {
-            let want = if ds == "a" { g as f64 + t as f64 * 100.0 } else { -(g as f64) - t as f64 };
+            let want = if ds == "a" {
+                g as f64 + t as f64 * 100.0
+            } else {
+                -(g as f64) - t as f64
+            };
             assert_eq!(v, want, "ds={ds} t={t} g={g}");
         }
     }
@@ -71,10 +82,11 @@ fn rt_bytes_identical_across_levels() {
     for org in OrgLevel::all() {
         let pfs = Pfs::new(MachineConfig::test_tiny());
         let db = Arc::new(Database::new());
+        let store = sdm::core::CachedStore::shared(&db);
         World::run(nprocs, MachineConfig::test_tiny(), {
-            let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+            let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
             move |c| {
-                rt_run(c, &pfs, &db, &w, org).unwrap();
+                rt_run(c, &pfs, &store, &w, org).unwrap();
             }
         });
         // Reconstruct the node dataset at step 4 via the metadata.
@@ -101,15 +113,19 @@ fn rt_values_match_generators() {
     let w = RtWorkload::new(200, nprocs, 3);
     let pfs = Pfs::new(MachineConfig::test_tiny());
     let db = Arc::new(Database::new());
+    let store = sdm::core::CachedStore::shared(&db);
     World::run(nprocs, MachineConfig::test_tiny(), {
-        let (pfs, db, w) = (Arc::clone(&pfs), Arc::clone(&db), w.clone());
+        let (pfs, store, w) = (Arc::clone(&pfs), Arc::clone(&store), w.clone());
         move |c| {
-            rt_run(c, &pfs, &db, &w, OrgLevel::Level2).unwrap();
+            rt_run(c, &pfs, &store, &w, OrgLevel::Level2).unwrap();
         }
     });
     for t in [0usize, 4] {
-        let cases: [(&str, usize, fn(u64, usize) -> f64); 2] = [
-            ("node_data", w.mesh.num_nodes(), |g, t| node_value(g as u32, t)),
+        type ValueFn = fn(u64, usize) -> f64;
+        let cases: [(&str, usize, ValueFn); 2] = [
+            ("node_data", w.mesh.num_nodes(), |g, t| {
+                node_value(g as u32, t)
+            }),
             ("tri_data", w.mesh.num_cells(), tri_value),
         ];
         for (ds, n, value) in cases {
@@ -122,7 +138,8 @@ fn rt_values_match_generators() {
             let off = rs.rows[0][0].as_i64().unwrap() as u64;
             let (f, _) = pfs.open(rs.rows[0][1].as_str().unwrap(), 0.0).unwrap();
             let mut vals = vec![0.0f64; n];
-            pfs.read_exact_at(&f, off, sdm::mpi::pod::as_bytes_mut(&mut vals), 0.0).unwrap();
+            pfs.read_exact_at(&f, off, sdm::mpi::pod::as_bytes_mut(&mut vals), 0.0)
+                .unwrap();
             for (g, &v) in vals.iter().enumerate() {
                 assert_eq!(v, value(g as u64, t), "{ds} t={t} g={g}");
             }

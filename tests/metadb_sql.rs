@@ -11,7 +11,11 @@ fn db_with_rows(rows: &[(i64, i64)]) -> Database {
     let db = Database::new();
     db.exec("CREATE TABLE t (k INT, v INT)", &[]).unwrap();
     for &(k, v) in rows {
-        db.exec("INSERT INTO t VALUES (?, ?)", &[Value::Int(k), Value::Int(v)]).unwrap();
+        db.exec(
+            "INSERT INTO t VALUES (?, ?)",
+            &[Value::Int(k), Value::Int(v)],
+        )
+        .unwrap();
     }
     db
 }

@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use sdm::core::{CachedStore, SharedStore};
 use sdm::core::{OrgLevel, SdmConfig, SdmType};
 use sdm::metadb::Database;
 use sdm::mpi::World;
@@ -12,8 +13,12 @@ use sdm::sci::netcdf::NC_UNLIMITED;
 use sdm::sci::{AttrValue, NcFile, SciFile};
 use sdm::sim::MachineConfig;
 
-fn fixtures() -> (Arc<Pfs>, Arc<Database>) {
-    (Pfs::new(MachineConfig::test_tiny()), Arc::new(Database::new()))
+fn fixtures() -> (Arc<Pfs>, SharedStore) {
+    let db = Arc::new(Database::new());
+    (
+        Pfs::new(MachineConfig::test_tiny()),
+        CachedStore::shared(&db),
+    )
 }
 
 /// One record variable, written by 3 ranks, read back under the same
@@ -21,17 +26,21 @@ fn fixtures() -> (Arc<Pfs>, Arc<Database>) {
 #[test]
 fn netcdf_records_round_trip_under_all_levels() {
     for org in OrgLevel::all() {
-        let (pfs, db) = fixtures();
+        let (pfs, store) = fixtures();
         let n = 3usize;
         let cells = 30u64;
         let out = World::run(n, MachineConfig::test_tiny(), {
-            let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
             move |c| {
-                let cfg = SdmConfig { org, ..SdmConfig::default() };
-                let mut nc = NcFile::create(c, &pfs, &db, "nc", cfg).unwrap();
+                let cfg = SdmConfig {
+                    org,
+                    ..SdmConfig::default()
+                };
+                let mut nc = NcFile::create(c, &pfs, &store, "nc", cfg).unwrap();
                 nc.def_dim(c, "time", NC_UNLIMITED).unwrap();
                 nc.def_dim(c, "cell", cells).unwrap();
-                nc.def_var(c, "u", SdmType::Double, &["time", "cell"]).unwrap();
+                nc.def_var(c, "u", SdmType::Double, &["time", "cell"])
+                    .unwrap();
                 nc.enddef(c).unwrap();
                 let mine: Vec<u64> = (c.rank() as u64..cells).step_by(c.size()).collect();
                 nc.set_decomposition(c, "u", &mine).unwrap();
@@ -65,14 +74,15 @@ fn netcdf_records_round_trip_under_all_levels() {
 /// later session — across a different rank count.
 #[test]
 fn container_reopen_across_different_nprocs() {
-    let (pfs, db) = fixtures();
+    let (pfs, store) = fixtures();
     let cells = 24u64;
     World::run(2, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let mut f = SciFile::create(c, &pfs, &db, "xproc", SdmConfig::default()).unwrap();
+            let mut f = SciFile::create(c, &pfs, &store, "xproc", SdmConfig::default()).unwrap();
             f.define_dim(c, "n", cells).unwrap();
-            f.create_dataset(c, "/field", SdmType::Double, &["n"]).unwrap();
+            f.create_dataset(c, "/field", SdmType::Double, &["n"])
+                .unwrap();
             f.set_attr(c, "/field", "step", AttrValue::Int(7)).unwrap();
             let mine: Vec<u64> = (c.rank() as u64..cells).step_by(c.size()).collect();
             f.set_view(c, "/field", &mine).unwrap();
@@ -85,10 +95,13 @@ fn container_reopen_across_different_nprocs() {
     // a process count), container data is just a global array + views,
     // so any decomposition can read it.
     let out = World::run(3, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let mut f = SciFile::open(c, &pfs, &db, "xproc", SdmConfig::default()).unwrap();
-            assert_eq!(f.get_attr("/field", "step").unwrap(), Some(AttrValue::Int(7)));
+            let mut f = SciFile::open(c, &pfs, &store, "xproc", SdmConfig::default()).unwrap();
+            assert_eq!(
+                f.get_attr("/field", "step").unwrap(),
+                Some(AttrValue::Int(7))
+            );
             let mine: Vec<u64> = (c.rank() as u64..cells).step_by(c.size()).collect();
             f.set_view(c, "/field", &mine).unwrap();
             let mut back = vec![0.0f64; mine.len()];
@@ -111,12 +124,12 @@ fn container_reopen_across_different_nprocs() {
 /// separate (different runids), including attributes with equal names.
 #[test]
 fn two_containers_do_not_interfere() {
-    let (pfs, db) = fixtures();
+    let (pfs, store) = fixtures();
     World::run(1, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let mut a = SciFile::create(c, &pfs, &db, "appa", SdmConfig::default()).unwrap();
-            let mut b = SciFile::create(c, &pfs, &db, "appb", SdmConfig::default()).unwrap();
+            let mut a = SciFile::create(c, &pfs, &store, "appa", SdmConfig::default()).unwrap();
+            let mut b = SciFile::create(c, &pfs, &store, "appb", SdmConfig::default()).unwrap();
             a.set_attr(c, "/", "v", AttrValue::Int(1)).unwrap();
             b.set_attr(c, "/", "v", AttrValue::Int(2)).unwrap();
             a.define_dim(c, "n", 4).unwrap();
@@ -131,9 +144,9 @@ fn two_containers_do_not_interfere() {
     });
     // Reopening by name finds the right one.
     World::run(1, MachineConfig::test_tiny(), {
-        let (pfs, db) = (Arc::clone(&pfs), Arc::clone(&db));
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
         move |c| {
-            let a = SciFile::open(c, &pfs, &db, "appa", SdmConfig::default()).unwrap();
+            let a = SciFile::open(c, &pfs, &store, "appa", SdmConfig::default()).unwrap();
             assert_eq!(a.dim_len("n"), Some(4));
             a.close(c).unwrap();
         }
@@ -149,8 +162,13 @@ fn vtk_renders_partitioned_mesh() {
 
     let w = Fun3dWorkload::new(120, 2, 3);
     let owner: Vec<f64> = w.partitioning_vector.iter().map(|&r| r as f64).collect();
-    let body =
-        render_vtk("partition", &w.mesh, &[ScalarField::new("owner", &owner)], &[]).unwrap();
+    let body = render_vtk(
+        "partition",
+        &w.mesh,
+        &[ScalarField::new("owner", &owner)],
+        &[],
+    )
+    .unwrap();
     // Node count lines up between POINTS and POINT_DATA blocks.
     assert!(body.contains(&format!("POINTS {} double", w.mesh.num_nodes())));
     assert!(body.contains(&format!("POINT_DATA {}", w.mesh.num_nodes())));

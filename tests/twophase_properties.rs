@@ -111,9 +111,11 @@ fn typed_round_trip_f64_through_segments() {
             let f = MpiFile::open_collective(c, &pfs, "t.dat", true).unwrap();
             let vals: Vec<f64> = (0..32).map(|i| (c.rank() * 100 + i) as f64 / 3.0).collect();
             let off = c.rank() as u64 * 256;
-            f.write_all_segments(c, &[(off, 256)], as_bytes(&vals)).unwrap();
+            f.write_all_segments(c, &[(off, 256)], as_bytes(&vals))
+                .unwrap();
             let mut back = vec![0.0f64; 32];
-            f.read_all_segments(c, &[(off, 256)], as_bytes_mut(&mut back)).unwrap();
+            f.read_all_segments(c, &[(off, 256)], as_bytes_mut(&mut back))
+                .unwrap();
             assert_eq!(back, vals);
             f.close(c);
         }
