@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use sdm_core::dataset::{make_datalist, DatasetDesc, ImportDesc};
-use sdm_core::{OrgLevel, PartitionedIndex, Sdm, SdmConfig, SdmResult, SdmType, SharedStore};
+use sdm_core::dataset::ImportDesc;
+use sdm_core::{DatasetHandle, OrgLevel, PartitionedIndex, Sdm, SdmConfig, SdmResult, SharedStore};
 use sdm_mesh::Uns3dLayout;
 use sdm_mpi::Comm;
 use sdm_pfs::Pfs;
@@ -121,10 +121,20 @@ pub fn run_sdm(
     };
     let mut sdm = Sdm::initialize_with(comm, pfs, store, "fun3d", cfg)?;
 
-    // Result datasets: p, q, r, s over nodes plus the big one (5x).
-    let mut ds = make_datalist(&RESULT_DATASETS, SdmType::Double, total_nodes);
-    ds.push(DatasetDesc::doubles(BIG_DATASET, 5 * total_nodes));
-    let h = sdm.set_attributes(comm, ds)?;
+    // Result datasets: p, q, r, s over nodes plus the big one (5x) —
+    // one group, registered in one collective through the builder.
+    let mut b = sdm.group(comm);
+    for name in RESULT_DATASETS {
+        b = b.dataset::<f64>(name, total_nodes);
+    }
+    let reg = b.dataset::<f64>(BIG_DATASET, 5 * total_nodes).build()?;
+    let h = reg.group();
+    // Typed handles: resolved once, no name lookup per write.
+    let small: Vec<DatasetHandle<f64>> = RESULT_DATASETS
+        .iter()
+        .map(|n| reg.handle::<f64>(n))
+        .collect::<Result<_, _>>()?;
+    let big_h: DatasetHandle<f64> = reg.handle(BIG_DATASET)?;
 
     // Import list: edge1, edge2, x0..x3, y0..y3 from the mesh file.
     let mut imports = vec![
@@ -203,15 +213,15 @@ pub fn run_sdm(
 
     // ---- Views for the results ----
     let owned = pi.owned_nodes_u64();
-    for name in RESULT_DATASETS {
-        sdm.data_view(comm, h, name, &owned)?;
+    for &dh in &small {
+        sdm.set_view(comm, dh, &owned)?;
     }
     let big_map: Vec<u64> = pi
         .owned_nodes
         .iter()
         .flat_map(|&n| (0..5).map(move |j| n as u64 * 5 + j))
         .collect();
-    sdm.data_view(comm, h, BIG_DATASET, &big_map)?;
+    sdm.set_view(comm, big_h, &big_map)?;
 
     // ---- Time steps: compute + checkpoint writes ----
     let all_nodes = pi.all_nodes();
@@ -224,11 +234,15 @@ pub fn run_sdm(
         report.add("compute", comm.now() - t0);
 
         let t0 = comm.now();
-        for name in RESULT_DATASETS {
-            sdm.write(comm, h, name, t as i64, &p)?;
-        }
+        // All five checkpoint datasets land through one timestep scope:
+        // one collective burst, one metadata sync for the whole step.
         let big: Vec<f64> = p.iter().flat_map(|&v| [v; 5]).collect();
-        sdm.write(comm, h, BIG_DATASET, t as i64, &big)?;
+        let mut step = sdm.timestep(comm, t as i64);
+        for &dh in &small {
+            step.write(dh, &p)?;
+        }
+        step.write(big_h, &big)?;
+        step.commit()?;
         report.add("write", comm.now() - t0);
         report.add_bytes("write", w.checkpoint_bytes());
 
@@ -239,11 +253,11 @@ pub fn run_sdm(
     let t0 = comm.now();
     let mut back = vec![0.0f64; owned.len()];
     for t in 0..w.timesteps {
-        for name in RESULT_DATASETS {
-            sdm.read(comm, h, name, t as i64, &mut back)?;
+        for &dh in &small {
+            sdm.read_handle(comm, dh, t as i64, &mut back)?;
         }
         let mut big_back = vec![0.0f64; big_map.len()];
-        sdm.read(comm, h, BIG_DATASET, t as i64, &mut big_back)?;
+        sdm.read_handle(comm, big_h, t as i64, &mut big_back)?;
     }
     report.add("read", comm.now() - t0);
     report.add_bytes("read", w.checkpoint_bytes() * w.timesteps as u64);

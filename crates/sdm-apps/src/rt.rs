@@ -9,8 +9,7 @@
 
 use std::sync::Arc;
 
-use sdm_core::dataset::{make_datalist, DatasetDesc};
-use sdm_core::{OrgLevel, Sdm, SdmConfig, SdmResult, SdmType, SharedStore};
+use sdm_core::{OrgLevel, Sdm, SdmConfig, SdmResult, SharedStore};
 use sdm_mpi::Comm;
 use sdm_pfs::Pfs;
 
@@ -45,9 +44,13 @@ pub fn run_sdm(
         ..SdmConfig::default()
     };
     let mut sdm = Sdm::initialize_with(comm, pfs, store, "rt", cfg)?;
-    let mut ds = make_datalist(&["node_data"], SdmType::Double, total_nodes);
-    ds.push(DatasetDesc::doubles("tri_data", total_tris));
-    let h = sdm.set_attributes(comm, ds)?;
+    let reg = sdm
+        .group(comm)
+        .dataset::<f64>("node_data", total_nodes)
+        .dataset::<f64>("tri_data", total_tris)
+        .build()?;
+    let node_h = reg.handle::<f64>("node_data")?;
+    let tri_h = reg.handle::<f64>("tri_data")?;
 
     // Node view: owned nodes by global number.
     let me = comm.rank() as u32;
@@ -58,22 +61,26 @@ pub fn run_sdm(
         .filter(|&(_, &p)| p == me)
         .map(|(n, _)| n as u64)
         .collect();
-    sdm.data_view(comm, h, "node_data", &owned)?;
+    sdm.set_view(comm, node_h, &owned)?;
 
     // Triangle view: contiguous block per rank.
     let chunk = total_tris.div_ceil(comm.size() as u64);
     let tlo = (me as u64 * chunk).min(total_tris);
     let thi = ((me as u64 + 1) * chunk).min(total_tris);
     let tri_map: Vec<u64> = (tlo..thi).collect();
-    sdm.data_view(comm, h, "tri_data", &tri_map)?;
+    sdm.set_view(comm, tri_h, &tri_map)?;
 
     comm.barrier();
     for t in 0..w.timesteps {
         let node_vals: Vec<f64> = owned.iter().map(|&n| node_value(n as u32, t)).collect();
         let tri_vals: Vec<f64> = tri_map.iter().map(|&k| tri_value(k, t)).collect();
         let t0 = comm.now();
-        sdm.write(comm, h, "node_data", t as i64, &node_vals)?;
-        sdm.write(comm, h, "tri_data", t as i64, &tri_vals)?;
+        // Both datasets of the step land through one timestep scope:
+        // one collective burst, one metadata sync.
+        let mut step = sdm.timestep(comm, t as i64);
+        step.write(node_h, &node_vals)?;
+        step.write(tri_h, &tri_vals)?;
+        step.commit()?;
         report.add("write", comm.now() - t0);
     }
     report.add_bytes("write", w.total_bytes());
@@ -81,13 +88,7 @@ pub fn run_sdm(
     // Read-back (not part of Figure 7 but used by tests).
     let t0 = comm.now();
     let mut node_back = vec![0.0f64; owned.len()];
-    sdm.read(
-        comm,
-        h,
-        "node_data",
-        (w.timesteps - 1) as i64,
-        &mut node_back,
-    )?;
+    sdm.read_handle(comm, node_h, (w.timesteps - 1) as i64, &mut node_back)?;
     report.add("read", comm.now() - t0);
     for (i, &n) in owned.iter().enumerate() {
         debug_assert!((node_back[i] - node_value(n as u32, w.timesteps - 1)).abs() < 1e-9);

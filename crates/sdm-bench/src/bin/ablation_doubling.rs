@@ -44,14 +44,11 @@ fn main() {
             let mut report = sdm_apps::PhaseReport::new();
             let mut s = Sdm::initialize_with(c, &pfs, &store, "a3", SdmConfig::default()).unwrap();
             let h = s
-                .set_attributes(
-                    c,
-                    vec![sdm_core::DatasetDesc::doubles(
-                        "d",
-                        w.mesh.num_nodes() as u64,
-                    )],
-                )
-                .unwrap();
+                .group(c)
+                .dataset::<f64>("d", w.mesh.num_nodes() as u64)
+                .build()
+                .unwrap()
+                .group();
             s.make_importlist(
                 c,
                 h,

@@ -1,17 +1,23 @@
 //! Metadata-path micro-benchmark: ops/sec for the hot `MetadataStore`
 //! statements, cold (re-parsed every call, no indexes) vs prepared
 //! (statement cache + secondary indexes), plus the `next_runid`
-//! aggregate fast path. Emits `BENCH_metadb.json` for the perf
-//! trajectory and asserts the cache invariant the refactor exists for:
-//! repeated statements never re-parse.
+//! aggregate fast path and the typed session API's scoped write path.
+//! Emits `BENCH_metadb.json` for the perf trajectory and asserts the
+//! invariants the refactors exist for: repeated statements never
+//! re-parse, and a `TimestepScope` performs exactly **one** metadata
+//! sync and **one** store transaction per timestep regardless of how
+//! many datasets the step writes.
 //!
 //! Run: `cargo run --release --bin bench_metadb [-- --rows 20000]`
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use sdm_core::{MetadataStore, SqlStore};
+use sdm_core::{CachedStore, MetadataStore, Sdm, SdmConfig, SqlStore};
 use sdm_metadb::{Database, Value};
+use sdm_mpi::World;
+use sdm_pfs::Pfs;
+use sdm_sim::MachineConfig;
 
 /// Time `iters` calls of `f`; returns ops/sec.
 fn ops_per_sec(iters: u64, mut f: impl FnMut(u64)) -> f64 {
@@ -152,6 +158,77 @@ fn main() {
         store.latest_runid_for_app("fun3d").unwrap();
     });
 
+    // ---- Scoped session writes: metadata syncs per timestep ----
+    // N datasets written per step through a TimestepScope must cost
+    // exactly one metadata round-trip + sync (per rank) and one store
+    // transaction per timestep; the legacy per-dataset path pays one
+    // sync per dataset. The same world, same data, both paths.
+    let procs = 4usize;
+    let scope_datasets = 6usize;
+    let scope_steps = 10i64;
+    let global = 64u64;
+    let scoped = |use_scope: bool| -> (u64, u64) {
+        let pfs = Pfs::new(MachineConfig::test_tiny());
+        let db = Arc::new(Database::new());
+        let store = CachedStore::shared(&db);
+        let syncs = World::run(procs, MachineConfig::test_tiny(), {
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
+            move |c| {
+                let mut sdm =
+                    Sdm::initialize_with(c, &pfs, &store, "scoped", SdmConfig::default()).unwrap();
+                let mut b = sdm.group(c);
+                for d in 0..scope_datasets {
+                    b = b.dataset::<f64>(format!("d{d}"), global);
+                }
+                let g = b.build().unwrap();
+                let handles: Vec<_> = (0..scope_datasets)
+                    .map(|d| g.handle::<f64>(&format!("d{d}")).unwrap())
+                    .collect();
+                let mine: Vec<u64> = (c.rank() as u64..global).step_by(c.size()).collect();
+                for &h in &handles {
+                    sdm.set_view(c, h, &mine).unwrap();
+                }
+                let vals: Vec<f64> = mine.iter().map(|&g| g as f64).collect();
+                let before = c.counters().get("sdm.metadata_syncs");
+                for t in 0..scope_steps {
+                    if use_scope {
+                        let mut step = sdm.timestep(c, t);
+                        for &h in &handles {
+                            step.write(h, &vals).unwrap();
+                        }
+                        step.commit().unwrap();
+                    } else {
+                        for &h in &handles {
+                            sdm.write_handle(c, h, t, &vals).unwrap();
+                        }
+                    }
+                }
+                let after = c.counters().get("sdm.metadata_syncs");
+                sdm.finalize(c).unwrap();
+                after - before
+            }
+        });
+        // World-shared counter: divide by ranks and steps to get
+        // syncs-per-timestep; transactions are counted by the database
+        // (rank 0 writes), minus the one `allocate_runid` reservation.
+        let per_step = syncs[0] / (procs as u64 * scope_steps as u64);
+        (per_step, db.stats().transactions - 1)
+    };
+    let (legacy_syncs_per_step, _) = scoped(false);
+    let (scoped_syncs_per_step, scoped_txs) = scoped(true);
+    assert_eq!(
+        scoped_syncs_per_step, 1,
+        "a TimestepScope must perform exactly one metadata sync per timestep"
+    );
+    assert_eq!(
+        scoped_txs, scope_steps as u64,
+        "a TimestepScope must land each step's execution rows in one transaction"
+    );
+    assert_eq!(
+        legacy_syncs_per_step, scope_datasets as u64,
+        "the legacy path pays one sync per dataset"
+    );
+
     // The refactor's core invariant: after warmup, the hot path never
     // re-parses and never falls back to a full scan.
     assert_eq!(stats.parse_misses, 0, "prepared path re-parsed: {stats:?}");
@@ -175,6 +252,9 @@ fn main() {
         );
     }
     println!("next_runid       {next_runid:>12.0} ops/s (MAX fast path)");
+    println!(
+        "scoped writes    {scoped_syncs_per_step} sync/timestep (legacy: {legacy_syncs_per_step}), {scoped_txs} txs / {scope_steps} steps"
+    );
 
     // Machine-readable trajectory point.
     let mut json = String::from("{\n");
@@ -186,6 +266,10 @@ fn main() {
         ));
     }
     json.push_str(&format!("  \"next_runid_ops_per_sec\": {next_runid:.1},\n"));
+    json.push_str(&format!(
+        "  \"scoped_syncs_per_timestep\": {scoped_syncs_per_step},\n  \"legacy_syncs_per_timestep\": {legacy_syncs_per_step},\n  \"scoped_store_tx_per_timestep\": {},\n",
+        scoped_txs / scope_steps as u64
+    ));
     json.push_str(&format!(
         "  \"parse_misses_hot_path\": {},\n  \"full_scans_hot_path\": {}\n}}\n",
         stats.parse_misses, stats.full_scans

@@ -17,6 +17,17 @@ pub enum SdmError {
     Db(DbError),
     /// Unknown dataset name within a group.
     NoSuchDataset(String),
+    /// [`crate::Sdm::attach`] named a run id with no `run_table` row.
+    NoSuchRun(i64),
+    /// A typed handle was requested for a dataset of a different type.
+    TypeMismatch {
+        /// Dataset name.
+        dataset: String,
+        /// The dataset's declared metadata type.
+        declared: crate::types::SdmType,
+        /// The element type the caller asked for.
+        requested: crate::types::SdmType,
+    },
     /// Dataset used before a view was installed.
     NoView(String),
     /// A read asked for a (dataset, timestep) never written.
@@ -39,6 +50,15 @@ impl fmt::Display for SdmError {
             SdmError::Pfs(e) => write!(f, "pfs: {e}"),
             SdmError::Db(e) => write!(f, "metadb: {e}"),
             SdmError::NoSuchDataset(n) => write!(f, "no such dataset: {n}"),
+            SdmError::NoSuchRun(id) => write!(f, "no run with id {id} in run_table"),
+            SdmError::TypeMismatch {
+                dataset,
+                declared,
+                requested,
+            } => write!(
+                f,
+                "dataset {dataset} is declared {declared:?} but a {requested:?} handle was requested"
+            ),
             SdmError::NoView(n) => write!(f, "no data view installed for dataset: {n}"),
             SdmError::NotWritten { dataset, timestep } => {
                 write!(f, "dataset {dataset} has no data at timestep {timestep}")

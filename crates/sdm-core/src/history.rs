@@ -164,8 +164,7 @@ impl Sdm {
                 )?;
             }
         }
-        let t = self.pfs.metadata_roundtrip(comm.now());
-        comm.sync_to(t);
+        Self::sync_metadata(&self.pfs, comm);
         // Registration must be visible before any rank can attempt a
         // same-run replay lookup.
         comm.barrier();
@@ -188,8 +187,7 @@ impl Sdm {
         let reg = self
             .store
             .lookup_index_registry(problem_size as i64, nprocs as i64)?;
-        let t = self.pfs.metadata_roundtrip(comm.now());
-        comm.sync_to(t);
+        Self::sync_metadata(&self.pfs, comm);
         let Some(name) = reg else {
             return Ok(None);
         };
@@ -198,8 +196,7 @@ impl Sdm {
             nprocs as i64,
             comm.rank() as i64,
         )?;
-        let t = self.pfs.metadata_roundtrip(comm.now());
-        comm.sync_to(t);
+        Self::sync_metadata(&self.pfs, comm);
 
         // Read and validate my block; any rank's failure aborts for all.
         let attempt: SdmResult<PartitionedIndex> = (|| {

@@ -36,14 +36,13 @@ impl Sdm {
                 )?;
             }
         }
-        let t = self.pfs.metadata_roundtrip(comm.now());
-        comm.sync_to(t);
-        self.group_mut(h)?.imports = imports;
+        Self::sync_metadata(&self.pfs, comm);
+        self.group_at_mut(h)?.imports = imports;
         Ok(())
     }
 
     pub(crate) fn import_desc(&self, h: GroupHandle, name: &str) -> SdmResult<ImportDesc> {
-        self.group(h)?
+        self.group_at(h)?
             .imports
             .iter()
             .find(|i| i.name == name)
@@ -53,9 +52,9 @@ impl Sdm {
 
     fn open_import(&mut self, comm: &mut Comm, h: GroupHandle, file: &str) -> SdmResult<()> {
         let key = format!("import:{file}");
-        if !self.group(h)?.open_files.contains_key(&key) {
+        if !self.group_at(h)?.open_files.contains_key(&key) {
             let f = MpiFile::open_collective(comm, &self.pfs, file, false)?;
-            self.group_mut(h)?.open_files.insert(key, f);
+            self.group_at_mut(h)?.open_files.insert(key, f);
         }
         Ok(())
     }
@@ -86,7 +85,7 @@ impl Sdm {
         let lo = (comm.rank() as u64 * chunk).min(total_elems);
         let hi = ((comm.rank() as u64 + 1) * chunk).min(total_elems);
         self.open_import(comm, h, &desc.file_name)?;
-        let g = self.group_mut(h)?;
+        let g = self.group_at_mut(h)?;
         let f = g
             .open_files
             .get_mut(&format!("import:{}", desc.file_name))
@@ -127,7 +126,7 @@ impl Sdm {
         }
         let view = DataView::compile(map, total_elems, ty)?;
         self.open_import(comm, h, &desc.file_name)?;
-        let g = self.group_mut(h)?;
+        let g = self.group_at_mut(h)?;
         let f = g
             .open_files
             .get_mut(&format!("import:{}", desc.file_name))
@@ -143,18 +142,18 @@ impl Sdm {
     /// import file handles. Collective.
     pub fn release_importlist(&mut self, comm: &mut Comm, h: GroupHandle) -> SdmResult<()> {
         let keys: Vec<String> = self
-            .group(h)?
+            .group_at(h)?
             .open_files
             .keys()
             .filter(|k| k.starts_with("import:"))
             .cloned()
             .collect();
         for k in keys {
-            if let Some(f) = self.group_mut(h)?.open_files.remove(&k) {
+            if let Some(f) = self.group_at_mut(h)?.open_files.remove(&k) {
                 f.close(comm);
             }
         }
-        self.group_mut(h)?.imports.clear();
+        self.group_at_mut(h)?.imports.clear();
         Ok(())
     }
 }

@@ -5,10 +5,14 @@
 //! structure mirrors the paper's Figures 2-4:
 //!
 //! * [`sdm::Sdm`] — per-rank handle. `initialize` connects "the
-//!   database" and creates the six metadata tables; `set_attributes`
-//!   registers a data group; `data_view` installs a map-array view;
-//!   `write`/`read` move datasets with collective noncontiguous MPI-IO;
-//!   `finalize` closes everything out.
+//!   database" and creates the six metadata tables; `finalize` closes
+//!   everything out. Data groups are registered through the typed
+//!   [`session`] API ([`sdm::Sdm::group`] → [`session::GroupBuilder`]),
+//!   views install through resolved handles, and per-timestep writes go
+//!   through [`session::TimestepScope`] ([`sdm::Sdm::timestep`]) as one
+//!   collective burst with one metadata sync. The paper's
+//!   `set_attributes` / `data_view` / `write` / `read` surface remains
+//!   as a deprecated veneer over the same paths.
 //! * [`import`] — the import path for data created *outside* SDM
 //!   (the `uns3d.msh` mesh file): `make_importlist`, contiguous domain
 //!   imports, and irregularly distributed imports through map arrays.
@@ -34,6 +38,7 @@ pub mod memory;
 pub mod org;
 pub mod partition_api;
 pub mod sdm;
+pub mod session;
 pub mod store;
 pub mod types;
 pub mod view;
@@ -43,5 +48,6 @@ pub use error::{SdmError, SdmResult};
 pub use org::OrgLevel;
 pub use partition_api::PartitionedIndex;
 pub use sdm::{GroupHandle, Sdm, SdmConfig};
+pub use session::{DatasetHandle, DatasetSlot, GroupBuilder, GroupRegistration, TimestepScope};
 pub use store::{CachedStore, HistoryBlock, MetadataStore, RunRecord, SharedStore, SqlStore};
-pub use types::{AccessPattern, SdmType, StorageOrder};
+pub use types::{AccessPattern, SdmElem, SdmType, StorageOrder};

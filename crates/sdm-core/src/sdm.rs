@@ -1,4 +1,19 @@
 //! The SDM handle: initialize, attributes, views, write/read, finalize.
+//!
+//! Two API generations live here:
+//!
+//! * The **typed session API** (this module + [`crate::session`]):
+//!   [`Sdm::group`] returns a [`crate::GroupBuilder`] that registers a
+//!   data group and resolves typed [`crate::DatasetHandle`]s once;
+//!   [`Sdm::timestep`] opens a [`crate::TimestepScope`] that stages a
+//!   step's writes and lands them as one collective burst with one
+//!   metadata sync. Handle-based `write_handle`/`read_handle` skip the
+//!   per-call name lookup and element-size check entirely.
+//! * The **paper-shaped veneer** (`set_attributes`, `data_view`,
+//!   `write`, `read`): thin deprecated wrappers that resolve the dataset
+//!   name through the group's name→slot index and delegate to the slot
+//!   paths, kept so code written against the paper's `SDM_*` surface
+//!   (and DESIGN.md's paper→module map) stays valid.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -11,7 +26,9 @@ use sdm_pfs::Pfs;
 use crate::dataset::{DatasetDesc, ImportDesc};
 use crate::error::{SdmError, SdmResult};
 use crate::org::OrgLevel;
+use crate::session::{DatasetHandle, DatasetSlot, GroupBuilder, TimestepScope};
 use crate::store::{RunRecord, SharedStore};
+use crate::types::SdmElem;
 use crate::view::DataView;
 
 /// Tunables for an SDM instance.
@@ -46,7 +63,8 @@ impl Default for SdmConfig {
     }
 }
 
-/// Handle to a data group created by `set_attributes`.
+/// Handle to a data group created by [`Sdm::group`] (or the legacy
+/// `set_attributes`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupHandle(pub(crate) usize);
 
@@ -62,13 +80,42 @@ impl GroupHandle {
 /// One data group: datasets sharing attributes and (under Level 3) a file.
 pub(crate) struct DataGroup {
     pub(crate) datasets: Vec<DatasetDesc>,
-    pub(crate) views: HashMap<String, DataView>,
+    /// Name → dataset slot. Built once at registration so name
+    /// resolution (the compat veneer, `attach_group`, handle lookup) is
+    /// a hash probe instead of a linear scan over the descriptors.
+    pub(crate) by_name: HashMap<String, usize>,
+    /// Installed views, indexed by dataset slot (the hot path never
+    /// touches a dataset name).
+    pub(crate) views: Vec<Option<DataView>>,
     /// Rank-local cache of open files (Level 2/3 keep files open across
     /// timesteps — that is the point of those levels).
     pub(crate) open_files: HashMap<String, MpiFile>,
     /// Append cursor per file (bytes). Updated identically on all ranks.
     pub(crate) append_offsets: HashMap<String, u64>,
     pub(crate) imports: Vec<ImportDesc>,
+}
+
+impl DataGroup {
+    pub(crate) fn new(datasets: Vec<DatasetDesc>) -> Self {
+        let mut by_name = HashMap::with_capacity(datasets.len());
+        for (i, d) in datasets.iter().enumerate() {
+            // First declaration wins, matching the old linear `find`.
+            by_name.entry(d.name.clone()).or_insert(i);
+        }
+        let views = datasets.iter().map(|_| None).collect();
+        Self {
+            datasets,
+            by_name,
+            views,
+            open_files: HashMap::new(),
+            append_offsets: HashMap::new(),
+            imports: Vec::new(),
+        }
+    }
+
+    pub(crate) fn slot_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
 }
 
 /// The per-rank SDM instance (the paper's `handle`).
@@ -80,7 +127,7 @@ pub struct Sdm {
     pub(crate) cfg: SdmConfig,
     pub(crate) groups: Vec<DataGroup>,
     /// Whether this run's `run_table` row is complete yet (the first
-    /// `set_attributes` or an explicit `record_run` fills it in).
+    /// group registration or an explicit `record_run` fills it in).
     pub(crate) run_recorded: bool,
 }
 
@@ -111,8 +158,7 @@ impl Sdm {
             0
         };
         // Everyone charges the DB round trip; rank 0's id wins.
-        let t = pfs.metadata_roundtrip(comm.now());
-        comm.sync_to(t);
+        Self::sync_metadata(pfs, comm);
         let runid = comm.bcast(0, &[runid])?[0];
         Ok(Self {
             pfs: Arc::clone(pfs),
@@ -130,7 +176,9 @@ impl Sdm {
     /// `runid`'s execution records. This is how post-processing tools
     /// (the visualization support the paper's summary plans, and the
     /// `sdm-sci` containers built on SDM) reopen data a previous run
-    /// wrote. Collective.
+    /// wrote. Rank 0 verifies the run id actually has a `run_table` row;
+    /// attaching to a never-recorded id fails with
+    /// [`SdmError::NoSuchRun`] on every rank. Collective.
     pub fn attach(
         comm: &mut Comm,
         pfs: &Arc<Pfs>,
@@ -139,12 +187,18 @@ impl Sdm {
         runid: i64,
         cfg: SdmConfig,
     ) -> SdmResult<Self> {
-        if comm.rank() == 0 {
+        let exists = if comm.rank() == 0 {
             store.ensure_schema()?;
-        }
-        let t = pfs.metadata_roundtrip(comm.now());
-        comm.sync_to(t);
+            i64::from(store.run_exists(runid)?)
+        } else {
+            0
+        };
+        Self::sync_metadata(pfs, comm);
+        let exists = comm.bcast(0, &[exists])?[0] != 0;
         comm.barrier();
+        if !exists {
+            return Err(SdmError::NoSuchRun(runid));
+        }
         Ok(Self {
             pfs: Arc::clone(pfs),
             store: Arc::clone(store),
@@ -181,30 +235,110 @@ impl Sdm {
         &self.store
     }
 
-    pub(crate) fn group(&self, h: GroupHandle) -> SdmResult<&DataGroup> {
+    /// Charge one metadata-server round trip and synchronize the
+    /// caller's clock to it. Every metadata sync in SDM funnels through
+    /// here so the `sdm.metadata_syncs` counter is an exact count —
+    /// `bench_metadb` asserts the scoped write path performs exactly one
+    /// per timestep.
+    pub(crate) fn sync_metadata(pfs: &Arc<Pfs>, comm: &mut Comm) {
+        let t = pfs.metadata_roundtrip(comm.now());
+        comm.sync_to(t);
+        comm.counters().incr("sdm.metadata_syncs");
+    }
+
+    pub(crate) fn group_at(&self, h: GroupHandle) -> SdmResult<&DataGroup> {
         self.groups
             .get(h.0)
             .ok_or_else(|| SdmError::Usage(format!("bad group handle {}", h.0)))
     }
 
-    pub(crate) fn group_mut(&mut self, h: GroupHandle) -> SdmResult<&mut DataGroup> {
+    pub(crate) fn group_at_mut(&mut self, h: GroupHandle) -> SdmResult<&mut DataGroup> {
         self.groups
             .get_mut(h.0)
             .ok_or_else(|| SdmError::Usage(format!("bad group handle {}", h.0)))
     }
 
-    pub(crate) fn dataset<'a>(group: &'a DataGroup, name: &str) -> SdmResult<&'a DatasetDesc> {
-        group
-            .datasets
-            .iter()
-            .find(|d| d.name == name)
-            .ok_or_else(|| SdmError::NoSuchDataset(name.to_string()))
+    /// Resolve a dataset name to its slot in a group (one hash probe
+    /// against the group's name index).
+    pub fn resolve(&self, h: GroupHandle, dataset: &str) -> SdmResult<DatasetSlot> {
+        let g = self.group_at(h)?;
+        let slot = g
+            .slot_of(dataset)
+            .ok_or_else(|| SdmError::NoSuchDataset(dataset.to_string()))?;
+        Ok(DatasetSlot::new(h.0, slot))
     }
 
-    /// `SDM_set_attributes`: register a data group. Rank 0 stores the run
-    /// row (first group only) and one `access_pattern_table` row per
+    /// Resolve a dataset name to a typed handle, checking the element
+    /// type once so handle-based writes and reads never re-check it.
+    pub fn resolve_typed<T: SdmElem>(
+        &self,
+        h: GroupHandle,
+        dataset: &str,
+    ) -> SdmResult<DatasetHandle<T>> {
+        let slot = self.resolve(h, dataset)?;
+        let d = self.slot_desc(slot)?;
+        if d.data_type != T::SDM_TYPE {
+            return Err(SdmError::TypeMismatch {
+                dataset: d.name.clone(),
+                declared: d.data_type,
+                requested: T::SDM_TYPE,
+            });
+        }
+        Ok(DatasetHandle::new(slot))
+    }
+
+    pub(crate) fn slot_desc(&self, s: DatasetSlot) -> SdmResult<&DatasetDesc> {
+        self.group_at(s.group_handle())?
+            .datasets
+            .get(s.index())
+            .ok_or_else(|| SdmError::Usage(format!("bad dataset slot {}", s.index())))
+    }
+
+    pub(crate) fn slot_view(&self, s: DatasetSlot) -> SdmResult<&DataView> {
+        self.group_at(s.group_handle())?
+            .views
+            .get(s.index())
+            .and_then(Option::as_ref)
+            .ok_or_else(|| {
+                let name = self
+                    .slot_desc(s)
+                    .map(|d| d.name.clone())
+                    .unwrap_or_else(|_| format!("slot {}", s.index()));
+                SdmError::NoView(name)
+            })
+    }
+
+    /// Start building a data group: add datasets fluently, then
+    /// [`crate::GroupBuilder::build`] registers them in one collective
+    /// and returns resolve-once typed handles.
+    ///
+    /// ```ignore
+    /// let g = sdm
+    ///     .group(comm)
+    ///     .dataset::<f64>("pressure", n)
+    ///     .access(AccessPattern::Irregular)
+    ///     .dataset::<f64>("q", n)
+    ///     .build()?;
+    /// let hp = g.handle::<f64>("pressure")?;
+    /// ```
+    pub fn group<'s>(&'s mut self, comm: &'s mut Comm) -> GroupBuilder<'s> {
+        GroupBuilder::new(self, comm)
+    }
+
+    /// Open an RAII scope for one timestep's writes: every
+    /// [`crate::TimestepScope::write`] stages data, and closing the
+    /// scope issues the staged writes as one collective I/O burst with
+    /// exactly one metadata round-trip + sync and one store transaction
+    /// — instead of one of each per dataset.
+    pub fn timestep<'s>(&'s mut self, comm: &'s mut Comm, timestep: i64) -> TimestepScope<'s> {
+        TimestepScope::new(self, comm, timestep)
+    }
+
+    /// Register a data group (shared by [`crate::GroupBuilder::build`]
+    /// and the deprecated `set_attributes`). Rank 0 stores the run row
+    /// (first group only) and one `access_pattern_table` row per
     /// dataset. Collective.
-    pub fn set_attributes(
+    pub(crate) fn register_group(
         &mut self,
         comm: &mut Comm,
         datasets: Vec<DatasetDesc>,
@@ -237,23 +371,37 @@ impl Sdm {
                 )?;
             }
         }
-        let t = self.pfs.metadata_roundtrip(comm.now());
-        comm.sync_to(t);
+        Self::sync_metadata(&self.pfs, comm);
         comm.barrier();
         self.run_recorded = true;
-        self.groups.push(DataGroup {
-            datasets,
-            views: HashMap::new(),
-            open_files: HashMap::new(),
-            append_offsets: HashMap::new(),
-            imports: Vec::new(),
-        });
+        self.groups.push(DataGroup::new(datasets));
+        Ok(GroupHandle(self.groups.len() - 1))
+    }
+
+    /// Rebuild a data group for datasets whose metadata a *previous* run
+    /// already recorded — no new rows are written (shared by
+    /// [`crate::GroupBuilder::attach`] and the deprecated
+    /// `attach_group`). Collective; handles are assigned in call order,
+    /// so callers must re-register groups in the original creation
+    /// order for Level 3 file names to resolve.
+    pub(crate) fn reattach_group(
+        &mut self,
+        comm: &mut Comm,
+        datasets: Vec<DatasetDesc>,
+    ) -> SdmResult<GroupHandle> {
+        if datasets.is_empty() {
+            return Err(SdmError::Usage(
+                "a data group needs at least one dataset".into(),
+            ));
+        }
+        comm.barrier();
+        self.groups.push(DataGroup::new(datasets));
         Ok(GroupHandle(self.groups.len() - 1))
     }
 
     /// Write this run's `run_table` row explicitly (normally the first
-    /// `set_attributes` does it). Container layers use this so an empty
-    /// container is still discoverable by `latest_runid_for_app`.
+    /// group registration does it). Container layers use this so an
+    /// empty container is still discoverable by `latest_runid_for_app`.
     /// Collective; idempotent.
     pub fn record_run(&mut self, comm: &mut Comm, problem_size: u64) -> SdmResult<()> {
         if comm.rank() == 0 && !self.run_recorded {
@@ -267,126 +415,167 @@ impl Sdm {
                 time: self.cfg.run_time,
             })?;
         }
-        let t = self.pfs.metadata_roundtrip(comm.now());
-        comm.sync_to(t);
+        Self::sync_metadata(&self.pfs, comm);
         comm.barrier();
         self.run_recorded = true;
         Ok(())
     }
 
-    /// Rebuild a data-group handle for datasets whose metadata a
-    /// *previous* run already recorded — no new rows are written. Used
-    /// together with [`Sdm::attach`] when reopening existing data.
-    /// Collective; handles are assigned in call order, so callers must
-    /// re-register groups in the original creation order for Level 3
-    /// file names to resolve.
-    pub fn attach_group(
+    /// Install the map array for a dataset: `map[i]` is the global
+    /// element index of the caller's `i`-th local element. The typed
+    /// successor of the paper's `SDM_data_view`.
+    pub fn set_view(
         &mut self,
         comm: &mut Comm,
-        datasets: Vec<DatasetDesc>,
-    ) -> SdmResult<GroupHandle> {
-        if datasets.is_empty() {
-            return Err(SdmError::Usage(
-                "a data group needs at least one dataset".into(),
-            ));
-        }
-        comm.barrier();
-        self.groups.push(DataGroup {
-            datasets,
-            views: HashMap::new(),
-            open_files: HashMap::new(),
-            append_offsets: HashMap::new(),
-            imports: Vec::new(),
-        });
-        Ok(GroupHandle(self.groups.len() - 1))
-    }
-
-    /// `SDM_data_view`: install the map array for a dataset. `map[i]` is
-    /// the global element index of the caller's `i`-th local element.
-    pub fn data_view(
-        &mut self,
-        comm: &mut Comm,
-        h: GroupHandle,
-        dataset: &str,
+        ds: impl Into<DatasetSlot>,
         map: &[u64],
     ) -> SdmResult<()> {
+        let s = ds.into();
         let (global_size, ty) = {
-            let g = self.group(h)?;
-            let d = Self::dataset(g, dataset)?;
+            let d = self.slot_desc(s)?;
             (d.global_size, d.data_type)
         };
         let view = DataView::compile(map, global_size, ty)?;
         // Sorting/compiling the map costs CPU proportional to its size.
         comm.compute(map.len() as f64 * self.cfg.per_edge_scan_cost * 0.2);
-        self.group_mut(h)?.views.insert(dataset.to_string(), view);
+        self.group_at_mut(s.group_handle())?.views[s.index()] = Some(view);
         Ok(())
     }
 
-    fn open_cached(&mut self, comm: &mut Comm, h: GroupHandle, file_name: &str) -> SdmResult<()> {
-        if !self.group(h)?.open_files.contains_key(file_name) {
+    pub(crate) fn open_cached(
+        &mut self,
+        comm: &mut Comm,
+        h: GroupHandle,
+        file_name: &str,
+    ) -> SdmResult<()> {
+        if !self.group_at(h)?.open_files.contains_key(file_name) {
             let f = MpiFile::open_collective(comm, &self.pfs, file_name, true)?;
-            self.group_mut(h)?
+            self.group_at_mut(h)?
                 .open_files
                 .insert(file_name.to_string(), f);
         }
         Ok(())
     }
 
-    /// `SDM_write`: collectively write a dataset at a timestep through
-    /// its installed view. `buf` is in the caller's local element order.
-    pub fn write<T: Pod>(
+    /// Collectively write a dataset at a timestep through its installed
+    /// view, with one metadata sync (legacy per-dataset cadence). `buf`
+    /// is in the caller's local element order; its element size is
+    /// checked against the dataset's declared type at run time — use
+    /// [`Sdm::write_handle`] to settle that agreement at handle
+    /// resolution instead.
+    pub fn write_slot<T: Pod>(
         &mut self,
         comm: &mut Comm,
-        h: GroupHandle,
-        dataset: &str,
+        ds: impl Into<DatasetSlot>,
         timestep: i64,
         buf: &[T],
     ) -> SdmResult<()> {
+        let s = ds.into();
+        self.check_elem_size::<T>(s)?;
+        self.write_unchecked(comm, s, timestep, buf)
+    }
+
+    /// [`Sdm::write_slot`] through a typed handle: no name lookup, no
+    /// element-size check — both were settled when the handle was
+    /// resolved.
+    pub fn write_handle<T: SdmElem>(
+        &mut self,
+        comm: &mut Comm,
+        h: DatasetHandle<T>,
+        timestep: i64,
+        buf: &[T],
+    ) -> SdmResult<()> {
+        self.write_unchecked(comm, h.slot(), timestep, buf)
+    }
+
+    /// Collectively read back a dataset written in this run. The
+    /// installed view selects which elements this rank receives, in its
+    /// local order. Element size is checked at run time.
+    pub fn read_slot<T: Pod + Default>(
+        &mut self,
+        comm: &mut Comm,
+        ds: impl Into<DatasetSlot>,
+        timestep: i64,
+        out: &mut [T],
+    ) -> SdmResult<()> {
+        let s = ds.into();
+        self.check_elem_size::<T>(s)?;
+        self.read_unchecked(comm, s, timestep, out)
+    }
+
+    /// [`Sdm::read_slot`] through a typed handle: no name lookup, no
+    /// element-size check.
+    pub fn read_handle<T: SdmElem>(
+        &mut self,
+        comm: &mut Comm,
+        h: DatasetHandle<T>,
+        timestep: i64,
+        out: &mut [T],
+    ) -> SdmResult<()> {
+        self.read_unchecked(comm, h.slot(), timestep, out)
+    }
+
+    pub(crate) fn check_elem_size<T: Pod>(&self, s: DatasetSlot) -> SdmResult<()> {
+        let d = self.slot_desc(s)?;
+        if std::mem::size_of::<T>() as u64 != d.data_type.size() {
+            return Err(SdmError::Usage(format!(
+                "element size {} does not match dataset type ({} bytes)",
+                std::mem::size_of::<T>(),
+                d.data_type.size()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Allocate the base offset for one (dataset, timestep) region and
+    /// return `(file_name, base)`. Level 1 writes at 0 in a dedicated
+    /// file; Level 2/3 append one full global-array region.
+    pub(crate) fn alloc_region(
+        &mut self,
+        s: DatasetSlot,
+        timestep: i64,
+    ) -> SdmResult<(String, u64)> {
         let (file_name, global_bytes) = {
-            let g = self.group(h)?;
-            let d = Self::dataset(g, dataset)?;
-            if std::mem::size_of::<T>() as u64 != d.data_type.size() {
-                return Err(SdmError::Usage(format!(
-                    "element size {} does not match dataset type ({} bytes)",
-                    std::mem::size_of::<T>(),
-                    d.data_type.size()
-                )));
-            }
+            let d = self.slot_desc(s)?;
             (
-                self.cfg.org.file_name(&self.app, h.0, dataset, timestep),
+                self.cfg
+                    .org
+                    .file_name(&self.app, s.group_handle().0, &d.name, timestep),
                 d.global_size * d.data_type.size(),
             )
         };
-        // Base offset: Level 1 writes at 0 in a dedicated file; Level 2/3
-        // append one full global-array region per (dataset, timestep).
-        let base = {
-            let g = self.group_mut(h)?;
-            let cursor = g.append_offsets.entry(file_name.clone()).or_insert(0);
-            let base = *cursor;
-            *cursor += global_bytes;
-            base
-        };
-        self.open_cached(comm, h, &file_name)?;
+        let g = self.group_at_mut(s.group_handle())?;
+        let cursor = g.append_offsets.entry(file_name.clone()).or_insert(0);
+        let base = *cursor;
+        *cursor += global_bytes;
+        Ok((file_name, base))
+    }
+
+    fn write_unchecked<T: Pod>(
+        &mut self,
+        comm: &mut Comm,
+        s: DatasetSlot,
+        timestep: i64,
+        buf: &[T],
+    ) -> SdmResult<()> {
+        let (file_name, base) = self.alloc_region(s, timestep)?;
+        self.open_cached(comm, s.group_handle(), &file_name)?;
         let (file_ordered, ftype) = {
-            let g = self.group(h)?;
-            let view = g
-                .views
-                .get(dataset)
-                .ok_or_else(|| SdmError::NoView(dataset.to_string()))?;
+            let view = self.slot_view(s)?;
             (view.to_file_order(buf)?, view.ftype.clone())
         };
         {
-            let g = self.group_mut(h)?;
+            let g = self.group_at_mut(s.group_handle())?;
             let f = g.open_files.get_mut(&file_name).expect("cached above");
             f.set_view(comm, base, ftype)?;
             f.write_all(comm, 0, &file_ordered)?;
         }
         if comm.rank() == 0 {
+            let name = &self.slot_desc(s)?.name;
             self.store
-                .record_execution(self.runid, dataset, timestep, base as i64, &file_name)?;
+                .record_execution(self.runid, name, timestep, base as i64, &file_name)?;
         }
-        let t = self.pfs.metadata_roundtrip(comm.now());
-        comm.sync_to(t);
+        Self::sync_metadata(&self.pfs, comm);
         // The offset row must be visible before any rank can issue a
         // read for this (dataset, timestep) — reads look it up on every
         // rank, not just rank 0.
@@ -394,7 +583,7 @@ impl Sdm {
         if self.cfg.org.opens_per_timestep() {
             // Level 1: dedicated file, close it now.
             let f = self
-                .group_mut(h)?
+                .group_at_mut(s.group_handle())?
                 .open_files
                 .remove(&file_name)
                 .expect("cached above");
@@ -404,31 +593,23 @@ impl Sdm {
         Ok(())
     }
 
-    /// `SDM_read`: collectively read back a dataset written in this run.
-    /// The installed view selects which elements this rank receives, in
-    /// its local order.
-    pub fn read<T: Pod + Default>(
+    fn read_unchecked<T: Pod + Default>(
         &mut self,
         comm: &mut Comm,
-        h: GroupHandle,
-        dataset: &str,
+        s: DatasetSlot,
         timestep: i64,
         out: &mut [T],
     ) -> SdmResult<()> {
-        let hit = self.store.lookup_execution(self.runid, dataset, timestep)?;
-        let t = self.pfs.metadata_roundtrip(comm.now());
-        comm.sync_to(t);
+        let name = self.slot_desc(s)?.name.clone();
+        let hit = self.store.lookup_execution(self.runid, &name, timestep)?;
+        Self::sync_metadata(&self.pfs, comm);
         let (base, file_name) = hit.ok_or(SdmError::NotWritten {
-            dataset: dataset.to_string(),
+            dataset: name,
             timestep,
         })?;
-        self.open_cached(comm, h, &file_name)?;
+        self.open_cached(comm, s.group_handle(), &file_name)?;
         let ftype = {
-            let g = self.group(h)?;
-            let view = g
-                .views
-                .get(dataset)
-                .ok_or_else(|| SdmError::NoView(dataset.to_string()))?;
+            let view = self.slot_view(s)?;
             if view.len() != out.len() {
                 return Err(SdmError::Usage(format!(
                     "output buffer has {} elements but the view selects {}",
@@ -440,21 +621,19 @@ impl Sdm {
         };
         let mut file_ordered = vec![T::default(); out.len()];
         {
-            let g = self.group_mut(h)?;
+            let g = self.group_at_mut(s.group_handle())?;
             let f = g.open_files.get_mut(&file_name).expect("cached above");
             f.set_view(comm, base as u64, ftype)?;
             f.read_all(comm, 0, &mut file_ordered)?;
         }
-        let g = self.group(h)?;
-        let view = g.views.get(dataset).expect("checked above");
+        let view = self.slot_view(s).expect("checked above");
         let user = view.to_user_order(&file_ordered)?;
         out.copy_from_slice(&user);
         if self.cfg.org.opens_per_timestep() {
-            let file_name2 = file_name.clone();
             let f = self
-                .group_mut(h)?
+                .group_at_mut(s.group_handle())?
                 .open_files
-                .remove(&file_name2)
+                .remove(&file_name)
                 .expect("cached above");
             f.close(comm);
         }
@@ -475,5 +654,74 @@ impl Sdm {
         }
         comm.barrier();
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Paper-shaped veneer (deprecated): the `SDM_*` call surface, kept
+    // as thin delegates so DESIGN.md's paper→module map stays valid.
+    // ------------------------------------------------------------------
+
+    /// `SDM_set_attributes`: register a data group from hand-assembled
+    /// descriptors. Collective.
+    #[deprecated(note = "build groups with `Sdm::group(comm)…build()` and use typed handles")]
+    pub fn set_attributes(
+        &mut self,
+        comm: &mut Comm,
+        datasets: Vec<DatasetDesc>,
+    ) -> SdmResult<GroupHandle> {
+        self.register_group(comm, datasets)
+    }
+
+    /// Legacy form of [`crate::GroupBuilder::attach`]. Collective.
+    #[deprecated(note = "re-attach groups with `Sdm::group(comm)…attach()`")]
+    pub fn attach_group(
+        &mut self,
+        comm: &mut Comm,
+        datasets: Vec<DatasetDesc>,
+    ) -> SdmResult<GroupHandle> {
+        self.reattach_group(comm, datasets)
+    }
+
+    /// `SDM_data_view`: install the map array for a named dataset.
+    #[deprecated(note = "use `Sdm::set_view` with a resolved handle")]
+    pub fn data_view(
+        &mut self,
+        comm: &mut Comm,
+        h: GroupHandle,
+        dataset: &str,
+        map: &[u64],
+    ) -> SdmResult<()> {
+        let s = self.resolve(h, dataset)?;
+        self.set_view(comm, s, map)
+    }
+
+    /// `SDM_write`: collectively write a named dataset at a timestep
+    /// through its installed view.
+    #[deprecated(note = "use `Sdm::write_handle` or a `TimestepScope` (`Sdm::timestep`)")]
+    pub fn write<T: Pod>(
+        &mut self,
+        comm: &mut Comm,
+        h: GroupHandle,
+        dataset: &str,
+        timestep: i64,
+        buf: &[T],
+    ) -> SdmResult<()> {
+        let s = self.resolve(h, dataset)?;
+        self.write_slot(comm, s, timestep, buf)
+    }
+
+    /// `SDM_read`: collectively read back a named dataset written in
+    /// this run.
+    #[deprecated(note = "use `Sdm::read_handle` or `Sdm::read_slot`")]
+    pub fn read<T: Pod + Default>(
+        &mut self,
+        comm: &mut Comm,
+        h: GroupHandle,
+        dataset: &str,
+        timestep: i64,
+        out: &mut [T],
+    ) -> SdmResult<()> {
+        let s = self.resolve(h, dataset)?;
+        self.read_slot(comm, s, timestep, out)
     }
 }

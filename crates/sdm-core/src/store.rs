@@ -121,6 +121,11 @@ pub trait MetadataStore: Send + Sync {
     /// to a finished run's metadata.
     fn latest_runid_for_app(&self, application: &str) -> DbResult<Option<i64>>;
 
+    /// Whether a `run_table` row exists for `runid`. `Sdm::attach`
+    /// checks this on rank 0 so attaching to a never-recorded run fails
+    /// loudly instead of silently resolving no data.
+    fn run_exists(&self, runid: i64) -> DbResult<bool>;
+
     /// Record (or complete a reserved) run row.
     fn record_run(&self, rec: &RunRecord) -> DbResult<()>;
 
@@ -225,6 +230,7 @@ enum Hot {
     AllocMax,
     AllocReserve,
     LatestForApp,
+    RunExists,
     UpdateRun,
     InsertRun,
     InsertAccessPattern,
@@ -240,13 +246,14 @@ enum Hot {
 }
 
 impl Hot {
-    const COUNT: usize = 15;
+    const COUNT: usize = 16;
 
     fn sql(self) -> &'static str {
         match self {
             Hot::AllocMax => "SELECT MAX(runid) FROM run_table",
             Hot::AllocReserve => "INSERT INTO run_table VALUES (?, ?, 0, 0, 0, 0, 0, 0, 0, 0)",
             Hot::LatestForApp => "SELECT MAX(runid) FROM run_table WHERE application = ?",
+            Hot::RunExists => "SELECT COUNT(*) FROM run_table WHERE runid = ?",
             Hot::UpdateRun => {
                 "UPDATE run_table SET application = ?, dimension = ?, problem_size = ?,
                  num_timesteps = ?, year = ?, month = ?, day = ?, hour = ?, min = ?
@@ -374,6 +381,11 @@ impl MetadataStore for SqlStore {
     fn latest_runid_for_app(&self, application: &str) -> DbResult<Option<i64>> {
         let rs = self.run_hot(Hot::LatestForApp, &[Value::from(application)])?;
         Ok(rs.scalar().and_then(Value::as_i64))
+    }
+
+    fn run_exists(&self, runid: i64) -> DbResult<bool> {
+        let rs = self.run_hot(Hot::RunExists, &[Value::Int(runid)])?;
+        Ok(rs.scalar().and_then(Value::as_i64).unwrap_or(0) > 0)
     }
 
     fn record_run(&self, rec: &RunRecord) -> DbResult<()> {
@@ -753,6 +765,10 @@ impl MetadataStore for CachedStore {
 
     fn latest_runid_for_app(&self, application: &str) -> DbResult<Option<i64>> {
         self.inner.latest_runid_for_app(application)
+    }
+
+    fn run_exists(&self, runid: i64) -> DbResult<bool> {
+        self.inner.run_exists(runid)
     }
 
     fn record_run(&self, rec: &RunRecord) -> DbResult<()> {

@@ -72,6 +72,31 @@ impl AccessPattern {
     }
 }
 
+/// A Rust element type with a fixed SDM attribute type.
+///
+/// This is the compile-time side of the typed session API: a
+/// [`crate::DatasetHandle`]`<T>` can only be obtained for a dataset
+/// whose declared [`SdmType`] matches `T::SDM_TYPE`, so `write`/`read`
+/// through handles need no per-call element-size check — the agreement
+/// between buffer type and dataset type is established once, at handle
+/// resolution.
+pub trait SdmElem: sdm_mpi::pod::Pod + Default {
+    /// The metadata-table type this Rust type maps onto.
+    const SDM_TYPE: SdmType;
+}
+
+impl SdmElem for f64 {
+    const SDM_TYPE: SdmType = SdmType::Double;
+}
+
+impl SdmElem for i32 {
+    const SDM_TYPE: SdmType = SdmType::Int32;
+}
+
+impl SdmElem for i64 {
+    const SDM_TYPE: SdmType = SdmType::Int64;
+}
+
 /// What an imported file region contains (Figure 4's `file_content`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FileContent {

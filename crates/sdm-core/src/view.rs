@@ -88,6 +88,27 @@ impl DataView {
         Ok(self.perm.iter().map(|&k| user[k as usize]).collect())
     }
 
+    /// [`DataView::to_file_order`], permuting straight into a byte
+    /// buffer: one allocation and one pass, for callers (the timestep
+    /// scope) that stage the result as raw bytes anyway.
+    pub fn to_file_order_bytes<T: sdm_mpi::pod::Pod>(&self, user: &[T]) -> SdmResult<Vec<u8>> {
+        if user.len() != self.perm.len() {
+            return Err(SdmError::Usage(format!(
+                "buffer has {} elements but view selects {}",
+                user.len(),
+                self.perm.len()
+            )));
+        }
+        let esize = std::mem::size_of::<T>();
+        let src = sdm_mpi::pod::as_bytes(user);
+        let mut out = vec![0u8; std::mem::size_of_val(user)];
+        for (k, &p) in self.perm.iter().enumerate() {
+            let s = p as usize * esize;
+            out[k * esize..(k + 1) * esize].copy_from_slice(&src[s..s + esize]);
+        }
+        Ok(out)
+    }
+
     /// Scatter file-ordered data back into the user's local order.
     pub fn to_user_order<T: Copy + Default>(&self, file_ordered: &[T]) -> SdmResult<Vec<T>> {
         if file_ordered.len() != self.perm.len() {
@@ -150,6 +171,22 @@ mod tests {
         let v = DataView::compile(&[0, 2], 4, SdmType::Double).unwrap();
         assert!(v.to_file_order(&[1.0]).is_err());
         assert!(v.to_user_order(&[1.0, 2.0, 3.0]).is_err());
+        assert!(v.to_file_order_bytes(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn byte_permutation_matches_typed_permutation() {
+        let v = DataView::compile(&[5, 1, 3], 10, SdmType::Double).unwrap();
+        let user = [50.0f64, 10.0, 30.0];
+        let typed = v.to_file_order(&user).unwrap();
+        let bytes = v.to_file_order_bytes(&user).unwrap();
+        assert_eq!(bytes, sdm_mpi::pod::as_bytes(&typed));
+        let vi = DataView::compile(&[2, 0], 4, SdmType::Int32).unwrap();
+        let ints = [7i32, -9];
+        assert_eq!(
+            vi.to_file_order_bytes(&ints).unwrap(),
+            sdm_mpi::pod::as_bytes(&vi.to_file_order(&ints).unwrap())
+        );
     }
 
     #[test]

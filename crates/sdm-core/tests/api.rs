@@ -1,10 +1,20 @@
 //! API-contract tests for the SDM surface: call-order errors, size
 //! mismatches, metadata registration, and multi-group behaviour.
+//!
+//! The first half deliberately exercises the deprecated paper-shaped
+//! veneer (`set_attributes` / `data_view` / `write` / `read`) so the
+//! compat layer over the typed session API stays contract-true; the
+//! second half covers the session API itself (builder validation, typed
+//! handle resolution, scopes, `attach` verification).
+#![allow(deprecated)]
 
 use std::sync::Arc;
 
 use sdm_core::dataset::{make_datalist, DatasetDesc, ImportDesc};
-use sdm_core::{CachedStore, OrgLevel, Sdm, SdmConfig, SdmError, SdmType, SharedStore};
+use sdm_core::{
+    AccessPattern, CachedStore, OrgLevel, Sdm, SdmConfig, SdmError, SdmType, SharedStore,
+    StorageOrder,
+};
 use sdm_metadb::{Database, Value};
 use sdm_mpi::World;
 use sdm_pfs::Pfs;
@@ -213,6 +223,239 @@ fn two_groups_are_independent() {
         }
     });
     assert!(pfs.exists("two.g0.dat") && pfs.exists("two.g1.dat"));
+}
+
+// ---------------------------------------------------------------------
+// Typed session API
+// ---------------------------------------------------------------------
+
+#[test]
+fn builder_registers_attributes_and_resolves_typed_handles() {
+    let (pfs, db, store) = setup();
+    World::run(2, MachineConfig::test_tiny(), {
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
+        move |c| {
+            let mut s = Sdm::initialize(c, &pfs, &store, "typed").unwrap();
+            let g = s
+                .group(c)
+                .dataset::<f64>("p", 64)
+                .access(AccessPattern::Irregular)
+                .dataset::<i32>("flags", 64)
+                .order(StorageOrder::RowMajor)
+                .build()
+                .unwrap();
+            assert_eq!(g.len(), 2);
+            assert_eq!(g.names().collect::<Vec<_>>(), vec!["p", "flags"]);
+            let hp = g.handle::<f64>("p").unwrap();
+            let hf = g.handle::<i32>("flags").unwrap();
+            // A handle of the wrong element type is rejected at
+            // resolution, not at write time.
+            assert!(matches!(
+                g.handle::<i32>("p"),
+                Err(SdmError::TypeMismatch { .. })
+            ));
+            assert!(matches!(
+                g.handle::<f64>("nope"),
+                Err(SdmError::NoSuchDataset(_))
+            ));
+            // Same checks through the late-resolution path on Sdm.
+            let hp2 = s.resolve_typed::<f64>(g.group(), "p").unwrap();
+            assert_eq!(hp.slot(), hp2.slot());
+            assert!(matches!(
+                s.resolve_typed::<i64>(g.group(), "p"),
+                Err(SdmError::TypeMismatch { .. })
+            ));
+
+            let mine: Vec<u64> = (c.rank() as u64..64).step_by(c.size()).collect();
+            s.set_view(c, hp, &mine).unwrap();
+            s.set_view(c, hf, &mine).unwrap();
+            let p: Vec<f64> = mine.iter().map(|&g| g as f64).collect();
+            let flags: Vec<i32> = mine.iter().map(|&g| g as i32 % 7).collect();
+            let mut step = s.timestep(c, 0);
+            step.write(hp, &p).unwrap();
+            step.write(hf, &flags).unwrap();
+            assert_eq!(step.staged_len(), 2);
+            step.commit().unwrap();
+            let mut back_p = vec![0.0f64; mine.len()];
+            let mut back_f = vec![0i32; mine.len()];
+            s.read_handle(c, hp, 0, &mut back_p).unwrap();
+            s.read_handle(c, hf, 0, &mut back_f).unwrap();
+            assert_eq!(back_p, p);
+            assert_eq!(back_f, flags);
+            s.finalize(c).unwrap();
+        }
+    });
+    // The builder registered the run row and one access-pattern row per
+    // dataset, exactly like the legacy surface.
+    let rs = db
+        .exec(
+            "SELECT dataset, data_type FROM access_pattern_table ORDER BY dataset",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.rows[0][0].as_str(), Some("flags"));
+    assert_eq!(rs.rows[0][1].as_str(), Some("INTEGER"));
+    assert_eq!(rs.rows[1][1].as_str(), Some("DOUBLE"));
+}
+
+#[test]
+fn builder_rejects_empty_and_duplicate_groups() {
+    let (pfs, _db, store) = setup();
+    World::run(1, MachineConfig::test_tiny(), {
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
+        move |c| {
+            let mut s = Sdm::initialize(c, &pfs, &store, "bad").unwrap();
+            assert!(matches!(s.group(c).build(), Err(SdmError::Usage(_))));
+            assert!(matches!(
+                s.group(c)
+                    .dataset::<f64>("p", 4)
+                    .dataset::<f64>("p", 4)
+                    .build(),
+                Err(SdmError::Usage(_))
+            ));
+            // Fluent modifiers before any dataset() are misuse, not a
+            // silent no-op.
+            assert!(matches!(
+                s.group(c)
+                    .access(AccessPattern::Regular)
+                    .dataset::<f64>("p", 4)
+                    .build(),
+                Err(SdmError::Usage(_))
+            ));
+        }
+    });
+}
+
+#[test]
+fn scope_write_without_view_is_error_and_empty_scope_is_free() {
+    let (pfs, db, store) = setup();
+    World::run(1, MachineConfig::test_tiny(), {
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
+        move |c| {
+            let mut s = Sdm::initialize(c, &pfs, &store, "scope").unwrap();
+            let g = s.group(c).dataset::<f64>("p", 8).build().unwrap();
+            let hp = g.handle::<f64>("p").unwrap();
+            {
+                let mut step = s.timestep(c, 0);
+                // Staging checks the view immediately; the failure
+                // poisons the scope, so committing it is refused.
+                assert!(matches!(step.write(hp, &[1.0]), Err(SdmError::NoView(_))));
+                assert!(matches!(step.commit(), Err(SdmError::Usage(_))));
+            }
+            // Wrong buffer length surfaces at staging too.
+            s.set_view(c, hp, &[0, 1]).unwrap();
+            {
+                let mut step = s.timestep(c, 0);
+                assert!(matches!(step.write(hp, &[1.0]), Err(SdmError::Usage(_))));
+                assert!(matches!(step.commit(), Err(SdmError::Usage(_))));
+            }
+            // An empty, healthy scope commits as a no-op.
+            s.timestep(c, 0).commit().unwrap();
+            s.finalize(c).unwrap();
+        }
+    });
+    let rs = db
+        .exec("SELECT COUNT(*) FROM execution_table", &[])
+        .unwrap();
+    assert_eq!(rs.scalar().and_then(Value::as_i64), Some(0));
+}
+
+#[test]
+fn poisoned_scope_abandons_staged_writes_on_drop() {
+    let (pfs, db, store) = setup();
+    World::run(1, MachineConfig::test_tiny(), {
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
+        move |c| {
+            let mut s = Sdm::initialize(c, &pfs, &store, "poison").unwrap();
+            let g = s
+                .group(c)
+                .dataset::<f64>("good", 4)
+                .dataset::<f64>("bad", 4)
+                .build()
+                .unwrap();
+            let hg = g.handle::<f64>("good").unwrap();
+            let hb = g.handle::<f64>("bad").unwrap();
+            s.set_view(c, hg, &[0, 1, 2, 3]).unwrap();
+            // No view for "bad": staging it fails after "good" staged.
+            {
+                let mut step = s.timestep(c, 0);
+                step.write(hg, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+                assert!(step.write(hb, &[9.0; 4]).is_err());
+                // Dropped poisoned: the half-staged step must NOT land.
+            }
+            // Explicit abandon discards staged writes too.
+            {
+                let mut step = s.timestep(c, 1);
+                step.write(hg, &[5.0; 4]).unwrap();
+                step.abandon();
+            }
+            s.finalize(c).unwrap();
+        }
+    });
+    let rs = db
+        .exec("SELECT COUNT(*) FROM execution_table", &[])
+        .unwrap();
+    assert_eq!(
+        rs.scalar().and_then(Value::as_i64),
+        Some(0),
+        "neither the poisoned nor the abandoned step may record rows"
+    );
+    assert!(
+        pfs.list().is_empty(),
+        "no data files from abandoned steps: {:?}",
+        pfs.list()
+    );
+}
+
+#[test]
+fn scope_closes_on_drop() {
+    let (pfs, _db, store) = setup();
+    World::run(2, MachineConfig::test_tiny(), {
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
+        move |c| {
+            let mut s = Sdm::initialize(c, &pfs, &store, "raii").unwrap();
+            let g = s.group(c).dataset::<f64>("p", 16).build().unwrap();
+            let hp = g.handle::<f64>("p").unwrap();
+            let mine: Vec<u64> = (c.rank() as u64..16).step_by(c.size()).collect();
+            s.set_view(c, hp, &mine).unwrap();
+            let p: Vec<f64> = mine.iter().map(|&g| g as f64 + 0.5).collect();
+            {
+                let mut step = s.timestep(c, 3);
+                step.write(hp, &p).unwrap();
+                // No commit: the drop flushes collectively.
+            }
+            let mut back = vec![0.0f64; mine.len()];
+            s.read_handle(c, hp, 3, &mut back).unwrap();
+            assert_eq!(back, p);
+            s.finalize(c).unwrap();
+        }
+    });
+}
+
+#[test]
+fn attach_to_unknown_run_is_error() {
+    let (pfs, _db, store) = setup();
+    World::run(2, MachineConfig::test_tiny(), {
+        let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
+        move |c| {
+            // Nothing recorded yet: attaching to runid 7 must fail on
+            // every rank.
+            match Sdm::attach(c, &pfs, &store, "ghost", 7, SdmConfig::default()) {
+                Err(SdmError::NoSuchRun(7)) => {}
+                Err(e) => panic!("wrong error: {e}"),
+                Ok(_) => panic!("attach to an unknown run must fail"),
+            }
+            // A recorded run attaches fine.
+            let mut s = Sdm::initialize(c, &pfs, &store, "real").unwrap();
+            s.record_run(c, 10).unwrap();
+            let id = s.runid();
+            s.finalize(c).unwrap();
+            let s2 = Sdm::attach(c, &pfs, &store, "real", id, SdmConfig::default()).unwrap();
+            assert_eq!(s2.runid(), id);
+            s2.finalize(c).unwrap();
+        }
+    });
 }
 
 #[test]

@@ -236,6 +236,8 @@ impl Database {
                 }
                 *tx = None;
                 self.tx_freed.notify_all();
+                drop(tx);
+                self.stats.lock().transactions += 1;
                 Ok(ResultSet::default())
             }
             Statement::Rollback => {

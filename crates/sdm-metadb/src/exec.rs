@@ -42,6 +42,10 @@ pub struct DbStats {
     pub rows_scanned: u64,
     /// Rows returned by SELECTs after filtering/aggregation/limit.
     pub rows_returned: u64,
+    /// Successfully committed `BEGIN`…`COMMIT` transactions. Batching
+    /// layers (`CachedStore`) assert on this: a scoped timestep must
+    /// land all its execution inserts in exactly one transaction.
+    pub transactions: u64,
 }
 
 /// Column-name resolution context for expression evaluation.

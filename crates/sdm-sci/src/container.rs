@@ -5,15 +5,16 @@
 //! dimensions, datasets defined over dimension lists, and typed
 //! attributes on groups and datasets. Three extra metadata tables sit
 //! beside SDM's six; the dataset bytes themselves move through
-//! [`Sdm::write`] / [`Sdm::read`], so every container write is a
-//! collective noncontiguous MPI-IO operation under the configured
-//! Level 1/2/3 file organization.
+//! [`Sdm::write_slot`] / [`Sdm::read_slot`] over slots resolved once at
+//! dataset creation, so every container write is a collective
+//! noncontiguous MPI-IO operation under the configured Level 1/2/3 file
+//! organization with no name resolution on the data path.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use sdm_core::dataset::DatasetDesc;
-use sdm_core::{GroupHandle, Sdm, SdmConfig, SdmError, SdmType, SharedStore};
+use sdm_core::{DatasetSlot, Sdm, SdmConfig, SdmError, SdmType, SharedStore};
 use sdm_metadb::{DbError, Value};
 use sdm_mpi::pod::Pod;
 use sdm_mpi::Comm;
@@ -73,7 +74,9 @@ pub struct DatasetInfo {
 }
 
 struct DsEntry {
-    handle: GroupHandle,
+    /// Resolved once at creation/reopen: container reads and writes
+    /// never re-resolve the dataset by name inside SDM.
+    slot: DatasetSlot,
     info: DatasetInfo,
 }
 
@@ -218,13 +221,14 @@ impl SciFile {
                 Some(s) => s.split(',').map(str::to_string).collect(),
             };
             let global_size = r[4].as_i64().unwrap_or(0) as u64;
-            let handle = sdm.attach_group(
-                comm,
-                vec![DatasetDesc {
+            let reg = sdm
+                .group(comm)
+                .dataset_desc(DatasetDesc {
                     data_type: dtype,
                     ..DatasetDesc::doubles(path.clone(), global_size)
-                }],
-            )?;
+                })
+                .attach()?;
+            let slot = reg.slot(&path)?;
             let info = DatasetInfo {
                 path: path.clone(),
                 dtype,
@@ -232,7 +236,7 @@ impl SciFile {
                 global_size,
             };
             order.push(path.clone());
-            datasets.insert(path, DsEntry { handle, info });
+            datasets.insert(path, DsEntry { slot, info });
         }
         Ok(Self {
             sdm,
@@ -342,13 +346,14 @@ impl SciFile {
             data_type: dtype,
             ..DatasetDesc::doubles(path, global_size)
         };
-        let handle = self.sdm.set_attributes(comm, vec![desc])?;
+        let reg = self.sdm.group(comm).dataset_desc(desc).build()?;
+        let slot = reg.slot(path)?;
         if comm.rank() == 0 {
             self.sdm.store().exec(
                 "INSERT INTO sci_dataset_table VALUES (?, ?, ?, ?, ?, ?)",
                 &[
                     Value::Int(self.sdm.runid()),
-                    Value::Int(handle.index() as i64),
+                    Value::Int(reg.group().index() as i64),
                     Value::from(path),
                     Value::from(dtype.sql_name()),
                     Value::from(dims.join(",")),
@@ -365,21 +370,22 @@ impl SciFile {
         };
         self.order.push(path.to_string());
         self.datasets
-            .insert(path.to_string(), DsEntry { handle, info });
+            .insert(path.to_string(), DsEntry { slot, info });
         Ok(())
     }
 
     /// Install this rank's map array (local element → global element)
     /// for a dataset, exactly `SDM_data_view`. Collective.
     pub fn set_view(&mut self, comm: &mut Comm, path: &str, map: &[u64]) -> SciResult<()> {
-        let e = self.entry(path)?;
-        let h = e.handle;
-        self.sdm.data_view(comm, h, path, map)?;
+        let s = self.entry(path)?.slot;
+        self.sdm.set_view(comm, s, map)?;
         Ok(())
     }
 
     /// Collectively write a dataset at a record index (SDM timestep)
-    /// through the installed view.
+    /// through the installed view. The dataset is addressed by its
+    /// resolved slot — the container's element types are only known at
+    /// run time, so the element size is checked per call.
     pub fn write<T: Pod>(
         &mut self,
         comm: &mut Comm,
@@ -387,8 +393,8 @@ impl SciFile {
         record: i64,
         buf: &[T],
     ) -> SciResult<()> {
-        let h = self.entry(path)?.handle;
-        self.sdm.write(comm, h, path, record, buf)?;
+        let s = self.entry(path)?.slot;
+        self.sdm.write_slot(comm, s, record, buf)?;
         Ok(())
     }
 
@@ -400,8 +406,8 @@ impl SciFile {
         record: i64,
         out: &mut [T],
     ) -> SciResult<()> {
-        let h = self.entry(path)?.handle;
-        self.sdm.read(comm, h, path, record, out)?;
+        let s = self.entry(path)?.slot;
+        self.sdm.read_slot(comm, s, record, out)?;
         Ok(())
     }
 

@@ -7,7 +7,9 @@
 //! *unlimited* (the record dimension); a variable whose first dimension
 //! is the record dimension grows one record per `put_record`, and each
 //! record maps onto one SDM timestep underneath — which is exactly the
-//! "SDM as a strategy for implementing netCDF" experiment.
+//! "SDM as a strategy for implementing netCDF" experiment. Underneath,
+//! every variable is addressed by a dataset slot the container resolved
+//! once at definition time, so record I/O never re-resolves names.
 
 use std::collections::HashMap;
 use std::sync::Arc;

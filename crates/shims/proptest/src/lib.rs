@@ -289,7 +289,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specifications accepted by [`vec`] / [`btree_set`]: a
+    /// Length specifications accepted by [`vec()`] / [`btree_set`]: a
     /// `Range<usize>` or an exact `usize`.
     pub trait IntoSizeRange {
         /// The half-open length range.
@@ -316,7 +316,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: std::ops::Range<usize>,

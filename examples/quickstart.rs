@@ -1,15 +1,26 @@
-//! Quickstart: the smallest complete SDM program.
+//! Quickstart: the smallest complete SDM program, in the typed session
+//! style.
 //!
 //! Four simulated ranks write an irregularly partitioned dataset through
-//! SDM and read it back — the Figure 2 flow (`initialize`,
-//! `set_attributes`, `data_view`, `write`, `read`, `finalize`).
+//! SDM and read it back. The flow is the paper's Figure 2 — initialize,
+//! register a data group, install views, write a timestep, read it back,
+//! finalize — but expressed through the typed session API:
+//!
+//! * `sdm.group(comm)` starts a **group builder**; `build()` registers
+//!   every dataset in one collective and hands back typed
+//!   `DatasetHandle<f64>`s, so writes and reads are checked against the
+//!   dataset's element type at compile time and never look a name up
+//!   again.
+//! * `sdm.timestep(comm, t)` opens a **timestep scope**; all datasets
+//!   written inside it land as one collective I/O burst with exactly one
+//!   metadata round-trip for the whole step (the paper's `SDM_write`
+//!   paid one per dataset).
 //!
 //! Run: `cargo run --example quickstart`
 
 use std::sync::Arc;
 
-use sdm::core::dataset::make_datalist;
-use sdm::core::{Sdm, SdmType};
+use sdm::core::Sdm;
 use sdm::metadb::Database;
 use sdm::mpi::World;
 use sdm::pfs::Pfs;
@@ -29,28 +40,40 @@ fn main() {
             // SDM_initialize: connect the metadata database.
             let mut sdm = Sdm::initialize(comm, &pfs, &store, "quickstart").unwrap();
 
-            // SDM_make_datalist + SDM_set_attributes: one group, two
-            // datasets sharing type and global size (like p and q).
-            let ds = make_datalist(&["p", "q"], SdmType::Double, global_size);
-            let h = sdm.set_attributes(comm, ds).unwrap();
+            // One group, two datasets sharing type and global size
+            // (like the paper's p and q), registered in one collective.
+            // The handles are typed: a `DatasetHandle<f64>` only writes
+            // and reads `&[f64]`.
+            let g = sdm
+                .group(comm)
+                .dataset::<f64>("p", global_size)
+                .dataset::<f64>("q", global_size)
+                .build()
+                .unwrap();
+            let hp = g.handle::<f64>("p").unwrap();
+            let hq = g.handle::<f64>("q").unwrap();
 
-            // SDM_data_view: this rank owns every nprocs-th element —
-            // a deliberately irregular (interleaved) map array.
+            // Views: this rank owns every nprocs-th element — a
+            // deliberately irregular (interleaved) map array.
             let mine: Vec<u64> = (comm.rank() as u64..global_size)
                 .step_by(comm.size())
                 .collect();
-            sdm.data_view(comm, h, "p", &mine).unwrap();
-            sdm.data_view(comm, h, "q", &mine).unwrap();
+            sdm.set_view(comm, hp, &mine).unwrap();
+            sdm.set_view(comm, hq, &mine).unwrap();
 
-            // Compute something per element and checkpoint it.
+            // Compute something per element and checkpoint both
+            // datasets in one timestep scope: one collective burst, one
+            // metadata sync for the whole step.
             let p: Vec<f64> = mine.iter().map(|&g| g as f64 * 1.5).collect();
             let q: Vec<f64> = mine.iter().map(|&g| -(g as f64)).collect();
-            sdm.write(comm, h, "p", 0, &p).unwrap();
-            sdm.write(comm, h, "q", 0, &q).unwrap();
+            let mut step = sdm.timestep(comm, 0);
+            step.write(hp, &p).unwrap();
+            step.write(hq, &q).unwrap();
+            step.commit().unwrap();
 
             // Read back through the same view and verify.
             let mut back = vec![0.0f64; mine.len()];
-            sdm.read(comm, h, "p", 0, &mut back).unwrap();
+            sdm.read_handle(comm, hp, 0, &mut back).unwrap();
             assert_eq!(back, p, "rank {}: read-back must match", comm.rank());
 
             let t = comm.now();

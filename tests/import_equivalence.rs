@@ -26,14 +26,11 @@ fn sdm_partitions(w: &Fun3dWorkload, nprocs: usize) -> Vec<sdm::core::Partitione
             let mut sdm =
                 Sdm::initialize_with(c, &pfs, &store, "eq", SdmConfig::default()).unwrap();
             let h = sdm
-                .set_attributes(
-                    c,
-                    vec![sdm::core::DatasetDesc::doubles(
-                        "d",
-                        w.mesh.num_nodes() as u64,
-                    )],
-                )
-                .unwrap();
+                .group(c)
+                .dataset::<f64>("d", w.mesh.num_nodes() as u64)
+                .build()
+                .unwrap()
+                .group();
             sdm.make_importlist(
                 c,
                 h,
@@ -90,14 +87,11 @@ fn imported_edge_data_matches_layout_values() {
             let mut sdm =
                 Sdm::initialize_with(c, &pfs, &store, "eq2", SdmConfig::default()).unwrap();
             let h = sdm
-                .set_attributes(
-                    c,
-                    vec![sdm::core::DatasetDesc::doubles(
-                        "d",
-                        w.mesh.num_nodes() as u64,
-                    )],
-                )
-                .unwrap();
+                .group(c)
+                .dataset::<f64>("d", w.mesh.num_nodes() as u64)
+                .build()
+                .unwrap()
+                .group();
             let mut imports = vec![
                 sdm::core::ImportDesc::index("edge1", &w.mesh_file),
                 sdm::core::ImportDesc::index("edge2", &w.mesh_file),
@@ -173,7 +167,7 @@ proptest! {
             let (pfs, store, w, pv) = (Arc::clone(&pfs), Arc::clone(&store), w.clone(), pv.clone());
             move |c| {
                 let mut sdm = Sdm::initialize_with(c, &pfs, &store, "pp", SdmConfig::default()).unwrap();
-                let h = sdm.set_attributes(c, vec![sdm::core::DatasetDesc::doubles("d", 1)]).unwrap();
+                let h = sdm.group(c).dataset::<f64>("d", 1).build().unwrap().group();
                 sdm.make_importlist(c, h, vec![
                     sdm::core::ImportDesc::index("edge1", &w.mesh_file),
                     sdm::core::ImportDesc::index("edge2", &w.mesh_file),

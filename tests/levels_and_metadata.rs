@@ -6,8 +6,7 @@ use std::sync::Arc;
 
 use sdm::apps::rt::{node_value, run_sdm as rt_run, tri_value};
 use sdm::apps::RtWorkload;
-use sdm::core::dataset::make_datalist;
-use sdm::core::{OrgLevel, Sdm, SdmConfig, SdmType};
+use sdm::core::{OrgLevel, Sdm, SdmConfig};
 use sdm::metadb::{Database, Value};
 use sdm::mpi::World;
 use sdm::pfs::Pfs;
@@ -30,16 +29,23 @@ fn execution_table_offsets_are_authoritative() {
                 ..Default::default()
             };
             let mut sdm = Sdm::initialize_with(c, &pfs, &store, "mt", cfg).unwrap();
-            let ds = make_datalist(&["a", "b"], SdmType::Double, global);
-            let h = sdm.set_attributes(c, ds).unwrap();
+            let g = sdm
+                .group(c)
+                .dataset::<f64>("a", global)
+                .dataset::<f64>("b", global)
+                .build()
+                .unwrap();
+            let (ha, hb) = (g.handle::<f64>("a").unwrap(), g.handle::<f64>("b").unwrap());
             let mine: Vec<u64> = (c.rank() as u64..global).step_by(c.size()).collect();
-            sdm.data_view(c, h, "a", &mine).unwrap();
-            sdm.data_view(c, h, "b", &mine).unwrap();
+            sdm.set_view(c, ha, &mine).unwrap();
+            sdm.set_view(c, hb, &mine).unwrap();
             for t in 0..3i64 {
                 let va: Vec<f64> = mine.iter().map(|&g| g as f64 + t as f64 * 100.0).collect();
                 let vb: Vec<f64> = mine.iter().map(|&g| -(g as f64) - t as f64).collect();
-                sdm.write(c, h, "a", t, &va).unwrap();
-                sdm.write(c, h, "b", t, &vb).unwrap();
+                let mut step = sdm.timestep(c, t);
+                step.write(ha, &va).unwrap();
+                step.write(hb, &vb).unwrap();
+                step.commit().unwrap();
             }
             sdm.finalize(c).unwrap();
         }
