@@ -7,7 +7,8 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sdm_mesh::gen::tet_box;
 use sdm_mesh::CsrGraph;
-use sdm_metadb::{Database, Value};
+use sdm_metadb::stmt::{Insert, Query, Relation, TypedColumn};
+use sdm_metadb::{relation, Database, Value};
 use sdm_mpi::datatype::Datatype;
 use sdm_mpi::io::MpiFile;
 use sdm_mpi::World;
@@ -54,17 +55,39 @@ fn bench_partitioner(c: &mut Criterion) {
     g.finish();
 }
 
+relation! {
+    /// Three-column micro-bench relation.
+    pub struct WideRow in "t_wide" as WideCol {
+        /// Integer key.
+        pub a: i64 => A,
+        /// Text payload.
+        pub b: String => B,
+        /// Double payload.
+        pub c: f64 => C,
+    }
+}
+
+relation! {
+    /// Two-column micro-bench relation.
+    pub struct PairRow in "t_pair" as PairCol {
+        /// Integer key.
+        pub a: i64 => A,
+        /// Text payload.
+        pub b: String => B,
+    }
+}
+
 fn bench_metadb(c: &mut Criterion) {
     let mut g = c.benchmark_group("metadb");
     g.bench_function("insert", |b| {
         let db = Database::new();
-        db.exec("CREATE TABLE t (a INT, b TEXT, c DOUBLE)", &[])
-            .unwrap();
+        db.exec_stmt(&WideRow::TABLE.create_table(), &[]).unwrap();
+        let ins = Insert::<WideRow>::prepared();
         let mut i = 0i64;
         b.iter(|| {
             i += 1;
-            db.exec(
-                "INSERT INTO t VALUES (?, ?, ?)",
+            db.exec_stmt(
+                &ins,
                 &[Value::Int(i), Value::from("name"), Value::Double(1.5)],
             )
             .unwrap()
@@ -72,18 +95,16 @@ fn bench_metadb(c: &mut Criterion) {
     });
     g.bench_function("select_filtered", |b| {
         let db = Database::new();
-        db.exec("CREATE TABLE t (a INT, b TEXT)", &[]).unwrap();
+        db.exec_stmt(&PairRow::TABLE.create_table(), &[]).unwrap();
+        let ins = Insert::<PairRow>::prepared();
         for i in 0..1000 {
-            db.exec(
-                "INSERT INTO t VALUES (?, ?)",
-                &[Value::Int(i), Value::from("x")],
-            )
-            .unwrap();
+            db.exec_stmt(&ins, &[Value::Int(i), Value::from("x")])
+                .unwrap();
         }
-        b.iter(|| {
-            db.exec("SELECT a FROM t WHERE a >= 500 AND a < 510", &[])
-                .unwrap()
-        })
+        let q = Query::<PairRow>::filter(PairCol::A.ge(500i64).and(PairCol::A.lt(510i64)))
+            .select(&[PairCol::A])
+            .compile();
+        b.iter(|| db.exec_stmt(&q, &[]).unwrap())
     });
     g.finish();
 }

@@ -1,23 +1,44 @@
 //! Metadata-path micro-benchmark: ops/sec for the hot `MetadataStore`
-//! statements, cold (re-parsed every call, no indexes) vs prepared
-//! (statement cache + secondary indexes), plus the `next_runid`
-//! aggregate fast path and the typed session API's scoped write path.
-//! Emits `BENCH_metadb.json` for the perf trajectory and asserts the
-//! invariants the refactors exist for: repeated statements never
-//! re-parse, and a `TimestepScope` performs exactly **one** metadata
-//! sync and **one** store transaction per timestep regardless of how
-//! many datasets the step writes.
+//! statements, **stringly** (SQL text formatted + parsed per call, no
+//! indexes) vs **typed** (statements compiled once + secondary
+//! indexes), plus the `next_runid` aggregate fast path and the typed
+//! session API's scoped write path. Emits `BENCH_metadb.json` for the
+//! perf trajectory and asserts the invariants the refactors exist for:
+//! the warmed typed hot path performs zero re-parses, zero full scans,
+//! and **zero SQL-text formatting** (`typed_sql_strings_formatted`),
+//! and a `TimestepScope` performs exactly **one** metadata sync and
+//! **one** store transaction per timestep regardless of how many
+//! datasets the step writes.
 //!
 //! Run: `cargo run --release --bin bench_metadb [-- --rows 20000]`
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use sdm_core::schema::ExecutionRow;
 use sdm_core::{CachedStore, MetadataStore, Sdm, SdmConfig, SqlStore};
-use sdm_metadb::{Database, Value};
+use sdm_metadb::stmt::{param, Insert, Query, Relation, TypedColumn};
+use sdm_metadb::{relation, Database, Value};
 use sdm_mpi::World;
 use sdm_pfs::Pfs;
 use sdm_sim::MachineConfig;
+
+relation! {
+    /// Twin of `execution_table` with no secondary indexes: the
+    /// full-scan baseline the indexed lookup is measured against.
+    pub struct ExecutionNoIdxRow in "execution_noidx" as ExecutionNoIdxCol {
+        /// Owning run.
+        pub runid: i64 => Runid,
+        /// Dataset name.
+        pub dataset: String => Dataset,
+        /// Timestep index.
+        pub timestep: i64 => Timestep,
+        /// Byte offset within the file.
+        pub file_offset: i64 => FileOffset,
+        /// File the burst landed in.
+        pub file_name: String => FileName,
+    }
+}
 
 /// Time `iters` calls of `f`; returns ops/sec.
 fn ops_per_sec(iters: u64, mut f: impl FnMut(u64)) -> f64 {
@@ -52,35 +73,42 @@ fn main() {
 
     let mut sections = Vec::new();
 
-    // ---- INSERT: parse-per-call vs prepared-once ----
-    // Cold: a fresh single-use statement text each call defeats the
-    // plan cache, modeling an engine with no prepared statements.
+    // ---- INSERT: format+parse-per-call vs typed compiled-once ----
+    // Stringly: each call renders the statement to SQL text (distinct
+    // text per row, as a report generator interpolating values would)
+    // and hands the string to the engine — per-call formatting, lexing,
+    // and parsing, the shape the typed layer retired.
     let db = Database::new();
-    db.exec(
-        "CREATE TABLE execution_table (runid INT, dataset TEXT, timestep INT, file_offset INT, file_name TEXT)",
-        &[],
-    )
-    .unwrap();
-    let cold_insert = ops_per_sec(rows, |i| {
-        db.exec(
-            &format!("INSERT INTO execution_table VALUES (1, 'p', {i}, ?, 'f.dat')"),
-            &[Value::Int(i as i64 * 512)],
-        )
+    db.exec_stmt(&ExecutionRow::TABLE.create_table(), &[])
         .unwrap();
+    let cold_insert = ops_per_sec(rows, |i| {
+        let sql = Insert::<ExecutionRow>::row(ExecutionRow {
+            runid: 1,
+            dataset: "p".into(),
+            timestep: i as i64,
+            file_offset: i as i64 * 512,
+            file_name: "f.dat".into(),
+        })
+        .to_sql();
+        db.exec(&sql, &[]).unwrap();
     });
 
     let db = Database::new();
-    db.exec(
-        "CREATE TABLE execution_table (runid INT, dataset TEXT, timestep INT, file_offset INT, file_name TEXT)",
-        &[],
-    )
-    .unwrap();
-    let ins = db
-        .prepare("INSERT INTO execution_table VALUES (1, 'p', ?, ?, 'f.dat')")
+    db.exec_stmt(&ExecutionRow::TABLE.create_table(), &[])
         .unwrap();
+    let ins = Insert::<ExecutionRow>::prepared();
     let prep_insert = ops_per_sec(rows, |i| {
-        ins.execute(&db, &[Value::Int(i as i64), Value::Int(i as i64 * 512)])
-            .unwrap();
+        db.exec_stmt(
+            &ins,
+            &[
+                Value::Int(1),
+                Value::from("p"),
+                Value::Int(i as i64),
+                Value::Int(i as i64 * 512),
+                Value::from("f.dat"),
+            ],
+        )
+        .unwrap();
     });
     sections.push(Section {
         name: "insert",
@@ -97,30 +125,42 @@ fn main() {
             .unwrap();
     }
 
-    // Cold: the same query over an unindexed copy of the same table
+    // Cold: the same query over an unindexed twin of the same table
     // (identical row count and predicate), so the ratio isolates the
     // index probe. Fewer iterations keep the full scans affordable;
     // ops/sec normalizes.
     let db = store.database();
-    db.exec(
-        "CREATE TABLE execution_noidx (runid INT, dataset TEXT, timestep INT, file_offset INT, file_name TEXT)",
-        &[],
-    )
-    .unwrap();
+    db.exec_stmt(&ExecutionNoIdxRow::TABLE.create_table(), &[])
+        .unwrap();
+    let ins_noidx = Insert::<ExecutionNoIdxRow>::prepared();
     for ts in 0..rows as i64 {
-        db.exec(
-            "INSERT INTO execution_noidx VALUES (?, 'p', ?, ?, 'f.dat')",
-            &[Value::Int(ts % 64), Value::Int(ts), Value::Int(ts * 512)],
+        db.exec_stmt(
+            &ins_noidx,
+            &ExecutionNoIdxRow {
+                runid: ts % 64,
+                dataset: "p".into(),
+                timestep: ts,
+                file_offset: ts * 512,
+                file_name: "f.dat".into(),
+            }
+            .into_row(),
         )
         .unwrap();
     }
     let lookups = 2_000u64;
     let cold_lookups = 200u64;
+    let noidx_lookup = Query::<ExecutionNoIdxRow>::filter(
+        ExecutionNoIdxCol::Runid
+            .eq(param(0))
+            .and(ExecutionNoIdxCol::Dataset.eq(param(1)))
+            .and(ExecutionNoIdxCol::Timestep.eq(param(2))),
+    )
+    .select(&[ExecutionNoIdxCol::FileOffset, ExecutionNoIdxCol::FileName])
+    .compile();
     let cold_lookup = ops_per_sec(cold_lookups, |i| {
         let rs = db
-            .exec(
-                "SELECT file_offset, file_name FROM execution_noidx
-                 WHERE runid = ? AND dataset = ? AND timestep = ?",
+            .exec_stmt(
+                &noidx_lookup,
                 &[
                     Value::Int(i as i64 % 64),
                     Value::from("p"),
@@ -131,8 +171,9 @@ fn main() {
         assert!(!rs.is_empty());
     });
 
-    // Warm the statement cache with one lookup, then measure: the hot
-    // path must show zero re-parses from here on.
+    // Warm the typed plans with one lookup, then measure: from here on
+    // the hot path must never re-parse — and never even *touch* SQL
+    // text.
     store.lookup_execution(0, "p", 0).unwrap();
     db.reset_stats();
     let prep_lookup = ops_per_sec(lookups, |i| {
@@ -229,12 +270,17 @@ fn main() {
         "the legacy path pays one sync per dataset"
     );
 
-    // The refactor's core invariant: after warmup, the hot path never
-    // re-parses and never falls back to a full scan.
-    assert_eq!(stats.parse_misses, 0, "prepared path re-parsed: {stats:?}");
+    // The refactor's core invariant: after warmup, the typed hot path
+    // never re-parses, never falls back to a full scan — and formats
+    // zero SQL text (no string ever reaches the engine).
+    assert_eq!(stats.parse_misses, 0, "typed path re-parsed: {stats:?}");
+    assert_eq!(
+        stats.sql_texts, 0,
+        "typed path formatted/handled SQL text: {stats:?}"
+    );
     assert_eq!(
         stats.full_scans, 0,
-        "prepared path fell back to full scans: {stats:?}"
+        "typed path fell back to full scans: {stats:?}"
     );
     assert_eq!(
         stats.index_scans, lookups,
@@ -244,7 +290,7 @@ fn main() {
     println!("# bench_metadb: rows={rows} lookups={lookups}");
     for s in &sections {
         println!(
-            "{:<16} cold={:>12.0} ops/s   prepared+indexed={:>12.0} ops/s   speedup={:>6.1}x",
+            "{:<16} stringly={:>12.0} ops/s   typed+indexed={:>12.0} ops/s   speedup={:>6.1}x",
             s.name,
             s.cold,
             s.prepared,
@@ -271,8 +317,8 @@ fn main() {
         scoped_txs / scope_steps as u64
     ));
     json.push_str(&format!(
-        "  \"parse_misses_hot_path\": {},\n  \"full_scans_hot_path\": {}\n}}\n",
-        stats.parse_misses, stats.full_scans
+        "  \"parse_misses_hot_path\": {},\n  \"full_scans_hot_path\": {},\n  \"typed_sql_strings_formatted\": {}\n}}\n",
+        stats.parse_misses, stats.full_scans, stats.sql_texts
     ));
     std::fs::write("BENCH_metadb.json", json).expect("write BENCH_metadb.json");
     println!("wrote BENCH_metadb.json");

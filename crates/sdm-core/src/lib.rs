@@ -25,10 +25,14 @@
 //!   reused by later runs with the same problem size and process count.
 //! * [`org`] — the three file organizations (Level 1 / 2 / 3) and the
 //!   `execution_table` offset bookkeeping.
-//! * [`store`] — the [`store::MetadataStore`] trait over the six SQL
-//!   tables of Figure 4: [`store::SqlStore`] (prepared statements +
-//!   secondary indexes) and [`store::CachedStore`] (rank-0 write-through
-//!   cache with per-timestep transaction batching).
+//! * [`schema`] — the six Figure-4 tables as typed relations
+//!   (`RunRow`, `ExecutionRow`, …): static descriptors that DDL,
+//!   indexes, and every query are generated from.
+//! * [`store`] — the [`store::MetadataStore`] trait over those
+//!   relations: [`store::SqlStore`] (typed statements compiled once —
+//!   the warmed hot path formats zero SQL text) and
+//!   [`store::CachedStore`] (rank-0 write-through cache, keyed by
+//!   relation, with per-timestep transaction batching).
 
 pub mod dataset;
 pub mod error;
@@ -37,6 +41,7 @@ pub mod import;
 pub mod memory;
 pub mod org;
 pub mod partition_api;
+pub mod schema;
 pub mod sdm;
 pub mod session;
 pub mod store;
@@ -49,5 +54,7 @@ pub use org::OrgLevel;
 pub use partition_api::PartitionedIndex;
 pub use sdm::{GroupHandle, Sdm, SdmConfig};
 pub use session::{DatasetHandle, DatasetSlot, GroupBuilder, GroupRegistration, TimestepScope};
-pub use store::{CachedStore, HistoryBlock, MetadataStore, RunRecord, SharedStore, SqlStore};
+pub use store::{
+    ensure_table, CachedStore, HistoryBlock, MetadataStore, RunRecord, SharedStore, SqlStore,
+};
 pub use types::{AccessPattern, SdmElem, SdmType, StorageOrder};

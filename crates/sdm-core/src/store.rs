@@ -6,56 +6,51 @@
 //! history — through a MySQL server, making the metadata path the
 //! system's control plane. This module is the seam that path plugs into:
 //!
-//! * [`SqlStore`] speaks embedded SQL to [`sdm_metadb::Database`]
-//!   through prepared statements (parse once, execute many) over the
-//!   six tables of the paper's Figure 4, with secondary indexes declared
-//!   on the hot lookup columns (`runid`, `application`, `problem_size`).
+//! * [`SqlStore`] executes **typed statements**
+//!   ([`sdm_metadb::stmt::Stmt`]) against [`sdm_metadb::Database`]:
+//!   every hot operation compiles once into an executable plan over the
+//!   six [`crate::schema`] relations of the paper's Figure 4 (DDL and
+//!   secondary indexes generated from their descriptors), so the warmed
+//!   metadata path formats, hashes, and parses **zero SQL text**.
 //! * [`CachedStore`] layers a rank-0 write-through cache on any inner
-//!   store: repeated per-timestep `execution_table` inserts batch into
-//!   one transaction per timestep, and hot lookups (execution rows,
-//!   index registrations, history blocks) are answered from memory.
+//!   store, keyed by `(relation, key)`: repeated per-timestep
+//!   `execution_table` inserts batch into one transaction per timestep,
+//!   and hot lookups (execution rows, index registrations, history
+//!   blocks) are answered from memory.
 //!
 //! Future backends (sharded, remote, persistent) implement the same
 //! trait; `Sdm`, the container layers, and the application harnesses
-//! never name a concrete store.
+//! never name a concrete store — and because statements arrive as typed
+//! values naming their relation, a `ShardedStore` is a pure routing
+//! function over them.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use sdm_metadb::stmt::{param, Delete, Insert, Query, Relation, Stmt, TableDesc, TypedColumn};
 use sdm_metadb::{Database, DbError, DbResult, ResultSet, TxTicket, Value};
 
-/// DDL for the six SDM tables (Figure 4).
-pub const TABLE_DDL: [&str; 6] = [
-    "CREATE TABLE IF NOT EXISTS run_table (
-        runid INT, application TEXT, dimension INT, problem_size INT,
-        num_timesteps INT, year INT, month INT, day INT, hour INT, min INT)",
-    "CREATE TABLE IF NOT EXISTS access_pattern_table (
-        runid INT, dataset TEXT, basic_pattern TEXT, data_type TEXT,
-        storage_order TEXT, access_pattern TEXT, global_size INT)",
-    "CREATE TABLE IF NOT EXISTS execution_table (
-        runid INT, dataset TEXT, timestep INT, file_offset INT, file_name TEXT)",
-    "CREATE TABLE IF NOT EXISTS import_table (
-        runid INT, imported_name TEXT, file_name TEXT, data_type TEXT,
-        storage_order TEXT, partition TEXT, file_content TEXT)",
-    "CREATE TABLE IF NOT EXISTS index_table (
-        problem_size INT, num_procs INT, dimension INT, registered_file_name TEXT)",
-    "CREATE TABLE IF NOT EXISTS index_history_table (
-        problem_size INT, num_procs INT, rank INT, edge_count INT,
-        node_count INT, ghost_count INT, file_offset INT, byte_len INT)",
-];
+use crate::schema::{
+    AccessPatternRow, ExecutionCol, ExecutionRow, ImportRow, IndexCol, IndexHistoryCol,
+    IndexHistoryRow, IndexRow, RunCol, RunRow, FIGURE4_TABLES,
+};
 
-/// Secondary indexes on the columns every hot lookup filters by.
-/// `(index name, CREATE INDEX statement)`; creation ignores
-/// already-exists errors so schema setup stays idempotent.
-const INDEX_DDL: [&str; 6] = [
-    "CREATE INDEX run_table_runid ON run_table (runid)",
-    "CREATE INDEX run_table_application ON run_table (application)",
-    "CREATE INDEX access_pattern_runid ON access_pattern_table (runid)",
-    "CREATE INDEX execution_runid ON execution_table (runid)",
-    "CREATE INDEX import_runid ON import_table (runid)",
-    "CREATE INDEX index_table_psize ON index_table (problem_size)",
-];
+/// Create a relation's table and secondary indexes through a store,
+/// entirely from its descriptor (no DDL strings). Idempotent: the table
+/// is `IF NOT EXISTS` and already-present indexes are ignored. Layered
+/// schemas (the `sdm-sci` container tables) call this with their own
+/// descriptors so their DDL rides the same machinery.
+pub fn ensure_table(store: &dyn MetadataStore, desc: &TableDesc) -> DbResult<()> {
+    store.run(&desc.create_table(), &[])?;
+    for ix in desc.create_indexes() {
+        match store.run(&ix, &[]) {
+            Ok(_) | Err(DbError::IndexExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
 
 /// One `run_table` row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -203,12 +198,25 @@ pub trait MetadataStore: Send + Sync {
     /// Remove a registered history (e.g. after detecting corruption).
     fn delete_index_registry(&self, problem_size: i64, num_procs: i64) -> DbResult<()>;
 
-    /// Run arbitrary SQL through the store (prepared-statement cached).
-    /// Layered metadata schemas — the `sdm-sci` container tables, bench
-    /// report queries — use this instead of holding a raw database
-    /// handle, so their statements share the same caching/batching
-    /// machinery and future backends can intercept them.
-    fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet>;
+    /// Run a typed statement through the store. Layered metadata
+    /// schemas — the `sdm-sci` container tables, bench report queries —
+    /// use this instead of holding a raw database handle, so their
+    /// statements share the same caching/batching machinery, and future
+    /// backends can route them by [`Stmt::table`] instead of parsing
+    /// SQL text.
+    fn run(&self, stmt: &Stmt, params: &[Value]) -> DbResult<ResultSet>;
+
+    /// Run arbitrary SQL text through the store: a veneer that parses
+    /// the text into a typed [`Stmt`] per call (through the database's
+    /// plan cache, so the text traffic shows up in `DbStats::sql_texts`
+    /// and `parse_hits`/`parse_misses`) and hands it to
+    /// [`MetadataStore::run`].
+    #[deprecated(note = "build a typed `sdm_metadb::stmt::Stmt` and call `run`; \
+                SQL text is re-parsed on every `exec` call")]
+    fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
+        let ps = self.database().prepare(sql)?;
+        self.run(&ps.as_stmt(), params)
+    }
 
     /// Push any buffered writes down to the backing database. A no-op
     /// for unbuffered stores.
@@ -222,13 +230,13 @@ pub trait MetadataStore: Send + Sync {
 // SqlStore
 // ---------------------------------------------------------------------
 
-/// The hot statements of the metadata path, prepared once per store and
-/// held in [`SqlStore`] so repeated calls skip even the plan-cache
-/// lookup.
+/// The hot statements of the metadata path, compiled once per store and
+/// held in [`SqlStore`] as typed plans: after the first call, executing
+/// one is a pure AST replay — no SQL text exists to format, hash, or
+/// parse.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Hot {
     AllocMax,
-    AllocReserve,
     LatestForApp,
     RunExists,
     UpdateRun,
@@ -246,56 +254,88 @@ enum Hot {
 }
 
 impl Hot {
-    const COUNT: usize = 16;
+    const COUNT: usize = 15;
 
-    fn sql(self) -> &'static str {
+    /// Build the typed statement for this operation.
+    fn compile(self) -> Stmt {
         match self {
-            Hot::AllocMax => "SELECT MAX(runid) FROM run_table",
-            Hot::AllocReserve => "INSERT INTO run_table VALUES (?, ?, 0, 0, 0, 0, 0, 0, 0, 0)",
-            Hot::LatestForApp => "SELECT MAX(runid) FROM run_table WHERE application = ?",
-            Hot::RunExists => "SELECT COUNT(*) FROM run_table WHERE runid = ?",
-            Hot::UpdateRun => {
-                "UPDATE run_table SET application = ?, dimension = ?, problem_size = ?,
-                 num_timesteps = ?, year = ?, month = ?, day = ?, hour = ?, min = ?
-                 WHERE runid = ?"
-            }
-            Hot::InsertRun => "INSERT INTO run_table VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            Hot::InsertAccessPattern => {
-                "INSERT INTO access_pattern_table VALUES (?, ?, ?, ?, ?, ?, ?)"
-            }
-            Hot::InsertExecution => "INSERT INTO execution_table VALUES (?, ?, ?, ?, ?)",
-            Hot::LookupExecution => {
-                "SELECT file_offset, file_name FROM execution_table
-                 WHERE runid = ? AND dataset = ? AND timestep = ?"
-            }
-            Hot::InsertImport => "INSERT INTO import_table VALUES (?, ?, ?, ?, ?, ?, ?)",
-            Hot::InsertRegistry => "INSERT INTO index_table VALUES (?, ?, ?, ?)",
-            Hot::LookupRegistry => {
-                "SELECT registered_file_name FROM index_table
-                 WHERE problem_size = ? AND num_procs = ?"
-            }
-            Hot::InsertBlock => "INSERT INTO index_history_table VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-            Hot::LookupBlock => {
-                "SELECT rank, edge_count, node_count, ghost_count, file_offset, byte_len
-                 FROM index_history_table
-                 WHERE problem_size = ? AND num_procs = ? AND rank = ?"
-            }
-            Hot::DeleteRegistry => {
-                "DELETE FROM index_table WHERE problem_size = ? AND num_procs = ?"
-            }
-            Hot::DeleteBlocks => {
-                "DELETE FROM index_history_table WHERE problem_size = ? AND num_procs = ?"
-            }
+            Hot::AllocMax => Query::<RunRow>::all().max(RunCol::Runid).compile(),
+            Hot::LatestForApp => Query::<RunRow>::filter(RunCol::Application.eq(param(0)))
+                .max(RunCol::Runid)
+                .compile(),
+            Hot::RunExists => Query::<RunRow>::filter(RunCol::Runid.eq(param(0)))
+                .count()
+                .compile(),
+            Hot::UpdateRun => sdm_metadb::stmt::Update::<RunRow>::new()
+                .set(RunCol::Application, param(0))
+                .set(RunCol::Dimension, param(1))
+                .set(RunCol::ProblemSize, param(2))
+                .set(RunCol::NumTimesteps, param(3))
+                .set(RunCol::Year, param(4))
+                .set(RunCol::Month, param(5))
+                .set(RunCol::Day, param(6))
+                .set(RunCol::Hour, param(7))
+                .set(RunCol::Min, param(8))
+                .filter(RunCol::Runid.eq(param(9)))
+                .compile(),
+            Hot::InsertRun => Insert::<RunRow>::prepared(),
+            Hot::InsertAccessPattern => Insert::<AccessPatternRow>::prepared(),
+            Hot::InsertExecution => Insert::<ExecutionRow>::prepared(),
+            Hot::LookupExecution => Query::<ExecutionRow>::filter(
+                ExecutionCol::Runid
+                    .eq(param(0))
+                    .and(ExecutionCol::Dataset.eq(param(1)))
+                    .and(ExecutionCol::Timestep.eq(param(2))),
+            )
+            .select(&[ExecutionCol::FileOffset, ExecutionCol::FileName])
+            .compile(),
+            Hot::InsertImport => Insert::<ImportRow>::prepared(),
+            Hot::InsertRegistry => Insert::<IndexRow>::prepared(),
+            Hot::LookupRegistry => Query::<IndexRow>::filter(
+                IndexCol::ProblemSize
+                    .eq(param(0))
+                    .and(IndexCol::NumProcs.eq(param(1))),
+            )
+            .select(&[IndexCol::RegisteredFileName])
+            .compile(),
+            Hot::InsertBlock => Insert::<IndexHistoryRow>::prepared(),
+            Hot::LookupBlock => Query::<IndexHistoryRow>::filter(
+                IndexHistoryCol::ProblemSize
+                    .eq(param(0))
+                    .and(IndexHistoryCol::NumProcs.eq(param(1)))
+                    .and(IndexHistoryCol::Rank.eq(param(2))),
+            )
+            .select(&[
+                IndexHistoryCol::Rank,
+                IndexHistoryCol::EdgeCount,
+                IndexHistoryCol::NodeCount,
+                IndexHistoryCol::GhostCount,
+                IndexHistoryCol::FileOffset,
+                IndexHistoryCol::ByteLen,
+            ])
+            .compile(),
+            Hot::DeleteRegistry => Delete::<IndexRow>::filter(
+                IndexCol::ProblemSize
+                    .eq(param(0))
+                    .and(IndexCol::NumProcs.eq(param(1))),
+            )
+            .compile(),
+            Hot::DeleteBlocks => Delete::<IndexHistoryRow>::filter(
+                IndexHistoryCol::ProblemSize
+                    .eq(param(0))
+                    .and(IndexHistoryCol::NumProcs.eq(param(1))),
+            )
+            .compile(),
         }
     }
 }
 
-/// Direct SQL-backed store: every method is one (or a few) prepared
-/// statements against the embedded database, prepared lazily once and
-/// reused for the lifetime of the store.
+/// Direct store over the embedded database: every method executes one
+/// (or a few) typed statements, compiled lazily once and replayed for
+/// the lifetime of the store.
 pub struct SqlStore {
     db: Arc<Database>,
-    plans: [std::sync::OnceLock<sdm_metadb::PreparedStatement>; Hot::COUNT],
+    plans: [std::sync::OnceLock<Stmt>; Hot::COUNT],
 }
 
 impl SqlStore {
@@ -312,37 +352,17 @@ impl SqlStore {
         Arc::new(SqlStore::new(Arc::clone(db)))
     }
 
-    /// Execute a hot statement through its once-prepared plan.
+    /// Execute a hot statement through its once-compiled plan.
     fn run_hot(&self, which: Hot, params: &[Value]) -> DbResult<ResultSet> {
-        let slot = &self.plans[which as usize];
-        let ps = match slot.get() {
-            Some(ps) => ps,
-            None => {
-                let prepared = self.db.prepare(which.sql())?;
-                slot.get_or_init(|| prepared)
-            }
-        };
-        self.db.exec_prepared(ps, params)
-    }
-
-    /// Execute ad-hoc SQL through the database's plan cache (DDL, the
-    /// raw-SQL escape hatch).
-    fn run(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
-        let ps = self.db.prepare(sql)?;
-        self.db.exec_prepared(&ps, params)
+        let stmt = self.plans[which as usize].get_or_init(|| which.compile());
+        self.db.exec_stmt(stmt, params)
     }
 }
 
 impl MetadataStore for SqlStore {
     fn ensure_schema(&self) -> DbResult<()> {
-        for ddl in TABLE_DDL {
-            self.run(ddl, &[])?;
-        }
-        for ddl in INDEX_DDL {
-            match self.run(ddl, &[]) {
-                Ok(_) | Err(DbError::IndexExists(_)) => {}
-                Err(e) => return Err(e),
-            }
+        for desc in FIGURE4_TABLES {
+            ensure_table(self, desc)?;
         }
         Ok(())
     }
@@ -357,25 +377,14 @@ impl MetadataStore for SqlStore {
         // `record_run` completes it, so a crashed or failed initialize
         // can never hijack `latest_runid_for_app` re-attachment.
         let _ = application;
-        let ticket = self.db.begin_nested();
-        let attempt = (|| {
+        self.db.with_owned_tx(|| {
             let rs = self.run_hot(Hot::AllocMax, &[])?;
             let next = rs.scalar().and_then(Value::as_i64).unwrap_or(0) + 1;
-            self.run_hot(Hot::AllocReserve, &[Value::Int(next), Value::Null])?;
+            let mut reservation = vec![Value::Int(next), Value::Null];
+            reservation.resize(RunRow::TABLE.arity(), Value::Int(0));
+            self.run_hot(Hot::InsertRun, &reservation)?;
             Ok(next)
-        })();
-        match (attempt, ticket) {
-            (Ok(id), TxTicket::Owned) => {
-                self.run("COMMIT", &[])?;
-                Ok(id)
-            }
-            (Ok(id), TxTicket::Inherited) => Ok(id),
-            (Err(e), TxTicket::Owned) => {
-                let _ = self.run("ROLLBACK", &[]);
-                Err(e)
-            }
-            (Err(e), TxTicket::Inherited) => Err(e),
-        }
+        })
     }
 
     fn latest_runid_for_app(&self, application: &str) -> DbResult<Option<i64>> {
@@ -602,8 +611,8 @@ impl MetadataStore for SqlStore {
         Ok(())
     }
 
-    fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
-        self.run(sql, params)
+    fn run(&self, stmt: &Stmt, params: &[Value]) -> DbResult<ResultSet> {
+        self.db.exec_stmt(stmt, params)
     }
 
     fn flush(&self) -> DbResult<()> {
@@ -683,7 +692,7 @@ impl CachedStore {
 
     /// Write a detached batch inside one transaction. Called WITHOUT the
     /// cache mutex held. When the calling thread already has a
-    /// transaction open (the raw-SQL escape hatch lets callers bracket
+    /// transaction open (the statement escape hatch lets callers bracket
     /// their own work), the batch joins it instead of deadlocking on a
     /// second `BEGIN`; its fate then follows the caller's
     /// COMMIT/ROLLBACK.
@@ -708,10 +717,10 @@ impl CachedStore {
             Ok(())
         })();
         match (attempt, ticket) {
-            (Ok(()), TxTicket::Owned) => db.exec("COMMIT", &[]).map(|_| ()),
+            (Ok(()), TxTicket::Owned) => db.exec_stmt(&Stmt::commit(), &[]).map(|_| ()),
             (Ok(()), TxTicket::Inherited) => Ok(()),
             (Err(e), TxTicket::Owned) => {
-                let _ = db.exec("ROLLBACK", &[]);
+                let _ = db.exec_stmt(&Stmt::rollback(), &[]);
                 // Nothing landed: requeue the whole batch for a later
                 // retry (rows stay visible through the cache meanwhile).
                 self.requeue(batch);
@@ -958,10 +967,44 @@ impl MetadataStore for CachedStore {
         Ok(())
     }
 
-    fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
-        // Raw SQL may read anything, including buffered execution rows.
-        self.flush()?;
-        self.inner.exec(sql, params)
+    fn run(&self, stmt: &Stmt, params: &[Value]) -> DbResult<ResultSet> {
+        // The cache is keyed by relation: only statements that touch a
+        // relation with buffered rows — as FROM table, join side, or
+        // mutation target — or whose target is unknown force the
+        // pending batch down first. Statements over other relations
+        // pass straight through. Never flush ahead of a ROLLBACK: the
+        // batch would join the very transaction being discarded and be
+        // lost from the database while the cache kept serving it — it
+        // stays queued for the next flush instead.
+        let rollback = matches!(stmt.ast(), sdm_metadb::sql::ast::Statement::Rollback);
+        if !rollback && (stmt.table().is_none() || stmt.references(ExecutionRow::TABLE.name)) {
+            self.flush()?;
+        }
+        let rs = self.inner.run(stmt, params)?;
+        // A mutation routed through the escape hatch may rewrite rows
+        // the read caches hold; drop the affected relation's cache so
+        // later lookups re-ask the database instead of serving stale
+        // (possibly deleted) rows. A ROLLBACK may have discarded any
+        // write that joined the transaction, so it drops everything
+        // (pending rows are unaffected — they flush later).
+        if rollback {
+            let mut state = self.state.lock();
+            state.executions.clear();
+            state.registry.clear();
+            state.blocks.clear();
+        } else if stmt.is_mutation() {
+            let mut state = self.state.lock();
+            if stmt.references(ExecutionRow::TABLE.name) {
+                state.executions.clear();
+            }
+            if stmt.references(IndexRow::TABLE.name) {
+                state.registry.clear();
+            }
+            if stmt.references(IndexHistoryRow::TABLE.name) {
+                state.blocks.clear();
+            }
+        }
+        Ok(rs)
     }
 
     fn flush(&self) -> DbResult<()> {
@@ -1024,11 +1067,21 @@ mod tests {
         // record_run completes the reserved row instead of duplicating it.
         s.record_run(&run_rec(1, "fun3d")).unwrap();
         let rs = s
-            .exec("SELECT COUNT(*) FROM run_table WHERE runid = 1", &[])
+            .run(
+                &Query::<RunRow>::filter(RunCol::Runid.eq(1))
+                    .count()
+                    .compile(),
+                &[],
+            )
             .unwrap();
         assert_eq!(rs.scalar(), Some(&Value::Int(1)));
         let rs = s
-            .exec("SELECT problem_size FROM run_table WHERE runid = 1", &[])
+            .run(
+                &Query::<RunRow>::filter(RunCol::Runid.eq(1))
+                    .select(&[RunCol::ProblemSize])
+                    .compile(),
+                &[],
+            )
             .unwrap();
         assert_eq!(rs.scalar(), Some(&Value::Int(1000)));
     }
@@ -1112,20 +1165,25 @@ mod tests {
     #[test]
     fn access_pattern_and_import_records() {
         let s = sql_store();
+        use crate::schema::{AccessPatternCol, ImportCol};
         s.record_access_pattern(1, "p", "DOUBLE", "ROW_MAJOR", "IRREGULAR", 2_000_000)
             .unwrap();
         s.record_import(1, "edge1", "uns3d.msh", "INTEGER", "ROW_MAJOR", "INDEX")
             .unwrap();
         let rs = s
-            .exec(
-                "SELECT data_type FROM access_pattern_table WHERE dataset = 'p'",
+            .run(
+                &Query::<AccessPatternRow>::filter(AccessPatternCol::Dataset.eq("p"))
+                    .select(&[AccessPatternCol::DataType])
+                    .compile(),
                 &[],
             )
             .unwrap();
         assert_eq!(rs.scalar().and_then(Value::as_str), Some("DOUBLE"));
         let rs = s
-            .exec(
-                "SELECT file_content FROM import_table WHERE imported_name = 'edge1'",
+            .run(
+                &Query::<ImportRow>::filter(ImportCol::ImportedName.eq("edge1"))
+                    .select(&[ImportCol::FileContent])
+                    .compile(),
                 &[],
             )
             .unwrap();
@@ -1149,7 +1207,7 @@ mod tests {
     }
 
     #[test]
-    fn repeated_statements_never_reparse() {
+    fn typed_hot_path_touches_no_sql_text() {
         let s = sql_store();
         s.database().reset_stats();
         for ts in 0..20 {
@@ -1157,25 +1215,29 @@ mod tests {
             s.lookup_execution(1, "p", ts).unwrap();
         }
         let stats = s.database().stats();
-        assert_eq!(stats.parse_misses, 2, "one parse per distinct statement");
-        // After the first call each statement executes through its
-        // once-prepared plan: no further cache traffic at all.
+        // Typed statements are compiled ASTs: nothing is ever lexed,
+        // parsed, or even looked up by SQL text.
+        assert_eq!(stats.parse_misses, 0);
         assert_eq!(stats.parse_hits, 0);
+        assert_eq!(stats.sql_texts, 0, "no SQL text entered the engine");
     }
 
     // ---- CachedStore ----
 
+    /// Rows currently in `execution_table` as the database sees them
+    /// (bypassing the store's cache).
+    fn db_exec_rows(db: &Database) -> i64 {
+        db.exec_stmt(&Query::<ExecutionRow>::all().count().compile(), &[])
+            .unwrap()
+            .scalar()
+            .and_then(Value::as_i64)
+            .unwrap()
+    }
+
     #[test]
     fn cached_store_batches_per_timestep() {
         let s = cached_store();
-        let count = |s: &SharedStore| {
-            s.database()
-                .exec("SELECT COUNT(*) FROM execution_table", &[])
-                .unwrap()
-                .scalar()
-                .and_then(Value::as_i64)
-                .unwrap()
-        };
+        let count = |s: &SharedStore| db_exec_rows(s.database());
         // Three datasets in timestep 0: buffered, not yet in the DB...
         s.record_execution(1, "p", 0, 0, "f").unwrap();
         s.record_execution(1, "q", 0, 100, "f").unwrap();
@@ -1218,12 +1280,15 @@ mod tests {
     }
 
     #[test]
-    fn cached_store_raw_exec_sees_buffered_rows() {
+    fn cached_store_run_sees_buffered_rows() {
         let s = cached_store();
         s.record_execution(5, "p", 0, 7, "f").unwrap();
+        // A statement over the buffered relation flushes it first.
         let rs = s
-            .exec(
-                "SELECT file_offset FROM execution_table WHERE runid = 5",
+            .run(
+                &Query::<ExecutionRow>::filter(ExecutionCol::Runid.eq(5))
+                    .select(&[ExecutionCol::FileOffset])
+                    .compile(),
                 &[],
             )
             .unwrap();
@@ -1231,16 +1296,112 @@ mod tests {
     }
 
     #[test]
+    fn cached_store_run_on_other_relations_keeps_batch_buffered() {
+        let s = cached_store();
+        s.record_execution(5, "p", 0, 7, "f").unwrap();
+        // A statement over a *different* relation must not flush the
+        // execution batch: the cache routes by (relation, key).
+        s.run(&Query::<RunRow>::all().max(RunCol::Runid).compile(), &[])
+            .unwrap();
+        assert_eq!(db_exec_rows(s.database()), 0, "batch stayed buffered");
+        s.flush().unwrap();
+        assert_eq!(db_exec_rows(s.database()), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn raw_sql_veneer_parses_into_typed_statements() {
+        // The stringly escape hatch survives as a veneer over `run`:
+        // text in, typed statement out, same rows — at the cost of one
+        // parse per call, which the text counters must witness (that is
+        // how a regression back to stringly call sites shows up).
+        let s = cached_store();
+        s.record_execution(5, "p", 0, 7, "f").unwrap();
+        s.database().reset_stats();
+        let rs = s
+            .exec(
+                "SELECT file_offset FROM execution_table WHERE runid = 5",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(7)));
+        let stats = s.database().stats();
+        assert_eq!(stats.sql_texts, 1, "veneer text must be counted");
+        assert_eq!(stats.parse_misses, 1);
+        assert!(s.exec("SELEKT nope", &[]).is_err());
+    }
+
+    #[test]
+    fn rollback_does_not_swallow_buffered_rows() {
+        // Rows buffered while a caller transaction is open must not be
+        // flushed into that transaction by the ROLLBACK statement
+        // itself — they would be silently discarded from the database
+        // while the cache kept serving them.
+        let s = cached_store();
+        s.run(&Stmt::begin(), &[]).unwrap();
+        s.record_execution(1, "p", 0, 7, "f").unwrap(); // buffered
+        s.run(&Stmt::rollback(), &[]).unwrap();
+        assert_eq!(db_exec_rows(s.database()), 0);
+        s.flush().unwrap();
+        assert_eq!(
+            db_exec_rows(s.database()),
+            1,
+            "the buffered row must survive the rollback and land on the next flush"
+        );
+        assert_eq!(
+            s.lookup_execution(1, "p", 0).unwrap(),
+            Some((7, "f".into()))
+        );
+    }
+
+    #[test]
+    fn typed_mutations_invalidate_read_caches() {
+        let s = cached_store();
+        s.record_execution(5, "p", 0, 7, "f").unwrap();
+        s.record_index_registry(100, 4, 3, "hist").unwrap();
+        // Warm the read caches.
+        assert!(s.lookup_execution(5, "p", 0).unwrap().is_some());
+        assert!(s.lookup_index_registry(100, 4).unwrap().is_some());
+        // Mutations through the statement escape hatch must not leave
+        // the caches serving deleted rows.
+        s.run(&Delete::<ExecutionRow>::all().compile(), &[])
+            .unwrap();
+        assert_eq!(s.lookup_execution(5, "p", 0).unwrap(), None);
+        s.run(&Delete::<IndexRow>::all().compile(), &[]).unwrap();
+        assert_eq!(s.lookup_index_registry(100, 4).unwrap(), None);
+    }
+
+    #[test]
+    fn run_flushes_when_a_join_reaches_the_buffered_relation() {
+        // A SELECT whose FROM table is elsewhere but whose JOIN side is
+        // execution_table must still see buffered rows: flush gating
+        // goes by Stmt::references, not the primary table alone.
+        let s = cached_store();
+        s.record_run(&run_rec(5, "app")).unwrap();
+        s.record_execution(5, "p", 0, 7, "f").unwrap();
+        let join = Stmt::parse(
+            "SELECT run_table.runid, execution_table.file_offset FROM run_table \
+             INNER JOIN execution_table ON run_table.runid = execution_table.runid",
+        )
+        .unwrap();
+        assert_eq!(join.table(), Some("run_table"));
+        assert!(join.references("execution_table"));
+        let rs = s.run(&join, &[]).unwrap();
+        assert_eq!(rs.len(), 1, "buffered execution row must be visible");
+        assert_eq!(rs.rows[0][1], Value::Int(7));
+    }
+
+    #[test]
     fn flush_inside_caller_transaction_joins_it() {
-        // The raw-SQL escape hatch lets a caller bracket its own work;
+        // The statement escape hatch lets a caller bracket its own work;
         // a timestep advance mid-transaction must join that transaction
         // instead of deadlocking on a second BEGIN.
         let s = cached_store();
-        s.exec("BEGIN", &[]).unwrap();
+        s.run(&Stmt::begin(), &[]).unwrap();
         s.record_execution(1, "p", 0, 0, "f").unwrap();
         s.record_execution(1, "p", 1, 64, "f").unwrap(); // timestep advance → flush
         s.flush().unwrap();
-        s.exec("COMMIT", &[]).unwrap();
+        s.run(&Stmt::commit(), &[]).unwrap();
         assert_eq!(
             s.lookup_execution(1, "p", 0).unwrap(),
             Some((0, "f".into()))
@@ -1250,9 +1411,9 @@ mod tests {
             Some((64, "f".into()))
         );
         // Same for runid allocation inside a caller transaction.
-        s.exec("BEGIN", &[]).unwrap();
+        s.run(&Stmt::begin(), &[]).unwrap();
         let id = s.allocate_runid("nested").unwrap();
-        s.exec("COMMIT", &[]).unwrap();
+        s.run(&Stmt::commit(), &[]).unwrap();
         assert!(id >= 1);
     }
 
@@ -1276,10 +1437,7 @@ mod tests {
             s.ensure_schema().unwrap();
             s.record_execution(1, "p", 0, 1, "f").unwrap();
         }
-        let rs = db
-            .exec("SELECT COUNT(*) FROM execution_table", &[])
-            .unwrap();
-        assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+        assert_eq!(db_exec_rows(&db), 1);
     }
 
     #[test]

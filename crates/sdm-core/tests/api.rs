@@ -11,10 +11,12 @@
 use std::sync::Arc;
 
 use sdm_core::dataset::{make_datalist, DatasetDesc, ImportDesc};
+use sdm_core::schema::{AccessPatternCol, AccessPatternRow, ExecutionCol, ExecutionRow, RunRow};
 use sdm_core::{
     AccessPattern, CachedStore, OrgLevel, Sdm, SdmConfig, SdmError, SdmType, SharedStore,
     StorageOrder,
 };
+use sdm_metadb::stmt::Query;
 use sdm_metadb::{Database, Value};
 use sdm_mpi::World;
 use sdm_pfs::Pfs;
@@ -68,12 +70,22 @@ fn set_attributes_registers_run_and_datasets() {
             s.finalize(c).unwrap();
         }
     });
-    let rs = db.exec("SELECT application FROM run_table", &[]).unwrap();
+    let rs = db
+        .exec_stmt(
+            &Query::<RunRow>::all()
+                .select(&[sdm_core::schema::RunCol::Application])
+                .compile(),
+            &[],
+        )
+        .unwrap();
     assert_eq!(rs.len(), 1);
     assert_eq!(rs.rows[0][0].as_str(), Some("meta"));
     let rs = db
-        .exec(
-            "SELECT dataset FROM access_pattern_table ORDER BY dataset",
+        .exec_stmt(
+            &Query::<AccessPatternRow>::all()
+                .select(&[AccessPatternCol::Dataset])
+                .order_by(AccessPatternCol::Dataset)
+                .compile(),
             &[],
         )
         .unwrap();
@@ -288,8 +300,11 @@ fn builder_registers_attributes_and_resolves_typed_handles() {
     // The builder registered the run row and one access-pattern row per
     // dataset, exactly like the legacy surface.
     let rs = db
-        .exec(
-            "SELECT dataset, data_type FROM access_pattern_table ORDER BY dataset",
+        .exec_stmt(
+            &Query::<AccessPatternRow>::all()
+                .select(&[AccessPatternCol::Dataset, AccessPatternCol::DataType])
+                .order_by(AccessPatternCol::Dataset)
+                .compile(),
             &[],
         )
         .unwrap();
@@ -356,7 +371,7 @@ fn scope_write_without_view_is_error_and_empty_scope_is_free() {
         }
     });
     let rs = db
-        .exec("SELECT COUNT(*) FROM execution_table", &[])
+        .exec_stmt(&Query::<ExecutionRow>::all().count().compile(), &[])
         .unwrap();
     assert_eq!(rs.scalar().and_then(Value::as_i64), Some(0));
 }
@@ -394,7 +409,7 @@ fn poisoned_scope_abandons_staged_writes_on_drop() {
         }
     });
     let rs = db
-        .exec("SELECT COUNT(*) FROM execution_table", &[])
+        .exec_stmt(&Query::<ExecutionRow>::all().count().compile(), &[])
         .unwrap();
     assert_eq!(
         rs.scalar().and_then(Value::as_i64),
@@ -487,8 +502,11 @@ fn level2_appends_across_timesteps() {
     // One file, three regions.
     assert_eq!(pfs.file_len("app.g0.p.dat").unwrap(), 3 * 4 * 8);
     let rs = db
-        .exec(
-            "SELECT file_offset FROM execution_table ORDER BY file_offset",
+        .exec_stmt(
+            &Query::<ExecutionRow>::all()
+                .select(&[ExecutionCol::FileOffset])
+                .order_by(ExecutionCol::FileOffset)
+                .compile(),
             &[],
         )
         .unwrap();

@@ -78,6 +78,13 @@ impl PreparedStatement {
     pub fn execute(&self, db: &Database, params: &[Value]) -> DbResult<ResultSet> {
         db.exec_prepared(self, params)
     }
+
+    /// View as a typed [`crate::stmt::Stmt`], sharing the parsed AST.
+    /// Text veneers use this so their per-call parses flow through the
+    /// plan cache and are visible in [`DbStats::sql_texts`].
+    pub fn as_stmt(&self) -> crate::stmt::Stmt {
+        crate::stmt::Stmt::from_shared(Arc::clone(&self.stmt))
+    }
 }
 
 /// Capacity of the per-connection statement cache. SDM's whole metadata
@@ -183,6 +190,7 @@ impl Database {
     /// (from any thread) returns the shared parsed AST and counts as a
     /// `parse_hits` in [`Database::stats`] instead of re-parsing.
     pub fn prepare(&self, sql: &str) -> DbResult<PreparedStatement> {
+        self.stats.lock().sql_texts += 1;
         if let Some((text, stmt)) = self.plans.lock().get(sql) {
             self.stats.lock().parse_hits += 1;
             return Ok(PreparedStatement { sql: text, stmt });
@@ -206,6 +214,14 @@ impl Database {
     pub fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
         let ps = self.prepare(sql)?;
         self.run_statement(&ps.stmt, params)
+    }
+
+    /// Execute a typed [`crate::stmt::Stmt`] with positional `?`
+    /// parameters. This is the text-free execution path: no lexing, no
+    /// plan-cache lookup, no SQL string — the compiled statement *is*
+    /// the plan ([`DbStats::sql_texts`] does not move).
+    pub fn exec_stmt(&self, stmt: &crate::stmt::Stmt, params: &[Value]) -> DbResult<ResultSet> {
+        self.run_statement(stmt.ast(), params)
     }
 
     fn run_statement(&self, stmt: &Statement, params: &[Value]) -> DbResult<ResultSet> {
@@ -355,6 +371,30 @@ impl Database {
                 }
                 Some(_) => self.tx_freed.wait(&mut tx),
             }
+        }
+    }
+
+    /// Run `f` inside an owned transaction bracket, cooperating with
+    /// the single-transaction model: a fresh transaction is opened and
+    /// committed around `f` (rolled back if `f` errs); when the calling
+    /// thread already owns the open transaction, `f` simply joins it
+    /// and the outer owner decides its fate. This is the shared
+    /// read-modify-write bracket (`allocate_runid`, attribute upserts);
+    /// code that must distinguish the two cases on failure (partial
+    /// batch requeue) drives [`Database::begin_nested`] directly.
+    pub fn with_owned_tx<T>(&self, f: impl FnOnce() -> DbResult<T>) -> DbResult<T> {
+        match self.begin_nested() {
+            TxTicket::Inherited => f(),
+            TxTicket::Owned => match f() {
+                Ok(v) => {
+                    self.exec_stmt(&crate::stmt::Stmt::commit(), &[])?;
+                    Ok(v)
+                }
+                Err(e) => {
+                    let _ = self.exec_stmt(&crate::stmt::Stmt::rollback(), &[]);
+                    Err(e)
+                }
+            },
         }
     }
 

@@ -46,6 +46,12 @@ pub struct DbStats {
     /// layers (`CachedStore`) assert on this: a scoped timestep must
     /// land all its execution inserts in exactly one transaction.
     pub transactions: u64,
+    /// Statements that entered the engine as SQL **text**
+    /// (`Database::prepare` / `Database::exec`), whether or not the
+    /// parse was served from the plan cache. Typed statements executed
+    /// through `Database::exec_stmt` never move this counter — the
+    /// bench asserts it stays flat on the warmed typed hot path.
+    pub sql_texts: u64,
 }
 
 /// Column-name resolution context for expression evaluation.

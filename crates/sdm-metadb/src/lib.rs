@@ -14,7 +14,14 @@
 //!   DOUBLE, TEXT + NULL).
 //! * [`sql`] — lexer, AST, recursive-descent parser for the SQL subset.
 //! * [`exec`] — expression evaluation and statement execution.
-//! * [`Database`] — the embedded connection: `exec(sql, params)`.
+//! * [`Database`] — the embedded connection: `exec(sql, params)` for
+//!   SQL text, `exec_stmt(stmt, params)` for typed statements.
+//! * [`stmt`] — the **typed statement layer**: tables described once by
+//!   [`stmt::Relation`] descriptors (the [`relation!`] macro), DDL
+//!   generated from them, and queries built fluently
+//!   ([`stmt::Query`] / [`stmt::Insert`] / [`stmt::Update`] /
+//!   [`stmt::Delete`]) into compiled [`stmt::Stmt`] values that execute
+//!   with zero SQL-text formatting or parsing.
 //! * [`persist`] — JSON snapshot persistence, so metadata survives
 //!   "runs" the way a MySQL server's tables did.
 //!
@@ -29,6 +36,7 @@ pub mod exec;
 pub mod persist;
 pub mod schema;
 pub mod sql;
+pub mod stmt;
 pub mod table;
 pub mod value;
 
@@ -36,5 +44,6 @@ pub use db::{Database, PreparedStatement, ResultSet, TxTicket};
 pub use error::{DbError, DbResult};
 pub use exec::DbStats;
 pub use schema::{ColType, Column, Schema};
+pub use stmt::{Relation, Stmt, TypedColumn};
 pub use table::IndexDef;
 pub use value::Value;

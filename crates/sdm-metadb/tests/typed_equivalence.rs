@@ -1,0 +1,264 @@
+//! Property tests for the typed statement layer, extending
+//! `prepared_equivalence.rs` one layer up: for generated filters,
+//! orders, and limits, a compiled typed `Stmt` must return row-identical
+//! results to (a) the equivalent raw-SQL text executed through the
+//! parse path, (b) its own `to_sql()` rendering re-parsed, and (c) the
+//! same typed query against an unindexed twin table — while touching no
+//! SQL text itself.
+
+use proptest::prelude::*;
+use sdm_metadb::stmt::{param, Filter, Query, Relation, Stmt, TypedColumn};
+use sdm_metadb::{Database, Value};
+
+sdm_metadb::relation! {
+    /// Indexed twin.
+    pub struct TiRow in "ti" as TiCol {
+        /// Key.
+        pub k: i64 => K,
+        /// Value.
+        pub v: i64 => V,
+    }
+    indexes { "ti_k" on k, "ti_v" on v }
+}
+
+sdm_metadb::relation! {
+    /// Unindexed twin.
+    pub struct TnRow in "tn" as TnCol {
+        /// Key.
+        pub k: i64 => K,
+        /// Value.
+        pub v: i64 => V,
+    }
+}
+
+/// Build twin tables with identical rows from the relation descriptors.
+fn twin_db(rows: &[(i64, i64)]) -> Database {
+    let db = Database::new();
+    db.exec_stmt(&TiRow::TABLE.create_table(), &[]).unwrap();
+    db.exec_stmt(&TnRow::TABLE.create_table(), &[]).unwrap();
+    let ins_i = sdm_metadb::stmt::Insert::<TiRow>::prepared();
+    let ins_n = sdm_metadb::stmt::Insert::<TnRow>::prepared();
+    for &(k, v) in rows {
+        let row = &[Value::Int(k), Value::Int(v)];
+        db.exec_stmt(&ins_i, row).unwrap();
+        db.exec_stmt(&ins_n, row).unwrap();
+    }
+    for ix in TiRow::TABLE.create_indexes() {
+        db.exec_stmt(&ix, &[]).unwrap();
+    }
+    db
+}
+
+/// One generated comparison: column k/v and operator. The parameter
+/// slot is positional (first comparison takes `?` 0, the second `?` 1)
+/// so the typed statement and its SQL rendering agree on numbering.
+#[derive(Debug, Clone, Copy)]
+struct Cmp {
+    on_v: bool,
+    op: usize, // 0..6 → eq ne lt le gt ge
+}
+
+/// A generated query shape over the (k, v) twins.
+#[derive(Debug, Clone, Copy)]
+struct Shape {
+    first: Cmp,
+    second: Option<(bool, Cmp)>, // (use OR, cmp)
+    order_on_v: bool,
+    order_desc: bool,
+    limit: Option<usize>,
+    count: bool,
+}
+
+fn cmp_filter<R: Relation, C: TypedColumn<R>>(c: Cmp, slot: usize, k: C, v: C) -> Filter<R> {
+    let col = if c.on_v { v } else { k };
+    let rhs = param(slot);
+    match c.op {
+        0 => col.eq(rhs),
+        1 => col.ne(rhs),
+        2 => col.lt(rhs),
+        3 => col.le(rhs),
+        4 => col.gt(rhs),
+        _ => col.ge(rhs),
+    }
+}
+
+fn build_typed<R: Relation, C: TypedColumn<R>>(s: Shape, k: C, v: C) -> Stmt {
+    let mut f = cmp_filter(s.first, 0, k, v);
+    if let Some((use_or, c2)) = s.second {
+        let g = cmp_filter(c2, 1, k, v);
+        f = if use_or { f.or(g) } else { f.and(g) };
+    }
+    let mut q = Query::<R>::filter(f);
+    if s.count {
+        // Aggregates order/limit over output names; a plain COUNT(*)
+        // takes neither.
+        return q.count().compile();
+    }
+    q = if s.order_on_v {
+        q.order_by_desc(v)
+    } else if s.order_desc {
+        q.order_by_desc(k)
+    } else {
+        q.order_by(k)
+    };
+    if let Some(lim) = s.limit {
+        q = q.limit(lim);
+    }
+    q.compile()
+}
+
+/// The equivalent SQL text, written by hand the way the retired call
+/// sites did (this test file is the one place above the engine allowed
+/// to format SQL).
+fn build_sql(s: Shape, table: &str) -> String {
+    let cmp_sql = |c: Cmp| {
+        let col = if c.on_v { "v" } else { "k" };
+        let op = ["=", "!=", "<", "<=", ">", ">="][c.op];
+        format!("{col} {op} ?")
+    };
+    let mut sql = format!(
+        "SELECT {} FROM {table} WHERE {}",
+        if s.count { "COUNT(*)" } else { "*" },
+        cmp_sql(s.first)
+    );
+    if let Some((use_or, c2)) = s.second {
+        sql = format!(
+            "SELECT {} FROM {table} WHERE ({}) {} ({})",
+            if s.count { "COUNT(*)" } else { "*" },
+            cmp_sql(s.first),
+            if use_or { "OR" } else { "AND" },
+            cmp_sql(c2),
+        );
+    }
+    if s.count {
+        return sql;
+    }
+    if s.order_on_v {
+        sql.push_str(" ORDER BY v DESC");
+    } else if s.order_desc {
+        sql.push_str(" ORDER BY k DESC");
+    } else {
+        sql.push_str(" ORDER BY k");
+    }
+    if let Some(lim) = s.limit {
+        sql.push_str(&format!(" LIMIT {lim}"));
+    }
+    sql
+}
+
+fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+    (any::<bool>(), 0usize..6).prop_map(|(on_v, op)| Cmp { on_v, op })
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (
+        cmp_strategy(),
+        (any::<bool>(), any::<bool>(), cmp_strategy()),
+        (any::<bool>(), any::<bool>()),
+        (any::<bool>(), 0usize..5),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                first,
+                (has_second, use_or, c2),
+                (order_on_v, order_desc),
+                (has_limit, lim),
+                count,
+            )| {
+                Shape {
+                    first,
+                    second: has_second.then_some((use_or, c2)),
+                    order_on_v,
+                    order_desc,
+                    limit: has_limit.then_some(lim),
+                    count,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn typed_statements_match_raw_sql_and_unindexed_twin(
+        rows in proptest::collection::vec((0i64..10, -5i64..5), 0..50),
+        shape in shape_strategy(),
+        p1 in 0i64..10,
+        p2 in -5i64..5,
+    ) {
+        let db = twin_db(&rows);
+        let params = [Value::Int(p1), Value::Int(p2)];
+
+        // Typed, against the indexed twin — compiled once, no SQL text.
+        let typed_i = build_typed(shape, TiCol::K, TiCol::V);
+        db.reset_stats();
+        let via_typed = db.exec_stmt(&typed_i, &params).unwrap();
+        prop_assert_eq!(db.stats().sql_texts, 0, "typed path touched SQL text");
+
+        // The same shape as raw SQL text through the parse path.
+        let sql = build_sql(shape, "ti");
+        let via_text = db.exec(&sql, &params).unwrap();
+        prop_assert_eq!(&via_typed, &via_text, "typed != raw for {}", sql);
+
+        // The typed statement's own rendering, re-parsed.
+        let rendered = Stmt::parse(&typed_i.to_sql()).unwrap();
+        let via_rendered = db.exec_stmt(&rendered, &params).unwrap();
+        prop_assert_eq!(&via_typed.rows, &via_rendered.rows,
+            "to_sql round-trip diverged: {}", typed_i.to_sql());
+
+        // Same typed shape over the unindexed twin: planner equivalence.
+        let typed_n = build_typed(shape, TnCol::K, TnCol::V);
+        let via_scan = db.exec_stmt(&typed_n, &params).unwrap();
+        prop_assert_eq!(&via_typed.rows, &via_scan.rows,
+            "indexed and scanned rows differ for {:?}", shape);
+
+        // Replaying the compiled statement with fresh parameters stays
+        // consistent with the text path.
+        let params2 = [Value::Int((p1 + 3) % 10), Value::Int(p2)];
+        let a = db.exec_stmt(&typed_i, &params2).unwrap();
+        let b = db.exec(&sql, &params2).unwrap();
+        prop_assert_eq!(&a, &b);
+    }
+
+    #[test]
+    fn typed_mutations_match_raw_sql(
+        rows in proptest::collection::vec((0i64..8, 0i64..8), 1..40),
+        pivot in 0i64..8,
+    ) {
+        use sdm_metadb::stmt::{Delete, Update};
+        let db = twin_db(&rows);
+        // Typed update on ti; the same update as text on tn.
+        let up = Update::<TiRow>::new()
+            .set(TiCol::V, param(0))
+            .filter(TiCol::K.eq(param(1)))
+            .compile();
+        let a = db.exec_stmt(&up, &[Value::Int(100), Value::Int(pivot)]).unwrap();
+        let b = db.exec(
+            "UPDATE tn SET v = ? WHERE k = ?",
+            &[Value::Int(100), Value::Int(pivot)],
+        ).unwrap();
+        prop_assert_eq!(a.affected, b.affected);
+
+        let del = Delete::<TiRow>::filter(TiCol::V.ge(param(0)).and(TiCol::K.eq(param(1))))
+            .compile();
+        let a = db.exec_stmt(&del, &[Value::Int(100), Value::Int(pivot)]).unwrap();
+        let b = db.exec(
+            "DELETE FROM tn WHERE v >= ? AND k = ?",
+            &[Value::Int(100), Value::Int(pivot)],
+        ).unwrap();
+        prop_assert_eq!(a.affected, b.affected);
+
+        // The twins still agree row-for-row afterwards.
+        let qi = db.exec_stmt(
+            &Query::<TiRow>::all().order_by(TiCol::K).order_by(TiCol::V).compile(),
+            &[],
+        ).unwrap();
+        let qn = db.exec_stmt(
+            &Query::<TnRow>::all().order_by(TnCol::K).order_by(TnCol::V).compile(),
+            &[],
+        ).unwrap();
+        prop_assert_eq!(qi.rows, qn.rows);
+    }
+}

@@ -3,8 +3,10 @@
 //! A [`SciFile`] is the HDF-shaped object the paper's summary proposes
 //! building on SDM: groups addressed by `/`-separated paths, named
 //! dimensions, datasets defined over dimension lists, and typed
-//! attributes on groups and datasets. Three extra metadata tables sit
-//! beside SDM's six; the dataset bytes themselves move through
+//! attributes on groups and datasets. Four extra metadata tables sit
+//! beside SDM's six, declared as the typed relations of
+//! [`crate::schema`] and accessed exclusively through compiled
+//! statements; the dataset bytes themselves move through
 //! [`Sdm::write_slot`] / [`Sdm::read_slot`] over slots resolved once at
 //! dataset creation, so every container write is a collective
 //! noncontiguous MPI-IO operation under the configured Level 1/2/3 file
@@ -14,13 +16,19 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use sdm_core::dataset::DatasetDesc;
-use sdm_core::{DatasetSlot, Sdm, SdmConfig, SdmError, SdmType, SharedStore};
-use sdm_metadb::{DbError, Value};
+use sdm_core::store::MetadataStore;
+use sdm_core::{ensure_table, DatasetSlot, Sdm, SdmConfig, SdmError, SdmType, SharedStore};
+use sdm_metadb::stmt::{param, Insert, Query, Update};
+use sdm_metadb::{stmt_once, DbError, DbResult, Relation, TypedColumn, Value};
 use sdm_mpi::pod::Pod;
 use sdm_mpi::Comm;
 use sdm_pfs::Pfs;
 
 use crate::attr::AttrValue;
+use crate::schema::{
+    SciAttrCol, SciAttrRow, SciDatasetCol, SciDatasetRow, SciDimCol, SciDimRow, SciGroupCol,
+    SciGroupRow, SCI_TABLES,
+};
 
 /// Errors from the container layer.
 #[derive(Debug)]
@@ -80,15 +88,91 @@ struct DsEntry {
     info: DatasetInfo,
 }
 
-/// The extra metadata tables of the container layer.
-const SCI_DDL: [&str; 4] = [
-    "CREATE TABLE IF NOT EXISTS sci_group_table (runid INT, path TEXT)",
-    "CREATE TABLE IF NOT EXISTS sci_dim_table (runid INT, name TEXT, len INT)",
-    "CREATE TABLE IF NOT EXISTS sci_dataset_table (
-        runid INT, ghandle INT, path TEXT, data_type TEXT, dims TEXT, global_size INT)",
-    "CREATE TABLE IF NOT EXISTS sci_attr_table (
-        runid INT, path TEXT, name TEXT, vtype TEXT, ival INT, dval DOUBLE, tval TEXT)",
-];
+/// Set (or replace) an attribute row: `UPDATE` in place, falling back
+/// to `INSERT` for a new attribute, the whole read-modify-write inside
+/// one owner-aware transaction ([`sdm_metadb::Database::with_owned_tx`]
+/// joins a transaction the calling thread already owns). Updating in
+/// place — instead of DELETE + INSERT — means a concurrent reader can
+/// never observe the attribute missing, and the transaction serializes
+/// racing writers of the same attribute.
+fn upsert_attr(
+    store: &dyn MetadataStore,
+    runid: i64,
+    path: &str,
+    name: &str,
+    value: &AttrValue,
+) -> DbResult<()> {
+    let (i, d, t) = value.to_columns();
+    store.database().with_owned_tx(|| {
+        let update = stmt_once!(Update::<SciAttrRow>::new()
+            .set(SciAttrCol::Vtype, param(0))
+            .set(SciAttrCol::Ival, param(1))
+            .set(SciAttrCol::Dval, param(2))
+            .set(SciAttrCol::Tval, param(3))
+            .filter(
+                SciAttrCol::Runid
+                    .eq(param(4))
+                    .and(SciAttrCol::Path.eq(param(5)))
+                    .and(SciAttrCol::Name.eq(param(6))),
+            )
+            .compile());
+        let rs = store.run(
+            update,
+            &[
+                Value::from(value.type_tag()),
+                i.clone(),
+                d.clone(),
+                t.clone(),
+                Value::Int(runid),
+                Value::from(path),
+                Value::from(name),
+            ],
+        )?;
+        if rs.affected == 0 {
+            store.run(
+                stmt_once!(Insert::<SciAttrRow>::prepared()),
+                &[
+                    Value::Int(runid),
+                    Value::from(path),
+                    Value::from(name),
+                    Value::from(value.type_tag()),
+                    i,
+                    d,
+                    t,
+                ],
+            )?;
+        }
+        Ok(())
+    })
+}
+
+/// Read an attribute row back (the query side of [`upsert_attr`]).
+fn lookup_attr(
+    store: &dyn MetadataStore,
+    runid: i64,
+    path: &str,
+    name: &str,
+) -> DbResult<Option<AttrValue>> {
+    let rs = store.run(
+        stmt_once!(Query::<SciAttrRow>::filter(
+            SciAttrCol::Runid
+                .eq(param(0))
+                .and(SciAttrCol::Path.eq(param(1)))
+                .and(SciAttrCol::Name.eq(param(2))),
+        )
+        .select(&[
+            SciAttrCol::Vtype,
+            SciAttrCol::Ival,
+            SciAttrCol::Dval,
+            SciAttrCol::Tval,
+        ])
+        .compile()),
+        &[Value::Int(runid), Value::from(path), Value::from(name)],
+    )?;
+    Ok(rs.first().and_then(|r| {
+        AttrValue::from_columns(r[0].as_str().unwrap_or_default(), &r[1], &r[2], &r[3])
+    }))
+}
 
 /// A hierarchical scientific container backed by SDM.
 ///
@@ -141,12 +225,16 @@ impl SciFile {
         let mut sdm = Sdm::initialize_with(comm, pfs, store, name, cfg)?;
         sdm.record_run(comm, 0)?;
         if comm.rank() == 0 {
-            for ddl in SCI_DDL {
-                store.exec(ddl, &[])?;
+            for desc in SCI_TABLES {
+                ensure_table(store.as_ref(), desc)?;
             }
-            store.exec(
-                "INSERT INTO sci_group_table VALUES (?, ?)",
-                &[Value::Int(sdm.runid()), Value::from("/")],
+            store.run(
+                stmt_once!(Insert::<SciGroupRow>::prepared()),
+                &SciGroupRow {
+                    runid: sdm.runid(),
+                    path: "/".to_string(),
+                }
+                .into_row(),
             )?;
         }
         comm.barrier();
@@ -177,8 +265,12 @@ impl SciFile {
         let mut sdm = Sdm::attach(comm, pfs, store, name, runid, cfg)?;
 
         let mut groups = BTreeSet::new();
-        let rs = store.exec(
-            "SELECT path FROM sci_group_table WHERE runid = ?",
+        let rs = store.run(
+            stmt_once!(
+                Query::<SciGroupRow>::filter(SciGroupCol::Runid.eq(param(0)))
+                    .select(&[SciGroupCol::Path])
+                    .compile()
+            ),
             &[Value::Int(runid)],
         )?;
         for r in &rs.rows {
@@ -191,8 +283,10 @@ impl SciFile {
         }
 
         let mut dims = BTreeMap::new();
-        let rs = store.exec(
-            "SELECT name, len FROM sci_dim_table WHERE runid = ?",
+        let rs = store.run(
+            stmt_once!(Query::<SciDimRow>::filter(SciDimCol::Runid.eq(param(0)))
+                .select(&[SciDimCol::Name, SciDimCol::Len])
+                .compile()),
             &[Value::Int(runid)],
         )?;
         for r in &rs.rows {
@@ -202,9 +296,19 @@ impl SciFile {
             );
         }
 
-        let rs = store.exec(
-            "SELECT ghandle, path, data_type, dims, global_size
-             FROM sci_dataset_table WHERE runid = ? ORDER BY ghandle",
+        let rs = store.run(
+            stmt_once!(
+                Query::<SciDatasetRow>::filter(SciDatasetCol::Runid.eq(param(0)))
+                    .select(&[
+                        SciDatasetCol::Ghandle,
+                        SciDatasetCol::Path,
+                        SciDatasetCol::DataType,
+                        SciDatasetCol::Dims,
+                        SciDatasetCol::GlobalSize,
+                    ])
+                    .order_by(SciDatasetCol::Ghandle)
+                    .compile()
+            ),
             &[Value::Int(runid)],
         )?;
         let mut datasets = HashMap::new();
@@ -265,9 +369,13 @@ impl SciFile {
             )));
         }
         if comm.rank() == 0 {
-            self.sdm.store().exec(
-                "INSERT INTO sci_group_table VALUES (?, ?)",
-                &[Value::Int(self.sdm.runid()), Value::from(path)],
+            self.sdm.store().run(
+                stmt_once!(Insert::<SciGroupRow>::prepared()),
+                &SciGroupRow {
+                    runid: self.sdm.runid(),
+                    path: path.to_string(),
+                }
+                .into_row(),
             )?;
         }
         comm.barrier();
@@ -289,13 +397,14 @@ impl SciFile {
             return Err(SciError::Usage(format!("dimension {name} already defined")));
         }
         if comm.rank() == 0 {
-            self.sdm.store().exec(
-                "INSERT INTO sci_dim_table VALUES (?, ?, ?)",
-                &[
-                    Value::Int(self.sdm.runid()),
-                    Value::from(name),
-                    Value::from(len),
-                ],
+            self.sdm.store().run(
+                stmt_once!(Insert::<SciDimRow>::prepared()),
+                &SciDimRow {
+                    runid: self.sdm.runid(),
+                    name: name.to_string(),
+                    len: len as i64,
+                }
+                .into_row(),
             )?;
         }
         comm.barrier();
@@ -349,16 +458,17 @@ impl SciFile {
         let reg = self.sdm.group(comm).dataset_desc(desc).build()?;
         let slot = reg.slot(path)?;
         if comm.rank() == 0 {
-            self.sdm.store().exec(
-                "INSERT INTO sci_dataset_table VALUES (?, ?, ?, ?, ?, ?)",
-                &[
-                    Value::Int(self.sdm.runid()),
-                    Value::Int(reg.group().index() as i64),
-                    Value::from(path),
-                    Value::from(dtype.sql_name()),
-                    Value::from(dims.join(",")),
-                    Value::from(global_size),
-                ],
+            self.sdm.store().run(
+                stmt_once!(Insert::<SciDatasetRow>::prepared()),
+                &SciDatasetRow {
+                    runid: self.sdm.runid(),
+                    ghandle: reg.group().index() as i64,
+                    path: path.to_string(),
+                    data_type: dtype.sql_name().to_string(),
+                    dims: dims.join(","),
+                    global_size: global_size as i64,
+                }
+                .into_row(),
             )?;
         }
         comm.barrier();
@@ -412,6 +522,9 @@ impl SciFile {
     }
 
     /// Set (or replace) an attribute on a group or dataset. Collective.
+    /// Rank 0 upserts the row inside one transaction, so a concurrent
+    /// reader always sees either the old or the new value — never a
+    /// missing attribute.
     pub fn set_attr(
         &mut self,
         comm: &mut Comm,
@@ -423,27 +536,12 @@ impl SciFile {
             return Err(SciError::Usage(format!("no group or dataset at {path}")));
         }
         if comm.rank() == 0 {
-            let store = self.sdm.store();
-            store.exec(
-                "DELETE FROM sci_attr_table WHERE runid = ? AND path = ? AND name = ?",
-                &[
-                    Value::Int(self.sdm.runid()),
-                    Value::from(path),
-                    Value::from(name),
-                ],
-            )?;
-            let (i, d, t) = value.to_columns();
-            store.exec(
-                "INSERT INTO sci_attr_table VALUES (?, ?, ?, ?, ?, ?, ?)",
-                &[
-                    Value::Int(self.sdm.runid()),
-                    Value::from(path),
-                    Value::from(name),
-                    Value::from(value.type_tag()),
-                    i,
-                    d,
-                    t,
-                ],
+            upsert_attr(
+                self.sdm.store().as_ref(),
+                self.sdm.runid(),
+                path,
+                name,
+                &value,
             )?;
         }
         comm.barrier();
@@ -452,24 +550,25 @@ impl SciFile {
 
     /// Read an attribute (local metadata query; no communication).
     pub fn get_attr(&self, path: &str, name: &str) -> SciResult<Option<AttrValue>> {
-        let rs = self.sdm.store().exec(
-            "SELECT vtype, ival, dval, tval FROM sci_attr_table
-             WHERE runid = ? AND path = ? AND name = ?",
-            &[
-                Value::Int(self.sdm.runid()),
-                Value::from(path),
-                Value::from(name),
-            ],
-        )?;
-        Ok(rs.first().and_then(|r| {
-            AttrValue::from_columns(r[0].as_str().unwrap_or_default(), &r[1], &r[2], &r[3])
-        }))
+        Ok(lookup_attr(
+            self.sdm.store().as_ref(),
+            self.sdm.runid(),
+            path,
+            name,
+        )?)
     }
 
     /// All attribute names on an object, sorted.
     pub fn attr_names(&self, path: &str) -> SciResult<Vec<String>> {
-        let rs = self.sdm.store().exec(
-            "SELECT name FROM sci_attr_table WHERE runid = ? AND path = ? ORDER BY name",
+        let rs = self.sdm.store().run(
+            stmt_once!(Query::<SciAttrRow>::filter(
+                SciAttrCol::Runid
+                    .eq(param(0))
+                    .and(SciAttrCol::Path.eq(param(1))),
+            )
+            .select(&[SciAttrCol::Name])
+            .order_by(SciAttrCol::Name)
+            .compile()),
             &[Value::Int(self.sdm.runid()), Value::from(path)],
         )?;
         Ok(rs
@@ -718,6 +817,71 @@ mod tests {
                 f.close(c).unwrap();
             }
         });
+    }
+
+    #[test]
+    fn attr_upsert_is_never_observably_missing() {
+        // The satellite guarantee of the transactional upsert: while one
+        // thread replaces an attribute's value over and over, a reader
+        // must always observe *some* value — the old or the new, never a
+        // gap (the DELETE-then-INSERT shape this replaced had one).
+        use sdm_core::SqlStore;
+        let db = Arc::new(Database::new());
+        let store: SharedStore = SqlStore::shared(&db);
+        for desc in SCI_TABLES {
+            ensure_table(store.as_ref(), desc).unwrap();
+        }
+        upsert_attr(store.as_ref(), 1, "/", "steps", &AttrValue::Int(0)).unwrap();
+        let writer = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for k in 1..=300i64 {
+                    upsert_attr(store.as_ref(), 1, "/", "steps", &AttrValue::Int(k)).unwrap();
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        while !writer.is_finished() {
+            let got = lookup_attr(store.as_ref(), 1, "/", "steps").unwrap();
+            assert!(got.is_some(), "reader observed a missing attribute");
+            seen.push(got.unwrap());
+        }
+        writer.join().unwrap();
+        assert_eq!(
+            lookup_attr(store.as_ref(), 1, "/", "steps").unwrap(),
+            Some(AttrValue::Int(300))
+        );
+        // Observed values are monotone: upserts replace, never duplicate.
+        let ints: Vec<i64> = seen.iter().filter_map(AttrValue::as_i64).collect();
+        assert!(ints.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn attr_lookups_probe_the_runid_index() {
+        // The generated `sci_attr_table (runid)` index must carry
+        // attribute lookups: no full scans once the tables are warm.
+        use sdm_core::SqlStore;
+        let db = Arc::new(Database::new());
+        let store: SharedStore = SqlStore::shared(&db);
+        for desc in SCI_TABLES {
+            ensure_table(store.as_ref(), desc).unwrap();
+        }
+        for runid in 0..50i64 {
+            upsert_attr(store.as_ref(), runid, "/", "title", &AttrValue::from("r")).unwrap();
+        }
+        db.reset_stats();
+        assert!(lookup_attr(store.as_ref(), 25, "/", "title")
+            .unwrap()
+            .is_some());
+        let stats = db.stats();
+        assert_eq!(stats.full_scans, 0, "attr lookup fell back to a scan");
+        assert_eq!(stats.index_scans, 1, "attr lookup must probe the index");
+        // The probe touched only runid-25 candidates, not all 50 rows.
+        assert!(
+            stats.rows_scanned <= 2,
+            "scanned {} rows",
+            stats.rows_scanned
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`container::SciFile`] — a hierarchical container: groups addressed
 //!   by `/`-separated paths, named dimensions, datasets defined over
 //!   dimensions, and attributes on any object. Metadata lives in the
-//!   same embedded database as SDM's six tables (three extra tables);
+//!   same embedded database as SDM's six tables, as the four typed
+//!   relations of [`schema`] — every container statement is a typed
+//!   `sdm_metadb::stmt::Stmt`, never SQL text;
 //!   dataset bytes move through `Sdm::write`/`Sdm::read`, i.e. with
 //!   collective noncontiguous MPI-IO and Level 1/2/3 file organization
 //!   for free.
@@ -30,6 +32,7 @@
 pub mod attr;
 pub mod container;
 pub mod netcdf;
+pub mod schema;
 pub mod vtk;
 
 pub use attr::AttrValue;

@@ -1,12 +1,15 @@
 //! Tour of the metadata layer: the `MetadataStore` trait over the six
-//! SDM tables, embedded SQL with prepared statements, and snapshot
-//! persistence — what MySQL did for the paper's SDM.
+//! SDM tables, typed statements compiled once (what PR 4 replaced the
+//! stringly SQL surface with), raw SQL at the embedded-engine level,
+//! and snapshot persistence — what MySQL did for the paper's SDM.
 //!
 //! Run: `cargo run --example metadb_tour`
 
 use std::sync::Arc;
 
+use sdm::core::schema::{ExecutionCol, ExecutionRow};
 use sdm::core::{MetadataStore, RunRecord, SqlStore};
+use sdm::metadb::stmt::{param, Query, TypedColumn};
 use sdm::metadb::{Database, Value};
 
 fn main() {
@@ -47,15 +50,23 @@ fn main() {
         }
     }
 
-    // Ad-hoc embedded SQL, exactly how SDM queries its own metadata.
-    // Repeated statements are parsed once (prepared-statement cache).
-    let rs = store
-        .exec(
-            "SELECT dataset, timestep, file_offset FROM execution_table
-             WHERE runid = ? AND timestep >= 1 ORDER BY file_offset DESC LIMIT 3",
-            &[Value::Int(runid)],
-        )
-        .unwrap();
+    // Ad-hoc queries are typed statements too: built fluently over the
+    // schema's column enums, compiled once, and replayed with fresh
+    // parameters — no SQL text is ever formatted or parsed.
+    let last_writes = Query::<ExecutionRow>::filter(
+        ExecutionCol::Runid
+            .eq(param(0))
+            .and(ExecutionCol::Timestep.ge(1)),
+    )
+    .select(&[
+        ExecutionCol::Dataset,
+        ExecutionCol::Timestep,
+        ExecutionCol::FileOffset,
+    ])
+    .order_by_desc(ExecutionCol::FileOffset)
+    .limit(3)
+    .compile();
+    let rs = store.run(&last_writes, &[Value::Int(runid)]).unwrap();
     println!("\nlast three writes (newest first):");
     for row in &rs.rows {
         println!("  dataset={} t={} offset={}", row[0], row[1], row[2]);
@@ -63,8 +74,8 @@ fn main() {
     assert_eq!(rs.len(), 3);
     let stats = db.stats();
     println!(
-        "statement cache: {} parses, {} hits; scans: {} indexed / {} full",
-        stats.parse_misses, stats.parse_hits, stats.index_scans, stats.full_scans
+        "engine: {} SQL texts seen, {} parses; scans: {} indexed / {} full",
+        stats.sql_texts, stats.parse_misses, stats.index_scans, stats.full_scans
     );
 
     // History registry: key by (problem_size, nprocs).

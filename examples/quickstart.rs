@@ -20,7 +20,9 @@
 
 use std::sync::Arc;
 
+use sdm::core::schema::ExecutionRow;
 use sdm::core::Sdm;
+use sdm::metadb::stmt::Query;
 use sdm::metadb::Database;
 use sdm::mpi::World;
 use sdm::pfs::Pfs;
@@ -88,13 +90,10 @@ fn main() {
     println!("files created: {:?}", pfs.list());
     println!(
         "metadata rows: {:?}",
-        db.exec(
-            "SELECT dataset, timestep, file_name FROM execution_table",
-            &[]
-        )
-        .unwrap()
-        .rows
-        .len()
+        db.exec_stmt(&Query::<ExecutionRow>::all().compile(), &[])
+            .unwrap()
+            .rows
+            .len()
     );
     println!("OK");
 }

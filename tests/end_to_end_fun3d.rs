@@ -8,7 +8,9 @@ use std::sync::Arc;
 
 use sdm::apps::fun3d::{edge_sweep_reference, run_sdm, Fun3dOptions, RESULT_DATASETS};
 use sdm::apps::Fun3dWorkload;
+use sdm::core::schema::{ExecutionCol, ExecutionRow};
 use sdm::core::OrgLevel;
+use sdm::metadb::stmt::{param, Query, TypedColumn};
 use sdm::metadb::Database;
 use sdm::mpi::pod::as_bytes_mut;
 use sdm::mpi::World;
@@ -50,8 +52,14 @@ fn run_and_verify(nprocs: usize, org: OrgLevel) {
             let (f, _) = pfs.open(&name, 0.0).unwrap();
             // Level 2/3 append: find the offset from the metadata table.
             let rs = db
-                .exec(
-                    "SELECT file_offset FROM execution_table WHERE dataset = ? AND timestep = ?",
+                .exec_stmt(
+                    &Query::<ExecutionRow>::filter(
+                        ExecutionCol::Dataset
+                            .eq(param(0))
+                            .and(ExecutionCol::Timestep.eq(param(1))),
+                    )
+                    .select(&[ExecutionCol::FileOffset])
+                    .compile(),
                     &[ds.into(), (t as i64).into()],
                 )
                 .unwrap();

@@ -6,11 +6,24 @@ use std::sync::Arc;
 
 use sdm::apps::rt::{node_value, run_sdm as rt_run, tri_value};
 use sdm::apps::RtWorkload;
+use sdm::core::schema::{ExecutionCol, ExecutionRow};
 use sdm::core::{OrgLevel, Sdm, SdmConfig};
+use sdm::metadb::stmt::{param, Query, Stmt, TypedColumn};
 use sdm::metadb::{Database, Value};
 use sdm::mpi::World;
 use sdm::pfs::Pfs;
 use sdm::sim::MachineConfig;
+
+/// Typed: the execution rows of a (dataset, timestep), compiled once.
+fn lookup_ds_ts() -> Stmt {
+    Query::<ExecutionRow>::filter(
+        ExecutionCol::Dataset
+            .eq(param(0))
+            .and(ExecutionCol::Timestep.eq(param(1))),
+    )
+    .select(&[ExecutionCol::FileOffset, ExecutionCol::FileName])
+    .compile()
+}
 
 #[test]
 fn execution_table_offsets_are_authoritative() {
@@ -53,7 +66,18 @@ fn execution_table_offsets_are_authoritative() {
 
     // 6 execution rows, all in one file, offsets strictly increasing.
     let rs = db
-        .exec("SELECT dataset, timestep, file_offset, file_name FROM execution_table ORDER BY file_offset", &[])
+        .exec_stmt(
+            &Query::<ExecutionRow>::all()
+                .select(&[
+                    ExecutionCol::Dataset,
+                    ExecutionCol::Timestep,
+                    ExecutionCol::FileOffset,
+                    ExecutionCol::FileName,
+                ])
+                .order_by(ExecutionCol::FileOffset)
+                .compile(),
+            &[],
+        )
         .unwrap();
     assert_eq!(rs.len(), 6);
     let file = rs.rows[0][3].as_str().unwrap().to_string();
@@ -97,10 +121,7 @@ fn rt_bytes_identical_across_levels() {
         });
         // Reconstruct the node dataset at step 4 via the metadata.
         let rs = db
-            .exec(
-                "SELECT file_offset, file_name FROM execution_table WHERE dataset = ? AND timestep = 4",
-                &[Value::from("node_data")],
-            )
+            .exec_stmt(&lookup_ds_ts(), &[Value::from("node_data"), Value::Int(4)])
             .unwrap();
         let off = rs.rows[0][0].as_i64().unwrap() as u64;
         let name = rs.rows[0][1].as_str().unwrap();
@@ -136,10 +157,7 @@ fn rt_values_match_generators() {
         ];
         for (ds, n, value) in cases {
             let rs = db
-                .exec(
-                    "SELECT file_offset, file_name FROM execution_table WHERE dataset = ? AND timestep = ?",
-                    &[Value::from(ds), Value::Int(t as i64)],
-                )
+                .exec_stmt(&lookup_ds_ts(), &[Value::from(ds), Value::Int(t as i64)])
                 .unwrap();
             let off = rs.rows[0][0].as_i64().unwrap() as u64;
             let (f, _) = pfs.open(rs.rows[0][1].as_str().unwrap(), 0.0).unwrap();

@@ -14,8 +14,10 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use sdm::core::schema::ExecutionRow;
 use sdm::core::view::DataView;
 use sdm::core::{OrgLevel, Sdm, SdmConfig, SdmType};
+use sdm::metadb::stmt::Query;
 use sdm::metadb::Database;
 use sdm::mpi::World;
 use sdm::pfs::Pfs;
@@ -190,7 +192,7 @@ fn scoped_timestep_pays_one_sync_and_one_transaction() {
     );
     // Both paths recorded the same execution rows.
     let rs = db
-        .exec("SELECT COUNT(*) FROM execution_table", &[])
+        .exec_stmt(&Query::<ExecutionRow>::all().count().compile(), &[])
         .unwrap();
     assert_eq!(
         rs.scalar().and_then(sdm::metadb::Value::as_i64),
