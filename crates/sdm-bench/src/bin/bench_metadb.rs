@@ -10,14 +10,22 @@
 //! **one** store transaction per timestep regardless of how many
 //! datasets the step writes.
 //!
+//! This is also where the engine's transaction/locking invariants are
+//! enforced on every run: the **mixed insert/lookup** workload must stay
+//! on index probes (incremental map maintenance — no insert may trigger
+//! a rebuild-on-probe), a `ROLLBACK` must undo exactly the rows the
+//! transaction touched (`tx_rows_undone == tx_rows_touched`, the undo
+//! log's O(touched) witness), and 4 concurrent reader threads must beat
+//! one thread ≥2x where the cores exist (read-locked SELECTs).
+//!
 //! Run: `cargo run --release --bin bench_metadb [-- --rows 20000]`
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use sdm_core::schema::ExecutionRow;
+use sdm_core::schema::{ExecutionCol, ExecutionRow};
 use sdm_core::{CachedStore, MetadataStore, Sdm, SdmConfig, SqlStore};
-use sdm_metadb::stmt::{param, Insert, Query, Relation, TypedColumn};
+use sdm_metadb::stmt::{param, Delete, Insert, Query, Relation, Stmt, TypedColumn, Update};
 use sdm_metadb::{relation, Database, Value};
 use sdm_mpi::World;
 use sdm_pfs::Pfs;
@@ -189,6 +197,139 @@ fn main() {
         prepared: prep_lookup,
     });
 
+    // ---- Mixed insert/lookup: incremental index maintenance ----
+    // The workload that used to collapse: every insert invalidated all
+    // index maps, so the next probe rebuilt them over every row —
+    // interleaved write/read traffic ran at full-rebuild speed. The
+    // maps are now patched in place, so a probe right after an insert
+    // costs the same as a probe after a thousand of them.
+    let mixed_iters = 4_000u64;
+    let base = rows as i64;
+    db.reset_stats();
+    let mixed_rw = ops_per_sec(mixed_iters, |i| {
+        let ts = base + i as i64;
+        store
+            .record_execution(ts % 64, "p", ts, ts * 512, "f.dat")
+            .unwrap();
+        let hit = store
+            .lookup_execution(i as i64 % 64, "p", i as i64 % 64)
+            .unwrap();
+        assert!(hit.is_some());
+    });
+    let mixed_stats = db.stats();
+    assert_eq!(
+        mixed_stats.full_scans, 0,
+        "mixed-workload lookups fell back to full scans: {mixed_stats:?}"
+    );
+    assert_eq!(
+        mixed_stats.index_scans, mixed_iters,
+        "every mixed-workload lookup must probe an index: {mixed_stats:?}"
+    );
+
+    // ---- Concurrent readers: SELECTs hold the shared lock ----
+    // 4 reader threads against one thread's throughput; reads no longer
+    // funnel through the catalog write lock, so on ≥4 cores they scale
+    // near-linearly (single-core CI containers can't show parallelism,
+    // so the hard gate applies only where the cores exist).
+    let read_threads = 4usize;
+    let per_thread = 4_000u64;
+    let single = ops_per_sec(per_thread, |i| {
+        let hit = store
+            .lookup_execution(i as i64 % 64, "p", i as i64 % 64)
+            .unwrap();
+        assert!(hit.is_some());
+    });
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for r in 0..read_threads as u64 {
+            let store = &store;
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let k = (i + r * 13) % 64;
+                    let hit = store.lookup_execution(k as i64, "p", k as i64).unwrap();
+                    assert!(hit.is_some());
+                }
+            });
+        }
+    });
+    let aggregate =
+        (read_threads as u64 * per_thread) as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    let concurrent_read_speedup = aggregate / single.max(1e-9);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= read_threads {
+        assert!(
+            concurrent_read_speedup >= 2.0,
+            "4 reader threads on {cores} cores must beat one thread ≥2x, \
+             got {concurrent_read_speedup:.2}x"
+        );
+    } else {
+        assert!(
+            concurrent_read_speedup > 0.2,
+            "concurrent readers collapsed ({concurrent_read_speedup:.2}x on {cores} cores)"
+        );
+    }
+
+    // ---- Transactions: undo log is O(rows touched) ----
+    // A transaction logs row-level undo records; BEGIN never clones the
+    // catalog. Touch exactly 64 rows of the (now much larger) execution
+    // table — 32 inserts, 16 single-row updates, 16 single-row deletes
+    // — and roll back: the engine must report exactly 64 rows undone.
+    let tx_rows_touched = 64u64;
+    let upd = Update::<ExecutionRow>::new()
+        .set(ExecutionCol::FileOffset, param(0))
+        .filter(ExecutionCol::Timestep.eq(param(1)))
+        .compile();
+    let del = Delete::<ExecutionRow>::filter(ExecutionCol::Timestep.eq(param(0))).compile();
+    db.reset_stats();
+    db.exec_stmt(&Stmt::begin(), &[]).unwrap();
+    let tx_base = base + mixed_iters as i64;
+    for i in 0..32 {
+        store
+            .record_execution(7, "tx", tx_base + i, i * 512, "tx.dat")
+            .unwrap();
+    }
+    for i in 0..16i64 {
+        // Each timestep value is unique in the table: one row per hit.
+        let rs = db
+            .exec_stmt(&upd, &[Value::Int(-1), Value::Int(base + i)])
+            .unwrap();
+        assert_eq!(rs.affected, 1);
+    }
+    for i in 16..32i64 {
+        let rs = db.exec_stmt(&del, &[Value::Int(base + i)]).unwrap();
+        assert_eq!(rs.affected, 1);
+    }
+    db.exec_stmt(&Stmt::rollback(), &[]).unwrap();
+    let tx_rows_undone = db.stats().tx_rows_undone;
+    assert_eq!(
+        tx_rows_undone, tx_rows_touched,
+        "rollback must undo exactly the rows touched, not the table"
+    );
+    let table_rows = db
+        .exec_stmt(&Query::<ExecutionRow>::all().count().compile(), &[])
+        .unwrap()
+        .scalar()
+        .and_then(Value::as_i64)
+        .unwrap();
+    assert!(
+        table_rows as u64 > 4 * tx_rows_touched,
+        "the table must dwarf the transaction for the O(touched) claim to mean anything"
+    );
+
+    // Begin→insert→rollback cycles on the big table: with clone-the-
+    // catalog snapshots this paid O(table) per cycle; the undo log pays
+    // O(1).
+    let small_txs = 2_000u64;
+    let small_tx = ops_per_sec(small_txs, |i| {
+        db.exec_stmt(&Stmt::begin(), &[]).unwrap();
+        store
+            .record_execution(9, "cycle", tx_base + 100 + i as i64, 0, "c.dat")
+            .unwrap();
+        db.exec_stmt(&Stmt::rollback(), &[]).unwrap();
+    });
+
     // ---- next_runid: MAX() fast path over a populated run_table ----
     for k in 0..512 {
         store
@@ -298,6 +439,15 @@ fn main() {
         );
     }
     println!("next_runid       {next_runid:>12.0} ops/s (MAX fast path)");
+    println!("mixed_rw         {mixed_rw:>12.0} pairs/s (insert+lookup, incremental maps)");
+    println!(
+        "concurrent reads {concurrent_read_speedup:>11.2}x aggregate over 1 thread \
+         ({read_threads} threads, {cores} cores)"
+    );
+    println!(
+        "tx rollback      {tx_rows_undone} rows undone for {tx_rows_touched} touched \
+         (table: {table_rows} rows); small tx cycles {small_tx:.0} ops/s"
+    );
     println!(
         "scoped writes    {scoped_syncs_per_step} sync/timestep (legacy: {legacy_syncs_per_step}), {scoped_txs} txs / {scope_steps} steps"
     );
@@ -312,6 +462,15 @@ fn main() {
         ));
     }
     json.push_str(&format!("  \"next_runid_ops_per_sec\": {next_runid:.1},\n"));
+    json.push_str(&format!(
+        "  \"mixed_rw_lookup_ops_per_sec\": {mixed_rw:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"concurrent_read_speedup\": {concurrent_read_speedup:.2},\n  \"concurrent_read_threads\": {read_threads},\n  \"concurrent_read_cores\": {cores},\n"
+    ));
+    json.push_str(&format!(
+        "  \"tx_rows_touched\": {tx_rows_touched},\n  \"tx_rows_undone\": {tx_rows_undone},\n  \"small_tx_rollback_ops_per_sec\": {small_tx:.1},\n"
+    ));
     json.push_str(&format!(
         "  \"scoped_syncs_per_timestep\": {scoped_syncs_per_step},\n  \"legacy_syncs_per_timestep\": {legacy_syncs_per_step},\n  \"scoped_store_tx_per_timestep\": {},\n",
         scoped_txs / scope_steps as u64

@@ -95,7 +95,15 @@ relation! {
         /// File the burst landed in.
         pub file_name: String => FileName,
     }
-    indexes { "execution_runid" on runid }
+    // The hot `(runid, dataset, timestep)` point lookup carries two
+    // indexed equality conjuncts; the planner probes whichever bucket
+    // is smaller. In a long run timesteps are far more selective than
+    // runids (every step of every dataset shares one runid), so the
+    // timestep index is what keeps per-probe candidates O(1).
+    indexes {
+        "execution_runid" on runid,
+        "execution_timestep" on timestep,
+    }
 }
 
 relation! {

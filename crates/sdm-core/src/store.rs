@@ -370,12 +370,16 @@ impl MetadataStore for SqlStore {
     fn allocate_runid(&self, application: &str) -> DbResult<i64> {
         // BEGIN ... COMMIT brackets the read-modify-write so interleaved
         // initializers serialize instead of both computing max+1 from
-        // the same snapshot (writes from other threads wait at the
+        // the same state (writes from other threads wait at the
         // database's table lock while the transaction is open). The
-        // reservation row is what makes the new id visible to the next
-        // allocator — but it is *anonymous* (NULL application) until
-        // `record_run` completes it, so a crashed or failed initialize
-        // can never hijack `latest_runid_for_app` re-attachment.
+        // bracket is cheap by construction: a transaction is an undo
+        // log of the rows it touches — opening one never clones the
+        // catalog, and this one logs exactly the single reservation
+        // row. The reservation row is what makes the new id visible to
+        // the next allocator — but it is *anonymous* (NULL application)
+        // until `record_run` completes it, so a crashed or failed
+        // initialize can never hijack `latest_runid_for_app`
+        // re-attachment.
         let _ = application;
         self.db.with_owned_tx(|| {
             let rs = self.run_hot(Hot::AllocMax, &[])?;
@@ -1415,6 +1419,60 @@ mod tests {
         let id = s.allocate_runid("nested").unwrap();
         s.run(&Stmt::commit(), &[]).unwrap();
         assert!(id >= 1);
+    }
+
+    #[test]
+    fn store_transaction_rollback_is_o_of_batch_not_table() {
+        // The store's transaction bracket rides the engine's undo log:
+        // rolling back a k-row batch undoes k row images, regardless of
+        // how many rows the table already holds.
+        let s = sql_store();
+        for ts in 0..500 {
+            s.record_execution(1, "seed", ts, ts * 64, "f").unwrap();
+        }
+        s.database().reset_stats();
+        s.run(&Stmt::begin(), &[]).unwrap();
+        for ts in 0..8 {
+            s.record_execution(2, "tx", ts, ts * 64, "g").unwrap();
+        }
+        s.run(&Stmt::rollback(), &[]).unwrap();
+        let stats = s.database().stats();
+        assert_eq!(stats.tx_rows_undone, 8, "undo tracks the batch size");
+        assert_eq!(s.lookup_execution(2, "tx", 0).unwrap(), None);
+        // The seeded rows survived untouched and still probe through
+        // the index.
+        assert!(s.lookup_execution(1, "seed", 250).unwrap().is_some());
+    }
+
+    #[test]
+    fn readers_keep_probing_while_a_batch_transaction_is_open() {
+        // CachedStore's per-timestep flush opens a transaction on rank
+        // 0; reader ranks doing indexed lookups must not serialize
+        // behind it (SELECTs take the shared catalog lock).
+        let db = Arc::new(Database::new());
+        let store = SqlStore::shared(&db);
+        store.ensure_schema().unwrap();
+        for ts in 0..50 {
+            store.record_execution(1, "p", ts, ts * 64, "f").unwrap();
+        }
+        store.run(&Stmt::begin(), &[]).unwrap();
+        store.record_execution(1, "p", 50, 50 * 64, "f").unwrap();
+        let readers: Vec<_> = (0..4)
+            .map(|r| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for ts in 0..50 {
+                        let hit = store.lookup_execution(1, "p", (ts + r) % 50).unwrap();
+                        assert!(hit.is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in readers {
+            h.join().unwrap(); // completes while the tx is still open
+        }
+        store.run(&Stmt::commit(), &[]).unwrap();
+        assert!(store.lookup_execution(1, "p", 50).unwrap().is_some());
     }
 
     #[test]

@@ -25,29 +25,49 @@ impl Catalog {
     }
 
     /// Create a table; errors if it exists (unless `if_not_exists`).
+    /// Returns whether a table was actually created (so transaction
+    /// undo only logs real creations).
     pub fn create_table(
         &mut self,
         name: &str,
         schema: Schema,
         if_not_exists: bool,
-    ) -> DbResult<()> {
+    ) -> DbResult<bool> {
         let key = Self::key(name);
         if self.tables.contains_key(&key) {
             if if_not_exists {
-                return Ok(());
+                return Ok(false);
             }
             return Err(DbError::TableExists(name.to_string()));
         }
         self.tables.insert(key, Table::new(schema));
-        Ok(())
+        Ok(true)
     }
 
     /// Drop a table.
     pub fn drop_table(&mut self, name: &str) -> DbResult<()> {
+        self.remove_table(name).map(|_| ())
+    }
+
+    /// Drop a table, returning it (transaction undo keeps it for
+    /// replay).
+    pub(crate) fn remove_table(&mut self, name: &str) -> DbResult<Table> {
         self.tables
             .remove(&Self::key(name))
-            .map(|_| ())
             .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Re-instate a table wholesale (transaction undo of `DROP TABLE`).
+    pub(crate) fn put_table(&mut self, name: &str, table: Table) {
+        self.tables.insert(Self::key(name), table);
+    }
+
+    /// Rebuild every table's index maps from its rows (snapshot load:
+    /// serde persists index *definitions* but not the maps).
+    pub(crate) fn rebuild_indexes(&mut self) {
+        for table in self.tables.values_mut() {
+            table.rebuild_indexes();
+        }
     }
 
     /// Shared table access.

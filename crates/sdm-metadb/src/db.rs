@@ -7,10 +7,11 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
-use crate::exec::{execute_with_stats, DbStats, Outcome};
+use crate::exec::{execute_mutation, execute_read, DbStats, Outcome};
 use crate::sql::ast::Statement;
 use crate::sql::parse;
 use crate::table::Row;
+use crate::undo::UndoLog;
 use crate::value::Value;
 
 /// Result set of a SELECT (empty for other statements).
@@ -140,13 +141,31 @@ impl PlanCache {
 /// [`Database::stats`] exposes the hit/miss counts along with scan
 /// strategy and row-volume counters.
 ///
-/// Transactions (`BEGIN` / `COMMIT` / `ROLLBACK`) snapshot the whole
-/// catalog under a global table lock: one transaction may be open at a
-/// time, and while it is open, **writes from other threads wait** for
-/// it to close (reads proceed). A `ROLLBACK` therefore only ever
-/// discards the owning transaction's own work. That matches how SDM
-/// uses the database — rank 0 brackets its metadata updates — and the
-/// table-level locking of the MySQL 3.23 era.
+/// Transactions (`BEGIN` / `COMMIT` / `ROLLBACK`) keep a row-level
+/// **undo log** under a global table lock: one transaction may be open
+/// at a time, and while it is open, **writes from other threads wait**
+/// for it to close (reads proceed). `BEGIN` allocates an empty log —
+/// nothing is cloned — and each mutation the owner executes appends the
+/// undo images of exactly the rows it touched; `COMMIT` discards the
+/// log, `ROLLBACK` replays it in reverse. A transaction touching k rows
+/// of an n-row database therefore does O(k) bookkeeping, and a
+/// `ROLLBACK` only ever discards the owning transaction's own work.
+/// That matches how SDM uses the database — rank 0 brackets its
+/// metadata updates — and the table-level locking of the MySQL 3.23
+/// era.
+///
+/// The lock ladder, top to bottom (a thread only ever acquires
+/// downward):
+///
+/// 1. `tx` — the transaction slot. Writers take it first (waiting on
+///    `tx_freed` while a foreign transaction is open) and hold it
+///    across their statement; `BEGIN`/`COMMIT`/`ROLLBACK` take only it.
+/// 2. `catalog` — `read()` for SELECTs (concurrent readers proceed in
+///    parallel; index probes take `&Table`), `write()` for mutations
+///    and rollback replay.
+/// 3. `stats` / `plans` — leaf mutexes, taken alone and briefly;
+///    statement execution records into a local `DbStats` and merges
+///    after releasing the catalog lock.
 #[derive(Debug, Default)]
 pub struct Database {
     catalog: RwLock<Catalog>,
@@ -158,12 +177,12 @@ pub struct Database {
     plans: Mutex<PlanCache>,
 }
 
-/// An open transaction: the pre-`BEGIN` snapshot plus the thread that
-/// owns it (the owner's own writes pass the table lock; everyone
+/// An open transaction: its undo log plus the thread that owns it (the
+/// owner's own writes pass the table lock and log undo; everyone
 /// else's wait).
 #[derive(Debug)]
 struct TxState {
-    snapshot: Catalog,
+    undo: UndoLog,
     owner: std::thread::ThreadId,
 }
 
@@ -231,8 +250,9 @@ impl Database {
                 if tx.is_some() {
                     return Err(DbError::Tx("transaction already open".into()));
                 }
+                // O(1): an empty undo log, never a catalog clone.
                 *tx = Some(TxState {
-                    snapshot: self.catalog.read().clone(),
+                    undo: UndoLog::default(),
                     owner: std::thread::current().id(),
                 });
                 Ok(ResultSet::default())
@@ -250,7 +270,7 @@ impl Database {
                     }
                     Some(_) => {}
                 }
-                *tx = None;
+                *tx = None; // the undo log is simply discarded
                 self.tx_freed.notify_all();
                 drop(tx);
                 self.stats.lock().transactions += 1;
@@ -270,36 +290,61 @@ impl Database {
                     Some(_) => {}
                 }
                 let state = tx.take().expect("matched Some above");
-                *self.catalog.write() = state.snapshot;
+                // Replay the undo log in reverse: O(rows touched).
+                let rows_undone = state.undo.rollback(&mut self.catalog.write());
                 self.tx_freed.notify_all();
+                drop(tx);
+                self.stats.lock().tx_rows_undone += rows_undone;
                 Ok(ResultSet::default())
             }
-            stmt => {
+            stmt if Self::is_mutation(stmt) => {
                 // Table-lock semantics: mutations from threads other
                 // than an open transaction's owner wait for it to
                 // close, so a ROLLBACK can never discard a foreign
                 // committed write. The guard is held across execution
-                // so a BEGIN cannot slip in mid-statement either.
-                let _clearance = if Self::is_mutation(stmt) {
-                    Some(self.write_clearance())
-                } else {
-                    None
-                };
+                // so a BEGIN cannot slip in mid-statement either — and
+                // it is also where the owner's undo log lives.
+                let mut clearance = self.write_clearance();
+                let me = std::thread::current().id();
+                let undo = clearance
+                    .as_mut()
+                    .filter(|state| state.owner == me)
+                    .map(|state| &mut state.undo);
                 let mut catalog = self.catalog.write();
-                let mut stats = self.stats.lock();
-                match execute_with_stats(&mut catalog, stmt, params, &mut stats)? {
-                    Outcome::Rows { columns, rows } => Ok(ResultSet {
-                        columns,
-                        rows,
-                        affected: 0,
-                    }),
-                    Outcome::Affected(n) => Ok(ResultSet {
-                        columns: vec![],
-                        rows: vec![],
-                        affected: n,
-                    }),
-                }
+                let mut local = DbStats::default();
+                let result = execute_mutation(&mut catalog, stmt, params, &mut local, undo);
+                drop(catalog);
+                drop(clearance);
+                self.stats.lock().merge(&local);
+                Self::outcome_to_set(result)
             }
+            stmt => {
+                // SELECTs execute under the shared catalog lock:
+                // concurrent readers proceed in parallel and never
+                // contend with each other. Stats are recorded locally
+                // and merged after the lock drops.
+                let catalog = self.catalog.read();
+                let mut local = DbStats::default();
+                let result = execute_read(&catalog, stmt, params, &mut local);
+                drop(catalog);
+                self.stats.lock().merge(&local);
+                Self::outcome_to_set(result)
+            }
+        }
+    }
+
+    fn outcome_to_set(result: DbResult<Outcome>) -> DbResult<ResultSet> {
+        match result? {
+            Outcome::Rows { columns, rows } => Ok(ResultSet {
+                columns,
+                rows,
+                affected: 0,
+            }),
+            Outcome::Affected(n) => Ok(ResultSet {
+                columns: vec![],
+                rows: vec![],
+                affected: n,
+            }),
         }
     }
 
@@ -361,7 +406,7 @@ impl Database {
             match &*tx {
                 None => {
                     *tx = Some(TxState {
-                        snapshot: self.catalog.read().clone(),
+                        undo: UndoLog::default(),
                         owner: std::thread::current().id(),
                     });
                     return TxTicket::Owned;
@@ -414,8 +459,11 @@ impl Database {
         self.catalog.read().clone()
     }
 
-    /// Replace the catalog (load from disk).
-    pub(crate) fn install_catalog(&self, c: Catalog) {
+    /// Replace the catalog (load from disk). Index maps are not
+    /// serialized, so they are rebuilt here before the catalog serves
+    /// its first probe.
+    pub(crate) fn install_catalog(&self, mut c: Catalog) {
+        c.rebuild_indexes();
         *self.catalog.write() = c;
     }
 }
@@ -530,6 +578,63 @@ mod tests {
         db.exec("CREATE TABLE temp (x INT)", &[]).unwrap();
         db.exec("ROLLBACK", &[]).unwrap();
         assert!(!db.has_table("temp"));
+    }
+
+    #[test]
+    fn rollback_cost_tracks_rows_touched_not_table_size() {
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT, b TEXT)", &[]).unwrap();
+        for i in 0..5_000 {
+            db.exec(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i), Value::from("x")],
+            )
+            .unwrap();
+        }
+        db.reset_stats();
+        db.exec("BEGIN", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (9001, 'tx')", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (9002, 'tx')", &[]).unwrap();
+        db.exec("UPDATE t SET b = 'y' WHERE a = 7", &[]).unwrap();
+        db.exec("DELETE FROM t WHERE a = 8", &[]).unwrap();
+        db.exec("ROLLBACK", &[]).unwrap();
+        // 2 inserts + 1 update + 1 delete = 4 row images, although the
+        // table holds 5000 rows.
+        assert_eq!(db.stats().tx_rows_undone, 4);
+        let rs = db.exec("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(5_000)));
+        let rs = db.exec("SELECT b FROM t WHERE a = 7", &[]).unwrap();
+        assert_eq!(rs.scalar().and_then(Value::as_str), Some("x"));
+        assert_eq!(
+            db.exec("SELECT COUNT(*) FROM t WHERE a = 8", &[])
+                .unwrap()
+                .scalar(),
+            Some(&Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn rollback_restores_ddl_and_dml_interleaved() {
+        let db = Database::new();
+        db.exec("CREATE TABLE keep (a INT)", &[]).unwrap();
+        db.exec("INSERT INTO keep VALUES (1)", &[]).unwrap();
+        db.exec("CREATE INDEX ka ON keep (a)", &[]).unwrap();
+        db.exec("BEGIN", &[]).unwrap();
+        db.exec("INSERT INTO keep VALUES (2)", &[]).unwrap();
+        db.exec("DROP INDEX ka ON keep", &[]).unwrap();
+        db.exec("CREATE TABLE temp (x INT)", &[]).unwrap();
+        db.exec("INSERT INTO temp VALUES (7)", &[]).unwrap();
+        db.exec("DROP TABLE keep", &[]).unwrap();
+        db.exec("ROLLBACK", &[]).unwrap();
+        assert!(!db.has_table("temp"));
+        assert!(db.has_table("keep"));
+        let rs = db.exec("SELECT a FROM keep", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+        // The index survived (restored by the DROP TABLE undo, and the
+        // DROP INDEX undo re-created it) and still answers probes.
+        db.reset_stats();
+        db.exec("SELECT a FROM keep WHERE a = 1", &[]).unwrap();
+        assert_eq!(db.stats().index_scans, 1);
     }
 
     #[test]

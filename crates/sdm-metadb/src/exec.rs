@@ -8,7 +8,8 @@ use crate::error::{DbError, DbResult};
 use crate::schema::{Column, Schema};
 use crate::sql::ast::{AggFunc, BinOp, Expr, Join, OrderBy, SelExpr, SelectItem, Statement};
 use crate::table::Row;
-use crate::value::Value;
+use crate::undo::{UndoLog, UndoRecord};
+use crate::value::{IndexKey, Value};
 
 /// Result of executing a statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +53,40 @@ pub struct DbStats {
     /// through `Database::exec_stmt` never move this counter — the
     /// bench asserts it stays flat on the warmed typed hot path.
     pub sql_texts: u64,
+    /// Row images replayed by `ROLLBACK`s. Transactions log row-level
+    /// undo records instead of snapshotting the catalog, so after a
+    /// rollback this counter equals the rows the transaction *touched*
+    /// — the bench asserts it is independent of table size.
+    pub tx_rows_undone: u64,
+}
+
+impl DbStats {
+    /// Accumulate `other` into `self` field-wise. Statement execution
+    /// records into a local `DbStats` and merges once at the end, so
+    /// concurrent readers never serialize on the shared stats mutex
+    /// mid-query.
+    pub fn merge(&mut self, other: &DbStats) {
+        let DbStats {
+            full_scans,
+            index_scans,
+            parse_hits,
+            parse_misses,
+            rows_scanned,
+            rows_returned,
+            transactions,
+            sql_texts,
+            tx_rows_undone,
+        } = other;
+        self.full_scans += full_scans;
+        self.index_scans += index_scans;
+        self.parse_hits += parse_hits;
+        self.parse_misses += parse_misses;
+        self.rows_scanned += rows_scanned;
+        self.rows_returned += rows_returned;
+        self.transactions += transactions;
+        self.sql_texts += sql_texts;
+        self.tx_rows_undone += tx_rows_undone;
+    }
 }
 
 /// Column-name resolution context for expression evaluation.
@@ -320,16 +355,18 @@ fn aggregate(func: AggFunc, vals: &[&Value]) -> Value {
     }
 }
 
-/// If `filter` contains a top-level `col = <const>` conjunct whose value
-/// is known without a row (literal or parameter), return it for index
-/// probing.
-fn eq_probe<'a>(filter: &'a Expr, params: &[Value]) -> Option<(&'a str, Value)> {
+/// Collect every top-level `col = <const>` conjunct whose value is known
+/// without a row (literal or parameter), for index probing.
+fn eq_probes<'a>(filter: &'a Expr, params: &[Value], out: &mut Vec<(&'a str, Value)>) {
     match filter {
         Expr::Binary {
             op: BinOp::And,
             lhs,
             rhs,
-        } => eq_probe(lhs, params).or_else(|| eq_probe(rhs, params)),
+        } => {
+            eq_probes(lhs, params, out);
+            eq_probes(rhs, params, out);
+        }
         Expr::Binary {
             op: BinOp::Eq,
             lhs,
@@ -342,31 +379,48 @@ fn eq_probe<'a>(filter: &'a Expr, params: &[Value]) -> Option<(&'a str, Value)> 
                     _ => None,
                 }
             };
-            match (lhs.as_ref(), rhs.as_ref()) {
+            let probe = match (lhs.as_ref(), rhs.as_ref()) {
                 (Expr::Col(c), e) => const_of(e).map(|v| (c.as_str(), v)),
                 (e, Expr::Col(c)) => const_of(e).map(|v| (c.as_str(), v)),
                 _ => None,
-            }
+            };
+            out.extend(probe);
         }
-        _ => None,
+        _ => {}
     }
 }
 
 /// Positions of rows matching a top-level `col = const` conjunct through
-/// a secondary index, if one applies (`None` means scan).
-fn index_candidates(
-    catalog: &mut Catalog,
+/// a secondary index, if one applies (`None` means scan). When several
+/// conjuncts are indexed, the **smallest candidate bucket** wins — the
+/// probe visits the most selective index, and the caller re-verifies
+/// candidates against the full predicate. Candidates come back borrowed
+/// and in ascending row order, so an index probe allocates nothing and
+/// returns rows exactly as a full scan would.
+fn index_candidates<'c>(
+    catalog: &'c Catalog,
     table: &str,
     rel: &TableRel<'_>,
     filter: &Option<Expr>,
     params: &[Value],
-) -> Option<Vec<usize>> {
-    filter.as_ref().and_then(|f| {
-        let (col, val) = eq_probe(f, params)?;
+) -> Option<&'c [usize]> {
+    let f = filter.as_ref()?;
+    let mut probes = Vec::new();
+    eq_probes(f, params, &mut probes);
+    let t = catalog.get(table).ok()?;
+    let mut best: Option<&[usize]> = None;
+    for (col, val) in &probes {
+        if rel.col_index(col).is_err() {
+            continue; // must resolve in this table
+        }
         let plain = col.rsplit('.').next().unwrap_or(col);
-        rel.col_index(col).ok()?; // must resolve in this table
-        catalog.get_mut(table).ok()?.index_lookup(plain, &val)
-    })
+        if let Some(hits) = t.index_lookup(plain, val) {
+            if best.is_none_or(|b| hits.len() < b.len()) {
+                best = Some(hits);
+            }
+        }
+    }
+    best
 }
 
 /// `SELECT <aggregates only> FROM t [WHERE ...]`: one streaming pass over
@@ -374,7 +428,7 @@ fn index_candidates(
 /// fast path — `SELECT MAX(runid)` touches each candidate row once and
 /// clones nothing.
 fn exec_simple_aggregates(
-    catalog: &mut Catalog,
+    catalog: &Catalog,
     params: &[Value],
     stats: &mut DbStats,
     items: &[SelectItem],
@@ -382,10 +436,10 @@ fn exec_simple_aggregates(
     filter: &Option<Expr>,
     limit: Option<usize>,
 ) -> DbResult<Outcome> {
-    let schema = catalog.get(table)?.schema.clone();
+    let t = catalog.get(table)?;
     let rel = TableRel {
         table,
-        schema: &schema,
+        schema: &t.schema,
     };
     let arg_idx: Vec<Option<usize>> = items
         .iter()
@@ -396,7 +450,6 @@ fn exec_simple_aggregates(
         })
         .collect::<DbResult<_>>()?;
     let candidates = index_candidates(catalog, table, &rel, filter, params);
-    let t = catalog.get(table)?;
     let rows = t.rows();
     let visited: Vec<&Row> = match candidates {
         Some(pos) => {
@@ -457,12 +510,64 @@ pub fn execute(catalog: &mut Catalog, stmt: &Statement, params: &[Value]) -> DbR
 ///
 /// `BEGIN`/`COMMIT`/`ROLLBACK` are connection-level and rejected here;
 /// the `Database` handle intercepts them before reaching the executor.
+/// No transaction is in scope, so mutations log no undo.
 pub fn execute_with_stats(
     catalog: &mut Catalog,
     stmt: &Statement,
     params: &[Value],
     stats: &mut DbStats,
 ) -> DbResult<Outcome> {
+    if let Statement::Select { .. } = stmt {
+        return execute_read(catalog, stmt, params, stats);
+    }
+    execute_mutation(catalog, stmt, params, stats, None)
+}
+
+/// Execute a read-only statement against a **shared** catalog borrow.
+///
+/// This is the path the `Database` drives under `catalog.read()`:
+/// SELECTs — index probes included, since the maps are maintained
+/// incrementally rather than rebuilt on first probe — never need `&mut`,
+/// so concurrent readers proceed in parallel.
+pub fn execute_read(
+    catalog: &Catalog,
+    stmt: &Statement,
+    params: &[Value],
+    stats: &mut DbStats,
+) -> DbResult<Outcome> {
+    match stmt {
+        Statement::Select {
+            distinct,
+            items,
+            table,
+            join,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+        } => exec_select(
+            catalog, params, stats, *distinct, items, table, join, filter, group_by, having,
+            order_by, *limit,
+        ),
+        _ => Err(DbError::Tx(
+            "execute_read only accepts SELECT statements".into(),
+        )),
+    }
+}
+
+/// Execute a mutating statement, appending row-level records to `undo`
+/// when the owning transaction's log is supplied. Undo images are
+/// captured by move (displaced rows, dropped tables) — a transaction
+/// touching k rows logs O(k) work regardless of table size.
+pub(crate) fn execute_mutation(
+    catalog: &mut Catalog,
+    stmt: &Statement,
+    params: &[Value],
+    stats: &mut DbStats,
+    undo: Option<&mut UndoLog>,
+) -> DbResult<Outcome> {
+    let _ = stats; // mutations keep the scan counters SELECT-only
     match stmt {
         Statement::CreateTable {
             name,
@@ -478,11 +583,22 @@ pub fn execute_with_stats(
                     })
                     .collect(),
             )?;
-            catalog.create_table(name, schema, *if_not_exists)?;
+            let created = catalog.create_table(name, schema, *if_not_exists)?;
+            if created {
+                if let Some(undo) = undo {
+                    undo.push(UndoRecord::CreateTable { name: name.clone() });
+                }
+            }
             Ok(Outcome::Affected(0))
         }
         Statement::DropTable { name } => {
-            catalog.drop_table(name)?;
+            let dropped = catalog.remove_table(name)?;
+            if let Some(undo) = undo {
+                undo.push(UndoRecord::DropTable {
+                    name: name.clone(),
+                    table: Box::new(dropped),
+                });
+            }
             Ok(Outcome::Affected(0))
         }
         Statement::CreateIndex {
@@ -491,10 +607,28 @@ pub fn execute_with_stats(
             column,
         } => {
             catalog.get_mut(table)?.create_index(name, column)?;
+            if let Some(undo) = undo {
+                undo.push(UndoRecord::CreateIndex {
+                    table: table.clone(),
+                    index: name.clone(),
+                });
+            }
             Ok(Outcome::Affected(0))
         }
         Statement::DropIndex { name, table } => {
-            catalog.get_mut(table)?.drop_index(name)?;
+            let t = catalog.get_mut(table)?;
+            let def = t
+                .indexes()
+                .iter()
+                .find(|i| i.name.eq_ignore_ascii_case(name))
+                .cloned();
+            t.drop_index(name)?;
+            if let Some(undo) = undo {
+                undo.push(UndoRecord::DropIndex {
+                    table: table.clone(),
+                    def: def.expect("drop_index succeeded, so the def existed"),
+                });
+            }
             Ok(Outcome::Affected(0))
         }
         Statement::Insert {
@@ -506,7 +640,7 @@ pub fn execute_with_stats(
             let empty_row: Row = vec![];
             // Evaluate expressions first (no column refs allowed in VALUES).
             let t = catalog.get(table)?;
-            let schema = t.schema.clone();
+            let schema = &t.schema;
             let mut prepared: Vec<Row> = Vec::with_capacity(rows.len());
             for row_exprs in rows {
                 let vals: Vec<Value> = row_exprs
@@ -534,50 +668,56 @@ pub fn execute_with_stats(
             }
             let t = catalog.get_mut(table)?;
             let n = prepared.len();
-            for row in prepared {
+            let mut appended = 0;
+            let result = prepared.into_iter().try_for_each(|row| {
                 t.insert(row)?;
+                appended += 1;
+                Ok(())
+            });
+            // Log however many rows landed, even on a mid-batch type
+            // error, so a rollback removes exactly them.
+            if appended > 0 {
+                if let Some(undo) = undo {
+                    undo.push(UndoRecord::Append {
+                        table: table.clone(),
+                        n: appended,
+                    });
+                }
             }
-            Ok(Outcome::Affected(n))
+            result.map(|()| Outcome::Affected(n))
         }
-        Statement::Select {
-            distinct,
-            items,
-            table,
-            join,
-            filter,
-            group_by,
-            having,
-            order_by,
-            limit,
-        } => exec_select(
-            catalog, params, stats, *distinct, items, table, join, filter, group_by, having,
-            order_by, *limit,
-        ),
         Statement::Update {
             table,
             sets,
             filter,
         } => {
-            let t = catalog.get_mut(table)?;
-            let schema = t.schema.clone();
+            // Phase 1 (shared borrow): pick the touched rows — through
+            // an index probe when an equality conjunct allows — and
+            // build the validated replacement rows.
+            let t = catalog.get(table)?;
+            let rel = TableRel {
+                table,
+                schema: &t.schema,
+            };
+            let schema = &t.schema;
             let set_idx: Vec<(usize, &Expr)> = sets
                 .iter()
                 .map(|(c, e)| Ok((schema.index_of(c)?, e)))
                 .collect::<DbResult<_>>()?;
-            let mut n = 0;
-            // Two-pass to keep the borrow checker and row-snapshot
-            // semantics honest: evaluate against the pre-update row.
-            for row in t.rows_mut().iter_mut() {
-                let hit = match filter {
-                    Some(f) => truthy(&eval(f, &schema, row, params)?) == Some(true),
-                    None => true,
-                };
-                if !hit {
-                    continue;
+            let candidates = index_candidates(catalog, table, &rel, filter, params);
+            let rows = t.rows();
+            let mut updates: Vec<(usize, Row)> = Vec::new();
+            let mut visit = |pos: usize, row: &Row| -> DbResult<()> {
+                if let Some(f) = filter {
+                    if truthy(&eval(f, schema, row, params)?) != Some(true) {
+                        return Ok(());
+                    }
                 }
-                let snapshot = row.clone();
+                // Evaluate against the pre-update row (snapshot
+                // semantics: `SET a = b, b = a` swaps).
+                let mut new_row = row.clone();
                 for &(i, e) in &set_idx {
-                    let v = eval(e, &schema, &snapshot, params)?;
+                    let v = eval(e, schema, row, params)?;
                     let col = &schema.columns[i];
                     if !col.ctype.admits(&v) {
                         return Err(DbError::Type(format!(
@@ -586,34 +726,86 @@ pub fn execute_with_stats(
                             v.type_name()
                         )));
                     }
-                    row[i] = col.ctype.coerce(v);
+                    new_row[i] = col.ctype.coerce(v);
                 }
-                n += 1;
+                updates.push((pos, new_row));
+                Ok(())
+            };
+            match candidates {
+                Some(pos) => {
+                    for &p in pos {
+                        visit(p, &rows[p])?;
+                    }
+                }
+                None => {
+                    for (p, row) in rows.iter().enumerate() {
+                        visit(p, row)?;
+                    }
+                }
+            }
+            // Phase 2 (exclusive borrow): swap the new rows in; the
+            // displaced originals are the undo images.
+            let n = updates.len();
+            let old = catalog.get_mut(table)?.apply_updates(updates);
+            if n > 0 {
+                if let Some(undo) = undo {
+                    undo.push(UndoRecord::Update {
+                        table: table.clone(),
+                        old,
+                    });
+                }
             }
             Ok(Outcome::Affected(n))
         }
         Statement::Delete { table, filter } => {
-            let t = catalog.get_mut(table)?;
-            let schema = t.schema.clone();
-            match filter {
-                None => {
-                    let n = t.len();
-                    t.rows_mut().clear();
-                    Ok(Outcome::Affected(n))
+            let Some(f) = filter else {
+                // No WHERE: take every row in one sweep (the undo
+                // record restores them at their enumerated positions).
+                let removed = catalog.get_mut(table)?.clear();
+                let n = removed.len();
+                if n > 0 {
+                    if let Some(undo) = undo {
+                        undo.push(UndoRecord::Delete {
+                            table: table.clone(),
+                            removed: removed.into_iter().enumerate().collect(),
+                        });
+                    }
                 }
-                Some(f) => {
-                    // Evaluate first to surface errors; then delete.
-                    let hits: Vec<bool> = t
-                        .rows()
-                        .iter()
-                        .map(|r| Ok(truthy(&eval(f, &schema, r, params)?) == Some(true)))
-                        .collect::<DbResult<_>>()?;
-                    let mut it = hits.into_iter();
-                    let n = t.delete_where(|_| it.next().unwrap_or(false));
-                    Ok(Outcome::Affected(n))
+                return Ok(Outcome::Affected(n));
+            };
+            let t = catalog.get(table)?;
+            let rel = TableRel {
+                table,
+                schema: &t.schema,
+            };
+            let candidates = index_candidates(catalog, table, &rel, filter, params);
+            let rows = t.rows();
+            let schema = &t.schema;
+            let hit = |p: usize| -> DbResult<Option<usize>> {
+                Ok((truthy(&eval(f, schema, &rows[p], params)?) == Some(true)).then_some(p))
+            };
+            let positions: Vec<usize> = match candidates {
+                Some(pos) => pos
+                    .iter()
+                    .filter_map(|&p| hit(p).transpose())
+                    .collect::<DbResult<_>>()?,
+                None => (0..rows.len())
+                    .filter_map(|p| hit(p).transpose())
+                    .collect::<DbResult<_>>()?,
+            };
+            let removed = catalog.get_mut(table)?.delete_at(&positions);
+            let n = removed.len();
+            if n > 0 {
+                if let Some(undo) = undo {
+                    undo.push(UndoRecord::Delete {
+                        table: table.clone(),
+                        removed: positions.into_iter().zip(removed).collect(),
+                    });
                 }
             }
+            Ok(Outcome::Affected(n))
         }
+        Statement::Select { .. } => unreachable!("dispatched to execute_read"),
         Statement::Begin | Statement::Commit | Statement::Rollback => Err(DbError::Tx(
             "transactions are managed by the Database connection, not the executor".into(),
         )),
@@ -625,7 +817,7 @@ pub fn execute_with_stats(
 /// → LIMIT.
 #[allow(clippy::too_many_arguments)]
 fn exec_select(
-    catalog: &mut Catalog,
+    catalog: &Catalog,
     params: &[Value],
     stats: &mut DbStats,
     distinct: bool,
@@ -658,19 +850,16 @@ fn exec_select(
     // ---- Source relation ----
     let (rel_cols, mut rows): (Vec<(String, String)>, Vec<Row>) = match join {
         None => {
-            let schema = catalog.get(table)?.schema.clone();
-            let rel = TableRel {
-                table,
-                schema: &schema,
-            };
-            let candidates = index_candidates(catalog, table, &rel, filter, params);
             let t = catalog.get(table)?;
+            let schema = &t.schema;
+            let rel = TableRel { table, schema };
+            let candidates = index_candidates(catalog, table, &rel, filter, params);
             let mut out = Vec::new();
             match candidates {
                 Some(pos) => {
                     stats.index_scans += 1;
                     stats.rows_scanned += pos.len() as u64;
-                    for p in pos {
+                    for &p in pos {
                         let row = &t.rows()[p];
                         if let Some(f) = filter {
                             if truthy(&eval(f, &rel, row, params)?) != Some(true) {
@@ -705,8 +894,8 @@ fn exec_select(
             let left = catalog.get(table)?;
             let right = catalog.get(&j.table)?;
             stats.rows_scanned += (left.len() + right.len()) as u64;
-            let lschema = left.schema.clone();
-            let rschema = right.schema.clone();
+            let lschema = &left.schema;
+            let rschema = &right.schema;
             let cols: Vec<(String, String)> = lschema
                 .columns
                 .iter()
@@ -722,11 +911,11 @@ fn exec_select(
             // Resolve the ON columns against each side.
             let lrel = TableRel {
                 table,
-                schema: &lschema,
+                schema: lschema,
             };
             let rrel = TableRel {
                 table: &j.table,
-                schema: &rschema,
+                schema: rschema,
             };
             let (lcol, rcol) = match (lrel.col_index(&j.on_left), rrel.col_index(&j.on_right)) {
                 (Ok(a), Ok(b)) => (a, b),
@@ -741,8 +930,9 @@ fn exec_select(
                     }
                 },
             };
-            // Hash join on the right side.
-            let mut rmap: HashMap<String, Vec<usize>> = HashMap::new();
+            // Hash join on the right side, built over borrowed typed
+            // keys — no string is formatted per row.
+            let mut rmap: HashMap<IndexKey<'_>, Vec<usize>> = HashMap::new();
             for (i, r) in right.rows().iter().enumerate() {
                 if !r[rcol].is_null() {
                     rmap.entry(r[rcol].index_key()).or_default().push(i);
@@ -802,19 +992,18 @@ fn exec_select(
             .iter()
             .map(|g| rel.col_index(g))
             .collect::<DbResult<_>>()?;
-        // Group rows, preserving first-seen order.
-        let mut order: Vec<String> = Vec::new();
-        let mut groups: HashMap<String, Vec<Row>> = HashMap::new();
+        // Group rows by typed key vectors, preserving first-seen order.
+        let mut order: Vec<Vec<IndexKey<'static>>> = Vec::new();
+        let mut groups: HashMap<Vec<IndexKey<'static>>, Vec<Row>> = HashMap::new();
         if gidx.is_empty() {
-            order.push(String::new());
-            groups.insert(String::new(), std::mem::take(&mut rows));
+            order.push(Vec::new());
+            groups.insert(Vec::new(), std::mem::take(&mut rows));
         } else {
             for row in rows.drain(..) {
-                let key = gidx
+                let key: Vec<IndexKey<'static>> = gidx
                     .iter()
-                    .map(|&i| row[i].index_key())
-                    .collect::<Vec<_>>()
-                    .join("\u{1}");
+                    .map(|&i| row[i].index_key().into_owned())
+                    .collect();
                 if !groups.contains_key(&key) {
                     order.push(key.clone());
                 }
@@ -947,9 +1136,8 @@ fn finish(
         rows.retain(|r| {
             seen.insert(
                 r.iter()
-                    .map(Value::index_key)
-                    .collect::<Vec<_>>()
-                    .join("\u{1}"),
+                    .map(|v| v.index_key().into_owned())
+                    .collect::<Vec<IndexKey<'static>>>(),
             )
         });
     }

@@ -7,13 +7,17 @@
 //! surface — plus the reporting features the bench harnesses lean on:
 //! aggregates (COUNT/SUM/AVG/MIN/MAX), GROUP BY + HAVING, DISTINCT,
 //! single-column INNER JOIN, secondary hash indexes (CREATE INDEX) with
-//! automatic equality-probe planning, and snapshot transactions
-//! (BEGIN/COMMIT/ROLLBACK) — as an in-process engine:
+//! automatic equality-probe planning and incremental maintenance, and
+//! undo-log transactions (BEGIN/COMMIT/ROLLBACK cost O(rows touched),
+//! never O(database)) — as an in-process engine:
 //!
 //! * [`value::Value`] / [`schema::Schema`] — the type system (INT,
 //!   DOUBLE, TEXT + NULL).
 //! * [`sql`] — lexer, AST, recursive-descent parser for the SQL subset.
-//! * [`exec`] — expression evaluation and statement execution.
+//! * [`exec`] — expression evaluation and statement execution (shared-
+//!   borrow reads, undo-logging mutations).
+//! * [`undo`] — per-transaction row-level undo logs (`ROLLBACK` replays
+//!   them in reverse).
 //! * [`Database`] — the embedded connection: `exec(sql, params)` for
 //!   SQL text, `exec_stmt(stmt, params)` for typed statements.
 //! * [`stmt`] — the **typed statement layer**: tables described once by
@@ -38,6 +42,7 @@ pub mod schema;
 pub mod sql;
 pub mod stmt;
 pub mod table;
+pub mod undo;
 pub mod value;
 
 pub use db::{Database, PreparedStatement, ResultSet, TxTicket};
@@ -46,4 +51,4 @@ pub use exec::DbStats;
 pub use schema::{ColType, Column, Schema};
 pub use stmt::{Relation, Stmt, TypedColumn};
 pub use table::IndexDef;
-pub use value::Value;
+pub use value::{IndexKey, Value};

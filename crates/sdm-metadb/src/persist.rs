@@ -81,6 +81,35 @@ mod tests {
     }
 
     #[test]
+    fn indexes_rebuild_after_load() {
+        // Index *definitions* persist; the maps do not. A loaded
+        // database must rebuild them before its first probe — and keep
+        // them incrementally maintained afterwards.
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("ix.json");
+        let db = Database::new();
+        db.exec("CREATE TABLE t (k INT)", &[]).unwrap();
+        for i in 0..20 {
+            db.exec("INSERT INTO t VALUES (?)", &[Value::Int(i % 4)])
+                .unwrap();
+        }
+        db.exec("CREATE INDEX tk ON t (k)", &[]).unwrap();
+        db.save(&path).unwrap();
+
+        let db2 = Database::load(&path).unwrap();
+        db2.reset_stats();
+        let rs = db2.exec("SELECT COUNT(*) FROM t WHERE k = 2", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(5)));
+        let stats = db2.stats();
+        assert_eq!(stats.index_scans, 1, "loaded index must answer probes");
+        assert_eq!(stats.rows_scanned, 5);
+        // Maps stay maintained across post-load mutations.
+        db2.exec("INSERT INTO t VALUES (2)", &[]).unwrap();
+        let rs = db2.exec("SELECT COUNT(*) FROM t WHERE k = 2", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(6)));
+    }
+
+    #[test]
     fn null_values_survive_round_trip() {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("n.json");

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
-use crate::value::Value;
+use crate::value::{IndexKey, Value};
 
 /// A row: one value per schema column.
 pub type Row = Vec<Value>;
@@ -20,35 +20,187 @@ pub struct IndexDef {
     pub column: String,
 }
 
-/// Lazily built hash indexes: column → (value key → row positions).
+/// One maintained secondary index: the resolved column position plus the
+/// hash map from canonical key to **ascending** row positions.
 ///
-/// The cache is rebuilt whenever the table's mutation `version` moves —
-/// simpler than incremental maintenance and equivalent for SDM's
-/// read-mostly metadata tables. Skipped by serde; a freshly loaded
-/// table rebuilds on first use.
+/// The maps are maintained *incrementally*: INSERT appends the new
+/// position to its bucket, DELETE drops removed positions and shifts the
+/// survivors, UPDATE moves a position between buckets only when the
+/// indexed cell actually changed. Nothing ever rebuilds a whole map on
+/// the read path, and [`Table::index_lookup`] takes `&self` — probes run
+/// under a shared lock. Buckets stay in ascending row order so an index
+/// probe returns rows in the same order a full scan would.
+///
+/// NULL cells are never indexed (`NULL = x` is unknown, so an equality
+/// probe can never return them).
 #[derive(Debug, Clone, Default)]
-struct IndexCache {
-    built_at: u64,
-    maps: HashMap<String, HashMap<String, Vec<usize>>>,
+struct IndexMap {
+    col: usize,
+    /// Buckets for numeric keys (canonical `f64` bits).
+    num: HashMap<u64, Vec<usize>>,
+    /// Buckets for text keys; probed through `Borrow<str>`, so a text
+    /// probe never clones the probe string.
+    text: HashMap<String, Vec<usize>>,
+}
+
+impl IndexMap {
+    /// Build from scratch over `rows` (index creation and snapshot
+    /// load — never the mutation path).
+    fn build(col: usize, rows: &[Row]) -> Self {
+        let mut m = IndexMap {
+            col,
+            ..IndexMap::default()
+        };
+        for (pos, row) in rows.iter().enumerate() {
+            m.note_append(pos, row);
+        }
+        m
+    }
+
+    /// Borrowed bucket for a probe value (`None` for NULL and misses).
+    fn bucket(&self, key: &IndexKey<'_>) -> Option<&Vec<usize>> {
+        match key {
+            IndexKey::Null => None,
+            IndexKey::Num(b) => self.num.get(b),
+            IndexKey::Text(s) => self.text.get(s.as_ref()),
+        }
+    }
+
+    /// Remove `pos` from the bucket of `key`, dropping the bucket when
+    /// it empties.
+    fn remove_entry(&mut self, key: IndexKey<'_>, pos: usize) {
+        let bucket = match &key {
+            IndexKey::Null => return,
+            IndexKey::Num(b) => self.num.get_mut(b),
+            IndexKey::Text(s) => self.text.get_mut(s.as_ref()),
+        };
+        let Some(bucket) = bucket else { return };
+        if let Ok(at) = bucket.binary_search(&pos) {
+            bucket.remove(at);
+        }
+        if bucket.is_empty() {
+            match key {
+                IndexKey::Null => {}
+                IndexKey::Num(b) => {
+                    self.num.remove(&b);
+                }
+                IndexKey::Text(s) => {
+                    self.text.remove(s.as_ref());
+                }
+            }
+        }
+    }
+
+    /// Insert `pos` into the bucket of `key` at its sorted position
+    /// (buckets stay ascending so probes return rows in scan order).
+    fn insert_entry(&mut self, key: IndexKey<'_>, pos: usize) {
+        let bucket = match key {
+            IndexKey::Null => return,
+            IndexKey::Num(b) => self.num.entry(b).or_default(),
+            IndexKey::Text(s) => self.text.entry(s.into_owned()).or_default(),
+        };
+        let at = bucket.partition_point(|&q| q < pos);
+        bucket.insert(at, pos);
+    }
+
+    /// All buckets, for position-shift passes.
+    fn buckets_mut(&mut self) -> impl Iterator<Item = &mut Vec<usize>> {
+        self.num.values_mut().chain(self.text.values_mut())
+    }
+
+    /// Record `row` appended at `pos` (which exceeds every indexed
+    /// position, so pushing keeps the bucket ascending).
+    fn note_append(&mut self, pos: usize, row: &Row) {
+        let v = &row[self.col];
+        match v.index_key() {
+            IndexKey::Null => {}
+            IndexKey::Num(b) => self.num.entry(b).or_default().push(pos),
+            IndexKey::Text(s) => self.text.entry(s.into_owned()).or_default().push(pos),
+        }
+    }
+
+    /// Forget the entry for `row` at `pos` (undo of an append; `pos` is
+    /// the largest indexed position, sitting at its bucket's tail).
+    fn forget_tail(&mut self, pos: usize, row: &Row) {
+        self.remove_entry(row[self.col].index_key(), pos);
+    }
+
+    /// Drop `deleted` (ascending row positions) from every bucket and
+    /// shift the surviving positions down past them. One pass per
+    /// bucket entry — O(index entries + deleted), never a rebuild.
+    fn note_delete(&mut self, deleted: &[usize]) {
+        for bucket in self.buckets_mut() {
+            let mut w = 0;
+            for r in 0..bucket.len() {
+                let p = bucket[r];
+                match deleted.binary_search(&p) {
+                    Ok(_) => {} // this row was deleted
+                    Err(rank) => {
+                        bucket[w] = p - rank; // rank = deleted positions below p
+                        w += 1;
+                    }
+                }
+            }
+            bucket.truncate(w);
+        }
+        self.num.retain(|_, b| !b.is_empty());
+        self.text.retain(|_, b| !b.is_empty());
+    }
+
+    /// Undo of [`IndexMap::note_delete`]: shift survivors back up past
+    /// the re-inserted ascending `positions`, then index the restored
+    /// rows. The two-pointer walk relies on buckets and `positions`
+    /// both being ascending.
+    fn note_insert_at(&mut self, entries: &[(usize, Row)]) {
+        for bucket in self.buckets_mut() {
+            let mut j = 0usize; // entries consumed so far for this bucket
+            for p in bucket.iter_mut() {
+                let mut f = *p + j;
+                while j < entries.len() && entries[j].0 <= f {
+                    j += 1;
+                    f = *p + j;
+                }
+                *p = f;
+            }
+        }
+        for (pos, row) in entries {
+            self.insert_entry(row[self.col].index_key(), *pos);
+        }
+    }
+
+    /// Move `pos` between buckets when an UPDATE changed the indexed
+    /// cell. No-op when old and new key agree.
+    fn note_update(&mut self, pos: usize, old: &Value, new: &Value) {
+        let (old_key, new_key) = (old.index_key(), new.index_key());
+        if old_key == new_key {
+            return;
+        }
+        self.remove_entry(old_key, pos);
+        self.insert_entry(new_key, pos);
+    }
 }
 
 /// A heap table: schema plus rows in insertion order, with optional
-/// secondary hash indexes.
+/// secondary hash indexes maintained incrementally (`maps` parallels
+/// `indexes`).
+///
+/// The maps are skipped by serde; the catalog rebuilds them on snapshot
+/// load, before a loaded table serves its first probe.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     /// The table's schema.
     pub schema: Schema,
     rows: Vec<Row>,
     /// Declared secondary indexes (definitions persist; the hash maps
-    /// themselves rebuild lazily).
+    /// themselves are rebuilt on load).
     #[serde(default)]
     indexes: Vec<IndexDef>,
-    /// Mutation counter; bumped by anything that may change rows.
     #[serde(skip)]
-    version: u64,
-    #[serde(skip)]
-    cache: IndexCache,
+    maps: Vec<IndexMap>,
 }
+
+/// Empty candidate list for probes that miss (a borrowed `&[]`).
+const NO_ROWS: &[usize] = &[];
 
 impl Table {
     /// An empty table with the given schema.
@@ -57,8 +209,7 @@ impl Table {
             schema,
             rows: Vec::new(),
             indexes: Vec::new(),
-            version: 1,
-            cache: IndexCache::default(),
+            maps: Vec::new(),
         }
     }
 
@@ -72,12 +223,29 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Validate, coerce, and append a row.
+    /// Validate, coerce, and append a row, patching each index map in
+    /// place (O(#indexes), independent of table size).
     pub fn insert(&mut self, row: Row) -> DbResult<()> {
         let row = self.schema.check_row(row)?;
+        let pos = self.rows.len();
+        for m in &mut self.maps {
+            m.note_append(pos, &row);
+        }
         self.rows.push(row);
-        self.version += 1;
         Ok(())
+    }
+
+    /// Undo of the last `n` [`Table::insert`]s: truncate the appended
+    /// rows and pop their index entries. O(n · #indexes).
+    pub(crate) fn undo_append(&mut self, n: usize) {
+        for _ in 0..n {
+            let pos = self.rows.len() - 1;
+            let row = &self.rows[pos];
+            for m in &mut self.maps {
+                m.forget_tail(pos, row);
+            }
+            self.rows.pop();
+        }
     }
 
     /// All rows, insertion-ordered.
@@ -85,25 +253,102 @@ impl Table {
         &self.rows
     }
 
-    /// Mutable row access for UPDATE. Conservatively invalidates the
-    /// index cache (the caller may rewrite anything).
-    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
-        self.version += 1;
-        &mut self.rows
+    /// Remove the rows at `positions` (ascending, deduplicated),
+    /// returning them in the same order. Index maps are patched in
+    /// place; untouched rows keep their relative order.
+    pub fn delete_at(&mut self, positions: &[usize]) -> Vec<Row> {
+        if positions.is_empty() {
+            return Vec::new();
+        }
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        let mut removed = Vec::with_capacity(positions.len());
+        let mut next = 0; // index into positions
+        let mut w = 0;
+        for r in 0..self.rows.len() {
+            if next < positions.len() && positions[next] == r {
+                removed.push(std::mem::take(&mut self.rows[r]));
+                next += 1;
+            } else {
+                self.rows.swap(w, r);
+                w += 1;
+            }
+        }
+        self.rows.truncate(w);
+        for m in &mut self.maps {
+            m.note_delete(positions);
+        }
+        removed
+    }
+
+    /// Undo of [`Table::delete_at`]: restore `entries` (ascending by
+    /// original position) to exactly where they were.
+    pub(crate) fn insert_at(&mut self, entries: Vec<(usize, Row)>) {
+        if entries.is_empty() {
+            return;
+        }
+        for m in &mut self.maps {
+            m.note_insert_at(&entries);
+        }
+        let mut merged = Vec::with_capacity(self.rows.len() + entries.len());
+        let mut old = std::mem::take(&mut self.rows).into_iter();
+        let mut entries = entries.into_iter().peekable();
+        loop {
+            if entries.peek().is_some_and(|(p, _)| *p == merged.len()) {
+                merged.push(entries.next().expect("peeked").1);
+            } else if let Some(row) = old.next() {
+                merged.push(row);
+            } else if let Some((_, row)) = entries.next() {
+                merged.push(row); // restores past the current tail
+            } else {
+                break;
+            }
+        }
+        self.rows = merged;
     }
 
     /// Delete rows matching `pred`; returns how many were removed.
+    /// A predicate that matches nothing performs no index work at all.
     pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
-        let before = self.rows.len();
-        self.rows.retain(|r| !pred(r));
-        self.version += 1;
-        before - self.rows.len()
+        let positions: Vec<usize> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| pred(r).then_some(i))
+            .collect();
+        self.delete_at(&positions).len()
     }
 
-    /// Declare a secondary index. Errors if the column is unknown or the
-    /// name is taken.
+    /// Remove every row, returning them (DELETE without WHERE; the
+    /// caller keeps the rows for undo).
+    pub fn clear(&mut self) -> Vec<Row> {
+        for m in &mut self.maps {
+            m.num.clear();
+            m.text.clear();
+        }
+        std::mem::take(&mut self.rows)
+    }
+
+    /// Replace the rows at the given positions with pre-validated,
+    /// pre-coerced replacements, returning the displaced originals
+    /// (the UPDATE undo records). Index maps are patched only for
+    /// cells that actually changed.
+    pub fn apply_updates(&mut self, updates: Vec<(usize, Row)>) -> Vec<(usize, Row)> {
+        let mut old_rows = Vec::with_capacity(updates.len());
+        for (pos, new_row) in updates {
+            let old_row = std::mem::replace(&mut self.rows[pos], new_row);
+            for m in &mut self.maps {
+                m.note_update(pos, &old_row[m.col], &self.rows[pos][m.col]);
+            }
+            old_rows.push((pos, old_row));
+        }
+        old_rows
+    }
+
+    /// Declare a secondary index; its map is built once here (O(rows))
+    /// and patched incrementally from then on. Errors if the column is
+    /// unknown or the name is taken.
     pub fn create_index(&mut self, name: &str, column: &str) -> DbResult<()> {
-        self.schema.index_of(column)?;
+        let col = self.schema.index_of(column)?;
         if self
             .indexes
             .iter()
@@ -115,18 +360,24 @@ impl Table {
             name: name.to_string(),
             column: column.to_string(),
         });
+        self.maps.push(IndexMap::build(col, &self.rows));
         Ok(())
     }
 
     /// Drop an index by name.
     pub fn drop_index(&mut self, name: &str) -> DbResult<()> {
-        let before = self.indexes.len();
-        self.indexes.retain(|i| !i.name.eq_ignore_ascii_case(name));
-        if self.indexes.len() == before {
-            return Err(DbError::NoSuchIndex(name.to_string()));
+        match self
+            .indexes
+            .iter()
+            .position(|i| i.name.eq_ignore_ascii_case(name))
+        {
+            None => Err(DbError::NoSuchIndex(name.to_string())),
+            Some(i) => {
+                self.indexes.remove(i);
+                self.maps.remove(i);
+                Ok(())
+            }
         }
-        self.cache.maps.clear();
-        Ok(())
     }
 
     /// Declared index definitions.
@@ -141,52 +392,49 @@ impl Table {
             .any(|i| i.column.eq_ignore_ascii_case(column))
     }
 
-    /// Equality probe through an index on `column`: positions of rows
-    /// whose column ≈ `value` (candidates share a hash bucket under SQL
-    /// equality; callers re-verify with the real predicate). `None` if
-    /// no index covers `column`; NULL probes return no rows.
-    pub fn index_lookup(&mut self, column: &str, value: &Value) -> Option<Vec<usize>> {
-        if !self.has_index_on(column) {
-            return None;
-        }
-        if value.is_null() {
-            return Some(Vec::new());
-        }
-        self.ensure_cache();
-        let key = column.to_ascii_lowercase();
+    /// Equality probe through an index on `column`: **borrowed**
+    /// ascending positions of rows whose column ≈ `value` (candidates
+    /// share a hash bucket under SQL equality; callers re-verify with
+    /// the real predicate). `None` if no index covers `column`; NULL
+    /// probes return no rows. Takes `&self` — the whole SELECT pipeline
+    /// runs under a shared catalog lock, and the hot path allocates
+    /// nothing.
+    pub fn index_lookup(&self, column: &str, value: &Value) -> Option<&[usize]> {
+        let i = self
+            .indexes
+            .iter()
+            .position(|ix| ix.column.eq_ignore_ascii_case(column))?;
         Some(
-            self.cache.maps[&key]
-                .get(&value.index_key())
-                .cloned()
-                .unwrap_or_default(),
+            self.maps[i]
+                .bucket(&value.index_key())
+                .map_or(NO_ROWS, Vec::as_slice),
         )
     }
 
-    fn ensure_cache(&mut self) {
-        if self.cache.built_at == self.version
-            && self
-                .indexes
-                .iter()
-                .all(|i| self.cache.maps.contains_key(&i.column.to_ascii_lowercase()))
-        {
-            return;
-        }
-        self.cache.maps.clear();
-        for def in &self.indexes {
-            let col = self
-                .schema
-                .index_of(&def.column)
-                .expect("index column validated at creation");
-            let mut map: HashMap<String, Vec<usize>> = HashMap::new();
-            for (pos, row) in self.rows.iter().enumerate() {
-                if row[col].is_null() {
-                    continue; // NULL never matches an equality probe
-                }
-                map.entry(row[col].index_key()).or_default().push(pos);
-            }
-            self.cache.maps.insert(def.column.to_ascii_lowercase(), map);
-        }
-        self.cache.built_at = self.version;
+    /// Rebuild every index map from the rows (snapshot load: serde
+    /// skips the maps).
+    pub(crate) fn rebuild_indexes(&mut self) {
+        self.maps = self
+            .indexes
+            .iter()
+            .map(|def| {
+                let col = self
+                    .schema
+                    .index_of(&def.column)
+                    .expect("index column validated at creation");
+                IndexMap::build(col, &self.rows)
+            })
+            .collect();
+    }
+
+    /// Test/debug invariant: every patched map equals a from-scratch
+    /// rebuild (same buckets, same ascending positions).
+    #[cfg(test)]
+    fn maps_match_rebuild(&self) -> bool {
+        self.maps.iter().all(|m| {
+            let fresh = IndexMap::build(m.col, &self.rows);
+            m.num == fresh.num && m.text == fresh.text
+        })
     }
 }
 
@@ -248,9 +496,11 @@ mod tests {
         }
         t.create_index("ik", "k").unwrap();
         let hits = t.index_lookup("k", &Value::Int(1)).unwrap();
-        assert_eq!(hits, vec![1, 4, 7]);
+        assert_eq!(hits, &[1, 4, 7]);
         // Unindexed column: no index answer.
         assert!(t.index_lookup("v", &Value::from("x")).is_none());
+        // Probe miss: empty borrowed slice, not None.
+        assert_eq!(t.index_lookup("k", &Value::Int(99)), Some(NO_ROWS));
     }
 
     #[test]
@@ -263,6 +513,7 @@ mod tests {
         assert_eq!(t.index_lookup("k", &Value::Int(7)).unwrap().len(), 2);
         t.delete_where(|r| r[1].as_str() == Some("a"));
         assert_eq!(t.index_lookup("k", &Value::Int(7)).unwrap().len(), 1);
+        assert!(t.maps_match_rebuild());
     }
 
     #[test]
@@ -271,7 +522,7 @@ mod tests {
         t.insert(vec![Value::Int(2), Value::from("a")]).unwrap();
         t.create_index("ik", "k").unwrap();
         // SQL: 2 = 2.0, so a Double probe must find the Int row.
-        assert_eq!(t.index_lookup("k", &Value::Double(2.0)).unwrap(), vec![0]);
+        assert_eq!(t.index_lookup("k", &Value::Double(2.0)).unwrap(), &[0]);
     }
 
     #[test]
@@ -303,5 +554,85 @@ mod tests {
         t.drop_index("i").unwrap();
         assert!(t.index_lookup("k", &Value::Int(0)).is_none());
         assert!(matches!(t.drop_index("i"), Err(DbError::NoSuchIndex(_))));
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_rebuild() {
+        // A deterministic mixed workload: inserts, point updates,
+        // range deletes, undo of each — after every step the patched
+        // maps must equal a from-scratch rebuild.
+        let mut t = table();
+        t.create_index("ik", "k").unwrap();
+        t.create_index("iv", "v").unwrap();
+        for i in 0..40 {
+            let v = if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::from(format!("s{}", i % 4))
+            };
+            t.insert(vec![Value::Int(i % 7), v]).unwrap();
+            assert!(t.maps_match_rebuild(), "after insert {i}");
+        }
+        // Point updates that move keys between buckets (and to NULL).
+        let updates: Vec<(usize, Row)> = vec![
+            (3, vec![Value::Int(100), Value::from("moved")]),
+            (10, vec![Value::Null, Value::Null]),
+            (11, vec![Value::Int(11 % 7), Value::from("s0")]),
+        ];
+        let old = t.apply_updates(updates);
+        assert!(t.maps_match_rebuild(), "after updates");
+        // Undo the updates by applying the old rows back.
+        t.apply_updates(old);
+        assert!(t.maps_match_rebuild(), "after update undo");
+        // Delete a scattered set, check, then restore it.
+        let positions: Vec<usize> = vec![0, 1, 7, 13, 14, 15, 39];
+        let removed = t.delete_at(&positions);
+        assert_eq!(removed.len(), positions.len());
+        assert!(t.maps_match_rebuild(), "after delete");
+        let entries: Vec<(usize, Row)> = positions.into_iter().zip(removed).collect();
+        t.insert_at(entries);
+        assert_eq!(t.len(), 40);
+        assert!(t.maps_match_rebuild(), "after delete undo");
+        // Undo a batch of appends.
+        for i in 0..4 {
+            t.insert(vec![Value::Int(i), Value::from("tail")]).unwrap();
+        }
+        t.undo_append(4);
+        assert_eq!(t.len(), 40);
+        assert!(t.maps_match_rebuild(), "after append undo");
+        // Clear drops everything.
+        let all = t.clear();
+        assert_eq!(all.len(), 40);
+        assert!(t.maps_match_rebuild(), "after clear");
+    }
+
+    #[test]
+    fn rebuild_indexes_restores_maps() {
+        let mut t = table();
+        for i in 0..6 {
+            t.insert(vec![Value::Int(i % 2), Value::from("x")]).unwrap();
+        }
+        t.create_index("ik", "k").unwrap();
+        t.maps.clear(); // simulate a deserialized table
+        t.rebuild_indexes();
+        assert_eq!(t.index_lookup("k", &Value::Int(0)).unwrap(), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn negative_zero_probe_finds_positive_zero_rows() {
+        let mut t = Table::new(
+            Schema::new(vec![Column {
+                name: "d".into(),
+                ctype: ColType::Double,
+            }])
+            .unwrap(),
+        );
+        t.insert(vec![Value::Double(-0.0)]).unwrap();
+        t.insert(vec![Value::Double(0.0)]).unwrap();
+        t.create_index("id", "d").unwrap();
+        // SQL: -0.0 = 0.0, so either probe must return both rows.
+        assert_eq!(t.index_lookup("d", &Value::Double(0.0)).unwrap(), &[0, 1]);
+        assert_eq!(t.index_lookup("d", &Value::Double(-0.0)).unwrap(), &[0, 1]);
+        assert_eq!(t.index_lookup("d", &Value::Int(0)).unwrap(), &[0, 1]);
     }
 }

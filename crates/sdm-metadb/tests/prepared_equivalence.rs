@@ -113,3 +113,130 @@ proptest! {
         prop_assert_eq!(qi.rows, qn.rows);
     }
 }
+
+// ---------------------------------------------------------------------
+// Key-encoding edge cases
+// ---------------------------------------------------------------------
+
+/// Integer cells that stress the index-key encoding: NULLs, huge
+/// magnitudes beyond 2^53 (whose `f64` roundings collide), and a small
+/// dense range for plentiful matches.
+fn edge_int() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        Just(Value::Int(1 << 53)),
+        Just(Value::Int((1 << 53) + 1)),
+        Just(Value::Int(i64::MAX)),
+        Just(Value::Int(i64::MIN)),
+        (-3i64..4).prop_map(Value::Int),
+    ]
+}
+
+/// Double cells stressing the encoding: NULLs and both zero signs.
+fn edge_double() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        Just(Value::Double(0.0)),
+        Just(Value::Double(-0.0)),
+        Just(Value::Double(1.5)),
+        Just(Value::Double(-1.5)),
+        (-2i64..3).prop_map(|i| Value::Double(i as f64 * 0.25)),
+    ]
+}
+
+/// Twin tables `(i INT, d DOUBLE)` with identical NULL-heavy edge-case
+/// rows; `ei` indexes both columns, `en` has no indexes.
+fn edge_twin_db(rows: &[(Value, Value)]) -> Database {
+    let db = Database::new();
+    db.exec("CREATE TABLE ei (i INT, d DOUBLE)", &[]).unwrap();
+    db.exec("CREATE TABLE en (i INT, d DOUBLE)", &[]).unwrap();
+    for (i, d) in rows {
+        let params = [i.clone(), d.clone()];
+        db.exec("INSERT INTO ei VALUES (?, ?)", &params).unwrap();
+        db.exec("INSERT INTO en VALUES (?, ?)", &params).unwrap();
+    }
+    db.exec("CREATE INDEX ei_i ON ei (i)", &[]).unwrap();
+    db.exec("CREATE INDEX ei_d ON ei (d)", &[]).unwrap();
+    db
+}
+
+/// Edge-case templates; every `?` consumes one generated probe value.
+const EDGE_TEMPLATES: [&str; 6] = [
+    "SELECT i, d FROM {T} WHERE i = ?",
+    "SELECT i, d FROM {T} WHERE d = ?",
+    "SELECT COUNT(*) FROM {T} WHERE i = ?",
+    "SELECT COUNT(*), MIN(d), MAX(d) FROM {T} WHERE d = ?",
+    "SELECT i FROM {T} WHERE d = ? AND i IS NOT NULL",
+    "SELECT d FROM {T} WHERE i = ? OR d = ?",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Indexed and unindexed plans must agree on SQL equality for the
+    /// key-encoding edge cases: `-0.0` vs `0.0` (one bucket — an
+    /// indexed probe for either finds both), integers beyond 2^53
+    /// (bucket collisions re-verified by the predicate), and NULL-heavy
+    /// columns (never indexed, never matched by `=`).
+    #[test]
+    fn key_encoding_edges_agree_between_indexed_and_scan(
+        rows in proptest::collection::vec((edge_int(), edge_double()), 0..50),
+        template in 0usize..6,
+        p1 in prop_oneof![edge_int(), edge_double()],
+        p2 in prop_oneof![edge_int(), edge_double()],
+    ) {
+        let db = edge_twin_db(&rows);
+        let shape = EDGE_TEMPLATES[template];
+        let arity = shape.matches('?').count();
+        let params: Vec<Value> = [p1, p2][..arity].to_vec();
+
+        let sql_indexed = shape.replace("{T}", "ei");
+        let sql_scan = shape.replace("{T}", "en");
+
+        let via_exec = db.exec(&sql_indexed, &params).unwrap();
+        let via_prepared = db
+            .prepare(&sql_indexed)
+            .unwrap()
+            .execute(&db, &params)
+            .unwrap();
+        prop_assert_eq!(&via_exec, &via_prepared, "exec != prepared for {}", sql_indexed);
+
+        let via_scan = db.exec(&sql_scan, &params).unwrap();
+        prop_assert_eq!(
+            &via_exec.rows, &via_scan.rows,
+            "indexed and scanned rows differ for {} with {:?}", shape, params
+        );
+    }
+
+    /// A `-0.0` probe against a table holding `0.0` rows (and vice
+    /// versa) hits through the index exactly as a full scan does.
+    #[test]
+    fn negative_zero_probes_match_scan(
+        zeros in proptest::collection::vec(
+            prop_oneof![Just(Value::Double(0.0)), Just(Value::Double(-0.0)), Just(Value::Null)],
+            1..30,
+        ),
+        probe in prop_oneof![
+            Just(Value::Double(0.0)),
+            Just(Value::Double(-0.0)),
+            Just(Value::Int(0)),
+        ],
+    ) {
+        let rows: Vec<(Value, Value)> =
+            zeros.into_iter().map(|d| (Value::Int(0), d)).collect();
+        let db = edge_twin_db(&rows);
+        let expected = rows_stored_nonnull(&rows);
+        let via_index = db
+            .exec("SELECT d FROM ei WHERE d = ?", std::slice::from_ref(&probe))
+            .unwrap();
+        let via_scan = db.exec("SELECT d FROM en WHERE d = ?", &[probe]).unwrap();
+        prop_assert_eq!(&via_index.rows, &via_scan.rows);
+        prop_assert_eq!(via_index.rows.len(), expected, "every ±0.0 row must be found");
+    }
+}
+
+/// How many of the generated rows hold a non-NULL double (those must
+/// all match a ±0.0 probe).
+fn rows_stored_nonnull(rows: &[(Value, Value)]) -> usize {
+    rows.iter().filter(|(_, d)| !d.is_null()).count()
+}

@@ -262,3 +262,129 @@ proptest! {
         prop_assert_eq!(qi.rows, qn.rows);
     }
 }
+
+// ---------------------------------------------------------------------
+// Key-encoding edge cases through the typed layer
+// ---------------------------------------------------------------------
+
+sdm_metadb::relation! {
+    /// Indexed twin with a DOUBLE key (±0.0 edge cases) and an INT
+    /// payload column fed huge and NULL values.
+    pub struct TdRow in "td" as TdCol {
+        /// Double key.
+        pub d: f64 => D,
+        /// Integer payload.
+        pub n: i64 => N,
+    }
+    indexes { "td_d" on d, "td_n" on n }
+}
+
+sdm_metadb::relation! {
+    /// Unindexed twin of [`TdRow`].
+    pub struct TdnRow in "tdn" as TdnCol {
+        /// Double key.
+        pub d: f64 => D,
+        /// Integer payload.
+        pub n: i64 => N,
+    }
+}
+
+/// Edge-case cell generators: signed zeros + NULL for the double key,
+/// huge (>2^53) and NULL values for the int payload.
+fn edge_cell() -> impl Strategy<Value = (Value, Value)> {
+    let d = prop_oneof![
+        Just(Value::Double(0.0)),
+        Just(Value::Double(-0.0)),
+        Just(Value::Double(2.5)),
+        Just(Value::Null),
+    ];
+    let n = prop_oneof![
+        Just(Value::Int(1 << 53)),
+        Just(Value::Int((1 << 53) + 1)),
+        Just(Value::Int(i64::MIN)),
+        Just(Value::Null),
+        (0i64..3).prop_map(Value::Int),
+    ];
+    (d, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Typed statements over NULL-heavy, signed-zero, huge-integer rows
+    /// return identical rows through the indexed twin, the unindexed
+    /// twin, and the `to_sql()` re-parse — so the `IndexKey` encoding
+    /// can never make an indexed plan disagree with a scan.
+    #[test]
+    fn typed_key_encoding_edges_agree(
+        rows in proptest::collection::vec(edge_cell(), 0..40),
+        probe_d in prop_oneof![
+            Just(Value::Double(0.0)),
+            Just(Value::Double(-0.0)),
+            Just(Value::Int(0)),
+            Just(Value::Null),
+        ],
+        probe_n in prop_oneof![
+            Just(Value::Int(1 << 53)),
+            Just(Value::Int((1 << 53) + 1)),
+            Just(Value::Int(1)),
+        ],
+    ) {
+        let db = Database::new();
+        db.exec_stmt(&TdRow::TABLE.create_table(), &[]).unwrap();
+        db.exec_stmt(&TdnRow::TABLE.create_table(), &[]).unwrap();
+        for ix in TdRow::TABLE.create_indexes() {
+            db.exec_stmt(&ix, &[]).unwrap();
+        }
+        let ins_i = sdm_metadb::stmt::Insert::<TdRow>::prepared();
+        let ins_n = sdm_metadb::stmt::Insert::<TdnRow>::prepared();
+        for (d, n) in &rows {
+            let row = [d.clone(), n.clone()];
+            db.exec_stmt(&ins_i, &row).unwrap();
+            db.exec_stmt(&ins_n, &row).unwrap();
+        }
+
+        // Parameter slots stay positional within each shape so the
+        // typed statement and its `to_sql()` rendering agree on `?`
+        // numbering.
+        let shapes: [(Stmt, Stmt, Vec<Value>); 3] = [
+            (
+                Query::<TdRow>::filter(TdCol::D.eq(param(0))).compile(),
+                Query::<TdnRow>::filter(TdnCol::D.eq(param(0))).compile(),
+                vec![probe_d.clone()],
+            ),
+            (
+                Query::<TdRow>::filter(TdCol::N.eq(param(0))).compile(),
+                Query::<TdnRow>::filter(TdnCol::N.eq(param(0))).compile(),
+                vec![probe_n.clone()],
+            ),
+            (
+                Query::<TdRow>::filter(TdCol::D.eq(param(0)).and(TdCol::N.ne(param(1))))
+                    .count()
+                    .compile(),
+                Query::<TdnRow>::filter(TdnCol::D.eq(param(0)).and(TdnCol::N.ne(param(1))))
+                    .count()
+                    .compile(),
+                vec![probe_d.clone(), probe_n.clone()],
+            ),
+        ];
+        for (typed_i, typed_n, params) in &shapes {
+            db.reset_stats();
+            let via_indexed = db.exec_stmt(typed_i, params).unwrap();
+            prop_assert_eq!(db.stats().sql_texts, 0, "typed path touched SQL text");
+            let via_scan = db.exec_stmt(typed_n, params).unwrap();
+            prop_assert_eq!(&via_indexed.rows, &via_scan.rows,
+                "indexed != scan for probe {:?}", params);
+            let rendered = Stmt::parse(&typed_i.to_sql()).unwrap();
+            let via_rendered = db.exec_stmt(&rendered, params).unwrap();
+            prop_assert_eq!(&via_indexed.rows, &via_rendered.rows);
+        }
+        // A NULL probe returns nothing from either plan.
+        if probe_d.is_null() {
+            let rs = db
+                .exec_stmt(&shapes[0].0, &[Value::Null, Value::Int(0)])
+                .unwrap();
+            prop_assert!(rs.is_empty(), "NULL = NULL must never match");
+        }
+    }
+}
