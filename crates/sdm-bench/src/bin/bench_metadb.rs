@@ -197,6 +197,114 @@ fn main() {
         prepared: prep_lookup,
     });
 
+    // ---- Range probe: ordered (runid, timestep) walk vs full scan ----
+    // A timestep window inside one run: `runid = ? AND timestep BETWEEN
+    // ? AND ?`. Every 64th timestep belongs to the probed run, so a
+    // 640-wide window selects ~10 rows out of `rows`. The baseline runs
+    // the identical predicate over the unindexed twin; the indexed side
+    // must resolve it as one equality-prefix + range walk of the
+    // ordered composite, never a scan.
+    let window = 640i64;
+    let span = (rows as i64 - window).max(1);
+    let range_q = Query::<ExecutionRow>::prefix_range(
+        ExecutionCol::Runid,
+        param(0),
+        ExecutionCol::Timestep,
+        param(1),
+        param(2),
+    )
+    .select(&[ExecutionCol::Timestep, ExecutionCol::FileOffset])
+    .compile();
+    let range_noidx = Query::<ExecutionNoIdxRow>::prefix_range(
+        ExecutionNoIdxCol::Runid,
+        param(0),
+        ExecutionNoIdxCol::Timestep,
+        param(1),
+        param(2),
+    )
+    .select(&[ExecutionNoIdxCol::Timestep, ExecutionNoIdxCol::FileOffset])
+    .compile();
+    let range_params = |i: u64| {
+        let lo = (i as i64 * 97) % span;
+        [
+            Value::Int(lo % 64),
+            Value::Int(lo),
+            Value::Int(lo + window - 1),
+        ]
+    };
+    let range_baseline = ops_per_sec(cold_lookups, |i| {
+        let rs = db.exec_stmt(&range_noidx, &range_params(i)).unwrap();
+        assert!(!rs.is_empty());
+    });
+    db.reset_stats();
+    let range_lookup = ops_per_sec(lookups, |i| {
+        let rs = db.exec_stmt(&range_q, &range_params(i)).unwrap();
+        assert!(!rs.is_empty());
+    });
+    let range_stats = db.stats();
+    assert_eq!(
+        range_stats.full_scans, 0,
+        "range window fell back to a full scan: {range_stats:?}"
+    );
+    assert_eq!(
+        range_stats.plan_range_probes, lookups,
+        "every window must be planned as a range probe: {range_stats:?}"
+    );
+    let range_speedup = range_lookup / range_baseline.max(1e-9);
+    assert!(
+        range_speedup >= 25.0,
+        "ordered-index range probe must beat the full scan ≥25x, \
+         got {range_speedup:.1}x ({range_lookup:.0} vs {range_baseline:.0} ops/s)"
+    );
+
+    // ---- Composite point probe: full (runid, timestep) key ----
+    // Both key columns pinned: the planner must collapse the ordered
+    // composite to a single-bucket point probe.
+    let point_q = Query::<ExecutionRow>::filter(
+        ExecutionCol::Runid
+            .eq(param(0))
+            .and(ExecutionCol::Timestep.eq(param(1))),
+    )
+    .select(&[ExecutionCol::FileOffset])
+    .compile();
+    db.reset_stats();
+    let composite_probe = ops_per_sec(lookups, |i| {
+        let k = i as i64 % 64;
+        let rs = db
+            .exec_stmt(&point_q, &[Value::Int(k), Value::Int(k)])
+            .unwrap();
+        assert!(!rs.is_empty());
+    });
+    let point_stats = db.stats();
+    assert_eq!(
+        point_stats.plan_point_probes, lookups,
+        "full-key probes must be planned as point probes: {point_stats:?}"
+    );
+
+    // ---- Top-k: ORDER BY … LIMIT streamed off the ordered index ----
+    // "Latest 10 timesteps of a run" must walk the (runid, timestep)
+    // composite backwards and stop at the limit — zero sorts on the hot
+    // path, witnessed by the planner counters.
+    let topk_q = Query::<ExecutionRow>::filter(ExecutionCol::Runid.eq(param(0)))
+        .order_by_desc(ExecutionCol::Timestep)
+        .limit(10)
+        .compile();
+    db.reset_stats();
+    let topk = ops_per_sec(lookups, |i| {
+        let rs = db.exec_stmt(&topk_q, &[Value::Int(i as i64 % 64)]).unwrap();
+        assert_eq!(rs.rows.len(), 10);
+    });
+    let topk_stats = db.stats();
+    let hot_path_sorts = topk_stats.order_sorts;
+    assert_eq!(
+        hot_path_sorts, 0,
+        "top-k hot path sorted instead of streaming: {topk_stats:?}"
+    );
+    assert_eq!(
+        topk_stats.sorts_avoided, lookups,
+        "every top-k query must stream off the ordered index: {topk_stats:?}"
+    );
+
     // ---- Mixed insert/lookup: incremental index maintenance ----
     // The workload that used to collapse: every insert invalidated all
     // index maps, so the next probe rebuilt them over every row —
@@ -438,6 +546,14 @@ fn main() {
             s.prepared / s.cold
         );
     }
+    println!(
+        "range_window     scan={range_baseline:>12.0} ops/s   ordered-index={range_lookup:>12.0} ops/s   speedup={range_speedup:>6.1}x"
+    );
+    println!("composite_probe  {composite_probe:>12.0} ops/s (full (runid, timestep) key)");
+    println!(
+        "top-k stream     {topk:>12.0} ops/s ({} ordered scans, {} sorts avoided, {hot_path_sorts} sorts)",
+        topk_stats.plan_ordered_scans, topk_stats.sorts_avoided
+    );
     println!("next_runid       {next_runid:>12.0} ops/s (MAX fast path)");
     println!("mixed_rw         {mixed_rw:>12.0} pairs/s (insert+lookup, incremental maps)");
     println!(
@@ -461,6 +577,19 @@ fn main() {
             s.name, s.cold, s.prepared
         ));
     }
+    json.push_str(&format!(
+        "  \"range_lookup_ops_per_sec\": {range_lookup:.1},\n  \"range_baseline_ops_per_sec\": {range_baseline:.1},\n  \"range_speedup\": {range_speedup:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"composite_probe_ops_per_sec\": {composite_probe:.1},\n  \"topk_stream_ops_per_sec\": {topk:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"plan_point_probes\": {},\n  \"plan_range_probes\": {},\n  \"plan_ordered_scans\": {},\n  \"sorts_avoided\": {},\n  \"hot_path_sorts\": {hot_path_sorts},\n",
+        point_stats.plan_point_probes,
+        range_stats.plan_range_probes,
+        topk_stats.plan_ordered_scans,
+        topk_stats.sorts_avoided
+    ));
     json.push_str(&format!("  \"next_runid_ops_per_sec\": {next_runid:.1},\n"));
     json.push_str(&format!(
         "  \"mixed_rw_lookup_ops_per_sec\": {mixed_rw:.1},\n"

@@ -51,9 +51,14 @@ relation! {
         /// Run time: minute.
         pub min: i64 => Min,
     }
-    indexes {
-        "run_table_runid" on runid,
-        "run_table_application" on application,
+    // Both run_table indexes are ordered so the two hot aggregates
+    // become index-edge peeks: `MAX(runid)` reads the last key of
+    // `(runid)`, and "latest run of this application" reads the last
+    // key of the `(application, runid)` bucket for that application —
+    // neither visits a row.
+    ordered {
+        "run_table_runid" on (runid),
+        "run_table_app_runid" on (application, runid),
     }
 }
 
@@ -95,15 +100,15 @@ relation! {
         /// File the burst landed in.
         pub file_name: String => FileName,
     }
-    // The hot `(runid, dataset, timestep)` point lookup carries two
-    // indexed equality conjuncts; the planner probes whichever bucket
-    // is smaller. In a long run timesteps are far more selective than
-    // runids (every step of every dataset shares one runid), so the
-    // timestep index is what keeps per-probe candidates O(1).
-    indexes {
-        "execution_runid" on runid,
-        "execution_timestep" on timestep,
-    }
+    // The hot `(runid, dataset, timestep)` point lookup pins both
+    // composite key columns, so it resolves to one exact bucket of the
+    // ordered index; timestep-window queries (`runid = ? AND timestep
+    // BETWEEN ? AND ?`) walk the same index as an equality-prefix +
+    // range probe, and per-run top-k-by-timestep streams it backwards
+    // with no sort. The hash timestep index keeps the transaction
+    // section's DELETE/UPDATE-by-timestep probes O(1).
+    indexes { "execution_timestep" on timestep }
+    ordered { "execution_runid_timestep" on (runid, timestep) }
 }
 
 relation! {
@@ -141,7 +146,10 @@ relation! {
         /// The history file.
         pub registered_file_name: String => RegisteredFileName,
     }
-    indexes { "index_table_psize" on problem_size }
+    // Registry lookups key on (problem_size, num_procs): the composite
+    // ordered index answers the exact pair as a point probe and a
+    // problem-size-only query as a prefix walk.
+    ordered { "index_table_psize_procs" on (problem_size, num_procs) }
 }
 
 relation! {
@@ -165,7 +173,7 @@ relation! {
         /// Byte length of the block.
         pub byte_len: i64 => ByteLen,
     }
-    indexes { "index_history_psize" on problem_size }
+    ordered { "index_history_psize_procs" on (problem_size, num_procs) }
 }
 
 /// The six tables of the paper's Figure 4, in creation order. Schema
@@ -221,17 +229,41 @@ mod tests {
 
     #[test]
     fn hot_lookup_columns_are_indexed() {
+        // Leading index columns serve equality and prefix probes.
         assert!(ExecutionRow::TABLE
             .indexes
             .iter()
-            .any(|ix| ix.column == "runid"));
+            .any(|ix| ix.columns[0] == "runid"));
         assert!(RunRow::TABLE
             .indexes
             .iter()
-            .any(|ix| ix.column == "application"));
+            .any(|ix| ix.columns[0] == "application"));
         assert!(IndexRow::TABLE
             .indexes
             .iter()
-            .any(|ix| ix.column == "problem_size"));
+            .any(|ix| ix.columns[0] == "problem_size"));
+    }
+
+    #[test]
+    fn hot_probe_shapes_have_ordered_composites() {
+        // (runid, timestep) lookups and timestep windows ride one
+        // ordered composite on execution_table.
+        assert!(ExecutionRow::TABLE
+            .indexes
+            .iter()
+            .any(|ix| ix.ordered && ix.columns == ["runid", "timestep"]));
+        // MAX(runid) and latest-run-of-application are index-edge peeks.
+        assert!(RunRow::TABLE
+            .indexes
+            .iter()
+            .any(|ix| ix.ordered && ix.columns == ["runid"]));
+        assert!(RunRow::TABLE
+            .indexes
+            .iter()
+            .any(|ix| ix.ordered && ix.columns == ["application", "runid"]));
+        assert!(IndexHistoryRow::TABLE
+            .indexes
+            .iter()
+            .any(|ix| ix.ordered && ix.columns == ["problem_size", "num_procs"]));
     }
 }

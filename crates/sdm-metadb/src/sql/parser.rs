@@ -94,7 +94,10 @@ impl Parser {
     fn statement(&mut self) -> DbResult<Statement> {
         if self.accept_kw("CREATE") {
             if self.accept_kw("INDEX") {
-                self.create_index()
+                self.create_index(false)
+            } else if self.accept_kw("ORDERED") {
+                self.expect_kw("INDEX")?;
+                self.create_index(true)
             } else {
                 self.create_table()
             }
@@ -194,17 +197,22 @@ impl Parser {
         })
     }
 
-    fn create_index(&mut self) -> DbResult<Statement> {
+    fn create_index(&mut self, ordered: bool) -> DbResult<Statement> {
         let name = self.ident()?;
         self.expect_kw("ON")?;
         let table = self.ident()?;
         self.expect(&Token::LParen)?;
-        let column = self.ident()?;
+        let mut columns = vec![self.ident()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            columns.push(self.ident()?);
+        }
         self.expect(&Token::RParen)?;
         Ok(Statement::CreateIndex {
             name,
             table,
-            column,
+            columns,
+            ordered,
         })
     }
 
@@ -734,7 +742,18 @@ mod tests {
             Statement::CreateIndex {
                 name: "idx_ds".into(),
                 table: "execution_table".into(),
-                column: "dataset".into()
+                columns: vec!["dataset".into()],
+                ordered: false,
+            }
+        );
+        let s = parse("CREATE ORDERED INDEX idx_rt ON execution_table (runid, timestep)").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateIndex {
+                name: "idx_rt".into(),
+                table: "execution_table".into(),
+                columns: vec!["runid".into(), "timestep".into()],
+                ordered: true,
             }
         );
         let s = parse("DROP INDEX idx_ds ON execution_table").unwrap();

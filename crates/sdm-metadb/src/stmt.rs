@@ -75,8 +75,12 @@ pub struct ColDesc {
 pub struct IndexSpec {
     /// Index name, unique within the table.
     pub name: &'static str,
-    /// Indexed column name.
-    pub column: &'static str,
+    /// Indexed columns, outermost key first. Hash indexes take exactly
+    /// one; ordered indexes take one or more.
+    pub columns: &'static [&'static str],
+    /// Ordered (`BTreeMap`-backed, range/prefix-capable) vs hash
+    /// (equality-only).
+    pub ordered: bool,
 }
 
 /// Static descriptor of a metadata table: the single source of truth
@@ -111,7 +115,7 @@ impl TableDesc {
         })
     }
 
-    /// One `CREATE INDEX` statement per declared index.
+    /// One `CREATE [ORDERED] INDEX` statement per declared index.
     pub fn create_indexes(&self) -> Vec<Stmt> {
         self.indexes
             .iter()
@@ -119,7 +123,8 @@ impl TableDesc {
                 Stmt::from_ast(Statement::CreateIndex {
                     name: ix.name.to_string(),
                     table: self.name.to_string(),
-                    column: ix.column.to_string(),
+                    columns: ix.columns.iter().map(|c| c.to_string()).collect(),
+                    ordered: ix.ordered,
                 })
             })
             .collect()
@@ -246,6 +251,12 @@ pub trait TypedColumn<R: Relation>: Copy {
     /// `column >= rhs`.
     fn ge(self, rhs: impl Into<Operand>) -> Filter<R> {
         self.cmp(BinOp::Ge, rhs)
+    }
+
+    /// `lo <= column AND column <= hi` — the closed range the planner
+    /// turns into one ordered-index walk when the column is indexed.
+    fn between(self, lo: impl Into<Operand>, hi: impl Into<Operand>) -> Filter<R> {
+        self.ge(lo).and(self.le(hi))
     }
 
     /// `column IS NULL`.
@@ -577,6 +588,20 @@ impl<R: Relation> Query<R> {
         Self::all().and(pred)
     }
 
+    /// The composite-index probe shape: `prefix_col = key AND lo <=
+    /// range_col <= hi`. With an ordered index on `(prefix_col,
+    /// range_col, …)` this compiles to one equality-prefix + range walk
+    /// instead of a scan.
+    pub fn prefix_range(
+        prefix_col: impl TypedColumn<R>,
+        key: impl Into<Operand>,
+        range_col: impl TypedColumn<R>,
+        lo: impl Into<Operand>,
+        hi: impl Into<Operand>,
+    ) -> Self {
+        Self::filter(prefix_col.eq(key).and(range_col.between(lo, hi)))
+    }
+
     /// AND another predicate onto the `WHERE` clause.
     pub fn and(mut self, pred: Filter<R>) -> Self {
         self.filter = Some(match self.filter.take() {
@@ -857,14 +882,19 @@ fn render_statement(stmt: &Statement) -> String {
         Statement::CreateIndex {
             name,
             table,
-            column,
+            columns,
+            ordered,
         } => {
-            s.push_str("CREATE INDEX ");
+            s.push_str(if *ordered {
+                "CREATE ORDERED INDEX "
+            } else {
+                "CREATE INDEX "
+            });
             s.push_str(name);
             s.push_str(" ON ");
             s.push_str(table);
             s.push_str(" (");
-            s.push_str(column);
+            s.push_str(&columns.join(", "));
             s.push(')');
         }
         Statement::DropIndex { name, table } => {
@@ -1084,7 +1114,11 @@ fn render_value(v: &Value, s: &mut String) {
 /// column enum (implementing [`TypedColumn`](crate::stmt::TypedColumn)),
 /// and the static [`TableDesc`](crate::stmt::TableDesc) they share.
 /// Column SQL names are the field names; DDL is generated from the
-/// descriptor, never hand-written:
+/// descriptor, never hand-written.
+///
+/// `indexes { ... }` declares single-column hash indexes (equality
+/// probes); `ordered { ... }` declares ordered indexes over one or more
+/// columns (range, prefix, MIN/MAX-peek, and ORDER BY streaming):
 ///
 /// ```
 /// sdm_metadb::relation! {
@@ -1096,10 +1130,14 @@ fn render_value(v: &Value, s: &mut String) {
 ///         pub seq: i64 => Seq,
 ///     }
 ///     indexes { "beats_host" on host }
+///     ordered { "beats_host_seq" on (host, seq) }
 /// }
 ///
 /// use sdm_metadb::stmt::Relation;
-/// assert_eq!(BeatRow::TABLE.indexes[0].column, "host");
+/// assert_eq!(BeatRow::TABLE.indexes[0].columns, ["host"]);
+/// assert!(!BeatRow::TABLE.indexes[0].ordered);
+/// assert_eq!(BeatRow::TABLE.indexes[1].columns, ["host", "seq"]);
+/// assert!(BeatRow::TABLE.indexes[1].ordered);
 /// ```
 #[macro_export]
 macro_rules! relation {
@@ -1109,6 +1147,7 @@ macro_rules! relation {
             $( $(#[$fmeta:meta])* pub $field:ident : $fty:ty => $variant:ident ),+ $(,)?
         }
         $( indexes { $( $iname:literal on $icol:ident ),+ $(,)? } )?
+        $( ordered { $( $oname:literal on ( $($ocol:ident),+ $(,)? ) ),+ $(,)? } )?
     ) => {
         $(#[$smeta])*
         #[derive(Debug, Clone, PartialEq)]
@@ -1137,7 +1176,13 @@ macro_rules! relation {
                 indexes: &[
                     $($( $crate::stmt::IndexSpec {
                         name: $iname,
-                        column: stringify!($icol),
+                        columns: &[stringify!($icol)],
+                        ordered: false,
+                    }, )+)?
+                    $($( $crate::stmt::IndexSpec {
+                        name: $oname,
+                        columns: &[$( stringify!($ocol) ),+],
+                        ordered: true,
                     }, )+)?
                 ],
             };
@@ -1225,6 +1270,7 @@ mod tests {
             pub label: String => Label,
         }
         indexes { "t_k" on k }
+        ordered { "t_kv" on (k, v) }
     }
 
     fn db_with_rows() -> Database {
@@ -1434,6 +1480,68 @@ mod tests {
                 assert_eq!(a, b, "round-trip mismatch for {text}");
             }
         }
+    }
+
+    #[test]
+    fn ordered_index_ddl_round_trips() {
+        let stmts = TRow::TABLE.create_indexes();
+        let texts: Vec<String> = stmts.iter().map(Stmt::to_sql).collect();
+        assert_eq!(texts[0], "CREATE INDEX t_k ON t (k)");
+        assert_eq!(texts[1], "CREATE ORDERED INDEX t_kv ON t (k, v)");
+        for (stmt, text) in stmts.iter().zip(&texts) {
+            assert_eq!(Stmt::parse(text).unwrap().ast(), stmt.ast());
+        }
+    }
+
+    #[test]
+    fn between_compiles_to_closed_range() {
+        let db = db_with_rows();
+        db.reset_stats();
+        let q = Query::<TRow>::filter(
+            TCol::K
+                .eq(param(0))
+                .and(TCol::V.between(param(1), param(2))),
+        )
+        .compile();
+        let rs = db
+            .exec_stmt(&q, &[Value::Int(1), Value::Int(3), Value::Int(8)])
+            .unwrap();
+        let rows: Vec<TRow> = decode(&rs).unwrap();
+        assert_eq!(
+            rows.iter().map(|r| r.v).collect::<Vec<_>>(),
+            [4, 7],
+            "k = 1 rows with v in [3, 8]"
+        );
+        let stats = db.stats();
+        assert_eq!(
+            (stats.plan_range_probes, stats.full_scans),
+            (1, 0),
+            "between rides the (k, v) ordered index"
+        );
+        // The rendered text re-executes to the same rows.
+        let reparsed = Stmt::parse(&q.to_sql()).unwrap();
+        let rs2 = db
+            .exec_stmt(&reparsed, &[Value::Int(1), Value::Int(3), Value::Int(8)])
+            .unwrap();
+        assert_eq!(rs, rs2);
+    }
+
+    #[test]
+    fn prefix_range_round_trips_and_probes() {
+        let db = db_with_rows();
+        db.reset_stats();
+        let q = Query::<TRow>::prefix_range(TCol::K, param(0), TCol::V, param(1), param(2))
+            .order_by(TCol::V)
+            .compile();
+        let params = [Value::Int(0), Value::Int(0), Value::Int(6)];
+        let a = db.exec_stmt(&q, &params).unwrap();
+        let rows: Vec<TRow> = decode(&a).unwrap();
+        assert_eq!(rows.iter().map(|r| r.v).collect::<Vec<_>>(), [0, 3, 6]);
+        let b = db
+            .exec_stmt(&Stmt::parse(&q.to_sql()).unwrap(), &params)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(db.stats().full_scans, 0);
     }
 
     #[test]

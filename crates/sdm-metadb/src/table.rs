@@ -1,23 +1,43 @@
 //! Row storage and secondary indexes.
+//!
+//! Two index shapes share one maintenance discipline:
+//!
+//! * **hash** indexes (`IndexMap`) — single-column, equality-only
+//!   buckets keyed by [`IndexKey`];
+//! * **ordered** indexes (`OrdIndex`) — `BTreeMap`-backed, one or more
+//!   columns, keyed by composite [`OrdKey`] vectors whose total order
+//!   agrees with [`Value::sql_cmp`]. These answer point probes,
+//!   half-open and closed range probes, prefix ranges, key-ordered
+//!   streams (index-backed ORDER BY), and first/last-key peeks
+//!   (MIN/MAX).
+//!
+//! Every probe returns *candidates*: rows whose keys match under the
+//! canonical key encoding. Callers re-verify candidates against the
+//! real predicate, which is what keeps NULL, NaN, and cross-type rows
+//! correct when a key range sweeps them up.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
-use crate::value::{IndexKey, Value};
+use crate::value::{IndexKey, OrdKey, Value};
 
 /// A row: one value per schema column.
 pub type Row = Vec<Value>;
 
-/// A secondary-index definition (`CREATE INDEX name ON t (column)`).
+/// A secondary-index definition
+/// (`CREATE [ORDERED] INDEX name ON t (c1, c2, ...)`).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IndexDef {
     /// Index name, unique within the table.
     pub name: String,
-    /// Indexed column name.
-    pub column: String,
+    /// Indexed column names, outermost key first.
+    pub columns: Vec<String>,
+    /// Ordered (`BTreeMap`, range-capable) vs hash (equality-only).
+    pub ordered: bool,
 }
 
 /// One maintained secondary index: the resolved column position plus the
@@ -33,7 +53,7 @@ pub struct IndexDef {
 ///
 /// NULL cells are never indexed (`NULL = x` is unknown, so an equality
 /// probe can never return them).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct IndexMap {
     col: usize,
     /// Buckets for numeric keys (canonical `f64` bits).
@@ -130,18 +150,7 @@ impl IndexMap {
     /// bucket entry — O(index entries + deleted), never a rebuild.
     fn note_delete(&mut self, deleted: &[usize]) {
         for bucket in self.buckets_mut() {
-            let mut w = 0;
-            for r in 0..bucket.len() {
-                let p = bucket[r];
-                match deleted.binary_search(&p) {
-                    Ok(_) => {} // this row was deleted
-                    Err(rank) => {
-                        bucket[w] = p - rank; // rank = deleted positions below p
-                        w += 1;
-                    }
-                }
-            }
-            bucket.truncate(w);
+            shift_down(bucket, deleted);
         }
         self.num.retain(|_, b| !b.is_empty());
         self.text.retain(|_, b| !b.is_empty());
@@ -153,15 +162,7 @@ impl IndexMap {
     /// both being ascending.
     fn note_insert_at(&mut self, entries: &[(usize, Row)]) {
         for bucket in self.buckets_mut() {
-            let mut j = 0usize; // entries consumed so far for this bucket
-            for p in bucket.iter_mut() {
-                let mut f = *p + j;
-                while j < entries.len() && entries[j].0 <= f {
-                    j += 1;
-                    f = *p + j;
-                }
-                *p = f;
-            }
+            shift_up(bucket, entries);
         }
         for (pos, row) in entries {
             self.insert_entry(row[self.col].index_key(), *pos);
@@ -180,9 +181,250 @@ impl IndexMap {
     }
 }
 
+/// Drop `deleted` positions from an ascending bucket and shift the
+/// survivors down past them (one pass; `rank` = deleted positions below
+/// the survivor).
+fn shift_down(bucket: &mut Vec<usize>, deleted: &[usize]) {
+    let mut w = 0;
+    for r in 0..bucket.len() {
+        let p = bucket[r];
+        match deleted.binary_search(&p) {
+            Ok(_) => {} // this row was deleted
+            Err(rank) => {
+                bucket[w] = p - rank;
+                w += 1;
+            }
+        }
+    }
+    bucket.truncate(w);
+}
+
+/// Undo of [`shift_down`]: shift survivors back up past the
+/// re-inserted ascending `entries` (two-pointer walk; both sides
+/// ascending).
+fn shift_up(bucket: &mut [usize], entries: &[(usize, Row)]) {
+    let mut j = 0usize; // entries consumed so far for this bucket
+    for p in bucket.iter_mut() {
+        let mut f = *p + j;
+        while j < entries.len() && entries[j].0 <= f {
+            j += 1;
+            f = *p + j;
+        }
+        *p = f;
+    }
+}
+
+/// An ordered secondary index: resolved column positions plus a
+/// `BTreeMap` from composite [`OrdKey`] to **ascending** row positions.
+///
+/// Unlike [`IndexMap`], *every* row is indexed — including rows whose
+/// key columns are NULL ([`OrdKey::Null`] sorts first). A prefix probe
+/// for `(runid = 5)` on a `(runid, timestep)` index must see rows whose
+/// `timestep` is NULL, or the index would hide rows a full scan finds.
+/// Equality and range probes never *produce* NULL bounds (the planner
+/// answers those with an empty set), so NULL-keyed rows only surface
+/// through prefix/unbounded scans, where re-verification decides.
+///
+/// Maintenance mirrors the hash index exactly: same incremental
+/// patches, same ascending-bucket invariant, same rebuild on snapshot
+/// load.
+#[derive(Debug, Clone, PartialEq)]
+struct OrdIndex {
+    cols: Vec<usize>,
+    map: BTreeMap<Vec<OrdKey>, Vec<usize>>,
+}
+
+impl OrdIndex {
+    fn build(cols: Vec<usize>, rows: &[Row]) -> Self {
+        let mut o = OrdIndex {
+            cols,
+            map: BTreeMap::new(),
+        };
+        for (pos, row) in rows.iter().enumerate() {
+            o.note_append(pos, row);
+        }
+        o
+    }
+
+    /// The composite key of `row`.
+    fn key_of(&self, row: &Row) -> Vec<OrdKey> {
+        self.cols.iter().map(|&c| row[c].ord_key()).collect()
+    }
+
+    /// `BTreeMap` bounds covering exactly the keys that extend `prefix`
+    /// with a component in `[lo, hi]` (inclusive; callers widen strict
+    /// bounds and re-verify). Relies on [`OrdKey::successor`] to turn
+    /// inclusive upper bounds into exclusive ends, which keeps keys
+    /// with further tail columns inside the range.
+    #[allow(clippy::type_complexity)]
+    fn bounds(
+        prefix: &[OrdKey],
+        lo: Option<&OrdKey>,
+        hi: Option<&OrdKey>,
+    ) -> Option<(Bound<Vec<OrdKey>>, Bound<Vec<OrdKey>>)> {
+        if let (Some(l), Some(h)) = (lo, hi) {
+            if l > h {
+                return None; // empty range; BTreeMap::range would panic
+            }
+        }
+        let mut start = prefix.to_vec();
+        if let Some(l) = lo {
+            start.push(l.clone());
+        }
+        let end = match hi {
+            Some(h) => {
+                let mut e = prefix.to_vec();
+                e.push(h.successor());
+                Bound::Excluded(e)
+            }
+            None if prefix.is_empty() => Bound::Unbounded,
+            None => {
+                let mut e = prefix.to_vec();
+                let last = e.pop().expect("nonempty prefix").successor();
+                e.push(last);
+                Bound::Excluded(e)
+            }
+        };
+        Some((Bound::Included(start), end))
+    }
+
+    /// Key-ordered buckets whose keys extend `prefix` with component
+    /// `prefix.len()` in `[lo, hi]`.
+    fn scan(
+        &self,
+        prefix: &[OrdKey],
+        lo: Option<&OrdKey>,
+        hi: Option<&OrdKey>,
+    ) -> std::collections::btree_map::Range<'_, Vec<OrdKey>, Vec<usize>> {
+        match Self::bounds(prefix, lo, hi) {
+            Some((s, e)) => self.map.range((s, e)),
+            // lo > hi: an empty, non-panicking range.
+            None => self.map.range((
+                Bound::Included(prefix.to_vec()),
+                Bound::Excluded(prefix.to_vec()),
+            )),
+        }
+    }
+
+    fn note_append(&mut self, pos: usize, row: &Row) {
+        self.map.entry(self.key_of(row)).or_default().push(pos);
+    }
+
+    fn forget_tail(&mut self, pos: usize, row: &Row) {
+        self.remove_entry(self.key_of(row), pos);
+    }
+
+    fn remove_entry(&mut self, key: Vec<OrdKey>, pos: usize) {
+        let Some(bucket) = self.map.get_mut(&key) else {
+            return;
+        };
+        if let Ok(at) = bucket.binary_search(&pos) {
+            bucket.remove(at);
+        }
+        if bucket.is_empty() {
+            self.map.remove(&key);
+        }
+    }
+
+    fn insert_entry(&mut self, key: Vec<OrdKey>, pos: usize) {
+        let bucket = self.map.entry(key).or_default();
+        let at = bucket.partition_point(|&q| q < pos);
+        bucket.insert(at, pos);
+    }
+
+    fn note_delete(&mut self, deleted: &[usize]) {
+        for bucket in self.map.values_mut() {
+            shift_down(bucket, deleted);
+        }
+        self.map.retain(|_, b| !b.is_empty());
+    }
+
+    fn note_insert_at(&mut self, entries: &[(usize, Row)]) {
+        for bucket in self.map.values_mut() {
+            shift_up(bucket, entries);
+        }
+        for (pos, row) in entries {
+            self.insert_entry(self.key_of(row), *pos);
+        }
+    }
+
+    fn note_update(&mut self, pos: usize, old: &Row, new: &Row) {
+        let (old_key, new_key) = (self.key_of(old), self.key_of(new));
+        if old_key == new_key {
+            return;
+        }
+        self.remove_entry(old_key, pos);
+        self.insert_entry(new_key, pos);
+    }
+}
+
+/// A maintained secondary index of either shape, dispatching the shared
+/// incremental-maintenance protocol.
+#[derive(Debug, Clone, PartialEq)]
+enum IndexStore {
+    Hash(IndexMap),
+    Ordered(OrdIndex),
+}
+
+impl IndexStore {
+    fn note_append(&mut self, pos: usize, row: &Row) {
+        match self {
+            IndexStore::Hash(m) => m.note_append(pos, row),
+            IndexStore::Ordered(o) => o.note_append(pos, row),
+        }
+    }
+
+    fn forget_tail(&mut self, pos: usize, row: &Row) {
+        match self {
+            IndexStore::Hash(m) => m.forget_tail(pos, row),
+            IndexStore::Ordered(o) => o.forget_tail(pos, row),
+        }
+    }
+
+    fn note_delete(&mut self, deleted: &[usize]) {
+        match self {
+            IndexStore::Hash(m) => m.note_delete(deleted),
+            IndexStore::Ordered(o) => o.note_delete(deleted),
+        }
+    }
+
+    fn note_insert_at(&mut self, entries: &[(usize, Row)]) {
+        match self {
+            IndexStore::Hash(m) => m.note_insert_at(entries),
+            IndexStore::Ordered(o) => o.note_insert_at(entries),
+        }
+    }
+
+    fn note_update(&mut self, pos: usize, old: &Row, new: &Row) {
+        match self {
+            IndexStore::Hash(m) => m.note_update(pos, &old[m.col], &new[m.col]),
+            IndexStore::Ordered(o) => o.note_update(pos, old, new),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            IndexStore::Hash(m) => {
+                m.num.clear();
+                m.text.clear();
+            }
+            IndexStore::Ordered(o) => o.map.clear(),
+        }
+    }
+
+    /// Number of distinct keys — the cardinality statistic the planner
+    /// divides row counts by. O(1).
+    fn distinct_keys(&self) -> usize {
+        match self {
+            IndexStore::Hash(m) => m.num.len() + m.text.len(),
+            IndexStore::Ordered(o) => o.map.len(),
+        }
+    }
+}
+
 /// A heap table: schema plus rows in insertion order, with optional
-/// secondary hash indexes maintained incrementally (`maps` parallels
-/// `indexes`).
+/// secondary indexes (hash or ordered) maintained incrementally
+/// (`maps` parallels `indexes`).
 ///
 /// The maps are skipped by serde; the catalog rebuilds them on snapshot
 /// load, before a loaded table serves its first probe.
@@ -191,12 +433,12 @@ pub struct Table {
     /// The table's schema.
     pub schema: Schema,
     rows: Vec<Row>,
-    /// Declared secondary indexes (definitions persist; the hash maps
+    /// Declared secondary indexes (definitions persist; the maps
     /// themselves are rebuilt on load).
     #[serde(default)]
     indexes: Vec<IndexDef>,
     #[serde(skip)]
-    maps: Vec<IndexMap>,
+    maps: Vec<IndexStore>,
 }
 
 /// Empty candidate list for probes that miss (a borrowed `&[]`).
@@ -213,7 +455,7 @@ impl Table {
         }
     }
 
-    /// Number of rows.
+    /// Number of rows — the planner's per-table row-count statistic.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
@@ -224,7 +466,7 @@ impl Table {
     }
 
     /// Validate, coerce, and append a row, patching each index map in
-    /// place (O(#indexes), independent of table size).
+    /// place (O(#indexes · log rows), independent of table size).
     pub fn insert(&mut self, row: Row) -> DbResult<()> {
         let row = self.schema.check_row(row)?;
         let pos = self.rows.len();
@@ -322,8 +564,7 @@ impl Table {
     /// caller keeps the rows for undo).
     pub fn clear(&mut self) -> Vec<Row> {
         for m in &mut self.maps {
-            m.num.clear();
-            m.text.clear();
+            m.clear();
         }
         std::mem::take(&mut self.rows)
     }
@@ -337,7 +578,7 @@ impl Table {
         for (pos, new_row) in updates {
             let old_row = std::mem::replace(&mut self.rows[pos], new_row);
             for m in &mut self.maps {
-                m.note_update(pos, &old_row[m.col], &self.rows[pos][m.col]);
+                m.note_update(pos, &old_row, &self.rows[pos]);
             }
             old_rows.push((pos, old_row));
         }
@@ -345,10 +586,23 @@ impl Table {
     }
 
     /// Declare a secondary index; its map is built once here (O(rows))
-    /// and patched incrementally from then on. Errors if the column is
-    /// unknown or the name is taken.
-    pub fn create_index(&mut self, name: &str, column: &str) -> DbResult<()> {
-        let col = self.schema.index_of(column)?;
+    /// and patched incrementally from then on. Hash indexes take
+    /// exactly one column; ordered indexes take one or more. Errors if
+    /// a column is unknown or the name is taken.
+    pub fn create_index(&mut self, name: &str, columns: &[&str], ordered: bool) -> DbResult<()> {
+        let cols = columns
+            .iter()
+            .map(|c| self.schema.index_of(c))
+            .collect::<DbResult<Vec<usize>>>()?;
+        if cols.is_empty() {
+            return Err(DbError::Arity(format!("index {name} names no columns")));
+        }
+        if !ordered && cols.len() != 1 {
+            return Err(DbError::Arity(format!(
+                "hash index {name} must name exactly one column; \
+                 declare it ORDERED for a composite key"
+            )));
+        }
         if self
             .indexes
             .iter()
@@ -358,9 +612,14 @@ impl Table {
         }
         self.indexes.push(IndexDef {
             name: name.to_string(),
-            column: column.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            ordered,
         });
-        self.maps.push(IndexMap::build(col, &self.rows));
+        self.maps.push(if ordered {
+            IndexStore::Ordered(OrdIndex::build(cols, &self.rows))
+        } else {
+            IndexStore::Hash(IndexMap::build(cols[0], &self.rows))
+        });
         Ok(())
     }
 
@@ -385,30 +644,178 @@ impl Table {
         &self.indexes
     }
 
-    /// Whether some index covers `column`.
+    /// Whether some index can probe `column` (it is an index's leading
+    /// key column).
     pub fn has_index_on(&self, column: &str) -> bool {
         self.indexes
             .iter()
-            .any(|i| i.column.eq_ignore_ascii_case(column))
+            .any(|i| i.columns[0].eq_ignore_ascii_case(column))
     }
 
-    /// Equality probe through an index on `column`: **borrowed**
-    /// ascending positions of rows whose column ≈ `value` (candidates
-    /// share a hash bucket under SQL equality; callers re-verify with
-    /// the real predicate). `None` if no index covers `column`; NULL
-    /// probes return no rows. Takes `&self` — the whole SELECT pipeline
-    /// runs under a shared catalog lock, and the hot path allocates
-    /// nothing.
+    /// Distinct-key count of index `i` — the per-index cardinality
+    /// statistic (`rows / distinct` estimates bucket size). O(1).
+    pub fn index_distinct_keys(&self, i: usize) -> usize {
+        self.maps[i].distinct_keys()
+    }
+
+    /// Equality probe through a *single-column* index on `column`:
+    /// **borrowed** ascending positions of rows whose column ≈ `value`
+    /// (candidates share a key under SQL equality; callers re-verify
+    /// with the real predicate). `None` if no single-column index
+    /// covers `column`; NULL probes return no rows. Takes `&self` — the
+    /// whole SELECT pipeline runs under a shared catalog lock.
     pub fn index_lookup(&self, column: &str, value: &Value) -> Option<&[usize]> {
         let i = self
             .indexes
             .iter()
-            .position(|ix| ix.column.eq_ignore_ascii_case(column))?;
-        Some(
-            self.maps[i]
-                .bucket(&value.index_key())
-                .map_or(NO_ROWS, Vec::as_slice),
-        )
+            .position(|ix| ix.columns.len() == 1 && ix.columns[0].eq_ignore_ascii_case(column))?;
+        Some(match &self.maps[i] {
+            IndexStore::Hash(m) => m.bucket(&value.index_key()).map_or(NO_ROWS, Vec::as_slice),
+            IndexStore::Ordered(o) => {
+                if value.is_null() {
+                    NO_ROWS // NULL = x is unknown; never a point match
+                } else {
+                    o.map
+                        .get(&vec![value.ord_key()])
+                        .map_or(NO_ROWS, Vec::as_slice)
+                }
+            }
+        })
+    }
+
+    /// Full-key equality probe through index `i`: borrowed ascending
+    /// positions for the composite key `vals` (one value per index
+    /// column). `None` when the arity doesn't match the index.
+    pub fn probe_point(&self, i: usize, vals: &[&Value]) -> Option<&[usize]> {
+        match &self.maps[i] {
+            IndexStore::Hash(m) => {
+                let [v] = vals else { return None };
+                Some(m.bucket(&v.index_key()).map_or(NO_ROWS, Vec::as_slice))
+            }
+            IndexStore::Ordered(o) => {
+                if vals.len() != o.cols.len() {
+                    return None;
+                }
+                if vals.iter().any(|v| v.is_null()) {
+                    return Some(NO_ROWS); // NULL = x matches nothing
+                }
+                let key: Vec<OrdKey> = vals.iter().map(|v| v.ord_key()).collect();
+                Some(o.map.get(&key).map_or(NO_ROWS, Vec::as_slice))
+            }
+        }
+    }
+
+    /// Range probe through ordered index `i`: positions of rows whose
+    /// leading `prefix.len()` key columns equal `prefix` and whose next
+    /// key column lies in `[lo, hi]` (inclusive; either side may be
+    /// open — callers widen strict bounds and re-verify). Returns
+    /// **ascending** positions, i.e. scan order. Collection aborts and
+    /// returns `None` once more than `abort_at` candidates accumulate —
+    /// the cost-based planner passes the best plan found so far.
+    /// Also `None` when index `i` is not ordered or the prefix is too
+    /// long.
+    pub fn probe_range(
+        &self,
+        i: usize,
+        prefix: &[&Value],
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        abort_at: usize,
+    ) -> Option<Vec<usize>> {
+        let IndexStore::Ordered(o) = &self.maps[i] else {
+            return None;
+        };
+        if prefix.len() >= o.cols.len() && (lo.is_some() || hi.is_some()) {
+            return None;
+        }
+        let pkeys: Vec<OrdKey> = prefix.iter().map(|v| v.ord_key()).collect();
+        let (lok, hik) = (lo.map(Value::ord_key), hi.map(Value::ord_key));
+        let mut out = Vec::new();
+        for (_, bucket) in o.scan(&pkeys, lok.as_ref(), hik.as_ref()) {
+            out.extend_from_slice(bucket);
+            if out.len() > abort_at {
+                return None;
+            }
+        }
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// Key-ordered position stream through ordered index `i`: rows
+    /// whose leading key columns equal `prefix`, with the next key
+    /// column optionally bounded to `[lo, hi]`, in ascending
+    /// (`desc = false`) or descending key order. Ties (equal keys)
+    /// always stream in ascending row position — the order a stable
+    /// sort of the scan would produce. This is the index-backed
+    /// ORDER BY path: the caller stops at LIMIT instead of sorting.
+    pub fn stream_ordered(
+        &self,
+        i: usize,
+        prefix: &[&Value],
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        desc: bool,
+    ) -> Option<Box<dyn Iterator<Item = usize> + '_>> {
+        let IndexStore::Ordered(o) = &self.maps[i] else {
+            return None;
+        };
+        let pkeys: Vec<OrdKey> = prefix.iter().map(|v| v.ord_key()).collect();
+        let (lok, hik) = (lo.map(Value::ord_key), hi.map(Value::ord_key));
+        let range = o.scan(&pkeys, lok.as_ref(), hik.as_ref());
+        Some(if desc {
+            Box::new(range.rev().flat_map(|(_, b)| b.iter().copied()))
+        } else {
+            Box::new(range.flat_map(|(_, b)| b.iter().copied()))
+        })
+    }
+
+    /// First/last-key peek through ordered index `i`: the position of a
+    /// row holding the MIN (`max = false`) or MAX (`max = true`) of the
+    /// index's *last* key column among rows whose leading columns equal
+    /// `prefix`. Only defined when `prefix` covers all but the last
+    /// index column, so every SQL-equal extremum shares one bucket and
+    /// the returned position is the scan-first row bearing it — exactly
+    /// what a streaming MIN/MAX aggregate would keep.
+    ///
+    /// NULL keys are skipped on both ends (aggregates ignore NULL); the
+    /// canonical NaN key is skipped too (`NaN < x` and `NaN > x` are
+    /// unknown, so NaN can never be a comparison-won extremum). Outer
+    /// `None` means the peek doesn't apply; inner `None` means no
+    /// qualifying row (the aggregate is NULL).
+    pub fn peek_edge(&self, i: usize, prefix: &[&Value], max: bool) -> Option<Option<usize>> {
+        let IndexStore::Ordered(o) = &self.maps[i] else {
+            return None;
+        };
+        if prefix.len() + 1 != o.cols.len() {
+            return None;
+        }
+        if prefix.iter().any(|v| v.is_null()) {
+            return Some(None); // NULL prefix equality matches nothing
+        }
+        let pkeys: Vec<OrdKey> = prefix.iter().map(|v| v.ord_key()).collect();
+        let k = pkeys.len();
+        if max {
+            for (key, bucket) in o.scan(&pkeys, None, None).rev() {
+                if key[k].is_nan() {
+                    continue;
+                }
+                if key[k] == OrdKey::Null {
+                    return Some(None); // only NULL keys left below
+                }
+                return Some(Some(bucket[0]));
+            }
+        } else {
+            for (key, bucket) in o.scan(&pkeys, None, None) {
+                if key[k] == OrdKey::Null {
+                    continue;
+                }
+                if key[k].is_nan() {
+                    return Some(None); // only NaN keys left above
+                }
+                return Some(Some(bucket[0]));
+            }
+        }
+        Some(None)
     }
 
     /// Rebuild every index map from the rows (snapshot load: serde
@@ -418,11 +825,20 @@ impl Table {
             .indexes
             .iter()
             .map(|def| {
-                let col = self
-                    .schema
-                    .index_of(&def.column)
-                    .expect("index column validated at creation");
-                IndexMap::build(col, &self.rows)
+                let cols: Vec<usize> = def
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        self.schema
+                            .index_of(c)
+                            .expect("index column validated at creation")
+                    })
+                    .collect();
+                if def.ordered {
+                    IndexStore::Ordered(OrdIndex::build(cols, &self.rows))
+                } else {
+                    IndexStore::Hash(IndexMap::build(cols[0], &self.rows))
+                }
             })
             .collect();
     }
@@ -431,9 +847,15 @@ impl Table {
     /// rebuild (same buckets, same ascending positions).
     #[cfg(test)]
     fn maps_match_rebuild(&self) -> bool {
-        self.maps.iter().all(|m| {
-            let fresh = IndexMap::build(m.col, &self.rows);
-            m.num == fresh.num && m.text == fresh.text
+        self.maps.iter().all(|m| match m {
+            IndexStore::Hash(h) => {
+                let fresh = IndexMap::build(h.col, &self.rows);
+                h.num == fresh.num && h.text == fresh.text
+            }
+            IndexStore::Ordered(o) => {
+                let fresh = OrdIndex::build(o.cols.clone(), &self.rows);
+                o.map == fresh.map
+            }
         })
     }
 }
@@ -494,7 +916,7 @@ mod tests {
         for i in 0..10 {
             t.insert(vec![Value::Int(i % 3), Value::from("x")]).unwrap();
         }
-        t.create_index("ik", "k").unwrap();
+        t.create_index("ik", &["k"], false).unwrap();
         let hits = t.index_lookup("k", &Value::Int(1)).unwrap();
         assert_eq!(hits, &[1, 4, 7]);
         // Unindexed column: no index answer.
@@ -504,10 +926,22 @@ mod tests {
     }
 
     #[test]
+    fn ordered_single_column_lookup_matches_hash() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i % 3), Value::from("x")]).unwrap();
+        }
+        t.create_index("ok", &["k"], true).unwrap();
+        assert_eq!(t.index_lookup("k", &Value::Int(1)).unwrap(), &[1, 4, 7]);
+        assert_eq!(t.index_lookup("k", &Value::Int(99)), Some(NO_ROWS));
+        assert!(t.index_lookup("k", &Value::Null).unwrap().is_empty());
+    }
+
+    #[test]
     fn index_tracks_mutations() {
         let mut t = table();
         t.insert(vec![Value::Int(7), Value::from("a")]).unwrap();
-        t.create_index("ik", "k").unwrap();
+        t.create_index("ik", &["k"], false).unwrap();
         assert_eq!(t.index_lookup("k", &Value::Int(7)).unwrap().len(), 1);
         t.insert(vec![Value::Int(7), Value::from("b")]).unwrap();
         assert_eq!(t.index_lookup("k", &Value::Int(7)).unwrap().len(), 2);
@@ -520,7 +954,7 @@ mod tests {
     fn index_cross_type_numeric_probe() {
         let mut t = table();
         t.insert(vec![Value::Int(2), Value::from("a")]).unwrap();
-        t.create_index("ik", "k").unwrap();
+        t.create_index("ik", &["k"], false).unwrap();
         // SQL: 2 = 2.0, so a Double probe must find the Int row.
         assert_eq!(t.index_lookup("k", &Value::Double(2.0)).unwrap(), &[0]);
     }
@@ -529,28 +963,37 @@ mod tests {
     fn null_probe_returns_nothing() {
         let mut t = table();
         t.insert(vec![Value::Null, Value::from("a")]).unwrap();
-        t.create_index("ik", "k").unwrap();
+        t.create_index("ik", &["k"], false).unwrap();
         assert!(t.index_lookup("k", &Value::Null).unwrap().is_empty());
     }
 
     #[test]
     fn duplicate_index_name_rejected() {
         let mut t = table();
-        t.create_index("i", "k").unwrap();
+        t.create_index("i", &["k"], false).unwrap();
         assert!(matches!(
-            t.create_index("i", "v"),
+            t.create_index("i", &["v"], false),
             Err(DbError::IndexExists(_))
         ));
         assert!(matches!(
-            t.create_index("j", "nope"),
+            t.create_index("j", &["nope"], false),
             Err(DbError::NoSuchColumn(_))
+        ));
+        // Hash indexes are single-column; composites must be ordered.
+        assert!(matches!(
+            t.create_index("j", &["k", "v"], false),
+            Err(DbError::Arity(_))
+        ));
+        assert!(matches!(
+            t.create_index("j", &[], true),
+            Err(DbError::Arity(_))
         ));
     }
 
     #[test]
     fn drop_index_removes() {
         let mut t = table();
-        t.create_index("i", "k").unwrap();
+        t.create_index("i", &["k"], false).unwrap();
         t.drop_index("i").unwrap();
         assert!(t.index_lookup("k", &Value::Int(0)).is_none());
         assert!(matches!(t.drop_index("i"), Err(DbError::NoSuchIndex(_))));
@@ -560,10 +1003,13 @@ mod tests {
     fn incremental_maintenance_matches_rebuild() {
         // A deterministic mixed workload: inserts, point updates,
         // range deletes, undo of each — after every step the patched
-        // maps must equal a from-scratch rebuild.
+        // maps must equal a from-scratch rebuild. An ordered composite
+        // index rides along with the two hash indexes so both shapes
+        // face the same workload.
         let mut t = table();
-        t.create_index("ik", "k").unwrap();
-        t.create_index("iv", "v").unwrap();
+        t.create_index("ik", &["k"], false).unwrap();
+        t.create_index("iv", &["v"], false).unwrap();
+        t.create_index("okv", &["k", "v"], true).unwrap();
         for i in 0..40 {
             let v = if i % 5 == 0 {
                 Value::Null
@@ -612,10 +1058,16 @@ mod tests {
         for i in 0..6 {
             t.insert(vec![Value::Int(i % 2), Value::from("x")]).unwrap();
         }
-        t.create_index("ik", "k").unwrap();
+        t.create_index("ik", &["k"], false).unwrap();
+        t.create_index("okv", &["k", "v"], true).unwrap();
         t.maps.clear(); // simulate a deserialized table
         t.rebuild_indexes();
         assert_eq!(t.index_lookup("k", &Value::Int(0)).unwrap(), &[0, 2, 4]);
+        assert_eq!(
+            t.probe_point(1, &[&Value::Int(1), &Value::from("x")])
+                .unwrap(),
+            &[1, 3, 5]
+        );
     }
 
     #[test]
@@ -629,10 +1081,221 @@ mod tests {
         );
         t.insert(vec![Value::Double(-0.0)]).unwrap();
         t.insert(vec![Value::Double(0.0)]).unwrap();
-        t.create_index("id", "d").unwrap();
+        t.create_index("id", &["d"], false).unwrap();
+        t.create_index("od", &["d"], true).unwrap();
         // SQL: -0.0 = 0.0, so either probe must return both rows.
         assert_eq!(t.index_lookup("d", &Value::Double(0.0)).unwrap(), &[0, 1]);
         assert_eq!(t.index_lookup("d", &Value::Double(-0.0)).unwrap(), &[0, 1]);
         assert_eq!(t.index_lookup("d", &Value::Int(0)).unwrap(), &[0, 1]);
+        // The ordered index collapses them into one key as well.
+        assert_eq!(t.probe_point(1, &[&Value::Int(0)]).unwrap(), &[0, 1]);
+        assert_eq!(
+            t.probe_range(
+                1,
+                &[],
+                Some(&Value::Double(-0.0)),
+                Some(&Value::Int(0)),
+                usize::MAX
+            ),
+            Some(vec![0, 1])
+        );
+    }
+
+    /// A (runid, timestep)-shaped table for range/stream tests.
+    fn composite_table() -> Table {
+        let mut t = Table::new(
+            Schema::new(vec![
+                Column {
+                    name: "runid".into(),
+                    ctype: ColType::Int,
+                },
+                Column {
+                    name: "ts".into(),
+                    ctype: ColType::Int,
+                },
+            ])
+            .unwrap(),
+        );
+        // Interleave runs so positions don't follow key order.
+        for ts in 0..12 {
+            for run in 0..3 {
+                t.insert(vec![Value::Int(run), Value::Int(ts)]).unwrap();
+            }
+        }
+        t.create_index("o_run_ts", &["runid", "ts"], true).unwrap();
+        t
+    }
+
+    #[test]
+    fn range_probe_shapes() {
+        let t = composite_table();
+        let one = Value::Int(1);
+        let scan = |lo: Option<&Value>, hi: Option<&Value>| {
+            t.probe_range(0, &[&one], lo, hi, usize::MAX).unwrap()
+        };
+        let expect = |pred: &dyn Fn(i64) -> bool| -> Vec<usize> {
+            t.rows()
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r[0].as_i64() == Some(1) && pred(r[1].as_i64().unwrap()))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        // Closed, half-open both sides, and unbounded (prefix) ranges.
+        assert_eq!(
+            scan(Some(&Value::Int(3)), Some(&Value::Int(7))),
+            expect(&|ts| (3..=7).contains(&ts))
+        );
+        assert_eq!(scan(Some(&Value::Int(9)), None), expect(&|ts| ts >= 9));
+        assert_eq!(scan(None, Some(&Value::Int(2))), expect(&|ts| ts <= 2));
+        assert_eq!(scan(None, None), expect(&|_| true));
+        // Inverted range: empty, not a panic.
+        assert_eq!(
+            scan(Some(&Value::Int(7)), Some(&Value::Int(3))),
+            Vec::<usize>::new()
+        );
+        // Cross-type bounds land between integers.
+        assert_eq!(
+            scan(Some(&Value::Double(2.5)), Some(&Value::Double(4.5))),
+            expect(&|ts| ts == 3 || ts == 4)
+        );
+        // Cost abort: more candidates than `abort_at` returns None.
+        assert!(t.probe_range(0, &[&one], None, None, 3).is_none());
+    }
+
+    #[test]
+    fn full_key_point_probe_and_distinct_stats() {
+        let t = composite_table();
+        let hits = t.probe_point(0, &[&Value::Int(2), &Value::Int(5)]).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(t.rows()[hits[0]], vec![Value::Int(2), Value::Int(5)]);
+        // 3 runs × 12 timesteps = 36 distinct composite keys.
+        assert_eq!(t.index_distinct_keys(0), 36);
+        // NULL in a point key matches nothing.
+        assert_eq!(
+            t.probe_point(0, &[&Value::Null, &Value::Int(5)]).unwrap(),
+            NO_ROWS
+        );
+    }
+
+    #[test]
+    fn stream_ordered_yields_key_order_and_scan_order_ties() {
+        let mut t = composite_table();
+        // A duplicate key: ties must stream in ascending position.
+        t.insert(vec![Value::Int(1), Value::Int(5)]).unwrap();
+        let one = Value::Int(1);
+        let asc: Vec<usize> = t
+            .stream_ordered(0, &[&one], None, None, false)
+            .unwrap()
+            .collect();
+        let ts_of = |p: usize| t.rows()[p][1].as_i64().unwrap();
+        assert!(asc
+            .windows(2)
+            .all(|w| { ts_of(w[0]) < ts_of(w[1]) || (ts_of(w[0]) == ts_of(w[1]) && w[0] < w[1]) }));
+        assert_eq!(asc.len(), 13);
+        let desc: Vec<usize> = t
+            .stream_ordered(0, &[&one], None, None, true)
+            .unwrap()
+            .collect();
+        assert!(desc
+            .windows(2)
+            .all(|w| { ts_of(w[0]) > ts_of(w[1]) || (ts_of(w[0]) == ts_of(w[1]) && w[0] < w[1]) }));
+        // Bounded stream honors the range.
+        let bounded: Vec<usize> = t
+            .stream_ordered(0, &[&one], Some(&Value::Int(4)), Some(&Value::Int(6)), true)
+            .unwrap()
+            .collect();
+        assert!(bounded.iter().all(|&p| (4..=6).contains(&ts_of(p))));
+    }
+
+    #[test]
+    fn prefix_probe_includes_null_tail_rows() {
+        let mut t = composite_table();
+        // A row whose tail key column is NULL must still be found by a
+        // prefix probe on runid — a full scan would return it.
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        let pos = t.len() - 1;
+        let hits = t
+            .probe_range(0, &[&Value::Int(1)], None, None, usize::MAX)
+            .unwrap();
+        assert!(hits.contains(&pos));
+        // But a bounded range never reports it (ts <= 2 is unknown for
+        // NULL): OrdKey::Null sorts below every numeric bound.
+        let bounded = t
+            .probe_range(0, &[&Value::Int(1)], Some(&Value::Int(0)), None, usize::MAX)
+            .unwrap();
+        assert!(!bounded.contains(&pos));
+    }
+
+    #[test]
+    fn peek_edge_min_max() {
+        let t = composite_table();
+        // MAX(ts) within runid = 0: the row (0, 11).
+        let at = t.peek_edge(0, &[&Value::Int(0)], true).unwrap().unwrap();
+        assert_eq!(t.rows()[at], vec![Value::Int(0), Value::Int(11)]);
+        // MIN(ts) within runid = 2: the row (2, 0).
+        let at = t.peek_edge(0, &[&Value::Int(2)], false).unwrap().unwrap();
+        assert_eq!(t.rows()[at], vec![Value::Int(2), Value::Int(0)]);
+        // Missing prefix: no qualifying row.
+        assert_eq!(t.peek_edge(0, &[&Value::Int(99)], true), Some(None));
+        // Wrong prefix arity: the peek does not apply.
+        assert!(t.peek_edge(0, &[], true).is_none());
+    }
+
+    #[test]
+    fn peek_edge_skips_null_and_nan() {
+        let mut t = Table::new(
+            Schema::new(vec![Column {
+                name: "d".into(),
+                ctype: ColType::Double,
+            }])
+            .unwrap(),
+        );
+        t.insert(vec![Value::Null]).unwrap();
+        t.insert(vec![Value::Double(f64::NAN)]).unwrap();
+        t.insert(vec![Value::Double(2.5)]).unwrap();
+        t.insert(vec![Value::Double(-1.0)]).unwrap();
+        t.create_index("od", &["d"], true).unwrap();
+        let min = t.peek_edge(0, &[], false).unwrap().unwrap();
+        assert_eq!(t.rows()[min][0], Value::Double(-1.0));
+        let max = t.peek_edge(0, &[], true).unwrap().unwrap();
+        assert_eq!(t.rows()[max][0], Value::Double(2.5));
+        // Only NULL and NaN left: both peeks report "no qualifying row".
+        let mut t2 = t.clone();
+        t2.rebuild_indexes();
+        t2.delete_where(|r| matches!(r[0], Value::Double(d) if d.is_finite()));
+        assert_eq!(t2.peek_edge(0, &[], false), Some(None));
+        assert_eq!(t2.peek_edge(0, &[], true), Some(None));
+    }
+
+    #[test]
+    fn text_range_probe() {
+        let mut t = table();
+        for (i, name) in ["alpha", "beta", "delta", "gamma"].iter().enumerate() {
+            t.insert(vec![Value::Int(i as i64), Value::from(*name)])
+                .unwrap();
+        }
+        t.create_index("ov", &["v"], true).unwrap();
+        let hits = t
+            .probe_range(
+                0,
+                &[],
+                Some(&Value::from("beta")),
+                Some(&Value::from("delta")),
+                usize::MAX,
+            )
+            .unwrap();
+        assert_eq!(hits, vec![1, 2]);
+        // A numeric bound never sweeps text keys (disjoint key classes).
+        let none = t
+            .probe_range(
+                0,
+                &[],
+                Some(&Value::Int(0)),
+                Some(&Value::Int(100)),
+                usize::MAX,
+            )
+            .unwrap();
+        assert!(none.is_empty());
     }
 }

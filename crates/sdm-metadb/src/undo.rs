@@ -145,10 +145,11 @@ impl UndoLog {
                         .expect("undo: created index exists");
                 }
                 UndoRecord::DropIndex { table, def } => {
+                    let cols: Vec<&str> = def.columns.iter().map(String::as_str).collect();
                     catalog
                         .get_mut(&table)
                         .expect("undo: index's table exists")
-                        .create_index(&def.name, &def.column)
+                        .create_index(&def.name, &cols, def.ordered)
                         .expect("undo: dropped index re-creates");
                 }
             }

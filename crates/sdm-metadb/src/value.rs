@@ -105,6 +105,94 @@ impl Value {
             Value::Text(s) => IndexKey::Text(Cow::Borrowed(s)),
         }
     }
+
+    /// Owned, totally-ordered key — the `BTreeMap` key of the ordered
+    /// secondary indexes.
+    ///
+    /// Shares [`Value::index_key`]'s canonicalization (`-0.0` keys as
+    /// `0.0`, all NaN payloads collapse, integers via their `f64`
+    /// value), and additionally sorts consistently with
+    /// [`Value::sql_cmp`] wherever `sql_cmp` is defined:
+    ///
+    /// * numerics order by `f64` value via an order-preserving bit
+    ///   transform (sign-magnitude flip), so `Int` and `Double` keys
+    ///   interleave exactly as `sql_cmp` ranks them;
+    /// * text orders lexicographically by bytes, as `sql_cmp` does;
+    /// * the pairs `sql_cmp` leaves *undefined* get a fixed arbitrary
+    ///   order: `Null < Num < Text`, and the canonical NaN sorts above
+    ///   every real number. Range probes stay correct because callers
+    ///   re-verify candidates against the real predicate, which
+    ///   rejects NULL/NaN/cross-type rows a key range may sweep up.
+    pub fn ord_key(&self) -> OrdKey {
+        match self {
+            Value::Null => OrdKey::Null,
+            Value::Int(i) => OrdKey::num(*i as f64),
+            Value::Double(d) => OrdKey::num(*d),
+            Value::Text(s) => OrdKey::Text(s.clone()),
+        }
+    }
+}
+
+/// An owned key with a total order consistent with [`Value::sql_cmp`]
+/// (see [`Value::ord_key`]). `Num` holds canonical `f64` bits passed
+/// through an order-preserving transform, so the derived `u64` order
+/// *is* numeric order — raw IEEE-754 bits would sort negatives above
+/// positives.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OrdKey {
+    /// NULL sentinel; sorts before every other key so prefix probes on
+    /// composite indexes still see rows whose tail columns are NULL.
+    Null,
+    /// Order-encoded canonical `f64` bits (sign bit flipped for
+    /// non-negatives, all bits flipped for negatives).
+    Num(u64),
+    /// Text by content, byte-lexicographic.
+    Text(String),
+}
+
+impl OrdKey {
+    /// Canonicalize as [`IndexKey::num`] does, then make the bit
+    /// pattern order-preserving: for `a < b` as floats,
+    /// `enc(a) < enc(b)` as unsigned integers.
+    fn num(d: f64) -> OrdKey {
+        let canonical = if d == 0.0 {
+            0.0f64
+        } else if d.is_nan() {
+            f64::NAN
+        } else {
+            d
+        };
+        let bits = canonical.to_bits();
+        let enc = if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        };
+        OrdKey::Num(enc)
+    }
+
+    /// Whether this is the (canonical) NaN key. NaN sorts above every
+    /// real number, so MAX peeks on ordered indexes skip it.
+    pub fn is_nan(&self) -> bool {
+        *self == OrdKey::num(f64::NAN)
+    }
+
+    /// The immediate successor in key order. Used to turn an inclusive
+    /// composite-prefix upper bound into an exclusive `BTreeMap` range
+    /// end. Total: every key has a successor (`Num(u64::MAX)` rolls
+    /// into the text class, `Text` appends a NUL byte).
+    pub fn successor(&self) -> OrdKey {
+        match self {
+            OrdKey::Null => OrdKey::Num(0),
+            OrdKey::Num(u64::MAX) => OrdKey::Text(String::new()),
+            OrdKey::Num(b) => OrdKey::Num(b + 1),
+            OrdKey::Text(s) => {
+                let mut t = s.clone();
+                t.push('\0');
+                OrdKey::Text(t)
+            }
+        }
+    }
 }
 
 /// A typed hash key under SQL equality — the probe/build key of the
@@ -282,6 +370,86 @@ mod tests {
         // Covariance: a map keyed by 'static keys answers borrowed probes.
         let shorter: &HashMap<IndexKey<'_>, i32> = &map;
         assert_eq!(shorter.get(&borrowed), Some(&7));
+    }
+
+    #[test]
+    fn ord_key_orders_like_sql_cmp() {
+        // Every comparable pair orders identically under sql_cmp and
+        // ord_key — including negatives, where raw f64 bits would not.
+        let vals = [
+            Value::Int(i64::MIN),
+            Value::Double(-1.0e300),
+            Value::Int(-2),
+            Value::Double(-1.5),
+            Value::Double(-0.0),
+            Value::Int(0),
+            Value::Double(0.25),
+            Value::Int(1),
+            Value::Double(1.0),
+            Value::Int(1 << 53),
+            Value::Double(f64::INFINITY),
+            Value::from(""),
+            Value::from("a"),
+            Value::from("ab"),
+        ];
+        for a in &vals {
+            for b in &vals {
+                if let Some(o) = a.sql_cmp(b) {
+                    assert_eq!(
+                        a.ord_key().cmp(&b.ord_key()),
+                        o,
+                        "ord_key disagrees with sql_cmp for {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ord_key_canonicalizes_like_index_key() {
+        assert_eq!(Value::Int(2).ord_key(), Value::Double(2.0).ord_key());
+        assert_eq!(Value::Double(-0.0).ord_key(), Value::Double(0.0).ord_key());
+        let payload = f64::from_bits(f64::NAN.to_bits() | 1);
+        assert_eq!(
+            Value::Double(payload).ord_key(),
+            Value::Double(f64::NAN).ord_key()
+        );
+        assert!(Value::Double(payload).ord_key().is_nan());
+        assert!(!Value::Int(7).ord_key().is_nan());
+    }
+
+    #[test]
+    fn ord_key_classes_and_nan_placement() {
+        // Fixed arbitrary order for pairs sql_cmp leaves undefined:
+        // Null < every number < every text, NaN above every real.
+        assert!(OrdKey::Null < Value::Int(i64::MIN).ord_key());
+        assert!(Value::Double(f64::INFINITY).ord_key() < Value::from("").ord_key());
+        assert!(Value::Double(f64::INFINITY).ord_key() < Value::Double(f64::NAN).ord_key());
+        assert!(Value::Double(f64::NAN).ord_key() < Value::from("").ord_key());
+    }
+
+    #[test]
+    fn ord_key_successor_is_immediate() {
+        // successor(k) > k, and nothing representable sits between for
+        // the numeric class (bit increment) — spot-check adjacency.
+        for v in [
+            Value::Int(3),
+            Value::Double(-2.5),
+            Value::Double(0.0),
+            Value::from(""),
+            Value::from("run"),
+        ] {
+            let k = v.ord_key();
+            assert!(k.successor() > k, "successor not greater for {v:?}");
+        }
+        assert_eq!(
+            OrdKey::Num(u64::MAX).successor(),
+            OrdKey::Text(String::new())
+        );
+        assert_eq!(OrdKey::Null.successor(), OrdKey::Num(0));
+        // Text successor appends NUL: nothing orders strictly between.
+        assert!(OrdKey::Text("a".into()) < OrdKey::Text("a\0".into()));
+        assert!(OrdKey::Text("a\0".into()) < OrdKey::Text("aa".into()));
     }
 
     #[test]

@@ -7,8 +7,10 @@
 use proptest::prelude::*;
 use sdm_metadb::{Database, Value};
 
-/// Build twin tables with identical rows: `ti` carries secondary
-/// indexes on both columns, `tn` has none.
+/// Build twin tables with identical rows: `ti` carries hash indexes on
+/// both columns plus ordered indexes (a `(k, v)` composite and a
+/// single-column `v`) so every planner shape — point probe, range walk,
+/// prefix walk, ordered stream — competes against `tn`'s scans.
 fn twin_db(rows: &[(i64, i64)]) -> Database {
     let db = Database::new();
     db.exec("CREATE TABLE ti (k INT, v INT)", &[]).unwrap();
@@ -27,12 +29,19 @@ fn twin_db(rows: &[(i64, i64)]) -> Database {
     }
     db.exec("CREATE INDEX ti_k ON ti (k)", &[]).unwrap();
     db.exec("CREATE INDEX ti_v ON ti (v)", &[]).unwrap();
+    db.exec("CREATE ORDERED INDEX ti_kv ON ti (k, v)", &[])
+        .unwrap();
+    db.exec("CREATE ORDERED INDEX ti_vo ON ti (v)", &[])
+        .unwrap();
     db
 }
 
 /// Query templates over a table `{T}`; every `?` consumes one of the
-/// two generated probe parameters.
-const TEMPLATES: [(&str, usize); 8] = [
+/// two generated probe parameters. The back half exercises the range
+/// planner: half-open and closed windows, equality-prefix + range-tail
+/// composite probes, and index-streamable ORDER BY/LIMIT shapes whose
+/// row *order* must match the scanned twin's sort exactly.
+const TEMPLATES: [(&str, usize); 14] = [
     ("SELECT k, v FROM {T} WHERE k = ?", 1),
     ("SELECT v FROM {T} WHERE k = ? AND v >= ?", 2),
     ("SELECT k FROM {T} WHERE k = ? OR v = ?", 2),
@@ -44,6 +53,18 @@ const TEMPLATES: [(&str, usize); 8] = [
         "SELECT k, COUNT(*) AS n FROM {T} WHERE v = ? GROUP BY k ORDER BY k",
         1,
     ),
+    (
+        "SELECT k, v FROM {T} WHERE k >= ? AND k <= ? ORDER BY k, v",
+        2,
+    ),
+    ("SELECT k, v FROM {T} WHERE k = ? AND v > ?", 2),
+    ("SELECT v FROM {T} WHERE v < ? ORDER BY v", 1),
+    (
+        "SELECT k, v FROM {T} WHERE k = ? ORDER BY v DESC LIMIT 2",
+        1,
+    ),
+    ("SELECT MIN(v), MAX(v) FROM {T} WHERE k = ?", 1),
+    ("SELECT k, v FROM {T} WHERE k < ? AND v >= ? AND v <= ?", 3),
 ];
 
 proptest! {
@@ -52,13 +73,15 @@ proptest! {
     #[test]
     fn exec_prepared_and_indexed_paths_agree(
         rows in proptest::collection::vec((0i64..12, -4i64..4), 0..60),
-        template in 0usize..8,
+        template in 0usize..14,
         p1 in 0i64..12,
         p2 in -4i64..4,
+        p3 in -4i64..4,
     ) {
         let db = twin_db(&rows);
         let (shape, arity) = TEMPLATES[template];
-        let params: Vec<Value> = [Value::Int(p1), Value::Int(p2)][..arity].to_vec();
+        let params: Vec<Value> =
+            [Value::Int(p1), Value::Int(p2), Value::Int(p3)][..arity].to_vec();
 
         let sql_indexed = shape.replace("{T}", "ti");
         let sql_scan = shape.replace("{T}", "tn");
@@ -157,17 +180,28 @@ fn edge_twin_db(rows: &[(Value, Value)]) -> Database {
     }
     db.exec("CREATE INDEX ei_i ON ei (i)", &[]).unwrap();
     db.exec("CREATE INDEX ei_d ON ei (d)", &[]).unwrap();
+    db.exec("CREATE ORDERED INDEX ei_id ON ei (i, d)", &[])
+        .unwrap();
+    db.exec("CREATE ORDERED INDEX ei_do ON ei (d)", &[])
+        .unwrap();
     db
 }
 
 /// Edge-case templates; every `?` consumes one generated probe value.
-const EDGE_TEMPLATES: [&str; 6] = [
+/// The range shapes aim signed-zero, NULL, and beyond-2^53 values at
+/// the ordered indexes' key-encoding boundaries — including NULL range
+/// bounds (match nothing) and ±0.0 at a range endpoint (one key).
+const EDGE_TEMPLATES: [&str; 10] = [
     "SELECT i, d FROM {T} WHERE i = ?",
     "SELECT i, d FROM {T} WHERE d = ?",
     "SELECT COUNT(*) FROM {T} WHERE i = ?",
     "SELECT COUNT(*), MIN(d), MAX(d) FROM {T} WHERE d = ?",
     "SELECT i FROM {T} WHERE d = ? AND i IS NOT NULL",
     "SELECT d FROM {T} WHERE i = ? OR d = ?",
+    "SELECT i, d FROM {T} WHERE d >= ? AND d <= ?",
+    "SELECT i, d FROM {T} WHERE i = ? AND d < ?",
+    "SELECT d FROM {T} WHERE d > ? ORDER BY d LIMIT 4",
+    "SELECT i, d FROM {T} WHERE i >= ?",
 ];
 
 proptest! {
@@ -177,11 +211,11 @@ proptest! {
     /// key-encoding edge cases: `-0.0` vs `0.0` (one bucket — an
     /// indexed probe for either finds both), integers beyond 2^53
     /// (bucket collisions re-verified by the predicate), and NULL-heavy
-    /// columns (never indexed, never matched by `=`).
+    /// columns (matched by neither `=` nor a range bound).
     #[test]
     fn key_encoding_edges_agree_between_indexed_and_scan(
         rows in proptest::collection::vec((edge_int(), edge_double()), 0..50),
-        template in 0usize..6,
+        template in 0usize..10,
         p1 in prop_oneof![edge_int(), edge_double()],
         p2 in prop_oneof![edge_int(), edge_double()],
     ) {

@@ -19,6 +19,7 @@ sdm_metadb::relation! {
         pub v: i64 => V,
     }
     indexes { "ti_k" on k, "ti_v" on v }
+    ordered { "ti_kv" on (k, v), "ti_vo" on (v) }
 }
 
 sdm_metadb::relation! {
@@ -222,6 +223,56 @@ proptest! {
         prop_assert_eq!(&a, &b);
     }
 
+    /// The range builders (`between`, `prefix_range`) agree with the
+    /// unindexed twin and their own `to_sql()` re-parse — row sets AND
+    /// row order, streamed or sorted.
+    #[test]
+    fn typed_range_builders_match_scan_and_rendering(
+        rows in proptest::collection::vec((0i64..10, -5i64..5), 0..50),
+        key in 0i64..10,
+        lo in -5i64..5,
+        hi in -5i64..5,
+    ) {
+        let db = twin_db(&rows);
+
+        // Equality-prefix + closed-range composite probe.
+        let q_i = Query::<TiRow>::prefix_range(TiCol::K, param(0), TiCol::V, param(1), param(2))
+            .order_by(TiCol::V)
+            .compile();
+        let q_n = Query::<TnRow>::prefix_range(TnCol::K, param(0), TnCol::V, param(1), param(2))
+            .order_by(TnCol::V)
+            .compile();
+        let params = [Value::Int(key), Value::Int(lo), Value::Int(hi)];
+        db.reset_stats();
+        let a = db.exec_stmt(&q_i, &params).unwrap();
+        prop_assert_eq!(db.stats().sql_texts, 0, "typed path touched SQL text");
+        prop_assert_eq!(
+            db.stats().full_scans, 0,
+            "prefix_range must ride the (k, v) composite (probe or stream)"
+        );
+        let b = db.exec_stmt(&q_n, &params).unwrap();
+        prop_assert_eq!(&a.rows, &b.rows, "prefix_range: indexed != scan");
+        let c = db.exec_stmt(&Stmt::parse(&q_i.to_sql()).unwrap(), &params).unwrap();
+        prop_assert_eq!(&a.rows, &c.rows, "prefix_range to_sql round-trip diverged");
+
+        // Standalone between + top-k: streamed off the ordered `v`
+        // index on one side, partial-sorted on the other.
+        let q_i = Query::<TiRow>::filter(TiCol::V.between(param(0), param(1)))
+            .order_by_desc(TiCol::V)
+            .limit(3)
+            .compile();
+        let q_n = Query::<TnRow>::filter(TnCol::V.between(param(0), param(1)))
+            .order_by_desc(TnCol::V)
+            .limit(3)
+            .compile();
+        let params = [Value::Int(lo), Value::Int(hi)];
+        let a = db.exec_stmt(&q_i, &params).unwrap();
+        let b = db.exec_stmt(&q_n, &params).unwrap();
+        prop_assert_eq!(&a.rows, &b.rows, "between top-k: indexed != scan");
+        let c = db.exec_stmt(&Stmt::parse(&q_i.to_sql()).unwrap(), &params).unwrap();
+        prop_assert_eq!(&a.rows, &c.rows, "between to_sql round-trip diverged");
+    }
+
     #[test]
     fn typed_mutations_match_raw_sql(
         rows in proptest::collection::vec((0i64..8, 0i64..8), 1..40),
@@ -277,6 +328,7 @@ sdm_metadb::relation! {
         pub n: i64 => N,
     }
     indexes { "td_d" on d, "td_n" on n }
+    ordered { "td_dn" on (d, n) }
 }
 
 sdm_metadb::relation! {

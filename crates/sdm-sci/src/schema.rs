@@ -2,9 +2,14 @@
 //!
 //! Four `sci_*` tables sit beside SDM's six Figure-4 tables. Like them,
 //! each is described once by a static descriptor — DDL and the
-//! secondary `runid` indexes (every container lookup filters by run)
-//! are generated from it via [`sdm_core::ensure_table`], and every
-//! query in [`crate::container`] is a typed statement. No SQL text
+//! secondary indexes are generated from it via [`sdm_core::ensure_table`],
+//! and every query in [`crate::container`] is a typed statement. Every
+//! container lookup filters by run, so each table carries one ordered
+//! composite index led by `runid`: run-only queries walk the prefix,
+//! and the narrower (runid, key) probes resolve to a single bucket.
+//! The second key column matches each table's point-lookup shape — and
+//! for `sci_dataset_table` it also streams the reopen listing
+//! (`ORDER BY ghandle`) straight off the index, sort-free. No SQL text
 //! exists anywhere in this crate.
 
 use sdm_metadb::relation;
@@ -19,7 +24,7 @@ relation! {
         /// Absolute group path (`/flow`).
         pub path: String => Path,
     }
-    indexes { "sci_group_runid" on runid }
+    ordered { "sci_group_runid_path" on (runid, path) }
 }
 
 relation! {
@@ -32,7 +37,7 @@ relation! {
         /// Dimension length.
         pub len: i64 => Len,
     }
-    indexes { "sci_dim_runid" on runid }
+    ordered { "sci_dim_runid_name" on (runid, name) }
 }
 
 relation! {
@@ -52,7 +57,7 @@ relation! {
         /// Total element count.
         pub global_size: i64 => GlobalSize,
     }
-    indexes { "sci_dataset_runid" on runid }
+    ordered { "sci_dataset_runid_ghandle" on (runid, ghandle) }
 }
 
 relation! {
@@ -74,7 +79,7 @@ relation! {
         /// Text payload (NULL unless `vtype = TEXT`).
         pub tval: String => Tval,
     }
-    indexes { "sci_attr_runid" on runid }
+    ordered { "sci_attr_runid_path" on (runid, path) }
 }
 
 /// The container layer's tables, in creation order.
