@@ -1,0 +1,122 @@
+//! `sdm-analyze`: the workspace invariant checker.
+//!
+//! A hermetic static-analysis pass over the SDM workspace that enforces
+//! the invariants the compiler cannot see:
+//!
+//! * **`ladder`** — the lock-acquisition order documented on
+//!   `Database` (`tx` → `catalog` → leaf mutexes), checked per function
+//!   body with a guard-scope model (let bindings, statement
+//!   temporaries, `if let`/`match` scrutinee temporaries, early
+//!   `drop`s).
+//! * **`sql-layering`** — no raw SQL string literals above
+//!   `sdm-metadb`; higher layers build typed `Stmt` values.
+//! * **`deprecated-call`** — the `#[deprecated]` compatibility veneers
+//!   may only be exercised from their designated files.
+//! * **`unwrap`** — no `.unwrap()` / `.expect("…")` in non-test library
+//!   code on the `sdm-metadb`/`sdm-core` hot paths.
+//! * **`undo-coverage`** — executor functions taking `&mut Catalog`
+//!   must thread `Option<&mut UndoLog>`.
+//!
+//! Findings can be suppressed, with a mandatory justification, by
+//! `// analyze:allow(rule-id: reason)` on the same or preceding line.
+//! The binary writes `ANALYZE.json` and exits nonzero when findings
+//! survive; CI runs it in the lint job.
+
+pub mod ladder;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scopes;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use report::{Finding, Report};
+use scopes::Model;
+
+/// Analyze one file's source under its repo-relative path (forward
+/// slashes). Returns surviving findings and the suppressed count.
+pub fn analyze_file(rel_path: &str, source: &str) -> (Vec<Finding>, usize) {
+    let model = Model::build(source);
+    rules::analyze_model(rel_path, &model)
+}
+
+/// Analyze every `.rs` file under `root` and assemble the report.
+///
+/// Walks `crates/`, `src/`, `tests/`, and `examples/`, skipping
+/// `target/` and dot-directories. Files are visited in sorted path
+/// order so the report is deterministic.
+pub fn analyze_root(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        let (mut f, s) = analyze_file(&rel, &source);
+        findings.append(&mut f);
+        suppressed += s;
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(Report {
+        analyzed_files: files.len(),
+        rules_checked: rules::RULES.iter().map(|r| r.to_string()).collect(),
+        suppressed,
+        findings,
+    })
+}
+
+/// Recursively collect `.rs` files, skipping `target` and dotted names.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Repo-relative path with forward slashes (rule scopes are defined on
+/// this form).
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_file_runs_all_rules() {
+        let (findings, _) = analyze_file("crates/sdm-metadb/src/foo.rs", "fn f() { x.unwrap(); }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn rel_path_is_forward_slashed() {
+        let root = Path::new("/a/b");
+        let p = Path::new("/a/b/crates/x/src/lib.rs");
+        assert_eq!(rel_path(root, p), "crates/x/src/lib.rs");
+    }
+}

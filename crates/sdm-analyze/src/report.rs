@@ -1,0 +1,148 @@
+//! Findings and the machine-readable report (`ANALYZE.json`).
+//!
+//! The JSON writer is hand-rolled (the analyzer is dependency-free);
+//! the schema is flat and stable so CI can archive and diff it.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`ladder`, `sql-layering`, `deprecated-call`, `unwrap`,
+    /// `undo-coverage`).
+    pub rule: String,
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// The trimmed source line, for humans reading the report.
+    pub snippet: String,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+/// The full analysis result for a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub analyzed_files: usize,
+    /// Rule ids that ran.
+    pub rules_checked: Vec<String>,
+    /// Findings suppressed by `analyze:allow` directives.
+    pub suppressed: usize,
+    /// Surviving findings, ordered by file then line.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Serialize to the `ANALYZE.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"analyzed_files\": {},", self.analyzed_files);
+        out.push_str("  \"rules_checked\": [");
+        for (i, r) in self.rules_checked.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(r));
+        }
+        out.push_str("],\n");
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let _ = write!(
+                out,
+                "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"message\": {}}}",
+                json_string(&f.rule),
+                json_string(&f.file),
+                f.line,
+                json_string(&f.snippet),
+                json_string(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// The one-line human summary CI prints.
+    pub fn summary(&self) -> String {
+        format!(
+            "analyzed_files={} rules_checked={} suppressed={} findings={}",
+            self.analyzed_files,
+            self.rules_checked.len(),
+            self.suppressed,
+            self.findings.len()
+        )
+    }
+}
+
+/// Escape a string per JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_round_trip_shape() {
+        let r = Report {
+            analyzed_files: 2,
+            rules_checked: vec!["ladder".into()],
+            suppressed: 1,
+            findings: vec![Finding {
+                rule: "unwrap".into(),
+                file: "a.rs".into(),
+                line: 3,
+                snippet: "x.unwrap();".into(),
+                message: "no".into(),
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"analyzed_files\": 2"));
+        assert!(j.contains("\"rules_checked\": [\"ladder\"]"));
+        assert!(j.contains("\"line\": 3"));
+        assert_eq!(
+            r.summary(),
+            "analyzed_files=2 rules_checked=1 suppressed=1 findings=1"
+        );
+    }
+
+    #[test]
+    fn empty_findings_is_empty_array() {
+        let r = Report {
+            analyzed_files: 0,
+            rules_checked: vec![],
+            suppressed: 0,
+            findings: vec![],
+        };
+        assert!(r.to_json().contains("\"findings\": []"));
+    }
+}

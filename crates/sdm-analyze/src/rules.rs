@@ -1,0 +1,312 @@
+//! Architecture rules: SQL layering, deprecated-veneer opt-ins,
+//! `unwrap`/`expect` on library hot paths, and undo-log coverage.
+//!
+//! Each rule is scoped by repo-relative path (forward slashes). Rule ids
+//! are the ones `analyze:allow(id: reason)` suppresses and DESIGN.md
+//! documents.
+
+use crate::lexer::Tok;
+use crate::report::Finding;
+use crate::scopes::Model;
+
+/// Rule ids, in the order they are reported.
+pub const RULES: &[&str] = &[
+    "ladder",
+    "sql-layering",
+    "deprecated-call",
+    "unwrap",
+    "undo-coverage",
+];
+
+// ---------------------------------------------------------------- sql-layering
+
+/// Statement prefixes that mark a string literal as raw SQL. Matches the
+/// CI grep this rule replaces, so the allowlist carries over unchanged.
+const SQL_PREFIXES: &[&str] = &[
+    "SELECT ",
+    "INSERT INTO ",
+    "CREATE TABLE ",
+    "DELETE FROM ",
+    "UPDATE ",
+];
+
+/// Crates and trees that sit *above* `sdm-metadb` and therefore must
+/// build statements as typed values, never as SQL text.
+const SQL_SCOPE: &[&str] = &[
+    "crates/sdm-core/",
+    "crates/sdm-sci/",
+    "crates/sdm-apps/",
+    "crates/sdm-bench/",
+    "src/",
+    "tests/",
+    "examples/",
+];
+
+/// The surfaces that exist to exercise SQL text itself.
+const SQL_ALLOWLIST: &[&str] = &[
+    "crates/sdm-core/src/store.rs",
+    "tests/metadb_sql.rs",
+    "examples/metadb_tour.rs",
+];
+
+/// Rule `sql-layering`: no raw SQL string literals above `sdm-metadb`.
+/// Lexer-accurate where the old CI grep was line-based: string literals
+/// in comments no longer count, strings split across concatenations do.
+pub fn sql_layering(path: &str, model: &Model) -> Vec<Finding> {
+    if !SQL_SCOPE.iter().any(|p| path.starts_with(p)) || SQL_ALLOWLIST.contains(&path) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for t in &model.tokens {
+        if let Tok::Str(s) = &t.tok {
+            if SQL_PREFIXES.iter().any(|p| s.starts_with(p)) {
+                findings.push(Finding {
+                    rule: "sql-layering".into(),
+                    file: path.to_string(),
+                    line: t.line,
+                    snippet: model.snippet(t.line),
+                    message: format!(
+                        "raw SQL string literal above sdm-metadb (starts with {:?}); build a \
+                         typed `Stmt` instead",
+                        &s[..s.len().min(24)]
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ------------------------------------------------------------- deprecated-call
+
+/// The only files entitled to call the deprecated store/session veneers
+/// (equivalently: to write `allow(deprecated)`). The veneers' own
+/// definitions carry `#[deprecated]`, not `allow`, so they need no entry.
+const DEPRECATED_ALLOWLIST: &[&str] = &[
+    "crates/sdm-core/src/store.rs",
+    "crates/sdm-core/tests/api.rs",
+    "tests/session_api.rs",
+];
+
+/// Rule `deprecated-call`: a call site of a `#[deprecated]` veneer
+/// outside its designated files. The workspace builds with
+/// `-D warnings`, so every such call must carry an `allow(deprecated)`
+/// opt-in — which is exactly the token sequence this rule hunts.
+pub fn deprecated_call(path: &str, model: &Model) -> Vec<Finding> {
+    if DEPRECATED_ALLOWLIST.contains(&path) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let toks = &model.tokens;
+    for i in 0..toks.len() {
+        let Tok::Ident(w) = &toks[i].tok else {
+            continue;
+        };
+        if w != "allow" || !matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+            continue;
+        }
+        // Scan the argument list for `deprecated`.
+        let mut j = i + 2;
+        let mut hit = false;
+        while let Some(t) = toks.get(j) {
+            match &t.tok {
+                Tok::Punct(')') => break,
+                Tok::Ident(a) if a == "deprecated" => hit = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if hit {
+            let line = toks[i].line;
+            findings.push(Finding {
+                rule: "deprecated-call".into(),
+                file: path.to_string(),
+                line,
+                snippet: model.snippet(line),
+                message: "deprecated-veneer opt-in (`allow(deprecated)`) outside the designated \
+                          veneer/equivalence files; migrate to the typed API"
+                    .into(),
+            });
+        }
+    }
+    findings
+}
+
+// --------------------------------------------------------------------- unwrap
+
+/// The hot-path library trees where a stray panic takes down the whole
+/// metadata service rather than one request.
+const UNWRAP_SCOPE: &[&str] = &["crates/sdm-metadb/src/", "crates/sdm-core/src/"];
+
+/// Rule `unwrap`: `.unwrap()` / `.expect("…")` in non-test library code
+/// on the `sdm-metadb` + `sdm-core` hot paths. `expect` is only flagged
+/// when its first argument is a string literal — `Parser::expect(&Token)`
+/// is a grammar method, not a panic. Invariants that are genuinely
+/// unreachable stay, justified, behind `// analyze:allow(unwrap: …)`.
+pub fn unwrap_rule(path: &str, model: &Model) -> Vec<Finding> {
+    if !UNWRAP_SCOPE.iter().any(|p| path.starts_with(p)) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let toks = &model.tokens;
+    for i in 0..toks.len() {
+        if !matches!(toks[i].tok, Tok::Punct('.')) {
+            continue;
+        }
+        let Some(Tok::Ident(m)) = toks.get(i + 1).map(|t| &t.tok) else {
+            continue;
+        };
+        let is_unwrap = m == "unwrap"
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct('(')))
+            && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Punct(')')));
+        let is_expect = m == "expect"
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct('(')))
+            && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Str(_)));
+        if (is_unwrap || is_expect) && !model.is_test_token(i) {
+            let line = toks[i + 1].line;
+            findings.push(Finding {
+                rule: "unwrap".into(),
+                file: path.to_string(),
+                line,
+                snippet: model.snippet(line),
+                message: format!(
+                    "`.{m}(…)` in non-test library code on a hot path; return a typed error, or \
+                     justify with `// analyze:allow(unwrap: why this cannot fail)`"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// -------------------------------------------------------------- undo-coverage
+
+/// Rule `undo-coverage`: every non-test function in the executor that
+/// takes `&mut Catalog` must also thread `Option<&mut UndoLog>` — a
+/// mutation path that cannot log undo is a mutation a transaction
+/// cannot roll back.
+pub fn undo_coverage(path: &str, model: &Model) -> Vec<Finding> {
+    if !path.ends_with("sdm-metadb/src/exec.rs") {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for f in &model.fns {
+        if f.is_test {
+            continue;
+        }
+        let sig = &model.tokens[f.sig.0..f.sig.1.min(model.tokens.len())];
+        let takes_mut_catalog = sig.windows(3).any(|w| {
+            matches!(&w[0].tok, Tok::Punct('&'))
+                && matches!(&w[1].tok, Tok::Ident(m) if m == "mut")
+                && matches!(&w[2].tok, Tok::Ident(c) if c == "Catalog")
+        });
+        let threads_undo = sig
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Ident(u) if u == "UndoLog"));
+        if takes_mut_catalog && !threads_undo {
+            findings.push(Finding {
+                rule: "undo-coverage".into(),
+                file: path.to_string(),
+                line: f.line,
+                snippet: model.snippet(f.line),
+                message: format!(
+                    "`{}` takes `&mut Catalog` without threading `Option<&mut UndoLog>`: its \
+                     mutations cannot be rolled back by an open transaction",
+                    f.name
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Run every rule over one file, dropping findings a
+/// `// analyze:allow(rule: reason)` suppresses. Returns the surviving
+/// findings and the number suppressed.
+pub fn analyze_model(path: &str, model: &Model) -> (Vec<Finding>, usize) {
+    let mut all = Vec::new();
+    all.extend(crate::ladder::check(path, model));
+    all.extend(sql_layering(path, model));
+    all.extend(deprecated_call(path, model));
+    all.extend(unwrap_rule(path, model));
+    all.extend(undo_coverage(path, model));
+    let before = all.len();
+    all.retain(|f| !model.allowed(&f.rule, f.line));
+    let suppressed = before - all.len();
+    (all, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        analyze_model(path, &Model::build(src)).0
+    }
+
+    #[test]
+    fn sql_flagged_above_metadb_only() {
+        let src = r#"fn f() { let q = "SELECT x FROM t"; }"#;
+        assert_eq!(findings("crates/sdm-core/src/foo.rs", src).len(), 1);
+        assert!(findings("crates/sdm-metadb/src/foo.rs", src).is_empty());
+        assert!(findings("crates/sdm-core/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sql_in_comment_is_not_flagged() {
+        let src = "fn f() {} // the old way: \"SELECT x FROM t\"";
+        assert!(findings("crates/sdm-core/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deprecated_optin_flagged_outside_allowlist() {
+        let src = "#[allow(deprecated)]\nfn f() {}";
+        assert_eq!(findings("crates/sdm-apps/src/foo.rs", src).len(), 1);
+        assert!(findings("crates/sdm-core/tests/api.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_in_scope_only() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); }";
+        assert_eq!(findings("crates/sdm-metadb/src/foo.rs", src).len(), 2);
+        assert!(findings("crates/sdm-mesh/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn parser_expect_method_not_flagged() {
+        let src = "fn f() { self.expect(&Token::LParen)?; x.unwrap_or(0); }";
+        assert!(findings("crates/sdm-metadb/src/sql/parser.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_tests_not_flagged() {
+        let src = "#[cfg(test)] mod tests { fn t() { x.unwrap(); } }";
+        assert!(findings("crates/sdm-metadb/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src =
+            "fn f() {\n  // analyze:allow(unwrap: slot was bounds-checked above)\n  x.unwrap();\n}";
+        assert!(findings("crates/sdm-metadb/src/foo.rs", src).is_empty());
+        let (_, suppressed) = analyze_model("crates/sdm-metadb/src/foo.rs", &Model::build(src));
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress() {
+        let src = "fn f() {\n  // analyze:allow(unwrap)\n  x.unwrap();\n}";
+        assert_eq!(findings("crates/sdm-metadb/src/foo.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn undo_coverage_flags_missing_param() {
+        let src = "fn mutate(c: &mut Catalog) {}\n\
+                   fn good(c: &mut Catalog, undo: Option<&mut UndoLog>) {}\n\
+                   fn read(c: &Catalog) {}";
+        let f = findings("crates/sdm-metadb/src/exec.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("mutate"));
+        assert!(findings("crates/sdm-metadb/src/undo.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end self-tests: each rule trips on a known-bad fixture and
+//! stays quiet on its known-good twin, and the real workspace analyzes
+//! clean.
+//!
+//! Fixtures are inline strings, not files on disk — a standalone `.rs`
+//! fixture would itself be scanned by the workspace walk and break the
+//! clean-workspace test.
+
+use sdm_analyze::analyze_file;
+
+fn rules_hit(path: &str, src: &str) -> Vec<String> {
+    let (findings, _) = analyze_file(path, src);
+    findings.into_iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- ladder
+
+#[test]
+fn ladder_bad_upward_acquisition_is_flagged() {
+    let src = "impl Database {\n\
+               fn f(&self) {\n\
+               let s = self.stats.lock();\n\
+               let c = self.catalog.write();\n\
+               }\n\
+               }";
+    assert_eq!(rules_hit("crates/sdm-metadb/src/db.rs", src), ["ladder"]);
+}
+
+#[test]
+fn ladder_bad_nested_same_rwlock_is_flagged() {
+    let src = "fn f(&self) {\n\
+               let a = self.catalog.read();\n\
+               let b = self.catalog.read();\n\
+               }";
+    assert_eq!(rules_hit("crates/sdm-metadb/src/db.rs", src), ["ladder"]);
+}
+
+#[test]
+fn ladder_good_downward_with_drop_passes() {
+    let src = "fn f(&self) {\n\
+               let tx = self.tx.lock();\n\
+               let c = self.catalog.write();\n\
+               drop(c);\n\
+               drop(tx);\n\
+               self.stats.lock().n += 1;\n\
+               }";
+    assert!(rules_hit("crates/sdm-metadb/src/db.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------- sql-layering
+
+#[test]
+fn sql_layering_bad_literal_is_flagged() {
+    let src = "fn q() -> &'static str { \"SELECT id FROM runs\" }";
+    assert_eq!(
+        rules_hit("crates/sdm-core/src/history.rs", src),
+        ["sql-layering"]
+    );
+}
+
+#[test]
+fn sql_layering_good_typed_stmt_passes() {
+    let src = "fn q() { let s = Stmt::select(\"runs\").column(\"id\"); }";
+    assert!(rules_hit("crates/sdm-core/src/history.rs", src).is_empty());
+}
+
+// ------------------------------------------------------- deprecated-call
+
+#[test]
+fn deprecated_call_bad_optin_is_flagged() {
+    let src = "fn f(s: &Store) { #[allow(deprecated)] s.exec(\"x\"); }";
+    assert_eq!(
+        rules_hit("crates/sdm-sci/src/lib.rs", src),
+        ["deprecated-call"]
+    );
+}
+
+#[test]
+fn deprecated_call_good_in_designated_file_passes() {
+    let src = "fn f(s: &Store) { #[allow(deprecated)] s.exec(\"x\"); }";
+    assert!(rules_hit("crates/sdm-core/src/store.rs", src).is_empty());
+}
+
+// --------------------------------------------------------------- unwrap
+
+#[test]
+fn unwrap_bad_library_code_is_flagged() {
+    let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }";
+    assert_eq!(rules_hit("crates/sdm-core/src/sdm.rs", src), ["unwrap"]);
+}
+
+#[test]
+fn unwrap_good_test_code_passes() {
+    let src = "#[cfg(test)]\nmod tests {\n#[test]\nfn t() { Some(1).unwrap(); }\n}";
+    assert!(rules_hit("crates/sdm-core/src/sdm.rs", src).is_empty());
+}
+
+// -------------------------------------------------------- undo-coverage
+
+#[test]
+fn undo_coverage_bad_signature_is_flagged() {
+    let src = "pub fn apply(catalog: &mut Catalog, stmt: &Statement) {}";
+    assert_eq!(
+        rules_hit("crates/sdm-metadb/src/exec.rs", src),
+        ["undo-coverage"]
+    );
+}
+
+#[test]
+fn undo_coverage_good_signature_passes() {
+    let src =
+        "pub fn apply(catalog: &mut Catalog, stmt: &Statement, undo: Option<&mut UndoLog>) {}";
+    assert!(rules_hit("crates/sdm-metadb/src/exec.rs", src).is_empty());
+}
+
+// ------------------------------------------------------------ workspace
+
+/// The repo's own sources must satisfy every rule — this is the same
+/// check CI runs via the binary, kept in-suite so a violation fails
+/// `cargo test` even before CI.
+#[test]
+fn workspace_analyzes_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let report = sdm_analyze::analyze_root(&root).expect("workspace readable");
+    assert!(report.analyzed_files > 100, "walk found the workspace");
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace has analyzer findings:\n{}",
+        rendered.join("\n")
+    );
+}

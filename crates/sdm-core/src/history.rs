@@ -58,6 +58,14 @@ pub(crate) fn encode_block(pi: &PartitionedIndex) -> Vec<u8> {
     out
 }
 
+/// Read a native-endian `u64` at byte offset `at`; the caller has
+/// already length-checked `bytes` past `at + 8`.
+pub(crate) fn read_u64_ne(bytes: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_ne_bytes(buf)
+}
+
 /// Parse a block, verifying magic and checksum.
 pub(crate) fn decode_block(bytes: &[u8]) -> SdmResult<PartitionedIndex> {
     if bytes.len() < 40 {
@@ -66,18 +74,18 @@ pub(crate) fn decode_block(bytes: &[u8]) -> SdmResult<PartitionedIndex> {
             bytes.len()
         )));
     }
-    let magic = u64::from_ne_bytes(bytes[0..8].try_into().unwrap());
+    let magic = read_u64_ne(bytes, 0);
     if magic != MAGIC {
         return Err(SdmError::BadHistory(format!("bad magic {magic:#x}")));
     }
-    let want_sum = u64::from_ne_bytes(bytes[8..16].try_into().unwrap());
+    let want_sum = read_u64_ne(bytes, 8);
     let payload = &bytes[16..];
     if checksum(payload) != want_sum {
         return Err(SdmError::BadHistory("checksum mismatch".into()));
     }
-    let e = u64::from_ne_bytes(payload[0..8].try_into().unwrap()) as usize;
-    let n = u64::from_ne_bytes(payload[8..16].try_into().unwrap()) as usize;
-    let g = u64::from_ne_bytes(payload[16..24].try_into().unwrap()) as usize;
+    let e = read_u64_ne(payload, 0) as usize;
+    let n = read_u64_ne(payload, 8) as usize;
+    let g = read_u64_ne(payload, 16) as usize;
     let need = 24 + e * 16 + n * 4 + g * 4;
     if payload.len() != need {
         return Err(SdmError::BadHistory(format!(
@@ -235,7 +243,10 @@ impl Sdm {
             return Ok(None);
         }
         comm.counters().incr("sdm.history_hits");
-        Ok(Some(attempt.expect("all_ok implies local ok")))
+        // `all_ok` was computed from `attempt.is_ok()` on every rank, so
+        // locally Err is unreachable here — but `?` states that without
+        // a panic path.
+        Ok(Some(attempt?))
     }
 
     /// `SDM_partition_index`: the full paper semantics — use the history

@@ -89,6 +89,7 @@ impl Sdm {
         let f = g
             .open_files
             .get_mut(&format!("import:{}", desc.file_name))
+            // analyze:allow(unwrap: open_import inserted this key and the map is untouched since)
             .expect("cached");
         let mut out = vec![T::default(); (hi - lo) as usize];
         let segs = if hi > lo {
@@ -130,6 +131,7 @@ impl Sdm {
         let f = g
             .open_files
             .get_mut(&format!("import:{}", desc.file_name))
+            // analyze:allow(unwrap: open_import inserted this key and the map is untouched since)
             .expect("cached");
         f.set_view(comm, file_offset, view.ftype.clone())?;
         let mut file_ordered = vec![T::default(); map.len()];

@@ -104,7 +104,7 @@ fn unpack_chunk(msg: &[u8]) -> SdmResult<(Vec<u64>, Vec<i32>, Vec<i32>)> {
     if msg.len() < 8 {
         return Err(SdmError::Usage("short ring message".into()));
     }
-    let n = u64::from_ne_bytes(msg[..8].try_into().unwrap()) as usize;
+    let n = crate::history::read_u64_ne(msg, 0) as usize;
     let need = 8 + n * 8 + n * 4 + n * 4;
     if msg.len() != need {
         return Err(SdmError::Usage(format!(

@@ -566,6 +566,7 @@ impl Sdm {
         };
         {
             let g = self.group_at_mut(s.group_handle())?;
+            // analyze:allow(unwrap: open_cached inserted this key and the map is untouched since)
             let f = g.open_files.get_mut(&file_name).expect("cached above");
             f.set_view(comm, base, ftype)?;
             f.write_all(comm, 0, &file_ordered)?;
@@ -586,6 +587,7 @@ impl Sdm {
                 .group_at_mut(s.group_handle())?
                 .open_files
                 .remove(&file_name)
+                // analyze:allow(unwrap: open_cached inserted this key and the map is untouched since)
                 .expect("cached above");
             f.close(comm);
         }
@@ -622,10 +624,12 @@ impl Sdm {
         let mut file_ordered = vec![T::default(); out.len()];
         {
             let g = self.group_at_mut(s.group_handle())?;
+            // analyze:allow(unwrap: open_cached inserted this key and the map is untouched since)
             let f = g.open_files.get_mut(&file_name).expect("cached above");
             f.set_view(comm, base as u64, ftype)?;
             f.read_all(comm, 0, &mut file_ordered)?;
         }
+        // analyze:allow(unwrap: slot_view succeeded a few lines up and no slot was dropped since)
         let view = self.slot_view(s).expect("checked above");
         let user = view.to_user_order(&file_ordered)?;
         out.copy_from_slice(&user);
@@ -634,6 +638,7 @@ impl Sdm {
                 .group_at_mut(s.group_handle())?
                 .open_files
                 .remove(&file_name)
+                // analyze:allow(unwrap: open_cached inserted this key and the map is untouched since)
                 .expect("cached above");
             f.close(comm);
         }

@@ -432,6 +432,7 @@ impl<'a> TimestepScope<'a> {
                 let ftype = sdm.slot_view(w.slot)?.ftype.clone();
                 {
                     let g = sdm.group_at_mut(w.slot.group_handle())?;
+                    // analyze:allow(unwrap: open_cached inserted this key and the map is untouched since)
                     let f = g.open_files.get_mut(&file_name).expect("cached above");
                     f.set_view(comm, base, ftype)?;
                     f.write_all(comm, 0, &w.bytes)?;

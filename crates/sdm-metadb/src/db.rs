@@ -157,16 +157,29 @@ impl PlanCache {
 /// The lock ladder, top to bottom (a thread only ever acquires
 /// downward):
 ///
-/// 1. `tx` — the transaction slot. Writers take it first (waiting on
-///    `tx_freed` while a foreign transaction is open) and hold it
-///    across their statement; `BEGIN`/`COMMIT`/`ROLLBACK` take only it.
-/// 2. `catalog` — `read()` for SELECTs (concurrent readers proceed in
-///    parallel; index probes take `&Table`), `write()` for mutations
-///    and rollback replay.
-/// 3. `stats` / `plans` — leaf mutexes, taken alone and briefly;
-///    statement execution records into a local `DbStats` and merges
-///    after releasing the catalog lock.
-#[derive(Debug, Default)]
+/// 1. `tx` — rank [`LOCK_RANK_TX`] — the transaction slot. Writers take
+///    it first (waiting on `tx_freed` while a foreign transaction is
+///    open) and hold it across their statement;
+///    `BEGIN`/`COMMIT`/`ROLLBACK` take only it.
+/// 2. `catalog` — rank [`LOCK_RANK_CATALOG`] — `read()` for SELECTs
+///    (concurrent readers proceed in parallel; index probes take
+///    `&Table`), `write()` for mutations and rollback replay.
+/// 3. `stats` / `plans` — rank [`LOCK_RANK_LEAF`] — leaf mutexes, taken
+///    alone and briefly (never nested with each other); statement
+///    execution records into a local `DbStats` and merges after
+///    releasing the catalog lock.
+///
+/// The ladder is machine-checked twice over:
+///
+/// * **statically** by `sdm-analyze` rule `ladder`, which scans every
+///   non-test function in this crate for acquisition order, guard
+///   scopes, and early drops (CI runs it in the lint job);
+/// * **dynamically** by the `parking_lot` shim's rank checker: the
+///   constructor below assigns each lock its rank, and under
+///   `cfg(debug_assertions)` a thread-local rank stack panics on any
+///   non-descending acquisition — every test that touches the database
+///   is a ladder witness.
+#[derive(Debug)]
 pub struct Database {
     catalog: RwLock<Catalog>,
     tx: Mutex<Option<TxState>>,
@@ -175,6 +188,27 @@ pub struct Database {
     tx_freed: parking_lot::Condvar,
     stats: Mutex<DbStats>,
     plans: Mutex<PlanCache>,
+}
+
+/// Runtime rank of the `tx` slot mutex (top of the ladder).
+pub const LOCK_RANK_TX: u32 = 10;
+/// Runtime rank of the `catalog` RwLock (middle of the ladder).
+pub const LOCK_RANK_CATALOG: u32 = 20;
+/// Runtime rank shared by the `stats` and `plans` leaf mutexes. They
+/// share one rank on purpose: leaves are taken alone, so nesting one
+/// under the other trips the checker just like re-entering a lock.
+pub const LOCK_RANK_LEAF: u32 = 30;
+
+impl Default for Database {
+    fn default() -> Self {
+        Self {
+            catalog: RwLock::new(Catalog::default()).with_rank(LOCK_RANK_CATALOG),
+            tx: Mutex::new(None).with_rank(LOCK_RANK_TX),
+            tx_freed: parking_lot::Condvar::new(),
+            stats: Mutex::new(DbStats::default()).with_rank(LOCK_RANK_LEAF),
+            plans: Mutex::new(PlanCache::default()).with_rank(LOCK_RANK_LEAF),
+        }
+    }
 }
 
 /// An open transaction: its undo log plus the thread that owns it (the
@@ -210,7 +244,11 @@ impl Database {
     /// `parse_hits` in [`Database::stats`] instead of re-parsing.
     pub fn prepare(&self, sql: &str) -> DbResult<PreparedStatement> {
         self.stats.lock().sql_texts += 1;
-        if let Some((text, stmt)) = self.plans.lock().get(sql) {
+        // Bind the cache probe to a local first: leaf mutexes share one
+        // rank, so the `plans` guard (an `if let` scrutinee temporary
+        // would live through the body) must drop before `stats` locks.
+        let cached = self.plans.lock().get(sql);
+        if let Some((text, stmt)) = cached {
             self.stats.lock().parse_hits += 1;
             return Ok(PreparedStatement { sql: text, stmt });
         }
@@ -278,18 +316,19 @@ impl Database {
             }
             Statement::Rollback => {
                 let mut tx = self.tx.lock();
-                match &*tx {
+                let state = match tx.take() {
                     None => {
                         return Err(DbError::Tx("ROLLBACK without an open transaction".into()));
                     }
                     Some(state) if state.owner != std::thread::current().id() => {
+                        // Not ours: put it back untouched.
+                        *tx = Some(state);
                         return Err(DbError::Tx(
                             "ROLLBACK of a transaction owned by another thread".into(),
                         ));
                     }
-                    Some(_) => {}
-                }
-                let state = tx.take().expect("matched Some above");
+                    Some(state) => state,
+                };
                 // Replay the undo log in reverse: O(rows touched).
                 let rows_undone = state.undo.rollback(&mut self.catalog.write());
                 self.tx_freed.notify_all();

@@ -475,6 +475,7 @@ fn collect_bounds<'a>(
                         lo: None,
                         hi: None,
                     });
+                    // analyze:allow(unwrap: the push on the preceding line guarantees a last element)
                     out.last_mut().expect("just pushed")
                 }
             };
@@ -732,6 +733,7 @@ fn peek_aggregates(
                             .iter()
                             .find(|(cc, _)| cc.eq_ignore_ascii_case(dc))
                             .map(|(_, v)| v)
+                            // analyze:allow(unwrap: the prefix-match loop above only admits defs whose leading columns all appear in conjuncts)
                             .expect("prefix columns matched above")
                     })
                     .collect();
@@ -837,6 +839,7 @@ fn exec_simple_aggregates(
 ///
 /// Convenience wrapper around [`execute_with_stats`] discarding the
 /// scan counters.
+// analyze:allow(undo-coverage: deliberately transaction-free entry point; the Database handle owns undo threading)
 pub fn execute(catalog: &mut Catalog, stmt: &Statement, params: &[Value]) -> DbResult<Outcome> {
     let mut stats = DbStats::default();
     execute_with_stats(catalog, stmt, params, &mut stats)
@@ -847,6 +850,7 @@ pub fn execute(catalog: &mut Catalog, stmt: &Statement, params: &[Value]) -> DbR
 /// `BEGIN`/`COMMIT`/`ROLLBACK` are connection-level and rejected here;
 /// the `Database` handle intercepts them before reaching the executor.
 /// No transaction is in scope, so mutations log no undo.
+// analyze:allow(undo-coverage: deliberately transaction-free entry point; the Database handle owns undo threading)
 pub fn execute_with_stats(
     catalog: &mut Catalog,
     stmt: &Statement,
@@ -966,6 +970,7 @@ pub(crate) fn execute_mutation(
             if let Some(undo) = undo {
                 undo.push(UndoRecord::DropIndex {
                     table: table.clone(),
+                    // analyze:allow(unwrap: drop_index validated an index of this name exists, and def was captured under the same name)
                     def: def.expect("drop_index succeeded, so the def existed"),
                 });
             }

@@ -1200,6 +1200,7 @@ macro_rules! relation {
                 let mut cells = row.iter();
                 Ok(Self {
                     $( $field: <$fty as $crate::stmt::ColValue>::from_value(
+                        // analyze:allow(unwrap: row arity was checked against the field count just above)
                         cells.next().expect("arity checked above"),
                     ), )+
                 })

@@ -280,6 +280,7 @@ impl OrdIndex {
             None if prefix.is_empty() => Bound::Unbounded,
             None => {
                 let mut e = prefix.to_vec();
+                // analyze:allow(unwrap: the empty-prefix case was peeled off by the arm above)
                 let last = e.pop().expect("nonempty prefix").successor();
                 e.push(last);
                 Bound::Excluded(e)
@@ -536,6 +537,7 @@ impl Table {
         let mut entries = entries.into_iter().peekable();
         loop {
             if entries.peek().is_some_and(|(p, _)| *p == merged.len()) {
+                // analyze:allow(unwrap: peek returned Some on the line above)
                 merged.push(entries.next().expect("peeked").1);
             } else if let Some(row) = old.next() {
                 merged.push(row);
@@ -831,6 +833,7 @@ impl Table {
                     .map(|c| {
                         self.schema
                             .index_of(c)
+                            // analyze:allow(unwrap: create_index validated every column name against the schema)
                             .expect("index column validated at creation")
                     })
                     .collect();

@@ -112,6 +112,7 @@ impl UndoLog {
                     rows_undone += n as u64;
                     catalog
                         .get_mut(&table)
+                        // analyze:allow(unwrap: reverse replay re-instates any table dropped after this record was logged)
                         .expect("undo: appended-into table exists")
                         .undo_append(n);
                 }
@@ -119,6 +120,7 @@ impl UndoLog {
                     rows_undone += removed.len() as u64;
                     catalog
                         .get_mut(&table)
+                        // analyze:allow(unwrap: reverse replay re-instates any table dropped after this record was logged)
                         .expect("undo: deleted-from table exists")
                         .insert_at(removed);
                 }
@@ -126,12 +128,14 @@ impl UndoLog {
                     rows_undone += old.len() as u64;
                     catalog
                         .get_mut(&table)
+                        // analyze:allow(unwrap: reverse replay re-instates any table dropped after this record was logged)
                         .expect("undo: updated table exists")
                         .apply_updates(old);
                 }
                 UndoRecord::CreateTable { name } => {
                     catalog
                         .drop_table(&name)
+                        // analyze:allow(unwrap: the logged CREATE TABLE succeeded and reverse replay undid later drops)
                         .expect("undo: created table exists");
                 }
                 UndoRecord::DropTable { name, table } => {
@@ -140,16 +144,20 @@ impl UndoLog {
                 UndoRecord::CreateIndex { table, index } => {
                     catalog
                         .get_mut(&table)
+                        // analyze:allow(unwrap: reverse replay re-instates any table dropped after this record was logged)
                         .expect("undo: indexed table exists")
                         .drop_index(&index)
+                        // analyze:allow(unwrap: the logged CREATE INDEX succeeded and reverse replay undid later drops)
                         .expect("undo: created index exists");
                 }
                 UndoRecord::DropIndex { table, def } => {
                     let cols: Vec<&str> = def.columns.iter().map(String::as_str).collect();
                     catalog
                         .get_mut(&table)
+                        // analyze:allow(unwrap: reverse replay re-instates any table dropped after this record was logged)
                         .expect("undo: index's table exists")
                         .create_index(&def.name, &cols, def.ordered)
+                        // analyze:allow(unwrap: the dropped index's def was captured verbatim, so re-creating it cannot conflict)
                         .expect("undo: dropped index re-creates");
                 }
             }

@@ -1,0 +1,31 @@
+//! The runtime half of the lock-ladder check: the `parking_lot` shim's
+//! rank checker must trip on an upward acquisition in debug builds.
+//!
+//! The static analyzer proves the ladder for the lock names it models;
+//! this test proves the *dynamic* net underneath catches an inversion
+//! the analyzer could miss (reflection, renamed guards, future code).
+
+#![cfg(debug_assertions)]
+
+use parking_lot::{Mutex, RwLock};
+use sdm_metadb::db::{LOCK_RANK_CATALOG, LOCK_RANK_LEAF};
+
+/// Taking a leaf-ranked mutex and then a catalog-ranked RwLock is the
+/// inversion of `Database`'s documented order, and must panic.
+#[test]
+#[should_panic(expected = "lock ladder violation")]
+fn upward_acquisition_panics_in_debug() {
+    let leaf = Mutex::new(0u32).with_rank(LOCK_RANK_LEAF);
+    let catalog = RwLock::new(0u32).with_rank(LOCK_RANK_CATALOG);
+    let _stats = leaf.lock();
+    let _catalog = catalog.write(); // stats → catalog: upward, panics
+}
+
+/// The documented order itself must stay panic-free.
+#[test]
+fn downward_acquisition_is_clean() {
+    let catalog = RwLock::new(0u32).with_rank(LOCK_RANK_CATALOG);
+    let leaf = Mutex::new(0u32).with_rank(LOCK_RANK_LEAF);
+    let _catalog = catalog.read();
+    let _stats = leaf.lock();
+}
