@@ -16,6 +16,9 @@
 //!   code on the `sdm-metadb`/`sdm-core` hot paths.
 //! * **`undo-coverage`** — executor functions taking `&mut Catalog`
 //!   must thread `Option<&mut UndoLog>`.
+//! * **`compiled-eval`** — no direct AST-walk evaluation
+//!   (`eval_ast(…)`) outside `sdm-metadb/src/eval.rs` and test code;
+//!   hot-path expressions run as compiled instruction-list programs.
 //!
 //! Findings can be suppressed, with a mandatory justification, by
 //! `// analyze:allow(rule-id: reason)` on the same or preceding line.

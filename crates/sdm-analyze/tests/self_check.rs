@@ -113,6 +113,29 @@ fn undo_coverage_good_signature_passes() {
     assert!(rules_hit("crates/sdm-metadb/src/exec.rs", src).is_empty());
 }
 
+// -------------------------------------------------------- compiled-eval
+
+#[test]
+fn compiled_eval_bad_direct_walk_is_flagged() {
+    let src = "pub fn f() { let v = eval_ast(expr, rel, row, params); }";
+    assert_eq!(
+        rules_hit("crates/sdm-metadb/src/exec.rs", src),
+        ["compiled-eval"]
+    );
+}
+
+#[test]
+fn compiled_eval_good_in_eval_rs_tests_or_allowed_passes() {
+    let src = "pub fn f() { let v = eval_ast(expr, rel, row, params); }";
+    assert!(rules_hit("crates/sdm-metadb/src/eval.rs", src).is_empty());
+    assert!(rules_hit("crates/sdm-metadb/tests/eval_equiv.rs", src).is_empty());
+    let allowed = "fn bench() {\n\
+                   // analyze:allow(compiled-eval: the AST-walk twin this bench measures)\n\
+                   let v = eval_ast(expr, rel, row, params);\n\
+                   }";
+    assert!(rules_hit("crates/sdm-bench/src/bin/bench_metadb.rs", allowed).is_empty());
+}
+
 // ------------------------------------------------------------ workspace
 
 /// The repo's own sources must satisfy every rule — this is the same

@@ -23,10 +23,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use sdm_core::schema::{ExecutionCol, ExecutionRow};
-use sdm_core::{CachedStore, MetadataStore, Sdm, SdmConfig, SqlStore};
+use sdm_core::schema::{ExecutionCol, ExecutionRow, RunCol, RunRow};
+use sdm_core::{CachedStore, MetadataStore, RunRecord, Sdm, SdmConfig, SqlStore};
+use sdm_metadb::eval::{compile, eval_ast, truthy};
+use sdm_metadb::sql::ast::{BinOp, Expr};
 use sdm_metadb::stmt::{param, Delete, Insert, Query, Relation, Stmt, TypedColumn, Update};
-use sdm_metadb::{relation, Database, Value};
+use sdm_metadb::{relation, Column, Database, Schema, Value};
 use sdm_mpi::World;
 use sdm_pfs::Pfs;
 use sdm_sim::MachineConfig;
@@ -448,6 +450,203 @@ fn main() {
         store.latest_runid_for_app("fun3d").unwrap();
     });
 
+    // ---- Filter evaluation: compiled program vs AST-walk twin ----
+    // The predicate the executor runs per candidate row, both ways: the
+    // instruction-list program (column slots, interned constants,
+    // short-circuit jumps, zero allocation) against the interpreted
+    // tree walk it replaced (per-node dispatch, name-hash column
+    // lookups, a `Value` clone per node). Same expression, same rows,
+    // same verdicts — the proptest suite pins the equivalence, this
+    // section pins the price.
+    let eval_schema = Schema::new(
+        ExecutionRow::TABLE
+            .columns
+            .iter()
+            .map(|c| Column {
+                name: c.name.to_string(),
+                ctype: c.ctype,
+            })
+            .collect(),
+    )
+    .unwrap();
+    // runid = ? AND dataset = ? AND (timestep >= ? OR file_offset + 512 < ?)
+    let bin = |op: BinOp, lhs: Expr, rhs: Expr| Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    };
+    let filter_expr = bin(
+        BinOp::And,
+        bin(
+            BinOp::And,
+            bin(BinOp::Eq, Expr::Col("runid".into()), Expr::Param(0)),
+            bin(BinOp::Eq, Expr::Col("dataset".into()), Expr::Param(1)),
+        ),
+        bin(
+            BinOp::Or,
+            bin(BinOp::Ge, Expr::Col("timestep".into()), Expr::Param(2)),
+            bin(
+                BinOp::Lt,
+                bin(
+                    BinOp::Add,
+                    Expr::Col("file_offset".into()),
+                    Expr::Lit(Value::Int(512)),
+                ),
+                Expr::Param(3),
+            ),
+        ),
+    );
+    let filter_prog = compile(&filter_expr, &eval_schema).expect("predicate compiles");
+    let eval_rows: Vec<Vec<Value>> = (0..rows as i64)
+        .map(|i| {
+            vec![
+                Value::Int(i % 64),
+                Value::from("p"),
+                Value::Int(i),
+                Value::Int(i * 512),
+                Value::from("f.dat"),
+            ]
+        })
+        .collect();
+    let filter_params = [
+        Value::Int(7),
+        Value::from("p"),
+        Value::Int(rows as i64 / 2),
+        Value::Int(4096),
+    ];
+    // Interleave the two variants and score each by its best pass:
+    // back-to-back timing windows on a shared core let frequency drift
+    // and interference skew the ratio run-to-run, while best-of-N pins
+    // both sides to their least-disturbed pass.
+    let eval_passes = 40u64;
+    let (mut compiled_best, mut ast_best) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..eval_passes {
+        let t = Instant::now();
+        let mut hits = 0u64;
+        for row in &eval_rows {
+            if filter_prog.eval_truthy(row, &filter_params).unwrap() == Some(true) {
+                hits += 1;
+            }
+        }
+        compiled_best = compiled_best.min(t.elapsed().as_secs_f64());
+        assert!(hits > 0, "predicate selected nothing");
+
+        let t = Instant::now();
+        let mut hits = 0u64;
+        for row in &eval_rows {
+            // analyze:allow(compiled-eval: the AST-walk baseline twin this section measures)
+            let v = eval_ast(&filter_expr, &eval_schema, row, &filter_params).unwrap();
+            if truthy(&v) == Some(true) {
+                hits += 1;
+            }
+        }
+        ast_best = ast_best.min(t.elapsed().as_secs_f64());
+        assert!(hits > 0, "predicate selected nothing");
+    }
+    let filter_eval_ops = rows as f64 / compiled_best.max(1e-12);
+    let filter_eval_ast_ops = rows as f64 / ast_best.max(1e-12);
+    let filter_eval_speedup = filter_eval_ops / filter_eval_ast_ops.max(1e-9);
+    assert!(
+        filter_eval_speedup >= 3.0,
+        "compiled evaluation must beat the AST walk ≥3x, got {filter_eval_speedup:.1}x \
+         ({filter_eval_ops:.0} vs {filter_eval_ast_ops:.0} rows/s)"
+    );
+
+    // ---- Joins: merge + index-nested-loop off the runid indexes ----
+    // The paper's cross-table history shape (runs ⋈ executions ON
+    // runid) on a dedicated store: 64 recorded runs × 32 timesteps.
+    // Both sides carry a runid-led ordered index, so the hot eq-join
+    // must stream as a merge; the unindexed `execution_noidx` twin on
+    // the left forces index-nested-loop probes into the indexed right
+    // side. A hash table must never be built on this workload.
+    let jstore = SqlStore::new(Arc::new(Database::new()));
+    jstore.ensure_schema().unwrap();
+    let join_runs = 64i64;
+    let join_steps = 32i64;
+    for run in 1..=join_runs {
+        jstore
+            .record_run(&RunRecord {
+                runid: run,
+                application: "fun3d".into(),
+                dimension: 3,
+                problem_size: 1000,
+                num_timesteps: join_steps,
+                date: (2001, 2, 20),
+                time: (12, 0),
+            })
+            .unwrap();
+        for ts in 0..join_steps {
+            jstore
+                .record_execution(run, "p", ts, ts * 512, "f.dat")
+                .unwrap();
+        }
+    }
+    let jdb = jstore.database();
+    jdb.exec_stmt(&ExecutionNoIdxRow::TABLE.create_table(), &[])
+        .unwrap();
+    let ins_jnoidx = Insert::<ExecutionNoIdxRow>::prepared();
+    for run in 1..=join_runs {
+        jdb.exec_stmt(
+            &ins_jnoidx,
+            &ExecutionNoIdxRow {
+                runid: run,
+                dataset: "p".into(),
+                timestep: 0,
+                file_offset: 0,
+                file_name: "f.dat".into(),
+            }
+            .into_row(),
+        )
+        .unwrap();
+    }
+    let merge_q = Query::<RunRow>::filter(RunCol::Application.eq(param(0)))
+        .join_on::<ExecutionRow>(RunCol::Runid, ExecutionCol::Runid)
+        .select_right(&[ExecutionCol::Timestep, ExecutionCol::FileOffset])
+        .compile();
+    let inl_q = Query::<ExecutionNoIdxRow>::all()
+        .join_on::<ExecutionRow>(ExecutionNoIdxCol::Runid, ExecutionCol::Runid)
+        .select_right(&[ExecutionCol::Timestep])
+        .compile();
+    let expect_pairs = (join_runs * join_steps) as usize;
+    // Warm both plans (first execution compiles the predicates), then
+    // measure with clean counters.
+    jdb.exec_stmt(&merge_q, &[Value::from("fun3d")]).unwrap();
+    jdb.exec_stmt(&inl_q, &[]).unwrap();
+    let exprs_compiled_joins = jdb.stats().exprs_compiled;
+    assert!(
+        exprs_compiled_joins >= 1,
+        "warming the join plans must compile their predicates"
+    );
+    jdb.reset_stats();
+    let join_iters = 200u64;
+    let merge_join_ops = ops_per_sec(join_iters, |_| {
+        let rs = jdb.exec_stmt(&merge_q, &[Value::from("fun3d")]).unwrap();
+        assert_eq!(rs.rows.len(), expect_pairs);
+    });
+    let inl_join_ops = ops_per_sec(join_iters, |_| {
+        let rs = jdb.exec_stmt(&inl_q, &[]).unwrap();
+        assert_eq!(rs.rows.len(), expect_pairs);
+    });
+    let join_stats = jdb.stats();
+    assert_eq!(
+        join_stats.join_merge_joins, join_iters,
+        "every run⋈execution join must merge the ordered indexes: {join_stats:?}"
+    );
+    assert_eq!(
+        join_stats.join_index_probes,
+        join_iters * join_runs as u64,
+        "the unindexed-left join must probe the indexed right side per outer row: {join_stats:?}"
+    );
+    assert_eq!(
+        join_stats.join_hash_builds, 0,
+        "no hash table may be built on the indexed join workload: {join_stats:?}"
+    );
+    let ast_walks_hot_path = stats.ast_eval_fallbacks + join_stats.ast_eval_fallbacks;
+    assert_eq!(
+        ast_walks_hot_path, 0,
+        "the warmed hot path must never fall back to walking an AST"
+    );
+
     // ---- Scoped session writes: metadata syncs per timestep ----
     // N datasets written per step through a TimestepScope must cost
     // exactly one metadata round-trip + sync (per rank) and one store
@@ -555,6 +754,14 @@ fn main() {
         topk_stats.plan_ordered_scans, topk_stats.sorts_avoided
     );
     println!("next_runid       {next_runid:>12.0} ops/s (MAX fast path)");
+    println!(
+        "filter_eval      ast={filter_eval_ast_ops:>12.0} rows/s   compiled={filter_eval_ops:>12.0} rows/s   speedup={filter_eval_speedup:>6.1}x"
+    );
+    println!(
+        "joins            merge={merge_join_ops:>10.0} ops/s   inl={inl_join_ops:>10.0} ops/s \
+         ({} merges, {} probes, {} hash builds, {ast_walks_hot_path} ast walks)",
+        join_stats.join_merge_joins, join_stats.join_index_probes, join_stats.join_hash_builds
+    );
     println!("mixed_rw         {mixed_rw:>12.0} pairs/s (insert+lookup, incremental maps)");
     println!(
         "concurrent reads {concurrent_read_speedup:>11.2}x aggregate over 1 thread \
@@ -592,10 +799,27 @@ fn main() {
     ));
     json.push_str(&format!("  \"next_runid_ops_per_sec\": {next_runid:.1},\n"));
     json.push_str(&format!(
-        "  \"mixed_rw_lookup_ops_per_sec\": {mixed_rw:.1},\n"
+        "  \"filter_eval_ops_per_sec\": {filter_eval_ops:.1},\n  \"filter_eval_ast_ops_per_sec\": {filter_eval_ast_ops:.1},\n  \"filter_eval_speedup\": {filter_eval_speedup:.1},\n"
     ));
     json.push_str(&format!(
-        "  \"concurrent_read_speedup\": {concurrent_read_speedup:.2},\n  \"concurrent_read_threads\": {read_threads},\n  \"concurrent_read_cores\": {cores},\n"
+        "  \"join_ops_per_sec\": {merge_join_ops:.1},\n  \"join_inl_ops_per_sec\": {inl_join_ops:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"join_merge_joins\": {},\n  \"join_index_probes\": {},\n  \"join_hash_builds\": {},\n  \"ast_walks_hot_path\": {ast_walks_hot_path},\n  \"exprs_compiled\": {exprs_compiled_joins},\n",
+        join_stats.join_merge_joins,
+        join_stats.join_index_probes,
+        join_stats.join_hash_builds
+    ));
+    json.push_str(&format!(
+        "  \"mixed_rw_lookup_ops_per_sec\": {mixed_rw:.1},\n"
+    ));
+    // `gate_armed` records whether the ≥2x scaling gate actually
+    // applied on this machine: on fewer cores than reader threads the
+    // speedup number is a liveness check, not a scaling measurement,
+    // and must not be read as a regression.
+    json.push_str(&format!(
+        "  \"concurrent_read_speedup\": {concurrent_read_speedup:.2},\n  \"concurrent_read_gate_armed\": {},\n  \"concurrent_read_threads\": {read_threads},\n  \"concurrent_read_cores\": {cores},\n",
+        cores >= read_threads
     ));
     json.push_str(&format!(
         "  \"tx_rows_touched\": {tx_rows_touched},\n  \"tx_rows_undone\": {tx_rows_undone},\n  \"small_tx_rollback_ops_per_sec\": {small_tx:.1},\n"

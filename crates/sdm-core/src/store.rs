@@ -155,6 +155,42 @@ pub trait MetadataStore: Send + Sync {
         timestep: i64,
     ) -> DbResult<Option<(i64, String)>>;
 
+    /// The full write history of an application: every `(runid,
+    /// timestep, file_offset, file_name)` recorded for any of its runs,
+    /// run-then-timestep ordered — the paper's cross-table reporting
+    /// query (`run_table ⋈ execution_table ON runid`). Both tables
+    /// carry a runid-led ordered index, so the executor serves this as
+    /// a merge join over the two index streams: no per-statement hash
+    /// table, no full scan ([`sdm_metadb::DbStats::join_merge_joins`]
+    /// ticks, `join_hash_builds` does not).
+    fn execution_history(&self, application: &str) -> DbResult<Vec<(i64, i64, i64, String)>> {
+        let stmt =
+            sdm_metadb::stmt_once!(Query::<RunRow>::filter(RunCol::Application.eq(param(0)))
+                .join_on::<ExecutionRow>(RunCol::Runid, ExecutionCol::Runid)
+                .select_right(&[
+                    ExecutionCol::Runid,
+                    ExecutionCol::Timestep,
+                    ExecutionCol::FileOffset,
+                    ExecutionCol::FileName,
+                ])
+                .order_by_right(ExecutionCol::Runid)
+                .order_by_right(ExecutionCol::Timestep)
+                .compile());
+        let rs = self.run(stmt, &[Value::from(application)])?;
+        Ok(rs
+            .rows
+            .into_iter()
+            .map(|r| {
+                (
+                    r[0].as_i64().unwrap_or(0),
+                    r[1].as_i64().unwrap_or(0),
+                    r[2].as_i64().unwrap_or(0),
+                    r[3].as_str().unwrap_or_default().to_string(),
+                )
+            })
+            .collect())
+    }
+
     /// Record an imported array's metadata (`SDM_make_importlist`).
     fn record_import(
         &self,
@@ -1048,6 +1084,35 @@ mod tests {
             date: (2001, 2, 20),
             time: (12, 0),
         }
+    }
+
+    #[test]
+    fn execution_history_merge_joins_off_the_runid_indexes() {
+        let s = sql_store();
+        s.record_run(&run_rec(1, "fun3d")).unwrap();
+        s.record_run(&run_rec(2, "rt")).unwrap();
+        s.record_run(&run_rec(3, "fun3d")).unwrap();
+        for ts in 0..3 {
+            s.record_execution(1, "pressure", ts, ts * 100, "f1.dat")
+                .unwrap();
+            s.record_execution(2, "pressure", ts, ts * 100, "f2.dat")
+                .unwrap();
+            s.record_execution(3, "pressure", ts, ts * 100, "f3.dat")
+                .unwrap();
+        }
+        let before = s.database().stats();
+        let hist = s.execution_history("fun3d").unwrap();
+        let after = s.database().stats();
+        // Runs 1 and 3 belong to fun3d, 3 timesteps each, ordered by
+        // (runid, timestep).
+        assert_eq!(hist.len(), 6);
+        assert_eq!(hist[0], (1, 0, 0, "f1.dat".to_string()));
+        assert_eq!(hist[5], (3, 2, 200, "f3.dat".to_string()));
+        // The eq-join is served by a merge over the two runid-led
+        // ordered indexes — never by a per-statement hash build.
+        assert_eq!(after.join_merge_joins - before.join_merge_joins, 1);
+        assert_eq!(after.join_hash_builds, before.join_hash_builds);
+        assert_eq!(after.ast_eval_fallbacks, before.ast_eval_fallbacks);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
+use crate::eval::PlanCell;
 use crate::exec::{execute_mutation, execute_read, DbStats, Outcome};
 use crate::sql::ast::Statement;
 use crate::sql::parse;
@@ -62,6 +63,9 @@ impl ResultSet {
 pub struct PreparedStatement {
     sql: Arc<str>,
     stmt: Arc<Statement>,
+    /// Compiled-expression plan cache, shared with every clone and with
+    /// `as_stmt` views, so the programs survive across executions.
+    cell: Arc<PlanCell>,
 }
 
 impl PreparedStatement {
@@ -84,7 +88,7 @@ impl PreparedStatement {
     /// Text veneers use this so their per-call parses flow through the
     /// plan cache and are visible in [`DbStats::sql_texts`].
     pub fn as_stmt(&self) -> crate::stmt::Stmt {
-        crate::stmt::Stmt::from_shared(Arc::clone(&self.stmt))
+        crate::stmt::Stmt::from_shared(Arc::clone(&self.stmt), Arc::clone(&self.cell))
     }
 }
 
@@ -98,21 +102,22 @@ const PLAN_CACHE_CAPACITY: usize = 256;
 /// re-allocating it.
 #[derive(Debug, Default)]
 struct PlanCache {
-    entries: HashMap<String, (Arc<str>, Arc<Statement>, u64)>,
+    #[allow(clippy::type_complexity)]
+    entries: HashMap<String, (Arc<str>, Arc<Statement>, Arc<PlanCell>, u64)>,
     tick: u64,
 }
 
 impl PlanCache {
-    fn get(&mut self, sql: &str) -> Option<(Arc<str>, Arc<Statement>)> {
+    fn get(&mut self, sql: &str) -> Option<(Arc<str>, Arc<Statement>, Arc<PlanCell>)> {
         self.tick += 1;
         let tick = self.tick;
-        self.entries.get_mut(sql).map(|(text, stmt, used)| {
+        self.entries.get_mut(sql).map(|(text, stmt, cell, used)| {
             *used = tick;
-            (Arc::clone(text), Arc::clone(stmt))
+            (Arc::clone(text), Arc::clone(stmt), Arc::clone(cell))
         })
     }
 
-    fn insert(&mut self, sql: String, stmt: Arc<Statement>) {
+    fn insert(&mut self, sql: String, stmt: Arc<Statement>) -> Arc<PlanCell> {
         self.tick += 1;
         if self.entries.len() >= PLAN_CACHE_CAPACITY {
             // Evict the least-recently-used entry. A linear scan is fine:
@@ -121,14 +126,17 @@ impl PlanCache {
             if let Some(victim) = self
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, _, used))| *used)
+                .min_by_key(|(_, (_, _, _, used))| *used)
                 .map(|(k, _)| k.clone())
             {
                 self.entries.remove(&victim);
             }
         }
         let text: Arc<str> = Arc::from(sql.as_str());
-        self.entries.insert(sql, (text, stmt, self.tick));
+        let cell = Arc::new(PlanCell::new());
+        self.entries
+            .insert(sql, (text, stmt, Arc::clone(&cell), self.tick));
+        cell
     }
 }
 
@@ -248,29 +256,34 @@ impl Database {
         // rank, so the `plans` guard (an `if let` scrutinee temporary
         // would live through the body) must drop before `stats` locks.
         let cached = self.plans.lock().get(sql);
-        if let Some((text, stmt)) = cached {
+        if let Some((text, stmt, cell)) = cached {
             self.stats.lock().parse_hits += 1;
-            return Ok(PreparedStatement { sql: text, stmt });
+            return Ok(PreparedStatement {
+                sql: text,
+                stmt,
+                cell,
+            });
         }
         let stmt = Arc::new(parse(sql)?);
         self.stats.lock().parse_misses += 1;
-        self.plans.lock().insert(sql.to_string(), Arc::clone(&stmt));
+        let cell = self.plans.lock().insert(sql.to_string(), Arc::clone(&stmt));
         Ok(PreparedStatement {
             sql: Arc::from(sql),
             stmt,
+            cell,
         })
     }
 
     /// Execute a prepared statement with positional `?` parameters.
     pub fn exec_prepared(&self, ps: &PreparedStatement, params: &[Value]) -> DbResult<ResultSet> {
-        self.run_statement(&ps.stmt, params)
+        self.run_statement(&ps.stmt, params, &ps.cell)
     }
 
     /// Parse (through the statement cache) and execute one statement
     /// with positional `?` parameters.
     pub fn exec(&self, sql: &str, params: &[Value]) -> DbResult<ResultSet> {
         let ps = self.prepare(sql)?;
-        self.run_statement(&ps.stmt, params)
+        self.run_statement(&ps.stmt, params, &ps.cell)
     }
 
     /// Execute a typed [`crate::stmt::Stmt`] with positional `?`
@@ -278,10 +291,15 @@ impl Database {
     /// plan-cache lookup, no SQL string — the compiled statement *is*
     /// the plan ([`DbStats::sql_texts`] does not move).
     pub fn exec_stmt(&self, stmt: &crate::stmt::Stmt, params: &[Value]) -> DbResult<ResultSet> {
-        self.run_statement(stmt.ast(), params)
+        self.run_statement(stmt.ast(), params, stmt.plan_cell())
     }
 
-    fn run_statement(&self, stmt: &Statement, params: &[Value]) -> DbResult<ResultSet> {
+    fn run_statement(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+        cell: &PlanCell,
+    ) -> DbResult<ResultSet> {
         match stmt {
             Statement::Begin => {
                 let mut tx = self.tx.lock();
@@ -351,7 +369,8 @@ impl Database {
                     .map(|state| &mut state.undo);
                 let mut catalog = self.catalog.write();
                 let mut local = DbStats::default();
-                let result = execute_mutation(&mut catalog, stmt, params, &mut local, undo);
+                let result =
+                    execute_mutation(&mut catalog, stmt, params, &mut local, undo, Some(cell));
                 drop(catalog);
                 drop(clearance);
                 self.stats.lock().merge(&local);
@@ -364,7 +383,7 @@ impl Database {
                 // and merged after the lock drops.
                 let catalog = self.catalog.read();
                 let mut local = DbStats::default();
-                let result = execute_read(&catalog, stmt, params, &mut local);
+                let result = execute_read(&catalog, stmt, params, &mut local, Some(cell));
                 drop(catalog);
                 self.stats.lock().merge(&local);
                 Self::outcome_to_set(result)

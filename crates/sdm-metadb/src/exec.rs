@@ -2,14 +2,16 @@
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
+use crate::eval::{self, row_truthy, row_value, CompiledPlan, PlanCell, Program};
 use crate::schema::{Column, Schema};
 use crate::sql::ast::{AggFunc, BinOp, Expr, Join, OrderBy, SelExpr, SelectItem, Statement};
-use crate::table::Row;
+use crate::table::{Row, Table};
 use crate::undo::{UndoLog, UndoRecord};
-use crate::value::{IndexKey, Value};
+use crate::value::{IndexKey, OrdKey, Value};
 
 /// Result of executing a statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +75,23 @@ pub struct DbStats {
     /// rollback this counter equals the rows the transaction *touched*
     /// — the bench asserts it is independent of table size.
     pub tx_rows_undone: u64,
+    /// Expression programs lowered to instruction lists (cache misses
+    /// only: a plan served from a statement's `PlanCell` recompiles
+    /// nothing and moves no counter).
+    pub exprs_compiled: u64,
+    /// Statement executions that row-verified at least one expression by
+    /// walking the AST (compilation failed or the statement handle has
+    /// no plan cell). Counted once per execution, not per row — the
+    /// bench asserts it stays 0 on the warmed hot path.
+    pub ast_eval_fallbacks: u64,
+    /// Index probes issued by index-nested-loop joins (one per
+    /// non-NULL outer join key).
+    pub join_index_probes: u64,
+    /// Merge joins streamed off two ordered indexes in key order.
+    pub join_merge_joins: u64,
+    /// Joins that fell back to building a hash table over one side —
+    /// the bench asserts this stays 0 on the indexed join workload.
+    pub join_hash_builds: u64,
 }
 
 impl DbStats {
@@ -96,6 +115,11 @@ impl DbStats {
             transactions,
             sql_texts,
             tx_rows_undone,
+            exprs_compiled,
+            ast_eval_fallbacks,
+            join_index_probes,
+            join_merge_joins,
+            join_hash_builds,
         } = other;
         self.full_scans += full_scans;
         self.index_scans += index_scans;
@@ -111,6 +135,11 @@ impl DbStats {
         self.transactions += transactions;
         self.sql_texts += sql_texts;
         self.tx_rows_undone += tx_rows_undone;
+        self.exprs_compiled += exprs_compiled;
+        self.ast_eval_fallbacks += ast_eval_fallbacks;
+        self.join_index_probes += join_index_probes;
+        self.join_merge_joins += join_merge_joins;
+        self.join_hash_builds += join_hash_builds;
     }
 }
 
@@ -190,140 +219,48 @@ impl Resolve for NamedRel {
     }
 }
 
-/// Evaluate `expr` against a row (with `res` resolving column names)
-/// and positional `params`.
-pub fn eval(expr: &Expr, res: &impl Resolve, row: &Row, params: &[Value]) -> DbResult<Value> {
-    match expr {
-        Expr::Lit(v) => Ok(v.clone()),
-        Expr::Col(name) => Ok(row[res.col_index(name)?].clone()),
-        Expr::Param(i) => params.get(*i).cloned().ok_or_else(|| {
-            DbError::Arity(format!(
-                "missing parameter {} (got {})",
-                i + 1,
-                params.len()
-            ))
-        }),
-        Expr::Neg(e) => match eval(e, res, row, params)? {
-            Value::Int(i) => Ok(Value::Int(-i)),
-            Value::Double(d) => Ok(Value::Double(-d)),
-            Value::Null => Ok(Value::Null),
-            other => Err(DbError::Type(format!(
-                "cannot negate {}",
-                other.type_name()
-            ))),
-        },
-        Expr::Not(e) => match truthy(&eval(e, res, row, params)?) {
-            Some(b) => Ok(Value::Int(!b as i64)),
-            None => Ok(Value::Null),
-        },
-        Expr::IsNull { expr, negated } => {
-            let v = eval(expr, res, row, params)?;
-            Ok(Value::Int((v.is_null() != *negated) as i64))
-        }
-        Expr::Binary { op, lhs, rhs } => {
-            let l = eval(lhs, res, row, params)?;
-            // Short-circuit logic ops (SQL three-valued).
-            match op {
-                BinOp::And => {
-                    if truthy(&l) == Some(false) {
-                        return Ok(Value::Int(0));
-                    }
-                    let r = eval(rhs, res, row, params)?;
-                    return Ok(match (truthy(&l), truthy(&r)) {
-                        (Some(a), Some(b)) => Value::Int((a && b) as i64),
-                        (_, Some(false)) => Value::Int(0),
-                        _ => Value::Null,
-                    });
-                }
-                BinOp::Or => {
-                    if truthy(&l) == Some(true) {
-                        return Ok(Value::Int(1));
-                    }
-                    let r = eval(rhs, res, row, params)?;
-                    return Ok(match (truthy(&l), truthy(&r)) {
-                        (Some(a), Some(b)) => Value::Int((a || b) as i64),
-                        (_, Some(true)) => Value::Int(1),
-                        _ => Value::Null,
-                    });
-                }
-                _ => {}
-            }
-            let r = eval(rhs, res, row, params)?;
-            match op {
-                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                    let cmp = l.sql_cmp(&r);
-                    Ok(match cmp {
-                        None => Value::Null,
-                        Some(o) => {
-                            let b = match op {
-                                BinOp::Eq => o == Ordering::Equal,
-                                BinOp::Ne => o != Ordering::Equal,
-                                BinOp::Lt => o == Ordering::Less,
-                                BinOp::Le => o != Ordering::Greater,
-                                BinOp::Gt => o == Ordering::Greater,
-                                BinOp::Ge => o != Ordering::Less,
-                                _ => unreachable!(),
-                            };
-                            Value::Int(b as i64)
-                        }
-                    })
-                }
-                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith(*op, &l, &r),
-                BinOp::And | BinOp::Or => unreachable!("handled above"),
-            }
-        }
-    }
+/// Schema fingerprint of the tables a statement's compiled slots were
+/// resolved against: table names plus column names, in order. Tables
+/// only change shape by drop + recreate, so a matching fingerprint
+/// means every cached slot still indexes the same column.
+fn schema_fingerprint(parts: &[(&str, &Schema)]) -> u64 {
+    eval::fingerprint(parts.iter().flat_map(|(name, schema)| {
+        std::iter::once(*name).chain(schema.columns.iter().map(|c| c.name.as_str()))
+    }))
 }
 
-fn truthy(v: &Value) -> Option<bool> {
-    match v {
-        Value::Null => None,
-        Value::Int(i) => Some(*i != 0),
-        Value::Double(d) => Some(*d != 0.0),
-        Value::Text(s) => Some(!s.is_empty()),
-    }
-}
-
-fn arith(op: BinOp, l: &Value, r: &Value) -> DbResult<Value> {
-    if l.is_null() || r.is_null() {
-        return Ok(Value::Null);
-    }
-    match (l, r) {
-        (Value::Int(a), Value::Int(b)) => Ok(match op {
-            BinOp::Add => Value::Int(a.wrapping_add(*b)),
-            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
-            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
-            BinOp::Div => {
-                if *b == 0 {
-                    Value::Null // SQL: division by zero yields NULL
-                } else {
-                    Value::Int(a / b)
-                }
+/// Fetch the statement's [`CompiledPlan`] from its `PlanCell` (validated
+/// by fingerprint), compiling and caching on miss. Executions without a
+/// cell (raw `execute` calls) still compile — the programs pay for
+/// themselves after a handful of rows — but cache nothing.
+fn plan_for(
+    cell: Option<&PlanCell>,
+    fingerprint: u64,
+    stats: &mut DbStats,
+    build: impl FnOnce(&mut CompiledPlan),
+) -> Arc<CompiledPlan> {
+    if let Some(cell) = cell {
+        if let Some(plan) = cell.lookup(fingerprint) {
+            if plan.fallback {
+                stats.ast_eval_fallbacks += 1;
             }
-            _ => unreachable!(),
-        }),
-        _ => {
-            let a = l
-                .as_f64()
-                .ok_or_else(|| DbError::Type(format!("arithmetic on {}", l.type_name())))?;
-            let b = r
-                .as_f64()
-                .ok_or_else(|| DbError::Type(format!("arithmetic on {}", r.type_name())))?;
-            Ok(match op {
-                BinOp::Add => Value::Double(a + b),
-                BinOp::Sub => Value::Double(a - b),
-                BinOp::Mul => Value::Double(a * b),
-                BinOp::Div => {
-                    if b == 0.0 {
-                        Value::Null
-                    } else {
-                        Value::Double(a / b)
-                    }
-                }
-                _ => unreachable!(),
-            })
+            return plan;
         }
     }
+    let mut plan = CompiledPlan {
+        fingerprint,
+        ..CompiledPlan::default()
+    };
+    build(&mut plan);
+    stats.exprs_compiled += u64::from(plan.compiled);
+    if plan.fallback {
+        stats.ast_eval_fallbacks += 1;
+    }
+    let plan = Arc::new(plan);
+    if let Some(cell) = cell {
+        cell.store(&plan);
+    }
+    plan
 }
 
 /// Compute one aggregate over the given column values.
@@ -758,6 +695,7 @@ fn peek_aggregates(
 /// fast path — `SELECT MAX(runid)` touches each candidate row once and
 /// clones nothing; when an ordered index covers the aggregate it touches
 /// **no** rows and peeks the index edge instead.
+#[allow(clippy::too_many_arguments)]
 fn exec_simple_aggregates(
     catalog: &Catalog,
     params: &[Value],
@@ -766,6 +704,7 @@ fn exec_simple_aggregates(
     table: &str,
     filter: &Option<Expr>,
     limit: Option<usize>,
+    cell: Option<&PlanCell>,
 ) -> DbResult<Outcome> {
     let t = catalog.get(table)?;
     let rel = TableRel {
@@ -792,6 +731,16 @@ fn exec_simple_aggregates(
             rows: rows_out,
         });
     }
+    // Compile only once the edge peek has passed: a peek-served
+    // aggregate never row-verifies, so it needs no programs.
+    let compiled = plan_for(
+        cell,
+        schema_fingerprint(&[(table, &t.schema)]),
+        stats,
+        |p| {
+            p.filter = p.lower(filter.as_ref(), &rel);
+        },
+    );
     let plan = plan_candidates(t, &rel, filter, params);
     let candidates = note_plan(&plan, stats);
     let rows = t.rows();
@@ -800,10 +749,11 @@ fn exec_simple_aggregates(
         None => rows.iter().collect(),
     };
     stats.rows_scanned += visited.len() as u64;
+    let prog = compiled.filter.as_ref();
     let mut matching: Vec<&Row> = Vec::with_capacity(visited.len());
     for row in visited {
         if let Some(f) = filter {
-            if truthy(&eval(f, &rel, row, params)?) != Some(true) {
+            if row_truthy(prog, f, &rel, row, params)? != Some(true) {
                 continue;
             }
         }
@@ -858,9 +808,9 @@ pub fn execute_with_stats(
     stats: &mut DbStats,
 ) -> DbResult<Outcome> {
     if let Statement::Select { .. } = stmt {
-        return execute_read(catalog, stmt, params, stats);
+        return execute_read(catalog, stmt, params, stats, None);
     }
-    execute_mutation(catalog, stmt, params, stats, None)
+    execute_mutation(catalog, stmt, params, stats, None, None)
 }
 
 /// Execute a read-only statement against a **shared** catalog borrow.
@@ -869,11 +819,16 @@ pub fn execute_with_stats(
 /// SELECTs — index probes included, since the maps are maintained
 /// incrementally rather than rebuilt on first probe — never need `&mut`,
 /// so concurrent readers proceed in parallel.
+///
+/// `cell` is the statement handle's compiled-plan cache; `None` (ad-hoc
+/// execution) still compiles the statement's expressions, it just
+/// cannot reuse them across executions.
 pub fn execute_read(
     catalog: &Catalog,
     stmt: &Statement,
     params: &[Value],
     stats: &mut DbStats,
+    cell: Option<&PlanCell>,
 ) -> DbResult<Outcome> {
     match stmt {
         Statement::Select {
@@ -888,7 +843,7 @@ pub fn execute_read(
             limit,
         } => exec_select(
             catalog, params, stats, *distinct, items, table, join, filter, group_by, having,
-            order_by, *limit,
+            order_by, *limit, cell,
         ),
         _ => Err(DbError::Tx(
             "execute_read only accepts SELECT statements".into(),
@@ -906,8 +861,8 @@ pub(crate) fn execute_mutation(
     params: &[Value],
     stats: &mut DbStats,
     undo: Option<&mut UndoLog>,
+    cell: Option<&PlanCell>,
 ) -> DbResult<Outcome> {
-    let _ = stats; // mutations keep the scan counters SELECT-only
     match stmt {
         Statement::CreateTable {
             name,
@@ -983,14 +938,33 @@ pub(crate) fn execute_mutation(
         } => {
             let empty_schema = Schema::new(vec![])?;
             let empty_row: Row = vec![];
-            // Evaluate expressions first (no column refs allowed in VALUES).
+            // Evaluate expressions first (no column refs allowed in
+            // VALUES — any `Expr::Col` fails compilation, and the AST
+            // fallback raises the same per-row error as before).
             let t = catalog.get(table)?;
             let schema = &t.schema;
+            let plan = plan_for(cell, schema_fingerprint(&[(table, schema)]), stats, |p| {
+                let values: Vec<Vec<Option<Program>>> = rows
+                    .iter()
+                    .map(|exprs| {
+                        exprs
+                            .iter()
+                            .map(|e| p.lower(Some(e), &empty_schema))
+                            .collect()
+                    })
+                    .collect();
+                p.values = values;
+            });
             let mut prepared: Vec<Row> = Vec::with_capacity(rows.len());
-            for row_exprs in rows {
+            for (ri, row_exprs) in rows.iter().enumerate() {
+                let progs = plan.values.get(ri);
                 let vals: Vec<Value> = row_exprs
                     .iter()
-                    .map(|e| eval(e, &empty_schema, &empty_row, params))
+                    .enumerate()
+                    .map(|(ei, e)| {
+                        let prog = progs.and_then(|ps| ps.get(ei)).and_then(Option::as_ref);
+                        row_value(prog, e, &empty_schema, &empty_row, params)
+                    })
                     .collect::<DbResult<_>>()?;
                 let full = match columns {
                     None => vals,
@@ -1049,21 +1023,32 @@ pub(crate) fn execute_mutation(
                 .iter()
                 .map(|(c, e)| Ok((schema.index_of(c)?, e)))
                 .collect::<DbResult<_>>()?;
+            // UPDATE expressions resolve against the plain schema (no
+            // qualified names), so the programs compile the same way.
+            let compiled = plan_for(cell, schema_fingerprint(&[(table, schema)]), stats, |p| {
+                p.filter = p.lower(filter.as_ref(), schema);
+                let sets: Vec<Option<Program>> = set_idx
+                    .iter()
+                    .map(|&(_, e)| p.lower(Some(e), schema))
+                    .collect();
+                p.sets = sets;
+            });
             let plan = plan_candidates(t, &rel, filter, params);
             let candidates = plan.as_ref().map(|(c, _)| c.as_slice());
             let rows = t.rows();
             let mut updates: Vec<(usize, Row)> = Vec::new();
             let mut visit = |pos: usize, row: &Row| -> DbResult<()> {
                 if let Some(f) = filter {
-                    if truthy(&eval(f, schema, row, params)?) != Some(true) {
+                    if row_truthy(compiled.filter.as_ref(), f, schema, row, params)? != Some(true) {
                         return Ok(());
                     }
                 }
                 // Evaluate against the pre-update row (snapshot
                 // semantics: `SET a = b, b = a` swaps).
                 let mut new_row = row.clone();
-                for &(i, e) in &set_idx {
-                    let v = eval(e, schema, row, params)?;
+                for (k, &(i, e)) in set_idx.iter().enumerate() {
+                    let prog = compiled.sets.get(k).and_then(Option::as_ref);
+                    let v = row_value(prog, e, schema, row, params)?;
                     let col = &schema.columns[i];
                     if !col.ctype.admits(&v) {
                         return Err(DbError::Type(format!(
@@ -1124,12 +1109,16 @@ pub(crate) fn execute_mutation(
                 table,
                 schema: &t.schema,
             };
+            let schema = &t.schema;
+            let compiled = plan_for(cell, schema_fingerprint(&[(table, schema)]), stats, |p| {
+                p.filter = p.lower(Some(f), schema);
+            });
             let plan = plan_candidates(t, &rel, filter, params);
             let candidates = plan.as_ref().map(|(c, _)| c.as_slice());
             let rows = t.rows();
-            let schema = &t.schema;
             let hit = |p: usize| -> DbResult<Option<usize>> {
-                Ok((truthy(&eval(f, schema, &rows[p], params)?) == Some(true)).then_some(p))
+                let prog = compiled.filter.as_ref();
+                Ok((row_truthy(prog, f, schema, &rows[p], params)? == Some(true)).then_some(p))
             };
             let positions: Vec<usize> = match candidates {
                 Some(pos) => pos
@@ -1176,6 +1165,7 @@ fn exec_select(
     having: &Option<Expr>,
     order_by: &[OrderBy],
     limit: Option<usize>,
+    cell: Option<&PlanCell>,
 ) -> DbResult<Outcome> {
     // ---- Streaming aggregate fast path ----
     // Plain aggregates over one table (`SELECT MAX(runid) FROM
@@ -1189,7 +1179,9 @@ fn exec_select(
                     .iter()
                     .all(|it| matches!(it.expr, SelExpr::Agg { .. }))
             {
-                return exec_simple_aggregates(catalog, params, stats, items, table, filter, limit);
+                return exec_simple_aggregates(
+                    catalog, params, stats, items, table, filter, limit, cell,
+                );
             }
         }
     }
@@ -1198,11 +1190,16 @@ fn exec_select(
     // Set when an ordered index already delivered the rows in ORDER BY
     // order (and honored LIMIT): the sort below is skipped.
     let mut ordered_by_index = false;
-    let (rel_cols, mut rows): (Vec<(String, String)>, Vec<Row>) = match join {
+    type Source = (Vec<(String, String)>, Vec<Row>, Arc<CompiledPlan>);
+    let (rel_cols, mut rows, compiled): Source = match join {
         None => {
             let t = catalog.get(table)?;
             let schema = &t.schema;
             let rel = TableRel { table, schema };
+            let compiled = plan_for(cell, schema_fingerprint(&[(table, schema)]), stats, |p| {
+                p.filter = p.lower(filter.as_ref(), &rel);
+                lower_having(p, having, items);
+            });
             let plan = plan_candidates(t, &rel, filter, params);
             let has_agg_items = items
                 .as_ref()
@@ -1218,7 +1215,8 @@ fn exec_select(
                 && order_by.iter().all(|o| o.desc == order_by[0].desc)
                 && (limit.is_some() || plan.is_none())
             {
-                stream_ordered_rows(t, &rel, filter, params, order_by, limit, stats)?
+                let prog = compiled.filter.as_ref();
+                stream_ordered_rows(t, &rel, filter, prog, params, order_by, limit, stats)?
             } else {
                 None
             };
@@ -1230,13 +1228,14 @@ fn exec_select(
                 None => {
                     let candidates = note_plan(&plan, stats);
                     let mut out = Vec::new();
+                    let prog = compiled.filter.as_ref();
                     match candidates {
                         Some(pos) => {
                             stats.rows_scanned += pos.len() as u64;
                             for &p in pos {
                                 let row = &t.rows()[p];
                                 if let Some(f) = filter {
-                                    if truthy(&eval(f, &rel, row, params)?) != Some(true) {
+                                    if row_truthy(prog, f, &rel, row, params)? != Some(true) {
                                         continue;
                                     }
                                 }
@@ -1247,7 +1246,7 @@ fn exec_select(
                             stats.rows_scanned += t.len() as u64;
                             for row in t.rows() {
                                 if let Some(f) = filter {
-                                    if truthy(&eval(f, &rel, row, params)?) != Some(true) {
+                                    if row_truthy(prog, f, &rel, row, params)? != Some(true) {
                                         continue;
                                     }
                                 }
@@ -1263,10 +1262,9 @@ fn exec_select(
                 .iter()
                 .map(|c| (format!("{table}.{}", c.name), c.name.clone()))
                 .collect();
-            (cols, out)
+            (cols, out, compiled)
         }
         Some(j) => {
-            stats.full_scans += 1;
             let left = catalog.get(table)?;
             let right = catalog.get(&j.table)?;
             stats.rows_scanned += (left.len() + right.len()) as u64;
@@ -1306,39 +1304,43 @@ fn exec_select(
                     }
                 },
             };
-            // Hash join on the right side, built over borrowed typed
-            // keys — no string is formatted per row.
-            let mut rmap: HashMap<IndexKey<'_>, Vec<usize>> = HashMap::new();
-            for (i, r) in right.rows().iter().enumerate() {
-                if !r[rcol].is_null() {
-                    rmap.entry(r[rcol].index_key()).or_default().push(i);
-                }
-            }
-            let mut out = Vec::new();
-            for l in left.rows() {
-                if l[lcol].is_null() {
+            let compiled = plan_for(
+                cell,
+                schema_fingerprint(&[(table, lschema), (&j.table, rschema)]),
+                stats,
+                |p| {
+                    p.filter = p.lower(filter.as_ref(), &rel);
+                    lower_having(p, having, items);
+                },
+            );
+            // Candidate pairs by the cheapest strategy the indexes
+            // allow, canonicalized to (left, right) position order —
+            // the order the original hash join emitted — so the
+            // strategy choice is invisible in the result.
+            let mut pairs = join_pairs(left, right, lcol, rcol, stats);
+            pairs.sort_unstable();
+            let prog = compiled.filter.as_ref();
+            let mut out = Vec::with_capacity(pairs.len());
+            for (lp, rp) in pairs {
+                let l = &left.rows()[lp];
+                let r = &right.rows()[rp];
+                // Re-verify under SQL equality: every strategy's
+                // candidates group by canonicalized keys (hash buckets,
+                // ordered-key runs), which collide across numeric types
+                // after rounding and group NaNs that are never equal.
+                if l[lcol].sql_eq(&r[rcol]) != Some(true) {
                     continue;
                 }
-                if let Some(ris) = rmap.get(&l[lcol].index_key()) {
-                    for &ri in ris {
-                        let r = &right.rows()[ri];
-                        // Re-verify under SQL equality (hash buckets may
-                        // collide across numeric types after rounding).
-                        if l[lcol].sql_eq(&r[rcol]) != Some(true) {
-                            continue;
-                        }
-                        let mut combined = l.clone();
-                        combined.extend(r.iter().cloned());
-                        if let Some(f) = filter {
-                            if truthy(&eval(f, &rel, &combined, params)?) != Some(true) {
-                                continue;
-                            }
-                        }
-                        out.push(combined);
+                let mut combined = l.clone();
+                combined.extend(r.iter().cloned());
+                if let Some(f) = filter {
+                    if row_truthy(prog, f, &rel, &combined, params)? != Some(true) {
+                        continue;
                     }
                 }
+                out.push(combined);
             }
-            (cols, out)
+            (cols, out, compiled)
         }
     };
     let rel = JoinRel {
@@ -1416,9 +1418,10 @@ fn exec_select(
             names: names.clone(),
         };
         if let Some(h) = having {
+            let prog = compiled.having.as_ref();
             let mut kept = Vec::with_capacity(out_rows.len());
             for r in out_rows {
-                if truthy(&eval(h, &out_rel, &r, params)?) == Some(true) {
+                if row_truthy(prog, h, &out_rel, &r, params)? == Some(true) {
                     kept.push(r);
                 }
             }
@@ -1463,6 +1466,141 @@ fn exec_select(
     }
 }
 
+/// Lower a HAVING clause against the aggregate output columns. HAVING
+/// without explicit items (`SELECT *`) is a statement error before any
+/// row is evaluated, so it compiles nothing.
+fn lower_having(p: &mut CompiledPlan, having: &Option<Expr>, items: &Option<Vec<SelectItem>>) {
+    if let (Some(h), Some(items)) = (having, items) {
+        let out_rel = NamedRel {
+            names: items.iter().map(SelectItem::output_name).collect(),
+        };
+        p.having = p.lower(Some(h), &out_rel);
+    }
+}
+
+/// Candidate row pairs of an eq-join, picked by index availability:
+///
+/// 1. **merge join** when both sides have an ordered index *led* by
+///    their join column — stream both key orders once, cross-producting
+///    runs of equal keys;
+/// 2. **index-nested-loop** probing the right side's index per left row
+///    (or, failing that, the left side's per right row);
+/// 3. the **hash build** over the right side as the last resort.
+///
+/// Every strategy yields a superset of the SQL-equal pairs (keys are
+/// canonicalized, so numeric types collide after rounding and NaNs
+/// group); the caller re-verifies each pair under `sql_eq` and sorts
+/// into (left, right) position order, making the choice invisible in
+/// the result.
+fn join_pairs(
+    left: &Table,
+    right: &Table,
+    lcol: usize,
+    rcol: usize,
+    stats: &mut DbStats,
+) -> Vec<(usize, usize)> {
+    let lix = left.join_index(&left.schema.columns[lcol].name);
+    let rix = right.join_index(&right.schema.columns[rcol].name);
+    if let (Some((li, true)), Some((ri, true))) = (lix, rix) {
+        if let (Some(lg), Some(rg)) = (left.ordered_groups(li), right.ordered_groups(ri)) {
+            stats.index_scans += 1;
+            stats.join_merge_joins += 1;
+            return merge_pairs(lg, rg);
+        }
+    }
+    let mut pairs = Vec::new();
+    let mut buf = Vec::new();
+    if let Some((ri, _)) = rix {
+        stats.index_scans += 1;
+        for (lp, l) in left.rows().iter().enumerate() {
+            if l[lcol].is_null() {
+                continue;
+            }
+            stats.join_index_probes += 1;
+            right.probe_leading(ri, &l[lcol], &mut buf);
+            pairs.extend(buf.iter().map(|&rp| (lp, rp)));
+        }
+        return pairs;
+    }
+    if let Some((li, _)) = lix {
+        stats.index_scans += 1;
+        for (rp, r) in right.rows().iter().enumerate() {
+            if r[rcol].is_null() {
+                continue;
+            }
+            stats.join_index_probes += 1;
+            left.probe_leading(li, &r[rcol], &mut buf);
+            pairs.extend(buf.iter().map(|&lp| (lp, rp)));
+        }
+        return pairs;
+    }
+    // Hash join over borrowed typed keys — no string formatted per row.
+    stats.full_scans += 1;
+    stats.join_hash_builds += 1;
+    let mut rmap: HashMap<IndexKey<'_>, Vec<usize>> = HashMap::new();
+    for (i, r) in right.rows().iter().enumerate() {
+        if !r[rcol].is_null() {
+            rmap.entry(r[rcol].index_key()).or_default().push(i);
+        }
+    }
+    for (lp, l) in left.rows().iter().enumerate() {
+        if l[lcol].is_null() {
+            continue;
+        }
+        if let Some(ris) = rmap.get(&l[lcol].index_key()) {
+            pairs.extend(ris.iter().map(|&rp| (lp, rp)));
+        }
+    }
+    pairs
+}
+
+/// Merge two key-ordered `(leading key, positions)` streams: advance
+/// the lesser side; on a common key, gather both sides' *runs*
+/// (adjacent groups sharing the leading key — composite indexes split
+/// one leading key across many tail keys) and emit their cross
+/// product. NULL keys sort first and never join, so they are skipped
+/// outright.
+fn merge_pairs<'a>(
+    lg: impl Iterator<Item = (&'a OrdKey, &'a [usize])>,
+    rg: impl Iterator<Item = (&'a OrdKey, &'a [usize])>,
+) -> Vec<(usize, usize)> {
+    let mut lg = lg.filter(|(k, _)| **k != OrdKey::Null).peekable();
+    let mut rg = rg.filter(|(k, _)| **k != OrdKey::Null).peekable();
+    let mut pairs = Vec::new();
+    let (mut lrun, mut rrun) = (Vec::new(), Vec::new());
+    while let (Some((lk, _)), Some((rk, _))) = (lg.peek(), rg.peek()) {
+        match lk.cmp(rk) {
+            Ordering::Less => {
+                lg.next();
+            }
+            Ordering::Greater => {
+                rg.next();
+            }
+            Ordering::Equal => {
+                let key = (*lk).clone();
+                lrun.clear();
+                rrun.clear();
+                while lg.peek().is_some_and(|(k, _)| **k == key) {
+                    if let Some((_, b)) = lg.next() {
+                        lrun.extend_from_slice(b);
+                    }
+                }
+                while rg.peek().is_some_and(|(k, _)| **k == key) {
+                    if let Some((_, b)) = rg.next() {
+                        rrun.extend_from_slice(b);
+                    }
+                }
+                for &lp in &lrun {
+                    for &rp in &rrun {
+                        pairs.push((lp, rp));
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
 /// Stream the source rows of a single-table SELECT out of an ordered
 /// index that already delivers the ORDER BY order, honoring LIMIT as an
 /// early exit. Returns `None` when no index qualifies.
@@ -1475,10 +1613,12 @@ fn exec_select(
 /// in scan order just as the position-stable sort would emit them.
 /// Range bounds on the first ORDER BY column clip the walk; the full
 /// predicate is still re-verified per row.
+#[allow(clippy::too_many_arguments)]
 fn stream_ordered_rows(
     t: &crate::table::Table,
     rel: &TableRel<'_>,
     filter: &Option<Expr>,
+    prog: Option<&Program>,
     params: &[Value],
     order_by: &[OrderBy],
     limit: Option<usize>,
@@ -1538,7 +1678,7 @@ fn stream_ordered_rows(
             stats.rows_scanned += 1;
             let row = &rows[p];
             if let Some(f) = filter {
-                if truthy(&eval(f, rel, row, params)?) != Some(true) {
+                if row_truthy(prog, f, rel, row, params)? != Some(true) {
                     continue;
                 }
             }

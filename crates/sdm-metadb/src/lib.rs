@@ -14,8 +14,13 @@
 //! * [`value::Value`] / [`schema::Schema`] — the type system (INT,
 //!   DOUBLE, TEXT + NULL).
 //! * [`sql`] — lexer, AST, recursive-descent parser for the SQL subset.
-//! * [`exec`] — expression evaluation and statement execution (shared-
-//!   borrow reads, undo-logging mutations).
+//! * [`exec`] — statement execution (shared-borrow reads, undo-logging
+//!   mutations) with index-backed join strategies (merge and
+//!   index-nested-loop over ordered indexes, hash join as fallback).
+//! * [`eval`] — compiled expression evaluation: predicates lowered once
+//!   into flat instruction lists (column slots, interned constants,
+//!   short-circuit jumps) and run per row against a register file with
+//!   zero allocation; the AST walk survives only as the fallback.
 //! * [`undo`] — per-transaction row-level undo logs (`ROLLBACK` replays
 //!   them in reverse).
 //! * [`Database`] — the embedded connection: `exec(sql, params)` for
@@ -36,6 +41,7 @@
 pub mod catalog;
 pub mod db;
 pub mod error;
+pub mod eval;
 pub mod exec;
 pub mod persist;
 pub mod schema;

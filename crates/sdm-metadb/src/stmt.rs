@@ -52,8 +52,9 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use crate::error::DbResult;
+use crate::eval::PlanCell;
 use crate::schema::ColType;
-use crate::sql::ast::{AggFunc, BinOp, Expr, OrderBy, SelExpr, SelectItem, Statement};
+use crate::sql::ast::{AggFunc, BinOp, Expr, Join, OrderBy, SelExpr, SelectItem, Statement};
 use crate::sql::parse;
 use crate::value::Value;
 
@@ -408,25 +409,30 @@ impl<R: Relation> Filter<R> {
 // ---------------------------------------------------------------------
 
 /// A compiled typed statement: the executable AST (shared, so cloning
-/// and caching are free) plus the relation it touches.
+/// and caching are free) plus the relation it touches and the slot the
+/// executor caches its lowered instruction-list programs in.
 ///
 /// Execute with [`crate::Database::exec_stmt`] or through
 /// `MetadataStore::run` in the layers above. Unlike a SQL string, a
-/// `Stmt` needs no lexing, hashing, or plan-cache lookup per call.
+/// `Stmt` needs no lexing, hashing, or plan-cache lookup per call, and
+/// after the first execution its predicates run as compiled programs —
+/// no AST walk per row.
 #[derive(Debug, Clone)]
 pub struct Stmt {
     ast: Arc<Statement>,
     table: Option<Arc<str>>,
+    cell: Arc<PlanCell>,
 }
 
 impl Stmt {
     /// Wrap an AST statement.
     pub fn from_ast(ast: Statement) -> Self {
-        Self::from_shared(Arc::new(ast))
+        Self::from_shared(Arc::new(ast), Arc::new(PlanCell::new()))
     }
 
-    /// Wrap an already-shared AST (a plan-cache hit hands these out).
-    pub(crate) fn from_shared(ast: Arc<Statement>) -> Self {
+    /// Wrap an already-shared AST (a plan-cache hit hands these out,
+    /// together with the cached compiled-program slot).
+    pub(crate) fn from_shared(ast: Arc<Statement>, cell: Arc<PlanCell>) -> Self {
         let table = match &*ast {
             Statement::CreateTable { name, .. }
             | Statement::DropTable { name }
@@ -438,7 +444,14 @@ impl Stmt {
             | Statement::DropIndex { table: name, .. } => Some(Arc::from(name.as_str())),
             Statement::Begin | Statement::Commit | Statement::Rollback => None,
         };
-        Stmt { ast, table }
+        Stmt { ast, table, cell }
+    }
+
+    /// The compiled-program slot the executor lowers this statement's
+    /// expressions into on first execution. Clones share the slot, so a
+    /// `stmt_once!` static compiles its predicates exactly once.
+    pub(crate) fn plan_cell(&self) -> &PlanCell {
+        &self.cell
     }
 
     /// Parse SQL text into a typed statement — the bridge the
@@ -694,6 +707,177 @@ impl<R: Relation> Query<R> {
             items,
             table: R::TABLE.name.to_string(),
             join: None,
+            filter: self.filter,
+            group_by: Vec::new(),
+            having: None,
+            order_by: self.order,
+            limit: self.limit,
+        })
+    }
+}
+
+impl<R: Relation> Query<R> {
+    /// `… INNER JOIN S ON left = right`: lift this single-table query
+    /// into a typed two-table join. The receiver's filter carries over
+    /// (its columns qualified with `R`'s table name), as does a
+    /// column projection set with [`Query::select`]; aggregates do not
+    /// join. The executor serves the equality with a merge join or
+    /// index-nested-loop probes when the join columns are indexed.
+    pub fn join_on<S: Relation>(
+        self,
+        left: impl TypedColumn<R>,
+        right: impl TypedColumn<S>,
+    ) -> JoinQuery<R, S> {
+        let items = match self.proj {
+            Proj::Cols(cols) => cols
+                .into_iter()
+                .map(|c| qualified_item(R::TABLE.name, c))
+                .collect(),
+            Proj::All | Proj::Agg(..) => Vec::new(),
+        };
+        JoinQuery {
+            items,
+            filter: self.filter.map(|e| qualify(R::TABLE.name, e)),
+            order: self
+                .order
+                .into_iter()
+                .map(|o| qualify_order(R::TABLE.name, o))
+                .collect(),
+            limit: self.limit,
+            on_left: format!("{}.{}", R::TABLE.name, left.name()),
+            on_right: format!("{}.{}", S::TABLE.name, right.name()),
+            _rs: PhantomData,
+        }
+    }
+}
+
+/// Qualify every unqualified column reference in `e` with `table` —
+/// sound because a `Filter<R>` can only name `R`'s columns.
+fn qualify(table: &str, e: Expr) -> Expr {
+    match e {
+        Expr::Col(c) if !c.contains('.') => Expr::Col(format!("{table}.{c}")),
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op,
+            lhs: Box::new(qualify(table, *lhs)),
+            rhs: Box::new(qualify(table, *rhs)),
+        },
+        Expr::Not(inner) => Expr::Not(Box::new(qualify(table, *inner))),
+        Expr::Neg(inner) => Expr::Neg(Box::new(qualify(table, *inner))),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(qualify(table, *expr)),
+            negated,
+        },
+        other => other,
+    }
+}
+
+fn qualify_order(table: &str, mut o: OrderBy) -> OrderBy {
+    if !o.column.contains('.') {
+        o.column = format!("{table}.{}", o.column);
+    }
+    o
+}
+
+fn qualified_item(table: &str, col: &str) -> SelectItem {
+    SelectItem {
+        expr: SelExpr::Col(format!("{table}.{col}")),
+        alias: None,
+    }
+}
+
+/// Typed two-table `SELECT … INNER JOIN` over relations `R` (left) and
+/// `S` (right), built from [`Query::join_on`]. All columns are
+/// qualified with their owning table's name at build time, so filters
+/// stay unambiguous even when both relations share column names (the
+/// join key itself usually does).
+#[derive(Debug, Clone)]
+pub struct JoinQuery<R, S> {
+    items: Vec<SelectItem>,
+    filter: Option<Expr>,
+    order: Vec<OrderBy>,
+    limit: Option<usize>,
+    on_left: String,
+    on_right: String,
+    _rs: PhantomData<(R, S)>,
+}
+
+impl<R: Relation, S: Relation> JoinQuery<R, S> {
+    /// Project columns of the left relation (appended in call order).
+    pub fn select_left<C: TypedColumn<R>>(mut self, cols: &[C]) -> Self {
+        self.items
+            .extend(cols.iter().map(|c| qualified_item(R::TABLE.name, c.name())));
+        self
+    }
+
+    /// Project columns of the right relation (appended in call order).
+    pub fn select_right<C: TypedColumn<S>>(mut self, cols: &[C]) -> Self {
+        self.items
+            .extend(cols.iter().map(|c| qualified_item(S::TABLE.name, c.name())));
+        self
+    }
+
+    /// AND a predicate over the left relation onto the `WHERE` clause.
+    pub fn and_left(self, pred: Filter<R>) -> Self {
+        self.and_expr(qualify(R::TABLE.name, pred.expr))
+    }
+
+    /// AND a predicate over the right relation onto the `WHERE` clause.
+    pub fn and_right(self, pred: Filter<S>) -> Self {
+        self.and_expr(qualify(S::TABLE.name, pred.expr))
+    }
+
+    fn and_expr(mut self, expr: Expr) -> Self {
+        self.filter = Some(match self.filter.take() {
+            None => expr,
+            Some(prev) => Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(prev),
+                rhs: Box::new(expr),
+            },
+        });
+        self
+    }
+
+    /// Ascending `ORDER BY` key on the left relation.
+    pub fn order_by_left(mut self, col: impl TypedColumn<R>) -> Self {
+        self.order.push(OrderBy {
+            column: format!("{}.{}", R::TABLE.name, col.name()),
+            desc: false,
+        });
+        self
+    }
+
+    /// Ascending `ORDER BY` key on the right relation.
+    pub fn order_by_right(mut self, col: impl TypedColumn<S>) -> Self {
+        self.order.push(OrderBy {
+            column: format!("{}.{}", S::TABLE.name, col.name()),
+            desc: false,
+        });
+        self
+    }
+
+    /// `LIMIT k`.
+    pub fn limit(mut self, k: usize) -> Self {
+        self.limit = Some(k);
+        self
+    }
+
+    /// Compile into an executable [`Stmt`].
+    pub fn compile(self) -> Stmt {
+        let items = if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items)
+        };
+        Stmt::from_ast(Statement::Select {
+            distinct: false,
+            items,
+            table: R::TABLE.name.to_string(),
+            join: Some(Join {
+                table: S::TABLE.name.to_string(),
+                on_left: self.on_left,
+                on_right: self.on_right,
+            }),
             filter: self.filter,
             group_by: Vec::new(),
             having: None,

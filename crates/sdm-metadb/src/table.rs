@@ -685,6 +685,71 @@ impl Table {
         })
     }
 
+    /// The index best placed to drive an eq-join on `column`: an
+    /// *ordered* index led by `column` when one exists (its key order
+    /// makes it merge-joinable), else a hash index on exactly `column`.
+    /// Returns `(index position, ordered)`.
+    pub fn join_index(&self, column: &str) -> Option<(usize, bool)> {
+        let mut hash = None;
+        for (i, def) in self.indexes.iter().enumerate() {
+            if !def.columns[0].eq_ignore_ascii_case(column) {
+                continue;
+            }
+            if def.ordered {
+                return Some((i, true));
+            }
+            if hash.is_none() {
+                hash = Some((i, false));
+            }
+        }
+        hash
+    }
+
+    /// Key-ordered `(leading key component, bucket)` pairs of ordered
+    /// index `i` — the merge-join streaming surface. A composite index
+    /// splits one leading key across many adjacent groups (one per
+    /// distinct tail combination), so consumers gather *runs* of equal
+    /// leading keys. `None` when index `i` is a hash index.
+    pub fn ordered_groups(
+        &self,
+        i: usize,
+    ) -> Option<impl Iterator<Item = (&OrdKey, &[usize])> + '_> {
+        let IndexStore::Ordered(o) = &self.maps[i] else {
+            return None;
+        };
+        Some(o.map.iter().map(|(k, b)| (&k[0], b.as_slice())))
+    }
+
+    /// Equality probe on the *leading* key column of index `i`,
+    /// appending the ascending candidate positions into `buf` (cleared
+    /// first; reusable across probes, so a nested-loop join allocates
+    /// nothing per outer row once warm). Candidates share a
+    /// canonicalized key — callers re-verify under SQL equality. NULL
+    /// probes match nothing.
+    pub fn probe_leading(&self, i: usize, value: &Value, buf: &mut Vec<usize>) {
+        buf.clear();
+        if value.is_null() {
+            return;
+        }
+        match &self.maps[i] {
+            IndexStore::Hash(m) => {
+                if let Some(b) = m.bucket(&value.index_key()) {
+                    buf.extend_from_slice(b);
+                }
+            }
+            IndexStore::Ordered(o) => {
+                let key = value.ord_key();
+                for (_, b) in o.scan(&[], Some(&key), Some(&key)) {
+                    buf.extend_from_slice(b);
+                }
+                // Buckets stream in key order; positions ascend within
+                // each bucket but not across the tail keys of a
+                // composite index, so restore global scan order.
+                buf.sort_unstable();
+            }
+        }
+    }
+
     /// Full-key equality probe through index `i`: borrowed ascending
     /// positions for the composite key `vals` (one value per index
     /// column). `None` when the arity doesn't match the index.

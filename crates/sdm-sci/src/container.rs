@@ -558,6 +558,45 @@ impl SciFile {
         )?)
     }
 
+    /// The container's dataset manifest joined with its registration
+    /// record: one `(application, path, data_type, global_size)` row
+    /// per dataset, in registration (ghandle) order. This is the
+    /// paper-style cross-table report (`sci_dataset_table ⋈ run_table
+    /// ON runid`); both sides carry a runid-led ordered index, so the
+    /// executor merges the two index streams instead of building a
+    /// per-statement hash table.
+    pub fn manifest(&self) -> SciResult<Vec<(String, String, String, i64)>> {
+        use sdm_core::schema::{RunCol, RunRow};
+        let rs = self.sdm.store().run(
+            stmt_once!(
+                Query::<SciDatasetRow>::filter(SciDatasetCol::Runid.eq(param(0)))
+                    .join_on::<RunRow>(SciDatasetCol::Runid, RunCol::Runid)
+                    .select_right(&[RunCol::Application])
+                    .select_left(&[
+                        SciDatasetCol::Path,
+                        SciDatasetCol::DataType,
+                        SciDatasetCol::GlobalSize,
+                    ])
+                    .order_by_left(SciDatasetCol::Ghandle)
+                    .order_by_left(SciDatasetCol::Path)
+                    .compile()
+            ),
+            &[Value::Int(self.sdm.runid())],
+        )?;
+        Ok(rs
+            .rows
+            .into_iter()
+            .map(|r| {
+                (
+                    r[0].as_str().unwrap_or_default().to_string(),
+                    r[1].as_str().unwrap_or_default().to_string(),
+                    r[2].as_str().unwrap_or_default().to_string(),
+                    r[3].as_i64().unwrap_or(0),
+                )
+            })
+            .collect())
+    }
+
     /// All attribute names on an object, sorted.
     pub fn attr_names(&self, path: &str) -> SciResult<Vec<String>> {
         let rs = self.sdm.store().run(
@@ -689,6 +728,42 @@ mod tests {
         for (mine, back) in out {
             assert_eq!(mine, back);
         }
+    }
+
+    #[test]
+    fn manifest_merge_joins_datasets_with_run_registration() {
+        let (pfs, store) = world_pfs();
+        let out = World::run(1, MachineConfig::test_tiny(), {
+            let (pfs, store) = (Arc::clone(&pfs), Arc::clone(&store));
+            move |c| {
+                let mut f =
+                    SciFile::create(c, &pfs, &store, "flowdb", SdmConfig::default()).unwrap();
+                f.define_dim(c, "nodes", 8).unwrap();
+                f.create_group(c, "/flow").unwrap();
+                f.create_dataset(c, "/flow/pressure", SdmType::Double, &["nodes"])
+                    .unwrap();
+                f.create_dataset(c, "/flow/velocity", SdmType::Double, &["nodes"])
+                    .unwrap();
+                store.flush().unwrap();
+                let before = store.database().stats();
+                let manifest = f.manifest().unwrap();
+                let after = store.database().stats();
+                f.close(c).unwrap();
+                (manifest, before, after)
+            }
+        });
+        let (manifest, before, after) = out.into_iter().next().unwrap();
+        assert_eq!(manifest.len(), 2);
+        // Registration order; every row names the owning application.
+        assert_eq!(manifest[0].0, "flowdb");
+        assert_eq!(manifest[0].1, "/flow/pressure");
+        assert_eq!(manifest[1].1, "/flow/velocity");
+        assert_eq!(manifest[0].2, "DOUBLE");
+        assert_eq!(manifest[0].3, 8);
+        // Served by a merge join over the runid-led ordered indexes,
+        // not a per-statement hash build.
+        assert_eq!(after.join_merge_joins - before.join_merge_joins, 1);
+        assert_eq!(after.join_hash_builds, before.join_hash_builds);
     }
 
     #[test]
