@@ -3,12 +3,14 @@
 //! The documented ladder in `sdm-metadb/src/db.rs` (a thread only ever
 //! acquires downward):
 //!
-//! | rank | lock      | acquired via                      |
-//! |------|-----------|-----------------------------------|
-//! | 10   | `tx`      | `tx.lock()`                       |
-//! | 20   | `catalog` | `catalog.read()` / `catalog.write()` |
-//! | 30   | `stats`   | `stats.lock()`                    |
-//! | 30   | `plans`   | `plans.lock()`                    |
+//! | rank | lock       | acquired via                      |
+//! |------|------------|-----------------------------------|
+//! | 10   | `tx`       | `tx.lock()`                       |
+//! | 20   | `catalog`  | `catalog.read()` / `catalog.write()` |
+//! | 24   | `wal_sync` | `wal_sync.lock()`                 |
+//! | 26   | `wal_buf`  | `wal_buf.lock()`                  |
+//! | 30   | `stats`    | `stats.lock()`                    |
+//! | 30   | `plans`    | `plans.lock()`                    |
 //!
 //! `stats` and `plans` share a rank on purpose: leaves are taken alone,
 //! never nested — under the other leaf or under themselves.
@@ -39,6 +41,8 @@ use crate::scopes::Model;
 const RANKED: &[(&str, &[&str], u32)] = &[
     ("tx", &["lock"], 10),
     ("catalog", &["read", "write"], 20),
+    ("wal_sync", &["lock"], 24),
+    ("wal_buf", &["lock"], 26),
     ("stats", &["lock"], 30),
     ("plans", &["lock"], 30),
 ];
@@ -199,7 +203,7 @@ fn report_violations(
         let message = if g.rank > rank {
             format!(
                 "upward lock acquisition: `{lock}` (rank {rank}) acquired while `{}` (rank {}) \
-                 is held — the ladder runs tx → catalog → stats/plans",
+                 is held — the ladder runs tx → catalog → wal_sync → wal_buf → stats/plans",
                 g.lock, g.rank
             )
         } else if g.rank == rank && g.lock == lock {
@@ -376,6 +380,29 @@ mod tests {
                    self.tx.lock(); } }";
         let model = Model::build(src);
         assert!(check("crates/sdm-metadb/src/db.rs", &model).is_empty());
+    }
+
+    #[test]
+    fn wal_sync_then_wal_buf_is_downward() {
+        // The group-commit leader: drain the buffer while holding the
+        // sync tail — rank 24 then 26, strictly increasing.
+        assert!(run("let mut tail = self.wal_sync.lock(); \
+                     let mut b = self.wal_buf.lock(); \
+                     drop(b); drop(tail);")
+        .is_empty());
+    }
+
+    #[test]
+    fn wal_buf_then_wal_sync_is_flagged() {
+        let f = run("let b = self.wal_buf.lock(); let t = self.wal_sync.lock();");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("upward"));
+    }
+
+    #[test]
+    fn wal_sync_under_catalog_is_downward() {
+        // Appending redo under the catalog write lock is legal: 20 → 24.
+        assert!(run("let c = self.catalog.write(); let t = self.wal_sync.lock();").is_empty());
     }
 
     #[test]

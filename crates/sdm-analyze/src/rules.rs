@@ -17,6 +17,7 @@ pub const RULES: &[&str] = &[
     "unwrap",
     "undo-coverage",
     "compiled-eval",
+    "wal-ordering",
 ];
 
 // ---------------------------------------------------------------- sql-layering
@@ -267,6 +268,84 @@ pub fn compiled_eval(path: &str, model: &Model) -> Vec<Finding> {
     findings
 }
 
+// --------------------------------------------------------------- wal-ordering
+
+/// Where `sdm-metadb` *is* allowed to touch the filesystem directly: the
+/// WAL storage backends (the durability layer itself) and the snapshot
+/// persistence module (whose save rides the WAL's `write_atomic`).
+const WAL_FS_ALLOWLIST_PREFIX: &str = "crates/sdm-metadb/src/wal/";
+const WAL_FS_ALLOWLIST: &[&str] = &["crates/sdm-metadb/src/persist.rs"];
+
+/// `std::fs` free functions that mutate the filesystem. Reads
+/// (`fs::read`, `fs::read_dir`, …) are deliberately absent: recovery and
+/// snapshot loading read from anywhere.
+const FS_MUTATORS: &[&str] = &[
+    "write",
+    "rename",
+    "copy",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
+    "set_permissions",
+    "hard_link",
+];
+
+/// `File` associated functions that open for writing.
+const FILE_WRITERS: &[&str] = &["create", "create_new", "options"];
+
+/// Rule `wal-ordering`: no direct filesystem writes in `sdm-metadb`
+/// outside `wal/` and `persist.rs`. Durable state must flow through the
+/// `WalStorage` seam — a stray `fs::write`/`File::create` elsewhere in
+/// the engine is a mutation crash recovery can never replay, silently
+/// breaking the append-before-apply invariant.
+pub fn wal_ordering(path: &str, model: &Model) -> Vec<Finding> {
+    if !path.starts_with("crates/sdm-metadb/src/")
+        || path.starts_with(WAL_FS_ALLOWLIST_PREFIX)
+        || WAL_FS_ALLOWLIST.contains(&path)
+    {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let toks = &model.tokens;
+    for i in 0..toks.len() {
+        let Tok::Ident(w) = &toks[i].tok else {
+            continue;
+        };
+        // `::` lexes as two ':' puncts; the call site is
+        // `<head> : : <method> (`.
+        let is_path_call = |head: &str, methods: &[&str]| {
+            w == head
+                && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+                && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+                && matches!(
+                    toks.get(i + 3).map(|t| &t.tok),
+                    Some(Tok::Ident(m)) if methods.contains(&m.as_str())
+                )
+                && matches!(toks.get(i + 4).map(|t| &t.tok), Some(Tok::Punct('(')))
+        };
+        let hit = is_path_call("fs", FS_MUTATORS)
+            || is_path_call("File", FILE_WRITERS)
+            || is_path_call("OpenOptions", &["new"]);
+        if hit && !model.is_test_token(i) {
+            let line = toks[i].line;
+            findings.push(Finding {
+                rule: "wal-ordering".into(),
+                file: path.to_string(),
+                line,
+                snippet: model.snippet(line),
+                message: "direct filesystem write inside sdm-metadb but outside wal/ and \
+                          persist.rs; durable mutations must go through the `WalStorage` seam so \
+                          crash recovery can replay them, or justify with \
+                          `// analyze:allow(wal-ordering: …)`"
+                    .into(),
+            });
+        }
+    }
+    findings
+}
+
 /// Run every rule over one file, dropping findings a
 /// `// analyze:allow(rule: reason)` suppresses. Returns the surviving
 /// findings and the number suppressed.
@@ -278,6 +357,7 @@ pub fn analyze_model(path: &str, model: &Model) -> (Vec<Finding>, usize) {
     all.extend(unwrap_rule(path, model));
     all.extend(undo_coverage(path, model));
     all.extend(compiled_eval(path, model));
+    all.extend(wal_ordering(path, model));
     let before = all.len();
     all.retain(|f| !model.allowed(&f.rule, f.line));
     let suppressed = before - all.len();
@@ -364,6 +444,30 @@ mod tests {
         // Mentions in comments and the definition itself don't count.
         let comment = "fn f() {} // eval_ast(…) is the fallback";
         assert!(findings("crates/sdm-metadb/src/exec.rs", comment).is_empty());
+    }
+
+    #[test]
+    fn wal_ordering_flags_direct_writes_in_engine_code() {
+        let src = "fn f(p: &Path) { fs::write(p, b\"x\").ok(); }";
+        let f = findings("crates/sdm-metadb/src/table.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("WalStorage"));
+        let src2 = "fn f(p: &Path) { let f = File::create(p); }";
+        assert_eq!(findings("crates/sdm-metadb/src/exec.rs", src2).len(), 1);
+        let src3 = "fn f(p: &Path) { OpenOptions::new().append(true).open(p); }";
+        assert_eq!(findings("crates/sdm-metadb/src/db.rs", src3).len(), 1);
+    }
+
+    #[test]
+    fn wal_ordering_exempts_wal_persist_reads_and_tests() {
+        let write = "fn f(p: &Path) { fs::write(p, b\"x\").ok(); }";
+        assert!(findings("crates/sdm-metadb/src/wal/storage.rs", write).is_empty());
+        assert!(findings("crates/sdm-metadb/src/persist.rs", write).is_empty());
+        assert!(findings("crates/sdm-core/src/store.rs", write).is_empty());
+        let read = "fn f(p: &Path) { fs::read_to_string(p).ok(); fs::read_dir(p).ok(); }";
+        assert!(findings("crates/sdm-metadb/src/table.rs", read).is_empty());
+        let test = "#[cfg(test)] mod tests { fn t() { fs::write(\"x\", b\"y\").unwrap(); } }";
+        assert!(findings("crates/sdm-metadb/src/table.rs", test).is_empty());
     }
 
     #[test]

@@ -136,6 +136,24 @@ fn compiled_eval_good_in_eval_rs_tests_or_allowed_passes() {
     assert!(rules_hit("crates/sdm-bench/src/bin/bench_metadb.rs", allowed).is_empty());
 }
 
+// --------------------------------------------------------- wal-ordering
+
+#[test]
+fn wal_ordering_bad_direct_write_is_flagged() {
+    let src = "pub fn spill(p: &Path, bytes: &[u8]) { std::fs::write(p, bytes).ok(); }";
+    assert_eq!(
+        rules_hit("crates/sdm-metadb/src/table.rs", src),
+        ["wal-ordering"]
+    );
+}
+
+#[test]
+fn wal_ordering_good_in_wal_or_persist_passes() {
+    let src = "pub fn spill(p: &Path, bytes: &[u8]) { std::fs::write(p, bytes).ok(); }";
+    assert!(rules_hit("crates/sdm-metadb/src/wal/storage.rs", src).is_empty());
+    assert!(rules_hit("crates/sdm-metadb/src/persist.rs", src).is_empty());
+}
+
 // ------------------------------------------------------------ workspace
 
 /// The repo's own sources must satisfy every rule — this is the same

@@ -28,7 +28,7 @@ use sdm_core::{CachedStore, MetadataStore, RunRecord, Sdm, SdmConfig, SqlStore};
 use sdm_metadb::eval::{compile, eval_ast, truthy};
 use sdm_metadb::sql::ast::{BinOp, Expr};
 use sdm_metadb::stmt::{param, Delete, Insert, Query, Relation, Stmt, TypedColumn, Update};
-use sdm_metadb::{relation, Column, Database, Schema, Value};
+use sdm_metadb::{relation, Column, Database, DbResult, MemStorage, Schema, Value, WalStorage};
 use sdm_mpi::World;
 use sdm_pfs::Pfs;
 use sdm_sim::MachineConfig;
@@ -735,6 +735,116 @@ fn main() {
         "every lookup must probe the index: {stats:?}"
     );
 
+    // ---- Durability: WAL commits, group commit, recovery replay ----
+    // File-backed: every autocommit INSERT is a redo append plus a
+    // group-committed fsync — the durable metadata commit rate a crash
+    // can never roll back past.
+    let wal_dir = tempfile::tempdir().expect("wal tempdir");
+    let durable_commits: u64 = 512;
+    let ins_durable = Insert::<ExecutionRow>::prepared();
+    let (durable_commit_ops, wal_bytes_per_commit, wal_fsyncs) = {
+        let db = Database::open(wal_dir.path()).expect("open durable database");
+        db.exec_stmt(&ExecutionRow::TABLE.create_table(), &[])
+            .unwrap();
+        let bytes_before = db.wal_appended_bytes();
+        let ops = ops_per_sec(durable_commits, |i| {
+            db.exec_stmt(
+                &ins_durable,
+                &[
+                    Value::Int(1),
+                    Value::from("p"),
+                    Value::Int(i as i64),
+                    Value::Int(i as i64 * 512),
+                    Value::from("f.dat"),
+                ],
+            )
+            .unwrap();
+        });
+        let per_commit = (db.wal_appended_bytes() - bytes_before) as f64 / durable_commits as f64;
+        (ops, per_commit, db.stats().wal_fsyncs)
+    };
+    assert!(
+        wal_fsyncs >= durable_commits,
+        "single-threaded autocommits must fsync per commit"
+    );
+
+    // Crash recovery: reopen the directory and replay the whole log.
+    let recovery_start = Instant::now();
+    let recovered = Database::open(wal_dir.path()).expect("recover durable database");
+    let recovery_secs = recovery_start.elapsed().as_secs_f64().max(1e-9);
+    let rinfo = recovered.recovery_info().expect("durable database");
+    let recovery_replay_txs = rinfo.replayed_txs as f64 / recovery_secs;
+    let count_execs = Query::<ExecutionRow>::all().count().compile();
+    assert_eq!(
+        recovered.exec_stmt(&count_execs, &[]).unwrap().scalar(),
+        Some(&Value::Int(durable_commits as i64)),
+        "recovery must replay every committed insert"
+    );
+
+    // Group commit, deterministically: a backend whose fsync takes 10ms
+    // forces concurrent committers to pile onto one leader flush, so
+    // `group_commit_batched` counts followers that rode a shared fsync.
+    #[derive(Debug)]
+    struct SlowSync(MemStorage);
+    impl WalStorage for SlowSync {
+        fn append(&mut self, bytes: &[u8]) -> DbResult<()> {
+            self.0.append(bytes)
+        }
+        fn sync(&mut self) -> DbResult<()> {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            self.0.sync()
+        }
+        fn rotate(&mut self) -> DbResult<()> {
+            self.0.rotate()
+        }
+        fn drop_sealed(&mut self) -> DbResult<()> {
+            self.0.drop_sealed()
+        }
+        fn read_segments(&self) -> DbResult<Vec<Vec<u8>>> {
+            self.0.read_segments()
+        }
+        fn read_snapshot(&self) -> DbResult<Option<Vec<u8>>> {
+            self.0.read_snapshot()
+        }
+        fn install_snapshot(&mut self, bytes: &[u8]) -> DbResult<()> {
+            self.0.install_snapshot(bytes)
+        }
+    }
+    let (mem, _mem_handle) = MemStorage::new();
+    let slow_db =
+        Arc::new(Database::open_with_storage(Box::new(SlowSync(mem))).expect("open slow-sync db"));
+    slow_db
+        .exec_stmt(&ExecutionRow::TABLE.create_table(), &[])
+        .unwrap();
+    let committers = 4;
+    let handles: Vec<_> = (0..committers)
+        .map(|t| {
+            let db = Arc::clone(&slow_db);
+            let ins = Insert::<ExecutionRow>::prepared();
+            std::thread::spawn(move || {
+                db.exec_stmt(
+                    &ins,
+                    &[
+                        Value::Int(t),
+                        Value::from("p"),
+                        Value::Int(t),
+                        Value::Int(0),
+                        Value::from("f.dat"),
+                    ],
+                )
+                .unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let group_commit_batched = slow_db.stats().group_commit_batched;
+    assert!(
+        group_commit_batched >= 1,
+        "concurrent committers must share at least one fsync (batched = {group_commit_batched})"
+    );
+
     println!("# bench_metadb: rows={rows} lookups={lookups}");
     for s in &sections {
         println!(
@@ -774,6 +884,15 @@ fn main() {
     println!(
         "scoped writes    {scoped_syncs_per_step} sync/timestep (legacy: {legacy_syncs_per_step}), {scoped_txs} txs / {scope_steps} steps"
     );
+    println!(
+        "durable commits  {durable_commit_ops:>12.0} ops/s ({wal_bytes_per_commit:.0} wal bytes/commit, \
+         {wal_fsyncs} fsyncs)"
+    );
+    println!(
+        "recovery replay  {recovery_replay_txs:>12.0} txs/s ({} txs, {} records)",
+        rinfo.replayed_txs, rinfo.replayed_records
+    );
+    println!("group commit     {group_commit_batched} followers rode a shared fsync ({committers} committers)");
 
     // Machine-readable trajectory point.
     let mut json = String::from("{\n");
@@ -827,6 +946,9 @@ fn main() {
     json.push_str(&format!(
         "  \"scoped_syncs_per_timestep\": {scoped_syncs_per_step},\n  \"legacy_syncs_per_timestep\": {legacy_syncs_per_step},\n  \"scoped_store_tx_per_timestep\": {},\n",
         scoped_txs / scope_steps as u64
+    ));
+    json.push_str(&format!(
+        "  \"durable_commit_ops_per_sec\": {durable_commit_ops:.1},\n  \"wal_bytes_per_commit\": {wal_bytes_per_commit:.1},\n  \"recovery_replay_txs_per_sec\": {recovery_replay_txs:.1},\n  \"group_commit_batched\": {group_commit_batched},\n"
     ));
     json.push_str(&format!(
         "  \"parse_misses_hot_path\": {},\n  \"full_scans_hot_path\": {},\n  \"typed_sql_strings_formatted\": {}\n}}\n",

@@ -258,6 +258,16 @@ pub trait MetadataStore: Send + Sync {
     /// for unbuffered stores.
     fn flush(&self) -> DbResult<()>;
 
+    /// Flush buffered writes, then checkpoint the backing database's
+    /// write-ahead log: snapshot the catalog atomically and truncate the
+    /// log (see `sdm_metadb::Database::checkpoint`). Returns the last
+    /// transaction id the snapshot covers. Errors on a non-durable
+    /// (in-memory) database.
+    fn checkpoint(&self) -> DbResult<u64> {
+        self.flush()?;
+        self.database().checkpoint()
+    }
+
     /// The backing embedded database (persistence snapshots, stats).
     fn database(&self) -> &Arc<Database>;
 }
@@ -386,6 +396,17 @@ impl SqlStore {
     /// Convenience: a [`SharedStore`] over `db`.
     pub fn shared(db: &Arc<Database>) -> SharedStore {
         Arc::new(SqlStore::new(Arc::clone(db)))
+    }
+
+    /// Open (or create) a **durable** store at `dir`: the database
+    /// recovers its state from the newest snapshot plus write-ahead-log
+    /// replay, and every later committed transaction survives a crash
+    /// (see `sdm_metadb::Database::open`). The schema is ensured as part
+    /// of opening, so the handle is ready for traffic.
+    pub fn open_durable(dir: impl AsRef<std::path::Path>) -> DbResult<SharedStore> {
+        let store = SqlStore::new(Arc::new(Database::open(dir)?));
+        store.ensure_schema()?;
+        Ok(Arc::new(store))
     }
 
     /// Execute a hot statement through its once-compiled plan.
@@ -720,6 +741,17 @@ impl CachedStore {
     /// — the default store stack.
     pub fn shared(db: &Arc<Database>) -> SharedStore {
         Arc::new(CachedStore::new(SqlStore::shared(db)))
+    }
+
+    /// The default durable stack: a cache over a [`SqlStore`] on a
+    /// database opened (with crash recovery) at `dir`. Buffered writes
+    /// become durable when their batch transaction commits — [`flush`]
+    /// or [`checkpoint`] force that down on demand.
+    ///
+    /// [`flush`]: MetadataStore::flush
+    /// [`checkpoint`]: MetadataStore::checkpoint
+    pub fn open_durable(dir: impl AsRef<std::path::Path>) -> DbResult<SharedStore> {
+        Ok(Arc::new(CachedStore::new(SqlStore::open_durable(dir)?)))
     }
 
     /// Detach the pending batch so it can be written without holding
@@ -1592,5 +1624,64 @@ mod tests {
         s.delete_index_registry(100, 4).unwrap();
         assert_eq!(s.lookup_index_registry(100, 4).unwrap(), None);
         assert_eq!(s.lookup_history_block(100, 4, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let dir = tempfile::tempdir().unwrap();
+        let runid;
+        {
+            let s = SqlStore::open_durable(dir.path()).unwrap();
+            runid = s.allocate_runid("fun3d").unwrap();
+            s.record_run(&run_rec(runid, "fun3d")).unwrap();
+            s.record_execution(runid, "pressure", 0, 512, "f1.dat")
+                .unwrap();
+        }
+        let s = SqlStore::open_durable(dir.path()).unwrap();
+        // ensure_schema already ran inside open_durable and is
+        // idempotent over the recovered catalog.
+        assert_eq!(s.latest_runid_for_app("fun3d").unwrap(), Some(runid));
+        assert_eq!(
+            s.lookup_execution(runid, "pressure", 0).unwrap(),
+            Some((512, "f1.dat".into()))
+        );
+    }
+
+    #[test]
+    fn durable_cached_store_flush_and_checkpoint() {
+        let dir = tempfile::tempdir().unwrap();
+        let runid;
+        {
+            let s = CachedStore::open_durable(dir.path()).unwrap();
+            s.ensure_schema().unwrap();
+            runid = s.allocate_runid("rt").unwrap();
+            s.record_run(&run_rec(runid, "rt")).unwrap();
+            // Buffered execution rows become durable through checkpoint:
+            // it flushes the batch transaction, then snapshots + truncates.
+            s.record_execution(runid, "p", 0, 0, "f").unwrap();
+            s.record_execution(runid, "q", 0, 64, "f").unwrap();
+            let covered = s.checkpoint().unwrap();
+            assert!(covered > 0, "checkpoint covers the flushed commits");
+        }
+        let s = CachedStore::open_durable(dir.path()).unwrap();
+        s.ensure_schema().unwrap();
+        assert_eq!(
+            s.lookup_execution(runid, "p", 0).unwrap(),
+            Some((0, "f".into()))
+        );
+        assert_eq!(
+            s.lookup_execution(runid, "q", 0).unwrap(),
+            Some((64, "f".into()))
+        );
+        // Recovery started from the checkpoint snapshot, not a full
+        // log replay.
+        let info = s.database().recovery_info().unwrap();
+        assert!(info.snapshot_last_tx > 0, "reopen used the snapshot");
+    }
+
+    #[test]
+    fn checkpoint_errors_on_in_memory_store() {
+        let s = sql_store();
+        assert!(s.checkpoint().is_err());
     }
 }

@@ -14,6 +14,9 @@ use crate::sql::parse;
 use crate::table::Row;
 use crate::undo::UndoLog;
 use crate::value::Value;
+use crate::wal::record::WalAppender;
+use crate::wal::storage::{FileStorage, WalStorage};
+use crate::wal::{RecoveryInfo, Wal};
 
 /// Result set of a SELECT (empty for other statements).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -172,7 +175,14 @@ impl PlanCache {
 /// 2. `catalog` — rank [`LOCK_RANK_CATALOG`] — `read()` for SELECTs
 ///    (concurrent readers proceed in parallel; index probes take
 ///    `&Table`), `write()` for mutations and rollback replay.
-/// 3. `stats` / `plans` — rank [`LOCK_RANK_LEAF`] — leaf mutexes, taken
+/// 3. `wal_sync` — rank [`LOCK_RANK_WAL_SYNC`] — the WAL's storage
+///    tail: a group-commit leader holds it across append+fsync while
+///    followers queue behind it (durable databases only; taken after
+///    the catalog lock is released, so an fsync never blocks readers).
+/// 4. `wal_buf` — rank [`LOCK_RANK_WAL_BUF`] — the WAL's in-memory
+///    record buffer, taken briefly to append encoded frames or to let
+///    the leader drain them.
+/// 5. `stats` / `plans` — rank [`LOCK_RANK_LEAF`] — leaf mutexes, taken
 ///    alone and briefly (never nested with each other); statement
 ///    execution records into a local `DbStats` and merges after
 ///    releasing the catalog lock.
@@ -196,12 +206,21 @@ pub struct Database {
     tx_freed: parking_lot::Condvar,
     stats: Mutex<DbStats>,
     plans: Mutex<PlanCache>,
+    /// The write-ahead log — `Some` for durable databases
+    /// ([`Database::open`]), `None` for purely in-memory ones
+    /// ([`Database::new`]).
+    wal: Option<Wal>,
 }
 
 /// Runtime rank of the `tx` slot mutex (top of the ladder).
 pub const LOCK_RANK_TX: u32 = 10;
 /// Runtime rank of the `catalog` RwLock (middle of the ladder).
 pub const LOCK_RANK_CATALOG: u32 = 20;
+/// Runtime rank of the WAL's storage-tail mutex (group-commit leader
+/// election): below the catalog, above the record buffer.
+pub const LOCK_RANK_WAL_SYNC: u32 = 24;
+/// Runtime rank of the WAL's record-buffer mutex.
+pub const LOCK_RANK_WAL_BUF: u32 = 26;
 /// Runtime rank shared by the `stats` and `plans` leaf mutexes. They
 /// share one rank on purpose: leaves are taken alone, so nesting one
 /// under the other trips the checker just like re-entering a lock.
@@ -215,6 +234,7 @@ impl Default for Database {
             tx_freed: parking_lot::Condvar::new(),
             stats: Mutex::new(DbStats::default()).with_rank(LOCK_RANK_LEAF),
             plans: Mutex::new(PlanCache::default()).with_rank(LOCK_RANK_LEAF),
+            wal: None,
         }
     }
 }
@@ -226,6 +246,22 @@ impl Default for Database {
 struct TxState {
     undo: UndoLog,
     owner: std::thread::ThreadId,
+    /// WAL transaction id (`None` on in-memory databases).
+    txid: Option<u64>,
+    /// Whether any redo record was appended under this transaction —
+    /// read-only transactions skip the commit frame and its fsync.
+    logged: bool,
+}
+
+impl TxState {
+    fn open(wal: Option<&Wal>) -> Self {
+        Self {
+            undo: UndoLog::default(),
+            owner: std::thread::current().id(),
+            txid: wal.map(Wal::begin_tx),
+            logged: false,
+        }
+    }
 }
 
 /// What [`Database::begin_nested`] acquired.
@@ -243,6 +279,92 @@ impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Open a **durable** database backed by a write-ahead log under
+    /// `dir` (created if absent), recovering whatever a previous
+    /// process left: the newest valid checkpoint snapshot plus every
+    /// committed transaction in the log, with any torn tail after the
+    /// last valid record discarded. See [`Database::recovery_info`].
+    pub fn open(dir: impl AsRef<std::path::Path>) -> DbResult<Self> {
+        Self::open_with_storage(Box::new(FileStorage::open(dir)?))
+    }
+
+    /// Open a durable database over any [`WalStorage`] backend — the
+    /// fault-injectable in-memory backend
+    /// ([`crate::wal::storage::MemStorage`]) is how the crash-recovery
+    /// tests run the full commit path without a filesystem.
+    pub fn open_with_storage(storage: Box<dyn WalStorage>) -> DbResult<Self> {
+        let (wal, catalog) = Wal::open(storage)?;
+        Ok(Self {
+            catalog: RwLock::new(catalog).with_rank(LOCK_RANK_CATALOG),
+            tx: Mutex::new(None).with_rank(LOCK_RANK_TX),
+            tx_freed: parking_lot::Condvar::new(),
+            stats: Mutex::new(DbStats::default()).with_rank(LOCK_RANK_LEAF),
+            plans: Mutex::new(PlanCache::default()).with_rank(LOCK_RANK_LEAF),
+            wal: Some(wal),
+        })
+    }
+
+    /// Whether this database has a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// What recovery found when this database opened (`None` for
+    /// in-memory databases).
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.wal.as_ref().map(Wal::recovery_info)
+    }
+
+    /// Total WAL bytes appended since open (bench bookkeeping; 0 for
+    /// in-memory databases).
+    pub fn wal_appended_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::appended_bytes)
+    }
+
+    /// Checkpoint: quiesce transactions, write an atomic catalog
+    /// snapshot covering every committed transaction, and truncate the
+    /// log. Returns the last transaction id the snapshot covers.
+    ///
+    /// A crash at *any* point is safe: the snapshot installs by
+    /// temp+fsync+rename, and sealed log segments are deleted only
+    /// after the install succeeded — until then recovery uses the old
+    /// snapshot plus the full log. Errors if called on an in-memory
+    /// database or from inside the calling thread's own open
+    /// transaction (it would deadlock waiting on itself).
+    pub fn checkpoint(&self) -> DbResult<u64> {
+        let Some(wal) = &self.wal else {
+            return Err(DbError::Persist(
+                "checkpoint requires a durable database (Database::open)".into(),
+            ));
+        };
+        // Quiesce: hold the transaction slot so no new transaction or
+        // mutation can start (mutations clear through this mutex), and
+        // wait out any open transaction.
+        let mut tx = self.tx.lock();
+        while let Some(state) = &*tx {
+            if state.owner == std::thread::current().id() {
+                return Err(DbError::Tx(
+                    "checkpoint inside the calling thread's open transaction".into(),
+                ));
+            }
+            self.tx_freed.wait(&mut tx);
+        }
+        let last_tx = wal.last_committed();
+        let catalog = self.catalog.read().clone();
+        // Seal the log at the quiesce point: everything the snapshot
+        // covers is in sealed segments, and post-checkpoint commits go
+        // to a fresh one (one transaction never spans segments).
+        wal.rotate()?;
+        drop(tx);
+        // Install outside the slot: a transaction committing during the
+        // install lands in the fresh segment with a txid above
+        // `last_tx`, so recovery replays it on top of the snapshot.
+        let doc = crate::wal::encode_snapshot(last_tx, &catalog)?;
+        wal.install_snapshot(&doc)?;
+        self.stats.lock().checkpoints += 1;
+        Ok(last_tx)
     }
 
     /// Parse `sql` into a reusable [`PreparedStatement`].
@@ -307,10 +429,7 @@ impl Database {
                     return Err(DbError::Tx("transaction already open".into()));
                 }
                 // O(1): an empty undo log, never a catalog clone.
-                *tx = Some(TxState {
-                    undo: UndoLog::default(),
-                    owner: std::thread::current().id(),
-                });
+                *tx = Some(TxState::open(self.wal.as_ref()));
                 Ok(ResultSet::default())
             }
             Statement::Commit => {
@@ -326,10 +445,40 @@ impl Database {
                     }
                     Some(_) => {}
                 }
+                // Append the COMMIT frame while the slot is still held
+                // (no other transaction's frames can interleave), but
+                // fsync only *after* releasing it — that window is what
+                // lets a group-commit leader batch several committers
+                // into one fsync. Read-only transactions skip both.
+                let mut commit_lsn = None;
+                if let (Some(wal), Some(state)) = (&self.wal, tx.as_ref()) {
+                    if state.logged {
+                        if let Some(txid) = state.txid {
+                            let mut app = WalAppender::new(txid);
+                            app.commit();
+                            let lsn = wal.append_bytes(&app.into_buf(), 1);
+                            wal.note_committed(txid);
+                            commit_lsn = Some(lsn);
+                        }
+                    }
+                }
                 *tx = None; // the undo log is simply discarded
                 self.tx_freed.notify_all();
                 drop(tx);
-                self.stats.lock().transactions += 1;
+                let mut local = DbStats {
+                    transactions: 1,
+                    ..DbStats::default()
+                };
+                if let (Some(wal), Some(lsn)) = (&self.wal, commit_lsn) {
+                    local.wal_appends += 1;
+                    // A sync failure fails the COMMIT: the transaction's
+                    // effects stay in memory but were never made durable
+                    // (and the WAL is now poisoned — see `wal` docs).
+                    let (fsyncs, batched) = wal.sync_to(lsn)?;
+                    local.wal_fsyncs += fsyncs;
+                    local.group_commit_batched += batched;
+                }
+                self.stats.lock().merge(&local);
                 Ok(ResultSet::default())
             }
             Statement::Rollback => {
@@ -347,6 +496,18 @@ impl Database {
                     }
                     Some(state) => state,
                 };
+                // Append the ABORT frame (no fsync: recovery discards
+                // unterminated transactions anyway, the frame just lets
+                // it stop buffering them early).
+                if let Some(wal) = &self.wal {
+                    if state.logged {
+                        if let Some(txid) = state.txid {
+                            let mut app = WalAppender::new(txid);
+                            app.abort();
+                            wal.append_bytes(&app.into_buf(), 0);
+                        }
+                    }
+                }
                 // Replay the undo log in reverse: O(rows touched).
                 let rows_undone = state.undo.rollback(&mut self.catalog.write());
                 self.tx_freed.notify_all();
@@ -363,17 +524,81 @@ impl Database {
                 // it is also where the owner's undo log lives.
                 let mut clearance = self.write_clearance();
                 let me = std::thread::current().id();
+                let own_tx = matches!(&*clearance, Some(state) if state.owner == me);
+                // Durable databases capture redo into a per-statement
+                // appender: under an owned transaction it joins that
+                // transaction's id, otherwise the statement autocommits
+                // under a fresh one.
+                let mut wal_app = self.wal.as_ref().map(|wal| {
+                    let txid = clearance
+                        .as_ref()
+                        .filter(|_| own_tx)
+                        .and_then(|state| state.txid);
+                    WalAppender::new(txid.unwrap_or_else(|| wal.begin_tx()))
+                });
                 let undo = clearance
                     .as_mut()
                     .filter(|state| state.owner == me)
                     .map(|state| &mut state.undo);
                 let mut catalog = self.catalog.write();
                 let mut local = DbStats::default();
-                let result =
-                    execute_mutation(&mut catalog, stmt, params, &mut local, undo, Some(cell));
+                let result = execute_mutation(
+                    &mut catalog,
+                    stmt,
+                    params,
+                    &mut local,
+                    undo,
+                    wal_app.as_mut(),
+                    Some(cell),
+                );
                 drop(catalog);
+                // Hand the captured frames to the shared log while the
+                // clearance guard still excludes other writers, so
+                // frames of different transactions never interleave.
+                // This happens even when the statement *failed*: its
+                // partial effects (a mid-batch INSERT error) are live in
+                // memory and later records' positions build on them, so
+                // recovery must replay them too.
+                let mut sync_lsn = None;
+                if let (Some(wal), Some(app)) = (&self.wal, wal_app) {
+                    if app.records() > 0 {
+                        local.wal_appends += app.records();
+                        if own_tx {
+                            // In-transaction: buffered only; durability
+                            // comes with the COMMIT frame's fsync.
+                            wal.append_bytes(&app.into_buf(), 0);
+                            if let Some(state) = clearance.as_mut() {
+                                state.logged = true;
+                            }
+                        } else {
+                            let mut app = app;
+                            let txid = app.txid();
+                            app.commit();
+                            local.wal_appends += 1;
+                            let lsn = wal.append_bytes(&app.into_buf(), 1);
+                            wal.note_committed(txid);
+                            sync_lsn = Some(lsn);
+                        }
+                    }
+                }
                 drop(clearance);
+                // Autocommit durability: fsync (or join a leader's
+                // group commit) after the slot is released.
+                let sync_result = match (&self.wal, sync_lsn) {
+                    (Some(wal), Some(lsn)) => wal.sync_to(lsn).map(Some),
+                    _ => Ok(None),
+                };
+                if let Ok(Some((fsyncs, batched))) = &sync_result {
+                    local.wal_fsyncs += fsyncs;
+                    local.group_commit_batched += batched;
+                }
                 self.stats.lock().merge(&local);
+                let result = match sync_result {
+                    // A durability failure trumps a successful statement
+                    // — but never masks the statement's own error.
+                    Err(e) => result.and(Err(e)),
+                    Ok(_) => result,
+                };
                 Self::outcome_to_set(result)
             }
             stmt => {
@@ -463,10 +688,7 @@ impl Database {
         loop {
             match &*tx {
                 None => {
-                    *tx = Some(TxState {
-                        undo: UndoLog::default(),
-                        owner: std::thread::current().id(),
-                    });
+                    *tx = Some(TxState::open(self.wal.as_ref()));
                     return TxTicket::Owned;
                 }
                 Some(state) if state.owner == std::thread::current().id() => {
@@ -866,5 +1088,189 @@ mod tests {
     fn prepare_rejects_bad_sql() {
         let db = Database::new();
         assert!(db.prepare("SELEKT nope").is_err());
+    }
+
+    // ---- durability ----
+
+    use crate::wal::storage::{MemStorage, WalFaults};
+
+    fn dump(db: &Database, table: &str) -> Vec<Row> {
+        db.exec(&format!("SELECT * FROM {table}"), &[])
+            .unwrap()
+            .rows
+    }
+
+    #[test]
+    fn durable_database_survives_reopen() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = Database::open(dir.path()).unwrap();
+        assert!(db.is_durable());
+        db.exec("CREATE TABLE t (a INT, b TEXT)", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (1, 'x'), (2, 'y')", &[])
+            .unwrap();
+        db.exec("UPDATE t SET b = 'z' WHERE a = 2", &[]).unwrap();
+        db.exec("DELETE FROM t WHERE a = 1", &[]).unwrap();
+        let before = dump(&db, "t");
+        let stats = db.stats();
+        assert!(stats.wal_appends >= 4, "every mutation logged redo");
+        assert!(stats.wal_fsyncs >= 1, "autocommits fsync");
+        drop(db);
+
+        let db = Database::open(dir.path()).unwrap();
+        assert_eq!(dump(&db, "t"), before);
+        let info = db.recovery_info().unwrap();
+        assert!(info.replayed_txs >= 4);
+        assert_eq!(info.torn_bytes, 0);
+    }
+
+    #[test]
+    fn durable_rollback_never_resurrects() {
+        let (storage, h) = MemStorage::new();
+        let db = Database::open_with_storage(Box::new(storage)).unwrap();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (1)", &[]).unwrap();
+        db.exec("BEGIN", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (2)", &[]).unwrap();
+        db.exec("ROLLBACK", &[]).unwrap();
+        db.exec("BEGIN", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (3)", &[]).unwrap();
+        db.exec("COMMIT", &[]).unwrap();
+
+        let (storage, _h) = MemStorage::from_persisted(h.persisted());
+        let db2 = Database::open_with_storage(Box::new(storage)).unwrap();
+        assert_eq!(
+            dump(&db2, "t"),
+            vec![vec![Value::Int(1)], vec![Value::Int(3)]]
+        );
+    }
+
+    #[test]
+    fn read_only_transactions_cost_no_fsync() {
+        let (storage, _h) = MemStorage::new();
+        let db = Database::open_with_storage(Box::new(storage)).unwrap();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        db.reset_stats();
+        db.exec("BEGIN", &[]).unwrap();
+        db.exec("SELECT * FROM t", &[]).unwrap();
+        db.exec("COMMIT", &[]).unwrap();
+        let s = db.stats();
+        assert_eq!(s.transactions, 1);
+        assert_eq!((s.wal_appends, s.wal_fsyncs), (0, 0));
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_reopen_replays_the_rest() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = Database::open(dir.path()).unwrap();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        db.exec("INSERT INTO t VALUES (1)", &[]).unwrap();
+        let covered = db.checkpoint().unwrap();
+        assert!(covered >= 2);
+        assert_eq!(db.stats().checkpoints, 1);
+        db.exec("INSERT INTO t VALUES (2)", &[]).unwrap();
+        drop(db);
+
+        let db = Database::open(dir.path()).unwrap();
+        let info = db.recovery_info().unwrap();
+        assert_eq!(info.snapshot_last_tx, covered);
+        assert_eq!(info.replayed_txs, 1, "only the post-checkpoint insert");
+        assert_eq!(
+            dump(&db, "t"),
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]]
+        );
+    }
+
+    #[test]
+    fn checkpoint_inside_own_transaction_errors() {
+        let (storage, _h) = MemStorage::new();
+        let db = Database::open_with_storage(Box::new(storage)).unwrap();
+        db.exec("BEGIN", &[]).unwrap();
+        assert!(matches!(db.checkpoint(), Err(DbError::Tx(_))));
+        db.exec("COMMIT", &[]).unwrap();
+        db.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_errors_on_in_memory_database() {
+        let db = Database::new();
+        assert!(!db.is_durable());
+        assert!(db.recovery_info().is_none());
+        assert!(db.checkpoint().is_err());
+    }
+
+    #[test]
+    fn failed_sync_fails_the_commit_and_poisons_later_ones() {
+        let (storage, h) = MemStorage::new();
+        let db = Database::open_with_storage(Box::new(storage)).unwrap();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        // Everything so far is durable; from here every fsync fails.
+        let synced = db.stats().wal_fsyncs;
+        h.set_faults(WalFaults::none().fail_sync_after(synced));
+        assert!(db.exec("INSERT INTO t VALUES (1)", &[]).is_err());
+        // The row is live in memory (documented) but commits stay
+        // refused — durability can no longer be promised.
+        assert_eq!(dump(&db, "t").len(), 1);
+        assert!(db.exec("INSERT INTO t VALUES (2)", &[]).is_err());
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_committers() {
+        use std::sync::Arc;
+        // A sync that takes real time: while the leader sleeps inside
+        // its fsync, the other committers append their COMMIT frames
+        // and get covered by the next leader's single flush.
+        #[derive(Debug)]
+        struct SlowSync(MemStorage);
+        impl crate::wal::storage::WalStorage for SlowSync {
+            fn append(&mut self, b: &[u8]) -> DbResult<()> {
+                self.0.append(b)
+            }
+            fn sync(&mut self) -> DbResult<()> {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                self.0.sync()
+            }
+            fn rotate(&mut self) -> DbResult<()> {
+                self.0.rotate()
+            }
+            fn drop_sealed(&mut self) -> DbResult<()> {
+                self.0.drop_sealed()
+            }
+            fn read_segments(&self) -> DbResult<Vec<Vec<u8>>> {
+                self.0.read_segments()
+            }
+            fn read_snapshot(&self) -> DbResult<Option<Vec<u8>>> {
+                self.0.read_snapshot()
+            }
+            fn install_snapshot(&mut self, b: &[u8]) -> DbResult<()> {
+                self.0.install_snapshot(b)
+            }
+        }
+        let (storage, h) = MemStorage::new();
+        let db = Arc::new(Database::open_with_storage(Box::new(SlowSync(storage))).unwrap());
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        db.reset_stats();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    db.exec("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+                        .unwrap();
+                });
+            }
+        });
+        let stats = db.stats();
+        assert!(
+            stats.group_commit_batched >= 1,
+            "4 concurrent committers against a 20ms fsync must batch \
+             (fsyncs={}, batched={})",
+            stats.wal_fsyncs,
+            stats.group_commit_batched
+        );
+        assert_eq!(dump(&db, "t").len(), 4);
+
+        // And the batched commits are all really durable.
+        let (storage, _h) = MemStorage::from_persisted(h.persisted());
+        let db2 = Database::open_with_storage(Box::new(storage)).unwrap();
+        assert_eq!(dump(&db2, "t").len(), 4);
     }
 }

@@ -12,6 +12,7 @@ use crate::sql::ast::{AggFunc, BinOp, Expr, Join, OrderBy, SelExpr, SelectItem, 
 use crate::table::{Row, Table};
 use crate::undo::{UndoLog, UndoRecord};
 use crate::value::{IndexKey, OrdKey, Value};
+use crate::wal::record::WalAppender;
 
 /// Result of executing a statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +93,18 @@ pub struct DbStats {
     /// Joins that fell back to building a hash table over one side —
     /// the bench asserts this stays 0 on the indexed join workload.
     pub join_hash_builds: u64,
+    /// Redo records appended to the write-ahead log (durable databases
+    /// only; always 0 for in-memory ones).
+    pub wal_appends: u64,
+    /// WAL fsyncs issued — by group-commit leaders, so under concurrent
+    /// commit load this grows slower than `transactions`.
+    pub wal_fsyncs: u64,
+    /// Commits made durable by *another* transaction's fsync: the group
+    /// commit wins (each leader's flush counts its batch size minus
+    /// one).
+    pub group_commit_batched: u64,
+    /// Checkpoints taken (snapshot installed + log truncated).
+    pub checkpoints: u64,
 }
 
 impl DbStats {
@@ -120,6 +133,10 @@ impl DbStats {
             join_index_probes,
             join_merge_joins,
             join_hash_builds,
+            wal_appends,
+            wal_fsyncs,
+            group_commit_batched,
+            checkpoints,
         } = other;
         self.full_scans += full_scans;
         self.index_scans += index_scans;
@@ -140,6 +157,10 @@ impl DbStats {
         self.join_index_probes += join_index_probes;
         self.join_merge_joins += join_merge_joins;
         self.join_hash_builds += join_hash_builds;
+        self.wal_appends += wal_appends;
+        self.wal_fsyncs += wal_fsyncs;
+        self.group_commit_batched += group_commit_batched;
+        self.checkpoints += checkpoints;
     }
 }
 
@@ -810,7 +831,7 @@ pub fn execute_with_stats(
     if let Statement::Select { .. } = stmt {
         return execute_read(catalog, stmt, params, stats, None);
     }
-    execute_mutation(catalog, stmt, params, stats, None, None)
+    execute_mutation(catalog, stmt, params, stats, None, None, None)
 }
 
 /// Execute a read-only statement against a **shared** catalog borrow.
@@ -855,12 +876,20 @@ pub fn execute_read(
 /// when the owning transaction's log is supplied. Undo images are
 /// captured by move (displaced rows, dropped tables) — a transaction
 /// touching k rows logs O(k) work regardless of table size.
+///
+/// `wal` is the durable twin: when supplied, each mutation encodes its
+/// redo record (post-images, mirroring the undo pre-images) into the
+/// appender **before** it applies, and only for mutations that will
+/// actually apply — every site pre-validates so the log never carries a
+/// record whose mutation then failed. The `Database` hands the filled
+/// buffer to the shared log under the transaction guard.
 pub(crate) fn execute_mutation(
     catalog: &mut Catalog,
     stmt: &Statement,
     params: &[Value],
     stats: &mut DbStats,
     undo: Option<&mut UndoLog>,
+    wal: Option<&mut WalAppender>,
     cell: Option<&PlanCell>,
 ) -> DbResult<Outcome> {
     match stmt {
@@ -878,6 +907,13 @@ pub(crate) fn execute_mutation(
                     })
                     .collect(),
             )?;
+            // Redo before apply: log only when the create will happen
+            // (an existing table either errors or is a no-op).
+            if !catalog.contains(name) {
+                if let Some(wal) = wal {
+                    wal.create_table(name, &schema);
+                }
+            }
             let created = catalog.create_table(name, schema, *if_not_exists)?;
             if created {
                 if let Some(undo) = undo {
@@ -887,6 +923,11 @@ pub(crate) fn execute_mutation(
             Ok(Outcome::Affected(0))
         }
         Statement::DropTable { name } => {
+            if catalog.contains(name) {
+                if let Some(wal) = wal {
+                    wal.drop_table(name);
+                }
+            }
             let dropped = catalog.remove_table(name)?;
             if let Some(undo) = undo {
                 undo.push(UndoRecord::DropTable {
@@ -903,9 +944,23 @@ pub(crate) fn execute_mutation(
             ordered,
         } => {
             let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
-            catalog
-                .get_mut(table)?
-                .create_index(name, &cols, *ordered)?;
+            let t = catalog.get_mut(table)?;
+            // Pre-validate (mirroring `Table::create_index`) so the
+            // redo record is only logged for a create that will apply;
+            // invalid requests fall through to the canonical error.
+            let will_create = !columns.is_empty()
+                && columns.iter().all(|c| t.schema.index_of(c).is_ok())
+                && (*ordered || columns.len() == 1)
+                && !t
+                    .indexes()
+                    .iter()
+                    .any(|i| i.name.eq_ignore_ascii_case(name));
+            if will_create {
+                if let Some(wal) = wal {
+                    wal.create_index(table, name, columns, *ordered);
+                }
+            }
+            t.create_index(name, &cols, *ordered)?;
             if let Some(undo) = undo {
                 undo.push(UndoRecord::CreateIndex {
                     table: table.clone(),
@@ -921,6 +976,11 @@ pub(crate) fn execute_mutation(
                 .iter()
                 .find(|i| i.name.eq_ignore_ascii_case(name))
                 .cloned();
+            if def.is_some() {
+                if let Some(wal) = wal {
+                    wal.drop_index(table, name);
+                }
+            }
             t.drop_index(name)?;
             if let Some(undo) = undo {
                 undo.push(UndoRecord::DropIndex {
@@ -987,12 +1047,30 @@ pub(crate) fn execute_mutation(
             }
             let t = catalog.get_mut(table)?;
             let n = prepared.len();
-            let mut appended = 0;
-            let result = prepared.into_iter().try_for_each(|row| {
+            // Validate + coerce up front, stopping at the first bad row
+            // — exactly the prefix the one-at-a-time insert loop used
+            // to land — so the redo record can be written before any
+            // row applies and still cover only rows that will apply.
+            let mut checked: Vec<Row> = Vec::with_capacity(n);
+            let mut first_err = None;
+            for row in prepared {
+                match t.schema.check_row(row) {
+                    Ok(row) => checked.push(row),
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            let appended = checked.len();
+            if appended > 0 {
+                if let Some(wal) = wal {
+                    wal.append_rows(table, &checked);
+                }
+            }
+            for row in checked {
                 t.insert(row)?;
-                appended += 1;
-                Ok(())
-            });
+            }
             // Log however many rows landed, even on a mid-batch type
             // error, so a rollback removes exactly them.
             if appended > 0 {
@@ -1003,7 +1081,10 @@ pub(crate) fn execute_mutation(
                     });
                 }
             }
-            result.map(|()| Outcome::Affected(n))
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(Outcome::Affected(n)),
+            }
         }
         Statement::Update {
             table,
@@ -1075,8 +1156,14 @@ pub(crate) fn execute_mutation(
                 }
             }
             // Phase 2 (exclusive borrow): swap the new rows in; the
-            // displaced originals are the undo images.
+            // displaced originals are the undo images, the replacements
+            // (already validated + coerced) are the redo images.
             let n = updates.len();
+            if n > 0 {
+                if let Some(wal) = wal {
+                    wal.update_rows(table, &updates);
+                }
+            }
             let old = catalog.get_mut(table)?.apply_updates(updates);
             if n > 0 {
                 if let Some(undo) = undo {
@@ -1092,7 +1179,13 @@ pub(crate) fn execute_mutation(
             let Some(f) = filter else {
                 // No WHERE: take every row in one sweep (the undo
                 // record restores them at their enumerated positions).
-                let removed = catalog.get_mut(table)?.clear();
+                let t = catalog.get_mut(table)?;
+                if !t.rows().is_empty() {
+                    if let Some(wal) = wal {
+                        wal.clear_table(table);
+                    }
+                }
+                let removed = t.clear();
                 let n = removed.len();
                 if n > 0 {
                     if let Some(undo) = undo {
@@ -1129,6 +1222,11 @@ pub(crate) fn execute_mutation(
                     .filter_map(|p| hit(p).transpose())
                     .collect::<DbResult<_>>()?,
             };
+            if !positions.is_empty() {
+                if let Some(wal) = wal {
+                    wal.delete_rows(table, &positions);
+                }
+            }
             let removed = catalog.get_mut(table)?.delete_at(&positions);
             let n = removed.len();
             if n > 0 {

@@ -33,6 +33,11 @@
 //!   with zero SQL-text formatting or parsing.
 //! * [`persist`] — JSON snapshot persistence, so metadata survives
 //!   "runs" the way a MySQL server's tables did.
+//! * [`wal`] — **durability**: a write-ahead log with group commit,
+//!   checkpoints, and crash recovery ([`Database::open`] replays the
+//!   log to exactly the last committed transaction), behind a
+//!   [`wal::storage::WalStorage`] trait with fsync'd-file and
+//!   fault-injectable in-memory backends.
 //!
 //! The engine is deliberately small but real: every SDM metadata path
 //! (run registration, offset tracking, import descriptions, index-history
@@ -50,6 +55,7 @@ pub mod stmt;
 pub mod table;
 pub mod undo;
 pub mod value;
+pub mod wal;
 
 pub use db::{Database, PreparedStatement, ResultSet, TxTicket};
 pub use error::{DbError, DbResult};
@@ -58,3 +64,5 @@ pub use schema::{ColType, Column, Schema};
 pub use stmt::{Relation, Stmt, TypedColumn};
 pub use table::IndexDef;
 pub use value::{IndexKey, Value};
+pub use wal::storage::{FileStorage, MemHandle, MemPersisted, MemStorage, WalFaults, WalStorage};
+pub use wal::RecoveryInfo;

@@ -12,12 +12,16 @@ use crate::db::Database;
 use crate::error::{DbError, DbResult};
 
 impl Database {
-    /// Write a snapshot of all tables to `path`.
+    /// Write a snapshot of all tables to `path` — atomically: the JSON
+    /// goes to a temp file in the same directory, is fsync'd, and is
+    /// renamed over `path`, so a crash mid-save can never destroy the
+    /// previous snapshot (readers see the old file or the new one,
+    /// never a torn mix).
     pub fn save(&self, path: impl AsRef<Path>) -> DbResult<()> {
         let snapshot = self.catalog_snapshot();
         let json = serde_json::to_string(&snapshot)
             .map_err(|e| DbError::Persist(format!("serialize: {e}")))?;
-        std::fs::write(path.as_ref(), json)
+        crate::wal::storage::write_atomic(path.as_ref(), json.as_bytes())
             .map_err(|e| DbError::Persist(format!("write {}: {e}", path.as_ref().display())))
     }
 
@@ -107,6 +111,29 @@ mod tests {
         db2.exec("INSERT INTO t VALUES (2)", &[]).unwrap();
         let rs = db2.exec("SELECT COUNT(*) FROM t WHERE k = 2", &[]).unwrap();
         assert_eq!(rs.scalar(), Some(&Value::Int(6)));
+    }
+
+    #[test]
+    fn save_is_atomic_over_an_existing_snapshot() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("meta.json");
+        let db = Database::new();
+        db.exec("CREATE TABLE t (a INT)", &[]).unwrap();
+        db.save(&path).unwrap();
+        db.exec("INSERT INTO t VALUES (1)", &[]).unwrap();
+        db.save(&path).unwrap();
+        // The rename left no temp litter behind — only the snapshot.
+        let mut names: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["meta.json"]);
+        let db2 = Database::load(&path).unwrap();
+        assert_eq!(
+            db2.exec("SELECT COUNT(*) FROM t", &[]).unwrap().scalar(),
+            Some(&Value::Int(1))
+        );
     }
 
     #[test]
