@@ -1,7 +1,8 @@
-//! Rule `ladder`: static lock-ladder order checking.
+//! Rule `ladder` (intraprocedural half): static lock-ladder order
+//! checking within one function body.
 //!
 //! The documented ladder in `sdm-metadb/src/db.rs` (a thread only ever
-//! acquires downward):
+//! acquires downward), with ranks from the shared `sdm-ranks` registry:
 //!
 //! | rank | lock       | acquired via                      |
 //! |------|------------|-----------------------------------|
@@ -15,57 +16,21 @@
 //! `stats` and `plans` share a rank on purpose: leaves are taken alone,
 //! never nested — under the other leaf or under themselves.
 //!
-//! Per non-test function body the checker models acquisitions as ranked
-//! events and tracks guard scopes:
-//!
-//! * `let g = self.catalog.write();` — named guard, lives to the end of
-//!   its block (or an explicit `drop(g)`);
-//! * `self.stats.lock().n += 1;` — temporary guard, dies at the end of
-//!   the statement;
-//! * `if let Some(x) = self.plans.lock().get(k) { … }` — scrutinee
-//!   temporary, lives through the whole construct (including an `else`
-//!   chain), exactly as Rust extends it;
-//! * `drop(g)` — early release.
-//!
-//! An acquisition whose rank is not strictly greater than every rank
-//! currently held is a finding: upward acquisition, same-`RwLock`
-//! re-entry (self-deadlock on `std` primitives), or a leaf held across
-//! another acquisition. The runtime rank checker in the `parking_lot`
-//! shim enforces the identical policy dynamically.
+//! The guard-scope model (named bindings, statement temporaries,
+//! construct-scrutinee temporaries, early `drop`s) lives in
+//! [`crate::callgraph::walk_body`], which replays each body as an event
+//! stream; this rule just compares every [`EventKind::Acquire`] against
+//! the guards held at that point. An acquisition whose rank is not
+//! strictly greater than every rank currently held is a finding: upward
+//! acquisition, same-`RwLock` re-entry (self-deadlock on `std`
+//! primitives), or a leaf held across another acquisition. The
+//! cross-function half of the rule lives in [`crate::dataflow`]; the
+//! runtime rank checker in the `parking_lot` shim enforces the identical
+//! policy dynamically.
 
-use crate::lexer::Tok;
+use crate::callgraph::{walk_body, Event, EventKind};
 use crate::report::Finding;
 use crate::scopes::Model;
-
-/// The ranked locks: name, methods that acquire them, rank.
-const RANKED: &[(&str, &[&str], u32)] = &[
-    ("tx", &["lock"], 10),
-    ("catalog", &["read", "write"], 20),
-    ("wal_sync", &["lock"], 24),
-    ("wal_buf", &["lock"], 26),
-    ("stats", &["lock"], 30),
-    ("plans", &["lock"], 30),
-];
-
-/// How long a guard lives.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum End {
-    /// Named binding: until its block closes (depth falls below).
-    Block(usize),
-    /// Statement temporary: until the `;` at this depth (or block end).
-    Stmt(usize),
-    /// `if let`/`match`/`while` scrutinee temporary: until the construct
-    /// whose body opened at this depth closes (tracking `else` chains).
-    Construct(usize),
-}
-
-#[derive(Debug)]
-struct Guard {
-    name: Option<String>,
-    lock: &'static str,
-    rank: u32,
-    end: End,
-}
 
 /// Run the ladder rule over every non-test function of `model`.
 pub fn check(path: &str, model: &Model) -> Vec<Finding> {
@@ -75,210 +40,46 @@ pub fn check(path: &str, model: &Model) -> Vec<Finding> {
             continue;
         }
         let Some((start, end)) = f.body else { continue };
-        check_body(path, model, start, end, &mut findings);
-    }
-    findings
-}
-
-fn check_body(path: &str, model: &Model, start: usize, end: usize, findings: &mut Vec<Finding>) {
-    let toks = &model.tokens;
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut depth = 0usize;
-    // Start of the current statement (token index) and its depth.
-    let mut stmt_start = start;
-    let mut stmt_depth = 0usize;
-    // A construct keyword (`if`/`match`/`while`/`for`) seen at `depth`,
-    // whose `{` has not been consumed yet.
-    let mut pending_construct: Option<usize> = None;
-    let mut i = start;
-    while i < end {
-        match &toks[i].tok {
-            Tok::Punct('{') => {
-                depth += 1;
-                if pending_construct.take().is_some() {
-                    // Construct body opens: scrutinee temps recorded with
-                    // End::Construct(depth) die when this depth closes.
-                }
-                stmt_start = i + 1;
-                stmt_depth = depth;
-            }
-            Tok::Punct('}') => {
-                depth = depth.saturating_sub(1);
-                guards.retain(|g| match g.end {
-                    End::Block(d) | End::Stmt(d) => d <= depth,
-                    End::Construct(d) => {
-                        // The construct's body closed when depth falls
-                        // below d; keep alive through an `else` chain.
-                        if depth < d {
-                            matches!(toks.get(i + 1).map(|t| &t.tok),
-                                     Some(Tok::Ident(w)) if w == "else")
-                        } else {
-                            true
-                        }
-                    }
+        walk_body(&model.tokens, start, end, &mut |ev: Event| {
+            let EventKind::Acquire { lock, rank, .. } = ev.kind else {
+                return;
+            };
+            for h in &ev.held {
+                let message = if h.rank > rank {
+                    format!(
+                        "upward lock acquisition: `{lock}` ({}) acquired while `{}` ({}) is \
+                         held — the ladder runs tx → catalog → wal_sync → wal_buf → \
+                         stats/plans",
+                        sdm_ranks::describe(rank),
+                        h.lock,
+                        sdm_ranks::describe(h.rank),
+                    )
+                } else if h.rank == rank && h.lock == lock {
+                    format!(
+                        "nested acquisition of `{lock}`: re-entering the same lock on one \
+                         thread self-deadlocks"
+                    )
+                } else if h.rank == rank {
+                    format!(
+                        "leaf `{}` held across acquisition of `{lock}`: leaf mutexes are taken \
+                         alone, never nested",
+                        h.lock
+                    )
+                } else {
+                    continue;
+                };
+                findings.push(Finding {
+                    rule: "ladder".into(),
+                    file: path.to_string(),
+                    line: ev.line,
+                    snippet: model.snippet(ev.line),
+                    message,
+                    chain: Vec::new(),
                 });
-                stmt_start = i + 1;
-                stmt_depth = depth;
             }
-            Tok::Punct(';') => {
-                guards.retain(|g| !matches!(g.end, End::Stmt(d) if d >= depth));
-                stmt_start = i + 1;
-                stmt_depth = depth;
-            }
-            Tok::Ident(w) if matches!(w.as_str(), "if" | "match" | "while" | "for") => {
-                pending_construct = Some(depth);
-            }
-            // `drop(name)` — early release of a named guard.
-            Tok::Ident(w) if w == "drop" => {
-                if let (Some(Tok::Punct('(')), Some(Tok::Ident(name)), Some(Tok::Punct(')'))) = (
-                    toks.get(i + 1).map(|t| &t.tok),
-                    toks.get(i + 2).map(|t| &t.tok),
-                    toks.get(i + 3).map(|t| &t.tok),
-                ) {
-                    if let Some(pos) = guards
-                        .iter()
-                        .rposition(|g| g.name.as_deref() == Some(name.as_str()))
-                    {
-                        guards.remove(pos);
-                    }
-                }
-            }
-            // Acquisition: `<name> . <method> ( )`.
-            Tok::Ident(obj) => {
-                if let Some((lock, rank)) = ranked(obj) {
-                    let is_acq = matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('.')))
-                        && matches!(
-                            toks.get(i + 2).map(|t| &t.tok),
-                            Some(Tok::Ident(m)) if RANKED
-                                .iter()
-                                .any(|(n, ms, _)| *n == lock && ms.contains(&m.as_str()))
-                        )
-                        && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Punct('(')))
-                        && matches!(toks.get(i + 4).map(|t| &t.tok), Some(Tok::Punct(')')));
-                    if is_acq {
-                        let line = toks[i].line;
-                        report_violations(path, model, line, lock, rank, &guards, findings);
-                        let end_kind = classify_scope(
-                            toks,
-                            stmt_start,
-                            i,
-                            depth,
-                            stmt_depth,
-                            pending_construct,
-                        );
-                        guards.push(Guard {
-                            name: binding_name(toks, stmt_start, &end_kind),
-                            lock,
-                            rank,
-                            end: end_kind,
-                        });
-                        i += 5;
-                        continue;
-                    }
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-}
-
-fn ranked(name: &str) -> Option<(&'static str, u32)> {
-    RANKED
-        .iter()
-        .find(|(n, _, _)| *n == name)
-        .map(|&(n, _, r)| (n, r))
-}
-
-fn report_violations(
-    path: &str,
-    model: &Model,
-    line: u32,
-    lock: &str,
-    rank: u32,
-    guards: &[Guard],
-    findings: &mut Vec<Finding>,
-) {
-    for g in guards {
-        let message = if g.rank > rank {
-            format!(
-                "upward lock acquisition: `{lock}` (rank {rank}) acquired while `{}` (rank {}) \
-                 is held — the ladder runs tx → catalog → wal_sync → wal_buf → stats/plans",
-                g.lock, g.rank
-            )
-        } else if g.rank == rank && g.lock == lock {
-            format!(
-                "nested acquisition of `{lock}`: re-entering the same lock on one thread \
-                 self-deadlocks"
-            )
-        } else if g.rank == rank {
-            format!(
-                "leaf `{}` held across acquisition of `{lock}`: leaf mutexes are taken alone, \
-                 never nested",
-                g.lock
-            )
-        } else {
-            continue;
-        };
-        findings.push(Finding {
-            rule: "ladder".into(),
-            file: path.to_string(),
-            line,
-            snippet: model.snippet(line),
-            message,
         });
     }
-}
-
-/// Decide the guard's scope from the shape of the current statement.
-fn classify_scope(
-    toks: &[crate::lexer::Token],
-    stmt_start: usize,
-    event: usize,
-    depth: usize,
-    stmt_depth: usize,
-    pending_construct: Option<usize>,
-) -> End {
-    if let Some(d) = pending_construct {
-        // Inside a construct header: the scrutinee temporary lives
-        // through the construct's body (depth d + 1 closes at d).
-        return End::Construct(d + 1);
-    }
-    // `let <pat> = <pure lock expr> ;` binds the guard for the block.
-    // "Pure" means: nothing but a path between `=` and the lock call,
-    // and the call's `()` is immediately followed by `;` — otherwise
-    // (`.get(k)` chains, call arguments) the guard is a temporary that
-    // dies with the statement.
-    if matches!(toks.get(stmt_start).map(|t| &t.tok), Some(Tok::Ident(w)) if w == "let") {
-        let eq = (stmt_start..event).find(|&j| toks[j].tok == Tok::Punct('='));
-        if let Some(eq) = eq {
-            let pure_prefix = (eq + 1..event).all(|j| {
-                matches!(&toks[j].tok, Tok::Punct('.')) || matches!(&toks[j].tok, Tok::Ident(_))
-            });
-            let ends_stmt = matches!(toks.get(event + 5).map(|t| &t.tok), Some(Tok::Punct(';')));
-            if pure_prefix && ends_stmt {
-                return End::Block(depth);
-            }
-        }
-    }
-    let _ = stmt_depth;
-    End::Stmt(depth)
-}
-
-/// The binding name for a block-scoped guard (`let mut <name> = …`).
-fn binding_name(toks: &[crate::lexer::Token], stmt_start: usize, end: &End) -> Option<String> {
-    if !matches!(end, End::Block(_)) {
-        return None;
-    }
-    let mut j = stmt_start + 1; // past `let`
-    while let Some(Tok::Ident(w)) = toks.get(j).map(|t| &t.tok) {
-        if w == "mut" {
-            j += 1;
-            continue;
-        }
-        return Some(w.clone());
-    }
-    None
+    findings
 }
 
 #[cfg(test)]
@@ -313,6 +114,9 @@ mod tests {
         let f = run("let c = self.catalog.write(); let t = self.tx.lock();");
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("upward"));
+        // Registry names, not bare numbers.
+        assert!(f[0].message.contains("tx(10)"), "{}", f[0].message);
+        assert!(f[0].message.contains("catalog(20)"), "{}", f[0].message);
     }
 
     #[test]

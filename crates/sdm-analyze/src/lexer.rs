@@ -77,7 +77,12 @@ pub fn lex(source: &str) -> Lexed {
                 while i < b.len() && b[i] != b'\n' {
                     i += 1;
                 }
-                mine_allows(&source[start..i], line, &mut out.allows);
+                let text = &source[start..i];
+                // Doc comments (`///`, `//!`) are prose — they *mention*
+                // the directive syntax without enacting it.
+                if !text.starts_with("///") && !text.starts_with("//!") {
+                    mine_allows(text, line, &mut out.allows);
+                }
             }
             '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
                 let (start, start_line) = (i, line);
@@ -97,7 +102,10 @@ pub fn lex(source: &str) -> Lexed {
                         i += 1;
                     }
                 }
-                mine_allows(&source[start..i], start_line, &mut out.allows);
+                let text = &source[start..i];
+                if !text.starts_with("/**") && !text.starts_with("/*!") {
+                    mine_allows(text, start_line, &mut out.allows);
+                }
             }
             '"' => {
                 let (s, ni, nl) = lex_plain_string(source, i, line);
@@ -332,7 +340,9 @@ fn mine_allows(comment: &str, line: u32, out: &mut Vec<Allow>) {
     let mut rest = comment;
     while let Some(pos) = rest.find(MARK) {
         let after = &rest[pos + MARK.len()..];
-        if let Some(close) = after.find(')') {
+        // The reason runs to the *last* close paren so it can itself
+        // mention calls, e.g. a reason of `begin() reserved the bytes`.
+        if let Some(close) = after.rfind(')') {
             let inner = &after[..close];
             if let Some((rule, reason)) = inner.split_once(':') {
                 let (rule, reason) = (rule.trim(), reason.trim());
@@ -429,6 +439,24 @@ mod tests {
         assert_eq!(l.allows[0].line, 1);
         assert_eq!(l.allows[1].rule, "ladder");
         assert_eq!(l.allows[1].line, 3);
+    }
+
+    #[test]
+    fn allow_reasons_may_contain_parens() {
+        let l = lex("// analyze:allow(panic-under-guard: begin() reserved 8 bytes at `at`)");
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].reason, "begin() reserved 8 bytes at `at`");
+    }
+
+    #[test]
+    fn doc_comments_are_not_mined_for_allows() {
+        let l = lex("/// justified behind `// analyze:allow(unwrap: why)`\n\
+             //! see analyze:allow(ladder: reasons) for details\n\
+             /** analyze:allow(unwrap: prose) */\n\
+             // analyze:allow(unwrap: the real one)");
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].line, 4);
+        assert_eq!(l.allows[0].reason, "the real one");
     }
 
     #[test]

@@ -1,77 +1,179 @@
 //! `sdm-analyze`: the workspace invariant checker.
 //!
 //! A hermetic static-analysis pass over the SDM workspace that enforces
-//! the invariants the compiler cannot see:
+//! the invariants the compiler cannot see. Per-file rules:
 //!
 //! * **`ladder`** — the lock-acquisition order documented on
-//!   `Database` (`tx` → `catalog` → leaf mutexes), checked per function
-//!   body with a guard-scope model (let bindings, statement
-//!   temporaries, `if let`/`match` scrutinee temporaries, early
-//!   `drop`s).
+//!   `Database` (`tx` → `catalog` → `wal_sync` → `wal_buf` → leaf
+//!   mutexes, ranks from `sdm-ranks`), checked per function body with a
+//!   guard-scope model (let bindings, statement temporaries, `if
+//!   let`/`match` scrutinee temporaries, early `drop`s).
 //! * **`sql-layering`** — no raw SQL string literals above
 //!   `sdm-metadb`; higher layers build typed `Stmt` values.
 //! * **`deprecated-call`** — the `#[deprecated]` compatibility veneers
 //!   may only be exercised from their designated files.
 //! * **`unwrap`** — no `.unwrap()` / `.expect("…")` in non-test library
 //!   code on the `sdm-metadb`/`sdm-core` hot paths.
-//! * **`undo-coverage`** — executor functions taking `&mut Catalog`
-//!   must thread `Option<&mut UndoLog>`.
 //! * **`compiled-eval`** — no direct AST-walk evaluation
 //!   (`eval_ast(…)`) outside `sdm-metadb/src/eval.rs` and test code;
 //!   hot-path expressions run as compiled instruction-list programs.
+//! * **`wal-ordering`** — no direct filesystem writes in `sdm-metadb`
+//!   outside `wal/` and `persist.rs`.
+//!
+//! Interprocedural rules (built on [`callgraph`] + [`dataflow`], each
+//! finding carrying a witness chain):
+//!
+//! * **`ladder`** (cross-function) — a call whose callee transitively
+//!   acquires a rank not strictly below everything held at the call.
+//! * **`held-io`** — blocking I/O reachable while the catalog or a leaf
+//!   lock is held (the WAL group-commit leader path is the sanctioned
+//!   exception).
+//! * **`undo-coverage`** — intra: executor fns taking `&mut Catalog`
+//!   must thread `Option<&mut UndoLog>`; inter: any such fn reachable
+//!   from an exec entry point without undo threaded the whole way.
+//! * **`panic-under-guard`** — a panic site reachable while the
+//!   `catalog` write guard is held.
+//! * **`unused-allow`** — a suppression directive that suppressed
+//!   nothing this run.
 //!
 //! Findings can be suppressed, with a mandatory justification, by
-//! `// analyze:allow(rule-id: reason)` on the same or preceding line.
-//! The binary writes `ANALYZE.json` and exits nonzero when findings
-//! survive; CI runs it in the lint job.
+//! `// analyze:allow(rule-id: reason)` on the same or preceding line;
+//! for the interprocedural rules the directive goes on the *terminal*
+//! site and quiets every caller. The binary writes `ANALYZE.json` (and
+//! optionally SARIF) and exits nonzero when findings survive; CI runs
+//! it in the lint job.
 
+pub mod callgraph;
+pub mod dataflow;
 pub mod ladder;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scopes;
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use report::{Finding, Report};
+use report::{AllowSite, Finding, Report};
 use scopes::Model;
+
+/// Analyze a set of sources given as `(repo-relative path, text)`
+/// pairs: the full pipeline — intraprocedural rules, call graph, effect
+/// summaries, interprocedural rules, suppression, unused-allow.
+pub fn analyze_sources(files: &[(String, String)]) -> Report {
+    let models: Vec<(String, Model)> = files
+        .iter()
+        .map(|(p, s)| (p.clone(), Model::build(s)))
+        .collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for (path, model) in &models {
+        findings.extend(rules::intra(path, model));
+    }
+
+    let cg = callgraph::Callgraph::build(&models);
+    let mut allow_use = dataflow::AllowUse::new(&models);
+    let sums = dataflow::summarize(&cg, &models, &mut allow_use);
+    findings.extend(dataflow::check(&cg, &models, &sums, &mut allow_use));
+
+    // Suppression pass, tracking which directives earned their keep.
+    // (The intra and inter halves of each rule are disjoint by
+    // construction — e.g. the BFS `undo-coverage` pass skips exec.rs,
+    // which the per-signature rule owns — so no dedup is needed.)
+    let index_of: HashMap<&str, usize> = models
+        .iter()
+        .enumerate()
+        .map(|(i, (p, _))| (p.as_str(), i))
+        .collect();
+    let mut suppressed = 0usize;
+    findings.retain(|f| {
+        let fi = index_of[f.file.as_str()];
+        let model = &models[fi].1;
+        if model.allowed(&f.rule, f.line) {
+            allow_use.mark(fi, model, &f.rule, f.line);
+            suppressed += 1;
+            false
+        } else {
+            true
+        }
+    });
+
+    // Unused suppressions. Directives in test code are exempt (the
+    // rules skip test code, so they can never be "used"), and a stale
+    // directive can itself be suppressed while it is being cleaned up.
+    let mut allows: Vec<AllowSite> = Vec::new();
+    for (fi, (path, model)) in models.iter().enumerate() {
+        for (ai, a) in model.allows.iter().enumerate() {
+            let used = allow_use.is_used(fi, ai);
+            allows.push(AllowSite {
+                file: path.clone(),
+                line: a.line,
+                rule: a.rule.clone(),
+                reason: a.reason.clone(),
+                used,
+            });
+            if used || model.is_test_line(a.line) || a.rule == "unused-allow" {
+                continue;
+            }
+            if model.allowed("unused-allow", a.line) {
+                suppressed += 1;
+                continue;
+            }
+            findings.push(Finding {
+                rule: "unused-allow".into(),
+                file: path.clone(),
+                line: a.line,
+                snippet: model.snippet(a.line),
+                message: format!(
+                    "`analyze:allow({}: …)` suppressed nothing this run; remove the stale \
+                     directive (or fix its rule id / move it to the offending line)",
+                    a.rule
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Report {
+        analyzed_files: models.len(),
+        analyzed_fns: cg.analyzed_fns(),
+        call_edges: cg.call_edges,
+        rules_checked: rules::RULES.iter().map(|r| r.to_string()).collect(),
+        suppressed,
+        allows,
+        findings,
+    }
+}
 
 /// Analyze one file's source under its repo-relative path (forward
 /// slashes). Returns surviving findings and the suppressed count.
+/// Interprocedural rules see only this file's call graph.
 pub fn analyze_file(rel_path: &str, source: &str) -> (Vec<Finding>, usize) {
-    let model = Model::build(source);
-    rules::analyze_model(rel_path, &model)
+    let r = analyze_sources(&[(rel_path.to_string(), source.to_string())]);
+    (r.findings, r.suppressed)
 }
 
 /// Analyze every `.rs` file under `root` and assemble the report.
 ///
 /// Walks `crates/`, `src/`, `tests/`, and `examples/`, skipping
 /// `target/` and dot-directories. Files are visited in sorted path
-/// order so the report is deterministic.
+/// order so the report (and the call-graph indices behind the witness
+/// chains) is deterministic.
 pub fn analyze_root(root: &Path) -> std::io::Result<Report> {
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     for top in ["crates", "src", "tests", "examples"] {
-        collect_rs_files(&root.join(top), &mut files);
+        collect_rs_files(&root.join(top), &mut paths);
     }
-    files.sort();
+    paths.sort();
 
-    let mut findings = Vec::new();
-    let mut suppressed = 0usize;
-    for path in &files {
+    let mut files = Vec::new();
+    for path in &paths {
         let source = fs::read_to_string(path)?;
-        let rel = rel_path(root, path);
-        let (mut f, s) = analyze_file(&rel, &source);
-        findings.append(&mut f);
-        suppressed += s;
+        files.push((rel_path(root, path), source));
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(Report {
-        analyzed_files: files.len(),
-        rules_checked: rules::RULES.iter().map(|r| r.to_string()).collect(),
-        suppressed,
-        findings,
-    })
+    Ok(analyze_sources(&files))
 }
 
 /// Recursively collect `.rs` files, skipping `target` and dotted names.
@@ -114,6 +216,37 @@ mod tests {
         let (findings, _) = analyze_file("crates/sdm-metadb/src/foo.rs", "fn f() { x.unwrap(); }");
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn unused_allow_is_flagged_and_used_allow_is_not() {
+        let stale = "fn f() {\n  // analyze:allow(unwrap: nothing here unwraps)\n  let x = 1;\n}";
+        let (findings, _) = analyze_file("crates/sdm-metadb/src/foo.rs", stale);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "unused-allow");
+        assert_eq!(findings[0].line, 2);
+
+        let used = "fn f() {\n  // analyze:allow(unwrap: checked above)\n  x.unwrap();\n}";
+        let (findings, suppressed) = analyze_file("crates/sdm-metadb/src/foo.rs", used);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn unused_allow_skips_test_code() {
+        let src = "#[cfg(test)] mod tests {\n  // analyze:allow(unwrap: fixture)\n  fn t() {}\n}";
+        let (findings, _) = analyze_file("crates/sdm-metadb/src/foo.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn report_carries_allow_sites() {
+        let src = "fn f() {\n  // analyze:allow(unwrap: checked)\n  x.unwrap();\n}";
+        let r = analyze_sources(&[("crates/sdm-metadb/src/foo.rs".into(), src.into())]);
+        assert_eq!(r.allows.len(), 1);
+        assert!(r.allows[0].used);
+        assert_eq!(r.allows[0].rule, "unwrap");
+        assert_eq!(r.rules_checked.len(), 10);
     }
 
     #[test]

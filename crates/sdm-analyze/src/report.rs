@@ -1,15 +1,16 @@
-//! Findings and the machine-readable report (`ANALYZE.json`).
+//! Findings and the machine-readable reports (`ANALYZE.json`, SARIF).
 //!
-//! The JSON writer is hand-rolled (the analyzer is dependency-free);
-//! the schema is flat and stable so CI can archive and diff it.
+//! The JSON writers are hand-rolled (the analyzer depends on nothing
+//! outside the workspace); the `ANALYZE.json` schema is flat and stable
+//! so CI can archive and diff it, and [`Report::to_sarif`] emits a
+//! minimal SARIF 2.1.0 log for code-scanning UIs.
 
 use std::fmt::Write as _;
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`ladder`, `sql-layering`, `deprecated-call`, `unwrap`,
-    /// `undo-coverage`).
+    /// Rule id (`ladder`, `held-io`, `panic-under-guard`, …).
     pub rule: String,
     /// Repo-relative path, forward slashes.
     pub file: String,
@@ -19,6 +20,27 @@ pub struct Finding {
     pub snippet: String,
     /// What is wrong and what to do about it.
     pub message: String,
+    /// Witness chain for interprocedural findings: each element is one
+    /// hop (`Database::run_statement (crates/…/db.rs:545)`) ending at
+    /// the terminal effect (`catalog.write() [catalog(20)] (…)`).
+    /// Empty for findings proven inside one body.
+    pub chain: Vec<String>,
+}
+
+/// One `// analyze:allow(rule: reason)` directive found in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// Rule id it suppresses.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether the directive actually suppressed or filtered anything
+    /// this run; `false` feeds the `unused-allow` rule.
+    pub used: bool,
 }
 
 /// The full analysis result for a workspace.
@@ -26,10 +48,17 @@ pub struct Finding {
 pub struct Report {
     /// Number of `.rs` files scanned.
     pub analyzed_files: usize,
+    /// Number of non-test functions in the call graph.
+    pub analyzed_fns: usize,
+    /// Number of resolved call edges (ambiguous calls count every
+    /// candidate).
+    pub call_edges: usize,
     /// Rule ids that ran.
     pub rules_checked: Vec<String>,
     /// Findings suppressed by `analyze:allow` directives.
     pub suppressed: usize,
+    /// Every suppression directive in the workspace, with usage.
+    pub allows: Vec<AllowSite>,
     /// Surviving findings, ordered by file then line.
     pub findings: Vec<Finding>,
 }
@@ -40,6 +69,8 @@ impl Report {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"analyzed_files\": {},", self.analyzed_files);
+        let _ = writeln!(out, "  \"analyzed_fns\": {},", self.analyzed_fns);
+        let _ = writeln!(out, "  \"call_edges\": {},", self.call_edges);
         out.push_str("  \"rules_checked\": [");
         for (i, r) in self.rules_checked.iter().enumerate() {
             if i > 0 {
@@ -49,18 +80,43 @@ impl Report {
         }
         out.push_str("],\n");
         let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        out.push_str("  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let _ = write!(
+                out,
+                "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}, \"used\": {}}}",
+                json_string(&a.file),
+                a.line,
+                json_string(&a.rule),
+                json_string(&a.reason),
+                a.used
+            );
+        }
+        if !self.allows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             out.push_str(if i > 0 { ",\n    " } else { "\n    " });
             let _ = write!(
                 out,
-                "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"message\": {}}}",
+                "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \"message\": {}",
                 json_string(&f.rule),
                 json_string(&f.file),
                 f.line,
                 json_string(&f.snippet),
                 json_string(&f.message)
             );
+            out.push_str(", \"chain\": [");
+            for (j, hop) in f.chain.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(hop));
+            }
+            out.push_str("]}");
         }
         if !self.findings.is_empty() {
             out.push_str("\n  ");
@@ -69,11 +125,58 @@ impl Report {
         out
     }
 
+    /// Serialize to a minimal SARIF 2.1.0 log (one run, one rule entry
+    /// per checked rule, one result per finding; witness chains ride in
+    /// the result message).
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"version\": \"2.1.0\",\n");
+        out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+        out.push_str("  \"runs\": [{\n");
+        out.push_str("    \"tool\": {\"driver\": {\"name\": \"sdm-analyze\", \"rules\": [");
+        for (i, r) in self.rules_checked.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{{\"id\": {}}}", json_string(r));
+        }
+        out.push_str("]}},\n");
+        out.push_str("    \"results\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n      " } else { "\n      " });
+            let mut text = f.message.clone();
+            if !f.chain.is_empty() {
+                text.push_str(" [witness: ");
+                text.push_str(&f.chain.join(" → "));
+                text.push(']');
+            }
+            let _ = write!(
+                out,
+                "{{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+                 \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+                json_string(&f.rule),
+                json_string(&text),
+                json_string(&f.file),
+                f.line
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }]\n}\n");
+        out
+    }
+
     /// The one-line human summary CI prints.
     pub fn summary(&self) -> String {
         format!(
-            "analyzed_files={} rules_checked={} suppressed={} findings={}",
+            "analyzed_files={} analyzed_fns={} call_edges={} rules_checked={} suppressed={} \
+             findings={}",
             self.analyzed_files,
+            self.analyzed_fns,
+            self.call_edges,
             self.rules_checked.len(),
             self.suppressed,
             self.findings.len()
@@ -106,6 +209,31 @@ fn json_string(s: &str) -> String {
 mod tests {
     use super::*;
 
+    fn sample() -> Report {
+        Report {
+            analyzed_files: 2,
+            analyzed_fns: 7,
+            call_edges: 11,
+            rules_checked: vec!["ladder".into()],
+            suppressed: 1,
+            allows: vec![AllowSite {
+                file: "a.rs".into(),
+                line: 2,
+                rule: "unwrap".into(),
+                reason: "checked above".into(),
+                used: true,
+            }],
+            findings: vec![Finding {
+                rule: "unwrap".into(),
+                file: "a.rs".into(),
+                line: 3,
+                snippet: "x.unwrap();".into(),
+                message: "no".into(),
+                chain: vec!["f (a.rs:3)".into(), ".unwrap(…) (a.rs:9)".into()],
+            }],
+        }
+    }
+
     #[test]
     fn json_escapes_specials() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
@@ -113,25 +241,19 @@ mod tests {
 
     #[test]
     fn report_round_trip_shape() {
-        let r = Report {
-            analyzed_files: 2,
-            rules_checked: vec!["ladder".into()],
-            suppressed: 1,
-            findings: vec![Finding {
-                rule: "unwrap".into(),
-                file: "a.rs".into(),
-                line: 3,
-                snippet: "x.unwrap();".into(),
-                message: "no".into(),
-            }],
-        };
+        let r = sample();
         let j = r.to_json();
         assert!(j.contains("\"analyzed_files\": 2"));
+        assert!(j.contains("\"analyzed_fns\": 7"));
+        assert!(j.contains("\"call_edges\": 11"));
         assert!(j.contains("\"rules_checked\": [\"ladder\"]"));
         assert!(j.contains("\"line\": 3"));
+        assert!(j.contains("\"used\": true"));
+        assert!(j.contains("\"chain\": [\"f (a.rs:3)\", \".unwrap(…) (a.rs:9)\"]"));
         assert_eq!(
             r.summary(),
-            "analyzed_files=2 rules_checked=1 suppressed=1 findings=1"
+            "analyzed_files=2 analyzed_fns=7 call_edges=11 rules_checked=1 suppressed=1 \
+             findings=1"
         );
     }
 
@@ -139,10 +261,24 @@ mod tests {
     fn empty_findings_is_empty_array() {
         let r = Report {
             analyzed_files: 0,
+            analyzed_fns: 0,
+            call_edges: 0,
             rules_checked: vec![],
             suppressed: 0,
+            allows: vec![],
             findings: vec![],
         };
         assert!(r.to_json().contains("\"findings\": []"));
+        assert!(r.to_json().contains("\"allows\": []"));
+    }
+
+    #[test]
+    fn sarif_carries_rule_location_and_witness() {
+        let s = sample().to_sarif();
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"sdm-analyze\""));
+        assert!(s.contains("\"ruleId\": \"unwrap\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(s.contains("witness: f (a.rs:3) → .unwrap(…) (a.rs:9)"));
     }
 }

@@ -9,7 +9,10 @@ use crate::lexer::Tok;
 use crate::report::Finding;
 use crate::scopes::Model;
 
-/// Rule ids, in the order they are reported.
+/// Rule ids, in the order they are reported. The last three are the
+/// interprocedural / whole-workspace rules run by `analyze_sources`
+/// (`crate::dataflow` and the unused-suppression pass), listed here so
+/// the registry is the single source of truth for `rules_checked`.
 pub const RULES: &[&str] = &[
     "ladder",
     "sql-layering",
@@ -18,6 +21,9 @@ pub const RULES: &[&str] = &[
     "undo-coverage",
     "compiled-eval",
     "wal-ordering",
+    "held-io",
+    "panic-under-guard",
+    "unused-allow",
 ];
 
 // ---------------------------------------------------------------- sql-layering
@@ -72,6 +78,7 @@ pub fn sql_layering(path: &str, model: &Model) -> Vec<Finding> {
                          typed `Stmt` instead",
                         &s[..s.len().min(24)]
                     ),
+                    chain: Vec::new(),
                 });
             }
         }
@@ -128,6 +135,7 @@ pub fn deprecated_call(path: &str, model: &Model) -> Vec<Finding> {
                 message: "deprecated-veneer opt-in (`allow(deprecated)`) outside the designated \
                           veneer/equivalence files; migrate to the typed API"
                     .into(),
+                chain: Vec::new(),
             });
         }
     }
@@ -175,6 +183,7 @@ pub fn unwrap_rule(path: &str, model: &Model) -> Vec<Finding> {
                     "`.{m}(…)` in non-test library code on a hot path; return a typed error, or \
                      justify with `// analyze:allow(unwrap: why this cannot fail)`"
                 ),
+                chain: Vec::new(),
             });
         }
     }
@@ -216,6 +225,7 @@ pub fn undo_coverage(path: &str, model: &Model) -> Vec<Finding> {
                      mutations cannot be rolled back by an open transaction",
                     f.name
                 ),
+                chain: Vec::new(),
             });
         }
     }
@@ -263,6 +273,7 @@ pub fn compiled_eval(path: &str, model: &Model) -> Vec<Finding> {
                       compiled program path (`row_truthy`/`row_value`), or justify with \
                       `// analyze:allow(compiled-eval: why the walker is wanted here)`"
                 .into(),
+            chain: Vec::new(),
         });
     }
     findings
@@ -340,16 +351,19 @@ pub fn wal_ordering(path: &str, model: &Model) -> Vec<Finding> {
                           crash recovery can replay them, or justify with \
                           `// analyze:allow(wal-ordering: …)`"
                     .into(),
+                chain: Vec::new(),
             });
         }
     }
     findings
 }
 
-/// Run every rule over one file, dropping findings a
-/// `// analyze:allow(rule: reason)` suppresses. Returns the surviving
-/// findings and the number suppressed.
-pub fn analyze_model(path: &str, model: &Model) -> (Vec<Finding>, usize) {
+/// Run every intraprocedural rule over one file, **pre-suppression**.
+/// `analyze_sources` merges these with the interprocedural findings,
+/// dedups, and only then applies the `analyze:allow` pass — suppression
+/// has to happen after the merge so every directive's usage can be
+/// tracked for `unused-allow`.
+pub fn intra(path: &str, model: &Model) -> Vec<Finding> {
     let mut all = Vec::new();
     all.extend(crate::ladder::check(path, model));
     all.extend(sql_layering(path, model));
@@ -358,10 +372,7 @@ pub fn analyze_model(path: &str, model: &Model) -> (Vec<Finding>, usize) {
     all.extend(undo_coverage(path, model));
     all.extend(compiled_eval(path, model));
     all.extend(wal_ordering(path, model));
-    let before = all.len();
-    all.retain(|f| !model.allowed(&f.rule, f.line));
-    let suppressed = before - all.len();
-    (all, suppressed)
+    all
 }
 
 #[cfg(test)]
@@ -369,7 +380,7 @@ mod tests {
     use super::*;
 
     fn findings(path: &str, src: &str) -> Vec<Finding> {
-        analyze_model(path, &Model::build(src)).0
+        crate::analyze_file(path, src).0
     }
 
     #[test]
@@ -417,7 +428,7 @@ mod tests {
         let src =
             "fn f() {\n  // analyze:allow(unwrap: slot was bounds-checked above)\n  x.unwrap();\n}";
         assert!(findings("crates/sdm-metadb/src/foo.rs", src).is_empty());
-        let (_, suppressed) = analyze_model("crates/sdm-metadb/src/foo.rs", &Model::build(src));
+        let (_, suppressed) = crate::analyze_file("crates/sdm-metadb/src/foo.rs", src);
         assert_eq!(suppressed, 1);
     }
 

@@ -14,6 +14,10 @@ use crate::lexer::{lex, Allow, Tok, Token};
 pub struct FnInfo {
     /// Function name.
     pub name: String,
+    /// The `impl` block's type name when the fn is a method
+    /// (`impl Database` / `impl WalStorage for FileStorage` both yield
+    /// the implementing type), `None` for free functions.
+    pub owner: Option<String>,
     /// 1-based line of the `fn` keyword.
     pub line: u32,
     /// Token range `[start, end)` of the signature: from just after the
@@ -69,6 +73,20 @@ impl Model {
             .unwrap_or_default()
     }
 
+    /// Whether source line `line` (1-based) lies in test code: the line
+    /// of any token inside a test span. Comment-only lines between two
+    /// test tokens count too, which is what directive mining needs.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(s, e)| {
+            let first = self.tokens.get(s).map(|t| t.line);
+            let last = e
+                .checked_sub(1)
+                .and_then(|j| self.tokens.get(j))
+                .map(|t| t.line);
+            matches!((first, last), (Some(a), Some(b)) if a <= line && line <= b)
+        })
+    }
+
     /// Whether a finding of `rule` at `line` is suppressed by an
     /// `analyze:allow(rule: reason)` on the same or the preceding line.
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
@@ -84,6 +102,8 @@ fn scan_items(toks: &[Token]) -> (Vec<FnInfo>, Vec<(usize, usize)>) {
     let mut test_spans = Vec::new();
     // Stack of open `#[cfg(test)]` module depths (brace depth at entry).
     let mut test_mod_depths: Vec<(usize, usize)> = Vec::new(); // (depth, span start)
+                                                               // Stack of open `impl` blocks: (brace depth at entry, type name).
+    let mut impl_stack: Vec<(usize, Option<String>)> = Vec::new();
     let mut depth = 0usize;
     // Attributes seen since the last item boundary, flattened to words.
     let mut pending_attrs: Vec<Vec<String>> = Vec::new();
@@ -137,6 +157,11 @@ fn scan_items(toks: &[Token]) -> (Vec<FnInfo>, Vec<(usize, usize)>) {
                         test_spans.push((start, i + 1));
                     }
                 }
+                if let Some(&(d, _)) = impl_stack.last() {
+                    if depth <= d {
+                        impl_stack.pop();
+                    }
+                }
                 i += 1;
                 pending_attrs.clear();
             }
@@ -152,6 +177,15 @@ fn scan_items(toks: &[Token]) -> (Vec<FnInfo>, Vec<(usize, usize)>) {
                     if is_test {
                         test_mod_depths.push((depth, i));
                     }
+                    depth += 1;
+                }
+                i = j + 1;
+            }
+            Tok::Ident(w) if w == "impl" && at_item_position(toks, i) => {
+                pending_attrs.clear();
+                let (owner, j) = parse_impl_header(toks, i + 1);
+                if j < toks.len() && toks[j].tok == Tok::Punct('{') {
+                    impl_stack.push((depth, owner));
                     depth += 1;
                 }
                 i = j + 1;
@@ -220,6 +254,7 @@ fn scan_items(toks: &[Token]) -> (Vec<FnInfo>, Vec<(usize, usize)>) {
                 }
                 fns.push(FnInfo {
                     name,
+                    owner: impl_stack.last().and_then(|(_, o)| o.clone()),
                     line,
                     sig: (sig_start, sig_end),
                     body,
@@ -262,6 +297,77 @@ fn scan_items(toks: &[Token]) -> (Vec<FnInfo>, Vec<(usize, usize)>) {
         test_spans.push((start, toks.len()));
     }
     (fns, test_spans)
+}
+
+/// Whether the `impl` at token `i` starts an item (an impl block) rather
+/// than appearing in type position (`fn f(x: impl Trait)`,
+/// `-> impl Iterator`). Item position: start of file, after a closing
+/// or opening brace, a `;`, a `]` (attribute close), or `unsafe`.
+fn at_item_position(toks: &[Token], i: usize) -> bool {
+    match i.checked_sub(1).and_then(|p| toks.get(p)).map(|t| &t.tok) {
+        None => true,
+        Some(Tok::Punct('{' | '}' | ';' | ']')) => true,
+        Some(Tok::Ident(w)) => w == "unsafe",
+        _ => false,
+    }
+}
+
+/// Parse an impl header starting just after the `impl` keyword: skip the
+/// leading generic parameter list, then take the last ident of the type
+/// path — restarting at `for`, so `impl<T> Trait<T> for Type<T>` yields
+/// `Type`. Returns the owner and the index of the body `{`.
+fn parse_impl_header(toks: &[Token], mut j: usize) -> (Option<String>, usize) {
+    if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+        j = skip_generics(toks, j);
+    }
+    let mut owner: Option<String> = None;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') | Tok::Punct(';') => break,
+            Tok::Punct('<') => {
+                j = skip_generics(toks, j);
+                continue;
+            }
+            Tok::Ident(w) if w == "for" => owner = None,
+            Tok::Ident(w) if w == "where" => {
+                while j < toks.len() && toks[j].tok != Tok::Punct('{') {
+                    j += 1;
+                }
+                break;
+            }
+            Tok::Ident(w) if w == "dyn" || w == "mut" => {}
+            // Successive path segments overwrite: `fmt::Display` ends at
+            // `Display`, `crate::wal::Wal` at `Wal`.
+            Tok::Ident(w) => owner = Some(w.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (owner, j)
+}
+
+/// Skip a balanced `<…>` generic list starting at the `<` at `j`. A `>`
+/// preceded by `-` is a return arrow inside an `Fn(...) -> T` bound, not
+/// a closer.
+fn skip_generics(toks: &[Token], mut j: usize) -> usize {
+    let mut adepth = 0i32;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('<') => adepth += 1,
+            Tok::Punct('>') => {
+                let arrow = j > 0 && toks[j - 1].tok == Tok::Punct('-');
+                if !arrow {
+                    adepth -= 1;
+                    if adepth == 0 {
+                        return j + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
 }
 
 /// `#[cfg(test)]` — exactly, so `cfg(not(test))` stays non-test.
@@ -328,6 +434,46 @@ mod tests {
         assert!(m.allowed("unwrap", 2));
         assert!(!m.allowed("unwrap", 3));
         assert!(!m.allowed("ladder", 2));
+    }
+
+    #[test]
+    fn impl_owner_is_tracked() {
+        let src = "impl Database { fn method(&self) {} }\n\
+                   fn free() {}\n\
+                   impl fmt::Display for Value { fn fmt(&self) {} }\n\
+                   impl<T: Clone> Handle<T> { fn get(&self) {} }\n\
+                   impl WalStorage for FileStorage { fn sync(&mut self) {} }";
+        let m = Model::build(src);
+        let owner = |n: &str| m.fns.iter().find(|f| f.name == n).unwrap().owner.clone();
+        assert_eq!(owner("method").as_deref(), Some("Database"));
+        assert_eq!(owner("free"), None);
+        assert_eq!(owner("fmt").as_deref(), Some("Value"));
+        assert_eq!(owner("get").as_deref(), Some("Handle"));
+        assert_eq!(owner("sync").as_deref(), Some("FileStorage"));
+    }
+
+    #[test]
+    fn impl_in_type_position_is_not_a_block() {
+        let src = "fn f(x: impl Iterator<Item = u8>) -> impl Clone { x }\nfn g() {}";
+        let m = Model::build(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[1].owner, None);
+    }
+
+    #[test]
+    fn nested_fn_inherits_then_releases_owner() {
+        let src = "impl A { fn m(&self) {} }\nfn free2() {}";
+        let m = Model::build(src);
+        assert_eq!(m.fns[0].owner.as_deref(), Some("A"));
+        assert_eq!(m.fns[1].owner, None);
+    }
+
+    #[test]
+    fn is_test_line_covers_test_modules() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\n";
+        let m = Model::build(src);
+        assert!(!m.is_test_line(1));
+        assert!(m.is_test_line(4));
     }
 
     #[test]

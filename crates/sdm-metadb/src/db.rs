@@ -212,19 +212,21 @@ pub struct Database {
     wal: Option<Wal>,
 }
 
-/// Runtime rank of the `tx` slot mutex (top of the ladder).
-pub const LOCK_RANK_TX: u32 = 10;
+/// Runtime rank of the `tx` slot mutex (top of the ladder). Sourced
+/// from the workspace-wide [`sdm_ranks`] registry so the shim's panic
+/// message and `sdm-analyze` findings print the same names.
+pub const LOCK_RANK_TX: u32 = sdm_ranks::TX;
 /// Runtime rank of the `catalog` RwLock (middle of the ladder).
-pub const LOCK_RANK_CATALOG: u32 = 20;
+pub const LOCK_RANK_CATALOG: u32 = sdm_ranks::CATALOG;
 /// Runtime rank of the WAL's storage-tail mutex (group-commit leader
 /// election): below the catalog, above the record buffer.
-pub const LOCK_RANK_WAL_SYNC: u32 = 24;
+pub const LOCK_RANK_WAL_SYNC: u32 = sdm_ranks::WAL_SYNC;
 /// Runtime rank of the WAL's record-buffer mutex.
-pub const LOCK_RANK_WAL_BUF: u32 = 26;
+pub const LOCK_RANK_WAL_BUF: u32 = sdm_ranks::WAL_BUF;
 /// Runtime rank shared by the `stats` and `plans` leaf mutexes. They
 /// share one rank on purpose: leaves are taken alone, so nesting one
 /// under the other trips the checker just like re-entering a lock.
-pub const LOCK_RANK_LEAF: u32 = 30;
+pub const LOCK_RANK_LEAF: u32 = sdm_ranks::LEAF;
 
 impl Default for Database {
     fn default() -> Self {

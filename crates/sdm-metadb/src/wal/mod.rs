@@ -10,7 +10,7 @@
 //!   pre-images) *before* the catalog changes, and the frames reach the
 //!   shared log buffer while the transaction guard is held — frames of
 //!   different transactions never interleave.
-//! * **Group commit.** A committing thread calls [`Wal::sync_to`] after
+//! * **Group commit.** A committing thread calls `Wal::sync_to` after
 //!   releasing the transaction slot. The first thread in becomes the
 //!   *leader*: it drains the buffer and fsyncs once while later
 //!   committers queue on the sync lock; when they get it, the leader's
@@ -20,7 +20,7 @@
 //!   `"<last_tx>\n<catalog JSON>"` via atomic temp+fsync+rename, and
 //!   only *then* deletes sealed segments — a crash anywhere in between
 //!   leaves a recoverable (snapshot, log) pair.
-//! * **Recovery.** [`Wal::open`] loads the newest valid snapshot and
+//! * **Recovery.** `Wal::open` loads the newest valid snapshot and
 //!   replays committed transactions in log order, skipping anything the
 //!   snapshot already covers (`txid <= snapshot_last_tx`) and
 //!   discarding the torn tail after the last valid CRC. Uncommitted and
@@ -208,7 +208,7 @@ impl Wal {
     }
 
     /// Append encoded frames to the log buffer, returning the LSN a
-    /// subsequent [`Wal::sync_to`] must reach to make them durable.
+    /// subsequent `Wal::sync_to` must reach to make them durable.
     /// `commits` is how many COMMIT frames `bytes` carries (the
     /// group-commit batch accounting).
     pub(crate) fn append_bytes(&self, bytes: &[u8], commits: u64) -> u64 {

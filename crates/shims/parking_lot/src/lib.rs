@@ -53,9 +53,11 @@ mod rank {
             if let Some(&worst) = held.iter().max() {
                 assert!(
                     rank > worst,
-                    "lock ladder violation: acquiring rank {rank} while rank {worst} is held \
+                    "lock ladder violation: acquiring {} while {} is held \
                      (ranked locks must be acquired in strictly increasing rank order; \
-                     equal ranks never nest)"
+                     equal ranks never nest)",
+                    sdm_ranks::describe(rank),
+                    sdm_ranks::describe(worst),
                 );
             }
             held.push(rank);
